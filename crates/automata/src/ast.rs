@@ -1,0 +1,279 @@
+//! Regular expression abstract syntax (Definition 7).
+//!
+//! `R ::= ε | a | R ◦ R | R + R | R*` plus the derived forms the paper
+//! uses: `R+` (one or more), `R?` (optional, used by Q8 `a? ◦ b*`), and
+//! `¬R` (negation, mentioned in Definition 7; compiled by DFA
+//! complementation over the query alphabet).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A regular expression over label names.
+///
+/// Labels are kept as strings at this level; [`crate::CompiledQuery`]
+/// resolves them against a [`srpq_common::LabelInterner`] when compiling.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Regex {
+    /// The empty string ε.
+    Epsilon,
+    /// A single label `a ∈ Σ`.
+    Label(String),
+    /// Concatenation `R ◦ S`.
+    Concat(Box<Regex>, Box<Regex>),
+    /// Alternation `R + S`.
+    Alt(Box<Regex>, Box<Regex>),
+    /// Kleene star `R*`.
+    Star(Box<Regex>),
+    /// One or more repetitions `R+` (sugar for `R ◦ R*`, kept explicit
+    /// so `Display` round-trips).
+    Plus(Box<Regex>),
+    /// Zero or one occurrence `R?` (sugar for `ε + R`).
+    Optional(Box<Regex>),
+    /// Negation `¬R`: all words over the query alphabet not in `L(R)`.
+    Not(Box<Regex>),
+}
+
+impl Regex {
+    /// A label leaf.
+    pub fn label(name: impl Into<String>) -> Regex {
+        Regex::Label(name.into())
+    }
+
+    /// `self ◦ other`.
+    pub fn then(self, other: Regex) -> Regex {
+        Regex::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// `self + other`.
+    pub fn or(self, other: Regex) -> Regex {
+        Regex::Alt(Box::new(self), Box::new(other))
+    }
+
+    /// `self*`.
+    pub fn star(self) -> Regex {
+        Regex::Star(Box::new(self))
+    }
+
+    /// `self+`.
+    pub fn plus(self) -> Regex {
+        Regex::Plus(Box::new(self))
+    }
+
+    /// `self?`.
+    pub fn optional(self) -> Regex {
+        Regex::Optional(Box::new(self))
+    }
+
+    /// `¬self`.
+    pub fn negate(self) -> Regex {
+        Regex::Not(Box::new(self))
+    }
+
+    /// Concatenation of a sequence of labels: `a1 ◦ a2 ◦ ... ◦ ak` (the
+    /// shape of Q11 in Table 2).
+    pub fn concat_labels<I, S>(labels: I) -> Regex
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut iter = labels.into_iter();
+        let first = iter.next().map(|s| Regex::label(s)).unwrap_or(Regex::Epsilon);
+        iter.fold(first, |acc, l| acc.then(Regex::label(l)))
+    }
+
+    /// Alternation of a set of labels: `a1 + a2 + ... + ak` (the inner
+    /// shape of Q4/Q9/Q10 in Table 2).
+    pub fn alt_labels<I, S>(labels: I) -> Regex
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut iter = labels.into_iter();
+        let first = iter.next().map(|s| Regex::label(s)).unwrap_or(Regex::Epsilon);
+        iter.fold(first, |acc, l| acc.or(Regex::label(l)))
+    }
+
+    /// The set of distinct label names mentioned in the expression
+    /// (the query alphabet Σ_Q).
+    pub fn alphabet(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        self.collect_alphabet(&mut out);
+        out
+    }
+
+    fn collect_alphabet<'a>(&'a self, out: &mut BTreeSet<&'a str>) {
+        match self {
+            Regex::Epsilon => {}
+            Regex::Label(l) => {
+                out.insert(l.as_str());
+            }
+            Regex::Concat(a, b) | Regex::Alt(a, b) => {
+                a.collect_alphabet(out);
+                b.collect_alphabet(out);
+            }
+            Regex::Star(r) | Regex::Plus(r) | Regex::Optional(r) | Regex::Not(r) => {
+                r.collect_alphabet(out)
+            }
+        }
+    }
+
+    /// Query size |Q_R| as defined in §5.1.2: the number of label
+    /// occurrences plus the number of `*` and `+` operators.
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Epsilon => 0,
+            Regex::Label(_) => 1,
+            Regex::Concat(a, b) | Regex::Alt(a, b) => a.size() + b.size(),
+            Regex::Star(r) | Regex::Plus(r) => 1 + r.size(),
+            Regex::Optional(r) | Regex::Not(r) => r.size(),
+        }
+    }
+
+    /// Whether the expression contains a Kleene star or plus (i.e. is
+    /// *recursive* in the terminology of the query-log studies the paper
+    /// draws its workload from).
+    pub fn is_recursive(&self) -> bool {
+        match self {
+            Regex::Epsilon | Regex::Label(_) => false,
+            Regex::Concat(a, b) | Regex::Alt(a, b) => a.is_recursive() || b.is_recursive(),
+            Regex::Star(_) | Regex::Plus(_) => true,
+            Regex::Optional(r) | Regex::Not(r) => r.is_recursive(),
+        }
+    }
+
+    fn precedence(&self) -> u8 {
+        match self {
+            Regex::Alt(..) => 0,
+            Regex::Concat(..) => 1,
+            Regex::Not(..) => 2,
+            Regex::Star(..) | Regex::Plus(..) | Regex::Optional(..) => 3,
+            Regex::Epsilon | Regex::Label(..) => 4,
+        }
+    }
+
+    fn fmt_child(&self, child: &Regex, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if child.precedence() < self.precedence()
+            || (matches!(
+                self,
+                Regex::Star(..) | Regex::Plus(..) | Regex::Optional(..)
+            ) && child.precedence() < 4)
+        {
+            write!(f, "({child})")
+        } else {
+            write!(f, "{child}")
+        }
+    }
+}
+
+impl fmt::Display for Regex {
+    /// Prints in the surface syntax accepted by [`crate::parse`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Regex::Epsilon => write!(f, "()"),
+            Regex::Label(l) => write!(f, "{l}"),
+            Regex::Concat(a, b) => {
+                self.fmt_child(a, f)?;
+                write!(f, " ")?;
+                // Parenthesize a right-nested concat: the parser is
+                // left-associative, so `a (b c)` must keep its parens
+                // for the AST to round-trip.
+                if matches!(**b, Regex::Concat(..)) {
+                    write!(f, "({b})")
+                } else {
+                    self.fmt_child(b, f)
+                }
+            }
+            Regex::Alt(a, b) => {
+                self.fmt_child(a, f)?;
+                write!(f, " | ")?;
+                if matches!(**b, Regex::Alt(..)) {
+                    write!(f, "({b})")
+                } else {
+                    self.fmt_child(b, f)
+                }
+            }
+            Regex::Star(r) => {
+                self.fmt_child(r, f)?;
+                write!(f, "*")
+            }
+            Regex::Plus(r) => {
+                self.fmt_child(r, f)?;
+                write!(f, "+")
+            }
+            Regex::Optional(r) => {
+                self.fmt_child(r, f)?;
+                write!(f, "?")
+            }
+            Regex::Not(r) => {
+                write!(f, "!")?;
+                self.fmt_child(r, f)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        // Q1 from Figure 1: (follows ◦ mentions)+
+        let q = Regex::label("follows").then(Regex::label("mentions")).plus();
+        assert_eq!(q.to_string(), "(follows mentions)+");
+        assert_eq!(q.size(), 3);
+        assert!(q.is_recursive());
+    }
+
+    #[test]
+    fn alphabet_collects_distinct_labels() {
+        let q = Regex::label("a")
+            .then(Regex::label("b").star())
+            .then(Regex::label("a"));
+        let alpha: Vec<_> = q.alphabet().into_iter().collect();
+        assert_eq!(alpha, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn size_counts_labels_and_stars() {
+        // a ◦ b* ◦ c* : 3 labels + 2 stars = 5
+        let q = Regex::label("a")
+            .then(Regex::label("b").star())
+            .then(Regex::label("c").star());
+        assert_eq!(q.size(), 5);
+    }
+
+    #[test]
+    fn alt_and_concat_helpers() {
+        let alt = Regex::alt_labels(["a", "b", "c"]);
+        assert_eq!(alt.to_string(), "a | b | c");
+        let cat = Regex::concat_labels(["a", "b", "c"]);
+        assert_eq!(cat.to_string(), "a b c");
+        assert!(!cat.is_recursive());
+    }
+
+    #[test]
+    fn display_parenthesizes_correctly() {
+        let q = Regex::label("a").or(Regex::label("b")).then(Regex::label("c"));
+        assert_eq!(q.to_string(), "(a | b) c");
+        let q2 = Regex::label("a").or(Regex::label("b").then(Regex::label("c")));
+        assert_eq!(q2.to_string(), "a | b c");
+        let q3 = Regex::label("a").or(Regex::label("b")).star();
+        assert_eq!(q3.to_string(), "(a | b)*");
+        let q4 = Regex::label("a").negate().then(Regex::label("b"));
+        assert_eq!(q4.to_string(), "!a b");
+    }
+
+    #[test]
+    fn empty_helpers_degrade_to_epsilon() {
+        assert_eq!(Regex::concat_labels(Vec::<String>::new()), Regex::Epsilon);
+        assert_eq!(Regex::alt_labels(Vec::<String>::new()), Regex::Epsilon);
+    }
+
+    #[test]
+    fn optional_is_not_counted_in_size() {
+        // Q8: a? ◦ b* — size counts 2 labels + 1 star = 3.
+        let q = Regex::label("a").optional().then(Regex::label("b").star());
+        assert_eq!(q.size(), 3);
+    }
+}

@@ -1,0 +1,375 @@
+//! Deterministic finite automata (Definition 10).
+//!
+//! The DFA is *partial*: missing transitions mean "this word cannot be a
+//! prefix of any word in L(R)", which is exactly what the streaming
+//! algorithms want — a tuple whose label has no outgoing transition from
+//! any live state is discarded immediately.
+//!
+//! The layout is optimized for the two access patterns of Algorithms
+//! RAPQ/RSPQ:
+//!
+//! * `transitions_for(label)` — "for each `s, t ∈ S` where `t = δ(s, l)`"
+//!   (line 5 of both algorithms): a precomputed `(from, to)` pair list per
+//!   label;
+//! * `next(state, label)` — single δ lookup during tree expansion: a dense
+//!   row-major table indexed by `(state, label column)`.
+
+use srpq_common::{FxHashMap, Label, StateId};
+
+use crate::nfa::Nfa;
+
+/// A deterministic finite automaton over a (small) label alphabet.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    start: StateId,
+    accepting: Vec<bool>,
+    /// Sorted, distinct query alphabet.
+    alphabet: Vec<Label>,
+    /// Global label → column in `table`.
+    label_pos: FxHashMap<Label, u32>,
+    /// Row-major `n_states × alphabet.len()` transition table.
+    table: Vec<Option<StateId>>,
+    /// Per-column `(from, to)` transition pairs.
+    by_label: Vec<Vec<(StateId, StateId)>>,
+}
+
+impl Dfa {
+    /// Builds a DFA from raw parts. `transitions` maps
+    /// `(state, label) → state`. Panics if a state index is out of range.
+    pub fn from_parts(
+        n_states: usize,
+        start: StateId,
+        accepting_states: &[StateId],
+        alphabet: &[Label],
+        transitions: &[(StateId, Label, StateId)],
+    ) -> Dfa {
+        let mut alphabet: Vec<Label> = alphabet.to_vec();
+        alphabet.sort_unstable();
+        alphabet.dedup();
+        let label_pos: FxHashMap<Label, u32> = alphabet
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, i as u32))
+            .collect();
+        let mut accepting = vec![false; n_states];
+        for &s in accepting_states {
+            accepting[s.index()] = true;
+        }
+        let mut table = vec![None; n_states * alphabet.len()];
+        let mut by_label = vec![Vec::new(); alphabet.len()];
+        for &(from, label, to) in transitions {
+            assert!(from.index() < n_states && to.index() < n_states);
+            let col = label_pos[&label] as usize;
+            let slot = &mut table[from.index() * alphabet.len() + col];
+            assert!(
+                slot.is_none() || *slot == Some(to),
+                "nondeterministic transition ({from}, {label})"
+            );
+            if slot.is_none() {
+                *slot = Some(to);
+                by_label[col].push((from, to));
+            }
+        }
+        for pairs in &mut by_label {
+            pairs.sort_unstable();
+        }
+        Dfa {
+            start,
+            accepting,
+            alphabet,
+            label_pos,
+            table,
+            by_label,
+        }
+    }
+
+    /// Subset construction: determinizes `nfa` over `alphabet`.
+    pub fn from_nfa(nfa: &Nfa, alphabet: &[Label]) -> Dfa {
+        let mut alphabet: Vec<Label> = alphabet.to_vec();
+        alphabet.sort_unstable();
+        alphabet.dedup();
+
+        let start_set = nfa.epsilon_closure(&[nfa.start()]);
+        let mut subset_ids: FxHashMap<Vec<usize>, u32> = FxHashMap::default();
+        subset_ids.insert(start_set.clone(), 0);
+        let mut subsets = vec![start_set];
+        let mut transitions: Vec<(StateId, Label, StateId)> = Vec::new();
+        let mut work = vec![0u32];
+
+        while let Some(id) = work.pop() {
+            let current = subsets[id as usize].clone();
+            for &l in &alphabet {
+                let moved = nfa.step(&current, l);
+                if moved.is_empty() {
+                    continue;
+                }
+                let closed = nfa.epsilon_closure(&moved);
+                let next_id = *subset_ids.entry(closed.clone()).or_insert_with(|| {
+                    let nid = subsets.len() as u32;
+                    subsets.push(closed);
+                    work.push(nid);
+                    nid
+                });
+                transitions.push((StateId(id), l, StateId(next_id)));
+            }
+        }
+
+        let accepting: Vec<StateId> = subsets
+            .iter()
+            .enumerate()
+            .filter(|(_, set)| set.contains(&nfa.accept()))
+            .map(|(i, _)| StateId(i as u32))
+            .collect();
+
+        Dfa::from_parts(
+            subsets.len(),
+            StateId(0),
+            &accepting,
+            &alphabet,
+            &transitions,
+        )
+    }
+
+    /// Completes (adds an explicit sink) and complements this DFA over
+    /// `alphabet`: the result accepts exactly the words over `alphabet`
+    /// this DFA rejects.
+    pub fn complement(&self, alphabet: &[Label]) -> Dfa {
+        let mut alphabet: Vec<Label> = alphabet.to_vec();
+        alphabet.sort_unstable();
+        alphabet.dedup();
+
+        let n = self.n_states();
+        let sink = StateId(n as u32);
+        let mut transitions: Vec<(StateId, Label, StateId)> = Vec::new();
+        let mut used_sink = false;
+        for s in 0..n {
+            let s = StateId(s as u32);
+            for &l in &alphabet {
+                match self.next(s, l) {
+                    Some(t) => transitions.push((s, l, t)),
+                    None => {
+                        transitions.push((s, l, sink));
+                        used_sink = true;
+                    }
+                }
+            }
+        }
+        let total = if used_sink { n + 1 } else { n };
+        if used_sink {
+            for &l in &alphabet {
+                transitions.push((sink, l, sink));
+            }
+        }
+        let accepting: Vec<StateId> = (0..total)
+            .map(|i| StateId(i as u32))
+            .filter(|&s| s.index() >= n || !self.accepting[s.index()])
+            .collect();
+        Dfa::from_parts(total, self.start, &accepting, &alphabet, &transitions)
+    }
+
+    /// Number of states `k`.
+    pub fn n_states(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// The start state `s0`.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Whether `s` is a final state (`s ∈ F`).
+    #[inline]
+    pub fn is_accepting(&self, s: StateId) -> bool {
+        self.accepting[s.index()]
+    }
+
+    /// Whether `ε ∈ L(R)` (the start state is final).
+    pub fn accepts_empty(&self) -> bool {
+        self.is_accepting(self.start)
+    }
+
+    /// The query alphabet Σ_Q (sorted).
+    pub fn alphabet(&self) -> &[Label] {
+        &self.alphabet
+    }
+
+    /// Whether `label` occurs in the query alphabet. Tuples with labels
+    /// outside Σ_Q are discarded before touching the index (§5.2).
+    #[inline]
+    pub fn knows_label(&self, label: Label) -> bool {
+        self.label_pos.contains_key(&label)
+    }
+
+    /// δ(s, label), if defined.
+    #[inline]
+    pub fn next(&self, s: StateId, label: Label) -> Option<StateId> {
+        let col = *self.label_pos.get(&label)? as usize;
+        self.table[s.index() * self.alphabet.len() + col]
+    }
+
+    /// All `(s, t)` with `t = δ(s, label)` — the per-tuple iteration of
+    /// Algorithms RAPQ/RSPQ. Empty if the label is outside Σ_Q.
+    #[inline]
+    pub fn transitions_for(&self, label: Label) -> &[(StateId, StateId)] {
+        match self.label_pos.get(&label) {
+            Some(&col) => &self.by_label[col as usize],
+            None => &[],
+        }
+    }
+
+    /// Iterates all transitions `(from, label, to)`.
+    pub fn transitions(&self) -> impl Iterator<Item = (StateId, Label, StateId)> + '_ {
+        self.alphabet.iter().enumerate().flat_map(move |(col, &l)| {
+            self.by_label[col].iter().map(move |&(s, t)| (s, l, t))
+        })
+    }
+
+    /// Extended transition function δ*(start, word).
+    pub fn run(&self, word: &[Label]) -> Option<StateId> {
+        let mut s = self.start;
+        for &l in word {
+            s = self.next(s, l)?;
+        }
+        Some(s)
+    }
+
+    /// Whether the DFA accepts `word`.
+    pub fn accepts(&self, word: &[Label]) -> bool {
+        self.run(word).map(|s| self.is_accepting(s)).unwrap_or(false)
+    }
+
+    /// Final states.
+    pub fn accepting_states(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.accepting
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| StateId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use srpq_common::LabelInterner;
+
+    fn dfa_for(s: &str) -> (Dfa, LabelInterner) {
+        let mut labels = LabelInterner::new();
+        let regex = parse(s).unwrap();
+        let nfa = Nfa::build(&regex, &mut labels);
+        let alphabet: Vec<Label> = regex
+            .alphabet()
+            .into_iter()
+            .map(|n| labels.get(n).unwrap())
+            .collect();
+        (Dfa::from_nfa(&nfa, &alphabet), labels)
+    }
+
+    fn w(l: &LabelInterner, names: &[&str]) -> Vec<Label> {
+        names.iter().map(|n| l.get(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn determinization_matches_nfa_semantics() {
+        let (dfa, l) = dfa_for("(a b)+");
+        assert!(!dfa.accepts(&[]));
+        assert!(dfa.accepts(&w(&l, &["a", "b"])));
+        assert!(dfa.accepts(&w(&l, &["a", "b", "a", "b"])));
+        assert!(!dfa.accepts(&w(&l, &["a"])));
+        assert!(!dfa.accepts(&w(&l, &["b", "a"])));
+    }
+
+    #[test]
+    fn partiality_discards_unknown_labels() {
+        let (dfa, _) = dfa_for("a b*");
+        let foreign = Label(999);
+        assert!(!dfa.knows_label(foreign));
+        assert!(dfa.transitions_for(foreign).is_empty());
+        assert!(dfa.next(dfa.start(), foreign).is_none());
+    }
+
+    #[test]
+    fn transitions_for_lists_all_pairs() {
+        let (dfa, l) = dfa_for("a* b a");
+        let a = l.get("a").unwrap();
+        // Every pair must agree with δ.
+        for &(s, t) in dfa.transitions_for(a) {
+            assert_eq!(dfa.next(s, a), Some(t));
+        }
+        // And every δ entry must be listed.
+        let listed = dfa.transitions_for(a).len();
+        let mut counted = 0;
+        for s in 0..dfa.n_states() {
+            if dfa.next(StateId(s as u32), a).is_some() {
+                counted += 1;
+            }
+        }
+        assert_eq!(listed, counted);
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let (dfa, l) = dfa_for("a b");
+        let comp = dfa.complement(dfa.alphabet());
+        for word in [
+            vec![],
+            w(&l, &["a"]),
+            w(&l, &["a", "b"]),
+            w(&l, &["b", "a"]),
+            w(&l, &["a", "b", "a"]),
+        ] {
+            assert_ne!(dfa.accepts(&word), comp.accepts(&word), "word {word:?}");
+        }
+    }
+
+    #[test]
+    fn accepts_empty_detection() {
+        assert!(dfa_for("a*").0.accepts_empty());
+        assert!(dfa_for("a?").0.accepts_empty());
+        assert!(!dfa_for("a").0.accepts_empty());
+        assert!(!dfa_for("a+").0.accepts_empty());
+    }
+
+    #[test]
+    fn run_returns_intermediate_states() {
+        let (dfa, l) = dfa_for("a b c");
+        let s1 = dfa.run(&w(&l, &["a"])).unwrap();
+        assert!(!dfa.is_accepting(s1));
+        let s3 = dfa.run(&w(&l, &["a", "b", "c"])).unwrap();
+        assert!(dfa.is_accepting(s3));
+        assert!(dfa.run(&w(&l, &["b"])).is_none());
+    }
+
+    #[test]
+    fn from_parts_rejects_nondeterminism() {
+        let r = std::panic::catch_unwind(|| {
+            Dfa::from_parts(
+                2,
+                StateId(0),
+                &[StateId(1)],
+                &[Label(0)],
+                &[
+                    (StateId(0), Label(0), StateId(0)),
+                    (StateId(0), Label(0), StateId(1)),
+                ],
+            )
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn transitions_iterator_is_consistent() {
+        let (dfa, _) = dfa_for("(a | b)* c");
+        let count = dfa.transitions().count();
+        let by_label: usize = dfa
+            .alphabet()
+            .iter()
+            .map(|&l| dfa.transitions_for(l).len())
+            .sum();
+        assert_eq!(count, by_label);
+        for (s, l, t) in dfa.transitions() {
+            assert_eq!(dfa.next(s, l), Some(t));
+        }
+    }
+}

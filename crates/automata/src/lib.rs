@@ -1,0 +1,33 @@
+//! Regular expression compilation for streaming RPQ evaluation.
+//!
+//! The pipeline follows §2 of the paper exactly:
+//!
+//! 1. parse a regular expression over the alphabet of edge labels
+//!    ([`ast`], [`parser`]);
+//! 2. build an NFA with Thompson's construction ([`nfa`]);
+//! 3. determinize with the subset construction and minimize with
+//!    Hopcroft's algorithm ([`dfa`], [`minimize`]);
+//! 4. trim dead/unreachable states, producing the *partial* DFA the
+//!    streaming algorithms traverse;
+//! 5. precompute the suffix-language containment relation `[s] ⊇ [t]`
+//!    (Definitions 14–15) used by RSPQ conflict detection
+//!    ([`containment`]).
+//!
+//! The one-stop entry point is [`CompiledQuery::compile`].
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ast;
+pub mod containment;
+pub mod dfa;
+pub mod minimize;
+pub mod nfa;
+pub mod parser;
+pub mod query;
+
+pub use ast::Regex;
+pub use containment::ContainmentTable;
+pub use dfa::Dfa;
+pub use parser::{parse, ParseError};
+pub use query::CompiledQuery;

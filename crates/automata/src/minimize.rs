@@ -1,0 +1,408 @@
+//! DFA minimization (Hopcroft's n·log n algorithm, ref. 41 of the paper) and
+//! trimming.
+//!
+//! The streaming algorithms traverse the product graph guided by the DFA,
+//! so every useless automaton state multiplies into useless tree nodes.
+//! [`minimize`] therefore produces the *canonical minimal partial* DFA:
+//! Hopcroft partition refinement over the completed automaton, followed by
+//! removal of unreachable and dead (non-co-reachable) states, with states
+//! renumbered in BFS order from the start state for determinism.
+
+use crate::dfa::Dfa;
+use srpq_common::{Label, StateId};
+
+/// Minimizes and trims `dfa`. The result recognizes the same language with
+/// the minimum number of states; only the start state may be non-useful
+/// (when `L = ∅` or `L = {ε}` the result has a single state and no
+/// transitions).
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let alphabet: Vec<Label> = dfa.alphabet().to_vec();
+    let n = dfa.n_states();
+    if n == 0 {
+        return dfa.clone();
+    }
+    let n_cols = alphabet.len();
+    let sink = n; // implicit completion state
+    let total = n + 1;
+
+    // Completed transition function.
+    let step = |s: usize, col: usize| -> usize {
+        if s == sink {
+            sink
+        } else {
+            dfa.next(StateId(s as u32), alphabet[col])
+                .map(|t| t.index())
+                .unwrap_or(sink)
+        }
+    };
+
+    // Inverse transitions per column.
+    let mut inverse: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); total]; n_cols];
+    for s in 0..total {
+        for (col, inv) in inverse.iter_mut().enumerate() {
+            inv[step(s, col)].push(s as u32);
+        }
+    }
+
+    // Hopcroft partition refinement.
+    let mut block_of: Vec<u32> = (0..total)
+        .map(|s| {
+            if s != sink && dfa.is_accepting(StateId(s as u32)) {
+                0
+            } else {
+                1
+            }
+        })
+        .collect();
+    let mut blocks: Vec<Vec<u32>> = vec![Vec::new(), Vec::new()];
+    for s in 0..total {
+        blocks[block_of[s] as usize].push(s as u32);
+    }
+    // Drop an empty initial block (e.g. no accepting states).
+    if blocks[0].is_empty() {
+        blocks.remove(0);
+        for b in block_of.iter_mut() {
+            *b = 0;
+        }
+    }
+
+    let mut worklist: Vec<u32> = (0..blocks.len() as u32).collect();
+    let mut in_worklist: Vec<bool> = vec![true; blocks.len()];
+
+    while let Some(a) = worklist.pop() {
+        in_worklist[a as usize] = false;
+        let splitter = blocks[a as usize].clone();
+        for inv in &inverse {
+            // X = predecessors of the splitter block under this column.
+            let mut touched: Vec<u32> = Vec::new(); // blocks with members in X
+            let mut hits: Vec<Vec<u32>> = Vec::new();
+            let mut hit_index: Vec<i32> = vec![-1; blocks.len()];
+            for &q in &splitter {
+                for &p in &inv[q as usize] {
+                    let b = block_of[p as usize];
+                    if hit_index[b as usize] < 0 {
+                        hit_index[b as usize] = touched.len() as i32;
+                        touched.push(b);
+                        hits.push(Vec::new());
+                    }
+                    hits[hit_index[b as usize] as usize].push(p);
+                }
+            }
+            for (ti, &b) in touched.iter().enumerate() {
+                let hit = &mut hits[ti];
+                hit.sort_unstable();
+                hit.dedup();
+                if hit.len() == blocks[b as usize].len() {
+                    continue; // no split: all members hit
+                }
+                // Split block b into (hit, rest).
+                let new_block_id = blocks.len() as u32;
+                let old = std::mem::take(&mut blocks[b as usize]);
+                let mut stay = Vec::with_capacity(old.len() - hit.len());
+                let mut moved = Vec::with_capacity(hit.len());
+                let hit_set: std::collections::HashSet<u32> = hit.iter().copied().collect();
+                for s in old {
+                    if hit_set.contains(&s) {
+                        moved.push(s);
+                    } else {
+                        stay.push(s);
+                    }
+                }
+                for &s in &moved {
+                    block_of[s as usize] = new_block_id;
+                }
+                blocks[b as usize] = stay;
+                blocks.push(moved);
+                in_worklist.push(false);
+                hit_index.push(-1);
+                // Hopcroft's trick: enqueue the smaller half (or the new
+                // block if b is already queued).
+                if in_worklist[b as usize] {
+                    worklist.push(new_block_id);
+                    in_worklist[new_block_id as usize] = true;
+                } else {
+                    let (smaller, larger) = if blocks[b as usize].len()
+                        <= blocks[new_block_id as usize].len()
+                    {
+                        (b, new_block_id)
+                    } else {
+                        (new_block_id, b)
+                    };
+                    let _ = larger;
+                    worklist.push(smaller);
+                    in_worklist[smaller as usize] = true;
+                }
+            }
+        }
+    }
+
+    // Rebuild over blocks, skipping the sink's block.
+    let start_block = block_of[dfa.start().index()];
+    let mut transitions: Vec<(StateId, Label, StateId)> = Vec::new();
+    let mut accepting_blocks: Vec<bool> = vec![false; blocks.len()];
+    for (bid, members) in blocks.iter().enumerate() {
+        let Some(&rep) = members.first() else { continue };
+        if rep as usize != sink && dfa.is_accepting(StateId(rep)) {
+            accepting_blocks[bid] = true;
+        }
+        for (col, &l) in alphabet.iter().enumerate() {
+            let t = step(rep as usize, col);
+            let tb = block_of[t];
+            // Omit transitions into the sink's block — keeps partiality.
+            if blocks[tb as usize].contains(&(sink as u32)) {
+                continue;
+            }
+            transitions.push((StateId(bid as u32), l, StateId(tb)));
+        }
+    }
+
+    let accepting: Vec<StateId> = accepting_blocks
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| a)
+        .map(|(i, _)| StateId(i as u32))
+        .collect();
+
+    let merged = Dfa::from_parts(
+        blocks.len(),
+        StateId(start_block),
+        &accepting,
+        &alphabet,
+        &transitions,
+    );
+    trim(&merged)
+}
+
+/// Removes unreachable and dead states, renumbering survivors in BFS order
+/// from the start (the start state is always kept).
+pub fn trim(dfa: &Dfa) -> Dfa {
+    let n = dfa.n_states();
+    // Forward reachability.
+    let mut reachable = vec![false; n];
+    let mut queue = vec![dfa.start().index()];
+    reachable[dfa.start().index()] = true;
+    while let Some(s) = queue.pop() {
+        for &l in dfa.alphabet() {
+            if let Some(t) = dfa.next(StateId(s as u32), l) {
+                if !reachable[t.index()] {
+                    reachable[t.index()] = true;
+                    queue.push(t.index());
+                }
+            }
+        }
+    }
+    // Backward reachability from accepting states.
+    let mut co_reachable = vec![false; n];
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (s, _, t) in dfa.transitions() {
+        rev[t.index()].push(s.index());
+    }
+    let mut queue: Vec<usize> = dfa.accepting_states().map(|s| s.index()).collect();
+    for &s in &queue {
+        co_reachable[s] = true;
+    }
+    while let Some(s) = queue.pop() {
+        for &p in &rev[s] {
+            if !co_reachable[p] {
+                co_reachable[p] = true;
+                queue.push(p);
+            }
+        }
+    }
+
+    let useful = |s: usize| reachable[s] && (co_reachable[s] || s == dfa.start().index());
+
+    // Renumber in BFS order from start (deterministic).
+    let mut id_map: Vec<Option<u32>> = vec![None; n];
+    let mut order: Vec<usize> = Vec::new();
+    let mut bfs = std::collections::VecDeque::new();
+    bfs.push_back(dfa.start().index());
+    id_map[dfa.start().index()] = Some(0);
+    order.push(dfa.start().index());
+    while let Some(s) = bfs.pop_front() {
+        for &l in dfa.alphabet() {
+            if let Some(t) = dfa.next(StateId(s as u32), l) {
+                let t = t.index();
+                if useful(t) && id_map[t].is_none() {
+                    id_map[t] = Some(order.len() as u32);
+                    order.push(t);
+                    bfs.push_back(t);
+                }
+            }
+        }
+    }
+
+    let mut transitions = Vec::new();
+    for &s in &order {
+        for &l in dfa.alphabet() {
+            if let Some(t) = dfa.next(StateId(s as u32), l) {
+                if let Some(tid) = id_map[t.index()] {
+                    transitions.push((StateId(id_map[s].unwrap()), l, StateId(tid)));
+                }
+            }
+        }
+    }
+    let accepting: Vec<StateId> = order
+        .iter()
+        .filter(|&&s| dfa.is_accepting(StateId(s as u32)))
+        .map(|&s| StateId(id_map[s].unwrap()))
+        .collect();
+
+    Dfa::from_parts(
+        order.len(),
+        StateId(0),
+        &accepting,
+        dfa.alphabet(),
+        &transitions,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use crate::parser::parse;
+    use srpq_common::LabelInterner;
+
+    fn min_dfa(s: &str) -> (Dfa, LabelInterner) {
+        let mut labels = LabelInterner::new();
+        let regex = parse(s).unwrap();
+        let nfa = Nfa::build(&regex, &mut labels);
+        let alphabet: Vec<Label> = regex
+            .alphabet()
+            .into_iter()
+            .map(|n| labels.get(n).unwrap())
+            .collect();
+        let dfa = Dfa::from_nfa(&nfa, &alphabet);
+        (minimize(&dfa), labels)
+    }
+
+    fn w(l: &LabelInterner, names: &[&str]) -> Vec<Label> {
+        names.iter().map(|n| l.get(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn figure_1_automaton_has_three_states() {
+        // Q1: (follows ◦ mentions)+ — Figure 1(c) shows exactly 3 states.
+        let (dfa, _) = min_dfa("(follows mentions)+");
+        assert_eq!(dfa.n_states(), 3);
+        assert_eq!(dfa.accepting_states().count(), 1);
+    }
+
+    #[test]
+    fn kleene_star_single_label_is_one_state() {
+        let (dfa, l) = min_dfa("a*");
+        assert_eq!(dfa.n_states(), 1);
+        assert!(dfa.accepts_empty());
+        assert!(dfa.accepts(&w(&l, &["a", "a", "a"])));
+    }
+
+    #[test]
+    fn minimization_merges_equivalent_states() {
+        // (a a)* | (a a)* has redundant structure; minimal DFA for
+        // even-length a-strings has 2 states.
+        let (dfa, _) = min_dfa("(a a)* | (a a)*");
+        assert_eq!(dfa.n_states(), 2);
+    }
+
+    #[test]
+    fn language_preserved() {
+        let (dfa, l) = min_dfa("a b* c | a c");
+        assert!(dfa.accepts(&w(&l, &["a", "c"])));
+        assert!(dfa.accepts(&w(&l, &["a", "b", "c"])));
+        assert!(dfa.accepts(&w(&l, &["a", "b", "b", "c"])));
+        assert!(!dfa.accepts(&w(&l, &["a", "b"])));
+        assert!(!dfa.accepts(&w(&l, &["c"])));
+    }
+
+    #[test]
+    fn trim_removes_dead_states() {
+        // All states in a minimized DFA must be useful (can reach accept),
+        // except possibly the start.
+        let (dfa, _) = min_dfa("a b c d");
+        assert_eq!(dfa.n_states(), 5); // chain of 5 states, no sink
+        for s in 0..dfa.n_states() {
+            let s = StateId(s as u32);
+            // Every state must reach an accepting state.
+            let mut seen = vec![false; dfa.n_states()];
+            let mut stack = vec![s];
+            seen[s.index()] = true;
+            let mut ok = dfa.is_accepting(s);
+            while let Some(q) = stack.pop() {
+                for &l in dfa.alphabet() {
+                    if let Some(t) = dfa.next(q, l) {
+                        if !seen[t.index()] {
+                            seen[t.index()] = true;
+                            if dfa.is_accepting(t) {
+                                ok = true;
+                            }
+                            stack.push(t);
+                        }
+                    }
+                }
+            }
+            assert!(ok, "state {s} is dead");
+        }
+    }
+
+    #[test]
+    fn empty_language_yields_single_state() {
+        // !( everything over {a} ) — i.e. !(a*) is the empty language
+        // over alphabet {a}.
+        let (dfa, l) = min_dfa("!(a*)");
+        assert_eq!(dfa.n_states(), 1);
+        assert!(!dfa.accepts_empty());
+        assert!(!dfa.accepts(&w(&l, &["a"])));
+    }
+
+    #[test]
+    fn start_state_is_zero() {
+        for q in ["a*", "a b c", "(a | b)+ c?"] {
+            let (dfa, _) = min_dfa(q);
+            assert_eq!(dfa.start(), StateId(0));
+        }
+    }
+
+    #[test]
+    fn minimize_is_idempotent() {
+        let (dfa, l) = min_dfa("(a | b)* c (a | c)?");
+        let again = minimize(&dfa);
+        assert_eq!(dfa.n_states(), again.n_states());
+        for word in [
+            vec![],
+            w(&l, &["c"]),
+            w(&l, &["a", "c"]),
+            w(&l, &["c", "a"]),
+            w(&l, &["b", "b", "c", "c"]),
+        ] {
+            assert_eq!(dfa.accepts(&word), again.accepts(&word));
+        }
+    }
+
+    #[test]
+    fn brute_force_equivalence_on_short_words() {
+        // Compare minimized DFA with direct NFA acceptance for all words
+        // up to length 5 over a 2-letter alphabet.
+        let mut labels = LabelInterner::new();
+        let regex = parse("a (b a)* b?").unwrap();
+        let nfa = Nfa::build(&regex, &mut labels);
+        let alphabet: Vec<Label> = regex
+            .alphabet()
+            .into_iter()
+            .map(|n| labels.get(n).unwrap())
+            .collect();
+        let dfa = minimize(&Dfa::from_nfa(&nfa, &alphabet));
+        let syms = [labels.get("a").unwrap(), labels.get("b").unwrap()];
+        for len in 0..=5usize {
+            for mask in 0..(1usize << len) {
+                let word: Vec<Label> =
+                    (0..len).map(|i| syms[(mask >> i) & 1]).collect();
+                assert_eq!(
+                    dfa.accepts(&word),
+                    nfa.accepts(&word),
+                    "word {word:?}"
+                );
+            }
+        }
+    }
+}

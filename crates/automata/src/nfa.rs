@@ -1,0 +1,333 @@
+//! Thompson's construction (§2, ref. 65 of the paper).
+//!
+//! Builds a nondeterministic finite automaton with ε-transitions from a
+//! [`Regex`]. Each construction step introduces at most two states, so the
+//! NFA has O(|R|) states. Negation (`¬R`) is handled by determinizing the
+//! sub-NFA over the *query alphabet* and embedding the complemented DFA as
+//! a fragment.
+
+use crate::ast::Regex;
+use crate::dfa::Dfa;
+use srpq_common::{Label, LabelInterner};
+
+/// An NFA with ε-transitions and a single accept state (Thompson normal
+/// form).
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// `trans[s]` lists `(label-or-ε, target)` transitions out of `s`.
+    trans: Vec<Vec<(Option<Label>, usize)>>,
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    /// Builds the Thompson NFA for `regex`, interning label names through
+    /// `labels`.
+    pub fn build(regex: &Regex, labels: &mut LabelInterner) -> Nfa {
+        // Intern the full query alphabet upfront: negation complements
+        // with respect to it.
+        let alphabet: Vec<Label> = regex
+            .alphabet()
+            .into_iter()
+            .map(|name| labels.intern(name))
+            .collect();
+        let mut b = Builder {
+            trans: Vec::new(),
+            alphabet,
+        };
+        let frag = b.compile(regex, labels);
+        Nfa {
+            trans: b.trans,
+            start: frag.start,
+            accept: frag.accept,
+        }
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// The (unique) accept state.
+    pub fn accept(&self) -> usize {
+        self.accept
+    }
+
+    /// Transitions out of `s`.
+    pub fn transitions(&self, s: usize) -> &[(Option<Label>, usize)] {
+        &self.trans[s]
+    }
+
+    /// ε-closure of a set of states (sorted, deduplicated).
+    pub fn epsilon_closure(&self, states: &[usize]) -> Vec<usize> {
+        let mut seen = vec![false; self.trans.len()];
+        let mut stack: Vec<usize> = Vec::with_capacity(states.len());
+        for &s in states {
+            if !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+        let mut out = stack.clone();
+        while let Some(s) = stack.pop() {
+            for &(label, t) in &self.trans[s] {
+                if label.is_none() && !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                    out.push(t);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// States reachable from set `from` on `label` (before ε-closure).
+    pub fn step(&self, from: &[usize], label: Label) -> Vec<usize> {
+        let mut out = Vec::new();
+        for &s in from {
+            for &(l, t) in &self.trans[s] {
+                if l == Some(label) {
+                    out.push(t);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether the NFA accepts `word` (test helper; the streaming engine
+    /// always goes through the DFA).
+    pub fn accepts(&self, word: &[Label]) -> bool {
+        let mut current = self.epsilon_closure(&[self.start]);
+        for &l in word {
+            let next = self.step(&current, l);
+            current = self.epsilon_closure(&next);
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.contains(&self.accept)
+    }
+}
+
+/// A fragment with dangling start/accept, composed by the builder.
+struct Fragment {
+    start: usize,
+    accept: usize,
+}
+
+struct Builder {
+    trans: Vec<Vec<(Option<Label>, usize)>>,
+    alphabet: Vec<Label>,
+}
+
+impl Builder {
+    fn new_state(&mut self) -> usize {
+        self.trans.push(Vec::new());
+        self.trans.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, label: Option<Label>, to: usize) {
+        self.trans[from].push((label, to));
+    }
+
+    fn compile(&mut self, regex: &Regex, labels: &mut LabelInterner) -> Fragment {
+        match regex {
+            Regex::Epsilon => {
+                let s = self.new_state();
+                let a = self.new_state();
+                self.edge(s, None, a);
+                Fragment { start: s, accept: a }
+            }
+            Regex::Label(name) => {
+                let l = labels.intern(name);
+                let s = self.new_state();
+                let a = self.new_state();
+                self.edge(s, Some(l), a);
+                Fragment { start: s, accept: a }
+            }
+            Regex::Concat(x, y) => {
+                let fx = self.compile(x, labels);
+                let fy = self.compile(y, labels);
+                self.edge(fx.accept, None, fy.start);
+                Fragment {
+                    start: fx.start,
+                    accept: fy.accept,
+                }
+            }
+            Regex::Alt(x, y) => {
+                let fx = self.compile(x, labels);
+                let fy = self.compile(y, labels);
+                let s = self.new_state();
+                let a = self.new_state();
+                self.edge(s, None, fx.start);
+                self.edge(s, None, fy.start);
+                self.edge(fx.accept, None, a);
+                self.edge(fy.accept, None, a);
+                Fragment { start: s, accept: a }
+            }
+            Regex::Star(x) => {
+                let fx = self.compile(x, labels);
+                let s = self.new_state();
+                let a = self.new_state();
+                self.edge(s, None, fx.start);
+                self.edge(s, None, a);
+                self.edge(fx.accept, None, fx.start);
+                self.edge(fx.accept, None, a);
+                Fragment { start: s, accept: a }
+            }
+            Regex::Plus(x) => {
+                // R+ = R ◦ R*: reuse the star loop but require one pass.
+                let fx = self.compile(x, labels);
+                let s = self.new_state();
+                let a = self.new_state();
+                self.edge(s, None, fx.start);
+                self.edge(fx.accept, None, fx.start);
+                self.edge(fx.accept, None, a);
+                Fragment { start: s, accept: a }
+            }
+            Regex::Optional(x) => {
+                let fx = self.compile(x, labels);
+                let s = self.new_state();
+                let a = self.new_state();
+                self.edge(s, None, fx.start);
+                self.edge(s, None, a);
+                self.edge(fx.accept, None, a);
+                Fragment { start: s, accept: a }
+            }
+            Regex::Not(x) => {
+                // Complement over the query alphabet: determinize the
+                // sub-NFA, complete + complement, then embed the DFA as an
+                // NFA fragment.
+                let sub = {
+                    let fx = self.compile(x, labels);
+                    Nfa {
+                        trans: self.trans.clone(),
+                        start: fx.start,
+                        accept: fx.accept,
+                    }
+                };
+                let dfa = Dfa::from_nfa(&sub, &self.alphabet).complement(&self.alphabet);
+                self.embed_dfa(&dfa)
+            }
+        }
+    }
+
+    /// Embeds a DFA as a Thompson-style fragment with one accept state.
+    fn embed_dfa(&mut self, dfa: &Dfa) -> Fragment {
+        let base = self.trans.len();
+        for _ in 0..dfa.n_states() {
+            self.new_state();
+        }
+        let accept = self.new_state();
+        for s in 0..dfa.n_states() {
+            for &l in dfa.alphabet() {
+                if let Some(t) = dfa.next(srpq_common::StateId(s as u32), l) {
+                    self.edge(base + s, Some(l), base + t.index());
+                }
+            }
+            if dfa.is_accepting(srpq_common::StateId(s as u32)) {
+                self.edge(base + s, None, accept);
+            }
+        }
+        Fragment {
+            start: base + dfa.start().index(),
+            accept,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn nfa_for(s: &str) -> (Nfa, LabelInterner) {
+        let mut labels = LabelInterner::new();
+        let nfa = Nfa::build(&parse(s).unwrap(), &mut labels);
+        (nfa, labels)
+    }
+
+    fn word(labels: &LabelInterner, names: &[&str]) -> Vec<Label> {
+        names
+            .iter()
+            .map(|n| labels.get(n).expect("label interned"))
+            .collect()
+    }
+
+    #[test]
+    fn single_label() {
+        let (nfa, l) = nfa_for("a");
+        assert!(nfa.accepts(&word(&l, &["a"])));
+        assert!(!nfa.accepts(&[]));
+        assert!(!nfa.accepts(&word(&l, &["a", "a"])));
+    }
+
+    #[test]
+    fn concat_and_alt() {
+        let (nfa, l) = nfa_for("a b | c");
+        assert!(nfa.accepts(&word(&l, &["a", "b"])));
+        assert!(nfa.accepts(&word(&l, &["c"])));
+        assert!(!nfa.accepts(&word(&l, &["a"])));
+        assert!(!nfa.accepts(&word(&l, &["a", "c"])));
+    }
+
+    #[test]
+    fn star_accepts_empty_and_repeats() {
+        let (nfa, l) = nfa_for("a*");
+        assert!(nfa.accepts(&[]));
+        for n in 1..5 {
+            assert!(nfa.accepts(&vec![l.get("a").unwrap(); n]));
+        }
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        let (nfa, l) = nfa_for("(a b)+");
+        assert!(!nfa.accepts(&[]));
+        assert!(nfa.accepts(&word(&l, &["a", "b"])));
+        assert!(nfa.accepts(&word(&l, &["a", "b", "a", "b"])));
+        assert!(!nfa.accepts(&word(&l, &["a", "b", "a"])));
+    }
+
+    #[test]
+    fn optional() {
+        let (nfa, l) = nfa_for("a? b");
+        assert!(nfa.accepts(&word(&l, &["b"])));
+        assert!(nfa.accepts(&word(&l, &["a", "b"])));
+        assert!(!nfa.accepts(&word(&l, &["a"])));
+    }
+
+    #[test]
+    fn negation_over_query_alphabet() {
+        // !(a) over alphabet {a, b}: everything except the word "a".
+        let (nfa, l) = nfa_for("!a | b b");
+        // ε is not "a", so it is accepted by the !a branch.
+        assert!(nfa.accepts(&[]));
+        assert!(!nfa.accepts(&word(&l, &["a"])));
+        assert!(nfa.accepts(&word(&l, &["b"])));
+        assert!(nfa.accepts(&word(&l, &["a", "a"])));
+        assert!(nfa.accepts(&word(&l, &["b", "b"])));
+    }
+
+    #[test]
+    fn epsilon_closure_transitive() {
+        let (nfa, _) = nfa_for("a* b*");
+        let closure = nfa.epsilon_closure(&[nfa.start()]);
+        // From start we can skip both stars and reach accept.
+        assert!(closure.contains(&nfa.accept()));
+    }
+
+    #[test]
+    fn linear_size() {
+        let (nfa, _) = nfa_for("a b c d e f g h");
+        assert!(nfa.n_states() <= 2 * 8 + 16, "{} states", nfa.n_states());
+    }
+}

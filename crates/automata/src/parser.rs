@@ -1,0 +1,308 @@
+//! A recursive-descent parser for the surface regex syntax.
+//!
+//! Grammar (lowest to highest precedence):
+//!
+//! ```text
+//! alt     := concat ('|' concat)*
+//! concat  := postfix (('.' | '/')? postfix)*      -- juxtaposition concatenates
+//! postfix := prefix ('*' | '+' | '?')*
+//! prefix  := '!' prefix | atom
+//! atom    := label | '(' alt? ')'
+//! label   := [A-Za-z_][A-Za-z0-9_:-]*
+//! ```
+//!
+//! `()` denotes ε. The paper writes alternation as `+`; since `+` is also
+//! the one-or-more postfix operator, the surface syntax uses `|` for
+//! alternation (as SPARQL property paths do). Q1 of Figure 1 is written
+//! `(follows mentions)+` or equivalently `(follows/mentions)+`.
+
+use crate::ast::Regex;
+use std::fmt;
+
+/// A parse error with byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+/// Parses a regular expression in the surface syntax.
+pub fn parse(input: &str) -> Result<Regex, ParseError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    if p.peek().is_none() {
+        return Err(p.error("empty regular expression"));
+    }
+    let r = p.parse_alt()?;
+    p.skip_ws();
+    if let Some(c) = p.peek() {
+        return Err(p.error(format!("unexpected character {c:?}")));
+    }
+    Ok(r)
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn parse_alt(&mut self) -> Result<Regex, ParseError> {
+        let mut lhs = self.parse_concat()?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('|') {
+                self.bump();
+                self.skip_ws();
+                let rhs = self.parse_concat()?;
+                lhs = lhs.or(rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn starts_atom(&self) -> bool {
+        matches!(self.peek(), Some(c) if c == '(' || c == '!' || is_label_start(c))
+    }
+
+    fn parse_concat(&mut self) -> Result<Regex, ParseError> {
+        let mut lhs = self.parse_postfix()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('.') | Some('/') => {
+                    self.bump();
+                    self.skip_ws();
+                    let rhs = self.parse_postfix()?;
+                    lhs = lhs.then(rhs);
+                }
+                _ if self.starts_atom() => {
+                    let rhs = self.parse_postfix()?;
+                    lhs = lhs.then(rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Regex, ParseError> {
+        let mut r = self.parse_prefix()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    r = r.star();
+                }
+                Some('+') => {
+                    self.bump();
+                    r = r.plus();
+                }
+                Some('?') => {
+                    self.bump();
+                    r = r.optional();
+                }
+                _ => return Ok(r),
+            }
+        }
+    }
+
+    fn parse_prefix(&mut self) -> Result<Regex, ParseError> {
+        self.skip_ws();
+        if self.peek() == Some('!') {
+            self.bump();
+            let inner = self.parse_prefix()?;
+            return Ok(inner.negate());
+        }
+        self.parse_atom()
+    }
+
+    fn parse_atom(&mut self) -> Result<Regex, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                self.skip_ws();
+                if self.peek() == Some(')') {
+                    self.bump();
+                    return Ok(Regex::Epsilon);
+                }
+                let inner = self.parse_alt()?;
+                self.skip_ws();
+                if self.peek() == Some(')') {
+                    self.bump();
+                    Ok(inner)
+                } else {
+                    Err(self.error("expected ')'"))
+                }
+            }
+            Some(c) if is_label_start(c) => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if is_label_continue(c)) {
+                    self.bump();
+                }
+                Ok(Regex::label(&self.input[start..self.pos]))
+            }
+            Some(c) => Err(self.error(format!("unexpected character {c:?}"))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+}
+
+fn is_label_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_label_continue(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | ':' | '-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(s: &str) -> String {
+        parse(s).unwrap().to_string()
+    }
+
+    #[test]
+    fn parses_figure_1_query() {
+        let q = parse("(follows mentions)+").unwrap();
+        assert_eq!(
+            q,
+            Regex::label("follows").then(Regex::label("mentions")).plus()
+        );
+    }
+
+    #[test]
+    fn parses_table_2_shapes() {
+        // Q1: a*
+        assert_eq!(roundtrip("a*"), "a*");
+        // Q2: a b*
+        assert_eq!(roundtrip("a b*"), "a b*");
+        // Q3: a b* c*
+        assert_eq!(roundtrip("a b* c*"), "a b* c*");
+        // Q4: (a | b | c)*
+        assert_eq!(roundtrip("(a1 | a2 | a3)*"), "(a1 | a2 | a3)*");
+        // Q5: a b* c
+        assert_eq!(roundtrip("a b* c"), "a b* c");
+        // Q8: a? b*
+        assert_eq!(roundtrip("a? b*"), "a? b*");
+        // Q11: a b c
+        assert_eq!(roundtrip("a b c"), "a b c");
+    }
+
+    #[test]
+    fn slash_and_dot_concatenate() {
+        assert_eq!(parse("a/b").unwrap(), parse("a b").unwrap());
+        assert_eq!(parse("a.b").unwrap(), parse("a b").unwrap());
+        assert_eq!(parse("a / b . c").unwrap(), parse("a b c").unwrap());
+    }
+
+    #[test]
+    fn precedence_alt_below_concat() {
+        // a | b c  ==  a | (b c)
+        assert_eq!(
+            parse("a | b c").unwrap(),
+            Regex::label("a").or(Regex::label("b").then(Regex::label("c")))
+        );
+    }
+
+    #[test]
+    fn postfix_binds_tightest() {
+        assert_eq!(
+            parse("a b*").unwrap(),
+            Regex::label("a").then(Regex::label("b").star())
+        );
+        // Double postfix: (a*)+ parses.
+        assert_eq!(roundtrip("a*+"), "(a*)+");
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(parse("!a").unwrap(), Regex::label("a").negate());
+        assert_eq!(
+            parse("!(a b)").unwrap(),
+            Regex::label("a").then(Regex::label("b")).negate()
+        );
+    }
+
+    #[test]
+    fn epsilon_literal() {
+        assert_eq!(parse("()").unwrap(), Regex::Epsilon);
+        assert_eq!(
+            parse("() | a").unwrap(),
+            Regex::Epsilon.or(Regex::label("a"))
+        );
+    }
+
+    #[test]
+    fn label_charset() {
+        assert_eq!(
+            parse("rdf:type-of_2").unwrap(),
+            Regex::label("rdf:type-of_2")
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = parse("a |").unwrap_err();
+        assert_eq!(err.offset, 3);
+        let err = parse("(a").unwrap_err();
+        assert!(err.message.contains(")"));
+        assert!(parse("").is_err());
+        assert!(parse("*a").is_err());
+        let err = parse("a )").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for s in [
+            "a*",
+            "a b*",
+            "(a | b)* c",
+            "a? b* c+",
+            "!a b",
+            "((a b) | c)+",
+            "a1 a2 a3 a4",
+        ] {
+            let r = parse(s).unwrap();
+            let r2 = parse(&r.to_string()).unwrap();
+            assert_eq!(r, r2, "round-trip failed for {s}");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Query compilation: regex → minimal DFA + containment table.
+//!
+//! [`CompiledQuery`] is the artifact of "query registration" (§4): the
+//! minimal partial DFA the streaming algorithms traverse, plus the
+//! precomputed suffix-language containment relation used by RSPQ conflict
+//! detection.
+
+use crate::ast::Regex;
+use crate::containment::ContainmentTable;
+use crate::dfa::Dfa;
+use crate::minimize::minimize;
+use crate::nfa::Nfa;
+use crate::parser::{parse, ParseError};
+use srpq_common::{Label, LabelInterner};
+
+/// A registered RPQ: the parsed expression, its minimal DFA, and the
+/// suffix-language containment relation.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    regex: Regex,
+    dfa: Dfa,
+    containment: ContainmentTable,
+}
+
+impl CompiledQuery {
+    /// Compiles a surface-syntax expression, interning labels through
+    /// `labels`.
+    pub fn compile(input: &str, labels: &mut LabelInterner) -> Result<CompiledQuery, ParseError> {
+        Ok(Self::from_regex(parse(input)?, labels))
+    }
+
+    /// Compiles an already-parsed expression.
+    pub fn from_regex(regex: Regex, labels: &mut LabelInterner) -> CompiledQuery {
+        let nfa = Nfa::build(&regex, labels);
+        let alphabet: Vec<Label> = regex
+            .alphabet()
+            .into_iter()
+            .map(|name| labels.get(name).expect("alphabet interned by Nfa::build"))
+            .collect();
+        let dfa = minimize(&Dfa::from_nfa(&nfa, &alphabet));
+        let containment = ContainmentTable::build(&dfa);
+        CompiledQuery {
+            regex,
+            dfa,
+            containment,
+        }
+    }
+
+    /// The source expression.
+    pub fn regex(&self) -> &Regex {
+        &self.regex
+    }
+
+    /// The minimal partial DFA.
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    /// The suffix-language containment relation.
+    pub fn containment(&self) -> &ContainmentTable {
+        &self.containment
+    }
+
+    /// Number of DFA states `k` (the paper's complexity parameter).
+    pub fn k(&self) -> usize {
+        self.dfa.n_states()
+    }
+
+    /// Whether the automaton has the suffix-language containment property
+    /// (Definition 15), guaranteeing conflict-freedom on any graph.
+    pub fn has_containment_property(&self) -> bool {
+        self.containment.has_containment_property()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_pipeline_end_to_end() {
+        let mut labels = LabelInterner::new();
+        let q = CompiledQuery::compile("(follows mentions)+", &mut labels).unwrap();
+        assert_eq!(q.k(), 3);
+        assert!(!q.has_containment_property());
+        assert_eq!(q.regex().size(), 3);
+
+        let follows = labels.get("follows").unwrap();
+        let mentions = labels.get("mentions").unwrap();
+        assert!(q.dfa().accepts(&[follows, mentions]));
+        assert!(!q.dfa().accepts(&[follows]));
+        assert!(q.dfa().accepts(&[follows, mentions, follows, mentions]));
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let mut labels = LabelInterner::new();
+        assert!(CompiledQuery::compile("(a", &mut labels).is_err());
+    }
+
+    #[test]
+    fn shared_interner_across_queries() {
+        let mut labels = LabelInterner::new();
+        let q1 = CompiledQuery::compile("a b*", &mut labels).unwrap();
+        let q2 = CompiledQuery::compile("b a*", &mut labels).unwrap();
+        // Same label ids across queries.
+        let a = labels.get("a").unwrap();
+        let b = labels.get("b").unwrap();
+        assert!(q1.dfa().knows_label(a) && q1.dfa().knows_label(b));
+        assert!(q2.dfa().knows_label(a) && q2.dfa().knows_label(b));
+        assert_eq!(labels.len(), 2);
+    }
+}

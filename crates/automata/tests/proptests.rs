@@ -1,0 +1,178 @@
+//! Property-based tests for the automata pipeline: random regexes,
+//! display/parse round-trips, NFA↔DFA↔minimal-DFA equivalence, and
+//! containment-table laws.
+
+use proptest::prelude::*;
+use srpq_automata::minimize::minimize;
+use srpq_automata::{parse, ContainmentTable, Dfa, Regex};
+use srpq_automata::nfa::Nfa;
+use srpq_common::{Label, LabelInterner, StateId};
+
+/// A random regex over labels {a, b, c} with bounded size.
+fn regex_strategy() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Regex::label),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| x.then(y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.or(y)),
+            inner.clone().prop_map(Regex::star),
+            inner.clone().prop_map(Regex::plus),
+            inner.prop_map(Regex::optional),
+        ]
+    })
+}
+
+fn compile(regex: &Regex) -> (Nfa, Dfa, Dfa, LabelInterner) {
+    let mut labels = LabelInterner::new();
+    let nfa = Nfa::build(regex, &mut labels);
+    let alphabet: Vec<Label> = regex
+        .alphabet()
+        .into_iter()
+        .map(|n| labels.get(n).expect("interned"))
+        .collect();
+    let dfa = Dfa::from_nfa(&nfa, &alphabet);
+    let min = minimize(&dfa);
+    (nfa, dfa, min, labels)
+}
+
+fn all_words(alphabet: &[Label], max_len: usize) -> Vec<Vec<Label>> {
+    let mut words: Vec<Vec<Label>> = vec![vec![]];
+    let mut frontier: Vec<Vec<Label>> = vec![vec![]];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for &a in alphabet {
+                let mut w2 = w.clone();
+                w2.push(a);
+                next.push(w2);
+            }
+        }
+        words.extend(next.iter().cloned());
+        frontier = next;
+    }
+    words
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Display output re-parses to the same AST.
+    #[test]
+    fn display_parse_round_trip(regex in regex_strategy()) {
+        let printed = regex.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("{printed:?}: {e}"));
+        prop_assert_eq!(regex, reparsed);
+    }
+
+    /// NFA, raw DFA, and minimal DFA accept exactly the same words
+    /// (up to length 5 over the query alphabet).
+    #[test]
+    fn nfa_dfa_minimal_equivalence(regex in regex_strategy()) {
+        let (nfa, dfa, min, labels) = compile(&regex);
+        let alphabet: Vec<Label> = regex
+            .alphabet()
+            .into_iter()
+            .map(|n| labels.get(n).unwrap())
+            .collect();
+        if alphabet.len() > 2 {
+            // Keep the word universe small.
+            return Ok(());
+        }
+        for word in all_words(&alphabet, 5) {
+            let n = nfa.accepts(&word);
+            prop_assert_eq!(n, dfa.accepts(&word), "raw DFA diverges on {:?}", word);
+            prop_assert_eq!(n, min.accepts(&word), "minimal DFA diverges on {:?}", word);
+        }
+    }
+
+    /// Minimization never increases the state count and is idempotent.
+    #[test]
+    fn minimization_shrinks_and_is_idempotent(regex in regex_strategy()) {
+        let (_, dfa, min, _) = compile(&regex);
+        prop_assert!(min.n_states() <= dfa.n_states().max(1));
+        let again = minimize(&min);
+        prop_assert_eq!(again.n_states(), min.n_states());
+    }
+
+    /// Containment is reflexive and transitive on every compiled DFA.
+    #[test]
+    fn containment_is_a_preorder(regex in regex_strategy()) {
+        let (_, _, min, _) = compile(&regex);
+        let table = ContainmentTable::build(&min);
+        let k = min.n_states();
+        for s in 0..k {
+            prop_assert!(table.contains(StateId(s as u32), StateId(s as u32)));
+        }
+        for s in 0..k {
+            for t in 0..k {
+                for u in 0..k {
+                    let (s, t, u) =
+                        (StateId(s as u32), StateId(t as u32), StateId(u as u32));
+                    if table.contains(s, t) && table.contains(t, u) {
+                        prop_assert!(table.contains(s, u));
+                    }
+                }
+            }
+        }
+    }
+
+    /// `accepts_empty` agrees with running the empty word.
+    #[test]
+    fn epsilon_agreement(regex in regex_strategy()) {
+        let (nfa, _, min, _) = compile(&regex);
+        prop_assert_eq!(min.accepts_empty(), nfa.accepts(&[]));
+    }
+
+    /// Every state of a minimized DFA (except possibly the start) is
+    /// useful: reachable and co-reachable.
+    #[test]
+    fn minimized_dfa_is_trim(regex in regex_strategy()) {
+        let (_, _, min, _) = compile(&regex);
+        let n = min.n_states();
+        // Reachability from start.
+        let mut reach = vec![false; n];
+        let mut stack = vec![min.start()];
+        reach[min.start().index()] = true;
+        while let Some(s) = stack.pop() {
+            for &l in min.alphabet() {
+                if let Some(t) = min.next(s, l) {
+                    if !reach[t.index()] {
+                        reach[t.index()] = true;
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+        for (i, &r) in reach.iter().enumerate() {
+            prop_assert!(r, "state s{i} unreachable");
+        }
+        // Co-reachability.
+        for s in 0..n {
+            let s = StateId(s as u32);
+            if s == min.start() {
+                continue;
+            }
+            let mut seen = vec![false; n];
+            let mut stack = vec![s];
+            seen[s.index()] = true;
+            let mut ok = min.is_accepting(s);
+            while let Some(q) = stack.pop() {
+                for &l in min.alphabet() {
+                    if let Some(t) = min.next(q, l) {
+                        if !seen[t.index()] {
+                            seen[t.index()] = true;
+                            ok = ok || min.is_accepting(t);
+                            stack.push(t);
+                        }
+                    }
+                }
+            }
+            prop_assert!(ok, "state {s} is dead");
+        }
+    }
+}

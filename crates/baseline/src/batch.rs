@@ -1,0 +1,166 @@
+//! Batch RPQ evaluation under arbitrary path semantics (§3, "Batch
+//! Algorithm").
+//!
+//! There is a path `x ⇝ y` in `G` with label in `L(R)` iff there is a
+//! path in the product graph `P_{G,A}` from `(x, s0)` to `(y, s_f)` for
+//! some final `s_f`. The batch algorithm BFSes the product graph from
+//! every `(x, s0)`, giving `O(n · m · k²)` total.
+
+use srpq_automata::Dfa;
+use srpq_common::{FxHashSet, ResultPair, StateId, Timestamp, VertexId};
+use srpq_graph::WindowGraph;
+use std::collections::VecDeque;
+
+/// All pairs `(x, y)` connected in the snapshot `G_{W,τ}` (edges with
+/// `ts > watermark`) by a path with label in `L(R)` — arbitrary path
+/// semantics. Pairs `(x, x)` via the empty path are *not* reported (the
+/// streaming engines share this convention; see DESIGN.md).
+pub fn evaluate_arbitrary(
+    graph: &WindowGraph,
+    watermark: Timestamp,
+    dfa: &Dfa,
+) -> FxHashSet<ResultPair> {
+    let mut results = FxHashSet::default();
+    for x in graph.vertices(watermark) {
+        collect_from(graph, watermark, dfa, x, &mut results);
+    }
+    results
+}
+
+/// Single-source variant: all `y` reachable from `x` via an accepting
+/// path, as `(x, y)` pairs added to fresh set.
+pub fn evaluate_arbitrary_from(
+    graph: &WindowGraph,
+    watermark: Timestamp,
+    dfa: &Dfa,
+    x: VertexId,
+) -> FxHashSet<ResultPair> {
+    let mut results = FxHashSet::default();
+    collect_from(graph, watermark, dfa, x, &mut results);
+    results
+}
+
+fn collect_from(
+    graph: &WindowGraph,
+    watermark: Timestamp,
+    dfa: &Dfa,
+    x: VertexId,
+    results: &mut FxHashSet<ResultPair>,
+) {
+    let s0 = dfa.start();
+    let mut visited: FxHashSet<(VertexId, StateId)> = FxHashSet::default();
+    let mut queue: VecDeque<(VertexId, StateId)> = VecDeque::new();
+    visited.insert((x, s0));
+    queue.push_back((x, s0));
+    while let Some((v, s)) = queue.pop_front() {
+        for e in graph.out_edges(v, watermark) {
+            if let Some(t) = dfa.next(s, e.label) {
+                if visited.insert((e.other, t)) {
+                    if dfa.is_accepting(t) {
+                        results.insert(ResultPair::new(x, e.other));
+                    }
+                    queue.push_back((e.other, t));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srpq_automata::CompiledQuery;
+    use srpq_common::{Label, LabelInterner};
+
+    const NEG: Timestamp = Timestamp(i64::MIN);
+
+    fn graph_from(edges: &[(u32, u32, Label)]) -> WindowGraph {
+        let mut g = WindowGraph::new();
+        for (i, &(u, v, l)) in edges.iter().enumerate() {
+            g.insert(VertexId(u), VertexId(v), l, Timestamp(i as i64 + 1));
+        }
+        g
+    }
+
+    fn compile(q: &str) -> (CompiledQuery, LabelInterner) {
+        let mut labels = LabelInterner::new();
+        let cq = CompiledQuery::compile(q, &mut labels).unwrap();
+        (cq, labels)
+    }
+
+    #[test]
+    fn figure_1_snapshot() {
+        // Snapshot G_{W,18} of Figure 1(b), query Q1.
+        let (cq, l) = compile("(follows mentions)+");
+        let f = l.get("follows").unwrap();
+        let m = l.get("mentions").unwrap();
+        // x=0 y=1 z=2 u=3 v=4 w=5
+        let g = graph_from(&[
+            (1, 3, m), // y→u
+            (0, 2, f), // x→z
+            (3, 4, f), // u→v
+            (2, 5, m), // z→w
+            (0, 1, f), // x→y
+            (2, 3, m), // z→u
+            (3, 0, m), // u→x
+            (4, 1, m), // v→y
+        ]);
+        let res = evaluate_arbitrary(&g, NEG, cq.dfa());
+        // (x,u) via x→y→u; (x,y) via x→y→u→v→y; (x,w) via x→z→w; ...
+        assert!(res.contains(&ResultPair::new(VertexId(0), VertexId(3))));
+        assert!(res.contains(&ResultPair::new(VertexId(0), VertexId(1))));
+        assert!(res.contains(&ResultPair::new(VertexId(0), VertexId(5))));
+        // y→u is mentions: no follows-first path from y.
+        assert!(!res.contains(&ResultPair::new(VertexId(1), VertexId(3))));
+    }
+
+    #[test]
+    fn empty_graph_empty_results() {
+        let (cq, _) = compile("a+");
+        let g = WindowGraph::new();
+        assert!(evaluate_arbitrary(&g, NEG, cq.dfa()).is_empty());
+    }
+
+    #[test]
+    fn watermark_excludes_old_edges() {
+        let (cq, l) = compile("a b");
+        let a = l.get("a").unwrap();
+        let b = l.get("b").unwrap();
+        let mut g = WindowGraph::new();
+        g.insert(VertexId(0), VertexId(1), a, Timestamp(1));
+        g.insert(VertexId(1), VertexId(2), b, Timestamp(10));
+        assert_eq!(evaluate_arbitrary(&g, NEG, cq.dfa()).len(), 1);
+        assert!(evaluate_arbitrary(&g, Timestamp(5), cq.dfa()).is_empty());
+    }
+
+    #[test]
+    fn single_source_matches_full() {
+        let (cq, l) = compile("a+");
+        let a = l.get("a").unwrap();
+        let g = graph_from(&[(0, 1, a), (1, 2, a), (2, 0, a), (3, 1, a)]);
+        let full = evaluate_arbitrary(&g, NEG, cq.dfa());
+        for x in 0..4u32 {
+            let single = evaluate_arbitrary_from(&g, NEG, cq.dfa(), VertexId(x));
+            for p in &single {
+                assert!(full.contains(p));
+            }
+            let expected: FxHashSet<_> = full
+                .iter()
+                .filter(|p| p.src == VertexId(x))
+                .copied()
+                .collect();
+            assert_eq!(single, expected);
+        }
+    }
+
+    #[test]
+    fn cycle_reaches_self() {
+        let (cq, l) = compile("a+");
+        let a = l.get("a").unwrap();
+        let g = graph_from(&[(0, 1, a), (1, 0, a)]);
+        let res = evaluate_arbitrary(&g, NEG, cq.dfa());
+        assert!(res.contains(&ResultPair::new(VertexId(0), VertexId(0))));
+        assert!(res.contains(&ResultPair::new(VertexId(1), VertexId(1))));
+        assert_eq!(res.len(), 4);
+    }
+}

@@ -1,0 +1,26 @@
+//! Batch RPQ baselines.
+//!
+//! Three roles in the reproduction:
+//!
+//! 1. **Correctness oracles**: [`batch::evaluate_arbitrary`] (product
+//!    graph BFS) and [`simple::evaluate_simple_bruteforce`] (exhaustive
+//!    simple-path DFS) define ground truth for the streaming engines'
+//!    result sets; the integration and property tests compare against
+//!    them on every prefix snapshot.
+//! 2. **Batch comparators**: [`simple::evaluate_simple_mw`] implements
+//!    the Mendelzon–Wood marking DFS the paper's §4 builds on.
+//! 3. **The Virtuoso emulation** (Figure 11): [`persistent::ReevalEngine`]
+//!    re-evaluates the batch algorithm on the window content for every
+//!    arriving tuple — exactly the middle-layer emulation of §5.6 — to
+//!    quantify the benefit of incremental maintenance.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod batch;
+pub mod persistent;
+pub mod simple;
+
+pub use batch::{evaluate_arbitrary, evaluate_arbitrary_from};
+pub use persistent::ReevalEngine;
+pub use simple::{evaluate_simple_bruteforce, evaluate_simple_mw};

@@ -1,0 +1,233 @@
+//! Batch RPQ evaluation under simple path semantics.
+//!
+//! Two implementations with different roles:
+//!
+//! * [`evaluate_simple_bruteforce`] — exhaustive DFS over simple paths.
+//!   Worst-case exponential, but unconditionally correct: this is the
+//!   ground-truth oracle the property tests compare both the streaming
+//!   RSPQ engine and the Mendelzon–Wood DFS against.
+//! * [`evaluate_simple_mw`] — the Mendelzon–Wood marking DFS (ref. 54,
+//!   §4 "Batch Algorithm"): prunes re-visits of marked product nodes,
+//!   with markings withheld below detected conflicts. `O(n·m)` per
+//!   source in the absence of conflicts.
+
+use srpq_automata::{CompiledQuery, Dfa};
+use srpq_common::{FxHashSet, ResultPair, StateId, Timestamp, VertexId};
+use srpq_graph::WindowGraph;
+
+/// Exhaustive simple-path evaluation (the oracle). A path is *simple*
+/// if it repeats no vertex; following the paper's examples, a path whose
+/// only repetition is `source = target` (a simple cycle) is **not**
+/// simple — `⟨x, y, u, v, y⟩` is rejected for repeating `y`.
+pub fn evaluate_simple_bruteforce(
+    graph: &WindowGraph,
+    watermark: Timestamp,
+    dfa: &Dfa,
+) -> FxHashSet<ResultPair> {
+    let mut results = FxHashSet::default();
+    for x in graph.vertices(watermark) {
+        let mut on_path: FxHashSet<VertexId> = FxHashSet::default();
+        on_path.insert(x);
+        dfs_brute(graph, watermark, dfa, x, x, dfa.start(), &mut on_path, &mut results);
+    }
+    results
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_brute(
+    graph: &WindowGraph,
+    watermark: Timestamp,
+    dfa: &Dfa,
+    x: VertexId,
+    v: VertexId,
+    s: StateId,
+    on_path: &mut FxHashSet<VertexId>,
+    results: &mut FxHashSet<ResultPair>,
+) {
+    for e in graph.out_edges(v, watermark) {
+        let Some(t) = dfa.next(s, e.label) else { continue };
+        if on_path.contains(&e.other) {
+            continue; // would repeat a vertex
+        }
+        if dfa.is_accepting(t) {
+            results.insert(ResultPair::new(x, e.other));
+        }
+        on_path.insert(e.other);
+        dfs_brute(graph, watermark, dfa, x, e.other, t, on_path, results);
+        on_path.remove(&e.other);
+    }
+}
+
+/// The Mendelzon–Wood marking DFS. For each source `x`, DFS the product
+/// graph; a node `(v, t)` is *marked* once its subtree has been fully
+/// explored without conflicts, and marked nodes prune later traversals.
+/// A traversal may revisit a vertex when suffix-language containment
+/// holds (the witness path can be made simple); when containment fails
+/// — a conflict — the extension is dropped and no ancestor gets marked.
+pub fn evaluate_simple_mw(
+    graph: &WindowGraph,
+    watermark: Timestamp,
+    query: &CompiledQuery,
+) -> FxHashSet<ResultPair> {
+    let dfa = query.dfa();
+    let mut results = FxHashSet::default();
+    for x in graph.vertices(watermark) {
+        let mut marked: FxHashSet<(VertexId, StateId)> = FxHashSet::default();
+        let mut path: Vec<(VertexId, StateId)> = vec![(x, dfa.start())];
+        mw_dfs(
+            graph, watermark, query, x, x, dfa.start(), &mut path, &mut marked, &mut results,
+        );
+    }
+    results
+}
+
+/// Returns whether the subtree below `(v, s)` was conflict-free (and
+/// hence `(v, s)` may be marked by the caller).
+#[allow(clippy::too_many_arguments)]
+fn mw_dfs(
+    graph: &WindowGraph,
+    watermark: Timestamp,
+    query: &CompiledQuery,
+    x: VertexId,
+    v: VertexId,
+    s: StateId,
+    path: &mut Vec<(VertexId, StateId)>,
+    marked: &mut FxHashSet<(VertexId, StateId)>,
+    results: &mut FxHashSet<ResultPair>,
+) -> bool {
+    let dfa = query.dfa();
+    let containment = query.containment();
+    let mut clean = true;
+    for e in graph.out_edges(v, watermark) {
+        let Some(t) = dfa.next(s, e.label) else { continue };
+        let w = e.other;
+        if path.iter().any(|&(pv, ps)| pv == w && ps == t) {
+            continue; // product-graph cycle
+        }
+        if let Some(&(_, q)) = path.iter().find(|&&(pv, _)| pv == w) {
+            if !containment.contains(q, t) {
+                // Conflict (Definition 16): cannot justify the re-visit,
+                // and ancestors must not be marked.
+                clean = false;
+                continue;
+            }
+        }
+        if marked.contains(&(w, t)) {
+            continue;
+        }
+        if dfa.is_accepting(t) {
+            results.insert(ResultPair::new(x, w));
+        }
+        path.push((w, t));
+        let sub_clean = mw_dfs(graph, watermark, query, x, w, t, path, marked, results);
+        path.pop();
+        if sub_clean {
+            marked.insert((w, t));
+        } else {
+            clean = false;
+        }
+    }
+    clean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srpq_common::{Label, LabelInterner};
+
+    const NEG: Timestamp = Timestamp(i64::MIN);
+
+    fn graph_from(edges: &[(u32, u32, Label)]) -> WindowGraph {
+        let mut g = WindowGraph::new();
+        for (i, &(u, v, l)) in edges.iter().enumerate() {
+            g.insert(VertexId(u), VertexId(v), l, Timestamp(i as i64 + 1));
+        }
+        g
+    }
+
+    fn compile(q: &str) -> (CompiledQuery, LabelInterner) {
+        let mut labels = LabelInterner::new();
+        let cq = CompiledQuery::compile(q, &mut labels).unwrap();
+        (cq, labels)
+    }
+
+    #[test]
+    fn brute_force_rejects_vertex_repetition() {
+        // Figure 1 motivating case: only witness for (x, y) repeats y.
+        let (cq, l) = compile("(follows mentions)+");
+        let f = l.get("follows").unwrap();
+        let m = l.get("mentions").unwrap();
+        // x=0 y=1 u=2 v=3: x→y→u→v→y.
+        let g = graph_from(&[(0, 1, f), (1, 2, m), (2, 3, f), (3, 1, m)]);
+        let res = evaluate_simple_bruteforce(&g, NEG, cq.dfa());
+        assert!(res.contains(&ResultPair::new(VertexId(0), VertexId(2))));
+        assert!(!res.contains(&ResultPair::new(VertexId(0), VertexId(1))));
+    }
+
+    #[test]
+    fn brute_force_finds_alternative_simple_path() {
+        // Example 4.2: adding x→z→u makes (x, y) answerable via the
+        // simple path x→z→u→v→y.
+        let (cq, l) = compile("(follows mentions)+");
+        let f = l.get("follows").unwrap();
+        let m = l.get("mentions").unwrap();
+        // x=0 y=1 z=2 u=3 v=4
+        let g = graph_from(&[
+            (0, 1, f),
+            (1, 3, m),
+            (3, 4, f),
+            (4, 1, m),
+            (0, 2, f),
+            (2, 3, m),
+        ]);
+        let res = evaluate_simple_bruteforce(&g, NEG, cq.dfa());
+        assert!(res.contains(&ResultPair::new(VertexId(0), VertexId(1))));
+    }
+
+    #[test]
+    fn mw_matches_bruteforce_on_examples() {
+        for (q, edges) in [
+            ("a+", vec![(0u32, 1u32, 0u32), (1, 2, 0), (2, 0, 0), (1, 3, 0)]),
+            ("a b*", vec![(0, 1, 0), (1, 2, 1), (2, 3, 1), (3, 1, 1)]),
+            ("(a b)+", vec![(0, 1, 0), (1, 2, 1), (2, 3, 0), (3, 0, 1), (0, 4, 0), (4, 2, 1)]),
+        ] {
+            let mut labels = LabelInterner::new();
+            labels.intern("a");
+            labels.intern("b");
+            let cq = CompiledQuery::compile(q, &mut labels).unwrap();
+            let g = graph_from(
+                &edges
+                    .iter()
+                    .map(|&(u, v, l)| (u, v, Label(l)))
+                    .collect::<Vec<_>>(),
+            );
+            let brute = evaluate_simple_bruteforce(&g, NEG, cq.dfa());
+            let mw = evaluate_simple_mw(&g, NEG, &cq);
+            assert_eq!(brute, mw, "query {q}");
+        }
+    }
+
+    #[test]
+    fn simple_subset_of_arbitrary() {
+        let (cq, l) = compile("(a | b)+");
+        let a = l.get("a").unwrap();
+        let b = l.get("b").unwrap();
+        let g = graph_from(&[(0, 1, a), (1, 2, b), (2, 0, a), (2, 3, b), (3, 2, a)]);
+        let simple = evaluate_simple_bruteforce(&g, NEG, cq.dfa());
+        let arbitrary = crate::batch::evaluate_arbitrary(&g, NEG, cq.dfa());
+        for p in &simple {
+            assert!(arbitrary.contains(p), "simple ⊄ arbitrary at {p}");
+        }
+    }
+
+    #[test]
+    fn acyclic_graph_semantics_coincide() {
+        let (cq, l) = compile("a+");
+        let a = l.get("a").unwrap();
+        // A DAG: every path is simple.
+        let g = graph_from(&[(0, 1, a), (0, 2, a), (1, 3, a), (2, 3, a), (3, 4, a)]);
+        let simple = evaluate_simple_bruteforce(&g, NEG, cq.dfa());
+        let arbitrary = crate::batch::evaluate_arbitrary(&g, NEG, cq.dfa());
+        assert_eq!(simple, arbitrary);
+    }
+}

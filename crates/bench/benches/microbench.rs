@@ -1,0 +1,166 @@
+//! Criterion microbenches: the per-operation costs behind the
+//! experiment harness numbers.
+//!
+//! * `tuple_insert/*` — per-tuple RAPQ cost on each dataset family
+//!   (the quantity Figure 4 aggregates);
+//! * `expiry` — one full expiry pass (Figure 6b's unit of work);
+//! * `compile` — query registration: regex → minimal DFA + containment
+//!   table;
+//! * `generators` — dataset generation throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use srpq_automata::CompiledQuery;
+use srpq_common::LabelInterner;
+use srpq_core::engine::{Engine, PathSemantics};
+use srpq_core::sink::NullSink;
+use srpq_core::EngineConfig;
+use srpq_datagen::{ldbc, so, yago, Dataset, DatasetKind};
+use srpq_graph::WindowPolicy;
+
+fn small_dataset(kind: DatasetKind) -> Dataset {
+    match kind {
+        DatasetKind::So => so::generate(&so::SoConfig {
+            n_users: 500,
+            n_edges: 10_000,
+            duration: 20_000,
+            seed: 1,
+            preferential: 0.7,
+        }),
+        DatasetKind::Ldbc => ldbc::generate(&ldbc::LdbcConfig {
+            n_events: 8_000,
+            seed_persons: 200,
+            duration: 20_000,
+            seed: 1,
+        }),
+        DatasetKind::Yago => yago::generate(&yago::YagoConfig {
+            n_edges: 10_000,
+            n_vertices: 3_000,
+            n_labels: 100,
+            label_skew: 1.1,
+            vertex_skew: 0.6,
+            seed: 1,
+        }),
+    }
+}
+
+fn query_for(kind: DatasetKind) -> &'static str {
+    match kind {
+        DatasetKind::So => "a2q c2a*",
+        DatasetKind::Ldbc => "knows replyOf*",
+        DatasetKind::Yago => "happenedIn hasCapital*",
+    }
+}
+
+fn bench_tuple_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tuple_insert");
+    group.sample_size(10);
+    for (kind, name) in [
+        (DatasetKind::So, "so"),
+        (DatasetKind::Ldbc, "ldbc"),
+        (DatasetKind::Yago, "yago"),
+    ] {
+        let ds = small_dataset(kind);
+        let span = ds.time_span().map(|(a, b)| b - a).unwrap_or(1).max(1);
+        let window = WindowPolicy::new((span / 5).max(5), (span / 50).max(1));
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut labels = ds.labels.clone();
+                    let q = CompiledQuery::compile(query_for(kind), &mut labels).unwrap();
+                    Engine::new(
+                        q,
+                        EngineConfig::with_window(window),
+                        PathSemantics::Arbitrary,
+                    )
+                },
+                |mut engine| {
+                    let mut sink = NullSink;
+                    for &t in &ds.tuples {
+                        engine.process(t, &mut sink);
+                    }
+                    engine
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_expiry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_management");
+    group.sample_size(10);
+    let ds = small_dataset(DatasetKind::Yago);
+    let span = ds.time_span().map(|(a, b)| b - a).unwrap_or(1).max(1);
+    // Huge slide: no automatic expiry while loading, so the measured
+    // pass does all the work at once.
+    let window = WindowPolicy::new((span / 5).max(5), span * 2);
+    group.bench_function("expiry_pass", |b| {
+        b.iter_batched(
+            || {
+                let mut labels = ds.labels.clone();
+                let q =
+                    CompiledQuery::compile(query_for(DatasetKind::Yago), &mut labels).unwrap();
+                let mut engine = Engine::new(
+                    q,
+                    EngineConfig::with_window(window),
+                    PathSemantics::Arbitrary,
+                );
+                let mut sink = NullSink;
+                for &t in &ds.tuples {
+                    engine.process(t, &mut sink);
+                }
+                engine
+            },
+            |mut engine| {
+                let mut sink = NullSink;
+                engine.expire_now(&mut sink);
+                engine
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for (name, expr) in [
+        ("q1_star", "a*"),
+        ("q3_two_stars", "a b* c*"),
+        ("q9_alt_plus", "(a | b | c)+"),
+        ("large", "(a | b) c* (d e)+ f? (g | h | i)*"),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut labels = LabelInterner::new();
+                CompiledQuery::compile(expr, &mut labels).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.bench_function("so_10k", |b| {
+        b.iter(|| small_dataset(DatasetKind::So))
+    });
+    group.bench_function("ldbc_8k_events", |b| {
+        b.iter(|| small_dataset(DatasetKind::Ldbc))
+    });
+    group.bench_function("yago_10k", |b| {
+        b.iter(|| small_dataset(DatasetKind::Yago))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tuple_insert,
+    bench_expiry,
+    bench_compile,
+    bench_generators
+);
+criterion_main!(benches);

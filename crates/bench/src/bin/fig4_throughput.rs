@@ -1,0 +1,38 @@
+//! Figure 4: throughput and tail latency of Algorithm RAPQ for all
+//! queries on all three dataset families.
+//!
+//! Paper shape: LDBC fastest (tens of thousands edges/s), Yago next,
+//! SO slowest (hundreds of edges/s for the heavy queries); Q11 fastest
+//! everywhere; Q3/Q6 slowest on SO.
+
+use srpq_bench::{build_dataset, default_window, make_engine, run_engine, scale_from_args};
+use srpq_core::engine::PathSemantics;
+use srpq_datagen::{queries_for, DatasetKind};
+use std::time::Duration;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("# Figure 4: RAPQ throughput & p99 latency (scale {scale})");
+    println!("dataset,query,relevant_tuples,throughput_eps,mean_us,p99_us,results,completed");
+    for (kind, name) in [
+        (DatasetKind::Yago, "yago"),
+        (DatasetKind::Ldbc, "ldbc"),
+        (DatasetKind::So, "so"),
+    ] {
+        let ds = build_dataset(kind, scale);
+        let window = default_window(kind, &ds);
+        for (qname, expr) in queries_for(kind) {
+            let mut engine = make_engine(&expr, &ds, window, PathSemantics::Arbitrary);
+            let r = run_engine(&mut engine, &ds.tuples, Duration::from_secs(120));
+            println!(
+                "{name},{qname},{},{:.0},{:.1},{:.1},{},{}",
+                r.tuples_relevant,
+                r.throughput(),
+                r.mean_us(),
+                r.p99_us(),
+                r.results,
+                r.completed
+            );
+        }
+    }
+}

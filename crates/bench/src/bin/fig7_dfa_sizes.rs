@@ -1,0 +1,29 @@
+//! Figure 7: number of states k in the minimal DFA vs query size |Q_R|
+//! for the 100 gMark-generated synthetic RPQs.
+//!
+//! Paper shape: k grows roughly linearly with |Q_R| (2–12 states over
+//! sizes 2–18) — no exponential DFA blow-up for practical queries.
+
+use srpq_bench::gmark_fixture;
+use srpq_datagen::gmark;
+use srpq_automata::CompiledQuery;
+use srpq_common::LabelInterner;
+
+fn main() {
+    let (ds, queries) = gmark_fixture(1, 100);
+    println!("# Figure 7: DFA size vs query size for 100 gMark RPQs");
+    println!("query_size,k,expr");
+    let mut max_k = 0usize;
+    for q in &queries {
+        let mut labels = ds.labels.clone();
+        let compiled = CompiledQuery::compile(&q.expr, &mut labels).expect("query compiles");
+        max_k = max_k.max(compiled.k());
+        println!("{},{},\"{}\"", q.size, compiled.k(), q.expr);
+    }
+    eprintln!("# max k observed: {max_k}");
+    // Sanity: the claim is polynomial growth; fail loudly if a tiny
+    // workload query exploded.
+    let _ = gmark::generate_queries(&["a"], 1, 2, 2, 1);
+    let _ = LabelInterner::new();
+    assert!(max_k <= 64, "unexpected DFA explosion: k = {max_k}");
+}

@@ -1,0 +1,69 @@
+//! Table 1: empirical check of the amortized complexity bounds —
+//! O(n·k²) per insertion, O(n²·k) per deletion.
+//!
+//! We sweep the number of distinct vertices n in the window (by scaling
+//! the Yago-like stream's vertex universe at a fixed edge count) and
+//! report the mean per-tuple cost of the insert path and of the delete
+//! path. The insert cost should grow sub-linearly to linearly in n; the
+//! delete path (which may traverse and reconnect whole trees) grows
+//! faster, consistent with the n² bound being loose in practice (the
+//! paper itself notes the expiry analysis "is not tight").
+
+use srpq_bench::{make_engine, run_engine, scale_from_args};
+use srpq_core::engine::PathSemantics;
+use srpq_datagen::{inject_deletions, yago};
+use srpq_graph::WindowPolicy;
+use std::time::Duration;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("# Table 1: per-tuple cost scaling with window vertex count (scale {scale})");
+    println!("# (edges scale with vertices so the average degree stays constant;");
+    println!("#  otherwise falling density masks the n-dependence)");
+    println!("mode,n_vertices,window_nodes,mean_us,p99_us");
+    for mult in [1u32, 2, 4, 8] {
+        let n_edges = (10_000.0 * scale) as usize * mult as usize;
+        let ds = yago::generate(&yago::YagoConfig {
+            n_edges,
+            n_vertices: 1_000 * mult,
+            n_labels: 20,
+            label_skew: 0.8,
+            vertex_skew: 0.3,
+            seed: 0x7ab1e,
+        });
+        let window = WindowPolicy::new((n_edges as i64 / 4).max(10), (n_edges as i64 / 40).max(1));
+        // Insert path: a 2-star query exercising the traversal.
+        let mut engine = make_engine(
+            "happenedIn hasCapital*",
+            &ds,
+            window,
+            PathSemantics::Arbitrary,
+        );
+        let r = run_engine(&mut engine, &ds.tuples, Duration::from_secs(60));
+        println!(
+            "insert,{},{},{:.2},{:.1}",
+            1_000 * mult,
+            r.peak_nodes,
+            r.mean_us(),
+            r.p99_us()
+        );
+
+        // Delete path: same stream with 10% negative tuples; report the
+        // marginal cost attributable to deletions.
+        let stream = inject_deletions(&ds.tuples, 0.10, 0x7ab1e);
+        let mut engine = make_engine(
+            "happenedIn hasCapital*",
+            &ds,
+            window,
+            PathSemantics::Arbitrary,
+        );
+        let rd = run_engine(&mut engine, &stream, Duration::from_secs(60));
+        println!(
+            "insert+delete,{},{},{:.2},{:.1}",
+            1_000 * mult,
+            rd.peak_nodes,
+            rd.mean_us(),
+            rd.p99_us()
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use crate::streamfile;
+use srpq_automata::CompiledQuery;
+use srpq_common::{LabelInterner, LatencyHistogram, StreamTuple};
+use srpq_core::engine::{Engine, PathSemantics};
+use srpq_core::sink::{CollectSink, CountSink};
+use srpq_core::EngineConfig;
+use srpq_datagen::{gmark, ldbc, so, yago, Dataset};
+use srpq_graph::WindowPolicy;
+use std::path::Path;
+use std::time::Instant;
+
+const USAGE: &str = "usage:
+  srpq gen --dataset so|ldbc|yago|gmark --out FILE [--edges N] [--seed S]
+  srpq info --stream FILE
+  srpq explain QUERY
+  srpq run --query QUERY --stream FILE [--window W] [--slide B]
+           [--semantics arbitrary|simple] [--print-results] [--limit N]";
+
+/// Dispatches a command line.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv);
+    match args.positional.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args),
+        Some("info") => cmd_info(&args),
+        Some("explain") => cmd_explain(&args),
+        Some("run") => cmd_run(&args),
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+        None => Err(USAGE.to_string()),
+    }
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let kind = args.require("dataset")?;
+    let out = args.require("out")?.to_string();
+    let edges: usize = args.get_num("edges", 50_000usize)?;
+    let seed: u64 = args.get_num("seed", 42u64)?;
+    let ds: Dataset = match kind {
+        "so" => so::generate(&so::SoConfig {
+            n_users: (edges / 20).max(10) as u32,
+            n_edges: edges,
+            duration: (edges as i64) * 2,
+            seed,
+            preferential: 0.7,
+        }),
+        "ldbc" => ldbc::generate(&ldbc::LdbcConfig {
+            n_events: (edges * 2) / 3,
+            seed_persons: (edges / 50).max(10) as u32,
+            duration: (edges as i64) * 2,
+            seed,
+        }),
+        "yago" => yago::generate(&yago::YagoConfig {
+            n_edges: edges,
+            n_vertices: (edges / 3).max(10) as u32,
+            n_labels: 100,
+            label_skew: 1.1,
+            vertex_skew: 0.6,
+            seed,
+        }),
+        "gmark" => {
+            let scale = ((edges as f64 / 15_000.0).sqrt().ceil() as u32).max(1);
+            gmark::generate(&gmark::GmarkSchema::ldbc_like(scale), seed)
+        }
+        other => return Err(format!("unknown dataset {other:?}")),
+    };
+    streamfile::save(&ds, Path::new(&out))?;
+    println!(
+        "wrote {}: {} tuples, {} labels, {} vertices",
+        out,
+        ds.len(),
+        ds.labels.len(),
+        ds.n_vertices
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let path = args.require("stream")?.to_string();
+    let (labels, tuples) = streamfile::load(Path::new(&path))?;
+    let (first, last) = match (tuples.first(), tuples.last()) {
+        (Some(a), Some(b)) => (a.ts.0, b.ts.0),
+        _ => (0, 0),
+    };
+    let deletions = tuples.iter().filter(|t| !t.is_insert()).count();
+    println!("stream:    {path}");
+    println!("tuples:    {} ({} deletions)", tuples.len(), deletions);
+    println!("labels:    {}", labels.len());
+    println!("timespan:  [{first}, {last}]");
+    let mut counts: Vec<(usize, String)> = Vec::new();
+    for (label, name) in labels.iter() {
+        let c = tuples.iter().filter(|t| t.label == label).count();
+        counts.push((c, name.to_string()));
+    }
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    println!("top labels:");
+    for (c, name) in counts.iter().take(10) {
+        println!("  {name:<24} {c}");
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let query = args
+        .positional
+        .get(1)
+        .cloned()
+        .or_else(|| args.get("query").map(str::to_string))
+        .ok_or("explain needs a query argument")?;
+    let mut labels = LabelInterner::new();
+    let compiled = CompiledQuery::compile(&query, &mut labels).map_err(|e| e.to_string())?;
+    println!("query:       {}", compiled.regex());
+    println!("size |Q|:    {}", compiled.regex().size());
+    println!("recursive:   {}", compiled.regex().is_recursive());
+    println!("DFA states:  {}", compiled.k());
+    println!("containment: {}", compiled.has_containment_property());
+    println!("accepts ε:   {}", compiled.dfa().accepts_empty());
+    println!("\ntransitions (minimal DFA):");
+    for (s, l, t) in compiled.dfa().transitions() {
+        let marker = |x: srpq_common::StateId| {
+            let mut m = String::new();
+            if x == compiled.dfa().start() {
+                m.push('^');
+            }
+            if compiled.dfa().is_accepting(x) {
+                m.push('*');
+            }
+            m
+        };
+        println!(
+            "  s{}{} --{}--> s{}{}",
+            s.0,
+            marker(s),
+            labels.resolve(l).unwrap_or("?"),
+            t.0,
+            marker(t),
+        );
+    }
+    println!("\ndot:");
+    println!("{}", dfa_dot(&compiled, &labels));
+    Ok(())
+}
+
+/// Renders the DFA as Graphviz dot.
+fn dfa_dot(q: &CompiledQuery, labels: &LabelInterner) -> String {
+    let dfa = q.dfa();
+    let mut out = String::from("digraph dfa {\n  rankdir=LR;\n  start [shape=point];\n");
+    for s in 0..dfa.n_states() {
+        let s = srpq_common::StateId(s as u32);
+        let shape = if dfa.is_accepting(s) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        out.push_str(&format!("  s{} [shape={shape}];\n", s.0));
+    }
+    out.push_str(&format!("  start -> s{};\n", dfa.start().0));
+    for (s, l, t) in dfa.transitions() {
+        out.push_str(&format!(
+            "  s{} -> s{} [label=\"{}\"];\n",
+            s.0,
+            t.0,
+            labels.resolve(l).unwrap_or("?")
+        ));
+    }
+    out.push('}');
+    out
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let query_src = args.require("query")?.to_string();
+    let path = args.require("stream")?.to_string();
+    let (mut labels, tuples) = streamfile::load(Path::new(&path))?;
+    let span = match (tuples.first(), tuples.last()) {
+        (Some(a), Some(b)) => (b.ts.0 - a.ts.0).max(1),
+        _ => 1,
+    };
+    let window: i64 = args.get_num("window", span / 10)?;
+    let slide: i64 = args.get_num("slide", (window / 10).max(1))?;
+    let semantics = match args.get("semantics").unwrap_or("arbitrary") {
+        "arbitrary" => PathSemantics::Arbitrary,
+        "simple" => PathSemantics::Simple,
+        other => return Err(format!("unknown semantics {other:?}")),
+    };
+    let limit: usize = args.get_num("limit", usize::MAX)?;
+
+    // Check the query speaks the stream's vocabulary *before* compiling
+    // (compilation interns missing labels).
+    let parsed = srpq_automata::parse(&query_src).map_err(|e| e.to_string())?;
+    for name in parsed.alphabet() {
+        if labels.get(name).is_none() {
+            return Err(format!("label {name:?} does not occur in the stream"));
+        }
+    }
+    let query = CompiledQuery::from_regex(parsed, &mut labels);
+    let mut engine = Engine::new(
+        query,
+        EngineConfig::with_window(WindowPolicy::new(window.max(1), slide.max(1))),
+        semantics,
+    );
+
+    let print = args.flag("print-results");
+    let mut histogram = LatencyHistogram::new();
+    let started = Instant::now();
+    let mut relevant = 0u64;
+
+    if print {
+        let mut sink = CollectSink::default();
+        for (i, &t) in tuples.iter().enumerate() {
+            if i >= limit {
+                break;
+            }
+            run_one(&mut engine, t, &mut sink, &mut histogram, &mut relevant);
+        }
+        for &(p, ts) in sink.emitted() {
+            println!("[{ts}] + ({}, {})", p.src.0, p.dst.0);
+        }
+    } else {
+        let mut sink = CountSink::default();
+        for (i, &t) in tuples.iter().enumerate() {
+            if i >= limit {
+                break;
+            }
+            run_one(&mut engine, t, &mut sink, &mut histogram, &mut relevant);
+        }
+    }
+    let elapsed = started.elapsed();
+    let stats = engine.stats();
+    eprintln!("--");
+    eprintln!("query:        {query_src}");
+    eprintln!("semantics:    {semantics:?}  window |W|={window} slide β={slide}");
+    eprintln!(
+        "tuples:       {} total, {} relevant, {} discarded",
+        tuples.len().min(limit),
+        relevant,
+        stats.tuples_discarded
+    );
+    eprintln!("results:      {}", engine.result_count());
+    eprintln!(
+        "throughput:   {:.0} relevant edges/s",
+        relevant as f64 / elapsed.as_secs_f64()
+    );
+    eprintln!(
+        "latency:      mean {:.1}us p99 {:.1}us",
+        histogram.mean() / 1e3,
+        histogram.p99() as f64 / 1e3
+    );
+    eprintln!("delta index:  {:?}", engine.index_size());
+    eprintln!(
+        "conflicts:    {} detected, {} unmarked",
+        stats.conflicts_detected, stats.nodes_unmarked
+    );
+    Ok(())
+}
+
+fn run_one<S: srpq_core::sink::ResultSink>(
+    engine: &mut Engine,
+    t: StreamTuple,
+    sink: &mut S,
+    histogram: &mut LatencyHistogram,
+    relevant: &mut u64,
+) {
+    if engine.query().dfa().knows_label(t.label) {
+        *relevant += 1;
+        let t0 = Instant::now();
+        engine.process(t, sink);
+        histogram.record(t0.elapsed().as_nanos() as u64);
+    } else {
+        engine.process(t, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn no_command_prints_usage() {
+        let err = dispatch(&[]).unwrap_err();
+        assert!(err.contains("usage"));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn explain_runs() {
+        dispatch(&argv(&["explain", "(follows mentions)+"])).unwrap();
+        assert!(dispatch(&argv(&["explain", "(broken"])).is_err());
+    }
+
+    #[test]
+    fn gen_info_run_round_trip() {
+        let dir = std::env::temp_dir().join("srpq-cli-cmds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.srpq");
+        let path_s = path.to_str().unwrap();
+        dispatch(&argv(&[
+            "gen", "--dataset", "so", "--out", path_s, "--edges", "2000", "--seed", "7",
+        ]))
+        .unwrap();
+        dispatch(&argv(&["info", "--stream", path_s])).unwrap();
+        dispatch(&argv(&[
+            "run", "--query", "a2q c2a*", "--stream", path_s, "--limit", "1500",
+        ]))
+        .unwrap();
+        // Unknown label is an error.
+        assert!(dispatch(&argv(&[
+            "run", "--query", "nosuchlabel", "--stream", path_s,
+        ]))
+        .is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

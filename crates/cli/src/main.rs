@@ -1,0 +1,29 @@
+//! `srpq` — command-line front-end for streaming RPQ evaluation.
+//!
+//! ```text
+//! srpq gen --dataset so|ldbc|yago|gmark --out FILE [--edges N] [--seed S]
+//! srpq explain QUERY
+//! srpq run --query QUERY --stream FILE [--window W] [--slide B]
+//!          [--semantics arbitrary|simple] [--print-results]
+//! srpq info --stream FILE
+//! ```
+//!
+//! Stream files are the `srpq-common::wire` format: a label-name header
+//! (count + newline-separated names) followed by fixed-width tuples.
+
+mod args;
+mod commands;
+mod streamfile;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("srpq: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Stream-file format: label header + wire-encoded tuples.
+//!
+//! ```text
+//! magic  "SRPQ1\n"
+//! u32le  label count
+//! label names, one per line (id order)
+//! wire-encoded tuples (srpq_common::wire, 25 bytes each)
+//! ```
+
+use bytes::{Buf, BufMut, BytesMut};
+use srpq_common::{wire, LabelInterner, StreamTuple};
+use srpq_datagen::Dataset;
+use std::fs;
+use std::path::Path;
+
+const MAGIC: &[u8] = b"SRPQ1\n";
+
+/// Serializes a dataset to a stream file.
+pub fn save(ds: &Dataset, path: &Path) -> Result<(), String> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    let mut names = Vec::new();
+    let mut i = 0u32;
+    while let Some(name) = ds.labels.resolve(srpq_common::Label(i)) {
+        names.push(name.to_string());
+        i += 1;
+    }
+    buf.put_u32_le(names.len() as u32);
+    for n in &names {
+        buf.put_slice(n.as_bytes());
+        buf.put_u8(b'\n');
+    }
+    for t in &ds.tuples {
+        wire::encode_tuple(&mut buf, t);
+    }
+    fs::write(path, &buf).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+/// Loads a stream file.
+pub fn load(path: &Path) -> Result<(LabelInterner, Vec<StreamTuple>), String> {
+    let data = fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut buf = &data[..];
+    if buf.remaining() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        return Err("not a SRPQ1 stream file".into());
+    }
+    buf.advance(MAGIC.len());
+    if buf.remaining() < 4 {
+        return Err("truncated header".into());
+    }
+    let n_labels = buf.get_u32_le() as usize;
+    let mut labels = LabelInterner::new();
+    for _ in 0..n_labels {
+        let end = buf
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or("truncated label table")?;
+        let name =
+            std::str::from_utf8(&buf[..end]).map_err(|_| "label name not UTF-8".to_string())?;
+        labels.intern(name);
+        buf.advance(end + 1);
+    }
+    let mut tuples = Vec::with_capacity(buf.remaining() / wire::TUPLE_WIRE_SIZE);
+    while buf.has_remaining() {
+        let t = wire::decode_tuple(&mut buf).ok_or("malformed tuple")?;
+        tuples.push(t);
+    }
+    Ok((labels, tuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srpq_datagen::so;
+
+    #[test]
+    fn round_trip() {
+        let ds = so::generate(&so::SoConfig {
+            n_users: 20,
+            n_edges: 100,
+            duration: 500,
+            seed: 1,
+            preferential: 0.5,
+        });
+        let dir = std::env::temp_dir().join("srpq-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.srpq");
+        save(&ds, &path).unwrap();
+        let (labels, tuples) = load(&path).unwrap();
+        assert_eq!(tuples, ds.tuples);
+        assert_eq!(labels.len(), ds.labels.len());
+        assert_eq!(labels.get("a2q"), ds.labels.get("a2q"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let dir = std::env::temp_dir().join("srpq-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.srpq");
+        std::fs::write(&path, b"not a stream").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

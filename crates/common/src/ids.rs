@@ -1,0 +1,190 @@
+//! Compact newtype identifiers.
+//!
+//! The algorithms in the paper operate over three id spaces: graph
+//! *vertices*, edge *labels* (the alphabet Σ), and automaton *states*.
+//! We keep them as distinct newtypes so they cannot be confused, while
+//! remaining `Copy` and 4 bytes each — tree nodes `(VertexId, StateId)`
+//! pack into 8 bytes, which matters for the Δ index footprint (Figure 5
+//! reports tens of millions of nodes).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A graph vertex identifier (dense, produced by [`crate::VertexInterner`]).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct VertexId(pub u32);
+
+/// An edge label from the alphabet Σ (dense, produced by
+/// [`crate::LabelInterner`]).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct Label(pub u32);
+
+/// A DFA/NFA state identifier.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct StateId(pub u32);
+
+/// An event (application) timestamp, assigned by the data source
+/// (Definition 2). Timestamps are non-decreasing within a stream.
+///
+/// `i64` so the sentinel values used by the algorithms are representable:
+/// `Timestamp::NEG_INFINITY` marks subtrees cut by an explicit deletion
+/// (§3.2) and `Timestamp::INFINITY` is the timestamp of tree roots (the
+/// minimum over an empty path).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct Timestamp(pub i64);
+
+impl VertexId {
+    /// The vertex id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Label {
+    /// The label id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl StateId {
+    /// The state id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Timestamp {
+    /// Sentinel for "older than everything": marks nodes invalidated by an
+    /// explicit deletion so that the expiry pass removes them.
+    pub const NEG_INFINITY: Timestamp = Timestamp(i64::MIN);
+    /// Sentinel for "newer than everything": the timestamp of a spanning
+    /// tree root, i.e. the minimum over an empty set of edges.
+    pub const INFINITY: Timestamp = Timestamp(i64::MAX);
+    /// The zero timestamp.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Saturating addition of a duration in time units.
+    #[inline]
+    pub fn saturating_add(self, delta: i64) -> Timestamp {
+        Timestamp(self.0.saturating_add(delta))
+    }
+
+    /// Saturating subtraction of a duration in time units.
+    #[inline]
+    pub fn saturating_sub(self, delta: i64) -> Timestamp {
+        Timestamp(self.0.saturating_sub(delta))
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Timestamp::NEG_INFINITY => write!(f, "-inf"),
+            Timestamp::INFINITY => write!(f, "+inf"),
+            Timestamp(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<u32> for Label {
+    fn from(v: u32) -> Self {
+        Label(v)
+    }
+}
+
+impl From<u32> for StateId {
+    fn from(v: u32) -> Self {
+        StateId(v)
+    }
+}
+
+impl From<i64> for Timestamp {
+    fn from(v: i64) -> Self {
+        Timestamp(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinels_order_correctly() {
+        assert!(Timestamp::NEG_INFINITY < Timestamp::ZERO);
+        assert!(Timestamp::ZERO < Timestamp::INFINITY);
+        assert!(Timestamp(5) < Timestamp(6));
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        assert_eq!(Timestamp::INFINITY.saturating_add(1), Timestamp::INFINITY);
+        assert_eq!(
+            Timestamp::NEG_INFINITY.saturating_sub(1),
+            Timestamp::NEG_INFINITY
+        );
+        assert_eq!(Timestamp(10).saturating_sub(3), Timestamp(7));
+        assert_eq!(Timestamp(10).saturating_add(3), Timestamp(13));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VertexId(3).to_string(), "v3");
+        assert_eq!(Label(2).to_string(), "l2");
+        assert_eq!(StateId(1).to_string(), "s1");
+        assert_eq!(Timestamp(42).to_string(), "42");
+        assert_eq!(Timestamp::INFINITY.to_string(), "+inf");
+        assert_eq!(Timestamp::NEG_INFINITY.to_string(), "-inf");
+    }
+
+    #[test]
+    fn ids_are_compact() {
+        assert_eq!(std::mem::size_of::<VertexId>(), 4);
+        assert_eq!(std::mem::size_of::<Label>(), 4);
+        assert_eq!(std::mem::size_of::<StateId>(), 4);
+        assert_eq!(std::mem::size_of::<(VertexId, StateId)>(), 8);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(VertexId(7).index(), 7);
+        assert_eq!(Label::from(9u32), Label(9));
+        assert_eq!(StateId::from(2u32).index(), 2);
+        assert_eq!(Timestamp::from(11i64), Timestamp(11));
+    }
+}

@@ -1,0 +1,217 @@
+//! String interners mapping external names to dense ids.
+//!
+//! Streaming graph sources identify vertices and labels by strings (user
+//! names, RDF IRIs, predicate names). The algorithms want dense `u32` ids:
+//! the Δ index stores `(VertexId, StateId)` pairs by the tens of millions
+//! (Figure 5), and DFA transition tables are indexed by `Label`. A generic
+//! [`Interner`] provides the mapping; [`VertexInterner`] and
+//! [`LabelInterner`] are the two typed instantiations.
+
+use crate::hash::FxHashMap;
+use crate::ids::{Label, VertexId};
+
+/// A generic string interner producing dense `u32`-backed ids.
+///
+/// Ids are handed out in first-seen order starting at 0, so they can be
+/// used directly as `Vec` indices.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    by_name: FxHashMap<Box<str>, u32>,
+    names: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an interner with capacity for `n` symbols.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            by_name: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+            names: Vec::with_capacity(n),
+        }
+    }
+
+    /// Interns `name`, returning its dense id (allocating one if new).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("more than u32::MAX interned symbols");
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.by_name.insert(boxed, id);
+        id
+    }
+
+    /// Looks up an already-interned name without allocating.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves an id back to its name.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(AsRef::as_ref)
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_ref()))
+    }
+}
+
+/// An interner producing [`VertexId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct VertexInterner(Interner);
+
+impl VertexInterner {
+    /// Creates an empty vertex interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a vertex name.
+    pub fn intern(&mut self, name: &str) -> VertexId {
+        VertexId(self.0.intern(name))
+    }
+
+    /// Looks up an already-interned vertex.
+    pub fn get(&self, name: &str) -> Option<VertexId> {
+        self.0.get(name).map(VertexId)
+    }
+
+    /// Resolves a vertex id back to its name.
+    pub fn resolve(&self, id: VertexId) -> Option<&str> {
+        self.0.resolve(id.0)
+    }
+
+    /// Number of interned vertices.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no vertices have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// An interner producing [`Label`]s (the alphabet Σ).
+#[derive(Debug, Default, Clone)]
+pub struct LabelInterner(Interner);
+
+impl LabelInterner {
+    /// Creates an empty label interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a label name.
+    pub fn intern(&mut self, name: &str) -> Label {
+        Label(self.0.intern(name))
+    }
+
+    /// Looks up an already-interned label.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.0.get(name).map(Label)
+    }
+
+    /// Resolves a label back to its name.
+    pub fn resolve(&self, label: Label) -> Option<&str> {
+        self.0.resolve(label.0)
+    }
+
+    /// Number of distinct labels (|Σ|).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over `(Label, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> {
+        self.0.iter().map(|(id, n)| (Label(id), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("follows");
+        let b = i.intern("mentions");
+        assert_eq!(i.intern("follows"), a);
+        assert_eq!(i.intern("mentions"), b);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("a"), 0);
+        assert_eq!(i.intern("b"), 1);
+        assert_eq!(i.intern("c"), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let id = i.intern("hasCreator");
+        assert_eq!(i.resolve(id), Some("hasCreator"));
+        assert_eq!(i.resolve(id + 100), None);
+    }
+
+    #[test]
+    fn get_does_not_allocate_ids() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        let id = i.intern("x");
+        assert_eq!(i.get("x"), Some(id));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn typed_interners() {
+        let mut v = VertexInterner::new();
+        let mut l = LabelInterner::new();
+        let x = v.intern("x");
+        let follows = l.intern("follows");
+        assert_eq!(v.resolve(x), Some("x"));
+        assert_eq!(l.resolve(follows), Some("follows"));
+        assert_eq!(v.len(), 1);
+        assert_eq!(l.len(), 1);
+        assert!(!v.is_empty());
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn iter_visits_in_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let collected: Vec<_> = i.iter().collect();
+        assert_eq!(collected, vec![(0, "a"), (1, "b")]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared primitives for the `streaming-rpq` workspace.
+//!
+//! This crate hosts the vocabulary types every other crate speaks:
+//!
+//! * [`ids`] — compact newtype identifiers for vertices, labels, and
+//!   automaton states.
+//! * [`interner`] — string interners mapping external names to those ids.
+//! * [`hash`] — a fast, deterministic hasher (FxHash) plus map/set aliases,
+//!   used on every hot path instead of SipHash.
+//! * [`mod@tuple`] — the streaming graph tuple (*sgt*, Definition 2 of the
+//!   paper) and result-pair types.
+//! * [`histogram`] — a log-bucketed latency histogram used by the
+//!   experiment harnesses to report p50/p99/p999.
+//! * [`wire`] — a tiny length-prefixed binary codec for persisting streams
+//!   of sgts (used by the benchmark harness to snapshot datasets).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod hash;
+pub mod histogram;
+pub mod ids;
+pub mod interner;
+pub mod tuple;
+pub mod wire;
+
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use histogram::LatencyHistogram;
+pub use ids::{Label, StateId, Timestamp, VertexId};
+pub use interner::{Interner, LabelInterner, VertexInterner};
+pub use tuple::{Edge, Op, ResultPair, StreamTuple};

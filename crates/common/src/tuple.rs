@@ -1,0 +1,171 @@
+//! Streaming graph tuples and result pairs.
+//!
+//! A *streaming graph tuple* (sgt, Definition 2) is a quadruple
+//! `(τ, e, l, op)`: an event timestamp, a directed edge, an edge label,
+//! and an operation (insert `+` or explicit delete `−`). A *streaming
+//! graph* (Definition 3) is an unbounded sequence of sgts in
+//! non-decreasing timestamp order.
+
+use crate::ids::{Label, Timestamp, VertexId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The operation carried by a streaming graph tuple: an edge insertion or
+/// an explicit deletion (a *negative tuple*, §3.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, Default)]
+pub enum Op {
+    /// Edge insertion (`+`).
+    #[default]
+    Insert,
+    /// Explicit edge deletion (`−`).
+    Delete,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Insert => write!(f, "+"),
+            Op::Delete => write!(f, "-"),
+        }
+    }
+}
+
+/// A directed edge `(source, target)`.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct Edge {
+    /// Source vertex `u`.
+    pub src: VertexId,
+    /// Target vertex `v`.
+    pub dst: VertexId,
+}
+
+impl Edge {
+    /// Creates an edge `u → v`.
+    #[inline]
+    pub fn new(src: VertexId, dst: VertexId) -> Self {
+        Edge { src, dst }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} -> {})", self.src, self.dst)
+    }
+}
+
+/// A streaming graph tuple (sgt): `(τ, e, l, op)` per Definition 2.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct StreamTuple {
+    /// Event (application) timestamp `τ`, assigned by the source.
+    pub ts: Timestamp,
+    /// The directed edge `e = (u, v)`.
+    pub edge: Edge,
+    /// The edge label `l ∈ Σ`.
+    pub label: Label,
+    /// Insert (`+`) or explicit delete (`−`).
+    pub op: Op,
+}
+
+impl StreamTuple {
+    /// Creates an insertion sgt.
+    #[inline]
+    pub fn insert(ts: Timestamp, src: VertexId, dst: VertexId, label: Label) -> Self {
+        StreamTuple {
+            ts,
+            edge: Edge::new(src, dst),
+            label,
+            op: Op::Insert,
+        }
+    }
+
+    /// Creates an explicit-deletion (negative) sgt.
+    #[inline]
+    pub fn delete(ts: Timestamp, src: VertexId, dst: VertexId, label: Label) -> Self {
+        StreamTuple {
+            ts,
+            edge: Edge::new(src, dst),
+            label,
+            op: Op::Delete,
+        }
+    }
+
+    /// Whether this tuple is an insertion.
+    #[inline]
+    pub fn is_insert(&self) -> bool {
+        self.op == Op::Insert
+    }
+}
+
+impl fmt::Display for StreamTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}]{} {} {}",
+            self.ts, self.op, self.edge, self.label
+        )
+    }
+}
+
+/// A query result: a pair of vertices `(x, y)` connected by a path whose
+/// label is in `L(R)` (Definition 8). Under the implicit window model the
+/// result set is an append-only stream of such pairs.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub struct ResultPair {
+    /// Path source vertex.
+    pub src: VertexId,
+    /// Path target vertex.
+    pub dst: VertexId,
+}
+
+impl ResultPair {
+    /// Creates a result pair.
+    #[inline]
+    pub fn new(src: VertexId, dst: VertexId) -> Self {
+        ResultPair { src, dst }
+    }
+}
+
+impl fmt::Display for ResultPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.src, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_op() {
+        let t = StreamTuple::insert(Timestamp(4), VertexId(0), VertexId(1), Label(0));
+        assert!(t.is_insert());
+        let d = StreamTuple::delete(Timestamp(5), VertexId(0), VertexId(1), Label(0));
+        assert!(!d.is_insert());
+        assert_eq!(d.op, Op::Delete);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = StreamTuple::insert(Timestamp(4), VertexId(0), VertexId(1), Label(2));
+        assert_eq!(t.to_string(), "[4]+ (v0 -> v1) l2");
+        assert_eq!(ResultPair::new(VertexId(1), VertexId(2)).to_string(), "(v1, v2)");
+        assert_eq!(Op::Delete.to_string(), "-");
+    }
+
+    #[test]
+    fn tuple_is_small() {
+        // 8 (ts) + 4 + 4 (edge) + 4 (label) + 1 (op) + padding.
+        assert!(std::mem::size_of::<StreamTuple>() <= 24);
+    }
+
+    #[test]
+    fn edge_ordering_is_lexicographic() {
+        let a = Edge::new(VertexId(0), VertexId(5));
+        let b = Edge::new(VertexId(1), VertexId(0));
+        assert!(a < b);
+    }
+}

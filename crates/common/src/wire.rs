@@ -1,0 +1,121 @@
+//! A compact binary codec for streams of sgts.
+//!
+//! The benchmark harness generates synthetic streams once and replays them
+//! across configurations (the paper replays the same SO/LDBC/Yago streams
+//! across experiments). This module provides a deterministic fixed-width
+//! little-endian encoding — 25 bytes per tuple — on top of [`bytes`].
+
+use crate::ids::{Label, Timestamp, VertexId};
+use crate::tuple::{Edge, Op, StreamTuple};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Encoded size of one tuple in bytes.
+pub const TUPLE_WIRE_SIZE: usize = 8 + 4 + 4 + 4 + 1;
+
+/// Encodes one tuple onto a buffer.
+pub fn encode_tuple(buf: &mut BytesMut, t: &StreamTuple) {
+    buf.put_i64_le(t.ts.0);
+    buf.put_u32_le(t.edge.src.0);
+    buf.put_u32_le(t.edge.dst.0);
+    buf.put_u32_le(t.label.0);
+    buf.put_u8(match t.op {
+        Op::Insert => 0,
+        Op::Delete => 1,
+    });
+}
+
+/// Decodes one tuple from a buffer; returns `None` if the buffer holds
+/// fewer than [`TUPLE_WIRE_SIZE`] bytes or the op byte is invalid.
+pub fn decode_tuple(buf: &mut impl Buf) -> Option<StreamTuple> {
+    if buf.remaining() < TUPLE_WIRE_SIZE {
+        return None;
+    }
+    let ts = Timestamp(buf.get_i64_le());
+    let src = VertexId(buf.get_u32_le());
+    let dst = VertexId(buf.get_u32_le());
+    let label = Label(buf.get_u32_le());
+    let op = match buf.get_u8() {
+        0 => Op::Insert,
+        1 => Op::Delete,
+        _ => return None,
+    };
+    Some(StreamTuple {
+        ts,
+        edge: Edge::new(src, dst),
+        label,
+        op,
+    })
+}
+
+/// Encodes a whole stream into one contiguous byte blob.
+pub fn encode_stream(tuples: &[StreamTuple]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(tuples.len() * TUPLE_WIRE_SIZE);
+    for t in tuples {
+        encode_tuple(&mut buf, t);
+    }
+    buf.freeze()
+}
+
+/// Decodes a blob produced by [`encode_stream`].
+///
+/// Returns `None` if the blob length is not a multiple of the tuple size
+/// or any tuple is malformed.
+pub fn decode_stream(blob: &[u8]) -> Option<Vec<StreamTuple>> {
+    if !blob.len().is_multiple_of(TUPLE_WIRE_SIZE) {
+        return None;
+    }
+    let mut buf = blob;
+    let mut out = Vec::with_capacity(blob.len() / TUPLE_WIRE_SIZE);
+    while buf.remaining() > 0 {
+        out.push(decode_tuple(&mut buf)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<StreamTuple> {
+        vec![
+            StreamTuple::insert(Timestamp(4), VertexId(0), VertexId(1), Label(0)),
+            StreamTuple::insert(Timestamp(6), VertexId(0), VertexId(2), Label(1)),
+            StreamTuple::delete(Timestamp(9), VertexId(0), VertexId(1), Label(0)),
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let tuples = sample();
+        let blob = encode_stream(&tuples);
+        assert_eq!(blob.len(), tuples.len() * TUPLE_WIRE_SIZE);
+        let decoded = decode_stream(&blob).expect("decodes");
+        assert_eq!(decoded, tuples);
+    }
+
+    #[test]
+    fn rejects_truncated_blob() {
+        let blob = encode_stream(&sample());
+        assert!(decode_stream(&blob[..blob.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn rejects_bad_op_byte() {
+        let mut blob = encode_stream(&sample()[..1]).to_vec();
+        *blob.last_mut().unwrap() = 7;
+        assert!(decode_stream(&blob).is_none());
+    }
+
+    #[test]
+    fn empty_stream() {
+        let blob = encode_stream(&[]);
+        assert_eq!(decode_stream(&blob), Some(vec![]));
+    }
+
+    #[test]
+    fn negative_timestamps_survive() {
+        let t = StreamTuple::insert(Timestamp(-5), VertexId(1), VertexId(2), Label(3));
+        let blob = encode_stream(&[t]);
+        assert_eq!(decode_stream(&blob).unwrap()[0], t);
+    }
+}

@@ -1,0 +1,214 @@
+//! A uniform front-end over the RAPQ and RSPQ engines.
+//!
+//! The paper studies the design space along two dimensions — path
+//! semantics (arbitrary vs simple) and result semantics (append-only vs
+//! explicit deletions). [`Engine`] selects the path semantics at query
+//! registration; both engines handle negative tuples natively, covering
+//! the second dimension without further dispatch.
+
+use crate::config::EngineConfig;
+use crate::rapq::RapqEngine;
+use crate::rspq::RspqEngine;
+use crate::sink::ResultSink;
+use crate::stats::{EngineStats, IndexSize};
+use srpq_automata::{CompiledQuery, ParseError};
+use srpq_common::{LabelInterner, ResultPair, StreamTuple, Timestamp};
+use srpq_graph::{WindowGraph, WindowPolicy};
+
+/// Which path semantics a registered query evaluates under (§1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathSemantics {
+    /// Paths may repeat vertices (§3, Algorithm RAPQ).
+    Arbitrary,
+    /// Paths may not repeat vertices (§4, Algorithm RSPQ). NP-hard in
+    /// the presence of conflicts; efficient when conflict-free.
+    Simple,
+}
+
+/// A persistent streaming RPQ evaluator.
+pub enum Engine {
+    /// Arbitrary path semantics.
+    Arbitrary(RapqEngine),
+    /// Simple path semantics.
+    Simple(RspqEngine),
+}
+
+impl Engine {
+    /// Registers `query` under the given semantics.
+    pub fn new(query: CompiledQuery, config: EngineConfig, semantics: PathSemantics) -> Engine {
+        match semantics {
+            PathSemantics::Arbitrary => Engine::Arbitrary(RapqEngine::new(query, config)),
+            PathSemantics::Simple => Engine::Simple(RspqEngine::new(query, config)),
+        }
+    }
+
+    /// Parses, compiles, and registers a query in one step.
+    pub fn from_str(
+        expr: &str,
+        labels: &mut LabelInterner,
+        window: WindowPolicy,
+        semantics: PathSemantics,
+    ) -> Result<Engine, ParseError> {
+        let query = CompiledQuery::compile(expr, labels)?;
+        Ok(Engine::new(
+            query,
+            EngineConfig::with_window(window),
+            semantics,
+        ))
+    }
+
+    /// Processes one tuple (non-decreasing timestamps), pushing results
+    /// into `sink`.
+    pub fn process<S: ResultSink>(&mut self, tuple: StreamTuple, sink: &mut S) {
+        match self {
+            Engine::Arbitrary(e) => e.process(tuple, sink),
+            Engine::Simple(e) => e.process(tuple, sink),
+        }
+    }
+
+    /// Forces an expiry pass at the current eager watermark.
+    pub fn expire_now<S: ResultSink>(&mut self, sink: &mut S) {
+        match self {
+            Engine::Arbitrary(e) => e.expire_now(sink),
+            Engine::Simple(e) => e.expire_now(sink),
+        }
+    }
+
+    /// Processes a tuple against an external shared window graph (see
+    /// [`crate::multi::MultiQueryEngine`]). Do not mix with
+    /// [`Self::process`] on the same engine.
+    pub fn process_with_graph<S: ResultSink>(
+        &mut self,
+        graph: &mut WindowGraph,
+        tuple: StreamTuple,
+        sink: &mut S,
+    ) {
+        match self {
+            Engine::Arbitrary(e) => e.process_with_graph(graph, tuple, sink),
+            Engine::Simple(e) => e.process_with_graph(graph, tuple, sink),
+        }
+    }
+
+    /// [`Self::expire_now`] against an external shared graph.
+    pub fn expire_now_with_graph<S: ResultSink>(
+        &mut self,
+        graph: &mut WindowGraph,
+        sink: &mut S,
+    ) {
+        match self {
+            Engine::Arbitrary(e) => e.expire_now_with_graph(graph, sink),
+            Engine::Simple(e) => e.expire_now_with_graph(graph, sink),
+        }
+    }
+
+    /// The registered query.
+    pub fn query(&self) -> &CompiledQuery {
+        match self {
+            Engine::Arbitrary(e) => e.query(),
+            Engine::Simple(e) => e.query(),
+        }
+    }
+
+    /// The path semantics this engine evaluates under.
+    pub fn semantics(&self) -> PathSemantics {
+        match self {
+            Engine::Arbitrary(_) => PathSemantics::Arbitrary,
+            Engine::Simple(_) => PathSemantics::Simple,
+        }
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &EngineStats {
+        match self {
+            Engine::Arbitrary(e) => e.stats(),
+            Engine::Simple(e) => e.stats(),
+        }
+    }
+
+    /// Current Δ index size.
+    pub fn index_size(&self) -> IndexSize {
+        match self {
+            Engine::Arbitrary(e) => e.index_size(),
+            Engine::Simple(e) => e.index_size(),
+        }
+    }
+
+    /// The window graph.
+    pub fn graph(&self) -> &WindowGraph {
+        match self {
+            Engine::Arbitrary(e) => e.graph(),
+            Engine::Simple(e) => e.graph(),
+        }
+    }
+
+    /// Stream time of the last processed tuple.
+    pub fn now(&self) -> Timestamp {
+        match self {
+            Engine::Arbitrary(e) => e.now(),
+            Engine::Simple(e) => e.now(),
+        }
+    }
+
+    /// Number of distinct result pairs currently reported.
+    pub fn result_count(&self) -> usize {
+        match self {
+            Engine::Arbitrary(e) => e.result_count(),
+            Engine::Simple(e) => e.result_count(),
+        }
+    }
+
+    /// Whether `pair` is currently reported.
+    pub fn has_result(&self, pair: ResultPair) -> bool {
+        match self {
+            Engine::Arbitrary(e) => e.has_result(pair),
+            Engine::Simple(e) => e.has_result(pair),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectSink;
+    use srpq_common::{StreamTuple, VertexInterner};
+
+    #[test]
+    fn both_semantics_run_through_the_facade() {
+        for semantics in [PathSemantics::Arbitrary, PathSemantics::Simple] {
+            let mut labels = LabelInterner::new();
+            let mut verts = VertexInterner::new();
+            let mut engine = Engine::from_str(
+                "a b",
+                &mut labels,
+                WindowPolicy::new(100, 10),
+                semantics,
+            )
+            .unwrap();
+            assert_eq!(engine.semantics(), semantics);
+            let a = labels.get("a").unwrap();
+            let b = labels.get("b").unwrap();
+            let (x, y, z) = (verts.intern("x"), verts.intern("y"), verts.intern("z"));
+            let mut sink = CollectSink::default();
+            engine.process(StreamTuple::insert(Timestamp(1), x, y, a), &mut sink);
+            engine.process(StreamTuple::insert(Timestamp(2), y, z, b), &mut sink);
+            assert_eq!(engine.result_count(), 1);
+            assert!(engine.has_result(ResultPair::new(x, z)));
+            assert_eq!(engine.stats().tuples_processed, 2);
+            assert!(engine.index_size().nodes >= 2);
+            assert_eq!(engine.now(), Timestamp(2));
+            engine.expire_now(&mut sink);
+        }
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let mut labels = LabelInterner::new();
+        assert!(Engine::from_str(
+            "(a",
+            &mut labels,
+            WindowPolicy::new(10, 1),
+            PathSemantics::Arbitrary
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Persistent Regular Path Query evaluation over streaming graphs.
+//!
+//! This crate implements the algorithms of *Regular Path Query Evaluation
+//! on Streaming Graphs* (Pacaci, Bonifati, Özsu — SIGMOD 2020):
+//!
+//! * [`rapq::RapqEngine`] — incremental RPQ evaluation under **arbitrary
+//!   path semantics** (§3): Algorithm RAPQ with the Δ spanning-tree
+//!   index, `Insert`, lazy `ExpiryRAPQ`, and `Delete` for explicit
+//!   deletions via negative tuples.
+//! * [`rspq::RspqEngine`] — incremental RPQ evaluation under **simple
+//!   path semantics** (§4): Algorithm RSPQ with markings, conflict
+//!   detection through suffix-language containment, `Extend`, `Unmark`,
+//!   and `ExpiryRSPQ`.
+//! * [`engine::Engine`] — a uniform front-end over both, driving the
+//!   sliding-window policy (eager evaluation, lazy expiry) and the
+//!   result stream.
+//!
+//! # Quick start
+//!
+//! ```
+//! use srpq_common::{LabelInterner, StreamTuple, Timestamp, VertexInterner};
+//! use srpq_core::engine::{Engine, PathSemantics};
+//! use srpq_core::sink::CollectSink;
+//! use srpq_graph::WindowPolicy;
+//!
+//! let mut labels = LabelInterner::new();
+//! let mut verts = VertexInterner::new();
+//! let follows = labels.intern("follows");
+//! let mentions = labels.intern("mentions");
+//!
+//! // Q1 of Figure 1: (follows ◦ mentions)+ over a 15-unit window.
+//! let mut engine = Engine::from_str(
+//!     "(follows mentions)+",
+//!     &mut labels,
+//!     WindowPolicy::new(15, 1),
+//!     PathSemantics::Arbitrary,
+//! )
+//! .unwrap();
+//!
+//! let (x, y, u) = (verts.intern("x"), verts.intern("y"), verts.intern("u"));
+//! let mut sink = CollectSink::default();
+//! engine.process(StreamTuple::insert(Timestamp(1), x, y, follows), &mut sink);
+//! engine.process(StreamTuple::insert(Timestamp(2), y, u, mentions), &mut sink);
+//! assert_eq!(sink.pairs().len(), 1); // (x, u)
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod config;
+pub mod engine;
+pub mod multi;
+pub mod parallel;
+pub mod rapq;
+pub mod reorder;
+pub mod rspq;
+pub mod sink;
+pub mod stats;
+
+pub use config::EngineConfig;
+pub use engine::{Engine, PathSemantics};
+pub use multi::{MultiQueryEngine, QueryId};
+pub use parallel::ParallelRapqEngine;
+pub use reorder::ReorderBuffer;
+pub use sink::{CollectSink, CountSink, NullSink, ResultSink};
+pub use stats::{EngineStats, IndexSize};

@@ -1,0 +1,464 @@
+//! Multi-query evaluation over a shared window graph (§7, future work
+//! item ii).
+//!
+//! The paper's conclusion lists "multi-query optimization techniques to
+//! share computation across multiple persistent RPQs" as future work.
+//! This module implements the first layer of that sharing:
+//!
+//! * one [`WindowGraph`] holds the window content once, instead of one
+//!   copy per registered query — the dominant memory term for queries
+//!   with overlapping alphabets;
+//! * incoming tuples are **routed by label**: only engines whose query
+//!   alphabet contains the tuple's label are invoked at all (engines
+//!   also discard foreign labels themselves, but routing skips the
+//!   dispatch entirely);
+//! * window maintenance (graph purge) happens once per slide, not once
+//!   per query.
+//!
+//! Δ tree indexes remain per-query — sharing partial results *across
+//! automata* (the deeper future-work idea) is out of scope.
+//!
+//! All queries in one [`MultiQueryEngine`] share a single
+//! [`WindowPolicy`]: the shared graph can only be purged at the widest
+//! window of its consumers, so heterogeneous windows would forfeit the
+//! storage sharing this module exists for.
+
+use crate::config::EngineConfig;
+use crate::engine::{Engine, PathSemantics};
+use crate::sink::ResultSink;
+use crate::stats::{EngineStats, IndexSize};
+use srpq_automata::CompiledQuery;
+use srpq_common::{FxHashMap, Label, ResultPair, StreamTuple, Timestamp};
+use srpq_graph::{WindowGraph, WindowPolicy};
+
+/// Identifies a registered query within a [`MultiQueryEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u32);
+
+/// Receives the tagged result streams of a multi-query engine.
+pub trait MultiSink {
+    /// Query `id` discovered `pair` at stream time `ts`.
+    fn emit(&mut self, id: QueryId, pair: ResultPair, ts: Timestamp);
+
+    /// Query `id` invalidated `pair` (explicit deletions only).
+    fn invalidate(&mut self, id: QueryId, pair: ResultPair, ts: Timestamp) {
+        let _ = (id, pair, ts);
+    }
+}
+
+/// Collects tagged results per query (tests and examples).
+#[derive(Debug, Default, Clone)]
+pub struct MultiCollectSink {
+    /// `(query, pair, ts)` emission log.
+    pub emitted: Vec<(QueryId, ResultPair, Timestamp)>,
+    /// `(query, pair, ts)` invalidation log.
+    pub invalidated: Vec<(QueryId, ResultPair, Timestamp)>,
+}
+
+impl MultiSink for MultiCollectSink {
+    fn emit(&mut self, id: QueryId, pair: ResultPair, ts: Timestamp) {
+        self.emitted.push((id, pair, ts));
+    }
+
+    fn invalidate(&mut self, id: QueryId, pair: ResultPair, ts: Timestamp) {
+        self.invalidated.push((id, pair, ts));
+    }
+}
+
+/// Adapts a per-query [`ResultSink`] view onto a [`MultiSink`].
+struct TagSink<'a, S: MultiSink> {
+    id: QueryId,
+    inner: &'a mut S,
+}
+
+impl<S: MultiSink> ResultSink for TagSink<'_, S> {
+    fn emit(&mut self, pair: ResultPair, ts: Timestamp) {
+        self.inner.emit(self.id, pair, ts);
+    }
+
+    fn invalidate(&mut self, pair: ResultPair, ts: Timestamp) {
+        self.inner.invalidate(self.id, pair, ts);
+    }
+}
+
+struct Registered {
+    name: String,
+    engine: Engine,
+}
+
+/// A set of persistent RPQs evaluated together over one shared window
+/// graph.
+pub struct MultiQueryEngine {
+    window: WindowPolicy,
+    graph: WindowGraph,
+    queries: Vec<Registered>,
+    /// label → indexes of queries whose alphabet contains it.
+    routing: FxHashMap<Label, Vec<u32>>,
+    now: Timestamp,
+    tuples_seen: u64,
+    tuples_routed: u64,
+}
+
+impl MultiQueryEngine {
+    /// Creates an empty multi-query engine over `window`.
+    pub fn new(window: WindowPolicy) -> MultiQueryEngine {
+        MultiQueryEngine {
+            window,
+            graph: WindowGraph::new(),
+            queries: Vec::new(),
+            routing: FxHashMap::default(),
+            now: Timestamp::NEG_INFINITY,
+            tuples_seen: 0,
+            tuples_routed: 0,
+        }
+    }
+
+    /// Registers a query under the engine's shared window. Returns its
+    /// id. Queries can be registered mid-stream; with plain `register`
+    /// they only see tuples from their registration point onward
+    /// (standard persistent-query semantics) — use
+    /// [`Self::register_backfilled`] to also evaluate over the current
+    /// window content.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        query: CompiledQuery,
+        semantics: PathSemantics,
+    ) -> QueryId {
+        let id = QueryId(self.queries.len() as u32);
+        for &label in query.dfa().alphabet() {
+            self.routing.entry(label).or_default().push(id.0);
+        }
+        self.queries.push(Registered {
+            name: name.into(),
+            engine: Engine::new(
+                query,
+                EngineConfig::with_window(self.window),
+                semantics,
+            ),
+        });
+        id
+    }
+
+    /// Registers a query and *backfills* it: the current window content
+    /// is replayed (in timestamp order) into the new query's Δ index, so
+    /// it immediately reports results over the live window — the shared
+    /// graph makes this catch-up possible without buffering the stream.
+    pub fn register_backfilled<S: MultiSink>(
+        &mut self,
+        name: impl Into<String>,
+        query: CompiledQuery,
+        semantics: PathSemantics,
+        sink: &mut S,
+    ) -> QueryId {
+        let id = self.register(name, query, semantics);
+        let wm = self.window.watermark(self.now);
+        let mut replay = self.graph.edges(wm);
+        replay.sort_by_key(|&(.., ts)| ts);
+        let reg = &mut self.queries[id.0 as usize];
+        let mut tagged = TagSink { id, inner: sink };
+        for (u, v, label, ts) in replay {
+            reg.engine.process_with_graph(
+                &mut self.graph,
+                StreamTuple::insert(ts, u, v, label),
+                &mut tagged,
+            );
+        }
+        id
+    }
+
+    /// Number of registered queries.
+    pub fn n_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The name a query was registered under.
+    pub fn name(&self, id: QueryId) -> Option<&str> {
+        self.queries.get(id.0 as usize).map(|r| r.name.as_str())
+    }
+
+    /// Per-query engine statistics.
+    pub fn stats(&self, id: QueryId) -> Option<&EngineStats> {
+        self.queries.get(id.0 as usize).map(|r| r.engine.stats())
+    }
+
+    /// Per-query Δ index size.
+    pub fn index_size(&self, id: QueryId) -> Option<IndexSize> {
+        self.queries.get(id.0 as usize).map(|r| r.engine.index_size())
+    }
+
+    /// Whether query `id` currently reports `pair`.
+    pub fn has_result(&self, id: QueryId, pair: ResultPair) -> bool {
+        self.queries
+            .get(id.0 as usize)
+            .map(|r| r.engine.has_result(pair))
+            .unwrap_or(false)
+    }
+
+    /// The shared window graph.
+    pub fn graph(&self) -> &WindowGraph {
+        &self.graph
+    }
+
+    /// Tuples seen and per-query dispatches performed — the routing
+    /// win is `seen × n_queries − routed`.
+    pub fn routing_stats(&self) -> (u64, u64) {
+        (self.tuples_seen, self.tuples_routed)
+    }
+
+    /// Processes one tuple: route to the queries that speak its label.
+    pub fn process<S: MultiSink>(&mut self, tuple: StreamTuple, sink: &mut S) {
+        self.tuples_seen += 1;
+        let prev = self.now;
+        if tuple.ts > self.now {
+            self.now = tuple.ts;
+        }
+        // Shared window maintenance: purge once per slide crossing.
+        if prev != Timestamp::NEG_INFINITY && self.window.crosses_slide(prev, self.now) {
+            self.graph.purge_expired(self.window.lazy_watermark(self.now));
+        }
+        let Some(targets) = self.routing.get(&tuple.label) else {
+            return; // no registered query speaks this label
+        };
+        // Each engine mutates the shared graph idempotently (the first
+        // insert stores the edge; the rest refresh the same timestamp).
+        let targets = targets.clone();
+        self.tuples_routed += targets.len() as u64;
+        for qi in targets {
+            let reg = &mut self.queries[qi as usize];
+            let mut tagged = TagSink {
+                id: QueryId(qi),
+                inner: sink,
+            };
+            reg.engine
+                .process_with_graph(&mut self.graph, tuple, &mut tagged);
+        }
+    }
+
+    /// Forces an expiry pass for every query (and a shared graph purge)
+    /// at the current eager watermark.
+    pub fn expire_now<S: MultiSink>(&mut self, sink: &mut S) {
+        self.graph.purge_expired(self.window.watermark(self.now));
+        for (qi, reg) in self.queries.iter_mut().enumerate() {
+            let mut tagged = TagSink {
+                id: QueryId(qi as u32),
+                inner: sink,
+            };
+            reg.engine
+                .expire_now_with_graph(&mut self.graph, &mut tagged);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srpq_common::{LabelInterner, VertexId};
+
+    fn setup() -> (MultiQueryEngine, LabelInterner, QueryId, QueryId) {
+        let mut labels = LabelInterner::new();
+        let q1 = CompiledQuery::compile("a b", &mut labels).unwrap();
+        let q2 = CompiledQuery::compile("b+", &mut labels).unwrap();
+        let mut multi = MultiQueryEngine::new(WindowPolicy::new(100, 10));
+        let id1 = multi.register("ab", q1, PathSemantics::Arbitrary);
+        let id2 = multi.register("bplus", q2, PathSemantics::Arbitrary);
+        (multi, labels, id1, id2)
+    }
+
+    #[test]
+    fn routes_by_label_and_tags_results() {
+        let (mut multi, labels, id1, id2) = setup();
+        let a = labels.get("a").unwrap();
+        let b = labels.get("b").unwrap();
+        let v = VertexId;
+        let mut sink = MultiCollectSink::default();
+        multi.process(StreamTuple::insert(Timestamp(1), v(0), v(1), a), &mut sink);
+        multi.process(StreamTuple::insert(Timestamp(2), v(1), v(2), b), &mut sink);
+        multi.process(StreamTuple::insert(Timestamp(3), v(2), v(3), b), &mut sink);
+
+        assert!(multi.has_result(id1, ResultPair::new(v(0), v(2))));
+        assert!(multi.has_result(id2, ResultPair::new(v(1), v(3))));
+        assert!(!multi.has_result(id1, ResultPair::new(v(1), v(3))));
+
+        // Tagging: every emission carries the right query id.
+        for &(id, pair, _) in &sink.emitted {
+            assert!(multi.has_result(id, pair));
+        }
+    }
+
+    #[test]
+    fn shared_graph_stores_each_edge_once() {
+        let (mut multi, labels, _, _) = setup();
+        let b = labels.get("b").unwrap();
+        let v = VertexId;
+        let mut sink = MultiCollectSink::default();
+        // Label `b` is in both alphabets: routed to both engines, but
+        // the shared graph must hold the edge exactly once.
+        multi.process(StreamTuple::insert(Timestamp(1), v(0), v(1), b), &mut sink);
+        assert_eq!(multi.graph().n_edges(), 1);
+        let (seen, routed) = multi.routing_stats();
+        assert_eq!(seen, 1);
+        assert_eq!(routed, 2);
+    }
+
+    #[test]
+    fn unknown_labels_are_not_routed() {
+        let (mut multi, _, _, _) = setup();
+        let mut labels = LabelInterner::new();
+        labels.intern("a");
+        labels.intern("b");
+        let foreign = labels.intern("zz");
+        let v = VertexId;
+        let mut sink = MultiCollectSink::default();
+        multi.process(
+            StreamTuple::insert(Timestamp(1), v(0), v(1), foreign),
+            &mut sink,
+        );
+        let (seen, routed) = multi.routing_stats();
+        assert_eq!((seen, routed), (1, 0));
+        assert_eq!(multi.graph().n_edges(), 0);
+    }
+
+    #[test]
+    fn matches_independent_engines() {
+        // The multi-engine must produce exactly the results of
+        // independently run engines.
+        let mut labels = LabelInterner::new();
+        let qa = CompiledQuery::compile("a b*", &mut labels).unwrap();
+        let qb = CompiledQuery::compile("(a | b)+", &mut labels).unwrap();
+        let window = WindowPolicy::new(20, 4);
+
+        let mut multi = MultiQueryEngine::new(window);
+        let id_a = multi.register("qa", qa.clone(), PathSemantics::Arbitrary);
+        let id_b = multi.register("qb", qb.clone(), PathSemantics::Arbitrary);
+
+        let mut solo_a = Engine::new(
+            qa,
+            EngineConfig::with_window(window),
+            PathSemantics::Arbitrary,
+        );
+        let mut solo_b = Engine::new(
+            qb,
+            EngineConfig::with_window(window),
+            PathSemantics::Arbitrary,
+        );
+
+        let a = labels.get("a").unwrap();
+        let b = labels.get("b").unwrap();
+        let v = VertexId;
+        let stream: Vec<StreamTuple> = (0..60)
+            .map(|i| {
+                let src = v(i % 7);
+                let dst = v((i * 3 + 1) % 7);
+                let label = if i % 2 == 0 { a } else { b };
+                StreamTuple::insert(Timestamp(i as i64), src, dst, label)
+            })
+            .collect();
+
+        let mut msink = MultiCollectSink::default();
+        let mut sa = crate::sink::CollectSink::default();
+        let mut sb = crate::sink::CollectSink::default();
+        for &t in &stream {
+            multi.process(t, &mut msink);
+            solo_a.process(t, &mut sa);
+            solo_b.process(t, &mut sb);
+        }
+        let multi_a: std::collections::HashSet<_> = msink
+            .emitted
+            .iter()
+            .filter(|&&(id, ..)| id == id_a)
+            .map(|&(_, p, _)| p)
+            .collect();
+        let multi_b: std::collections::HashSet<_> = msink
+            .emitted
+            .iter()
+            .filter(|&&(id, ..)| id == id_b)
+            .map(|&(_, p, _)| p)
+            .collect();
+        let solo_a_pairs: std::collections::HashSet<_> =
+            sa.pairs().into_iter().collect();
+        let solo_b_pairs: std::collections::HashSet<_> =
+            sb.pairs().into_iter().collect();
+        assert_eq!(multi_a, solo_a_pairs);
+        assert_eq!(multi_b, solo_b_pairs);
+    }
+
+    #[test]
+    fn mid_stream_registration_without_backfill() {
+        let mut labels = LabelInterner::new();
+        let q1 = CompiledQuery::compile("a", &mut labels).unwrap();
+        let mut multi = MultiQueryEngine::new(WindowPolicy::new(100, 10));
+        let id1 = multi.register("first", q1, PathSemantics::Arbitrary);
+        let a = labels.get("a").unwrap();
+        let v = VertexId;
+        let mut sink = MultiCollectSink::default();
+        multi.process(StreamTuple::insert(Timestamp(1), v(0), v(1), a), &mut sink);
+
+        // Register a second query after the first tuple: it only sees
+        // tuples from now on, so the 0→1→2 chain is not witnessed.
+        let q2 = CompiledQuery::compile("a a", &mut labels).unwrap();
+        let id2 = multi.register("second", q2, PathSemantics::Arbitrary);
+        multi.process(StreamTuple::insert(Timestamp(2), v(1), v(2), a), &mut sink);
+
+        assert!(multi.has_result(id1, ResultPair::new(v(0), v(1))));
+        assert!(!multi.has_result(id2, ResultPair::new(v(0), v(2))));
+        assert_eq!(multi.name(id2), Some("second"));
+        assert!(multi.stats(id2).is_some());
+    }
+
+    #[test]
+    fn mid_stream_registration_with_backfill() {
+        let mut labels = LabelInterner::new();
+        let q1 = CompiledQuery::compile("a", &mut labels).unwrap();
+        let mut multi = MultiQueryEngine::new(WindowPolicy::new(100, 10));
+        let _ = multi.register("first", q1, PathSemantics::Arbitrary);
+        let a = labels.get("a").unwrap();
+        let v = VertexId;
+        let mut sink = MultiCollectSink::default();
+        multi.process(StreamTuple::insert(Timestamp(1), v(0), v(1), a), &mut sink);
+
+        // Backfilled registration replays the live window into the new
+        // query's Δ from the shared graph.
+        let q2 = CompiledQuery::compile("a a", &mut labels).unwrap();
+        let id2 =
+            multi.register_backfilled("second", q2, PathSemantics::Arbitrary, &mut sink);
+        multi.process(StreamTuple::insert(Timestamp(2), v(1), v(2), a), &mut sink);
+
+        assert!(multi.has_result(id2, ResultPair::new(v(0), v(2))));
+        assert!(multi.index_size(id2).unwrap().nodes > 0);
+        // The backfill replays window edges, not expired history.
+        assert_eq!(multi.graph().n_edges(), 2);
+    }
+
+    #[test]
+    fn deletions_propagate_to_all_queries() {
+        let (mut multi, labels, id1, id2) = setup();
+        let a = labels.get("a").unwrap();
+        let b = labels.get("b").unwrap();
+        let v = VertexId;
+        let mut sink = MultiCollectSink::default();
+        multi.process(StreamTuple::insert(Timestamp(1), v(0), v(1), a), &mut sink);
+        multi.process(StreamTuple::insert(Timestamp(2), v(1), v(2), b), &mut sink);
+        assert!(multi.has_result(id1, ResultPair::new(v(0), v(2))));
+        assert!(multi.has_result(id2, ResultPair::new(v(1), v(2))));
+
+        multi.process(StreamTuple::delete(Timestamp(3), v(1), v(2), b), &mut sink);
+        assert!(!multi.has_result(id1, ResultPair::new(v(0), v(2))));
+        assert!(!multi.has_result(id2, ResultPair::new(v(1), v(2))));
+        assert_eq!(multi.graph().n_edges(), 1);
+        assert_eq!(sink.invalidated.len(), 2);
+    }
+
+    #[test]
+    fn expire_now_runs_all_queries() {
+        let (mut multi, labels, _, _) = setup();
+        let b = labels.get("b").unwrap();
+        let v = VertexId;
+        let mut sink = MultiCollectSink::default();
+        multi.process(StreamTuple::insert(Timestamp(1), v(0), v(1), b), &mut sink);
+        multi.process(StreamTuple::insert(Timestamp(500), v(1), v(2), b), &mut sink);
+        multi.expire_now(&mut sink);
+        // The t=1 edge is far outside the 100-unit window.
+        assert_eq!(multi.graph().n_edges(), 1);
+    }
+}

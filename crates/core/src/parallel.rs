@@ -1,0 +1,649 @@
+//! Intra-query parallel RAPQ evaluation (§5.1.1).
+//!
+//! The paper's prototype "employs intra-query parallelism by deploying a
+//! thread pool to process multiple spanning trees in parallel that are
+//! accessed for each incoming edge. Window management is parallelized
+//! similarly." The Δ index partitions naturally: a spanning tree `T_x`
+//! is touched only through its root `x`, and a result `(x, y)` belongs
+//! to exactly one tree — so trees, their reverse index, *and* the
+//! result-deduplication sets shard cleanly by root vertex.
+//!
+//! [`ParallelRapqEngine`] hash-partitions trees into `n_shards` shards
+//! and processes tuples in **micro-batches**: all graph updates of a
+//! batch are applied first (single-threaded, cheap), then one scoped
+//! thread per shard extends its trees for every tuple of the batch.
+//! Batching amortizes thread-coordination overhead that per-tuple
+//! fan-out could never recoup; batches are cut at slide boundaries and
+//! at explicit deletions so window semantics are preserved exactly.
+//!
+//! Applying a batch's edges before traversing changes *when* a result
+//! inside the batch is discovered (an early tuple may already see a
+//! later tuple's edge), but not the result set at batch end — every
+//! path is discovered by its last-arriving edge in the sequential
+//! engine anyway. The `matches_sequential_engine` test pins this
+//! equivalence.
+
+use crate::config::EngineConfig;
+use crate::rapq::tree::Delta;
+use crate::rapq::{run_insert, WorkItem};
+use crate::sink::ResultSink;
+use crate::stats::{EngineStats, IndexSize};
+use srpq_automata::CompiledQuery;
+use srpq_common::{FxHashSet, ResultPair, StreamTuple, Timestamp, VertexId};
+use srpq_graph::WindowGraph;
+
+/// One shard: a slice of the Δ index plus its private result set.
+struct Shard {
+    delta: Delta,
+    emitted: FxHashSet<ResultPair>,
+    stats: EngineStats,
+    /// Results discovered in the current batch, drained to the caller's
+    /// sink after the parallel section.
+    outbox: Vec<(ResultPair, Timestamp)>,
+    invalidated: Vec<(ResultPair, Timestamp)>,
+}
+
+/// A buffering sink living inside a shard during the parallel section.
+struct OutboxSink<'a> {
+    outbox: &'a mut Vec<(ResultPair, Timestamp)>,
+    invalidated: &'a mut Vec<(ResultPair, Timestamp)>,
+}
+
+impl ResultSink for OutboxSink<'_> {
+    fn emit(&mut self, pair: ResultPair, ts: Timestamp) {
+        self.outbox.push((pair, ts));
+    }
+
+    fn invalidate(&mut self, pair: ResultPair, ts: Timestamp) {
+        self.invalidated.push((pair, ts));
+    }
+}
+
+/// A parallel RAPQ engine: tree maintenance and window management fan
+/// out over `n_shards` worker threads per micro-batch.
+pub struct ParallelRapqEngine {
+    query: CompiledQuery,
+    config: EngineConfig,
+    graph: WindowGraph,
+    shards: Vec<Shard>,
+    now: Timestamp,
+    batch: Vec<StreamTuple>,
+    batch_capacity: usize,
+}
+
+impl ParallelRapqEngine {
+    /// Creates an engine with `n_shards` tree shards and the given
+    /// micro-batch size (tuples are buffered until the batch fills, a
+    /// slide boundary is crossed, a deletion arrives, or
+    /// [`Self::flush`] is called).
+    pub fn new(
+        query: CompiledQuery,
+        config: EngineConfig,
+        n_shards: usize,
+        batch_capacity: usize,
+    ) -> ParallelRapqEngine {
+        let n_shards = n_shards.max(1);
+        ParallelRapqEngine {
+            query,
+            config,
+            graph: WindowGraph::new(),
+            shards: (0..n_shards)
+                .map(|_| Shard {
+                    delta: Delta::new(),
+                    emitted: FxHashSet::default(),
+                    stats: EngineStats::default(),
+                    outbox: Vec::new(),
+                    invalidated: Vec::new(),
+                })
+                .collect(),
+            now: Timestamp::NEG_INFINITY,
+            batch: Vec::with_capacity(batch_capacity.max(1)),
+            batch_capacity: batch_capacity.max(1),
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, root: VertexId) -> usize {
+        // Cheap deterministic partition; roots are dense interned ids.
+        (root.0 as usize) % self.shards.len()
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Aggregated Δ index size over all shards.
+    pub fn index_size(&self) -> IndexSize {
+        let mut total = IndexSize::default();
+        for s in &self.shards {
+            total.trees += s.delta.n_trees();
+            total.nodes += s.delta.n_nodes();
+        }
+        total
+    }
+
+    /// Aggregated engine statistics over all shards.
+    pub fn stats(&self) -> EngineStats {
+        let mut out = EngineStats::default();
+        for s in &self.shards {
+            out.tuples_processed += s.stats.tuples_processed;
+            out.tuples_discarded += s.stats.tuples_discarded;
+            out.deletions_processed += s.stats.deletions_processed;
+            out.insert_calls += s.stats.insert_calls;
+            out.results_emitted += s.stats.results_emitted;
+            out.results_invalidated += s.stats.results_invalidated;
+            out.expiry_runs += s.stats.expiry_runs;
+            out.nodes_expired += s.stats.nodes_expired;
+            out.expiry_nanos += s.stats.expiry_nanos;
+        }
+        out
+    }
+
+    /// Whether `pair` has been reported.
+    pub fn has_result(&self, pair: ResultPair) -> bool {
+        self.shards[self.shard_of(pair.src)].emitted.contains(&pair)
+    }
+
+    /// Number of distinct reported pairs.
+    pub fn result_count(&self) -> usize {
+        self.shards.iter().map(|s| s.emitted.len()).sum()
+    }
+
+    /// The window graph.
+    pub fn graph(&self) -> &WindowGraph {
+        &self.graph
+    }
+
+    /// Processes one tuple; results may be delivered on this call or on
+    /// the call that flushes the containing micro-batch.
+    pub fn process<S: ResultSink>(&mut self, tuple: StreamTuple, sink: &mut S) {
+        let boundary = self.now != Timestamp::NEG_INFINITY
+            && self.config.window.crosses_slide(self.now, tuple.ts.max(self.now));
+        let deletion = tuple.op == srpq_common::Op::Delete;
+        if boundary || deletion {
+            self.flush(sink);
+        }
+        self.batch.push(tuple);
+        if deletion || self.batch.len() >= self.batch_capacity {
+            self.flush(sink);
+        }
+    }
+
+    /// Flushes the pending micro-batch: applies graph updates, then
+    /// extends all shards in parallel and drains their outboxes.
+    pub fn flush<S: ResultSink>(&mut self, sink: &mut S) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.batch);
+        let prev = self.now;
+        let batch_end = batch.last().map(|t| t.ts).unwrap_or(self.now);
+        if batch_end > self.now {
+            self.now = batch_end;
+        }
+
+        // Window maintenance once per crossed slide boundary.
+        if prev != Timestamp::NEG_INFINITY && self.config.window.crosses_slide(prev, self.now) {
+            let wm = self.config.window.lazy_watermark(self.now);
+            self.graph.purge_expired(wm);
+            self.parallel_expire(wm, false);
+        }
+
+        // Phase 1 (sequential): apply all graph mutations.
+        let mut relevant: Vec<StreamTuple> = Vec::with_capacity(batch.len());
+        for t in batch {
+            if !self.query.dfa().knows_label(t.label) {
+                self.shards[0].stats.tuples_discarded += 1;
+                continue;
+            }
+            match t.op {
+                srpq_common::Op::Insert => {
+                    self.graph.insert(t.edge.src, t.edge.dst, t.label, t.ts);
+                }
+                srpq_common::Op::Delete => {
+                    self.graph.remove(t.edge.src, t.edge.dst, t.label);
+                }
+            }
+            relevant.push(t);
+        }
+
+        // Phase 2 (parallel): every shard processes the whole batch
+        // against its own trees. Watermarks advance per tuple inside the
+        // shard loop, matching the sequential engine's eager evaluation.
+        let query = &self.query;
+        let config = &self.config;
+        let graph = &self.graph;
+        let prev_now = prev;
+        let n_shards = self.shards.len();
+        let relevant = &relevant;
+        crossbeam::thread::scope(|scope| {
+            for (si, shard) in self.shards.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    shard_process_batch(
+                        shard, si, n_shards, query, config, graph, relevant, prev_now,
+                    );
+                });
+            }
+        })
+        .expect("shard worker panicked");
+
+        // Phase 3 (sequential): drain outboxes in shard order.
+        for shard in &mut self.shards {
+            for (pair, ts) in shard.outbox.drain(..) {
+                sink.emit(pair, ts);
+            }
+            for (pair, ts) in shard.invalidated.drain(..) {
+                sink.invalidate(pair, ts);
+            }
+        }
+    }
+
+    /// Parallel `ExpiryRAPQ` across shards.
+    fn parallel_expire(&mut self, wm: Timestamp, invalidate: bool) {
+        let query = &self.query;
+        let config = &self.config;
+        let graph = &self.graph;
+        let now = self.now;
+        crossbeam::thread::scope(|scope| {
+            for shard in self.shards.iter_mut() {
+                scope.spawn(move |_| {
+                    shard_expire(shard, query, config, graph, wm, invalidate, now);
+                });
+            }
+        })
+        .expect("shard worker panicked");
+    }
+
+    /// Forces an expiry pass (flushing first).
+    pub fn expire_now<S: ResultSink>(&mut self, sink: &mut S) {
+        self.flush(sink);
+        let wm = self.config.window.watermark(self.now);
+        self.graph.purge_expired(wm);
+        self.parallel_expire(wm, false);
+        for shard in &mut self.shards {
+            for (pair, ts) in shard.outbox.drain(..) {
+                sink.emit(pair, ts);
+            }
+            for (pair, ts) in shard.invalidated.drain(..) {
+                sink.invalidate(pair, ts);
+            }
+        }
+    }
+}
+
+/// Runs one micro-batch against one shard (worker-thread body).
+#[allow(clippy::too_many_arguments)]
+fn shard_process_batch(
+    shard: &mut Shard,
+    shard_index: usize,
+    n_shards: usize,
+    query: &CompiledQuery,
+    config: &EngineConfig,
+    graph: &WindowGraph,
+    batch: &[StreamTuple],
+    prev_now: Timestamp,
+) {
+    let dfa = query.dfa();
+    let s0 = dfa.start();
+    let mut work: Vec<WorkItem> = Vec::new();
+    let mut tnow = prev_now;
+    for t in batch {
+        if t.ts > tnow {
+            tnow = t.ts;
+        }
+        let now = tnow;
+        let wm = config.window.watermark(now);
+        if shard_index == 0 {
+            shard.stats.tuples_processed += 1;
+        }
+        let (u, v) = (t.edge.src, t.edge.dst);
+        match t.op {
+            srpq_common::Op::Insert => {
+                // Materialize T_u lazily iff u belongs to this shard.
+                if (u.0 as usize) % n_shards == shard_index
+                    && dfa.transitions_for(t.label).iter().any(|&(s, _)| s == s0)
+                {
+                    shard.delta.ensure_tree(u, s0);
+                }
+                let roots = shard.delta.trees_containing(u);
+                for root in roots {
+                    let Some(tree) = shard.delta.tree(root) else { continue };
+                    work.clear();
+                    for &(s, st) in dfa.transitions_for(t.label) {
+                        let parent = (u, s);
+                        let child = (v, st);
+                        let Some(pts) = tree.ts(parent) else { continue };
+                        if pts <= wm {
+                            continue;
+                        }
+                        let should = match tree.ts(child) {
+                            None => true,
+                            Some(cts) => cts < pts.min(t.ts),
+                        };
+                        if should {
+                            work.push(WorkItem {
+                                parent,
+                                child,
+                                via: t.label,
+                                edge_ts: t.ts,
+                            });
+                        }
+                    }
+                    if !work.is_empty() {
+                        let mut outbox = OutboxSink {
+                            outbox: &mut shard.outbox,
+                            invalidated: &mut shard.invalidated,
+                        };
+                        let (tree, idx) = shard
+                            .delta
+                            .tree_with_index(root)
+                            .expect("tree checked above");
+                        run_insert(
+                            tree,
+                            idx,
+                            &mut work,
+                            dfa,
+                            graph,
+                            config.refresh,
+                            config.dedup_results,
+                            wm,
+                            now,
+                            &mut shard.emitted,
+                            &mut shard.stats,
+                            &mut outbox,
+                        );
+                    }
+                }
+            }
+            srpq_common::Op::Delete => {
+                if shard_index == 0 {
+                    shard.stats.deletions_processed += 1;
+                }
+                let roots = shard.delta.trees_containing(v);
+                let mut dirty = Vec::new();
+                for root in roots {
+                    if let Some(tree) = shard.delta.tree_mut(root) {
+                        let mut touched = false;
+                        for &(s, st) in dfa.transitions_for(t.label) {
+                            let key = (v, st);
+                            if let Some(node) = tree.get(key) {
+                                if node.parent == Some((u, s)) && node.via_label == t.label {
+                                    tree.set_subtree_ts(key, Timestamp::NEG_INFINITY);
+                                    touched = true;
+                                }
+                            }
+                        }
+                        if touched {
+                            dirty.push(root);
+                        }
+                    }
+                }
+                for root in dirty {
+                    expire_shard_tree(
+                        shard, root, query, config, graph, wm, true, now,
+                    );
+                    shard.delta.drop_if_trivial(root);
+                }
+            }
+        }
+    }
+}
+
+/// `ExpiryRAPQ` over one shard's trees.
+fn shard_expire(
+    shard: &mut Shard,
+    query: &CompiledQuery,
+    config: &EngineConfig,
+    graph: &WindowGraph,
+    wm: Timestamp,
+    invalidate: bool,
+    now: Timestamp,
+) {
+    let t0 = std::time::Instant::now();
+    shard.stats.expiry_runs += 1;
+    for root in shard.delta.roots() {
+        expire_shard_tree(shard, root, query, config, graph, wm, invalidate, now);
+        shard.delta.drop_if_trivial(root);
+    }
+    shard.stats.expiry_nanos += t0.elapsed().as_nanos() as u64;
+}
+
+/// The single-tree expiry body shared by window expiry and deletions
+/// (mirrors `RapqEngine::expire_tree`).
+#[allow(clippy::too_many_arguments)]
+fn expire_shard_tree(
+    shard: &mut Shard,
+    root: VertexId,
+    query: &CompiledQuery,
+    config: &EngineConfig,
+    graph: &WindowGraph,
+    wm: Timestamp,
+    invalidate: bool,
+    now: Timestamp,
+) {
+    let dfa = query.dfa();
+    let Some((tree, idx)) = shard.delta.tree_with_index(root) else {
+        return;
+    };
+    let expired = tree.expired_keys(wm);
+    if expired.is_empty() {
+        return;
+    }
+    tree.remove_all(&expired);
+    for &(ev, _) in &expired {
+        idx.note_removed(root, ev);
+    }
+    let mut work: Vec<WorkItem> = Vec::new();
+    let mut outbox = OutboxSink {
+        outbox: &mut shard.outbox,
+        invalidated: &mut shard.invalidated,
+    };
+    for &(ev, et) in &expired {
+        for e in graph.in_edges(ev, wm) {
+            for &(s, t) in dfa.transitions_for(e.label) {
+                if t != et {
+                    continue;
+                }
+                let parent = (e.other, s);
+                let Some(pts) = tree.ts(parent) else { continue };
+                if pts <= wm {
+                    continue;
+                }
+                let should = match tree.ts((ev, et)) {
+                    None => true,
+                    Some(cts) => cts < pts.min(e.ts),
+                };
+                if should {
+                    work.push(WorkItem {
+                        parent,
+                        child: (ev, et),
+                        via: e.label,
+                        edge_ts: e.ts,
+                    });
+                    run_insert(
+                        tree,
+                        idx,
+                        &mut work,
+                        dfa,
+                        graph,
+                        config.refresh,
+                        config.dedup_results,
+                        wm,
+                        now,
+                        &mut shard.emitted,
+                        &mut shard.stats,
+                        &mut outbox,
+                    );
+                }
+            }
+        }
+    }
+    let mut permanently_removed = 0u64;
+    for &(ev, et) in &expired {
+        if !tree.contains((ev, et)) {
+            permanently_removed += 1;
+            if invalidate && config.report_invalidations && dfa.is_accepting(et) {
+                let witnessed = dfa.accepting_states().any(|f| tree.contains((ev, f)));
+                if !witnessed {
+                    let pair = ResultPair::new(root, ev);
+                    if shard.emitted.remove(&pair) {
+                        shard.stats.results_invalidated += 1;
+                        outbox.invalidate(pair, now);
+                    }
+                }
+            }
+        }
+    }
+    shard.stats.nodes_expired += permanently_removed;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rapq::RapqEngine;
+    use crate::sink::CollectSink;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use srpq_common::{Label, LabelInterner};
+    use srpq_graph::WindowPolicy;
+
+    fn random_stream(n: usize, n_vertices: u32, seed: u64) -> Vec<StreamTuple> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut ts = 0i64;
+        let mut inserted: Vec<StreamTuple> = Vec::new();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            ts += rng.gen_range(0..=2);
+            if !inserted.is_empty() && rng.gen_bool(0.1) {
+                let v = inserted[rng.gen_range(0..inserted.len())];
+                out.push(StreamTuple::delete(
+                    Timestamp(ts),
+                    v.edge.src,
+                    v.edge.dst,
+                    v.label,
+                ));
+                continue;
+            }
+            let src = VertexId(rng.gen_range(0..n_vertices));
+            let mut dst = VertexId(rng.gen_range(0..n_vertices));
+            if dst == src {
+                dst = VertexId((dst.0 + 1) % n_vertices);
+            }
+            let t = StreamTuple::insert(
+                Timestamp(ts),
+                src,
+                dst,
+                Label(rng.gen_range(0..2)),
+            );
+            inserted.push(t);
+            out.push(t);
+        }
+        out
+    }
+
+    fn compile(expr: &str) -> CompiledQuery {
+        let mut labels = LabelInterner::new();
+        labels.intern("a");
+        labels.intern("b");
+        CompiledQuery::compile(expr, &mut labels).unwrap()
+    }
+
+    #[test]
+    fn matches_sequential_engine() {
+        for &expr in &["a b*", "(a | b)+", "a b a"] {
+            for seed in 0..3u64 {
+                let stream = random_stream(300, 12, seed);
+                let query = compile(expr);
+                let window = WindowPolicy::new(20, 5);
+                let config = EngineConfig::with_window(window);
+
+                let mut sequential = RapqEngine::new(query.clone(), config);
+                let mut parallel = ParallelRapqEngine::new(query, config, 4, 16);
+
+                let mut ss = CollectSink::default();
+                let mut sp = CollectSink::default();
+                for &t in &stream {
+                    sequential.process(t, &mut ss);
+                    parallel.process(t, &mut sp);
+                }
+                sequential.expire_now(&mut ss);
+                parallel.expire_now(&mut sp);
+                assert_eq!(
+                    ss.pairs(),
+                    sp.pairs(),
+                    "query {expr}, seed {seed}: parallel/sequential diverge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_single_tuple_batches() {
+        // Degenerate configuration must behave like the plain engine.
+        let stream = random_stream(150, 8, 7);
+        let query = compile("(a b)+");
+        let window = WindowPolicy::new(15, 3);
+        let config = EngineConfig::with_window(window);
+        let mut sequential = RapqEngine::new(query.clone(), config);
+        let mut parallel = ParallelRapqEngine::new(query, config, 1, 1);
+        let mut ss = CollectSink::default();
+        let mut sp = CollectSink::default();
+        for &t in &stream {
+            sequential.process(t, &mut ss);
+            parallel.process(t, &mut sp);
+        }
+        assert_eq!(ss.pairs(), sp.pairs());
+    }
+
+    #[test]
+    fn result_lookup_and_stats_aggregate() {
+        let query = compile("a");
+        let config = EngineConfig::with_window(WindowPolicy::new(100, 10));
+        let mut engine = ParallelRapqEngine::new(query, config, 3, 4);
+        let mut sink = CollectSink::default();
+        for i in 0..9u32 {
+            engine.process(
+                StreamTuple::insert(
+                    Timestamp(i as i64 + 1),
+                    VertexId(i),
+                    VertexId(i + 1),
+                    Label(0),
+                ),
+                &mut sink,
+            );
+        }
+        engine.flush(&mut sink);
+        assert_eq!(engine.result_count(), 9);
+        for i in 0..9u32 {
+            assert!(engine.has_result(ResultPair::new(VertexId(i), VertexId(i + 1))));
+        }
+        assert_eq!(engine.n_shards(), 3);
+        assert!(engine.index_size().nodes >= 18);
+        assert_eq!(engine.stats().results_emitted, 9);
+    }
+
+    #[test]
+    fn deletion_cuts_batch_and_invalidates() {
+        let query = compile("a b");
+        let config = EngineConfig::with_window(WindowPolicy::new(100, 10));
+        let mut engine = ParallelRapqEngine::new(query, config, 2, 64);
+        let mut sink = CollectSink::default();
+        let v = VertexId;
+        engine.process(
+            StreamTuple::insert(Timestamp(1), v(0), v(1), Label(0)),
+            &mut sink,
+        );
+        engine.process(
+            StreamTuple::insert(Timestamp(2), v(1), v(2), Label(1)),
+            &mut sink,
+        );
+        // Deletion forces a flush of the pending inserts first.
+        engine.process(
+            StreamTuple::delete(Timestamp(3), v(0), v(1), Label(0)),
+            &mut sink,
+        );
+        assert!(!engine.has_result(ResultPair::new(v(0), v(2))));
+        assert_eq!(sink.invalidated().len(), 1);
+    }
+}

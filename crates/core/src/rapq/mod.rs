@@ -1,0 +1,938 @@
+//! Algorithm RAPQ: streaming RPQ evaluation under arbitrary path
+//! semantics (§3 of the paper).
+//!
+//! For each incoming tuple `(τ, (u,v), l, +)` the engine simultaneously
+//! traverses the snapshot graph and the query DFA — emulating a traversal
+//! of the product graph — and extends every spanning tree `T_x ∈ Δ` that
+//! contains a live node `(u, s)` with `δ(s, l)` defined (Algorithm RAPQ).
+//! Window expiry (`ExpiryRAPQ`) runs lazily at slide boundaries and
+//! reconnects orphaned product-graph nodes through surviving window
+//! edges; explicit deletions (`Delete`) mark the severed subtree with
+//! `-∞` timestamps and reuse the very same expiry machinery (§3.2).
+
+pub mod tree;
+
+use crate::config::{EngineConfig, RefreshPolicy};
+use crate::sink::ResultSink;
+use crate::stats::{EngineStats, IndexSize};
+use srpq_automata::{CompiledQuery, Dfa};
+use srpq_common::{FxHashSet, Label, ResultPair, StreamTuple, Timestamp, VertexId};
+use srpq_graph::WindowGraph;
+use tree::{Delta, NodeKey, RevIndex, Tree};
+
+/// A unit of deferred `Insert` work: attach `child` under `parent` via a
+/// graph edge labeled `via` with timestamp `edge_ts`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WorkItem {
+    pub(crate) parent: NodeKey,
+    pub(crate) child: NodeKey,
+    pub(crate) via: Label,
+    pub(crate) edge_ts: Timestamp,
+}
+
+/// The streaming RAPQ engine (Algorithm RAPQ + Insert + ExpiryRAPQ +
+/// Delete).
+pub struct RapqEngine {
+    query: CompiledQuery,
+    config: EngineConfig,
+    graph: WindowGraph,
+    delta: Delta,
+    /// Deduplication set: pairs currently reported as results.
+    emitted: FxHashSet<ResultPair>,
+    now: Timestamp,
+    stats: EngineStats,
+    /// Reusable work stack (avoids reallocating per tuple).
+    work: Vec<WorkItem>,
+}
+
+impl RapqEngine {
+    /// Creates an engine for a registered query.
+    pub fn new(query: CompiledQuery, config: EngineConfig) -> RapqEngine {
+        RapqEngine {
+            query,
+            config,
+            graph: WindowGraph::new(),
+            delta: Delta::new(),
+            emitted: FxHashSet::default(),
+            now: Timestamp::NEG_INFINITY,
+            stats: EngineStats::default(),
+            work: Vec::new(),
+        }
+    }
+
+    /// The registered query.
+    pub fn query(&self) -> &CompiledQuery {
+        &self.query
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Current Δ index size (Figure 5 / Figure 9).
+    pub fn index_size(&self) -> IndexSize {
+        IndexSize {
+            trees: self.delta.n_trees(),
+            nodes: self.delta.n_nodes(),
+        }
+    }
+
+    /// The window graph (snapshot `G_{W,τ}` plus not-yet-purged tuples).
+    pub fn graph(&self) -> &WindowGraph {
+        &self.graph
+    }
+
+    /// Direct access to the Δ index (tests, Figure 5 instrumentation).
+    pub fn delta(&self) -> &Delta {
+        &self.delta
+    }
+
+    /// Stream time of the last processed tuple.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Number of distinct result pairs currently reported.
+    pub fn result_count(&self) -> usize {
+        self.emitted.len()
+    }
+
+    /// Whether `pair` has been reported (and not invalidated).
+    pub fn has_result(&self, pair: ResultPair) -> bool {
+        self.emitted.contains(&pair)
+    }
+
+    /// Processes one streaming graph tuple, pushing any new results (and
+    /// invalidations) into `sink`. Tuples must arrive in non-decreasing
+    /// timestamp order.
+    pub fn process<S: ResultSink>(&mut self, tuple: StreamTuple, sink: &mut S) {
+        let prev = self.now;
+        if tuple.ts > self.now {
+            self.now = tuple.ts;
+        }
+        // Lazy expiry: fire once per crossed slide boundary (§3.1).
+        if prev != Timestamp::NEG_INFINITY && self.config.window.crosses_slide(prev, self.now) {
+            let wm = self.config.window.lazy_watermark(self.now);
+            self.run_expiry(wm, false, sink);
+        }
+        match tuple.op {
+            srpq_common::Op::Insert => self.handle_insert(tuple, sink),
+            srpq_common::Op::Delete => self.handle_delete(tuple, sink),
+        }
+    }
+
+    /// Forces an expiry pass at the current eager watermark (harness
+    /// hook; normally expiry is driven by slide crossings).
+    pub fn expire_now<S: ResultSink>(&mut self, sink: &mut S) {
+        let wm = self.config.window.watermark(self.now);
+        self.run_expiry(wm, false, sink);
+    }
+
+    /// Processes a tuple against an **external, shared** window graph
+    /// (multi-query evaluation: one graph, many Δ indexes). The engine's
+    /// own graph must stay untouched between shared calls — do not mix
+    /// [`Self::process`] and this method on one engine.
+    pub fn process_with_graph<S: ResultSink>(
+        &mut self,
+        graph: &mut WindowGraph,
+        tuple: StreamTuple,
+        sink: &mut S,
+    ) {
+        std::mem::swap(&mut self.graph, graph);
+        self.process(tuple, sink);
+        std::mem::swap(&mut self.graph, graph);
+    }
+
+    /// [`Self::expire_now`] against an external shared graph.
+    pub fn expire_now_with_graph<S: ResultSink>(
+        &mut self,
+        graph: &mut WindowGraph,
+        sink: &mut S,
+    ) {
+        std::mem::swap(&mut self.graph, graph);
+        self.expire_now(sink);
+        std::mem::swap(&mut self.graph, graph);
+    }
+
+    fn handle_insert<S: ResultSink>(&mut self, tuple: StreamTuple, sink: &mut S) {
+        let label = tuple.label;
+        if !self.query.dfa().knows_label(label) {
+            self.stats.tuples_discarded += 1;
+            return;
+        }
+        self.stats.tuples_processed += 1;
+        let (u, v) = (tuple.edge.src, tuple.edge.dst);
+        self.graph.insert(u, v, label, tuple.ts);
+        let wm = self.config.window.watermark(self.now);
+
+        // Materialize T_u lazily: only a tuple with δ(s0, l) defined can
+        // seed a tree rooted at its source vertex.
+        let s0 = self.query.dfa().start();
+        if self
+            .query
+            .dfa()
+            .transitions_for(label)
+            .iter()
+            .any(|&(s, _)| s == s0)
+        {
+            self.delta.ensure_tree(u, s0);
+        }
+
+        // Lines 4–12 of Algorithm RAPQ, restricted to trees that can
+        // actually extend (reverse index).
+        let roots = self.delta.trees_containing(u);
+        for root in roots {
+            self.extend_tree_with_edge(root, u, v, label, tuple.ts, wm, sink);
+        }
+    }
+
+    /// For one tree: try every DFA transition `(s, t)` on `label` with
+    /// parent `(u, s)` and child `(v, t)`.
+    #[allow(clippy::too_many_arguments)]
+    fn extend_tree_with_edge<S: ResultSink>(
+        &mut self,
+        root: VertexId,
+        u: VertexId,
+        v: VertexId,
+        label: Label,
+        edge_ts: Timestamp,
+        wm: Timestamp,
+        sink: &mut S,
+    ) {
+        let mut work = std::mem::take(&mut self.work);
+        work.clear();
+        {
+            let Some(tree) = self.delta.tree(root) else {
+                self.work = work;
+                return;
+            };
+            for &(s, t) in self.query.dfa().transitions_for(label) {
+                let parent = (u, s);
+                let child = (v, t);
+                let Some(pts) = tree.ts(parent) else { continue };
+                if pts <= wm {
+                    continue; // parent expired (line 6 guard)
+                }
+                if Self::should_insert(tree, child, pts, edge_ts) {
+                    work.push(WorkItem {
+                        parent,
+                        child,
+                        via: label,
+                        edge_ts,
+                    });
+                }
+            }
+        }
+        if !work.is_empty() {
+            let (tree, idx) = self
+                .delta
+                .tree_with_index(root)
+                .expect("tree checked above");
+            run_insert(
+                tree,
+                idx,
+                &mut work,
+                self.query.dfa(),
+                &self.graph,
+                self.config.refresh,
+                self.config.dedup_results,
+                wm,
+                self.now,
+                &mut self.emitted,
+                &mut self.stats,
+                sink,
+            );
+        }
+        self.work = work;
+    }
+
+    /// The line-7 condition of Algorithm RAPQ: insert if the child is
+    /// absent or its timestamp can be improved.
+    #[inline]
+    fn should_insert(tree: &Tree, child: NodeKey, parent_ts: Timestamp, edge_ts: Timestamp) -> bool {
+        match tree.ts(child) {
+            None => true,
+            Some(cts) => cts < parent_ts.min(edge_ts),
+        }
+    }
+
+    fn handle_delete<S: ResultSink>(&mut self, tuple: StreamTuple, sink: &mut S) {
+        let label = tuple.label;
+        if !self.query.dfa().knows_label(label) {
+            self.stats.tuples_discarded += 1;
+            return;
+        }
+        self.stats.tuples_processed += 1;
+        self.stats.deletions_processed += 1;
+        let (u, v) = (tuple.edge.src, tuple.edge.dst);
+        self.graph.remove(u, v, label);
+        let wm = self.config.window.watermark(self.now);
+
+        // Algorithm Delete: find trees where (u,s) → (v,t) is a
+        // tree-edge (Definition 13), mark the severed subtree with -∞,
+        // then run the expiry machinery to prune/reconnect.
+        let roots = self.delta.trees_containing(v);
+        for root in roots {
+            let mut dirty = false;
+            if let Some(tree) = self.delta.tree_mut(root) {
+                for &(s, t) in self.query.dfa().transitions_for(label) {
+                    let key = (v, t);
+                    if let Some(node) = tree.get(key) {
+                        if node.parent == Some((u, s)) && node.via_label == label {
+                            tree.set_subtree_ts(key, Timestamp::NEG_INFINITY);
+                            dirty = true;
+                        }
+                    }
+                }
+            }
+            if dirty {
+                self.expire_tree(root, wm, true, sink);
+                self.delta.drop_if_trivial(root);
+            }
+        }
+    }
+
+    /// Runs `ExpiryRAPQ` over every tree: prune expired nodes, attempt
+    /// reconnection via surviving window edges, optionally invalidate
+    /// results that lost their last witness.
+    fn run_expiry<S: ResultSink>(&mut self, wm: Timestamp, invalidate: bool, sink: &mut S) {
+        let t0 = std::time::Instant::now();
+        self.stats.expiry_runs += 1;
+        self.graph.purge_expired(wm);
+        for root in self.delta.roots() {
+            self.expire_tree(root, wm, invalidate, sink);
+            self.delta.drop_if_trivial(root);
+        }
+        self.stats.expiry_nanos += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// `ExpiryRAPQ` for a single tree.
+    fn expire_tree<S: ResultSink>(
+        &mut self,
+        root: VertexId,
+        wm: Timestamp,
+        invalidate: bool,
+        sink: &mut S,
+    ) {
+        let mut work = std::mem::take(&mut self.work);
+        work.clear();
+
+        let Some((tree, idx)) = self.delta.tree_with_index(root) else {
+            self.work = work;
+            return;
+        };
+        // Line 2: candidate set P (downward-closed by the timestamp
+        // monotonicity invariant). Line 3: prune.
+        let expired = tree.expired_keys(wm);
+        if expired.is_empty() {
+            self.work = work;
+            return;
+        }
+        tree.remove_all(&expired);
+        for &(ev, _) in &expired {
+            idx.note_removed(root, ev);
+        }
+
+        // Lines 4–10: reconnection. A candidate (v, t) reattaches if some
+        // valid in-edge (u, v) comes from a live (u, s) with δ(s,l) = t;
+        // Insert then re-expands its former subtree from graph edges.
+        for &(ev, et) in &expired {
+            for e in self.graph.in_edges(ev, wm) {
+                for &(s, t) in self.query.dfa().transitions_for(e.label) {
+                    if t != et {
+                        continue;
+                    }
+                    let parent = (e.other, s);
+                    let Some(pts) = tree.ts(parent) else { continue };
+                    if pts <= wm {
+                        continue;
+                    }
+                    if Self::should_insert(tree, (ev, et), pts, e.ts) {
+                        work.push(WorkItem {
+                            parent,
+                            child: (ev, et),
+                            via: e.label,
+                            edge_ts: e.ts,
+                        });
+                        run_insert(
+                            tree,
+                            idx,
+                            &mut work,
+                            self.query.dfa(),
+                            &self.graph,
+                            self.config.refresh,
+                            self.config.dedup_results,
+                            wm,
+                            self.now,
+                            &mut self.emitted,
+                            &mut self.stats,
+                            sink,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Lines 11–15: permanently removed accepting nodes may
+        // invalidate results (only meaningful for explicit deletions;
+        // window expiry keeps implicit-window monotonicity).
+        let mut permanently_removed = 0u64;
+        for &(ev, et) in &expired {
+            if !tree.contains((ev, et)) {
+                permanently_removed += 1;
+                if invalidate
+                    && self.config.report_invalidations
+                    && self.query.dfa().is_accepting(et)
+                {
+                    // Another accepting occurrence of `ev` may survive.
+                    let witnessed = self
+                        .query
+                        .dfa()
+                        .accepting_states()
+                        .any(|f| tree.contains((ev, f)));
+                    if !witnessed {
+                        let pair = ResultPair::new(root, ev);
+                        if self.emitted.remove(&pair) {
+                            self.stats.results_invalidated += 1;
+                            sink.invalidate(pair, self.now);
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.nodes_expired += permanently_removed;
+        self.work = work;
+    }
+}
+
+/// The iterative core of Algorithm Insert: drains `work`, attaching or
+/// refreshing nodes and expanding fresh nodes through valid window edges.
+///
+/// Free function (rather than a method) so the engine can hold disjoint
+/// borrows of the tree, the reverse index, and the graph.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_insert<S: ResultSink>(
+    tree: &mut Tree,
+    idx: &mut RevIndex,
+    work: &mut Vec<WorkItem>,
+    dfa: &Dfa,
+    graph: &WindowGraph,
+    refresh: RefreshPolicy,
+    dedup: bool,
+    wm: Timestamp,
+    now: Timestamp,
+    emitted: &mut FxHashSet<ResultPair>,
+    stats: &mut EngineStats,
+    sink: &mut S,
+) {
+    let root = tree.root();
+    while let Some(WorkItem {
+        parent,
+        child,
+        via,
+        edge_ts,
+    }) = work.pop()
+    {
+        stats.insert_calls += 1;
+        // Re-validate: the tree may have changed since this item was
+        // pushed (conditions are monotone, so re-checking is safe).
+        let Some(pts) = tree.ts(parent) else { continue };
+        if pts <= wm {
+            continue;
+        }
+        let new_ts = edge_ts.min(pts);
+        if new_ts <= wm {
+            continue; // the connecting edge itself has expired
+        }
+        match tree.ts(child) {
+            Some(cts) => {
+                // Timestamp refresh (Algorithm RAPQ line 7 / Insert
+                // lines 2–3). The paper re-points the parent without
+                // re-expanding; `RefreshPolicy` exposes the variants.
+                if cts >= new_ts {
+                    continue;
+                }
+                match refresh {
+                    RefreshPolicy::None => {}
+                    RefreshPolicy::Node => {
+                        tree.reparent(child, parent, via, new_ts);
+                    }
+                    RefreshPolicy::Subtree => {
+                        tree.reparent(child, parent, via, new_ts);
+                        // Propagate the improvement: any neighbour whose
+                        // timestamp can now improve through this node is
+                        // re-examined — both current children and nodes
+                        // that would re-parent under the fresher path.
+                        // Timestamps only ever increase, so this
+                        // fixpoint terminates.
+                        let (cv, cs) = child;
+                        for e in graph.out_edges(cv, wm) {
+                            if let Some(q) = dfa.next(cs, e.label) {
+                                let target = (e.other, q);
+                                // Absent targets matter too: an edge that
+                                // arrived while this node looked expired
+                                // was never expanded through.
+                                let improvable = match tree.ts(target) {
+                                    None => true,
+                                    Some(ts0) => ts0 < new_ts.min(e.ts),
+                                };
+                                if improvable {
+                                    work.push(WorkItem {
+                                        parent: child,
+                                        child: target,
+                                        via: e.label,
+                                        edge_ts: e.ts,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                tree.add(child, parent, via, new_ts);
+                idx.note_added(root, child.0);
+                let (cv, cs) = child;
+                if dfa.is_accepting(cs) {
+                    let pair = ResultPair::new(root, cv);
+                    let fresh = emitted.insert(pair);
+                    if fresh || !dedup {
+                        stats.results_emitted += 1;
+                        sink.emit(pair, now);
+                    }
+                }
+                // Lines 8–11 of Insert: expand through valid window
+                // edges out of the new node.
+                for e in graph.out_edges(cv, wm) {
+                    if let Some(q) = dfa.next(cs, e.label) {
+                        let target = (e.other, q);
+                        let cond = match tree.ts(target) {
+                            None => true,
+                            Some(ts0) => ts0 < new_ts.min(e.ts),
+                        };
+                        if cond {
+                            work.push(WorkItem {
+                                parent: child,
+                                child: target,
+                                via: e.label,
+                                edge_ts: e.ts,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectSink;
+    use srpq_common::{LabelInterner, VertexInterner};
+    use srpq_graph::WindowPolicy;
+
+    /// Builds the Figure 1(a) stream: Q1 = (follows ◦ mentions)+,
+    /// |W| = 15. Returns (engine, sink-ready vertex ids, labels).
+    struct Fixture {
+        engine: RapqEngine,
+        verts: VertexInterner,
+        labels: LabelInterner,
+    }
+
+    fn fig1_engine(refresh: RefreshPolicy, slide: i64) -> Fixture {
+        let mut labels = LabelInterner::new();
+        let query = CompiledQuery::compile("(follows mentions)+", &mut labels).unwrap();
+        let mut config = EngineConfig::with_window(WindowPolicy::new(15, slide));
+        config.refresh = refresh;
+        let engine = RapqEngine::new(query, config);
+        let mut verts = VertexInterner::new();
+        for name in ["x", "y", "z", "u", "v", "w"] {
+            verts.intern(name);
+        }
+        Fixture {
+            engine,
+            verts,
+            labels,
+        }
+    }
+
+    /// The Figure 1(a) tuple stream up to (and including) time `until`.
+    fn fig1_stream(f: &Fixture, until: i64) -> Vec<StreamTuple> {
+        let v = |n: &str| f.verts.get(n).unwrap();
+        let l = |n: &str| f.labels.get(n).unwrap();
+        let raw = [
+            (4, "y", "u", "mentions"),
+            (6, "x", "z", "follows"),
+            (9, "u", "v", "follows"),
+            (11, "z", "w", "mentions"),
+            (13, "x", "y", "follows"),
+            (14, "z", "u", "mentions"),
+            (15, "u", "x", "mentions"),
+            (18, "v", "y", "mentions"),
+            (19, "w", "u", "follows"),
+        ];
+        raw.iter()
+            .filter(|&&(ts, ..)| ts <= until)
+            .map(|&(ts, a, b, lab)| StreamTuple::insert(Timestamp(ts), v(a), v(b), l(lab)))
+            .collect()
+    }
+
+    fn node(
+        f: &Fixture,
+        root: &str,
+        vertex: &str,
+        state: u32,
+    ) -> Option<(Option<NodeKey>, Timestamp)> {
+        let tree = f.engine.delta.tree(f.verts.get(root).unwrap())?;
+        let key = (f.verts.get(vertex).unwrap(), srpq_common::StateId(state));
+        tree.get(key).map(|n| (n.parent, n.ts))
+    }
+
+    #[test]
+    fn figure_2a_tree_shape_without_refresh() {
+        // RefreshPolicy::None reproduces Figure 2(a) exactly: slide large
+        // enough that no expiry pass runs before t=18.
+        let mut f = fig1_engine(RefreshPolicy::None, 1000);
+        let mut sink = CollectSink::default();
+        for t in fig1_stream(&f, 18) {
+            f.engine.process(t, &mut sink);
+        }
+        let v = |n: &str| f.verts.get(n).unwrap();
+        let s = |i: u32| srpq_common::StateId(i);
+
+        // T_x nodes with parents and timestamps as drawn.
+        assert_eq!(
+            node(&f, "x", "y", 1),
+            Some((Some((v("x"), s(0))), Timestamp(13)))
+        );
+        assert_eq!(
+            node(&f, "x", "z", 1),
+            Some((Some((v("x"), s(0))), Timestamp(6)))
+        );
+        assert_eq!(
+            node(&f, "x", "u", 2),
+            Some((Some((v("y"), s(1))), Timestamp(4)))
+        );
+        assert_eq!(
+            node(&f, "x", "v", 1),
+            Some((Some((v("u"), s(2))), Timestamp(4)))
+        );
+        assert_eq!(
+            node(&f, "x", "y", 2),
+            Some((Some((v("v"), s(1))), Timestamp(4)))
+        );
+        assert_eq!(
+            node(&f, "x", "w", 2),
+            Some((Some((v("z"), s(1))), Timestamp(6)))
+        );
+        // Result (x, y) reported at t=18 (Example in §1).
+        assert!(f
+            .engine
+            .has_result(ResultPair::new(v("x"), v("y"))));
+        f.engine.delta.validate().unwrap();
+    }
+
+    #[test]
+    fn pseudocode_refresh_reparents_at_t14() {
+        // With the paper's pseudocode condition (RefreshPolicy::Node),
+        // the arrival of (z → u, mentions) at t=14 refreshes (u, 2) under
+        // (z, 1) with timestamp 6 — see DESIGN.md on the Figure 2(a)
+        // discrepancy.
+        let mut f = fig1_engine(RefreshPolicy::Node, 1000);
+        let mut sink = CollectSink::default();
+        for t in fig1_stream(&f, 18) {
+            f.engine.process(t, &mut sink);
+        }
+        let v = |n: &str| f.verts.get(n).unwrap();
+        let s = |i: u32| srpq_common::StateId(i);
+        assert_eq!(
+            node(&f, "x", "u", 2),
+            Some((Some((v("z"), s(1))), Timestamp(6)))
+        );
+        // Descendants keep their stale (smaller) timestamps.
+        assert_eq!(
+            node(&f, "x", "v", 1),
+            Some((Some((v("u"), s(2))), Timestamp(4)))
+        );
+        f.engine.delta.validate().unwrap();
+    }
+
+    #[test]
+    fn figure_2b_after_expiry_at_t19() {
+        // With slide = 1 the expiry pass at t=19 prunes the ts=4 chain
+        // and reconnects (u,2) through the valid edge (z → u, 14),
+        // yielding the Figure 2(b) tree.
+        let mut f = fig1_engine(RefreshPolicy::None, 1);
+        let mut sink = CollectSink::default();
+        for t in fig1_stream(&f, 19) {
+            f.engine.process(t, &mut sink);
+        }
+        let v = |n: &str| f.verts.get(n).unwrap();
+        let s = |i: u32| srpq_common::StateId(i);
+
+        assert_eq!(
+            node(&f, "x", "y", 1),
+            Some((Some((v("x"), s(0))), Timestamp(13)))
+        );
+        // Reconnected chain, all at ts 6.
+        assert_eq!(
+            node(&f, "x", "u", 2),
+            Some((Some((v("z"), s(1))), Timestamp(6)))
+        );
+        assert_eq!(
+            node(&f, "x", "v", 1),
+            Some((Some((v("u"), s(2))), Timestamp(6)))
+        );
+        assert_eq!(
+            node(&f, "x", "y", 2),
+            Some((Some((v("v"), s(1))), Timestamp(6)))
+        );
+        // New nodes from the t=19 edge (w → u, follows).
+        assert_eq!(
+            node(&f, "x", "u", 1),
+            Some((Some((v("w"), s(2))), Timestamp(6)))
+        );
+        assert_eq!(
+            node(&f, "x", "x", 2),
+            Some((Some((v("u"), s(1))), Timestamp(6)))
+        );
+        assert_eq!(
+            node(&f, "x", "w", 2),
+            Some((Some((v("z"), s(1))), Timestamp(6)))
+        );
+        f.engine.delta.validate().unwrap();
+    }
+
+    #[test]
+    fn emits_pair_for_even_alternating_path() {
+        let mut f = fig1_engine(RefreshPolicy::Node, 1);
+        let mut sink = CollectSink::default();
+        for t in fig1_stream(&f, 19) {
+            f.engine.process(t, &mut sink);
+        }
+        let v = |n: &str| f.verts.get(n).unwrap();
+        let pairs = sink.pairs();
+        // (x, y) via x→y→u→v→y at t=18 and (x, x) via the cycle at 19.
+        assert!(pairs.contains(&ResultPair::new(v("x"), v("y"))));
+        assert!(pairs.contains(&ResultPair::new(v("x"), v("x"))));
+    }
+
+    #[test]
+    fn foreign_labels_are_discarded() {
+        let mut f = fig1_engine(RefreshPolicy::Node, 1);
+        let mut labels = f.labels.clone();
+        let likes = labels.intern("likes");
+        let mut sink = CollectSink::default();
+        let x = f.verts.get("x").unwrap();
+        let y = f.verts.get("y").unwrap();
+        f.engine
+            .process(StreamTuple::insert(Timestamp(1), x, y, likes), &mut sink);
+        assert_eq!(f.engine.stats().tuples_discarded, 1);
+        assert_eq!(f.engine.stats().tuples_processed, 0);
+        assert_eq!(f.engine.graph().n_edges(), 0);
+    }
+
+    #[test]
+    fn window_separates_old_and_new_edges() {
+        // a ◦ b with |W| = 5: edges 10 apart never form a result.
+        let mut labels = LabelInterner::new();
+        let query = CompiledQuery::compile("a b", &mut labels).unwrap();
+        let config = EngineConfig::with_window(WindowPolicy::new(5, 1));
+        let mut engine = RapqEngine::new(query, config);
+        let a = labels.get("a").unwrap();
+        let b = labels.get("b").unwrap();
+        let (v0, v1, v2) = (VertexId(0), VertexId(1), VertexId(2));
+        let mut sink = CollectSink::default();
+        engine.process(StreamTuple::insert(Timestamp(1), v0, v1, a), &mut sink);
+        engine.process(StreamTuple::insert(Timestamp(11), v1, v2, b), &mut sink);
+        assert!(sink.pairs().is_empty());
+
+        // Within the window it does.
+        engine.process(StreamTuple::insert(Timestamp(12), v0, v1, a), &mut sink);
+        assert_eq!(sink.pairs().len(), 1);
+        assert!(engine.has_result(ResultPair::new(v0, v2)));
+    }
+
+    #[test]
+    fn results_require_all_edges_in_one_window() {
+        // Definition 9: all edges of a witness path must be < |W| apart.
+        let mut labels = LabelInterner::new();
+        let query = CompiledQuery::compile("a+", &mut labels).unwrap();
+        let config = EngineConfig::with_window(WindowPolicy::new(10, 1));
+        let mut engine = RapqEngine::new(query, config);
+        let a = labels.get("a").unwrap();
+        let mut sink = CollectSink::default();
+        // Chain 0→1→2 with a gap: 0→1 at t=1, 1→2 at t=20.
+        engine.process(
+            StreamTuple::insert(Timestamp(1), VertexId(0), VertexId(1), a),
+            &mut sink,
+        );
+        engine.process(
+            StreamTuple::insert(Timestamp(20), VertexId(1), VertexId(2), a),
+            &mut sink,
+        );
+        let pairs = sink.pairs();
+        assert!(pairs.contains(&ResultPair::new(VertexId(0), VertexId(1))));
+        assert!(pairs.contains(&ResultPair::new(VertexId(1), VertexId(2))));
+        assert!(!pairs.contains(&ResultPair::new(VertexId(0), VertexId(2))));
+    }
+
+    #[test]
+    fn explicit_delete_invalidates_results() {
+        let mut labels = LabelInterner::new();
+        let query = CompiledQuery::compile("a b", &mut labels).unwrap();
+        let config = EngineConfig::with_window(WindowPolicy::new(100, 1));
+        let mut engine = RapqEngine::new(query, config);
+        let a = labels.get("a").unwrap();
+        let b = labels.get("b").unwrap();
+        let (v0, v1, v2) = (VertexId(0), VertexId(1), VertexId(2));
+        let mut sink = CollectSink::default();
+        engine.process(StreamTuple::insert(Timestamp(1), v0, v1, a), &mut sink);
+        engine.process(StreamTuple::insert(Timestamp(2), v1, v2, b), &mut sink);
+        assert!(engine.has_result(ResultPair::new(v0, v2)));
+
+        engine.process(StreamTuple::delete(Timestamp(3), v0, v1, a), &mut sink);
+        assert!(!engine.has_result(ResultPair::new(v0, v2)));
+        assert_eq!(sink.invalidated().len(), 1);
+        assert_eq!(engine.stats().deletions_processed, 1);
+        engine.delta.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_with_alternative_witness_keeps_result() {
+        // Two parallel a-edges from 0 to 1: deleting one leaves the
+        // result derivable... but they are the same (src,dst,label) edge,
+        // so use two distinct intermediate vertices instead.
+        let mut labels = LabelInterner::new();
+        let query = CompiledQuery::compile("a b", &mut labels).unwrap();
+        let config = EngineConfig::with_window(WindowPolicy::new(100, 1));
+        let mut engine = RapqEngine::new(query, config);
+        let a = labels.get("a").unwrap();
+        let b = labels.get("b").unwrap();
+        let (v0, v1, v2, v3) = (VertexId(0), VertexId(1), VertexId(2), VertexId(3));
+        let mut sink = CollectSink::default();
+        // 0 →a 1 →b 3 and 0 →a 2 →b 3.
+        engine.process(StreamTuple::insert(Timestamp(1), v0, v1, a), &mut sink);
+        engine.process(StreamTuple::insert(Timestamp(2), v1, v3, b), &mut sink);
+        engine.process(StreamTuple::insert(Timestamp(3), v0, v2, a), &mut sink);
+        engine.process(StreamTuple::insert(Timestamp(4), v2, v3, b), &mut sink);
+        assert!(engine.has_result(ResultPair::new(v0, v3)));
+
+        // Deleting the first witness keeps the result via the second.
+        engine.process(StreamTuple::delete(Timestamp(5), v0, v1, a), &mut sink);
+        assert!(engine.has_result(ResultPair::new(v0, v3)));
+        assert!(sink.invalidated().is_empty());
+
+        // Deleting the second witness finally invalidates.
+        engine.process(StreamTuple::delete(Timestamp(6), v0, v2, a), &mut sink);
+        assert!(!engine.has_result(ResultPair::new(v0, v3)));
+        assert_eq!(sink.invalidated().len(), 1);
+    }
+
+    #[test]
+    fn delete_of_nontree_edge_is_cheap() {
+        let mut labels = LabelInterner::new();
+        let query = CompiledQuery::compile("a+", &mut labels).unwrap();
+        let config = EngineConfig::with_window(WindowPolicy::new(100, 1));
+        let mut engine = RapqEngine::new(query, config);
+        let a = labels.get("a").unwrap();
+        let (v0, v1) = (VertexId(0), VertexId(1));
+        let mut sink = CollectSink::default();
+        engine.process(StreamTuple::insert(Timestamp(1), v0, v1, a), &mut sink);
+        // (1 → 0) creates the cycle; both (0,1) and (1,0) are results.
+        engine.process(StreamTuple::insert(Timestamp(2), v1, v0, a), &mut sink);
+        assert!(engine.has_result(ResultPair::new(v0, v0)));
+
+        // Delete an edge that is a tree edge in T_1 but not in T_0's
+        // subtree rooted deeper — either way the engine stays consistent.
+        engine.process(StreamTuple::delete(Timestamp(3), v1, v0, a), &mut sink);
+        assert!(engine.has_result(ResultPair::new(v0, v1)));
+        assert!(!engine.has_result(ResultPair::new(v0, v0)));
+        engine.delta.validate().unwrap();
+    }
+
+    #[test]
+    fn expiry_reduces_index_size() {
+        let mut labels = LabelInterner::new();
+        let query = CompiledQuery::compile("a+", &mut labels).unwrap();
+        let config = EngineConfig::with_window(WindowPolicy::new(10, 5));
+        let mut engine = RapqEngine::new(query, config);
+        let a = labels.get("a").unwrap();
+        let mut sink = CollectSink::default();
+        for i in 0..20u32 {
+            engine.process(
+                StreamTuple::insert(Timestamp(i as i64), VertexId(i), VertexId(i + 1), a),
+                &mut sink,
+            );
+        }
+        // Old chain prefixes must have been expired.
+        let size = engine.index_size();
+        assert!(size.nodes < 20 * 20, "index did not shrink: {size:?}");
+        // Process far-future tuple: everything old expires.
+        engine.process(
+            StreamTuple::insert(Timestamp(1000), VertexId(100), VertexId(101), a),
+            &mut sink,
+        );
+        engine.expire_now(&mut sink);
+        let size = engine.index_size();
+        assert!(size.nodes <= 3, "stale nodes linger: {size:?}");
+        engine.delta.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_results_are_deduplicated() {
+        let mut labels = LabelInterner::new();
+        let query = CompiledQuery::compile("a", &mut labels).unwrap();
+        let config = EngineConfig::with_window(WindowPolicy::new(100, 1));
+        let mut engine = RapqEngine::new(query, config);
+        let a = labels.get("a").unwrap();
+        let mut sink = CollectSink::default();
+        let t = StreamTuple::insert(Timestamp(1), VertexId(0), VertexId(1), a);
+        engine.process(t, &mut sink);
+        let t2 = StreamTuple::insert(Timestamp(2), VertexId(0), VertexId(1), a);
+        engine.process(t2, &mut sink);
+        assert_eq!(sink.emitted().len(), 1);
+        assert_eq!(engine.stats().results_emitted, 1);
+    }
+
+    #[test]
+    fn refresh_policies_agree_on_results() {
+        // All three refresh policies must produce the same result set on
+        // the Figure 1 stream (they only differ in tree bookkeeping).
+        let mut all_pairs = Vec::new();
+        for policy in [
+            RefreshPolicy::None,
+            RefreshPolicy::Node,
+            RefreshPolicy::Subtree,
+        ] {
+            let mut f = fig1_engine(policy, 1);
+            let mut sink = CollectSink::default();
+            for t in fig1_stream(&f, 19) {
+                f.engine.process(t, &mut sink);
+            }
+            f.engine.delta.validate().unwrap();
+            let mut pairs: Vec<_> = sink.pairs().into_iter().collect();
+            pairs.sort_unstable();
+            all_pairs.push(pairs);
+        }
+        assert_eq!(all_pairs[0], all_pairs[1]);
+        assert_eq!(all_pairs[1], all_pairs[2]);
+    }
+
+    #[test]
+    fn self_loop_accepting_path() {
+        let mut labels = LabelInterner::new();
+        let query = CompiledQuery::compile("a+", &mut labels).unwrap();
+        let config = EngineConfig::with_window(WindowPolicy::new(100, 1));
+        let mut engine = RapqEngine::new(query, config);
+        let a = labels.get("a").unwrap();
+        let mut sink = CollectSink::default();
+        engine.process(
+            StreamTuple::insert(Timestamp(1), VertexId(0), VertexId(0), a),
+            &mut sink,
+        );
+        assert!(engine.has_result(ResultPair::new(VertexId(0), VertexId(0))));
+    }
+}

@@ -1,0 +1,590 @@
+//! The Δ tree index for arbitrary path semantics (Definition 12).
+//!
+//! Δ is a collection of spanning trees, one per vertex `x` of the
+//! snapshot graph that roots a product-graph node `(x, s0)`. A node
+//! `(u, s)` in `T_x` witnesses a path `x ⇝ u` whose label drives the
+//! automaton from `s0` to `s`, with `node.ts` the minimum edge timestamp
+//! along that path (Definition 9).
+//!
+//! Invariants maintained here and exercised by the property tests:
+//!
+//! 1. each `(vertex, state)` pair appears at most once per tree
+//!    (Lemma 1, invariant 2) — enforced by keying nodes on the pair;
+//! 2. timestamps never increase from root to leaf — a node's timestamp
+//!    is `min(parent.ts, edge.ts)` at (re)attachment, and refreshes only
+//!    ever raise the parent's timestamp. Consequently the expired set
+//!    `{n | n.ts ≤ watermark}` is always a union of whole subtrees,
+//!    which is what makes batch pruning in `ExpiryRAPQ` sound.
+
+use srpq_common::{FxHashMap, Label, StateId, Timestamp, VertexId};
+
+/// A tree node key: `(vertex, automaton state)`.
+pub type NodeKey = (VertexId, StateId);
+
+/// Payload of a Δ tree node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeKey>,
+    /// Label of the graph edge connecting the parent to this node
+    /// (meaningless for the root). Needed by `Delete` to match
+    /// tree-edges (Definition 13).
+    pub via_label: Label,
+    /// Minimum edge timestamp along the root path (Definition 9);
+    /// `Timestamp::INFINITY` for the root.
+    pub ts: Timestamp,
+    /// Child keys (unordered).
+    pub children: Vec<NodeKey>,
+}
+
+/// A spanning tree `T_x` rooted at `(x, s0)`.
+#[derive(Debug)]
+pub struct Tree {
+    root: VertexId,
+    root_key: NodeKey,
+    nodes: FxHashMap<NodeKey, Node>,
+}
+
+impl Tree {
+    /// Creates a tree containing only its root `(x, s0)`.
+    pub fn new(root: VertexId, s0: StateId) -> Tree {
+        let root_key = (root, s0);
+        let mut nodes = FxHashMap::default();
+        nodes.insert(
+            root_key,
+            Node {
+                parent: None,
+                via_label: Label(u32::MAX),
+                ts: Timestamp::INFINITY,
+                children: Vec::new(),
+            },
+        );
+        Tree {
+            root,
+            root_key,
+            nodes,
+        }
+    }
+
+    /// The root vertex `x`.
+    pub fn root(&self) -> VertexId {
+        self.root
+    }
+
+    /// The root key `(x, s0)`.
+    pub fn root_key(&self) -> NodeKey {
+        self.root_key
+    }
+
+    /// Number of nodes including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A tree always holds at least its root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether only the root remains.
+    pub fn is_trivial(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains(&self, key: NodeKey) -> bool {
+        self.nodes.contains_key(&key)
+    }
+
+    /// The node payload for `key`.
+    #[inline]
+    pub fn get(&self, key: NodeKey) -> Option<&Node> {
+        self.nodes.get(&key)
+    }
+
+    /// The timestamp of `key`, if present.
+    #[inline]
+    pub fn ts(&self, key: NodeKey) -> Option<Timestamp> {
+        self.nodes.get(&key).map(|n| n.ts)
+    }
+
+    /// Iterates `(key, node)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeKey, &Node)> {
+        self.nodes.iter().map(|(&k, n)| (k, n))
+    }
+
+    /// Adds a new node `key` under `parent`. Panics (debug) if `key`
+    /// already exists or `parent` is absent.
+    pub fn add(&mut self, key: NodeKey, parent: NodeKey, via_label: Label, ts: Timestamp) {
+        debug_assert!(!self.nodes.contains_key(&key), "duplicate node {key:?}");
+        self.nodes
+            .get_mut(&parent)
+            .expect("parent must exist")
+            .children
+            .push(key);
+        self.nodes.insert(
+            key,
+            Node {
+                parent: Some(parent),
+                via_label,
+                ts,
+                children: Vec::new(),
+            },
+        );
+    }
+
+    /// Re-parents an existing node (timestamp refresh, Algorithm RAPQ
+    /// line 7 / Insert lines 2–3). The subtree stays attached.
+    pub fn reparent(&mut self, key: NodeKey, parent: NodeKey, via_label: Label, ts: Timestamp) {
+        let old_parent = {
+            let n = self.nodes.get_mut(&key).expect("node must exist");
+            let old = n.parent;
+            n.parent = Some(parent);
+            n.via_label = via_label;
+            n.ts = ts;
+            old
+        };
+        if let Some(op) = old_parent {
+            if op != parent {
+                self.detach_child(op, key);
+                self.nodes
+                    .get_mut(&parent)
+                    .expect("new parent must exist")
+                    .children
+                    .push(key);
+            }
+        }
+    }
+
+    /// Updates only the timestamp of an existing node.
+    pub fn set_ts(&mut self, key: NodeKey, ts: Timestamp) {
+        self.nodes.get_mut(&key).expect("node must exist").ts = ts;
+    }
+
+    fn detach_child(&mut self, parent: NodeKey, child: NodeKey) {
+        if let Some(p) = self.nodes.get_mut(&parent) {
+            if let Some(pos) = p.children.iter().position(|&c| c == child) {
+                p.children.swap_remove(pos);
+            }
+        }
+    }
+
+    /// Removes a set of nodes wholesale. The caller guarantees the set
+    /// is downward-closed (whole subtrees) — which holds for expiry
+    /// candidates thanks to the timestamp monotonicity invariant.
+    /// Surviving parents have the removed children detached.
+    pub fn remove_all(&mut self, keys: &[NodeKey]) {
+        for &k in keys {
+            if let Some(node) = self.nodes.remove(&k) {
+                if let Some(p) = node.parent {
+                    // Parent may itself be in `keys`; detach only if it
+                    // survived.
+                    self.detach_child(p, k);
+                }
+            }
+        }
+    }
+
+    /// Keys of the subtree rooted at `key` (inclusive), BFS order.
+    pub fn subtree_keys(&self, key: NodeKey) -> Vec<NodeKey> {
+        let mut out = Vec::new();
+        if !self.nodes.contains_key(&key) {
+            return out;
+        }
+        out.push(key);
+        let mut i = 0;
+        while i < out.len() {
+            let k = out[i];
+            i += 1;
+            if let Some(n) = self.nodes.get(&k) {
+                out.extend(n.children.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Sets the timestamp of the whole subtree under `key` (inclusive).
+    /// Used by `Delete` to mark victims with `-∞` (§3.2).
+    pub fn set_subtree_ts(&mut self, key: NodeKey, ts: Timestamp) {
+        for k in self.subtree_keys(key) {
+            if let Some(n) = self.nodes.get_mut(&k) {
+                n.ts = ts;
+            }
+        }
+    }
+
+    /// Collects keys with `ts <= watermark` (the expiry candidate set P).
+    pub fn expired_keys(&self, watermark: Timestamp) -> Vec<NodeKey> {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| n.ts <= watermark)
+            .map(|(&k, _)| k)
+            .collect()
+    }
+
+    /// Debug validation: parent links and children lists agree, the root
+    /// is present, timestamps are non-increasing root→leaf, and there
+    /// are no cycles. Used by tests and property checks.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.nodes.contains_key(&self.root_key) {
+            return Err("root missing".into());
+        }
+        for (&k, n) in &self.nodes {
+            match n.parent {
+                None => {
+                    if k != self.root_key {
+                        return Err(format!("non-root {k:?} has no parent"));
+                    }
+                }
+                Some(p) => {
+                    let Some(pn) = self.nodes.get(&p) else {
+                        return Err(format!("{k:?} has dangling parent {p:?}"));
+                    };
+                    if !pn.children.contains(&k) {
+                        return Err(format!("{p:?} does not list child {k:?}"));
+                    }
+                    if pn.ts < n.ts {
+                        return Err(format!(
+                            "timestamp inversion: parent {p:?}@{} < child {k:?}@{}",
+                            pn.ts, n.ts
+                        ));
+                    }
+                }
+            }
+            for c in &n.children {
+                match self.nodes.get(c) {
+                    Some(cn) if cn.parent == Some(k) => {}
+                    _ => return Err(format!("child list of {k:?} stale at {c:?}")),
+                }
+            }
+        }
+        // Cycle check: every node must reach the root.
+        for &k in self.nodes.keys() {
+            let mut cur = k;
+            let mut steps = 0;
+            while let Some(n) = self.nodes.get(&cur) {
+                match n.parent {
+                    None => break,
+                    Some(p) => {
+                        cur = p;
+                        steps += 1;
+                        if steps > self.nodes.len() {
+                            return Err(format!("cycle through {k:?}"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The reverse index of Δ: which trees contain a given vertex, plus the
+/// global node count (Figure 5's "# of nodes").
+#[derive(Debug, Default)]
+pub struct RevIndex {
+    /// `vertex → (root → number of (vertex, ·) nodes in that tree)`.
+    occurrence: FxHashMap<VertexId, FxHashMap<VertexId, u32>>,
+    total_nodes: usize,
+}
+
+impl RevIndex {
+    /// Roots of all trees containing at least one `(v, ·)` node.
+    pub fn trees_containing(&self, v: VertexId) -> Vec<VertexId> {
+        self.occurrence
+            .get(&v)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total node count over all trees (roots included).
+    pub fn n_nodes(&self) -> usize {
+        self.total_nodes
+    }
+
+    /// Bookkeeping: a node for `vertex` was added to tree `root`.
+    pub fn note_added(&mut self, root: VertexId, vertex: VertexId) {
+        *self
+            .occurrence
+            .entry(vertex)
+            .or_default()
+            .entry(root)
+            .or_insert(0) += 1;
+        self.total_nodes += 1;
+    }
+
+    /// Bookkeeping: a node for `vertex` was removed from tree `root`.
+    pub fn note_removed(&mut self, root: VertexId, vertex: VertexId) {
+        let mut empty = false;
+        if let Some(m) = self.occurrence.get_mut(&vertex) {
+            if let Some(c) = m.get_mut(&root) {
+                *c -= 1;
+                if *c == 0 {
+                    m.remove(&root);
+                }
+            }
+            empty = m.is_empty();
+        }
+        if empty {
+            self.occurrence.remove(&vertex);
+        }
+        self.total_nodes -= 1;
+    }
+}
+
+/// The Δ index: all spanning trees plus a reverse index from vertices to
+/// the trees containing them — the reverse index is what bounds per-tuple
+/// work by the number of *relevant* trees instead of all n of them.
+#[derive(Debug, Default)]
+pub struct Delta {
+    trees: FxHashMap<VertexId, Tree>,
+    index: RevIndex,
+}
+
+impl Delta {
+    /// Creates an empty index.
+    pub fn new() -> Delta {
+        Delta::default()
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Total node count over all trees (roots included).
+    pub fn n_nodes(&self) -> usize {
+        self.index.total_nodes
+    }
+
+    /// Ensures a tree rooted at `x` exists, creating `(x, s0)` if not.
+    pub fn ensure_tree(&mut self, x: VertexId, s0: StateId) -> &mut Tree {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.trees.entry(x) {
+            e.insert(Tree::new(x, s0));
+            self.index.note_added(x, x);
+        }
+        self.trees.get_mut(&x).expect("just inserted")
+    }
+
+    /// The tree rooted at `x`.
+    pub fn tree(&self, x: VertexId) -> Option<&Tree> {
+        self.trees.get(&x)
+    }
+
+    /// Mutable access to the tree rooted at `x`.
+    pub fn tree_mut(&mut self, x: VertexId) -> Option<&mut Tree> {
+        self.trees.get_mut(&x)
+    }
+
+    /// Simultaneous mutable access to one tree and the reverse index
+    /// (they are disjoint, but the borrow checker needs the split made
+    /// explicit).
+    pub fn tree_with_index(&mut self, x: VertexId) -> Option<(&mut Tree, &mut RevIndex)> {
+        let index = &mut self.index;
+        self.trees.get_mut(&x).map(|t| (t, index))
+    }
+
+    /// Roots of all trees containing at least one `(v, ·)` node.
+    pub fn trees_containing(&self, v: VertexId) -> Vec<VertexId> {
+        self.index.trees_containing(v)
+    }
+
+    /// Roots of all trees.
+    pub fn roots(&self) -> Vec<VertexId> {
+        self.trees.keys().copied().collect()
+    }
+
+    /// Drops the tree rooted at `x` if only its root remains, updating
+    /// the reverse index. Returns true if dropped.
+    pub fn drop_if_trivial(&mut self, x: VertexId) -> bool {
+        let trivial = self.trees.get(&x).map(|t| t.is_trivial()).unwrap_or(false);
+        if trivial {
+            self.trees.remove(&x);
+            self.index.note_removed(x, x);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Debug validation of every tree plus reverse-index consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut counted = 0usize;
+        for (&root, tree) in &self.trees {
+            tree.validate().map_err(|e| format!("tree {root}: {e}"))?;
+            counted += tree.len();
+            for ((v, _), _) in tree.iter() {
+                let ok = self
+                    .index
+                    .occurrence
+                    .get(&v)
+                    .and_then(|m| m.get(&root))
+                    .map(|&c| c > 0)
+                    .unwrap_or(false);
+                if !ok {
+                    return Err(format!("reverse index misses {v} in tree {root}"));
+                }
+            }
+        }
+        if counted != self.index.total_nodes {
+            return Err(format!(
+                "node count drift: counted {counted}, cached {}",
+                self.index.total_nodes
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn s(i: u32) -> StateId {
+        StateId(i)
+    }
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    #[test]
+    fn new_tree_has_immortal_root() {
+        let t = Tree::new(v(0), s(0));
+        assert_eq!(t.len(), 1);
+        assert!(t.is_trivial());
+        assert_eq!(t.ts((v(0), s(0))), Some(Timestamp::INFINITY));
+        assert!(t.expired_keys(Timestamp(i64::MAX - 1)).is_empty());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn add_and_subtree() {
+        let mut t = Tree::new(v(0), s(0));
+        t.add((v(1), s(1)), (v(0), s(0)), l(0), Timestamp(5));
+        t.add((v(2), s(2)), (v(1), s(1)), l(1), Timestamp(3));
+        t.add((v(3), s(1)), (v(1), s(1)), l(0), Timestamp(4));
+        assert_eq!(t.len(), 4);
+        let sub = t.subtree_keys((v(1), s(1)));
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub[0], (v(1), s(1)));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn timestamps_non_increasing_enforced_by_validate() {
+        let mut t = Tree::new(v(0), s(0));
+        t.add((v(1), s(1)), (v(0), s(0)), l(0), Timestamp(5));
+        // Deliberately violate: child fresher than parent.
+        t.add((v(2), s(2)), (v(1), s(1)), l(1), Timestamp(9));
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn reparent_moves_subtree() {
+        let mut t = Tree::new(v(0), s(0));
+        t.add((v(1), s(1)), (v(0), s(0)), l(0), Timestamp(2));
+        t.add((v(2), s(1)), (v(0), s(0)), l(0), Timestamp(8));
+        t.add((v(3), s(2)), (v(1), s(1)), l(1), Timestamp(2));
+        // (v3,s2) refreshes under (v2,s1).
+        t.reparent((v(3), s(2)), (v(2), s(1)), l(1), Timestamp(7));
+        assert_eq!(t.get((v(3), s(2))).unwrap().parent, Some((v(2), s(1))));
+        assert!(!t.get((v(1), s(1))).unwrap().children.contains(&(v(3), s(2))));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn reparent_same_parent_updates_ts_only() {
+        let mut t = Tree::new(v(0), s(0));
+        t.add((v(1), s(1)), (v(0), s(0)), l(0), Timestamp(2));
+        t.reparent((v(1), s(1)), (v(0), s(0)), l(0), Timestamp(9));
+        assert_eq!(t.ts((v(1), s(1))), Some(Timestamp(9)));
+        assert_eq!(t.get((v(0), s(0))).unwrap().children.len(), 1);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_all_handles_subtrees() {
+        let mut t = Tree::new(v(0), s(0));
+        t.add((v(1), s(1)), (v(0), s(0)), l(0), Timestamp(2));
+        t.add((v(2), s(2)), (v(1), s(1)), l(1), Timestamp(2));
+        t.add((v(3), s(1)), (v(0), s(0)), l(0), Timestamp(9));
+        let expired = t.expired_keys(Timestamp(5));
+        assert_eq!(expired.len(), 2);
+        t.remove_all(&expired);
+        assert_eq!(t.len(), 2);
+        assert!(t.contains((v(3), s(1))));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn set_subtree_ts_marks_whole_subtree() {
+        let mut t = Tree::new(v(0), s(0));
+        t.add((v(1), s(1)), (v(0), s(0)), l(0), Timestamp(5));
+        t.add((v(2), s(2)), (v(1), s(1)), l(1), Timestamp(5));
+        t.add((v(3), s(1)), (v(0), s(0)), l(0), Timestamp(5));
+        t.set_subtree_ts((v(1), s(1)), Timestamp::NEG_INFINITY);
+        assert_eq!(t.ts((v(1), s(1))), Some(Timestamp::NEG_INFINITY));
+        assert_eq!(t.ts((v(2), s(2))), Some(Timestamp::NEG_INFINITY));
+        assert_eq!(t.ts((v(3), s(1))), Some(Timestamp(5)));
+    }
+
+    #[test]
+    fn delta_reverse_index_tracks_occurrences() {
+        let mut d = Delta::new();
+        d.ensure_tree(v(0), s(0));
+        {
+            let (tree, idx) = d.tree_with_index(v(0)).unwrap();
+            tree.add((v(1), s(1)), (v(0), s(0)), l(0), Timestamp(1));
+            idx.note_added(v(0), v(1));
+            tree.add((v(1), s(2)), (v(1), s(1)), l(1), Timestamp(1));
+            idx.note_added(v(0), v(1));
+        }
+        assert_eq!(d.trees_containing(v(1)), vec![v(0)]);
+        assert_eq!(d.n_nodes(), 3);
+        d.validate().unwrap();
+
+        // Removing one of two occurrences keeps the reverse entry.
+        {
+            let (tree, idx) = d.tree_with_index(v(0)).unwrap();
+            tree.remove_all(&[(v(1), s(2))]);
+            idx.note_removed(v(0), v(1));
+        }
+        assert_eq!(d.trees_containing(v(1)), vec![v(0)]);
+        d.validate().unwrap();
+
+        {
+            let (tree, idx) = d.tree_with_index(v(0)).unwrap();
+            tree.remove_all(&[(v(1), s(1))]);
+            idx.note_removed(v(0), v(1));
+        }
+        assert!(d.trees_containing(v(1)).is_empty());
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn drop_if_trivial() {
+        let mut d = Delta::new();
+        d.ensure_tree(v(5), s(0));
+        assert_eq!(d.n_trees(), 1);
+        assert!(d.drop_if_trivial(v(5)));
+        assert_eq!(d.n_trees(), 0);
+        assert_eq!(d.n_nodes(), 0);
+        assert!(!d.drop_if_trivial(v(5)));
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn ensure_tree_is_idempotent() {
+        let mut d = Delta::new();
+        d.ensure_tree(v(1), s(0));
+        d.ensure_tree(v(1), s(0));
+        assert_eq!(d.n_trees(), 1);
+        assert_eq!(d.n_nodes(), 1);
+    }
+}

@@ -1,0 +1,570 @@
+//! Spanning trees for simple path semantics (§4).
+//!
+//! Unlike the RAPQ trees, a `(vertex, state)` pair may appear **multiple
+//! times** in an RSPQ tree: once a conflict (Definition 16) is detected
+//! at a vertex, previously pruned traversals must be replayed, and the
+//! replayed paths materialize additional copies of already-visited
+//! product-graph nodes. Nodes are therefore arena-allocated and
+//! identified by position ([`NodeId`]), with two side indexes:
+//!
+//! * `occurrences`: all arena slots holding a given pair — used by
+//!   Algorithm RSPQ line 6 ("if (u, s) ∈ T_x") and by `Unmark`'s
+//!   re-traversal;
+//! * `marked` (the set `M_x`): pairs with **no conflict-predecessor
+//!   descendants** (Definition 18), each pointing at its canonical
+//!   occurrence. Marked pairs prune re-traversal (Algorithm RSPQ line 8,
+//!   Extend line 15).
+
+use srpq_common::{FxHashMap, Label, StateId, Timestamp, VertexId};
+
+/// Arena index of a tree node.
+pub type NodeId = u32;
+
+/// A `(vertex, state)` pair.
+pub type PairKey = (VertexId, StateId);
+
+/// An arena-allocated RSPQ tree node.
+#[derive(Debug, Clone)]
+pub struct RNode {
+    /// Graph vertex.
+    pub vertex: VertexId,
+    /// Automaton state.
+    pub state: StateId,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Label of the edge from the parent (meaningless for the root).
+    pub via_label: Label,
+    /// Minimum edge timestamp along the root path.
+    pub ts: Timestamp,
+    /// Children (unordered).
+    pub children: Vec<NodeId>,
+}
+
+/// A spanning tree `T_x` with markings `M_x`.
+#[derive(Debug)]
+pub struct SpTree {
+    root: VertexId,
+    root_id: NodeId,
+    arena: Vec<Option<RNode>>,
+    free: Vec<NodeId>,
+    occurrences: FxHashMap<PairKey, Vec<NodeId>>,
+    marked: FxHashMap<PairKey, NodeId>,
+    len: usize,
+}
+
+impl SpTree {
+    /// Creates a tree holding only the (marked) root `(x, s0)`.
+    pub fn new(root: VertexId, s0: StateId) -> SpTree {
+        let node = RNode {
+            vertex: root,
+            state: s0,
+            parent: None,
+            via_label: Label(u32::MAX),
+            ts: Timestamp::INFINITY,
+            children: Vec::new(),
+        };
+        let mut occurrences: FxHashMap<PairKey, Vec<NodeId>> = FxHashMap::default();
+        occurrences.insert((root, s0), vec![0]);
+        let mut marked = FxHashMap::default();
+        marked.insert((root, s0), 0);
+        SpTree {
+            root,
+            root_id: 0,
+            arena: vec![Some(node)],
+            free: Vec::new(),
+            occurrences,
+            marked,
+            len: 1,
+        }
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> VertexId {
+        self.root
+    }
+
+    /// The root node id.
+    pub fn root_id(&self) -> NodeId {
+        self.root_id
+    }
+
+    /// Number of live nodes (root included).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// A tree always holds at least its root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether only the root remains.
+    pub fn is_trivial(&self) -> bool {
+        self.len == 1
+    }
+
+    /// The node at `id`, if alive.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> Option<&RNode> {
+        self.arena.get(id as usize).and_then(|n| n.as_ref())
+    }
+
+    /// All live occurrences of `key`.
+    pub fn occurrences(&self, key: PairKey) -> &[NodeId] {
+        self.occurrences.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether any occurrence of `key` is present ("(v, t) ∈ T_x").
+    #[inline]
+    pub fn has_pair(&self, key: PairKey) -> bool {
+        self.occurrences.contains_key(&key)
+    }
+
+    /// Whether `key ∈ M_x`.
+    #[inline]
+    pub fn is_marked(&self, key: PairKey) -> bool {
+        self.marked.contains_key(&key)
+    }
+
+    /// Marks `key`, pointing at `id`.
+    pub fn mark(&mut self, key: PairKey, id: NodeId) {
+        self.marked.insert(key, id);
+    }
+
+    /// Unmarks `key`. Returns true if it was marked.
+    pub fn unmark(&mut self, key: PairKey) -> bool {
+        self.marked.remove(&key).is_some()
+    }
+
+    /// Number of marked pairs.
+    pub fn n_marked(&self) -> usize {
+        self.marked.len()
+    }
+
+    /// Adds a child node. Returns the new id.
+    pub fn add_child(
+        &mut self,
+        parent: NodeId,
+        vertex: VertexId,
+        state: StateId,
+        via_label: Label,
+        ts: Timestamp,
+    ) -> NodeId {
+        let node = RNode {
+            vertex,
+            state,
+            parent: Some(parent),
+            via_label,
+            ts,
+            children: Vec::new(),
+        };
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.arena[id as usize] = Some(node);
+                id
+            }
+            None => {
+                self.arena.push(Some(node));
+                (self.arena.len() - 1) as NodeId
+            }
+        };
+        self.arena[parent as usize]
+            .as_mut()
+            .expect("parent must be alive")
+            .children
+            .push(id);
+        self.occurrences.entry((vertex, state)).or_default().push(id);
+        self.len += 1;
+        id
+    }
+
+    /// Removes a set of node ids wholesale (must be downward-closed:
+    /// whole subtrees). Cleans occurrence and mark entries; detaches
+    /// removed children from surviving parents. Returns the pairs whose
+    /// mark died with their node.
+    pub fn remove_all(&mut self, ids: &[NodeId]) -> Vec<PairKey> {
+        let mut dead_marks = Vec::new();
+        for &id in ids {
+            let Some(node) = self.arena.get_mut(id as usize).and_then(Option::take) else {
+                continue;
+            };
+            self.len -= 1;
+            self.free.push(id);
+            let key = (node.vertex, node.state);
+            if let Some(occ) = self.occurrences.get_mut(&key) {
+                occ.retain(|&o| o != id);
+                if occ.is_empty() {
+                    self.occurrences.remove(&key);
+                }
+            }
+            if self.marked.get(&key) == Some(&id) {
+                self.marked.remove(&key);
+                dead_marks.push(key);
+            }
+            if let Some(p) = node.parent {
+                if let Some(Some(pn)) = self.arena.get_mut(p as usize) {
+                    pn.children.retain(|&c| c != id);
+                }
+            }
+        }
+        dead_marks
+    }
+
+    /// Node ids of the subtree rooted at `id` (inclusive), BFS order.
+    pub fn subtree_ids(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        if self.node(id).is_none() {
+            return out;
+        }
+        out.push(id);
+        let mut i = 0;
+        while i < out.len() {
+            if let Some(n) = self.node(out[i]) {
+                out.extend(n.children.iter().copied());
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Sets the timestamp of the whole subtree under `id` (inclusive).
+    pub fn set_subtree_ts(&mut self, id: NodeId, ts: Timestamp) {
+        for nid in self.subtree_ids(id) {
+            if let Some(Some(n)) = self.arena.get_mut(nid as usize) {
+                n.ts = ts;
+            }
+        }
+    }
+
+    /// Live node ids with `ts <= watermark` (the expiry candidate set).
+    pub fn expired_ids(&self, watermark: Timestamp) -> Vec<NodeId> {
+        self.arena
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (i as NodeId, n)))
+            .filter(|(_, n)| n.ts <= watermark)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The state of the **first** (closest to root) occurrence of
+    /// `vertex` on the root path of `id` — `FIRST(p[v])` in Algorithm
+    /// Extend. Walks upward, so the first-from-root is the last found.
+    pub fn first_state_on_path(&self, id: NodeId, vertex: VertexId) -> Option<StateId> {
+        let mut found = None;
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let n = self.node(c)?;
+            if n.vertex == vertex {
+                found = Some(n.state);
+            }
+            cur = n.parent;
+        }
+        found
+    }
+
+    /// Whether `(vertex, state)` occurs on the root path of `id` —
+    /// `t ∈ p[v]` in Algorithm RSPQ/Extend.
+    pub fn path_has(&self, id: NodeId, vertex: VertexId, state: StateId) -> bool {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let Some(n) = self.node(c) else { return false };
+            if n.vertex == vertex && n.state == state {
+                return true;
+            }
+            cur = n.parent;
+        }
+        false
+    }
+
+    /// The root path of `id` as pair keys, root first.
+    pub fn path_keys(&self, id: NodeId) -> Vec<PairKey> {
+        let mut out = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let Some(n) = self.node(c) else { break };
+            out.push((n.vertex, n.state));
+            cur = n.parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// The root path of `id` as node ids, root first.
+    pub fn path_ids(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            out.push(c);
+            cur = self.node(c).and_then(|n| n.parent);
+        }
+        out.reverse();
+        out
+    }
+
+    /// Iterates `(id, node)` over live nodes.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &RNode)> {
+        self.arena
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (i as NodeId, n)))
+    }
+
+    /// Debug validation: structural consistency of arena, occurrence
+    /// index, marks, parent/child agreement, timestamp monotonicity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.node(self.root_id).is_none() {
+            return Err("root missing".into());
+        }
+        let mut live = 0usize;
+        for (id, n) in self.iter() {
+            live += 1;
+            match n.parent {
+                None if id != self.root_id => return Err(format!("non-root {id} parentless")),
+                None => {}
+                Some(p) => {
+                    let Some(pn) = self.node(p) else {
+                        return Err(format!("{id} has dead parent {p}"));
+                    };
+                    if !pn.children.contains(&id) {
+                        return Err(format!("{p} does not list child {id}"));
+                    }
+                    if pn.ts < n.ts {
+                        return Err(format!("ts inversion at {id}"));
+                    }
+                }
+            }
+            let occ = self.occurrences((n.vertex, n.state));
+            if !occ.contains(&id) {
+                return Err(format!("occurrence index misses {id}"));
+            }
+            for &c in &n.children {
+                match self.node(c) {
+                    Some(cn) if cn.parent == Some(id) => {}
+                    _ => return Err(format!("stale child {c} of {id}")),
+                }
+            }
+        }
+        if live != self.len {
+            return Err(format!("len drift: {live} vs {}", self.len));
+        }
+        for (key, &id) in &self.marked {
+            match self.node(id) {
+                Some(n) if (n.vertex, n.state) == *key => {}
+                _ => return Err(format!("mark {key:?} points at dead/wrong node {id}")),
+            }
+        }
+        for (key, occ) in &self.occurrences {
+            if occ.is_empty() {
+                return Err(format!("empty occurrence list for {key:?}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The Δ index for simple path semantics: one [`SpTree`] per root plus
+/// the shared reverse index (vertex → containing trees).
+#[derive(Debug, Default)]
+pub struct SpDelta {
+    trees: FxHashMap<VertexId, SpTree>,
+    index: crate::rapq::tree::RevIndex,
+}
+
+impl SpDelta {
+    /// Creates an empty index.
+    pub fn new() -> SpDelta {
+        SpDelta::default()
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Total node count over all trees.
+    pub fn n_nodes(&self) -> usize {
+        self.index.n_nodes()
+    }
+
+    /// Ensures a tree rooted at `x` exists.
+    pub fn ensure_tree(&mut self, x: VertexId, s0: StateId) -> &mut SpTree {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.trees.entry(x) {
+            e.insert(SpTree::new(x, s0));
+            self.index.note_added(x, x);
+        }
+        self.trees.get_mut(&x).expect("just inserted")
+    }
+
+    /// The tree rooted at `x`.
+    pub fn tree(&self, x: VertexId) -> Option<&SpTree> {
+        self.trees.get(&x)
+    }
+
+    /// Mutable access to the tree rooted at `x`.
+    pub fn tree_mut(&mut self, x: VertexId) -> Option<&mut SpTree> {
+        self.trees.get_mut(&x)
+    }
+
+    /// Simultaneous mutable access to a tree and the reverse index.
+    pub fn tree_with_index(
+        &mut self,
+        x: VertexId,
+    ) -> Option<(&mut SpTree, &mut crate::rapq::tree::RevIndex)> {
+        let index = &mut self.index;
+        self.trees.get_mut(&x).map(|t| (t, index))
+    }
+
+    /// Roots of trees containing at least one `(v, ·)` node.
+    pub fn trees_containing(&self, v: VertexId) -> Vec<VertexId> {
+        self.index.trees_containing(v)
+    }
+
+    /// Roots of all trees.
+    pub fn roots(&self) -> Vec<VertexId> {
+        self.trees.keys().copied().collect()
+    }
+
+    /// Drops the tree at `x` if trivial. Returns true if dropped.
+    pub fn drop_if_trivial(&mut self, x: VertexId) -> bool {
+        let trivial = self.trees.get(&x).map(|t| t.is_trivial()).unwrap_or(false);
+        if trivial {
+            self.trees.remove(&x);
+            self.index.note_removed(x, x);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Debug validation of every tree.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut counted = 0;
+        for (&root, tree) in &self.trees {
+            tree.validate().map_err(|e| format!("tree {root}: {e}"))?;
+            counted += tree.len();
+        }
+        if counted != self.index.n_nodes() {
+            return Err(format!(
+                "node count drift: counted {counted}, cached {}",
+                self.index.n_nodes()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn s(i: u32) -> StateId {
+        StateId(i)
+    }
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    #[test]
+    fn root_is_marked() {
+        let t = SpTree::new(v(0), s(0));
+        assert!(t.is_marked((v(0), s(0))));
+        assert_eq!(t.len(), 1);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_pairs_coexist() {
+        let mut t = SpTree::new(v(0), s(0));
+        let a = t.add_child(t.root_id(), v(1), s(1), l(0), Timestamp(5));
+        let b = t.add_child(t.root_id(), v(2), s(1), l(0), Timestamp(5));
+        // Second copy of (1, s1) under a different branch.
+        let a2 = t.add_child(b, v(1), s(1), l(1), Timestamp(4));
+        assert_eq!(t.occurrences((v(1), s(1))), &[a, a2]);
+        assert!(t.has_pair((v(1), s(1))));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn first_state_on_path_picks_nearest_root() {
+        let mut t = SpTree::new(v(0), s(0));
+        let a = t.add_child(t.root_id(), v(1), s(1), l(0), Timestamp(5));
+        let b = t.add_child(a, v(2), s(2), l(1), Timestamp(5));
+        let c = t.add_child(b, v(1), s(2), l(0), Timestamp(5));
+        assert_eq!(t.first_state_on_path(c, v(1)), Some(s(1)));
+        assert_eq!(t.first_state_on_path(c, v(0)), Some(s(0)));
+        assert_eq!(t.first_state_on_path(c, v(9)), None);
+        assert!(t.path_has(c, v(1), s(2)));
+        assert!(t.path_has(c, v(1), s(1)));
+        assert!(!t.path_has(b, v(1), s(2)));
+    }
+
+    #[test]
+    fn remove_all_cleans_indexes() {
+        let mut t = SpTree::new(v(0), s(0));
+        let a = t.add_child(t.root_id(), v(1), s(1), l(0), Timestamp(2));
+        let b = t.add_child(a, v(2), s(2), l(1), Timestamp(2));
+        t.mark((v(1), s(1)), a);
+        t.mark((v(2), s(2)), b);
+        let dead = t.remove_all(&[a, b]);
+        assert_eq!(dead.len(), 2);
+        assert_eq!(t.len(), 1);
+        assert!(!t.has_pair((v(1), s(1))));
+        assert!(!t.is_marked((v(2), s(2))));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn arena_reuses_free_slots() {
+        let mut t = SpTree::new(v(0), s(0));
+        let a = t.add_child(t.root_id(), v(1), s(1), l(0), Timestamp(2));
+        t.remove_all(&[a]);
+        let b = t.add_child(t.root_id(), v(2), s(1), l(0), Timestamp(3));
+        assert_eq!(a, b, "slot not reused");
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn expired_ids_and_subtree_ts() {
+        let mut t = SpTree::new(v(0), s(0));
+        let a = t.add_child(t.root_id(), v(1), s(1), l(0), Timestamp(10));
+        let b = t.add_child(a, v(2), s(2), l(1), Timestamp(5));
+        assert_eq!(t.expired_ids(Timestamp(5)), vec![b]);
+        t.set_subtree_ts(a, Timestamp::NEG_INFINITY);
+        let mut exp = t.expired_ids(Timestamp(5));
+        exp.sort_unstable();
+        assert_eq!(exp, vec![a, b]);
+    }
+
+    #[test]
+    fn path_keys_root_first() {
+        let mut t = SpTree::new(v(0), s(0));
+        let a = t.add_child(t.root_id(), v(1), s(1), l(0), Timestamp(2));
+        let b = t.add_child(a, v(2), s(2), l(1), Timestamp(2));
+        assert_eq!(
+            t.path_keys(b),
+            vec![(v(0), s(0)), (v(1), s(1)), (v(2), s(2))]
+        );
+        assert_eq!(t.path_ids(b), vec![t.root_id(), a, b]);
+    }
+
+    #[test]
+    fn mark_dies_only_with_its_node() {
+        let mut t = SpTree::new(v(0), s(0));
+        let a = t.add_child(t.root_id(), v(1), s(1), l(0), Timestamp(2));
+        let b = t.add_child(t.root_id(), v(3), s(3), l(0), Timestamp(2));
+        let _a2 = t.add_child(b, v(1), s(1), l(1), Timestamp(2));
+        t.mark((v(1), s(1)), a);
+        // Removing the *other* occurrence keeps the mark.
+        let ids = t.subtree_ids(b);
+        let dead = t.remove_all(&ids);
+        assert!(dead.is_empty());
+        assert!(t.is_marked((v(1), s(1))));
+        t.validate().unwrap();
+    }
+}

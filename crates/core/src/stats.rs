@@ -1,0 +1,62 @@
+//! Engine statistics: Δ index size and operation counters.
+//!
+//! Figure 5 plots the number of spanning trees and the total number of
+//! nodes in Δ per query; Figure 9 correlates Δ size with throughput;
+//! Figure 6(b) reports time spent in window management. [`EngineStats`]
+//! exposes all three.
+
+/// A point-in-time measurement of the Δ tree index size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexSize {
+    /// Number of spanning trees in Δ.
+    pub trees: usize,
+    /// Total number of nodes over all spanning trees (roots included).
+    pub nodes: usize,
+}
+
+/// Cumulative operation counters maintained by the engines.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Tuples processed (insertions + deletions), excluding discarded
+    /// foreign-label tuples.
+    pub tuples_processed: u64,
+    /// Tuples discarded because their label is outside Σ_Q.
+    pub tuples_discarded: u64,
+    /// Explicit deletions processed.
+    pub deletions_processed: u64,
+    /// Calls to the tree-extension procedure (Insert / Extend) — the
+    /// quantity the amortized analysis (Theorems 2 and 5) bounds.
+    pub insert_calls: u64,
+    /// Results pushed to the sink (after deduplication).
+    pub results_emitted: u64,
+    /// Invalidations pushed to the sink.
+    pub results_invalidated: u64,
+    /// Expiry passes executed.
+    pub expiry_runs: u64,
+    /// Nodes removed by expiry passes (not reconnected).
+    pub nodes_expired: u64,
+    /// Nanoseconds spent inside expiry passes (window management time,
+    /// Figure 6b).
+    pub expiry_nanos: u64,
+    /// Conflicts detected (RSPQ only).
+    pub conflicts_detected: u64,
+    /// Nodes unmarked due to conflicts (RSPQ only).
+    pub nodes_unmarked: u64,
+    /// Tuples whose RSPQ traversal was aborted by the per-tuple extend
+    /// budget (results possibly incomplete; see
+    /// `EngineConfig::rspq_extend_budget`).
+    pub budget_exhausted: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_zero() {
+        let s = EngineStats::default();
+        assert_eq!(s.tuples_processed, 0);
+        assert_eq!(s.insert_calls, 0);
+        assert_eq!(IndexSize::default().nodes, 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! The common output type of all generators.
+
+use srpq_common::{LabelInterner, StreamTuple};
+
+/// A generated streaming graph: an ordered tuple sequence plus the label
+/// vocabulary it speaks.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable name ("so", "ldbc", "yago", "gmark").
+    pub name: String,
+    /// Streaming graph tuples in non-decreasing timestamp order.
+    pub tuples: Vec<StreamTuple>,
+    /// Label vocabulary (Σ).
+    pub labels: LabelInterner,
+    /// Upper bound on vertex ids used (vertex id space is `0..n_vertices`).
+    pub n_vertices: u32,
+}
+
+impl Dataset {
+    /// Validates the stream invariants: timestamps non-decreasing,
+    /// vertex ids within bounds, labels interned.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut last = i64::MIN;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if t.ts.0 < last {
+                return Err(format!("tuple {i} goes back in time"));
+            }
+            last = t.ts.0;
+            if t.edge.src.0 >= self.n_vertices || t.edge.dst.0 >= self.n_vertices {
+                return Err(format!("tuple {i} vertex out of range"));
+            }
+            if self.labels.resolve(t.label).is_none() {
+                return Err(format!("tuple {i} label not interned"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Timestamp span `(first, last)` of the stream, if non-empty.
+    pub fn time_span(&self) -> Option<(i64, i64)> {
+        match (self.tuples.first(), self.tuples.last()) {
+            (Some(a), Some(b)) => Some((a.ts.0, b.ts.0)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srpq_common::{Label, Timestamp, VertexId};
+
+    #[test]
+    fn validate_catches_time_travel() {
+        let mut labels = LabelInterner::new();
+        let a = labels.intern("a");
+        let ds = Dataset {
+            name: "bad".into(),
+            tuples: vec![
+                StreamTuple::insert(Timestamp(5), VertexId(0), VertexId(1), a),
+                StreamTuple::insert(Timestamp(4), VertexId(0), VertexId(1), a),
+            ],
+            labels,
+            n_vertices: 2,
+        };
+        assert!(ds.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_unknown_label() {
+        let labels = LabelInterner::new();
+        let ds = Dataset {
+            name: "bad".into(),
+            tuples: vec![StreamTuple::insert(
+                Timestamp(1),
+                VertexId(0),
+                VertexId(1),
+                Label(7),
+            )],
+            labels,
+            n_vertices: 2,
+        };
+        assert!(ds.validate().is_err());
+    }
+
+    #[test]
+    fn span_and_len() {
+        let mut labels = LabelInterner::new();
+        let a = labels.intern("a");
+        let ds = Dataset {
+            name: "ok".into(),
+            tuples: vec![
+                StreamTuple::insert(Timestamp(1), VertexId(0), VertexId(1), a),
+                StreamTuple::insert(Timestamp(9), VertexId(1), VertexId(0), a),
+            ],
+            labels,
+            n_vertices: 2,
+        };
+        ds.validate().unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.time_span(), Some((1, 9)));
+    }
+}

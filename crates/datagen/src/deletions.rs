@@ -1,0 +1,115 @@
+//! Negative-tuple injection (§5.4, Figure 10).
+//!
+//! "We generate explicit deletions by reinserting a previously consumed
+//! edge as a negative tuple and varying the ratio of negative tuples in
+//! the stream." [`inject_deletions`] does exactly that: with probability
+//! `ratio` per position, a previously seen insertion is re-emitted as a
+//! deletion at the current timestamp.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use srpq_common::StreamTuple;
+
+/// Injects explicit deletions into an insertion-only stream. `ratio` is
+/// the fraction of *output* tuples that are deletions (0.0–0.5).
+/// Deletions pick a uniformly random previously inserted edge and carry
+/// the timestamp of the preceding tuple (keeping the stream ordered).
+pub fn inject_deletions(stream: &[StreamTuple], ratio: f64, seed: u64) -> Vec<StreamTuple> {
+    assert!((0.0..=0.5).contains(&ratio), "ratio must be in [0, 0.5]");
+    if ratio == 0.0 {
+        return stream.to_vec();
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity((stream.len() as f64 * (1.0 + ratio)) as usize);
+    let mut seen: Vec<StreamTuple> = Vec::with_capacity(stream.len());
+    // Per-insert probability yielding the requested output fraction:
+    // d = p·n deletions over n+d tuples ⇒ p = ratio / (1 − ratio).
+    let p = ratio / (1.0 - ratio);
+    for t in stream {
+        out.push(*t);
+        if t.is_insert() {
+            seen.push(*t);
+        }
+        if !seen.is_empty() && rng.gen_bool(p.min(1.0)) {
+            let victim = seen[rng.gen_range(0..seen.len())];
+            out.push(StreamTuple::delete(
+                t.ts,
+                victim.edge.src,
+                victim.edge.dst,
+                victim.label,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srpq_common::{Label, Op, Timestamp, VertexId};
+
+    fn base_stream(n: usize) -> Vec<StreamTuple> {
+        (0..n)
+            .map(|i| {
+                StreamTuple::insert(
+                    Timestamp(i as i64),
+                    VertexId(i as u32),
+                    VertexId(i as u32 + 1),
+                    Label(0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_ratio_is_identity() {
+        let s = base_stream(100);
+        assert_eq!(inject_deletions(&s, 0.0, 1), s);
+    }
+
+    #[test]
+    fn ratio_is_approximated() {
+        let s = base_stream(20_000);
+        let out = inject_deletions(&s, 0.10, 42);
+        let dels = out.iter().filter(|t| t.op == Op::Delete).count();
+        let frac = dels as f64 / out.len() as f64;
+        assert!((0.08..0.12).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn deletions_reference_prior_insertions() {
+        let s = base_stream(1_000);
+        let out = inject_deletions(&s, 0.2, 7);
+        let mut seen = std::collections::HashSet::new();
+        for t in &out {
+            match t.op {
+                Op::Insert => {
+                    seen.insert((t.edge, t.label));
+                }
+                Op::Delete => {
+                    assert!(
+                        seen.contains(&(t.edge, t.label)),
+                        "deletion of never-inserted edge"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timestamps_stay_ordered() {
+        let s = base_stream(1_000);
+        let out = inject_deletions(&s, 0.3, 9);
+        let mut last = i64::MIN;
+        for t in &out {
+            assert!(t.ts.0 >= last);
+            last = t.ts.0;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn excessive_ratio_rejected() {
+        inject_deletions(&base_stream(10), 0.9, 1);
+    }
+}

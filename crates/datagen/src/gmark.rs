@@ -1,0 +1,394 @@
+//! gMark-like schema-driven graph and query workload generator (§5.1.2).
+//!
+//! gMark generates graphs from a schema: node types with instance
+//! counts, and predicates with source/target types and out-degree
+//! distributions. The paper uses a pre-configured schema mimicking LDBC
+//! SNB to build a 100M-vertex graph and a workload of 100 synthetic
+//! RPQs with sizes 2–20 (Figures 7–9). We reproduce the construction
+//! recipe at laptop scale:
+//!
+//! * [`generate`] — edges per predicate per source node, degree drawn
+//!   from uniform / Zipf / Gaussian distributions, timestamps assigned
+//!   at a fixed rate over a shuffled edge order (as the paper does for
+//!   static graphs);
+//! * [`generate_queries`] — random RPQs built by grouping labels into
+//!   concatenations/alternations of size ≤ 3, each group starred (`*`
+//!   or `+`) with probability 50% (the paper's exact recipe). Query
+//!   size counts labels plus stars.
+
+use crate::dataset::Dataset;
+use crate::zipf::Zipf;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use srpq_common::{LabelInterner, StreamTuple, Timestamp, VertexId};
+
+/// An out-degree distribution for a predicate.
+#[derive(Debug, Clone)]
+pub enum DegreeDist {
+    /// Uniform in `min..=max`.
+    Uniform {
+        /// Minimum degree.
+        min: u32,
+        /// Maximum degree.
+        max: u32,
+    },
+    /// Zipf-shaped over `0..=max` (rank 0 maps to `max`).
+    Zipf {
+        /// Maximum degree.
+        max: u32,
+        /// Skew exponent.
+        s: f64,
+    },
+    /// Gaussian with the given mean and standard deviation, clamped at 0.
+    Gaussian {
+        /// Mean degree.
+        mean: f64,
+        /// Standard deviation.
+        std: f64,
+    },
+}
+
+impl DegreeDist {
+    fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        match *self {
+            DegreeDist::Uniform { min, max } => rng.gen_range(min..=max),
+            DegreeDist::Zipf { max, s } => {
+                let z = Zipf::new(max as usize + 1, s);
+                (max as usize - z.sample(rng)) as u32
+            }
+            DegreeDist::Gaussian { mean, std } => {
+                // Box–Muller; clamp at zero.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen();
+                let n = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (mean + std * n).max(0.0).round() as u32
+            }
+        }
+    }
+}
+
+/// A node type: a name and an instance count.
+#[derive(Debug, Clone)]
+pub struct NodeType {
+    /// Type name (e.g. "person").
+    pub name: String,
+    /// Number of instances.
+    pub count: u32,
+}
+
+/// A predicate: labelled edges from one node type to another.
+#[derive(Debug, Clone)]
+pub struct Predicate {
+    /// Edge label.
+    pub name: String,
+    /// Source node type (index into the schema's `node_types`).
+    pub src_type: usize,
+    /// Target node type (index into the schema's `node_types`).
+    pub dst_type: usize,
+    /// Out-degree distribution per source instance.
+    pub out_degree: DegreeDist,
+}
+
+/// A gMark schema.
+#[derive(Debug, Clone)]
+pub struct GmarkSchema {
+    /// Node types.
+    pub node_types: Vec<NodeType>,
+    /// Predicates.
+    pub predicates: Vec<Predicate>,
+}
+
+impl GmarkSchema {
+    /// The pre-configured LDBC-SNB-flavoured schema the paper uses,
+    /// scaled by `scale` (node counts multiply by it).
+    pub fn ldbc_like(scale: u32) -> GmarkSchema {
+        let s = scale.max(1);
+        let node_types = vec![
+            NodeType { name: "person".into(), count: 200 * s },
+            NodeType { name: "post".into(), count: 400 * s },
+            NodeType { name: "comment".into(), count: 800 * s },
+            NodeType { name: "forum".into(), count: 40 * s },
+            NodeType { name: "tag".into(), count: 60 * s },
+        ];
+        let (person, post, comment, forum, tag) = (0, 1, 2, 3, 4);
+        let predicates = vec![
+            Predicate {
+                name: "knows".into(),
+                src_type: person,
+                dst_type: person,
+                out_degree: DegreeDist::Zipf { max: 20, s: 1.0 },
+            },
+            Predicate {
+                name: "hasCreator".into(),
+                src_type: comment,
+                dst_type: person,
+                out_degree: DegreeDist::Uniform { min: 1, max: 1 },
+            },
+            Predicate {
+                name: "postedBy".into(),
+                src_type: post,
+                dst_type: person,
+                out_degree: DegreeDist::Uniform { min: 1, max: 1 },
+            },
+            Predicate {
+                name: "likes".into(),
+                src_type: person,
+                dst_type: post,
+                out_degree: DegreeDist::Gaussian { mean: 4.0, std: 2.0 },
+            },
+            Predicate {
+                name: "replyOf".into(),
+                src_type: comment,
+                dst_type: comment,
+                out_degree: DegreeDist::Uniform { min: 0, max: 1 },
+            },
+            Predicate {
+                name: "replyOfPost".into(),
+                src_type: comment,
+                dst_type: post,
+                out_degree: DegreeDist::Uniform { min: 0, max: 1 },
+            },
+            Predicate {
+                name: "hasTag".into(),
+                src_type: post,
+                dst_type: tag,
+                out_degree: DegreeDist::Uniform { min: 1, max: 3 },
+            },
+            Predicate {
+                name: "hasMember".into(),
+                src_type: forum,
+                dst_type: person,
+                out_degree: DegreeDist::Zipf { max: 30, s: 0.8 },
+            },
+            Predicate {
+                name: "containerOf".into(),
+                src_type: forum,
+                dst_type: post,
+                out_degree: DegreeDist::Zipf { max: 25, s: 0.8 },
+            },
+            Predicate {
+                name: "hasInterest".into(),
+                src_type: person,
+                dst_type: tag,
+                out_degree: DegreeDist::Uniform { min: 0, max: 4 },
+            },
+        ];
+        GmarkSchema {
+            node_types,
+            predicates,
+        }
+    }
+
+    /// All predicate names.
+    pub fn labels(&self) -> Vec<&str> {
+        self.predicates.iter().map(|p| p.name.as_str()).collect()
+    }
+}
+
+/// Generates a streaming graph from a schema. Edge order is shuffled and
+/// timestamps assigned at a fixed rate (1 unit per edge), as the paper
+/// does when emulating streams over static graphs.
+pub fn generate(schema: &GmarkSchema, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut labels = LabelInterner::new();
+
+    // Assign contiguous vertex id ranges per node type.
+    let mut base = Vec::with_capacity(schema.node_types.len());
+    let mut next = 0u32;
+    for nt in &schema.node_types {
+        base.push(next);
+        next += nt.count;
+    }
+    let n_vertices = next;
+
+    let mut edges: Vec<(VertexId, VertexId, srpq_common::Label)> = Vec::new();
+    for pred in &schema.predicates {
+        let label = labels.intern(&pred.name);
+        let src_base = base[pred.src_type];
+        let src_count = schema.node_types[pred.src_type].count;
+        let dst_base = base[pred.dst_type];
+        let dst_count = schema.node_types[pred.dst_type].count;
+        for i in 0..src_count {
+            let src = VertexId(src_base + i);
+            let d = pred.out_degree.sample(&mut rng);
+            for _ in 0..d {
+                let mut dst = VertexId(dst_base + rng.gen_range(0..dst_count));
+                if dst == src {
+                    if dst_count == 1 {
+                        continue;
+                    }
+                    dst = VertexId(dst_base + (dst.0 - dst_base + 1) % dst_count);
+                }
+                edges.push((src, dst, label));
+            }
+        }
+    }
+    edges.shuffle(&mut rng);
+
+    let tuples = edges
+        .into_iter()
+        .enumerate()
+        .map(|(i, (src, dst, label))| {
+            StreamTuple::insert(Timestamp(i as i64 + 1), src, dst, label)
+        })
+        .collect();
+
+    Dataset {
+        name: "gmark".into(),
+        tuples,
+        labels,
+        n_vertices,
+    }
+}
+
+/// A generated synthetic RPQ.
+#[derive(Debug, Clone)]
+pub struct SyntheticQuery {
+    /// Surface-syntax expression (parseable by `srpq_automata::parse`).
+    pub expr: String,
+    /// Query size |Q_R| (labels + stars), per §5.1.2.
+    pub size: usize,
+}
+
+/// Generates `n` random RPQs over `labels` with sizes in
+/// `min_size..=max_size`, following the paper's recipe: groups of ≤ 3
+/// labels combined by concatenation or alternation, each group starred
+/// (`*` or `+`) with probability 50%.
+pub fn generate_queries(
+    labels: &[&str],
+    n: usize,
+    min_size: usize,
+    max_size: usize,
+    seed: u64,
+) -> Vec<SyntheticQuery> {
+    assert!(!labels.is_empty());
+    assert!(min_size >= 1 && max_size >= min_size);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let target = rng.gen_range(min_size..=max_size);
+        let mut size = 0usize;
+        let mut parts: Vec<String> = Vec::new();
+        while size < target {
+            let group_len = rng.gen_range(1..=3usize).min(target - size);
+            let chosen: Vec<&str> = (0..group_len)
+                .map(|_| labels[rng.gen_range(0..labels.len())])
+                .collect();
+            size += group_len;
+            let alternation = group_len > 1 && rng.gen_bool(0.5);
+            let body = if alternation {
+                chosen.join(" | ")
+            } else {
+                chosen.join(" ")
+            };
+            let starred = size < target && rng.gen_bool(0.5);
+            let part = if starred {
+                size += 1;
+                let op = if rng.gen_bool(0.5) { "*" } else { "+" };
+                format!("({body}){op}")
+            } else if alternation {
+                format!("({body})")
+            } else {
+                body
+            };
+            parts.push(part);
+        }
+        if size < min_size || size > max_size {
+            continue;
+        }
+        out.push(SyntheticQuery {
+            expr: parts.join(" "),
+            size,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srpq_automata::parse;
+
+    #[test]
+    fn ldbc_like_schema_generates_valid_stream() {
+        let schema = GmarkSchema::ldbc_like(1);
+        let ds = generate(&schema, 21);
+        ds.validate().unwrap();
+        assert!(ds.len() > 1_000, "too few edges: {}", ds.len());
+        assert_eq!(ds.labels.len(), schema.predicates.len());
+    }
+
+    #[test]
+    fn scale_multiplies_size() {
+        let a = generate(&GmarkSchema::ldbc_like(1), 3).len();
+        let b = generate(&GmarkSchema::ldbc_like(4), 3).len();
+        assert!(b > 3 * a, "{b} not ≫ {a}");
+    }
+
+    #[test]
+    fn type_ranges_respected() {
+        let schema = GmarkSchema::ldbc_like(1);
+        let ds = generate(&schema, 5);
+        let knows = ds.labels.get("knows").unwrap();
+        // knows edges must connect persons (ids 0..200).
+        for t in &ds.tuples {
+            if t.label == knows {
+                assert!(t.edge.src.0 < 200 && t.edge.dst.0 < 200);
+            }
+        }
+    }
+
+    #[test]
+    fn queries_parse_and_have_declared_size() {
+        let labels = ["a", "b", "c", "d"];
+        let queries = generate_queries(&labels, 100, 2, 20, 42);
+        assert_eq!(queries.len(), 100);
+        for q in &queries {
+            let regex = parse(&q.expr).unwrap_or_else(|e| panic!("{}: {e}", q.expr));
+            assert_eq!(regex.size(), q.size, "size mismatch for {}", q.expr);
+            assert!((2..=20).contains(&q.size));
+        }
+    }
+
+    #[test]
+    fn query_sizes_cover_the_range() {
+        let labels = ["a", "b", "c"];
+        let queries = generate_queries(&labels, 200, 2, 20, 7);
+        let sizes: std::collections::HashSet<usize> =
+            queries.iter().map(|q| q.size).collect();
+        assert!(sizes.len() >= 12, "only {} distinct sizes", sizes.len());
+    }
+
+    #[test]
+    fn roughly_half_the_groups_are_starred() {
+        let labels = ["a", "b"];
+        let queries = generate_queries(&labels, 300, 4, 12, 99);
+        let starred = queries
+            .iter()
+            .filter(|q| q.expr.contains(")*") || q.expr.contains(")+"))
+            .count();
+        assert!(
+            starred > queries.len() / 4,
+            "too few starred queries: {starred}"
+        );
+    }
+
+    #[test]
+    fn degree_distributions_sample_sanely() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let u = DegreeDist::Uniform { min: 1, max: 3 }.sample(&mut rng);
+            assert!((1..=3).contains(&u));
+            let z = DegreeDist::Zipf { max: 10, s: 1.0 }.sample(&mut rng);
+            assert!(z <= 10);
+            let _g = DegreeDist::Gaussian { mean: 4.0, std: 2.0 }.sample(&mut rng);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let schema = GmarkSchema::ldbc_like(1);
+        assert_eq!(generate(&schema, 9).tuples, generate(&schema, 9).tuples);
+    }
+}

@@ -1,0 +1,38 @@
+//! Synthetic streaming graph generators and query workloads.
+//!
+//! The paper evaluates on StackOverflow (real temporal graph), LDBC SNB
+//! update streams, the Yago2s RDF dataset, and gMark-generated graphs.
+//! None of those are shippable here, so each module builds a synthetic
+//! stand-in reproducing the *qualitative drivers* of the corresponding
+//! experiments (see DESIGN.md §3 for the substitution argument):
+//!
+//! * [`so`] — homogeneous, highly cyclic interaction graph with 3 labels
+//!   and heavy-tailed degrees (the paper's most challenging workload);
+//! * [`ldbc`] — heterogeneous social-network update stream where only
+//!   `knows` and `replyOf` are recursive;
+//! * [`yago`] — sparse RDF-like stream with ~100 Zipf-distributed labels
+//!   and fixed-rate timestamps (count-based windows);
+//! * [`gmark`] — schema-driven generator plus the random RPQ workload
+//!   used by Figures 7–9;
+//! * [`queries`] — the Table 2 real-world query templates with the
+//!   Table 3 per-dataset label bindings;
+//! * [`deletions`] — negative-tuple injection for the Figure 10
+//!   experiment.
+//!
+//! Everything is seeded and deterministic.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod dataset;
+pub mod deletions;
+pub mod gmark;
+pub mod ldbc;
+pub mod queries;
+pub mod so;
+pub mod yago;
+pub mod zipf;
+
+pub use dataset::Dataset;
+pub use deletions::inject_deletions;
+pub use queries::{queries_for, table2_queries, DatasetKind};

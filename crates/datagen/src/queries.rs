@@ -1,0 +1,131 @@
+//! The Table 2 real-world query workload with Table 3 label bindings.
+//!
+//! The paper takes the 10 most common recursive query shapes from the
+//! Wikidata query logs (covering > 99% of recursive queries) plus the
+//! most common non-recursive shape (Q11), and instantiates the label
+//! variables per dataset. `k = 3` for the variable-arity queries, as in
+//! the paper (the SO graph has exactly three labels).
+
+/// Which dataset family a workload binds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// StackOverflow-like (3 labels, homogeneous, cyclic).
+    So,
+    /// LDBC-SNB-like (4 labels; only `knows` / `replyOf` recursive).
+    Ldbc,
+    /// Yago2s-like (~100 labels, sparse).
+    Yago,
+}
+
+/// A named query: `(name, surface-syntax expression)`.
+pub type NamedQuery = (&'static str, String);
+
+/// Instantiates the Table 2 templates over the given label variables.
+/// `labels[0]` is `a`, `labels[1]` is `b`, `labels[2]` is `c`; the
+/// variable-arity queries (Q4, Q9, Q10, Q11) use all provided labels.
+/// Panics unless at least 3 labels are provided.
+pub fn table2_queries(labels: &[&str]) -> Vec<NamedQuery> {
+    assert!(labels.len() >= 3, "Table 2 templates need ≥ 3 labels");
+    let (a, b, c) = (labels[0], labels[1], labels[2]);
+    let alt = labels.join(" | ");
+    let cat = labels.join(" ");
+    vec![
+        ("Q1", format!("{a}*")),
+        ("Q2", format!("{a} {b}*")),
+        ("Q3", format!("{a} {b}* {c}*")),
+        ("Q4", format!("({alt})*")),
+        ("Q5", format!("{a} {b}* {c}")),
+        ("Q6", format!("{a}* {b}*")),
+        ("Q7", format!("{a} {b} {c}*")),
+        ("Q8", format!("{a}? {b}*")),
+        ("Q9", format!("({alt})+")),
+        ("Q10", format!("({alt}) {b}*")),
+        ("Q11", cat),
+    ]
+}
+
+/// The workload for a dataset family, with the Table 3 bindings and the
+/// paper's per-dataset restrictions (Figure 4b evaluates Q1, Q2, Q3,
+/// Q5, Q6, Q7, Q11 on LDBC — the alternation queries are not
+/// meaningful there).
+pub fn queries_for(kind: DatasetKind) -> Vec<NamedQuery> {
+    match kind {
+        DatasetKind::So => table2_queries(&["a2q", "c2a", "c2q"]),
+        DatasetKind::Ldbc => {
+            let all = table2_queries(&["knows", "replyOf", "hasCreator", "likes"]);
+            let keep = ["Q1", "Q2", "Q3", "Q5", "Q6", "Q7", "Q11"];
+            all.into_iter()
+                .filter(|(name, _)| keep.contains(name))
+                .collect()
+        }
+        DatasetKind::Yago => {
+            table2_queries(&["happenedIn", "hasCapital", "participatedIn"])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srpq_automata::{parse, CompiledQuery};
+    use srpq_common::LabelInterner;
+
+    #[test]
+    fn all_templates_parse_and_compile() {
+        for kind in [DatasetKind::So, DatasetKind::Ldbc, DatasetKind::Yago] {
+            for (name, expr) in queries_for(kind) {
+                parse(&expr).unwrap_or_else(|e| panic!("{name} ({expr}): {e}"));
+                let mut labels = LabelInterner::new();
+                let q = CompiledQuery::compile(&expr, &mut labels).unwrap();
+                assert!(q.k() >= 1, "{name} has no states");
+            }
+        }
+    }
+
+    #[test]
+    fn eleven_queries_for_so_and_yago() {
+        assert_eq!(queries_for(DatasetKind::So).len(), 11);
+        assert_eq!(queries_for(DatasetKind::Yago).len(), 11);
+        assert_eq!(queries_for(DatasetKind::Ldbc).len(), 7);
+    }
+
+    #[test]
+    fn q11_is_the_only_non_recursive() {
+        for (name, expr) in queries_for(DatasetKind::So) {
+            let recursive = parse(&expr).unwrap().is_recursive();
+            if name == "Q11" {
+                assert!(!recursive);
+            } else {
+                assert!(recursive, "{name} should be recursive");
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_match_table_2() {
+        let qs = table2_queries(&["a", "b", "c"]);
+        let get = |n: &str| {
+            qs.iter()
+                .find(|(name, _)| *name == n)
+                .map(|(_, e)| e.clone())
+                .unwrap()
+        };
+        assert_eq!(get("Q1"), "a*");
+        assert_eq!(get("Q2"), "a b*");
+        assert_eq!(get("Q3"), "a b* c*");
+        assert_eq!(get("Q4"), "(a | b | c)*");
+        assert_eq!(get("Q5"), "a b* c");
+        assert_eq!(get("Q6"), "a* b*");
+        assert_eq!(get("Q7"), "a b c*");
+        assert_eq!(get("Q8"), "a? b*");
+        assert_eq!(get("Q9"), "(a | b | c)+");
+        assert_eq!(get("Q10"), "(a | b | c) b*");
+        assert_eq!(get("Q11"), "a b c");
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 3 labels")]
+    fn too_few_labels_rejected() {
+        table2_queries(&["a", "b"]);
+    }
+}

@@ -1,0 +1,198 @@
+//! StackOverflow-like temporal interaction stream.
+//!
+//! The real SO graph (§5.1.2): 63M interactions among 2.2M users over 8
+//! years; a *single* vertex type, exactly three edge labels (user
+//! answered / commented-on-question / commented-on-answer), heavy-tailed
+//! activity, and — because every edge connects users to users — a highly
+//! cyclic topology where recursive queries touch every edge. Those are
+//! the properties that make it the paper's hardest workload (largest Δ,
+//! lowest throughput), and they are what this generator reproduces:
+//!
+//! * three labels `a2q`, `c2a`, `c2q` with the empirical 2:1:1-ish mix;
+//! * preferential attachment on *both* endpoints (heavy-tailed in- and
+//!   out-degrees, many reciprocal pairs ⇒ short cycles);
+//! * timestamps advancing at an irregular but monotone rate.
+
+use crate::dataset::Dataset;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use srpq_common::{LabelInterner, StreamTuple, Timestamp, VertexId};
+
+/// Configuration for the SO-like generator.
+#[derive(Debug, Clone)]
+pub struct SoConfig {
+    /// Number of users (vertices).
+    pub n_users: u32,
+    /// Number of interactions (tuples).
+    pub n_edges: usize,
+    /// Total time span of the stream in time units.
+    pub duration: i64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Probability that an endpoint is drawn by degree (preferential
+    /// attachment) rather than uniformly. Default 0.7.
+    pub preferential: f64,
+}
+
+impl Default for SoConfig {
+    fn default() -> Self {
+        SoConfig {
+            n_users: 2_000,
+            n_edges: 50_000,
+            duration: 100_000,
+            seed: 0x5005_0e11,
+            preferential: 0.7,
+        }
+    }
+}
+
+/// Generates the stream.
+pub fn generate(cfg: &SoConfig) -> Dataset {
+    assert!(cfg.n_users >= 2, "need at least two users");
+    assert!(cfg.n_edges > 0);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut labels = LabelInterner::new();
+    // The three SO interaction types (Table 3; the paper's row labels
+    // for SO/LDBC are swapped — SO is the 3-label graph).
+    let a2q = labels.intern("a2q");
+    let c2a = labels.intern("c2a");
+    let c2q = labels.intern("c2q");
+    let label_mix = [(a2q, 0.5), (c2a, 0.25), (c2q, 0.25)];
+
+    // Degree-proportional endpoint pool (each chosen endpoint is pushed
+    // back, yielding preferential attachment).
+    let mut pool: Vec<u32> = Vec::with_capacity(cfg.n_edges * 2 + 2);
+    pool.push(rng.gen_range(0..cfg.n_users));
+    pool.push(rng.gen_range(0..cfg.n_users));
+
+    let mut tuples = Vec::with_capacity(cfg.n_edges);
+    let mut now = 0i64;
+    let mean_gap = (cfg.duration as f64 / cfg.n_edges as f64).max(0.0);
+    for _ in 0..cfg.n_edges {
+        // Irregular monotone timestamps: 0..2× the mean gap.
+        now += rng.gen_range(0.0..=2.0 * mean_gap) as i64;
+        let pick = |rng: &mut SmallRng, pool: &Vec<u32>| -> u32 {
+            if rng.gen_bool(cfg.preferential) && !pool.is_empty() {
+                pool[rng.gen_range(0..pool.len())]
+            } else {
+                rng.gen_range(0..cfg.n_users)
+            }
+        };
+        let src = pick(&mut rng, &pool);
+        let mut dst = pick(&mut rng, &pool);
+        if dst == src {
+            dst = (dst + 1 + rng.gen_range(0..cfg.n_users - 1)) % cfg.n_users;
+        }
+        pool.push(src);
+        pool.push(dst);
+        let roll: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut label = a2q;
+        for &(l, w) in &label_mix {
+            acc += w;
+            if roll < acc {
+                label = l;
+                break;
+            }
+        }
+        tuples.push(StreamTuple::insert(
+            Timestamp(now),
+            VertexId(src),
+            VertexId(dst),
+            label,
+        ));
+    }
+
+    Dataset {
+        name: "so".into(),
+        tuples,
+        labels,
+        n_vertices: cfg.n_users,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SoConfig {
+            n_edges: 1_000,
+            ..Default::default()
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.tuples, b.tuples);
+        let c = generate(&SoConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        });
+        assert_ne!(a.tuples, c.tuples);
+    }
+
+    #[test]
+    fn stream_is_valid() {
+        let ds = generate(&SoConfig {
+            n_users: 100,
+            n_edges: 5_000,
+            duration: 10_000,
+            seed: 3,
+            preferential: 0.7,
+        });
+        ds.validate().unwrap();
+        assert_eq!(ds.len(), 5_000);
+        assert_eq!(ds.labels.len(), 3);
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let ds = generate(&SoConfig {
+            n_users: 1_000,
+            n_edges: 20_000,
+            duration: 10_000,
+            seed: 9,
+            preferential: 0.8,
+        });
+        let mut deg = vec![0usize; 1_000];
+        for t in &ds.tuples {
+            deg[t.edge.src.index()] += 1;
+            deg[t.edge.dst.index()] += 1;
+        }
+        deg.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = deg[..10].iter().sum();
+        let total: usize = deg.iter().sum();
+        // Top 1% of users should hold far more than 1% of interactions.
+        assert!(
+            top10 as f64 > 0.05 * total as f64,
+            "top10 {top10} of {total}"
+        );
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let ds = generate(&SoConfig {
+            n_users: 10,
+            n_edges: 2_000,
+            duration: 1_000,
+            seed: 4,
+            preferential: 0.9,
+        });
+        assert!(ds.tuples.iter().all(|t| t.edge.src != t.edge.dst));
+    }
+
+    #[test]
+    fn label_mix_roughly_half_a2q() {
+        let ds = generate(&SoConfig {
+            n_users: 500,
+            n_edges: 20_000,
+            duration: 10_000,
+            seed: 5,
+            preferential: 0.7,
+        });
+        let a2q = ds.labels.get("a2q").unwrap();
+        let count = ds.tuples.iter().filter(|t| t.label == a2q).count();
+        let frac = count as f64 / ds.len() as f64;
+        assert!((0.45..0.55).contains(&frac), "a2q fraction {frac}");
+    }
+}

@@ -1,0 +1,100 @@
+//! A small Zipf sampler (rank-frequency `p(r) ∝ 1/r^s`).
+//!
+//! `rand` 0.8 ships no Zipf distribution without the `rand_distr`
+//! add-on, and our needs are modest (label and vertex popularity
+//! skews), so we precompute the cumulative mass and binary-search it.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `s` (`s = 0` is
+    /// uniform; larger `s` is more skewed). Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 1..=n {
+            total += 1.0 / (r as f64).powf(s);
+            cumulative.push(total);
+        }
+        // Normalize to [0, 1].
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Samples a rank in `0..n` (rank 0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution is degenerate (single rank).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_one() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should dominate rank 50 by roughly 50×.
+        assert!(counts[0] > 10 * counts[50].max(1));
+        // All samples in range (implicitly: no panic).
+    }
+
+    #[test]
+    fn sample_always_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

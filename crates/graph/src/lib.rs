@@ -1,0 +1,22 @@
+//! Windowed streaming graph storage.
+//!
+//! [`WindowGraph`] materializes the snapshot graph `G_{W,τ}`
+//! (Definition 5): the set of streaming graph tuples whose timestamps
+//! fall in the window interval `(τ − |W|, τ]`. It supports the three
+//! mutations the algorithms in §3–§4 need — edge upsert on tuple arrival,
+//! lazy purge of expired tuples at slide boundaries, and explicit
+//! deletion for negative tuples — plus timestamp-filtered adjacency
+//! iteration in both directions.
+//!
+//! [`window::WindowPolicy`] encapsulates the time-based sliding window
+//! arithmetic (window size `|W|`, slide interval β, eager evaluation /
+//! lazy expiry).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod store;
+pub mod window;
+
+pub use store::{EdgeRef, WindowGraph};
+pub use window::WindowPolicy;

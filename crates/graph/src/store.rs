@@ -1,0 +1,352 @@
+//! The windowed adjacency store.
+//!
+//! Semantics: the window content is a set of labeled edges, each carrying
+//! the timestamp of its **most recent** insertion. Re-inserting an edge
+//! refreshes its timestamp (it is the same edge of the snapshot graph,
+//! now expiring later); an explicit deletion removes it regardless of how
+//! many times it was inserted. Expiry is *lazy*: stale entries linger
+//! until [`WindowGraph::purge_expired`] runs at a slide boundary, so all
+//! traversal APIs take a validity watermark and filter on it — exactly
+//! the discipline Algorithms RAPQ/RSPQ apply with their
+//! `(u, s).ts > τ − |W|` guards.
+
+use srpq_common::{FxHashMap, Label, Timestamp, VertexId};
+use std::collections::VecDeque;
+
+/// A labeled, timestamped half-edge as seen from one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef {
+    /// The other endpoint (target for out-edges, source for in-edges).
+    pub other: VertexId,
+    /// The edge label.
+    pub label: Label,
+    /// Timestamp of the most recent insertion of this edge.
+    pub ts: Timestamp,
+}
+
+/// The snapshot graph `G_{W,τ}` of a sliding window over a streaming
+/// graph, stored as hash-indexed labeled adjacency in both directions.
+#[derive(Debug, Default)]
+pub struct WindowGraph {
+    /// `out[u] = {(v, l) → ts}`.
+    out: FxHashMap<VertexId, FxHashMap<(VertexId, Label), Timestamp>>,
+    /// `inc[v] = {(u, l) → ts}`.
+    inc: FxHashMap<VertexId, FxHashMap<(VertexId, Label), Timestamp>>,
+    /// Arrival-ordered queue of (ts, u, v, l) used for O(expired) purge.
+    queue: VecDeque<(Timestamp, VertexId, VertexId, Label)>,
+    n_edges: usize,
+}
+
+impl WindowGraph {
+    /// Creates an empty window graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct labeled edges currently stored (including
+    /// not-yet-purged expired ones).
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Number of vertices with at least one incident stored edge.
+    pub fn n_vertices(&self) -> usize {
+        // A vertex appears in `out` or `inc` (or both).
+        let mut n = self.out.len();
+        for v in self.inc.keys() {
+            if !self.out.contains_key(v) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Inserts (or refreshes) edge `u →l v` at time `ts`. Returns `true`
+    /// if the edge was not present before.
+    pub fn insert(&mut self, u: VertexId, v: VertexId, label: Label, ts: Timestamp) -> bool {
+        let fresh = self
+            .out
+            .entry(u)
+            .or_default()
+            .insert((v, label), ts)
+            .is_none();
+        self.inc.entry(v).or_default().insert((u, label), ts);
+        if fresh {
+            self.n_edges += 1;
+        }
+        self.queue.push_back((ts, u, v, label));
+        fresh
+    }
+
+    /// Removes edge `u →l v` (explicit deletion). Returns its timestamp
+    /// if it was present.
+    pub fn remove(&mut self, u: VertexId, v: VertexId, label: Label) -> Option<Timestamp> {
+        let ts = self.remove_out(u, v, label)?;
+        self.remove_inc(u, v, label);
+        self.n_edges -= 1;
+        Some(ts)
+    }
+
+    fn remove_out(&mut self, u: VertexId, v: VertexId, label: Label) -> Option<Timestamp> {
+        let m = self.out.get_mut(&u)?;
+        let ts = m.remove(&(v, label))?;
+        if m.is_empty() {
+            self.out.remove(&u);
+        }
+        Some(ts)
+    }
+
+    fn remove_inc(&mut self, u: VertexId, v: VertexId, label: Label) {
+        if let Some(m) = self.inc.get_mut(&v) {
+            m.remove(&(u, label));
+            if m.is_empty() {
+                self.inc.remove(&v);
+            }
+        }
+    }
+
+    /// The current timestamp of edge `u →l v`, if present.
+    pub fn edge_ts(&self, u: VertexId, v: VertexId, label: Label) -> Option<Timestamp> {
+        self.out.get(&u)?.get(&(v, label)).copied()
+    }
+
+    /// Whether edge `u →l v` is present and valid after `watermark`.
+    pub fn contains_valid(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        label: Label,
+        watermark: Timestamp,
+    ) -> bool {
+        self.edge_ts(u, v, label).map(|ts| ts > watermark) == Some(true)
+    }
+
+    /// Purges every edge whose timestamp is `<= watermark`. Returns the
+    /// number of edges removed. Amortized O(#expired) thanks to the
+    /// arrival-ordered queue.
+    pub fn purge_expired(&mut self, watermark: Timestamp) -> usize {
+        let mut removed = 0;
+        while let Some(&(ts, u, v, l)) = self.queue.front() {
+            if ts > watermark {
+                break;
+            }
+            self.queue.pop_front();
+            // Only remove if the stored timestamp still matches: a newer
+            // re-insertion refreshes the edge, leaving a stale queue entry
+            // that we simply skip.
+            if self.edge_ts(u, v, l) == Some(ts) {
+                self.remove(u, v, l);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Out-edges of `u` with timestamps `> watermark`.
+    pub fn out_edges(
+        &self,
+        u: VertexId,
+        watermark: Timestamp,
+    ) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.out
+            .get(&u)
+            .into_iter()
+            .flat_map(|m| m.iter())
+            .filter(move |(_, &ts)| ts > watermark)
+            .map(|(&(v, l), &ts)| EdgeRef {
+                other: v,
+                label: l,
+                ts,
+            })
+    }
+
+    /// In-edges of `v` with timestamps `> watermark`.
+    pub fn in_edges(
+        &self,
+        v: VertexId,
+        watermark: Timestamp,
+    ) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.inc
+            .get(&v)
+            .into_iter()
+            .flat_map(|m| m.iter())
+            .filter(move |(_, &ts)| ts > watermark)
+            .map(|(&(u, l), &ts)| EdgeRef {
+                other: u,
+                label: l,
+                ts,
+            })
+    }
+
+    /// All vertices with at least one valid out- or in-edge after
+    /// `watermark`.
+    pub fn vertices(&self, watermark: Timestamp) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = Vec::new();
+        for (&u, m) in &self.out {
+            if m.values().any(|&ts| ts > watermark) {
+                out.push(u);
+            }
+        }
+        for (&v, m) in &self.inc {
+            if !self.out.contains_key(&v) && m.values().any(|&ts| ts > watermark) {
+                out.push(v);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// All valid edges `(u, v, label, ts)` after `watermark` (snapshot
+    /// export for the batch baselines).
+    pub fn edges(&self, watermark: Timestamp) -> Vec<(VertexId, VertexId, Label, Timestamp)> {
+        let mut out = Vec::with_capacity(self.n_edges);
+        for (&u, m) in &self.out {
+            for (&(v, l), &ts) in m {
+                if ts > watermark {
+                    out.push((u, v, l, ts));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NEG: Timestamp = Timestamp(i64::MIN);
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut g = WindowGraph::new();
+        assert!(g.insert(v(0), v(1), l(0), Timestamp(5)));
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.n_vertices(), 2);
+        assert_eq!(g.edge_ts(v(0), v(1), l(0)), Some(Timestamp(5)));
+        assert_eq!(g.edge_ts(v(1), v(0), l(0)), None);
+        assert_eq!(g.edge_ts(v(0), v(1), l(1)), None);
+    }
+
+    #[test]
+    fn reinsert_refreshes_timestamp() {
+        let mut g = WindowGraph::new();
+        assert!(g.insert(v(0), v(1), l(0), Timestamp(5)));
+        assert!(!g.insert(v(0), v(1), l(0), Timestamp(9)));
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.edge_ts(v(0), v(1), l(0)), Some(Timestamp(9)));
+    }
+
+    #[test]
+    fn parallel_edges_with_distinct_labels() {
+        let mut g = WindowGraph::new();
+        g.insert(v(0), v(1), l(0), Timestamp(1));
+        g.insert(v(0), v(1), l(1), Timestamp(2));
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.out_edges(v(0), NEG).count(), 2);
+    }
+
+    #[test]
+    fn remove_cleans_both_directions() {
+        let mut g = WindowGraph::new();
+        g.insert(v(0), v(1), l(0), Timestamp(1));
+        assert_eq!(g.remove(v(0), v(1), l(0)), Some(Timestamp(1)));
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.out_edges(v(0), NEG).count(), 0);
+        assert_eq!(g.in_edges(v(1), NEG).count(), 0);
+        assert_eq!(g.n_vertices(), 0);
+        // Double delete is a no-op.
+        assert_eq!(g.remove(v(0), v(1), l(0)), None);
+    }
+
+    #[test]
+    fn watermark_filters_traversal() {
+        let mut g = WindowGraph::new();
+        g.insert(v(0), v(1), l(0), Timestamp(5));
+        g.insert(v(0), v(2), l(0), Timestamp(15));
+        let visible: Vec<_> = g.out_edges(v(0), Timestamp(10)).collect();
+        assert_eq!(visible.len(), 1);
+        assert_eq!(visible[0].other, v(2));
+        assert!(g.contains_valid(v(0), v(2), l(0), Timestamp(10)));
+        assert!(!g.contains_valid(v(0), v(1), l(0), Timestamp(10)));
+    }
+
+    #[test]
+    fn purge_removes_only_expired() {
+        let mut g = WindowGraph::new();
+        for i in 0..10 {
+            g.insert(v(i), v(i + 1), l(0), Timestamp(i as i64));
+        }
+        let removed = g.purge_expired(Timestamp(4));
+        assert_eq!(removed, 5);
+        assert_eq!(g.n_edges(), 5);
+        assert_eq!(g.edge_ts(v(4), v(5), l(0)), None);
+        assert_eq!(g.edge_ts(v(5), v(6), l(0)), Some(Timestamp(5)));
+    }
+
+    #[test]
+    fn purge_skips_refreshed_edges() {
+        let mut g = WindowGraph::new();
+        g.insert(v(0), v(1), l(0), Timestamp(1));
+        g.insert(v(0), v(1), l(0), Timestamp(10)); // refresh
+        let removed = g.purge_expired(Timestamp(5));
+        assert_eq!(removed, 0);
+        assert_eq!(g.edge_ts(v(0), v(1), l(0)), Some(Timestamp(10)));
+        // Later purge removes it exactly once.
+        let removed = g.purge_expired(Timestamp(10));
+        assert_eq!(removed, 1);
+        assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    fn purge_is_idempotent() {
+        let mut g = WindowGraph::new();
+        g.insert(v(0), v(1), l(0), Timestamp(1));
+        assert_eq!(g.purge_expired(Timestamp(1)), 1);
+        assert_eq!(g.purge_expired(Timestamp(1)), 0);
+        assert_eq!(g.purge_expired(Timestamp(100)), 0);
+    }
+
+    #[test]
+    fn explicit_delete_then_purge_does_not_double_count() {
+        let mut g = WindowGraph::new();
+        g.insert(v(0), v(1), l(0), Timestamp(1));
+        g.remove(v(0), v(1), l(0));
+        // The queue entry is stale; purge must skip it gracefully.
+        assert_eq!(g.purge_expired(Timestamp(5)), 0);
+        assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    fn vertices_and_edges_snapshots() {
+        let mut g = WindowGraph::new();
+        g.insert(v(3), v(1), l(0), Timestamp(5));
+        g.insert(v(1), v(2), l(1), Timestamp(6));
+        assert_eq!(g.vertices(NEG), vec![v(1), v(2), v(3)]);
+        assert_eq!(g.vertices(Timestamp(5)), vec![v(1), v(2)]);
+        let edges = g.edges(NEG);
+        assert_eq!(edges.len(), 2);
+        assert_eq!(g.edges(Timestamp(5)).len(), 1);
+    }
+
+    #[test]
+    fn self_loops_are_supported() {
+        let mut g = WindowGraph::new();
+        g.insert(v(0), v(0), l(0), Timestamp(1));
+        assert_eq!(g.n_vertices(), 1);
+        assert_eq!(g.out_edges(v(0), NEG).count(), 1);
+        assert_eq!(g.in_edges(v(0), NEG).count(), 1);
+        g.remove(v(0), v(0), l(0));
+        assert_eq!(g.n_vertices(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Time-based sliding window arithmetic (Definitions 4–5).
+//!
+//! A time-based sliding window `W` with size `|W|` and slide interval β
+//! defines, at any time τ, the interval `(W^b, W^e]` with
+//! `W^e = ⌊τ/β⌋·β` and `W^b = W^e − |W|`. The paper uses **eager
+//! evaluation** (results are produced as each tuple arrives, β=1 for
+//! evaluation purposes) but **lazy expiration** (expired tuples are only
+//! removed at slide boundaries), which separates window maintenance from
+//! tuple processing (§2, §3.1). [`WindowPolicy`] encodes exactly that:
+//! per-tuple it reports the validity watermark `τ − |W|`; at each slide
+//! boundary crossing it requests one expiry pass.
+
+use srpq_common::Timestamp;
+
+/// Sliding-window configuration: window size `|W|` and slide interval β,
+/// both in stream time units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowPolicy {
+    /// Window size `|W|` in time units.
+    pub window_size: i64,
+    /// Slide interval β in time units (lazy-expiry granularity).
+    pub slide: i64,
+}
+
+impl WindowPolicy {
+    /// Creates a policy; panics unless `window_size > 0` and `slide > 0`.
+    pub fn new(window_size: i64, slide: i64) -> WindowPolicy {
+        assert!(window_size > 0, "window size must be positive");
+        assert!(slide > 0, "slide interval must be positive");
+        WindowPolicy { window_size, slide }
+    }
+
+    /// The eager validity watermark at time `τ`: tuples with
+    /// `ts ≤ τ − |W|` are outside the window (Definition 9 requires
+    /// `p.ts > τ − |W|`).
+    #[inline]
+    pub fn watermark(&self, now: Timestamp) -> Timestamp {
+        now.saturating_sub(self.window_size)
+    }
+
+    /// The window end `W^e = ⌊τ/β⌋·β` at time `τ` (for non-negative τ).
+    #[inline]
+    pub fn window_end(&self, now: Timestamp) -> Timestamp {
+        Timestamp(now.0.div_euclid(self.slide) * self.slide)
+    }
+
+    /// The *lazy* expiry watermark used when a slide boundary fires:
+    /// `W^b = W^e − |W|`.
+    #[inline]
+    pub fn lazy_watermark(&self, now: Timestamp) -> Timestamp {
+        self.window_end(now).saturating_sub(self.window_size)
+    }
+
+    /// Whether advancing the clock from `prev` to `now` crosses one or
+    /// more slide boundaries (i.e. an expiry pass is due).
+    #[inline]
+    pub fn crosses_slide(&self, prev: Timestamp, now: Timestamp) -> bool {
+        self.window_end(prev) != self.window_end(now)
+    }
+}
+
+impl Default for WindowPolicy {
+    /// A degenerate "everything is live" window, handy in tests.
+    fn default() -> Self {
+        WindowPolicy {
+            window_size: i64::MAX / 4,
+            slide: i64::MAX / 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_is_now_minus_window() {
+        let p = WindowPolicy::new(15, 1);
+        assert_eq!(p.watermark(Timestamp(18)), Timestamp(3));
+        // Figure 1: at τ=18 with |W|=15, the tuple at τ=4 (y→u) is valid
+        // (4 > 3) while anything at ts ≤ 3 is expired.
+        assert!(Timestamp(4) > p.watermark(Timestamp(18)));
+    }
+
+    #[test]
+    fn window_end_floors_to_slide() {
+        let p = WindowPolicy::new(10, 3);
+        assert_eq!(p.window_end(Timestamp(7)), Timestamp(6));
+        assert_eq!(p.window_end(Timestamp(9)), Timestamp(9));
+        assert_eq!(p.lazy_watermark(Timestamp(17)), Timestamp(5));
+    }
+
+    #[test]
+    fn slide_crossing_detection() {
+        let p = WindowPolicy::new(10, 5);
+        assert!(!p.crosses_slide(Timestamp(1), Timestamp(4)));
+        assert!(p.crosses_slide(Timestamp(4), Timestamp(5)));
+        assert!(p.crosses_slide(Timestamp(4), Timestamp(23)));
+        assert!(!p.crosses_slide(Timestamp(5), Timestamp(9)));
+    }
+
+    #[test]
+    fn lazy_watermark_never_exceeds_eager() {
+        let p = WindowPolicy::new(10, 4);
+        for t in 0..50 {
+            let now = Timestamp(t);
+            assert!(p.lazy_watermark(now) <= p.watermark(now), "t={t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window size")]
+    fn zero_window_rejected() {
+        WindowPolicy::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slide interval")]
+    fn zero_slide_rejected() {
+        WindowPolicy::new(5, 0);
+    }
+
+    #[test]
+    fn default_never_expires() {
+        let p = WindowPolicy::default();
+        assert!(p.watermark(Timestamp(1_000_000)) < Timestamp(0));
+    }
+}

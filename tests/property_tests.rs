@@ -1,0 +1,255 @@
+//! Property-based tests (proptest): randomized streams, windows, and
+//! queries against the batch oracles and the structural invariants of
+//! Lemma 1.
+
+use proptest::prelude::*;
+use srpq_automata::CompiledQuery;
+use srpq_common::{Label, LabelInterner, Op, StreamTuple, Timestamp, VertexId};
+use srpq_core::config::RefreshPolicy;
+use srpq_core::engine::{Engine, PathSemantics};
+use srpq_core::rapq::RapqEngine;
+use srpq_core::sink::CollectSink;
+use srpq_core::EngineConfig;
+use srpq_graph::{WindowGraph, WindowPolicy};
+use srpq_harness::{Oracle, OracleMode};
+
+const QUERY_POOL: &[&str] = &[
+    "a",
+    "a*",
+    "a b",
+    "a b*",
+    "(a b)+",
+    "(a | b)*",
+    "a b* a",
+    "a? b+",
+];
+
+#[derive(Debug, Clone)]
+struct StreamSpec {
+    ops: Vec<(u8, u8, u8, bool, u8)>, // (src, dst, label, is_insert, dt)
+    query: usize,
+    window: i64,
+    slide: i64,
+}
+
+fn stream_strategy(max_len: usize) -> impl Strategy<Value = StreamSpec> {
+    (
+        proptest::collection::vec(
+            (0u8..6, 0u8..6, 0u8..2, prop::bool::weighted(0.85), 0u8..3),
+            1..max_len,
+        ),
+        0..QUERY_POOL.len(),
+        4i64..25,
+        1i64..8,
+    )
+        .prop_map(|(ops, query, window, slide)| StreamSpec {
+            ops,
+            query,
+            window,
+            slide,
+        })
+}
+
+fn materialize(spec: &StreamSpec) -> (Vec<StreamTuple>, CompiledQuery) {
+    let mut ts = 0i64;
+    let mut inserted: Vec<(VertexId, VertexId, Label)> = Vec::new();
+    let mut tuples = Vec::with_capacity(spec.ops.len());
+    for &(src, dst, label, is_insert, dt) in &spec.ops {
+        ts += dt as i64;
+        let (src, dst) = (VertexId(src as u32), VertexId(dst as u32));
+        let src = if src == dst { VertexId((src.0 + 1) % 6) } else { src };
+        let label = Label(label as u32);
+        if is_insert || inserted.is_empty() {
+            inserted.push((src, dst, label));
+            tuples.push(StreamTuple::insert(Timestamp(ts), src, dst, label));
+        } else {
+            // Delete an arbitrary previously inserted edge
+            // (deterministic pick: index derived from the op fields).
+            let idx = (src.0 as usize + dst.0 as usize * 7) % inserted.len();
+            let (s, d, l) = inserted[idx];
+            tuples.push(StreamTuple::delete(Timestamp(ts), s, d, l));
+        }
+    }
+    let mut labels = LabelInterner::new();
+    labels.intern("a");
+    labels.intern("b");
+    let query = CompiledQuery::compile(QUERY_POOL[spec.query], &mut labels).unwrap();
+    (tuples, query)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// RAPQ with eager expiry (β=1) reproduces the implicit-window
+    /// reference semantics exactly, on any stream, window, and query.
+    #[test]
+    fn rapq_eager_equals_oracle(spec in stream_strategy(60)) {
+        let (tuples, query) = materialize(&spec);
+        let window = WindowPolicy::new(spec.window, 1);
+        let mut engine = Engine::new(
+            query.clone(),
+            EngineConfig::with_window(window),
+            PathSemantics::Arbitrary,
+        );
+        let mut oracle = Oracle::new(window);
+        let mut sink = CollectSink::default();
+        for &t in &tuples {
+            engine.process(t, &mut sink);
+            let expected = oracle.step(t, query.dfa(), OracleMode::Arbitrary);
+            prop_assert_eq!(&sink.pairs(), expected);
+        }
+    }
+
+    /// RSPQ with eager expiry is sound w.r.t. the exhaustive
+    /// simple-path oracle, and complete on conflict-free runs (the
+    /// condition of the paper's Theorem 5; on conflicted instances the
+    /// prefix-contextual markings can hide witnesses — see DESIGN.md §8).
+    #[test]
+    fn rspq_eager_equals_bruteforce(spec in stream_strategy(40)) {
+        let (tuples, query) = materialize(&spec);
+        let window = WindowPolicy::new(spec.window, 1);
+        let mut engine = Engine::new(
+            query.clone(),
+            EngineConfig::with_window(window),
+            PathSemantics::Simple,
+        );
+        let mut oracle = Oracle::new(window);
+        let mut sink = CollectSink::default();
+        for &t in &tuples {
+            engine.process(t, &mut sink);
+            let expected = oracle.step(t, query.dfa(), OracleMode::Simple);
+            let got = sink.pairs();
+            for p in &got {
+                prop_assert!(expected.contains(p), "unsound result {p}");
+            }
+            if engine.stats().conflicts_detected == 0 {
+                prop_assert_eq!(&got, expected);
+            }
+        }
+    }
+
+    /// Refresh-policy completeness ordering. Under *lazy* expiry a
+    /// stale-timestamped node can make `None`/`Node` miss a short-lived
+    /// witness that `Subtree` (which propagates refreshes eagerly)
+    /// catches — so the policies form a subset chain, with equality
+    /// guaranteed only under eager expiry (covered by
+    /// `rapq_eager_equals_oracle`). The Δ index must validate after
+    /// every tuple for all policies.
+    #[test]
+    fn refresh_policies_form_subset_chain(spec in stream_strategy(50)) {
+        let (tuples, query) = materialize(&spec);
+        let window = WindowPolicy::new(spec.window, spec.slide);
+        let mut results = Vec::new();
+        for policy in [RefreshPolicy::None, RefreshPolicy::Node, RefreshPolicy::Subtree] {
+            let mut config = EngineConfig::with_window(window);
+            config.refresh = policy;
+            let mut engine = RapqEngine::new(query.clone(), config);
+            let mut sink = CollectSink::default();
+            for &t in &tuples {
+                engine.process(t, &mut sink);
+                engine.delta().validate().map_err(|e| {
+                    TestCaseError::fail(format!("{policy:?}: {e}"))
+                })?;
+            }
+            // Force a final expiry so late discoveries land.
+            engine.expire_now(&mut sink);
+            results.push(sink.pairs());
+        }
+        for p in &results[0] {
+            prop_assert!(results[2].contains(p), "None found {p}, Subtree missed it");
+        }
+        for p in &results[1] {
+            prop_assert!(results[2].contains(p), "Node found {p}, Subtree missed it");
+        }
+    }
+
+    /// The Δ timestamps always lie within the window (Lemma 1
+    /// invariant 1) right after an eager expiry pass.
+    #[test]
+    fn delta_timestamps_within_window_after_expiry(spec in stream_strategy(50)) {
+        let (tuples, query) = materialize(&spec);
+        let window = WindowPolicy::new(spec.window, 1);
+        let mut engine = RapqEngine::new(
+            query,
+            EngineConfig::with_window(window),
+        );
+        let mut sink = CollectSink::default();
+        for &t in &tuples {
+            engine.process(t, &mut sink);
+            let wm = window.watermark(engine.now());
+            for root in engine.delta().roots() {
+                let tree = engine.delta().tree(root).unwrap();
+                for (key, node) in tree.iter() {
+                    if key == tree.root_key() {
+                        continue;
+                    }
+                    prop_assert!(
+                        node.ts > wm,
+                        "stale node {key:?}@{} survives eager expiry (wm {wm})",
+                        node.ts
+                    );
+                }
+            }
+        }
+    }
+
+    /// The window graph agrees with a straightforward replay of the
+    /// operations (store-level soundness).
+    #[test]
+    fn window_graph_replay(spec in stream_strategy(80)) {
+        let (tuples, _) = materialize(&spec);
+        let mut g = WindowGraph::new();
+        let mut reference: std::collections::HashMap<(VertexId, VertexId, Label), Timestamp> =
+            std::collections::HashMap::new();
+        for t in &tuples {
+            match t.op {
+                Op::Insert => {
+                    g.insert(t.edge.src, t.edge.dst, t.label, t.ts);
+                    reference.insert((t.edge.src, t.edge.dst, t.label), t.ts);
+                }
+                Op::Delete => {
+                    g.remove(t.edge.src, t.edge.dst, t.label);
+                    reference.remove(&(t.edge.src, t.edge.dst, t.label));
+                }
+            }
+        }
+        prop_assert_eq!(g.n_edges(), reference.len());
+        for (&(s, d, l), &ts) in &reference {
+            prop_assert_eq!(g.edge_ts(s, d, l), Some(ts));
+        }
+    }
+
+    /// Dedup on: each pair is emitted at most once per "life" (emission
+    /// count ≤ invalidation count + 1 per pair).
+    #[test]
+    fn dedup_emission_bound(spec in stream_strategy(60)) {
+        let (tuples, query) = materialize(&spec);
+        let window = WindowPolicy::new(spec.window, spec.slide);
+        let mut engine = Engine::new(
+            query,
+            EngineConfig::with_window(window),
+            PathSemantics::Arbitrary,
+        );
+        let mut sink = CollectSink::default();
+        for &t in &tuples {
+            engine.process(t, &mut sink);
+        }
+        let mut emitted_counts: std::collections::HashMap<_, usize> =
+            std::collections::HashMap::new();
+        for (p, _) in sink.emitted() {
+            *emitted_counts.entry(*p).or_default() += 1;
+        }
+        let mut invalidated_counts: std::collections::HashMap<_, usize> =
+            std::collections::HashMap::new();
+        for (p, _) in sink.invalidated() {
+            *invalidated_counts.entry(*p).or_default() += 1;
+        }
+        for (p, &n) in &emitted_counts {
+            let inv = invalidated_counts.get(p).copied().unwrap_or(0);
+            prop_assert!(
+                n <= inv + 1,
+                "pair {p} emitted {n} times with {inv} invalidations"
+            );
+        }
+    }
+}
