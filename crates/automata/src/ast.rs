@@ -77,7 +77,10 @@ impl Regex {
         S: Into<String>,
     {
         let mut iter = labels.into_iter();
-        let first = iter.next().map(|s| Regex::label(s)).unwrap_or(Regex::Epsilon);
+        let first = iter
+            .next()
+            .map(|s| Regex::label(s))
+            .unwrap_or(Regex::Epsilon);
         iter.fold(first, |acc, l| acc.then(Regex::label(l)))
     }
 
@@ -89,7 +92,10 @@ impl Regex {
         S: Into<String>,
     {
         let mut iter = labels.into_iter();
-        let first = iter.next().map(|s| Regex::label(s)).unwrap_or(Regex::Epsilon);
+        let first = iter
+            .next()
+            .map(|s| Regex::label(s))
+            .unwrap_or(Regex::Epsilon);
         iter.fold(first, |acc, l| acc.or(Regex::label(l)))
     }
 
@@ -219,7 +225,9 @@ mod tests {
     #[test]
     fn builders_compose() {
         // Q1 from Figure 1: (follows ◦ mentions)+
-        let q = Regex::label("follows").then(Regex::label("mentions")).plus();
+        let q = Regex::label("follows")
+            .then(Regex::label("mentions"))
+            .plus();
         assert_eq!(q.to_string(), "(follows mentions)+");
         assert_eq!(q.size(), 3);
         assert!(q.is_recursive());
@@ -254,7 +262,9 @@ mod tests {
 
     #[test]
     fn display_parenthesizes_correctly() {
-        let q = Regex::label("a").or(Regex::label("b")).then(Regex::label("c"));
+        let q = Regex::label("a")
+            .or(Regex::label("b"))
+            .then(Regex::label("c"));
         assert_eq!(q.to_string(), "(a | b) c");
         let q2 = Regex::label("a").or(Regex::label("b").then(Regex::label("c")));
         assert_eq!(q2.to_string(), "a | b c");

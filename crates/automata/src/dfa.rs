@@ -219,9 +219,10 @@ impl Dfa {
 
     /// Iterates all transitions `(from, label, to)`.
     pub fn transitions(&self) -> impl Iterator<Item = (StateId, Label, StateId)> + '_ {
-        self.alphabet.iter().enumerate().flat_map(move |(col, &l)| {
-            self.by_label[col].iter().map(move |&(s, t)| (s, l, t))
-        })
+        self.alphabet
+            .iter()
+            .enumerate()
+            .flat_map(move |(col, &l)| self.by_label[col].iter().map(move |&(s, t)| (s, l, t)))
     }
 
     /// Extended transition function δ*(start, word).
@@ -235,7 +236,9 @@ impl Dfa {
 
     /// Whether the DFA accepts `word`.
     pub fn accepts(&self, word: &[Label]) -> bool {
-        self.run(word).map(|s| self.is_accepting(s)).unwrap_or(false)
+        self.run(word)
+            .map(|s| self.is_accepting(s))
+            .unwrap_or(false)
     }
 
     /// Final states.

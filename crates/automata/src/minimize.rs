@@ -121,13 +121,12 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
                     worklist.push(new_block_id);
                     in_worklist[new_block_id as usize] = true;
                 } else {
-                    let (smaller, larger) = if blocks[b as usize].len()
-                        <= blocks[new_block_id as usize].len()
-                    {
-                        (b, new_block_id)
-                    } else {
-                        (new_block_id, b)
-                    };
+                    let (smaller, larger) =
+                        if blocks[b as usize].len() <= blocks[new_block_id as usize].len() {
+                            (b, new_block_id)
+                        } else {
+                            (new_block_id, b)
+                        };
                     let _ = larger;
                     worklist.push(smaller);
                     in_worklist[smaller as usize] = true;
@@ -141,7 +140,9 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
     let mut transitions: Vec<(StateId, Label, StateId)> = Vec::new();
     let mut accepting_blocks: Vec<bool> = vec![false; blocks.len()];
     for (bid, members) in blocks.iter().enumerate() {
-        let Some(&rep) = members.first() else { continue };
+        let Some(&rep) = members.first() else {
+            continue;
+        };
         if rep as usize != sink && dfa.is_accepting(StateId(rep)) {
             accepting_blocks[bid] = true;
         }
@@ -395,13 +396,8 @@ mod tests {
         let syms = [labels.get("a").unwrap(), labels.get("b").unwrap()];
         for len in 0..=5usize {
             for mask in 0..(1usize << len) {
-                let word: Vec<Label> =
-                    (0..len).map(|i| syms[(mask >> i) & 1]).collect();
-                assert_eq!(
-                    dfa.accepts(&word),
-                    nfa.accepts(&word),
-                    "word {word:?}"
-                );
+                let word: Vec<Label> = (0..len).map(|i| syms[(mask >> i) & 1]).collect();
+                assert_eq!(dfa.accepts(&word), nfa.accepts(&word), "word {word:?}");
             }
         }
     }

@@ -144,14 +144,20 @@ impl Builder {
                 let s = self.new_state();
                 let a = self.new_state();
                 self.edge(s, None, a);
-                Fragment { start: s, accept: a }
+                Fragment {
+                    start: s,
+                    accept: a,
+                }
             }
             Regex::Label(name) => {
                 let l = labels.intern(name);
                 let s = self.new_state();
                 let a = self.new_state();
                 self.edge(s, Some(l), a);
-                Fragment { start: s, accept: a }
+                Fragment {
+                    start: s,
+                    accept: a,
+                }
             }
             Regex::Concat(x, y) => {
                 let fx = self.compile(x, labels);
@@ -171,7 +177,10 @@ impl Builder {
                 self.edge(s, None, fy.start);
                 self.edge(fx.accept, None, a);
                 self.edge(fy.accept, None, a);
-                Fragment { start: s, accept: a }
+                Fragment {
+                    start: s,
+                    accept: a,
+                }
             }
             Regex::Star(x) => {
                 let fx = self.compile(x, labels);
@@ -181,7 +190,10 @@ impl Builder {
                 self.edge(s, None, a);
                 self.edge(fx.accept, None, fx.start);
                 self.edge(fx.accept, None, a);
-                Fragment { start: s, accept: a }
+                Fragment {
+                    start: s,
+                    accept: a,
+                }
             }
             Regex::Plus(x) => {
                 // R+ = R ◦ R*: reuse the star loop but require one pass.
@@ -191,7 +203,10 @@ impl Builder {
                 self.edge(s, None, fx.start);
                 self.edge(fx.accept, None, fx.start);
                 self.edge(fx.accept, None, a);
-                Fragment { start: s, accept: a }
+                Fragment {
+                    start: s,
+                    accept: a,
+                }
             }
             Regex::Optional(x) => {
                 let fx = self.compile(x, labels);
@@ -200,7 +215,10 @@ impl Builder {
                 self.edge(s, None, fx.start);
                 self.edge(s, None, a);
                 self.edge(fx.accept, None, a);
-                Fragment { start: s, accept: a }
+                Fragment {
+                    start: s,
+                    accept: a,
+                }
             }
             Regex::Not(x) => {
                 // Complement over the query alphabet: determinize the

@@ -203,7 +203,9 @@ mod tests {
         let q = parse("(follows mentions)+").unwrap();
         assert_eq!(
             q,
-            Regex::label("follows").then(Regex::label("mentions")).plus()
+            Regex::label("follows")
+                .then(Regex::label("mentions"))
+                .plus()
         );
     }
 

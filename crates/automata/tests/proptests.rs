@@ -1,29 +1,43 @@
-//! Property-based tests for the automata pipeline: random regexes,
+//! Randomized property tests for the automata pipeline: random regexes,
 //! display/parse round-trips, NFA↔DFA↔minimal-DFA equivalence, and
-//! containment-table laws.
+//! containment-table laws. Seeded and deterministic (no external
+//! property-testing framework): each property runs over a fixed sweep
+//! of seeds, and failures print the offending regex for replay.
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use srpq_automata::minimize::minimize;
-use srpq_automata::{parse, ContainmentTable, Dfa, Regex};
 use srpq_automata::nfa::Nfa;
+use srpq_automata::{parse, ContainmentTable, Dfa, Regex};
 use srpq_common::{Label, LabelInterner, StateId};
 
-/// A random regex over labels {a, b, c} with bounded size.
-fn regex_strategy() -> impl Strategy<Value = Regex> {
-    let leaf = prop_oneof![
-        Just(Regex::Epsilon),
-        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Regex::label),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| x.then(y)),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.or(y)),
-            inner.clone().prop_map(Regex::star),
-            inner.clone().prop_map(Regex::plus),
-            inner.prop_map(Regex::optional),
-        ]
-    })
+const CASES: u64 = 128;
+
+/// A random regex over labels {a, b, c} with bounded depth/size.
+fn random_regex(rng: &mut SmallRng, depth: usize) -> Regex {
+    if depth == 0 || rng.gen_bool(0.3) {
+        // Leaf: a label most of the time, occasionally ε.
+        return if rng.gen_bool(0.15) {
+            Regex::Epsilon
+        } else {
+            Regex::label(["a", "b", "c"][rng.gen_range(0..3usize)])
+        };
+    }
+    match rng.gen_range(0..5u32) {
+        0 => random_regex(rng, depth - 1).then(random_regex(rng, depth - 1)),
+        1 => random_regex(rng, depth - 1).or(random_regex(rng, depth - 1)),
+        2 => random_regex(rng, depth - 1).star(),
+        3 => random_regex(rng, depth - 1).plus(),
+        _ => random_regex(rng, depth - 1).optional(),
+    }
+}
+
+fn for_each_case(mut check: impl FnMut(&Regex)) {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let regex = random_regex(&mut rng, 4);
+        check(&regex);
+    }
 }
 
 fn compile(regex: &Regex) -> (Nfa, Dfa, Dfa, LabelInterner) {
@@ -57,23 +71,22 @@ fn all_words(alphabet: &[Label], max_len: usize) -> Vec<Vec<Label>> {
     words
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Display output re-parses to the same AST.
-    #[test]
-    fn display_parse_round_trip(regex in regex_strategy()) {
+/// Display output re-parses to the same AST.
+#[test]
+fn display_parse_round_trip() {
+    for_each_case(|regex| {
         let printed = regex.to_string();
-        let reparsed = parse(&printed)
-            .unwrap_or_else(|e| panic!("{printed:?}: {e}"));
-        prop_assert_eq!(regex, reparsed);
-    }
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{printed:?}: {e}"));
+        assert_eq!(regex, &reparsed, "{printed:?} re-parsed differently");
+    });
+}
 
-    /// NFA, raw DFA, and minimal DFA accept exactly the same words
-    /// (up to length 5 over the query alphabet).
-    #[test]
-    fn nfa_dfa_minimal_equivalence(regex in regex_strategy()) {
-        let (nfa, dfa, min, labels) = compile(&regex);
+/// NFA, raw DFA, and minimal DFA accept exactly the same words
+/// (up to length 5 over the query alphabet).
+#[test]
+fn nfa_dfa_minimal_equivalence() {
+    for_each_case(|regex| {
+        let (nfa, dfa, min, labels) = compile(regex);
         let alphabet: Vec<Label> = regex
             .alphabet()
             .into_iter()
@@ -81,58 +94,79 @@ proptest! {
             .collect();
         if alphabet.len() > 2 {
             // Keep the word universe small.
-            return Ok(());
+            return;
         }
         for word in all_words(&alphabet, 5) {
             let n = nfa.accepts(&word);
-            prop_assert_eq!(n, dfa.accepts(&word), "raw DFA diverges on {:?}", word);
-            prop_assert_eq!(n, min.accepts(&word), "minimal DFA diverges on {:?}", word);
+            assert_eq!(
+                n,
+                dfa.accepts(&word),
+                "{regex}: raw DFA diverges on {word:?}"
+            );
+            assert_eq!(
+                n,
+                min.accepts(&word),
+                "{regex}: minimal DFA diverges on {word:?}"
+            );
         }
-    }
+    });
+}
 
-    /// Minimization never increases the state count and is idempotent.
-    #[test]
-    fn minimization_shrinks_and_is_idempotent(regex in regex_strategy()) {
-        let (_, dfa, min, _) = compile(&regex);
-        prop_assert!(min.n_states() <= dfa.n_states().max(1));
+/// Minimization never increases the state count and is idempotent.
+#[test]
+fn minimization_shrinks_and_is_idempotent() {
+    for_each_case(|regex| {
+        let (_, dfa, min, _) = compile(regex);
+        assert!(min.n_states() <= dfa.n_states().max(1), "{regex} grew");
         let again = minimize(&min);
-        prop_assert_eq!(again.n_states(), min.n_states());
-    }
+        assert_eq!(again.n_states(), min.n_states(), "{regex} not idempotent");
+    });
+}
 
-    /// Containment is reflexive and transitive on every compiled DFA.
-    #[test]
-    fn containment_is_a_preorder(regex in regex_strategy()) {
-        let (_, _, min, _) = compile(&regex);
+/// Containment is reflexive and transitive on every compiled DFA.
+#[test]
+fn containment_is_a_preorder() {
+    for_each_case(|regex| {
+        let (_, _, min, _) = compile(regex);
         let table = ContainmentTable::build(&min);
         let k = min.n_states();
         for s in 0..k {
-            prop_assert!(table.contains(StateId(s as u32), StateId(s as u32)));
+            assert!(
+                table.contains(StateId(s as u32), StateId(s as u32)),
+                "{regex}: containment not reflexive at s{s}"
+            );
         }
         for s in 0..k {
             for t in 0..k {
                 for u in 0..k {
-                    let (s, t, u) =
-                        (StateId(s as u32), StateId(t as u32), StateId(u as u32));
+                    let (s, t, u) = (StateId(s as u32), StateId(t as u32), StateId(u as u32));
                     if table.contains(s, t) && table.contains(t, u) {
-                        prop_assert!(table.contains(s, u));
+                        assert!(
+                            table.contains(s, u),
+                            "{regex}: containment not transitive at {s},{t},{u}"
+                        );
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    /// `accepts_empty` agrees with running the empty word.
-    #[test]
-    fn epsilon_agreement(regex in regex_strategy()) {
-        let (nfa, _, min, _) = compile(&regex);
-        prop_assert_eq!(min.accepts_empty(), nfa.accepts(&[]));
-    }
+/// `accepts_empty` agrees with running the empty word.
+#[test]
+fn epsilon_agreement() {
+    for_each_case(|regex| {
+        let (nfa, _, min, _) = compile(regex);
+        assert_eq!(min.accepts_empty(), nfa.accepts(&[]), "{regex}");
+    });
+}
 
-    /// Every state of a minimized DFA (except possibly the start) is
-    /// useful: reachable and co-reachable.
-    #[test]
-    fn minimized_dfa_is_trim(regex in regex_strategy()) {
-        let (_, _, min, _) = compile(&regex);
+/// Every state of a minimized DFA (except possibly the start) is
+/// useful: reachable and co-reachable.
+#[test]
+fn minimized_dfa_is_trim() {
+    for_each_case(|regex| {
+        let min = compile(regex).2;
         let n = min.n_states();
         // Reachability from start.
         let mut reach = vec![false; n];
@@ -149,7 +183,7 @@ proptest! {
             }
         }
         for (i, &r) in reach.iter().enumerate() {
-            prop_assert!(r, "state s{i} unreachable");
+            assert!(r, "{regex}: state s{i} unreachable");
         }
         // Co-reachability.
         for s in 0..n {
@@ -172,7 +206,7 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(ok, "state {s} is dead");
+            assert!(ok, "{regex}: state {s} is dead");
         }
-    }
+    });
 }

@@ -68,7 +68,8 @@ impl ReevalEngine {
             self.now = tuple.ts;
         }
         if prev != Timestamp::NEG_INFINITY && self.window.crosses_slide(prev, self.now) {
-            self.graph.purge_expired(self.window.lazy_watermark(self.now));
+            self.graph
+                .purge_expired(self.window.lazy_watermark(self.now));
         }
         if !self.query.dfa().knows_label(tuple.label) {
             return;
@@ -80,7 +81,8 @@ impl ReevalEngine {
                     .insert(tuple.edge.src, tuple.edge.dst, tuple.label, tuple.ts);
             }
             srpq_common::Op::Delete => {
-                self.graph.remove(tuple.edge.src, tuple.edge.dst, tuple.label);
+                self.graph
+                    .remove(tuple.edge.src, tuple.edge.dst, tuple.label);
             }
         }
         // Full re-evaluation over the current snapshot — the emulated
@@ -110,10 +112,8 @@ mod tests {
         let window = WindowPolicy::new(100, 10);
 
         let mut reeval = ReevalEngine::new(query.clone(), window);
-        let mut incremental = srpq_core::rapq::RapqEngine::new(
-            query,
-            srpq_core::EngineConfig::with_window(window),
-        );
+        let mut incremental =
+            srpq_core::rapq::RapqEngine::new(query, srpq_core::EngineConfig::with_window(window));
 
         let stream = [
             StreamTuple::insert(Timestamp(1), VertexId(0), VertexId(1), a),

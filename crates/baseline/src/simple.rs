@@ -28,7 +28,16 @@ pub fn evaluate_simple_bruteforce(
     for x in graph.vertices(watermark) {
         let mut on_path: FxHashSet<VertexId> = FxHashSet::default();
         on_path.insert(x);
-        dfs_brute(graph, watermark, dfa, x, x, dfa.start(), &mut on_path, &mut results);
+        dfs_brute(
+            graph,
+            watermark,
+            dfa,
+            x,
+            x,
+            dfa.start(),
+            &mut on_path,
+            &mut results,
+        );
     }
     results
 }
@@ -45,7 +54,9 @@ fn dfs_brute(
     results: &mut FxHashSet<ResultPair>,
 ) {
     for e in graph.out_edges(v, watermark) {
-        let Some(t) = dfa.next(s, e.label) else { continue };
+        let Some(t) = dfa.next(s, e.label) else {
+            continue;
+        };
         if on_path.contains(&e.other) {
             continue; // would repeat a vertex
         }
@@ -75,7 +86,15 @@ pub fn evaluate_simple_mw(
         let mut marked: FxHashSet<(VertexId, StateId)> = FxHashSet::default();
         let mut path: Vec<(VertexId, StateId)> = vec![(x, dfa.start())];
         mw_dfs(
-            graph, watermark, query, x, x, dfa.start(), &mut path, &mut marked, &mut results,
+            graph,
+            watermark,
+            query,
+            x,
+            x,
+            dfa.start(),
+            &mut path,
+            &mut marked,
+            &mut results,
         );
     }
     results
@@ -99,7 +118,9 @@ fn mw_dfs(
     let containment = query.containment();
     let mut clean = true;
     for e in graph.out_edges(v, watermark) {
-        let Some(t) = dfa.next(s, e.label) else { continue };
+        let Some(t) = dfa.next(s, e.label) else {
+            continue;
+        };
         let w = e.other;
         if path.iter().any(|&(pv, ps)| pv == w && ps == t) {
             continue; // product-graph cycle
@@ -187,9 +208,22 @@ mod tests {
     #[test]
     fn mw_matches_bruteforce_on_examples() {
         for (q, edges) in [
-            ("a+", vec![(0u32, 1u32, 0u32), (1, 2, 0), (2, 0, 0), (1, 3, 0)]),
+            (
+                "a+",
+                vec![(0u32, 1u32, 0u32), (1, 2, 0), (2, 0, 0), (1, 3, 0)],
+            ),
             ("a b*", vec![(0, 1, 0), (1, 2, 1), (2, 3, 1), (3, 1, 1)]),
-            ("(a b)+", vec![(0, 1, 0), (1, 2, 1), (2, 3, 0), (3, 0, 1), (0, 4, 0), (4, 2, 1)]),
+            (
+                "(a b)+",
+                vec![
+                    (0, 1, 0),
+                    (1, 2, 1),
+                    (2, 3, 0),
+                    (3, 0, 1),
+                    (0, 4, 0),
+                    (4, 2, 1),
+                ],
+            ),
         ] {
             let mut labels = LabelInterner::new();
             labels.intern("a");

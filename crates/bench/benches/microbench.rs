@@ -1,14 +1,18 @@
-//! Criterion microbenches: the per-operation costs behind the
-//! experiment harness numbers.
+//! Microbenches: the per-operation costs behind the experiment harness
+//! numbers, on a dependency-free timing loop (run with `cargo bench`).
 //!
 //! * `tuple_insert/*` — per-tuple RAPQ cost on each dataset family
 //!   (the quantity Figure 4 aggregates);
-//! * `expiry` — one full expiry pass (Figure 6b's unit of work);
-//! * `compile` — query registration: regex → minimal DFA + containment
-//!   table;
-//! * `generators` — dataset generation throughput.
+//! * `window_management/expiry_pass` — one full expiry pass (Figure
+//!   6b's unit of work);
+//! * `compile/*` — query registration: regex → minimal DFA +
+//!   containment table;
+//! * `generators/*` — dataset generation throughput.
+//!
+//! Each benchmark reports the mean wall-clock time over a fixed number
+//! of iterations after one warm-up run. Pass a substring filter as the
+//! first argument to run a subset: `cargo bench --bench microbench -- compile`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use srpq_automata::CompiledQuery;
 use srpq_common::LabelInterner;
 use srpq_core::engine::{Engine, PathSemantics};
@@ -16,6 +20,40 @@ use srpq_core::sink::NullSink;
 use srpq_core::EngineConfig;
 use srpq_datagen::{ldbc, so, yago, Dataset, DatasetKind};
 use srpq_graph::WindowPolicy;
+use std::time::{Duration, Instant};
+
+/// Times `iters` runs of `body` (after one warm-up call), where `setup`
+/// builds the per-iteration input outside the timed section. `body`
+/// returns its large state so deallocation also happens outside the
+/// timed section (criterion's `BatchSize::LargeInput` discipline).
+fn bench<T, U>(name: &str, iters: u32, mut setup: impl FnMut() -> T, mut body: impl FnMut(T) -> U) {
+    if !filter_matches(name) {
+        return;
+    }
+    body(setup());
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let input = setup();
+        let t0 = Instant::now();
+        let keep = body(input);
+        total += t0.elapsed();
+        drop(keep);
+    }
+    let mean = total / iters;
+    println!(
+        "{name:<40} {:>12.1} ns/iter ({iters} iters)",
+        mean.as_nanos() as f64
+    );
+}
+
+fn filter_matches(name: &str) -> bool {
+    // Cargo invokes harness=false bench binaries with flags like
+    // `--bench`; only a bare (non-flag) argument is a name filter.
+    match std::env::args().skip(1).find(|a| !a.starts_with('-')) {
+        Some(f) => name.contains(&f),
+        None => true,
+    }
+}
 
 fn small_dataset(kind: DatasetKind) -> Dataset {
     match kind {
@@ -51,9 +89,22 @@ fn query_for(kind: DatasetKind) -> &'static str {
     }
 }
 
-fn bench_tuple_insert(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tuple_insert");
-    group.sample_size(10);
+fn loaded_engine(ds: &Dataset, kind: DatasetKind, window: WindowPolicy) -> Engine {
+    let mut labels = ds.labels.clone();
+    let q = CompiledQuery::compile(query_for(kind), &mut labels).unwrap();
+    let mut engine = Engine::new(
+        q,
+        EngineConfig::with_window(window),
+        PathSemantics::Arbitrary,
+    );
+    let mut sink = NullSink;
+    for &t in &ds.tuples {
+        engine.process(t, &mut sink);
+    }
+    engine
+}
+
+fn bench_tuple_insert() {
     for (kind, name) in [
         (DatasetKind::So, "so"),
         (DatasetKind::Ldbc, "ldbc"),
@@ -62,105 +113,84 @@ fn bench_tuple_insert(c: &mut Criterion) {
         let ds = small_dataset(kind);
         let span = ds.time_span().map(|(a, b)| b - a).unwrap_or(1).max(1);
         let window = WindowPolicy::new((span / 5).max(5), (span / 50).max(1));
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || {
-                    let mut labels = ds.labels.clone();
-                    let q = CompiledQuery::compile(query_for(kind), &mut labels).unwrap();
-                    Engine::new(
-                        q,
-                        EngineConfig::with_window(window),
-                        PathSemantics::Arbitrary,
-                    )
-                },
-                |mut engine| {
-                    let mut sink = NullSink;
-                    for &t in &ds.tuples {
-                        engine.process(t, &mut sink);
-                    }
-                    engine
-                },
-                BatchSize::LargeInput,
-            );
-        });
-    }
-    group.finish();
-}
-
-fn bench_expiry(c: &mut Criterion) {
-    let mut group = c.benchmark_group("window_management");
-    group.sample_size(10);
-    let ds = small_dataset(DatasetKind::Yago);
-    let span = ds.time_span().map(|(a, b)| b - a).unwrap_or(1).max(1);
-    // Huge slide: no automatic expiry while loading, so the measured
-    // pass does all the work at once.
-    let window = WindowPolicy::new((span / 5).max(5), span * 2);
-    group.bench_function("expiry_pass", |b| {
-        b.iter_batched(
+        bench(
+            &format!("tuple_insert/{name}"),
+            10,
             || {
                 let mut labels = ds.labels.clone();
-                let q =
-                    CompiledQuery::compile(query_for(DatasetKind::Yago), &mut labels).unwrap();
-                let mut engine = Engine::new(
+                let q = CompiledQuery::compile(query_for(kind), &mut labels).unwrap();
+                Engine::new(
                     q,
                     EngineConfig::with_window(window),
                     PathSemantics::Arbitrary,
-                );
+                )
+            },
+            |mut engine| {
                 let mut sink = NullSink;
                 for &t in &ds.tuples {
                     engine.process(t, &mut sink);
                 }
                 engine
             },
-            |mut engine| {
-                let mut sink = NullSink;
-                engine.expire_now(&mut sink);
-                engine
-            },
-            BatchSize::LargeInput,
         );
-    });
-    group.finish();
+    }
 }
 
-fn bench_compile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile");
+fn bench_expiry() {
+    let ds = small_dataset(DatasetKind::Yago);
+    let span = ds.time_span().map(|(a, b)| b - a).unwrap_or(1).max(1);
+    // Huge slide: no automatic expiry while loading, so the measured
+    // pass does all the work at once.
+    let window = WindowPolicy::new((span / 5).max(5), span * 2);
+    bench(
+        "window_management/expiry_pass",
+        10,
+        || loaded_engine(&ds, DatasetKind::Yago, window),
+        |mut engine| {
+            let mut sink = NullSink;
+            engine.expire_now(&mut sink);
+            engine
+        },
+    );
+}
+
+fn bench_compile() {
     for (name, expr) in [
         ("q1_star", "a*"),
         ("q3_two_stars", "a b* c*"),
         ("q9_alt_plus", "(a | b | c)+"),
         ("large", "(a | b) c* (d e)+ f? (g | h | i)*"),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
+        bench(
+            &format!("compile/{name}"),
+            200,
+            || (),
+            |()| {
                 let mut labels = LabelInterner::new();
                 CompiledQuery::compile(expr, &mut labels).unwrap()
-            });
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_generators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generators");
-    group.sample_size(10);
-    group.bench_function("so_10k", |b| {
-        b.iter(|| small_dataset(DatasetKind::So))
-    });
-    group.bench_function("ldbc_8k_events", |b| {
-        b.iter(|| small_dataset(DatasetKind::Ldbc))
-    });
-    group.bench_function("yago_10k", |b| {
-        b.iter(|| small_dataset(DatasetKind::Yago))
-    });
-    group.finish();
+fn bench_generators() {
+    for (kind, name) in [
+        (DatasetKind::So, "so_10k"),
+        (DatasetKind::Ldbc, "ldbc_8k_events"),
+        (DatasetKind::Yago, "yago_10k"),
+    ] {
+        bench(
+            &format!("generators/{name}"),
+            10,
+            || (),
+            |()| small_dataset(kind),
+        );
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_tuple_insert,
-    bench_expiry,
-    bench_compile,
-    bench_generators
-);
-criterion_main!(benches);
+fn main() {
+    bench_tuple_insert();
+    bench_expiry();
+    bench_compile();
+    bench_generators();
+}

@@ -12,7 +12,7 @@
 //! quantifies the trade on the SO-like stream where re-reaching is
 //! frequent.
 
-use srpq_bench::{build_dataset, default_window, compile_query, run_engine, scale_from_args};
+use srpq_bench::{build_dataset, compile_query, default_window, run_engine, scale_from_args};
 use srpq_core::config::RefreshPolicy;
 use srpq_core::engine::{Engine, PathSemantics};
 use srpq_core::rapq::RapqEngine;

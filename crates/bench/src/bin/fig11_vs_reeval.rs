@@ -7,8 +7,8 @@
 //! the query over the whole window for each tuple and cannot reuse
 //! previous computation.
 
-use srpq_bench::{build_dataset, compile_query, make_engine, run_engine, scale_from_args};
 use srpq_baseline::ReevalEngine;
+use srpq_bench::{build_dataset, compile_query, make_engine, run_engine, scale_from_args};
 use srpq_common::LatencyHistogram;
 use srpq_core::engine::PathSemantics;
 use srpq_core::sink::CountSink;
@@ -55,8 +55,16 @@ fn main() {
         let base_elapsed = started.elapsed();
         let base_eps = latency.count() as f64 / base_elapsed.as_secs_f64();
         let base_p99 = latency.p99() as f64 / 1_000.0;
-        let speedup_tp = if base_eps > 0.0 { inc.throughput() / base_eps } else { f64::NAN };
-        let speedup_p99 = if inc.p99_us() > 0.0 { base_p99 / inc.p99_us() } else { f64::NAN };
+        let speedup_tp = if base_eps > 0.0 {
+            inc.throughput() / base_eps
+        } else {
+            f64::NAN
+        };
+        let speedup_p99 = if inc.p99_us() > 0.0 {
+            base_p99 / inc.p99_us()
+        } else {
+            f64::NAN
+        };
         let results_match = if completed {
             (base.result_count() as u64 == inc.results).to_string()
         } else {

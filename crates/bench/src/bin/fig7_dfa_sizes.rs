@@ -4,10 +4,10 @@
 //! Paper shape: k grows roughly linearly with |Q_R| (2–12 states over
 //! sizes 2–18) — no exponential DFA blow-up for practical queries.
 
-use srpq_bench::gmark_fixture;
-use srpq_datagen::gmark;
 use srpq_automata::CompiledQuery;
+use srpq_bench::gmark_fixture;
 use srpq_common::LabelInterner;
+use srpq_datagen::gmark;
 
 fn main() {
     let (ds, queries) = gmark_fixture(1, 100);

@@ -7,7 +7,9 @@
 //! A query "fails" when conflicts make the run exceed its wall-clock
 //! budget.
 
-use srpq_bench::{build_dataset, compile_query, default_window, make_engine, run_engine, scale_from_args};
+use srpq_bench::{
+    build_dataset, compile_query, default_window, make_engine, run_engine, scale_from_args,
+};
 use srpq_core::engine::{Engine, PathSemantics};
 use srpq_core::EngineConfig;
 use srpq_datagen::{queries_for, DatasetKind};
@@ -16,7 +18,9 @@ use std::time::Duration;
 fn main() {
     let scale = scale_from_args();
     println!("# Table 4: RSPQ feasibility & overhead vs RAPQ (scale {scale})");
-    println!("dataset,query,rspq_ok,containment_property,conflicts,p99_overhead,rapq_p99_us,rspq_p99_us");
+    println!(
+        "dataset,query,rspq_ok,containment_property,conflicts,p99_overhead,rapq_p99_us,rspq_p99_us"
+    );
     let budget = Duration::from_secs(30);
     for (kind, name) in [
         (DatasetKind::Yago, "yago"),

@@ -80,7 +80,12 @@ mod tests {
     #[test]
     fn parses_options_flags_positional() {
         let a = Args::parse(&argv(&[
-            "run", "--query", "a b*", "--print-results", "--window", "100",
+            "run",
+            "--query",
+            "a b*",
+            "--print-results",
+            "--window",
+            "100",
         ]));
         assert_eq!(a.positional, vec!["run"]);
         assert_eq!(a.get("query"), Some("a b*"));

@@ -303,7 +303,15 @@ mod tests {
         let path = dir.join("t.srpq");
         let path_s = path.to_str().unwrap();
         dispatch(&argv(&[
-            "gen", "--dataset", "so", "--out", path_s, "--edges", "2000", "--seed", "7",
+            "gen",
+            "--dataset",
+            "so",
+            "--out",
+            path_s,
+            "--edges",
+            "2000",
+            "--seed",
+            "7",
         ]))
         .unwrap();
         dispatch(&argv(&["info", "--stream", path_s])).unwrap();
@@ -313,7 +321,11 @@ mod tests {
         .unwrap();
         // Unknown label is an error.
         assert!(dispatch(&argv(&[
-            "run", "--query", "nosuchlabel", "--stream", path_s,
+            "run",
+            "--query",
+            "nosuchlabel",
+            "--stream",
+            path_s,
         ]))
         .is_err());
         std::fs::remove_file(path).ok();

@@ -8,7 +8,7 @@
 //! srpq info --stream FILE
 //! ```
 //!
-//! Stream files are the `srpq-common::wire` format: a label-name header
+//! Stream files are the `srpq_common::wire` format: a label-name header
 //! (count + newline-separated names) followed by fixed-width tuples.
 
 mod args;

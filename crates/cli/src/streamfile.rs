@@ -7,7 +7,6 @@
 //! wire-encoded tuples (srpq_common::wire, 25 bytes each)
 //! ```
 
-use bytes::{Buf, BufMut, BytesMut};
 use srpq_common::{wire, LabelInterner, StreamTuple};
 use srpq_datagen::Dataset;
 use std::fs;
@@ -17,18 +16,18 @@ const MAGIC: &[u8] = b"SRPQ1\n";
 
 /// Serializes a dataset to a stream file.
 pub fn save(ds: &Dataset, path: &Path) -> Result<(), String> {
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
     let mut names = Vec::new();
     let mut i = 0u32;
     while let Some(name) = ds.labels.resolve(srpq_common::Label(i)) {
         names.push(name.to_string());
         i += 1;
     }
-    buf.put_u32_le(names.len() as u32);
+    buf.extend_from_slice(&(names.len() as u32).to_le_bytes());
     for n in &names {
-        buf.put_slice(n.as_bytes());
-        buf.put_u8(b'\n');
+        buf.extend_from_slice(n.as_bytes());
+        buf.push(b'\n');
     }
     for t in &ds.tuples {
         wire::encode_tuple(&mut buf, t);
@@ -40,14 +39,15 @@ pub fn save(ds: &Dataset, path: &Path) -> Result<(), String> {
 pub fn load(path: &Path) -> Result<(LabelInterner, Vec<StreamTuple>), String> {
     let data = fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
     let mut buf = &data[..];
-    if buf.remaining() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
         return Err("not a SRPQ1 stream file".into());
     }
-    buf.advance(MAGIC.len());
-    if buf.remaining() < 4 {
+    buf = &buf[MAGIC.len()..];
+    if buf.len() < 4 {
         return Err("truncated header".into());
     }
-    let n_labels = buf.get_u32_le() as usize;
+    let n_labels = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    buf = &buf[4..];
     let mut labels = LabelInterner::new();
     for _ in 0..n_labels {
         let end = buf
@@ -57,10 +57,10 @@ pub fn load(path: &Path) -> Result<(LabelInterner, Vec<StreamTuple>), String> {
         let name =
             std::str::from_utf8(&buf[..end]).map_err(|_| "label name not UTF-8".to_string())?;
         labels.intern(name);
-        buf.advance(end + 1);
+        buf = &buf[end + 1..];
     }
-    let mut tuples = Vec::with_capacity(buf.remaining() / wire::TUPLE_WIRE_SIZE);
-    while buf.has_remaining() {
+    let mut tuples = Vec::with_capacity(buf.len() / wire::TUPLE_WIRE_SIZE);
+    while !buf.is_empty() {
         let t = wire::decode_tuple(&mut buf).ok_or("malformed tuple")?;
         tuples.push(t);
     }

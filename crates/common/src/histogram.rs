@@ -272,7 +272,19 @@ mod tests {
     #[test]
     fn bucket_index_floor_round_trip() {
         // floor(bucket(v)) <= v for representative values.
-        for &v in &[0u64, 1, 15, 16, 17, 100, 1000, 4095, 4096, 1 << 20, (1 << 30) + 12345] {
+        for &v in &[
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            100,
+            1000,
+            4095,
+            4096,
+            1 << 20,
+            (1 << 30) + 12345,
+        ] {
             let idx = LatencyHistogram::bucket_index(v);
             assert!(LatencyHistogram::bucket_floor(idx) <= v, "v={v}");
         }

@@ -7,26 +7,19 @@
 //! pack into 8 bytes, which matters for the Δ index footprint (Figure 5
 //! reports tens of millions of nodes).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A graph vertex identifier (dense, produced by [`crate::VertexInterner`]).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct VertexId(pub u32);
 
 /// An edge label from the alphabet Σ (dense, produced by
 /// [`crate::LabelInterner`]).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Label(pub u32);
 
 /// A DFA/NFA state identifier.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct StateId(pub u32);
 
 /// An event (application) timestamp, assigned by the data source
@@ -36,9 +29,7 @@ pub struct StateId(pub u32);
 /// `Timestamp::NEG_INFINITY` marks subtrees cut by an explicit deletion
 /// (§3.2) and `Timestamp::INFINITY` is the timestamp of tree roots (the
 /// minimum over an empty path).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Timestamp(pub i64);
 
 impl VertexId {

@@ -7,12 +7,11 @@
 //! non-decreasing timestamp order.
 
 use crate::ids::{Label, Timestamp, VertexId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The operation carried by a streaming graph tuple: an edge insertion or
 /// an explicit deletion (a *negative tuple*, §3.2).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Op {
     /// Edge insertion (`+`).
     #[default]
@@ -31,9 +30,7 @@ impl fmt::Display for Op {
 }
 
 /// A directed edge `(source, target)`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Edge {
     /// Source vertex `u`.
     pub src: VertexId,
@@ -56,7 +53,7 @@ impl fmt::Display for Edge {
 }
 
 /// A streaming graph tuple (sgt): `(τ, e, l, op)` per Definition 2.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct StreamTuple {
     /// Event (application) timestamp `τ`, assigned by the source.
     pub ts: Timestamp,
@@ -100,20 +97,14 @@ impl StreamTuple {
 
 impl fmt::Display for StreamTuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{}]{} {} {}",
-            self.ts, self.op, self.edge, self.label
-        )
+        write!(f, "[{}]{} {} {}", self.ts, self.op, self.edge, self.label)
     }
 }
 
 /// A query result: a pair of vertices `(x, y)` connected by a path whose
 /// label is in `L(R)` (Definition 8). Under the implicit window model the
 /// result set is an append-only stream of such pairs.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct ResultPair {
     /// Path source vertex.
     pub src: VertexId,
@@ -152,7 +143,10 @@ mod tests {
     fn display_formats() {
         let t = StreamTuple::insert(Timestamp(4), VertexId(0), VertexId(1), Label(2));
         assert_eq!(t.to_string(), "[4]+ (v0 -> v1) l2");
-        assert_eq!(ResultPair::new(VertexId(1), VertexId(2)).to_string(), "(v1, v2)");
+        assert_eq!(
+            ResultPair::new(VertexId(1), VertexId(2)).to_string(),
+            "(v1, v2)"
+        );
         assert_eq!(Op::Delete.to_string(), "-");
     }
 

@@ -3,42 +3,45 @@
 //! The benchmark harness generates synthetic streams once and replays them
 //! across configurations (the paper replays the same SO/LDBC/Yago streams
 //! across experiments). This module provides a deterministic fixed-width
-//! little-endian encoding — 25 bytes per tuple — on top of [`bytes`].
+//! little-endian encoding — 25 bytes per tuple — over plain byte buffers:
+//! encoders append to a `Vec<u8>`, decoders consume from a `&[u8]` cursor
+//! that advances as tuples are read.
 
 use crate::ids::{Label, Timestamp, VertexId};
 use crate::tuple::{Edge, Op, StreamTuple};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Encoded size of one tuple in bytes.
 pub const TUPLE_WIRE_SIZE: usize = 8 + 4 + 4 + 4 + 1;
 
 /// Encodes one tuple onto a buffer.
-pub fn encode_tuple(buf: &mut BytesMut, t: &StreamTuple) {
-    buf.put_i64_le(t.ts.0);
-    buf.put_u32_le(t.edge.src.0);
-    buf.put_u32_le(t.edge.dst.0);
-    buf.put_u32_le(t.label.0);
-    buf.put_u8(match t.op {
+pub fn encode_tuple(buf: &mut Vec<u8>, t: &StreamTuple) {
+    buf.extend_from_slice(&t.ts.0.to_le_bytes());
+    buf.extend_from_slice(&t.edge.src.0.to_le_bytes());
+    buf.extend_from_slice(&t.edge.dst.0.to_le_bytes());
+    buf.extend_from_slice(&t.label.0.to_le_bytes());
+    buf.push(match t.op {
         Op::Insert => 0,
         Op::Delete => 1,
     });
 }
 
-/// Decodes one tuple from a buffer; returns `None` if the buffer holds
-/// fewer than [`TUPLE_WIRE_SIZE`] bytes or the op byte is invalid.
-pub fn decode_tuple(buf: &mut impl Buf) -> Option<StreamTuple> {
-    if buf.remaining() < TUPLE_WIRE_SIZE {
+/// Decodes one tuple from a cursor, advancing it past the consumed
+/// bytes; returns `None` if the cursor holds fewer than
+/// [`TUPLE_WIRE_SIZE`] bytes or the op byte is invalid.
+pub fn decode_tuple(buf: &mut &[u8]) -> Option<StreamTuple> {
+    if buf.len() < TUPLE_WIRE_SIZE {
         return None;
     }
-    let ts = Timestamp(buf.get_i64_le());
-    let src = VertexId(buf.get_u32_le());
-    let dst = VertexId(buf.get_u32_le());
-    let label = Label(buf.get_u32_le());
-    let op = match buf.get_u8() {
+    let ts = Timestamp(i64::from_le_bytes(buf[0..8].try_into().ok()?));
+    let src = VertexId(u32::from_le_bytes(buf[8..12].try_into().ok()?));
+    let dst = VertexId(u32::from_le_bytes(buf[12..16].try_into().ok()?));
+    let label = Label(u32::from_le_bytes(buf[16..20].try_into().ok()?));
+    let op = match buf[20] {
         0 => Op::Insert,
         1 => Op::Delete,
         _ => return None,
     };
+    *buf = &buf[TUPLE_WIRE_SIZE..];
     Some(StreamTuple {
         ts,
         edge: Edge::new(src, dst),
@@ -48,12 +51,12 @@ pub fn decode_tuple(buf: &mut impl Buf) -> Option<StreamTuple> {
 }
 
 /// Encodes a whole stream into one contiguous byte blob.
-pub fn encode_stream(tuples: &[StreamTuple]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(tuples.len() * TUPLE_WIRE_SIZE);
+pub fn encode_stream(tuples: &[StreamTuple]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(tuples.len() * TUPLE_WIRE_SIZE);
     for t in tuples {
         encode_tuple(&mut buf, t);
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a blob produced by [`encode_stream`].
@@ -66,7 +69,7 @@ pub fn decode_stream(blob: &[u8]) -> Option<Vec<StreamTuple>> {
     }
     let mut buf = blob;
     let mut out = Vec::with_capacity(blob.len() / TUPLE_WIRE_SIZE);
-    while buf.remaining() > 0 {
+    while !buf.is_empty() {
         out.push(decode_tuple(&mut buf)?);
     }
     Some(out)
@@ -101,9 +104,17 @@ mod tests {
 
     #[test]
     fn rejects_bad_op_byte() {
-        let mut blob = encode_stream(&sample()[..1]).to_vec();
+        let mut blob = encode_stream(&sample()[..1]);
         *blob.last_mut().unwrap() = 7;
         assert!(decode_stream(&blob).is_none());
+    }
+
+    #[test]
+    fn short_cursor_is_not_consumed() {
+        let blob = encode_stream(&sample()[..1]);
+        let mut cursor = &blob[..TUPLE_WIRE_SIZE - 1];
+        assert!(decode_tuple(&mut cursor).is_none());
+        assert_eq!(cursor.len(), TUPLE_WIRE_SIZE - 1);
     }
 
     #[test]

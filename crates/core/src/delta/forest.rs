@@ -1,0 +1,178 @@
+//! The Δ forest: all spanning trees plus the vertex → trees reverse
+//! index.
+
+use super::{Tree, TreeSemantics};
+use srpq_common::{FxHashMap, StateId, VertexId};
+
+/// The reverse index of Δ: which trees contain a given vertex, plus the
+/// global node count (Figure 5's "# of nodes"). Shared verbatim by both
+/// engines — it only counts `(vertex, tree)` incidences and never looks
+/// at states or occurrence multiplicity.
+#[derive(Debug, Default)]
+pub struct RevIndex {
+    /// `vertex → (root → number of (vertex, ·) nodes in that tree)`.
+    occurrence: FxHashMap<VertexId, FxHashMap<VertexId, u32>>,
+    total_nodes: usize,
+}
+
+impl RevIndex {
+    /// Roots of all trees containing at least one `(v, ·)` node.
+    pub fn trees_containing(&self, v: VertexId) -> Vec<VertexId> {
+        self.occurrence
+            .get(&v)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total node count over all trees (roots included).
+    pub fn n_nodes(&self) -> usize {
+        self.total_nodes
+    }
+
+    /// Bookkeeping: a node for `vertex` was added to tree `root`.
+    pub fn note_added(&mut self, root: VertexId, vertex: VertexId) {
+        *self
+            .occurrence
+            .entry(vertex)
+            .or_default()
+            .entry(root)
+            .or_insert(0) += 1;
+        self.total_nodes += 1;
+    }
+
+    /// Bookkeeping: a node for `vertex` was removed from tree `root`.
+    pub fn note_removed(&mut self, root: VertexId, vertex: VertexId) {
+        let mut empty = false;
+        if let Some(m) = self.occurrence.get_mut(&vertex) {
+            if let Some(c) = m.get_mut(&root) {
+                *c -= 1;
+                if *c == 0 {
+                    m.remove(&root);
+                }
+            }
+            empty = m.is_empty();
+        }
+        if empty {
+            self.occurrence.remove(&vertex);
+        }
+        self.total_nodes -= 1;
+    }
+
+    fn counts(&self, vertex: VertexId, root: VertexId) -> u32 {
+        self.occurrence
+            .get(&vertex)
+            .and_then(|m| m.get(&root))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// The Δ index: all spanning trees plus a reverse index from vertices
+/// to the trees containing them — the reverse index is what bounds
+/// per-tuple work by the number of *relevant* trees instead of all n
+/// of them.
+#[derive(Debug, Default)]
+pub struct Forest<X: TreeSemantics> {
+    trees: FxHashMap<VertexId, Tree<X>>,
+    index: RevIndex,
+}
+
+impl<X: TreeSemantics> Forest<X> {
+    /// Creates an empty index.
+    pub fn new() -> Forest<X> {
+        Forest {
+            trees: FxHashMap::default(),
+            index: RevIndex::default(),
+        }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Total node count over all trees (roots included).
+    pub fn n_nodes(&self) -> usize {
+        self.index.n_nodes()
+    }
+
+    /// Ensures a tree rooted at `x` exists, creating `(x, s0)` if not.
+    pub fn ensure_tree(&mut self, x: VertexId, s0: StateId) -> &mut Tree<X> {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.trees.entry(x) {
+            e.insert(Tree::new(x, s0));
+            self.index.note_added(x, x);
+        }
+        self.trees.get_mut(&x).expect("just inserted")
+    }
+
+    /// The tree rooted at `x`.
+    pub fn tree(&self, x: VertexId) -> Option<&Tree<X>> {
+        self.trees.get(&x)
+    }
+
+    /// Mutable access to the tree rooted at `x`.
+    pub fn tree_mut(&mut self, x: VertexId) -> Option<&mut Tree<X>> {
+        self.trees.get_mut(&x)
+    }
+
+    /// Simultaneous mutable access to one tree and the reverse index
+    /// (they are disjoint, but the borrow checker needs the split made
+    /// explicit).
+    pub fn tree_with_index(&mut self, x: VertexId) -> Option<(&mut Tree<X>, &mut RevIndex)> {
+        let index = &mut self.index;
+        self.trees.get_mut(&x).map(|t| (t, index))
+    }
+
+    /// Roots of all trees containing at least one `(v, ·)` node.
+    pub fn trees_containing(&self, v: VertexId) -> Vec<VertexId> {
+        self.index.trees_containing(v)
+    }
+
+    /// Roots of all trees.
+    pub fn roots(&self) -> Vec<VertexId> {
+        self.trees.keys().copied().collect()
+    }
+
+    /// Drops the tree rooted at `x` if only its root remains, updating
+    /// the reverse index. Returns true if dropped.
+    pub fn drop_if_trivial(&mut self, x: VertexId) -> bool {
+        let trivial = self.trees.get(&x).map(|t| t.is_trivial()).unwrap_or(false);
+        if trivial {
+            self.trees.remove(&x);
+            self.index.note_removed(x, x);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Debug validation of every tree plus reverse-index consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut counted = 0usize;
+        for (&root, tree) in &self.trees {
+            tree.validate().map_err(|e| format!("tree {root}: {e}"))?;
+            counted += tree.len();
+            // Every vertex with nodes in this tree must be covered by
+            // the reverse index with an exact per-tree count.
+            let mut per_vertex: FxHashMap<VertexId, u32> = FxHashMap::default();
+            for (_, n) in tree.iter() {
+                *per_vertex.entry(n.vertex).or_insert(0) += 1;
+            }
+            for (&v, &n) in &per_vertex {
+                let cached = self.index.counts(v, root);
+                if cached != n {
+                    return Err(format!(
+                        "reverse index counts {cached} nodes of {v} in tree {root}, tree has {n}"
+                    ));
+                }
+            }
+        }
+        if counted != self.index.total_nodes {
+            return Err(format!(
+                "node count drift: counted {counted}, cached {}",
+                self.index.total_nodes
+            ));
+        }
+        Ok(())
+    }
+}

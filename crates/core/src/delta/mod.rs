@@ -1,0 +1,90 @@
+//! The shared Δ spanning-forest index.
+//!
+//! Both streaming engines of the paper maintain the same core data
+//! structure: a collection of spanning trees of the product graph
+//! `G × A`, one per vertex `x` that roots a node `(x, s0)`, where a
+//! node `(u, s)` witnesses a path `x ⇝ u` driving the automaton from
+//! `s0` to `s` and carries the minimum edge timestamp along that path
+//! (Definitions 9 and 12). Algorithm RAPQ (§3) keeps at most one node
+//! per `(vertex, state)` pair; Algorithm RSPQ (§4) additionally keeps
+//! duplicate occurrences materialized by conflict replay, plus the
+//! marking set `M_x` (Definition 18).
+//!
+//! This module factors the common 90% into one arena-backed
+//! implementation, parameterized by a [`TreeSemantics`] hook type:
+//!
+//! * [`Tree`]`<X>` — one spanning tree: an arena of [`Node`]s with
+//!   parent/child links, a `(vertex, state) → occurrences` side index,
+//!   timestamp maintenance, subtree detach/expiry, and path queries;
+//! * [`Forest`]`<X>` — the Δ index: all trees plus the [`RevIndex`]
+//!   mapping vertices to the trees containing them (what bounds
+//!   per-tuple work by the number of *relevant* trees);
+//! * [`Unique`] — the RAPQ instantiation: enforces (and exposes a keyed
+//!   API around) the one-occurrence invariant of Lemma 1;
+//! * the RSPQ engine layers markings on top via its own semantics type
+//!   (see `crate::rspq::markings`).
+//!
+//! # Invariants
+//!
+//! Maintained here and exercised by this module's tests:
+//!
+//! 1. **Occurrence uniqueness** (RAPQ / [`Unique`] only): each
+//!    `(vertex, state)` pair appears at most once per tree (Lemma 1,
+//!    invariant 2) — [`Tree::validate`] rejects duplicates through the
+//!    semantics hook.
+//! 2. **Timestamp monotonicity**: timestamps never increase from root
+//!    to leaf — a node's timestamp is `min(parent.ts, edge.ts)` at
+//!    (re)attachment, and refreshes only ever raise timestamps toward
+//!    the root. Consequently the expired set `{n | n.ts ≤ watermark}`
+//!    is always a union of whole subtrees, which is what makes batch
+//!    pruning in `ExpiryRAPQ`/`ExpiryRSPQ` sound.
+
+mod forest;
+mod tree;
+mod unique;
+
+#[cfg(test)]
+mod tests;
+
+pub use forest::{Forest, RevIndex};
+pub use tree::{Node, Tree};
+pub use unique::Unique;
+
+use srpq_common::{StateId, VertexId};
+
+/// Arena index of a tree node.
+pub type NodeId = u32;
+
+/// A `(vertex, automaton state)` product-graph pair.
+pub type PairKey = (VertexId, StateId);
+
+/// Per-tree semantics hooks: the extension point that lets one arena
+/// implementation serve both path semantics.
+///
+/// The hooks observe every structural mutation of the owning
+/// [`Tree`]; implementations layer their own bookkeeping on top (RSPQ
+/// markings) or enforce extra invariants (RAPQ occurrence uniqueness).
+pub trait TreeSemantics: Default + std::fmt::Debug {
+    /// A node for `key` was attached at arena slot `id`;
+    /// `first_occurrence` is true when no other occurrence of `key`
+    /// was present before the attachment (this includes the root at
+    /// tree creation).
+    fn on_add(&mut self, key: PairKey, id: NodeId, first_occurrence: bool) {
+        let _ = (key, id, first_occurrence);
+    }
+
+    /// The node at `id` (holding `key`) was removed from the arena.
+    fn on_remove(&mut self, key: PairKey, id: NodeId) {
+        let _ = (key, id);
+    }
+
+    /// Extension-specific structural validation, called from
+    /// [`Tree::validate`] after the core checks pass.
+    fn validate(&self, tree: &Tree<Self>) -> Result<(), String>
+    where
+        Self: Sized,
+    {
+        let _ = tree;
+        Ok(())
+    }
+}

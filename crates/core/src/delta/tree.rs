@@ -1,0 +1,443 @@
+//! The arena-backed spanning tree shared by both engines.
+
+use super::{NodeId, PairKey, TreeSemantics};
+use srpq_common::{FxHashMap, Label, StateId, Timestamp, VertexId};
+
+/// A spanning-tree node: a product-graph pair plus tree links and the
+/// minimum edge timestamp along its root path (Definition 9).
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Graph vertex.
+    pub vertex: VertexId,
+    /// Automaton state.
+    pub state: StateId,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Label of the graph edge connecting the parent to this node
+    /// (meaningless for the root). Needed by `Delete` to match
+    /// tree-edges (Definition 13).
+    pub via_label: Label,
+    /// Minimum edge timestamp along the root path;
+    /// `Timestamp::INFINITY` for the root.
+    pub ts: Timestamp,
+    /// Child node ids (unordered).
+    pub children: Vec<NodeId>,
+}
+
+impl Node {
+    /// The node's `(vertex, state)` pair.
+    #[inline]
+    pub fn key(&self) -> PairKey {
+        (self.vertex, self.state)
+    }
+}
+
+/// A spanning tree `T_x` rooted at `(x, s0)`, with semantics extension
+/// `X` observing every mutation.
+///
+/// Nodes are arena-allocated and identified by position ([`NodeId`]);
+/// the `occurrences` side index lists all live slots holding a given
+/// pair, in attachment order (so `occurrences[0]` is the oldest — the
+/// *canonical* — occurrence, and for [`super::Unique`] trees the only
+/// one).
+#[derive(Debug)]
+pub struct Tree<X: TreeSemantics> {
+    root: VertexId,
+    root_key: PairKey,
+    root_id: NodeId,
+    arena: Vec<Option<Node>>,
+    free: Vec<NodeId>,
+    occurrences: FxHashMap<PairKey, Vec<NodeId>>,
+    len: usize,
+    ext: X,
+}
+
+impl<X: TreeSemantics> Tree<X> {
+    /// Creates a tree containing only its root `(x, s0)`.
+    pub fn new(root: VertexId, s0: StateId) -> Tree<X> {
+        let root_key = (root, s0);
+        let node = Node {
+            vertex: root,
+            state: s0,
+            parent: None,
+            via_label: Label(u32::MAX),
+            ts: Timestamp::INFINITY,
+            children: Vec::new(),
+        };
+        let mut occurrences: FxHashMap<PairKey, Vec<NodeId>> = FxHashMap::default();
+        occurrences.insert(root_key, vec![0]);
+        let mut ext = X::default();
+        ext.on_add(root_key, 0, true);
+        Tree {
+            root,
+            root_key,
+            root_id: 0,
+            arena: vec![Some(node)],
+            free: Vec::new(),
+            occurrences,
+            len: 1,
+            ext,
+        }
+    }
+
+    /// The root vertex `x`.
+    #[inline]
+    pub fn root(&self) -> VertexId {
+        self.root
+    }
+
+    /// The root key `(x, s0)`.
+    #[inline]
+    pub fn root_key(&self) -> PairKey {
+        self.root_key
+    }
+
+    /// The root node id.
+    #[inline]
+    pub fn root_id(&self) -> NodeId {
+        self.root_id
+    }
+
+    /// Number of live nodes including the root.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// A tree always holds at least its root.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether only the root remains.
+    pub fn is_trivial(&self) -> bool {
+        self.len == 1
+    }
+
+    /// The semantics extension.
+    #[inline]
+    pub fn ext(&self) -> &X {
+        &self.ext
+    }
+
+    /// Mutable access to the semantics extension.
+    #[inline]
+    pub fn ext_mut(&mut self) -> &mut X {
+        &mut self.ext
+    }
+
+    /// The node at `id`, if alive.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.arena.get(id as usize).and_then(|n| n.as_ref())
+    }
+
+    /// All live occurrences of `key`, oldest first.
+    #[inline]
+    pub fn occurrences(&self, key: PairKey) -> &[NodeId] {
+        self.occurrences.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether any occurrence of `key` is present ("(v, t) ∈ T_x").
+    #[inline]
+    pub fn has_pair(&self, key: PairKey) -> bool {
+        self.occurrences.contains_key(&key)
+    }
+
+    /// The oldest (canonical) occurrence of `key`.
+    #[inline]
+    pub fn first_occurrence(&self, key: PairKey) -> Option<NodeId> {
+        self.occurrences.get(&key).and_then(|v| v.first()).copied()
+    }
+
+    /// The `(vertex, state)` pair held at `id`, if alive.
+    #[inline]
+    pub fn key_of(&self, id: NodeId) -> Option<PairKey> {
+        self.node(id).map(Node::key)
+    }
+
+    /// The parent's pair of the node at `id` (`None` for the root or a
+    /// dead id).
+    pub fn parent_key_of(&self, id: NodeId) -> Option<PairKey> {
+        let parent = self.node(id)?.parent?;
+        self.key_of(parent)
+    }
+
+    /// Adds a child node under `parent`. Returns the new id. Panics
+    /// if `parent` is dead.
+    pub fn add_child(
+        &mut self,
+        parent: NodeId,
+        vertex: VertexId,
+        state: StateId,
+        via_label: Label,
+        ts: Timestamp,
+    ) -> NodeId {
+        let node = Node {
+            vertex,
+            state,
+            parent: Some(parent),
+            via_label,
+            ts,
+            children: Vec::new(),
+        };
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.arena[id as usize] = Some(node);
+                id
+            }
+            None => {
+                self.arena.push(Some(node));
+                (self.arena.len() - 1) as NodeId
+            }
+        };
+        self.arena[parent as usize]
+            .as_mut()
+            .expect("parent must be alive")
+            .children
+            .push(id);
+        let occ = self.occurrences.entry((vertex, state)).or_default();
+        let first = occ.is_empty();
+        occ.push(id);
+        self.len += 1;
+        self.ext.on_add((vertex, state), id, first);
+        id
+    }
+
+    /// Re-parents the live node `id` under `new_parent` (timestamp
+    /// refresh, Algorithm RAPQ line 7 / Insert lines 2–3). The subtree
+    /// stays attached. Panics if either node is dead.
+    pub fn reparent(&mut self, id: NodeId, new_parent: NodeId, via_label: Label, ts: Timestamp) {
+        let old_parent = {
+            let n = self.arena[id as usize]
+                .as_mut()
+                .expect("node must be alive");
+            let old = n.parent;
+            n.parent = Some(new_parent);
+            n.via_label = via_label;
+            n.ts = ts;
+            old
+        };
+        if let Some(op) = old_parent {
+            if op != new_parent {
+                if let Some(Some(pn)) = self.arena.get_mut(op as usize) {
+                    pn.children.retain(|&c| c != id);
+                }
+                self.arena[new_parent as usize]
+                    .as_mut()
+                    .expect("new parent must be alive")
+                    .children
+                    .push(id);
+            }
+        }
+    }
+
+    /// Updates only the timestamp of the live node `id`.
+    pub fn set_ts(&mut self, id: NodeId, ts: Timestamp) {
+        self.arena[id as usize]
+            .as_mut()
+            .expect("node must be alive")
+            .ts = ts;
+    }
+
+    /// Removes a set of node ids wholesale. The caller guarantees the
+    /// set is downward-closed (whole subtrees) — which holds for expiry
+    /// candidates thanks to the timestamp monotonicity invariant.
+    /// Cleans the occurrence index, detaches removed children from
+    /// surviving parents, and reports each removal to the semantics
+    /// extension.
+    pub fn remove_all(&mut self, ids: &[NodeId]) {
+        for &id in ids {
+            let Some(node) = self.arena.get_mut(id as usize).and_then(Option::take) else {
+                continue;
+            };
+            self.len -= 1;
+            self.free.push(id);
+            let key = node.key();
+            if let Some(occ) = self.occurrences.get_mut(&key) {
+                occ.retain(|&o| o != id);
+                if occ.is_empty() {
+                    self.occurrences.remove(&key);
+                }
+            }
+            if let Some(p) = node.parent {
+                if let Some(Some(pn)) = self.arena.get_mut(p as usize) {
+                    pn.children.retain(|&c| c != id);
+                }
+            }
+            self.ext.on_remove(key, id);
+        }
+    }
+
+    /// Node ids of the subtree rooted at `id` (inclusive), BFS order.
+    pub fn subtree_ids(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        if self.node(id).is_none() {
+            return out;
+        }
+        out.push(id);
+        let mut i = 0;
+        while i < out.len() {
+            if let Some(n) = self.node(out[i]) {
+                out.extend(n.children.iter().copied());
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Sets the timestamp of the whole subtree under `id` (inclusive).
+    /// Used by `Delete` to mark victims with `-∞` (§3.2).
+    pub fn set_subtree_ts(&mut self, id: NodeId, ts: Timestamp) {
+        for nid in self.subtree_ids(id) {
+            if let Some(Some(n)) = self.arena.get_mut(nid as usize) {
+                n.ts = ts;
+            }
+        }
+    }
+
+    /// Live node ids with `ts <= watermark` (the expiry candidate set
+    /// P, downward-closed by timestamp monotonicity).
+    pub fn expired_ids(&self, watermark: Timestamp) -> Vec<NodeId> {
+        self.iter()
+            .filter(|(_, n)| n.ts <= watermark)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// The state of the **first** (closest to root) occurrence of
+    /// `vertex` on the root path of `id` — `FIRST(p[v])` in Algorithm
+    /// Extend. Walks upward, so the first-from-root is the last found.
+    pub fn first_state_on_path(&self, id: NodeId, vertex: VertexId) -> Option<StateId> {
+        let mut found = None;
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let n = self.node(c)?;
+            if n.vertex == vertex {
+                found = Some(n.state);
+            }
+            cur = n.parent;
+        }
+        found
+    }
+
+    /// Whether `(vertex, state)` occurs on the root path of `id` —
+    /// `t ∈ p[v]` in Algorithm RSPQ/Extend.
+    pub fn path_has(&self, id: NodeId, vertex: VertexId, state: StateId) -> bool {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let Some(n) = self.node(c) else { return false };
+            if n.vertex == vertex && n.state == state {
+                return true;
+            }
+            cur = n.parent;
+        }
+        false
+    }
+
+    /// The root path of `id` as pair keys, root first.
+    pub fn path_keys(&self, id: NodeId) -> Vec<PairKey> {
+        let mut out = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let Some(n) = self.node(c) else { break };
+            out.push(n.key());
+            cur = n.parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// The root path of `id` as node ids, root first.
+    pub fn path_ids(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            out.push(c);
+            cur = self.node(c).and_then(|n| n.parent);
+        }
+        out.reverse();
+        out
+    }
+
+    /// Iterates `(id, node)` over live nodes in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.arena
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (i as NodeId, n)))
+    }
+
+    /// Debug validation: arena/occurrence-index/parent-child
+    /// consistency, timestamp monotonicity, acyclicity, and the
+    /// semantics extension's own checks.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.node(self.root_id).is_none() {
+            return Err("root missing".into());
+        }
+        let mut live = 0usize;
+        for (id, n) in self.iter() {
+            live += 1;
+            match n.parent {
+                None if id != self.root_id => return Err(format!("non-root {id} parentless")),
+                None => {}
+                Some(p) => {
+                    let Some(pn) = self.node(p) else {
+                        return Err(format!("{id} has dead parent {p}"));
+                    };
+                    if !pn.children.contains(&id) {
+                        return Err(format!("{p} does not list child {id}"));
+                    }
+                    if pn.ts < n.ts {
+                        return Err(format!(
+                            "timestamp inversion: parent {p}@{} < child {id}@{}",
+                            pn.ts, n.ts
+                        ));
+                    }
+                }
+            }
+            let occ = self.occurrences(n.key());
+            if !occ.contains(&id) {
+                return Err(format!("occurrence index misses {id}"));
+            }
+            for &c in &n.children {
+                match self.node(c) {
+                    Some(cn) if cn.parent == Some(id) => {}
+                    _ => return Err(format!("stale child {c} of {id}")),
+                }
+            }
+        }
+        if live != self.len {
+            return Err(format!("len drift: {live} vs {}", self.len));
+        }
+        for (key, occ) in &self.occurrences {
+            if occ.is_empty() {
+                return Err(format!("empty occurrence list for {key:?}"));
+            }
+            for &id in occ {
+                match self.node(id) {
+                    Some(n) if n.key() == *key => {}
+                    _ => return Err(format!("occurrence {id} of {key:?} dead or mismatched")),
+                }
+            }
+        }
+        // Cycle check: every node must reach the root.
+        for (id, _) in self.iter() {
+            let mut cur = id;
+            let mut steps = 0;
+            while let Some(n) = self.node(cur) {
+                match n.parent {
+                    None => break,
+                    Some(p) => {
+                        cur = p;
+                        steps += 1;
+                        if steps > self.len {
+                            return Err(format!("cycle through {id}"));
+                        }
+                    }
+                }
+            }
+        }
+        self.ext.validate(self)
+    }
+}

@@ -1,0 +1,115 @@
+//! The RAPQ instantiation of the forest: one occurrence per pair, with
+//! a keyed API so the engine can address nodes by `(vertex, state)`.
+
+use super::{Node, PairKey, Tree, TreeSemantics};
+use srpq_common::{Label, Timestamp};
+
+/// Semantics of Algorithm RAPQ's Δ trees (Definition 12): each
+/// `(vertex, state)` pair appears at most once per tree (Lemma 1,
+/// invariant 2), so pairs — not arena slots — are the natural node
+/// identity and no extra per-tree state is needed.
+#[derive(Debug, Default)]
+pub struct Unique;
+
+impl TreeSemantics for Unique {
+    fn on_add(&mut self, key: PairKey, _id: super::NodeId, first_occurrence: bool) {
+        debug_assert!(first_occurrence, "duplicate node {key:?} in Unique tree");
+    }
+
+    fn validate(&self, tree: &Tree<Unique>) -> Result<(), String> {
+        for (_, n) in tree.iter() {
+            let occ = tree.occurrences(n.key());
+            if occ.len() != 1 {
+                return Err(format!(
+                    "pair {:?} occurs {} times in a Unique tree",
+                    n.key(),
+                    occ.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Keyed accessors and mutators: with the uniqueness invariant, a pair
+/// identifies a node, so the RAPQ engine addresses the tree by
+/// [`PairKey`] throughout and never sees arena ids.
+impl Tree<Unique> {
+    /// The arena id of `key`'s sole occurrence.
+    #[inline]
+    fn id(&self, key: PairKey) -> Option<super::NodeId> {
+        self.first_occurrence(key)
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains(&self, key: PairKey) -> bool {
+        self.has_pair(key)
+    }
+
+    /// The node payload for `key`.
+    #[inline]
+    pub fn get(&self, key: PairKey) -> Option<&Node> {
+        self.node(self.id(key)?)
+    }
+
+    /// The timestamp of `key`, if present.
+    #[inline]
+    pub fn ts(&self, key: PairKey) -> Option<Timestamp> {
+        self.get(key).map(|n| n.ts)
+    }
+
+    /// The parent pair of `key` (`None` for the root or an absent key).
+    pub fn parent_key(&self, key: PairKey) -> Option<PairKey> {
+        self.parent_key_of(self.id(key)?)
+    }
+
+    /// Adds a new node `key` under `parent`. Panics if `parent` is
+    /// absent (and debug-panics if `key` already exists).
+    pub fn add(&mut self, key: PairKey, parent: PairKey, via_label: Label, ts: Timestamp) {
+        let parent = self.id(parent).expect("parent must exist");
+        self.add_child(parent, key.0, key.1, via_label, ts);
+    }
+
+    /// Re-parents the existing node `key` (timestamp refresh). The
+    /// subtree stays attached. Panics if either key is absent.
+    pub fn reparent_key(&mut self, key: PairKey, parent: PairKey, via_label: Label, ts: Timestamp) {
+        let id = self.id(key).expect("node must exist");
+        let parent = self.id(parent).expect("new parent must exist");
+        self.reparent(id, parent, via_label, ts);
+    }
+
+    /// Sets the timestamp of the whole subtree under `key` (inclusive).
+    pub fn set_subtree_ts_key(&mut self, key: PairKey, ts: Timestamp) {
+        if let Some(id) = self.id(key) {
+            self.set_subtree_ts(id, ts);
+        }
+    }
+
+    /// Pairs with `ts <= watermark` (the expiry candidate set P).
+    pub fn expired_keys(&self, watermark: Timestamp) -> Vec<PairKey> {
+        self.iter()
+            .filter(|(_, n)| n.ts <= watermark)
+            .map(|(_, n)| n.key())
+            .collect()
+    }
+
+    /// Removes a set of pairs wholesale (must be downward-closed:
+    /// whole subtrees).
+    pub fn remove_all_keys(&mut self, keys: &[PairKey]) {
+        let ids: Vec<super::NodeId> = keys.iter().filter_map(|&k| self.id(k)).collect();
+        self.remove_all(&ids);
+    }
+
+    /// Pairs of the subtree rooted at `key` (inclusive), BFS order.
+    pub fn subtree_keys(&self, key: PairKey) -> Vec<PairKey> {
+        match self.id(key) {
+            Some(id) => self
+                .subtree_ids(id)
+                .into_iter()
+                .filter_map(|i| self.key_of(i))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+}

@@ -90,11 +90,7 @@ impl Engine {
     }
 
     /// [`Self::expire_now`] against an external shared graph.
-    pub fn expire_now_with_graph<S: ResultSink>(
-        &mut self,
-        graph: &mut WindowGraph,
-        sink: &mut S,
-    ) {
+    pub fn expire_now_with_graph<S: ResultSink>(&mut self, graph: &mut WindowGraph, sink: &mut S) {
         match self {
             Engine::Arbitrary(e) => e.expire_now_with_graph(graph, sink),
             Engine::Simple(e) => e.expire_now_with_graph(graph, sink),
@@ -177,13 +173,9 @@ mod tests {
         for semantics in [PathSemantics::Arbitrary, PathSemantics::Simple] {
             let mut labels = LabelInterner::new();
             let mut verts = VertexInterner::new();
-            let mut engine = Engine::from_str(
-                "a b",
-                &mut labels,
-                WindowPolicy::new(100, 10),
-                semantics,
-            )
-            .unwrap();
+            let mut engine =
+                Engine::from_str("a b", &mut labels, WindowPolicy::new(100, 10), semantics)
+                    .unwrap();
             assert_eq!(engine.semantics(), semantics);
             let a = labels.get("a").unwrap();
             let b = labels.get("b").unwrap();

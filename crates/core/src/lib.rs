@@ -48,6 +48,7 @@
 #![warn(clippy::all)]
 
 pub mod config;
+pub mod delta;
 pub mod engine;
 pub mod multi;
 pub mod parallel;

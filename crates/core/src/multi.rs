@@ -131,11 +131,7 @@ impl MultiQueryEngine {
         }
         self.queries.push(Registered {
             name: name.into(),
-            engine: Engine::new(
-                query,
-                EngineConfig::with_window(self.window),
-                semantics,
-            ),
+            engine: Engine::new(query, EngineConfig::with_window(self.window), semantics),
         });
         id
     }
@@ -184,7 +180,9 @@ impl MultiQueryEngine {
 
     /// Per-query Δ index size.
     pub fn index_size(&self, id: QueryId) -> Option<IndexSize> {
-        self.queries.get(id.0 as usize).map(|r| r.engine.index_size())
+        self.queries
+            .get(id.0 as usize)
+            .map(|r| r.engine.index_size())
     }
 
     /// Whether query `id` currently reports `pair`.
@@ -215,7 +213,8 @@ impl MultiQueryEngine {
         }
         // Shared window maintenance: purge once per slide crossing.
         if prev != Timestamp::NEG_INFINITY && self.window.crosses_slide(prev, self.now) {
-            self.graph.purge_expired(self.window.lazy_watermark(self.now));
+            self.graph
+                .purge_expired(self.window.lazy_watermark(self.now));
         }
         let Some(targets) = self.routing.get(&tuple.label) else {
             return; // no registered query speaks this label
@@ -375,10 +374,8 @@ mod tests {
             .filter(|&&(id, ..)| id == id_b)
             .map(|&(_, p, _)| p)
             .collect();
-        let solo_a_pairs: std::collections::HashSet<_> =
-            sa.pairs().into_iter().collect();
-        let solo_b_pairs: std::collections::HashSet<_> =
-            sb.pairs().into_iter().collect();
+        let solo_a_pairs: std::collections::HashSet<_> = sa.pairs().into_iter().collect();
+        let solo_b_pairs: std::collections::HashSet<_> = sb.pairs().into_iter().collect();
         assert_eq!(multi_a, solo_a_pairs);
         assert_eq!(multi_b, solo_b_pairs);
     }
@@ -420,8 +417,7 @@ mod tests {
         // Backfilled registration replays the live window into the new
         // query's Δ from the shared graph.
         let q2 = CompiledQuery::compile("a a", &mut labels).unwrap();
-        let id2 =
-            multi.register_backfilled("second", q2, PathSemantics::Arbitrary, &mut sink);
+        let id2 = multi.register_backfilled("second", q2, PathSemantics::Arbitrary, &mut sink);
         multi.process(StreamTuple::insert(Timestamp(2), v(1), v(2), a), &mut sink);
 
         assert!(multi.has_result(id2, ResultPair::new(v(0), v(2))));
@@ -456,7 +452,10 @@ mod tests {
         let v = VertexId;
         let mut sink = MultiCollectSink::default();
         multi.process(StreamTuple::insert(Timestamp(1), v(0), v(1), b), &mut sink);
-        multi.process(StreamTuple::insert(Timestamp(500), v(1), v(2), b), &mut sink);
+        multi.process(
+            StreamTuple::insert(Timestamp(500), v(1), v(2), b),
+            &mut sink,
+        );
         multi.expire_now(&mut sink);
         // The t=1 edge is far outside the 100-unit window.
         assert_eq!(multi.graph().n_edges(), 1);

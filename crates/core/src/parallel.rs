@@ -24,7 +24,7 @@
 //! equivalence.
 
 use crate::config::EngineConfig;
-use crate::rapq::tree::Delta;
+use crate::rapq::Delta;
 use crate::rapq::{run_insert, WorkItem};
 use crate::sink::ResultSink;
 use crate::stats::{EngineStats, IndexSize};
@@ -159,7 +159,10 @@ impl ParallelRapqEngine {
     /// the call that flushes the containing micro-batch.
     pub fn process<S: ResultSink>(&mut self, tuple: StreamTuple, sink: &mut S) {
         let boundary = self.now != Timestamp::NEG_INFINITY
-            && self.config.window.crosses_slide(self.now, tuple.ts.max(self.now));
+            && self
+                .config
+                .window
+                .crosses_slide(self.now, tuple.ts.max(self.now));
         let deletion = tuple.op == srpq_common::Op::Delete;
         if boundary || deletion {
             self.flush(sink);
@@ -217,16 +220,15 @@ impl ParallelRapqEngine {
         let prev_now = prev;
         let n_shards = self.shards.len();
         let relevant = &relevant;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (si, shard) in self.shards.iter_mut().enumerate() {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     shard_process_batch(
                         shard, si, n_shards, query, config, graph, relevant, prev_now,
                     );
                 });
             }
-        })
-        .expect("shard worker panicked");
+        });
 
         // Phase 3 (sequential): drain outboxes in shard order.
         for shard in &mut self.shards {
@@ -245,14 +247,13 @@ impl ParallelRapqEngine {
         let config = &self.config;
         let graph = &self.graph;
         let now = self.now;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for shard in self.shards.iter_mut() {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     shard_expire(shard, query, config, graph, wm, invalidate, now);
                 });
             }
-        })
-        .expect("shard worker panicked");
+        });
     }
 
     /// Forces an expiry pass (flushing first).
@@ -308,7 +309,9 @@ fn shard_process_batch(
                 }
                 let roots = shard.delta.trees_containing(u);
                 for root in roots {
-                    let Some(tree) = shard.delta.tree(root) else { continue };
+                    let Some(tree) = shard.delta.tree(root) else {
+                        continue;
+                    };
                     work.clear();
                     for &(s, st) in dfa.transitions_for(t.label) {
                         let parent = (u, s);
@@ -368,8 +371,9 @@ fn shard_process_batch(
                         for &(s, st) in dfa.transitions_for(t.label) {
                             let key = (v, st);
                             if let Some(node) = tree.get(key) {
-                                if node.parent == Some((u, s)) && node.via_label == t.label {
-                                    tree.set_subtree_ts(key, Timestamp::NEG_INFINITY);
+                                if node.via_label == t.label && tree.parent_key(key) == Some((u, s))
+                                {
+                                    tree.set_subtree_ts_key(key, Timestamp::NEG_INFINITY);
                                     touched = true;
                                 }
                             }
@@ -380,9 +384,7 @@ fn shard_process_batch(
                     }
                 }
                 for root in dirty {
-                    expire_shard_tree(
-                        shard, root, query, config, graph, wm, true, now,
-                    );
+                    expire_shard_tree(shard, root, query, config, graph, wm, true, now);
                     shard.delta.drop_if_trivial(root);
                 }
             }
@@ -430,7 +432,7 @@ fn expire_shard_tree(
     if expired.is_empty() {
         return;
     }
-    tree.remove_all(&expired);
+    tree.remove_all_keys(&expired);
     for &(ev, _) in &expired {
         idx.note_removed(root, ev);
     }
@@ -514,7 +516,7 @@ mod tests {
         let mut inserted: Vec<StreamTuple> = Vec::new();
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            ts += rng.gen_range(0..=2);
+            ts += rng.gen_range(0..=2i64);
             if !inserted.is_empty() && rng.gen_bool(0.1) {
                 let v = inserted[rng.gen_range(0..inserted.len())];
                 out.push(StreamTuple::delete(
@@ -530,12 +532,7 @@ mod tests {
             if dst == src {
                 dst = VertexId((dst.0 + 1) % n_vertices);
             }
-            let t = StreamTuple::insert(
-                Timestamp(ts),
-                src,
-                dst,
-                Label(rng.gen_range(0..2)),
-            );
+            let t = StreamTuple::insert(Timestamp(ts), src, dst, Label(rng.gen_range(0..2)));
             inserted.push(t);
             out.push(t);
         }

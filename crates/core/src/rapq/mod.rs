@@ -10,15 +10,25 @@
 //! edges; explicit deletions (`Delete`) mark the severed subtree with
 //! `-∞` timestamps and reuse the very same expiry machinery (§3.2).
 
-pub mod tree;
-
 use crate::config::{EngineConfig, RefreshPolicy};
+use crate::delta::{Forest, RevIndex, Unique};
 use crate::sink::ResultSink;
 use crate::stats::{EngineStats, IndexSize};
 use srpq_automata::{CompiledQuery, Dfa};
 use srpq_common::{FxHashSet, Label, ResultPair, StreamTuple, Timestamp, VertexId};
 use srpq_graph::WindowGraph;
-use tree::{Delta, NodeKey, RevIndex, Tree};
+
+/// A tree node key: `(vertex, automaton state)`. With RAPQ's
+/// one-occurrence invariant the pair identifies the node.
+pub type NodeKey = crate::delta::PairKey;
+
+/// An RAPQ spanning tree: the shared arena instantiated with the
+/// [`Unique`] (one occurrence per pair) semantics.
+pub type Tree = crate::delta::Tree<Unique>;
+
+/// The RAPQ Δ index (Definition 12): the shared forest under [`Unique`]
+/// semantics.
+pub type Delta = Forest<Unique>;
 
 /// A unit of deferred `Insert` work: attach `child` under `parent` via a
 /// graph edge labeled `via` with timestamp `edge_ts`.
@@ -145,11 +155,7 @@ impl RapqEngine {
     }
 
     /// [`Self::expire_now`] against an external shared graph.
-    pub fn expire_now_with_graph<S: ResultSink>(
-        &mut self,
-        graph: &mut WindowGraph,
-        sink: &mut S,
-    ) {
+    pub fn expire_now_with_graph<S: ResultSink>(&mut self, graph: &mut WindowGraph, sink: &mut S) {
         std::mem::swap(&mut self.graph, graph);
         self.expire_now(sink);
         std::mem::swap(&mut self.graph, graph);
@@ -250,7 +256,12 @@ impl RapqEngine {
     /// The line-7 condition of Algorithm RAPQ: insert if the child is
     /// absent or its timestamp can be improved.
     #[inline]
-    fn should_insert(tree: &Tree, child: NodeKey, parent_ts: Timestamp, edge_ts: Timestamp) -> bool {
+    fn should_insert(
+        tree: &Tree,
+        child: NodeKey,
+        parent_ts: Timestamp,
+        edge_ts: Timestamp,
+    ) -> bool {
         match tree.ts(child) {
             None => true,
             Some(cts) => cts < parent_ts.min(edge_ts),
@@ -279,8 +290,8 @@ impl RapqEngine {
                 for &(s, t) in self.query.dfa().transitions_for(label) {
                     let key = (v, t);
                     if let Some(node) = tree.get(key) {
-                        if node.parent == Some((u, s)) && node.via_label == label {
-                            tree.set_subtree_ts(key, Timestamp::NEG_INFINITY);
+                        if node.via_label == label && tree.parent_key(key) == Some((u, s)) {
+                            tree.set_subtree_ts_key(key, Timestamp::NEG_INFINITY);
                             dirty = true;
                         }
                     }
@@ -329,7 +340,7 @@ impl RapqEngine {
             self.work = work;
             return;
         }
-        tree.remove_all(&expired);
+        tree.remove_all_keys(&expired);
         for &(ev, _) in &expired {
             idx.note_removed(root, ev);
         }
@@ -456,10 +467,10 @@ pub(crate) fn run_insert<S: ResultSink>(
                 match refresh {
                     RefreshPolicy::None => {}
                     RefreshPolicy::Node => {
-                        tree.reparent(child, parent, via, new_ts);
+                        tree.reparent_key(child, parent, via, new_ts);
                     }
                     RefreshPolicy::Subtree => {
-                        tree.reparent(child, parent, via, new_ts);
+                        tree.reparent_key(child, parent, via, new_ts);
                         // Propagate the improvement: any neighbour whose
                         // timestamp can now improve through this node is
                         // re-examined — both current children and nodes
@@ -587,7 +598,7 @@ mod tests {
     ) -> Option<(Option<NodeKey>, Timestamp)> {
         let tree = f.engine.delta.tree(f.verts.get(root).unwrap())?;
         let key = (f.verts.get(vertex).unwrap(), srpq_common::StateId(state));
-        tree.get(key).map(|n| (n.parent, n.ts))
+        tree.get(key).map(|n| (tree.parent_key(key), n.ts))
     }
 
     #[test]
@@ -628,9 +639,7 @@ mod tests {
             Some((Some((v("z"), s(1))), Timestamp(6)))
         );
         // Result (x, y) reported at t=18 (Example in §1).
-        assert!(f
-            .engine
-            .has_result(ResultPair::new(v("x"), v("y"))));
+        assert!(f.engine.has_result(ResultPair::new(v("x"), v("y"))));
         f.engine.delta.validate().unwrap();
     }
 

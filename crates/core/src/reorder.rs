@@ -78,11 +78,7 @@ impl ReorderBuffer {
     /// timestamp order) for every tuple the advancing watermark
     /// releases. Returns `false` if the tuple itself was too late and
     /// dropped.
-    pub fn push(
-        &mut self,
-        tuple: StreamTuple,
-        mut deliver: impl FnMut(StreamTuple),
-    ) -> bool {
+    pub fn push(&mut self, tuple: StreamTuple, mut deliver: impl FnMut(StreamTuple)) -> bool {
         // Too late: would have to be delivered before something already
         // released.
         if tuple.ts < self.last_released

@@ -1,0 +1,89 @@
+//! The RSPQ instantiation of the forest: markings `M_x` layered on the
+//! shared arena through the semantics hooks.
+
+use crate::delta::{NodeId, PairKey, Tree, TreeSemantics};
+use srpq_common::FxHashMap;
+
+/// Per-tree state of Algorithm RSPQ (§4): unlike RAPQ trees, a
+/// `(vertex, state)` pair may appear **multiple times** — once a
+/// conflict (Definition 16) is detected, previously pruned traversals
+/// are replayed and materialize additional copies of already-visited
+/// product-graph nodes. On top of the arena's occurrence index this
+/// extension maintains the marking set `M_x` (Definition 18): pairs
+/// with no conflict-predecessor descendants, each pointing at its
+/// canonical occurrence. Marked pairs prune re-traversal (Algorithm
+/// RSPQ line 8, Extend line 15).
+#[derive(Debug, Default)]
+pub struct Markings {
+    marked: FxHashMap<PairKey, NodeId>,
+    /// Pairs whose mark died with their node in the latest removal
+    /// batch; drained by `ExpiryRSPQ` to drive reconnection.
+    dead: Vec<PairKey>,
+}
+
+impl Markings {
+    /// The canonical node a mark points at, if `key ∈ M_x`.
+    pub fn marked_node(&self, key: PairKey) -> Option<NodeId> {
+        self.marked.get(&key).copied()
+    }
+}
+
+impl TreeSemantics for Markings {
+    fn on_add(&mut self, key: PairKey, id: NodeId, first_occurrence: bool) {
+        // Extend line 11: the first occurrence of a pair is marked (and
+        // so is the root at tree creation). Re-added pairs whose mark
+        // was removed by `Unmark` only re-mark once every occurrence is
+        // gone and the pair is re-discovered afresh.
+        if first_occurrence {
+            self.marked.insert(key, id);
+        }
+    }
+
+    fn on_remove(&mut self, key: PairKey, id: NodeId) {
+        if self.marked.get(&key) == Some(&id) {
+            self.marked.remove(&key);
+            self.dead.push(key);
+        }
+    }
+
+    fn validate(&self, tree: &Tree<Markings>) -> Result<(), String> {
+        for (key, &id) in &self.marked {
+            match tree.node(id) {
+                Some(n) if n.key() == *key => {}
+                _ => return Err(format!("mark {key:?} points at dead/wrong node {id}")),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Marking accessors, lifted onto the tree so the engine reads as in
+/// the paper's pseudocode (`(v, t) ∈ M_x` etc.).
+impl Tree<Markings> {
+    /// Whether `key ∈ M_x`.
+    #[inline]
+    pub fn is_marked(&self, key: PairKey) -> bool {
+        self.ext().marked.contains_key(&key)
+    }
+
+    /// Marks `key`, pointing at `id`.
+    pub fn mark(&mut self, key: PairKey, id: NodeId) {
+        self.ext_mut().marked.insert(key, id);
+    }
+
+    /// Unmarks `key`. Returns true if it was marked.
+    pub fn unmark(&mut self, key: PairKey) -> bool {
+        self.ext_mut().marked.remove(&key).is_some()
+    }
+
+    /// Number of marked pairs.
+    pub fn n_marked(&self) -> usize {
+        self.ext().marked.len()
+    }
+
+    /// Drains the pairs whose mark died with its node since the last
+    /// call (populated by node removal).
+    pub fn take_dead_marks(&mut self) -> Vec<PairKey> {
+        std::mem::take(&mut self.ext_mut().dead)
+    }
+}

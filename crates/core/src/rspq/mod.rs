@@ -15,16 +15,24 @@
 //!   ancestors of the conflict predecessor from `M_x` and replays the
 //!   traversals that were previously pruned because of those marks.
 
-pub mod tree;
+pub mod markings;
 
 use crate::config::EngineConfig;
+use crate::delta::{Forest, NodeId, PairKey, RevIndex};
 use crate::sink::ResultSink;
 use crate::stats::{EngineStats, IndexSize};
-use crate::rapq::tree::RevIndex;
+use markings::Markings;
 use srpq_automata::{CompiledQuery, ContainmentTable, Dfa};
 use srpq_common::{FxHashSet, Label, ResultPair, StateId, StreamTuple, Timestamp, VertexId};
 use srpq_graph::WindowGraph;
-use tree::{NodeId, PairKey, SpDelta, SpTree};
+
+/// An RSPQ spanning tree `T_x` with markings `M_x`: the shared arena
+/// instantiated with the [`Markings`] semantics.
+pub type SpTree = crate::delta::Tree<Markings>;
+
+/// The Δ index for simple path semantics: the shared forest under
+/// [`Markings`] semantics.
+pub type SpDelta = Forest<Markings>;
 
 /// A deferred `Extend` invocation: try to attach `(vertex, state)` under
 /// arena node `parent_id` via an edge labeled `via`.
@@ -145,11 +153,7 @@ impl RspqEngine {
     }
 
     /// [`Self::expire_now`] against an external shared graph.
-    pub fn expire_now_with_graph<S: ResultSink>(
-        &mut self,
-        graph: &mut WindowGraph,
-        sink: &mut S,
-    ) {
+    pub fn expire_now_with_graph<S: ResultSink>(&mut self, graph: &mut WindowGraph, sink: &mut S) {
         std::mem::swap(&mut self.graph, graph);
         self.expire_now(sink);
         std::mem::swap(&mut self.graph, graph);
@@ -259,11 +263,7 @@ impl RspqEngine {
                                 .and_then(|n| {
                                     let p = n.parent?;
                                     let pn = tree.node(p)?;
-                                    Some(
-                                        pn.vertex == u
-                                            && pn.state == s
-                                            && n.via_label == label,
-                                    )
+                                    Some(pn.vertex == u && pn.state == s && n.via_label == label)
                                 })
                                 .unwrap_or(false)
                         })
@@ -324,7 +324,8 @@ impl RspqEngine {
                 removed_pairs.push(((n.vertex, n.state), parent));
             }
         }
-        let dead_marks = tree.remove_all(&expired);
+        tree.remove_all(&expired);
+        let dead_marks = tree.take_dead_marks();
         for &((v, _), _) in &removed_pairs {
             idx.note_removed(root, v);
         }
@@ -469,7 +470,9 @@ fn run_extend<S: ResultSink>(
         }
         *budget -= 1;
         stats.insert_calls += 1;
-        let Some(pnode) = tree.node(parent_id) else { continue };
+        let Some(pnode) = tree.node(parent_id) else {
+            continue;
+        };
         let p_ts = pnode.ts;
         if p_ts <= wm {
             continue;
@@ -510,12 +513,10 @@ fn run_extend<S: ResultSink>(
                 sink.emit(pair, now);
             }
         }
-        let was_present = tree.has_pair((vertex, state));
+        // Extend line 11: `add_child` marks first occurrences through
+        // the `Markings` semantics hook.
         let id = tree.add_child(parent_id, vertex, state, via, new_ts);
         idx.note_added(root, vertex);
-        if !was_present {
-            tree.mark((vertex, state), id);
-        }
         // Lines 14–18: expand through valid window edges.
         for e in graph.out_edges(vertex, wm) {
             if let Some(r) = dfa.next(state, e.label) {
@@ -694,7 +695,14 @@ mod tests {
         feed(&mut f, &mut sink, 1, "p", "q", "a");
         feed(&mut f, &mut sink, 2, "q", "r", "a");
         feed(&mut f, &mut sink, 3, "r", "p", "a");
-        for (a, b) in [("p", "q"), ("q", "r"), ("r", "p"), ("p", "r"), ("q", "p"), ("r", "q")] {
+        for (a, b) in [
+            ("p", "q"),
+            ("q", "r"),
+            ("r", "p"),
+            ("p", "r"),
+            ("q", "p"),
+            ("r", "q"),
+        ] {
             assert!(f.engine.has_result(pair(&f, a, b)), "missing ({a},{b})");
         }
         for v in ["p", "q", "r"] {
@@ -762,8 +770,7 @@ mod tests {
         // and be reported in the stats.
         let mut labels = LabelInterner::new();
         let query = CompiledQuery::compile("(a b)+", &mut labels).unwrap();
-        let mut config =
-            crate::EngineConfig::with_window(WindowPolicy::new(100_000, 100_000));
+        let mut config = crate::EngineConfig::with_window(WindowPolicy::new(100_000, 100_000));
         config.rspq_extend_budget = Some(50);
         let mut engine = RspqEngine::new(query, config);
         let a = labels.get("a").unwrap();
@@ -807,7 +814,14 @@ mod tests {
             for &y in &names {
                 if x != y {
                     ts += 1;
-                    feed(&mut f, &mut sink, ts, x, y, if ts % 2 == 0 { "a" } else { "b" });
+                    feed(
+                        &mut f,
+                        &mut sink,
+                        ts,
+                        x,
+                        y,
+                        if ts % 2 == 0 { "a" } else { "b" },
+                    );
                 }
             }
         }

@@ -105,11 +105,26 @@ impl GmarkSchema {
     pub fn ldbc_like(scale: u32) -> GmarkSchema {
         let s = scale.max(1);
         let node_types = vec![
-            NodeType { name: "person".into(), count: 200 * s },
-            NodeType { name: "post".into(), count: 400 * s },
-            NodeType { name: "comment".into(), count: 800 * s },
-            NodeType { name: "forum".into(), count: 40 * s },
-            NodeType { name: "tag".into(), count: 60 * s },
+            NodeType {
+                name: "person".into(),
+                count: 200 * s,
+            },
+            NodeType {
+                name: "post".into(),
+                count: 400 * s,
+            },
+            NodeType {
+                name: "comment".into(),
+                count: 800 * s,
+            },
+            NodeType {
+                name: "forum".into(),
+                count: 40 * s,
+            },
+            NodeType {
+                name: "tag".into(),
+                count: 60 * s,
+            },
         ];
         let (person, post, comment, forum, tag) = (0, 1, 2, 3, 4);
         let predicates = vec![
@@ -135,7 +150,10 @@ impl GmarkSchema {
                 name: "likes".into(),
                 src_type: person,
                 dst_type: post,
-                out_degree: DegreeDist::Gaussian { mean: 4.0, std: 2.0 },
+                out_degree: DegreeDist::Gaussian {
+                    mean: 4.0,
+                    std: 2.0,
+                },
             },
             Predicate {
                 name: "replyOf".into(),
@@ -229,9 +247,7 @@ pub fn generate(schema: &GmarkSchema, seed: u64) -> Dataset {
     let tuples = edges
         .into_iter()
         .enumerate()
-        .map(|(i, (src, dst, label))| {
-            StreamTuple::insert(Timestamp(i as i64 + 1), src, dst, label)
-        })
+        .map(|(i, (src, dst, label))| StreamTuple::insert(Timestamp(i as i64 + 1), src, dst, label))
         .collect();
 
     Dataset {
@@ -355,8 +371,7 @@ mod tests {
     fn query_sizes_cover_the_range() {
         let labels = ["a", "b", "c"];
         let queries = generate_queries(&labels, 200, 2, 20, 7);
-        let sizes: std::collections::HashSet<usize> =
-            queries.iter().map(|q| q.size).collect();
+        let sizes: std::collections::HashSet<usize> = queries.iter().map(|q| q.size).collect();
         assert!(sizes.len() >= 12, "only {} distinct sizes", sizes.len());
     }
 
@@ -382,7 +397,11 @@ mod tests {
             assert!((1..=3).contains(&u));
             let z = DegreeDist::Zipf { max: 10, s: 1.0 }.sample(&mut rng);
             assert!(z <= 10);
-            let _g = DegreeDist::Gaussian { mean: 4.0, std: 2.0 }.sample(&mut rng);
+            let _g = DegreeDist::Gaussian {
+                mean: 4.0,
+                std: 2.0,
+            }
+            .sample(&mut rng);
         }
     }
 

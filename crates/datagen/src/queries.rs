@@ -58,9 +58,7 @@ pub fn queries_for(kind: DatasetKind) -> Vec<NamedQuery> {
                 .filter(|(name, _)| keep.contains(name))
                 .collect()
         }
-        DatasetKind::Yago => {
-            table2_queries(&["happenedIn", "hasCapital", "participatedIn"])
-        }
+        DatasetKind::Yago => table2_queries(&["happenedIn", "hasCapital", "participatedIn"]),
     }
 }
 

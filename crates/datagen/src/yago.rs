@@ -81,12 +81,7 @@ pub fn generate(cfg: &YagoConfig) -> Dataset {
         if dst == src {
             dst = (dst + 1 + rng.gen_range(0..cfg.n_vertices - 1)) % cfg.n_vertices;
         }
-        tuples.push(StreamTuple::insert(
-            ts,
-            VertexId(src),
-            VertexId(dst),
-            label,
-        ));
+        tuples.push(StreamTuple::insert(ts, VertexId(src), VertexId(dst), label));
     }
 
     Dataset {

@@ -1,0 +1,252 @@
+//! A self-contained stand-in for the subset of the `rand` 0.8 API this
+//! workspace uses, so the build has no network dependency.
+//!
+//! Everything is seeded and deterministic: [`rngs::SmallRng`] is a
+//! xoshiro256** generator seeded through SplitMix64 (the reference
+//! seeding scheme from Blackman & Vigna). The statistical quality is far
+//! beyond what the synthetic data generators and randomized tests need;
+//! the point is *compatibility* — `SmallRng::seed_from_u64`,
+//! `Rng::gen/gen_range/gen_bool`, and `SliceRandom::shuffle/choose`
+//! behave API-identically to `rand` 0.8 (stream values differ, which is
+//! fine: nothing in the workspace depends on rand's exact streams).
+//!
+//! Not implemented (because unused here): thread-local RNGs, OS
+//! entropy, distributions beyond uniform/Bernoulli, weighted sampling.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod rngs;
+pub mod seq;
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T` (`f64` in `[0, 1)`, integers over
+    /// their full range, `bool` fair).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// A uniform sample from `range` (half-open `a..b` or inclusive
+    /// `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(&mut |bound| self.next_u64_below(bound))
+    }
+
+    /// `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        f64::sample(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R where R: RngCore {}
+
+/// The raw generator interface.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value in `0..bound` via Lemire's multiply-shift
+    /// rejection method (no modulo bias). `bound == 0` means the full
+    /// 64-bit range (the bound 2⁶⁴ is not representable in a `u64`).
+    fn next_u64_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return self.next_u64();
+        }
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Seeding interface (only the `seed_from_u64` entry point is used).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Maps 64 uniform bits to a sample.
+    fn sample(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample(bits: u64) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Samples using `below(bound)`, a uniform draw from `0..bound`
+    /// (`below(0)` draws from the full 64-bit range).
+    fn sample_from(self, below: &mut dyn FnMut(u64) -> u64) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from(self, below: &mut dyn FnMut(u64) -> u64) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from(self, below: &mut dyn FnMut(u64) -> u64) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "gen_range: empty range");
+                let span = (b as i128 - a as i128) as u64;
+                // span + 1 == 2⁶⁴ wraps to 0, the full-range request.
+                (a as i128 + below(span.wrapping_add(1)) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from(self, below: &mut dyn FnMut(u64) -> u64) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = f64::sample(below(0));
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample_from(self, below: &mut dyn FnMut(u64) -> u64) -> f64 {
+        let (a, b) = (*self.start(), *self.end());
+        assert!(a <= b, "gen_range: empty range");
+        let u = f64::sample(below(0));
+        a + u * (b - a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17u32);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_hits_every_value() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn full_span_inclusive_ranges_cover_the_domain() {
+        // span + 1 overflows to 0, the "all 64 bits" request: values
+        // must land in both halves of the domain, not truncate at the
+        // upper bound.
+        let mut rng = SmallRng::seed_from_u64(6);
+        let (mut u_hi, mut u_lo, mut i_pos, mut i_neg) = (false, false, false, false);
+        for _ in 0..1_000 {
+            let x = rng.gen_range(u64::MIN..=u64::MAX);
+            if x > u64::MAX / 2 {
+                u_hi = true;
+            } else {
+                u_lo = true;
+            }
+            let y = rng.gen_range(i64::MIN..=i64::MAX);
+            if y >= 0 {
+                i_pos = true;
+            } else {
+                i_neg = true;
+            }
+        }
+        assert!(u_hi && u_lo && i_pos && i_neg);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "hits = {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements left in order is ~impossible");
+    }
+
+    #[test]
+    fn choose_samples_members() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let v = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

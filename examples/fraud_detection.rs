@@ -7,7 +7,7 @@
 //! reported cycles that relied on it must be invalidated — negative
 //! tuples exercise exactly that path.
 //!
-//! Run with: `cargo run --release -p srpq-harness --example fraud_detection`
+//! Run with: `cargo run --release -p srpq_harness --example fraud_detection`
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -69,8 +69,14 @@ fn main() {
     println!("\n--- after 4000 events ---");
     println!("cycle alerts raised:                  {cycles_seen}");
     println!("cycle alerts retracted by chargeback: {alerts_retracted}");
-    println!("reachability results retracted:       {}", sink.invalidated().len());
+    println!(
+        "reachability results retracted:       {}",
+        sink.invalidated().len()
+    );
     println!("accounts currently on a live cycle:   {live_cycles}");
-    println!("chargebacks processed:                {}", engine.stats().deletions_processed);
+    println!(
+        "chargebacks processed:                {}",
+        engine.stats().deletions_processed
+    );
     println!("Δ index: {:?}", engine.index_size());
 }

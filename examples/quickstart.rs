@@ -4,7 +4,7 @@
 //! window, replays the social-network stream of Figure 1(a), and prints
 //! every result pair as it is discovered.
 //!
-//! Run with: `cargo run -p srpq-harness --example quickstart`
+//! Run with: `cargo run -p srpq_harness --example quickstart`
 
 use srpq_common::{LabelInterner, StreamTuple, Timestamp, VertexInterner};
 use srpq_core::engine::{Engine, PathSemantics};
@@ -49,13 +49,15 @@ fn main() {
     // 4. Feed it, printing results as they appear (the append-only
     //    result stream of the implicit window model).
     for (ts, src, dst, label) in stream {
-        let tuple = StreamTuple::insert(
-            Timestamp(ts),
-            verts.intern(src),
-            verts.intern(dst),
-            label,
+        let tuple = StreamTuple::insert(Timestamp(ts), verts.intern(src), verts.intern(dst), label);
+        print!(
+            "t={ts:>2}  {src} -{}-> {dst}",
+            if label == follows {
+                "follows"
+            } else {
+                "mentions"
+            }
         );
-        print!("t={ts:>2}  {src} -{}-> {dst}", if label == follows { "follows" } else { "mentions" });
         let mut found = Vec::new();
         let mut sink = FnSink(|pair, at| found.push((pair, at)));
         engine.process(tuple, &mut sink);

@@ -6,7 +6,7 @@
 //! while simple path semantics needs the conflict machinery to discover
 //! the simple witness x→z→u→v→y.
 //!
-//! Run with: `cargo run -p srpq-harness --example simple_paths`
+//! Run with: `cargo run -p srpq_harness --example simple_paths`
 
 use srpq_common::{LabelInterner, StreamTuple, Timestamp, VertexInterner};
 use srpq_core::engine::{Engine, PathSemantics};
@@ -45,12 +45,7 @@ fn main() {
     let mut sink_s = CollectSink::default();
     println!("t   edge                arbitrary-new  simple-new");
     for (ts, src, dst, label) in stream {
-        let t = StreamTuple::insert(
-            Timestamp(ts),
-            verts.intern(src),
-            verts.intern(dst),
-            label,
-        );
+        let t = StreamTuple::insert(Timestamp(ts), verts.intern(src), verts.intern(dst), label);
         let (a0, s0) = (sink_a.emitted().len(), sink_s.emitted().len());
         arbitrary.process(t, &mut sink_a);
         simple.process(t, &mut sink_s);
@@ -69,7 +64,11 @@ fn main() {
         };
         println!(
             "{ts:<3} {src:>2} -{:<8}-> {dst:<3} {:<14} {}",
-            if label == follows { "follows" } else { "mentions" },
+            if label == follows {
+                "follows"
+            } else {
+                "mentions"
+            },
             fmt(&sink_a, a0),
             fmt(&sink_s, s0),
         );

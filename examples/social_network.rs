@@ -9,7 +9,7 @@
 //! label-routed dispatch, per-query Δ indexes, and mid-stream
 //! registration with backfill.
 //!
-//! Run with: `cargo run --release -p srpq-harness --example social_network`
+//! Run with: `cargo run --release -p srpq_harness --example social_network`
 
 use srpq_automata::CompiledQuery;
 use srpq_core::engine::PathSemantics;
@@ -62,12 +62,8 @@ fn main() {
     // shared window — it immediately reports over live content.
     let mut labels = ds.labels.clone();
     let late = CompiledQuery::compile("replyOf* hasCreator", &mut labels).unwrap();
-    let late_id = multi.register_backfilled(
-        "thread-authors",
-        late,
-        PathSemantics::Arbitrary,
-        &mut sink,
-    );
+    let late_id =
+        multi.register_backfilled("thread-authors", late, PathSemantics::Arbitrary, &mut sink);
     ids.push(("thread-authors", late_id));
 
     for &t in &ds.tuples[half..] {

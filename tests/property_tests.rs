@@ -1,8 +1,10 @@
-//! Property-based tests (proptest): randomized streams, windows, and
-//! queries against the batch oracles and the structural invariants of
-//! Lemma 1.
+//! Randomized property tests: random streams, windows, and queries
+//! against the batch oracles and the structural invariants of Lemma 1.
+//! Seeded and deterministic; each property sweeps a fixed seed range
+//! and failure messages carry the seed for replay.
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use srpq_automata::CompiledQuery;
 use srpq_common::{Label, LabelInterner, Op, StreamTuple, Timestamp, VertexId};
 use srpq_core::config::RefreshPolicy;
@@ -14,14 +16,7 @@ use srpq_graph::{WindowGraph, WindowPolicy};
 use srpq_harness::{Oracle, OracleMode};
 
 const QUERY_POOL: &[&str] = &[
-    "a",
-    "a*",
-    "a b",
-    "a b*",
-    "(a b)+",
-    "(a | b)*",
-    "a b* a",
-    "a? b+",
+    "a", "a*", "a b", "a b*", "(a b)+", "(a | b)*", "a b* a", "a? b+",
 ];
 
 #[derive(Debug, Clone)]
@@ -32,22 +27,26 @@ struct StreamSpec {
     slide: i64,
 }
 
-fn stream_strategy(max_len: usize) -> impl Strategy<Value = StreamSpec> {
-    (
-        proptest::collection::vec(
-            (0u8..6, 0u8..6, 0u8..2, prop::bool::weighted(0.85), 0u8..3),
-            1..max_len,
-        ),
-        0..QUERY_POOL.len(),
-        4i64..25,
-        1i64..8,
-    )
-        .prop_map(|(ops, query, window, slide)| StreamSpec {
-            ops,
-            query,
-            window,
-            slide,
+fn random_spec(seed: u64, max_len: usize) -> StreamSpec {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let len = rng.gen_range(1..max_len);
+    let ops = (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(0..6u8),
+                rng.gen_range(0..6u8),
+                rng.gen_range(0..2u8),
+                rng.gen_bool(0.85),
+                rng.gen_range(0..3u8),
+            )
         })
+        .collect();
+    StreamSpec {
+        ops,
+        query: rng.gen_range(0..QUERY_POOL.len()),
+        window: rng.gen_range(4i64..25),
+        slide: rng.gen_range(1i64..8),
+    }
 }
 
 fn materialize(spec: &StreamSpec) -> (Vec<StreamTuple>, CompiledQuery) {
@@ -57,7 +56,11 @@ fn materialize(spec: &StreamSpec) -> (Vec<StreamTuple>, CompiledQuery) {
     for &(src, dst, label, is_insert, dt) in &spec.ops {
         ts += dt as i64;
         let (src, dst) = (VertexId(src as u32), VertexId(dst as u32));
-        let src = if src == dst { VertexId((src.0 + 1) % 6) } else { src };
+        let src = if src == dst {
+            VertexId((src.0 + 1) % 6)
+        } else {
+            src
+        };
         let label = Label(label as u32);
         if is_insert || inserted.is_empty() {
             inserted.push((src, dst, label));
@@ -77,13 +80,12 @@ fn materialize(spec: &StreamSpec) -> (Vec<StreamTuple>, CompiledQuery) {
     (tuples, query)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// RAPQ with eager expiry (β=1) reproduces the implicit-window
-    /// reference semantics exactly, on any stream, window, and query.
-    #[test]
-    fn rapq_eager_equals_oracle(spec in stream_strategy(60)) {
+/// RAPQ with eager expiry (β=1) reproduces the implicit-window
+/// reference semantics exactly, on any stream, window, and query.
+#[test]
+fn rapq_eager_equals_oracle() {
+    for seed in 0..64u64 {
+        let spec = random_spec(seed, 60);
         let (tuples, query) = materialize(&spec);
         let window = WindowPolicy::new(spec.window, 1);
         let mut engine = Engine::new(
@@ -96,16 +98,19 @@ proptest! {
         for &t in &tuples {
             engine.process(t, &mut sink);
             let expected = oracle.step(t, query.dfa(), OracleMode::Arbitrary);
-            prop_assert_eq!(&sink.pairs(), expected);
+            assert_eq!(&sink.pairs(), expected, "seed {seed}, spec {spec:?}");
         }
     }
+}
 
-    /// RSPQ with eager expiry is sound w.r.t. the exhaustive
-    /// simple-path oracle, and complete on conflict-free runs (the
-    /// condition of the paper's Theorem 5; on conflicted instances the
-    /// prefix-contextual markings can hide witnesses — see DESIGN.md §8).
-    #[test]
-    fn rspq_eager_equals_bruteforce(spec in stream_strategy(40)) {
+/// RSPQ with eager expiry is sound w.r.t. the exhaustive simple-path
+/// oracle, and complete on conflict-free runs (the condition of the
+/// paper's Theorem 5; on conflicted instances the prefix-contextual
+/// markings can hide witnesses — see DESIGN.md §8).
+#[test]
+fn rspq_eager_equals_bruteforce() {
+    for seed in 0..64u64 {
+        let spec = random_spec(seed, 40);
         let (tuples, query) = materialize(&spec);
         let window = WindowPolicy::new(spec.window, 1);
         let mut engine = Engine::new(
@@ -120,83 +125,101 @@ proptest! {
             let expected = oracle.step(t, query.dfa(), OracleMode::Simple);
             let got = sink.pairs();
             for p in &got {
-                prop_assert!(expected.contains(p), "unsound result {p}");
+                assert!(expected.contains(p), "seed {seed}: unsound result {p}");
             }
             if engine.stats().conflicts_detected == 0 {
-                prop_assert_eq!(&got, expected);
+                assert_eq!(&got, expected, "seed {seed}, spec {spec:?}");
             }
         }
     }
+}
 
-    /// Refresh-policy completeness ordering. Under *lazy* expiry a
-    /// stale-timestamped node can make `None`/`Node` miss a short-lived
-    /// witness that `Subtree` (which propagates refreshes eagerly)
-    /// catches — so the policies form a subset chain, with equality
-    /// guaranteed only under eager expiry (covered by
-    /// `rapq_eager_equals_oracle`). The Δ index must validate after
-    /// every tuple for all policies.
-    #[test]
-    fn refresh_policies_form_subset_chain(spec in stream_strategy(50)) {
+/// Refresh-policy completeness ordering. Under *lazy* expiry a
+/// stale-timestamped node can make `None`/`Node` miss a short-lived
+/// witness that `Subtree` (which propagates refreshes eagerly)
+/// catches — so the policies form a subset chain, with equality
+/// guaranteed only under eager expiry (covered by
+/// `rapq_eager_equals_oracle`). The Δ index must validate after
+/// every tuple for all policies.
+#[test]
+fn refresh_policies_form_subset_chain() {
+    for seed in 0..64u64 {
+        let spec = random_spec(seed, 50);
         let (tuples, query) = materialize(&spec);
         let window = WindowPolicy::new(spec.window, spec.slide);
         let mut results = Vec::new();
-        for policy in [RefreshPolicy::None, RefreshPolicy::Node, RefreshPolicy::Subtree] {
+        for policy in [
+            RefreshPolicy::None,
+            RefreshPolicy::Node,
+            RefreshPolicy::Subtree,
+        ] {
             let mut config = EngineConfig::with_window(window);
             config.refresh = policy;
             let mut engine = RapqEngine::new(query.clone(), config);
             let mut sink = CollectSink::default();
             for &t in &tuples {
                 engine.process(t, &mut sink);
-                engine.delta().validate().map_err(|e| {
-                    TestCaseError::fail(format!("{policy:?}: {e}"))
-                })?;
+                engine
+                    .delta()
+                    .validate()
+                    .unwrap_or_else(|e| panic!("seed {seed}, {policy:?}: {e}"));
             }
             // Force a final expiry so late discoveries land.
             engine.expire_now(&mut sink);
             results.push(sink.pairs());
         }
         for p in &results[0] {
-            prop_assert!(results[2].contains(p), "None found {p}, Subtree missed it");
+            assert!(
+                results[2].contains(p),
+                "seed {seed}: None found {p}, Subtree missed it"
+            );
         }
         for p in &results[1] {
-            prop_assert!(results[2].contains(p), "Node found {p}, Subtree missed it");
+            assert!(
+                results[2].contains(p),
+                "seed {seed}: Node found {p}, Subtree missed it"
+            );
         }
     }
+}
 
-    /// The Δ timestamps always lie within the window (Lemma 1
-    /// invariant 1) right after an eager expiry pass.
-    #[test]
-    fn delta_timestamps_within_window_after_expiry(spec in stream_strategy(50)) {
+/// The Δ timestamps always lie within the window (Lemma 1 invariant 1)
+/// right after an eager expiry pass.
+#[test]
+fn delta_timestamps_within_window_after_expiry() {
+    for seed in 0..64u64 {
+        let spec = random_spec(seed, 50);
         let (tuples, query) = materialize(&spec);
         let window = WindowPolicy::new(spec.window, 1);
-        let mut engine = RapqEngine::new(
-            query,
-            EngineConfig::with_window(window),
-        );
+        let mut engine = RapqEngine::new(query, EngineConfig::with_window(window));
         let mut sink = CollectSink::default();
         for &t in &tuples {
             engine.process(t, &mut sink);
             let wm = window.watermark(engine.now());
             for root in engine.delta().roots() {
                 let tree = engine.delta().tree(root).unwrap();
-                for (key, node) in tree.iter() {
-                    if key == tree.root_key() {
+                for (id, node) in tree.iter() {
+                    if id == tree.root_id() {
                         continue;
                     }
-                    prop_assert!(
+                    assert!(
                         node.ts > wm,
-                        "stale node {key:?}@{} survives eager expiry (wm {wm})",
+                        "seed {seed}: stale node {:?}@{} survives eager expiry (wm {wm})",
+                        node.key(),
                         node.ts
                     );
                 }
             }
         }
     }
+}
 
-    /// The window graph agrees with a straightforward replay of the
-    /// operations (store-level soundness).
-    #[test]
-    fn window_graph_replay(spec in stream_strategy(80)) {
+/// The window graph agrees with a straightforward replay of the
+/// operations (store-level soundness).
+#[test]
+fn window_graph_replay() {
+    for seed in 0..64u64 {
+        let spec = random_spec(seed, 80);
         let (tuples, _) = materialize(&spec);
         let mut g = WindowGraph::new();
         let mut reference: std::collections::HashMap<(VertexId, VertexId, Label), Timestamp> =
@@ -213,16 +236,19 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(g.n_edges(), reference.len());
+        assert_eq!(g.n_edges(), reference.len(), "seed {seed}");
         for (&(s, d, l), &ts) in &reference {
-            prop_assert_eq!(g.edge_ts(s, d, l), Some(ts));
+            assert_eq!(g.edge_ts(s, d, l), Some(ts), "seed {seed}");
         }
     }
+}
 
-    /// Dedup on: each pair is emitted at most once per "life" (emission
-    /// count ≤ invalidation count + 1 per pair).
-    #[test]
-    fn dedup_emission_bound(spec in stream_strategy(60)) {
+/// Dedup on: each pair is emitted at most once per "life" (emission
+/// count ≤ invalidation count + 1 per pair).
+#[test]
+fn dedup_emission_bound() {
+    for seed in 0..64u64 {
+        let spec = random_spec(seed, 60);
         let (tuples, query) = materialize(&spec);
         let window = WindowPolicy::new(spec.window, spec.slide);
         let mut engine = Engine::new(
@@ -246,9 +272,9 @@ proptest! {
         }
         for (p, &n) in &emitted_counts {
             let inv = invalidated_counts.get(p).copied().unwrap_or(0);
-            prop_assert!(
+            assert!(
                 n <= inv + 1,
-                "pair {p} emitted {n} times with {inv} invalidations"
+                "seed {seed}: pair {p} emitted {n} times with {inv} invalidations"
             );
         }
     }

@@ -24,7 +24,7 @@ fn random_stream(n: usize, n_vertices: u32, n_labels: u32, seed: u64) -> Vec<Str
     let mut ts = 0i64;
     (0..n)
         .map(|_| {
-            ts += rng.gen_range(0..=2);
+            ts += rng.gen_range(0..=2i64);
             let src = VertexId(rng.gen_range(0..n_vertices));
             let mut dst = VertexId(rng.gen_range(0..n_vertices));
             if dst == src {
@@ -45,15 +45,7 @@ fn interner_for(n_labels: u32) -> LabelInterner {
 }
 
 const QUERIES: &[&str] = &[
-    "a",
-    "a*",
-    "a b",
-    "a b*",
-    "(a b)+",
-    "(a | b)*",
-    "a b* a",
-    "a? b+",
-    "a* b*",
+    "a", "a*", "a b", "a b*", "(a b)+", "(a | b)*", "a b* a", "a? b+", "a* b*",
 ];
 
 #[test]
@@ -75,10 +67,7 @@ fn rapq_matches_oracle_exactly_with_eager_expiry() {
                 engine.process(t, &mut sink);
                 let expected = oracle.step(t, query.dfa(), OracleMode::Arbitrary);
                 let got = sink.pairs();
-                assert_eq!(
-                    &got, expected,
-                    "query {expr}, seed {seed}, tuple {i}: {t}"
-                );
+                assert_eq!(&got, expected, "query {expr}, seed {seed}, tuple {i}: {t}");
             }
         }
     }
@@ -118,10 +107,7 @@ fn rspq_matches_bruteforce_oracle_with_eager_expiry() {
                     );
                 }
                 if engine.stats().conflicts_detected == 0 {
-                    assert_eq!(
-                        &got, expected,
-                        "query {expr}, seed {seed}, tuple {i}: {t}"
-                    );
+                    assert_eq!(&got, expected, "query {expr}, seed {seed}, tuple {i}: {t}");
                 }
             }
         }
@@ -270,7 +256,10 @@ fn simple_results_subset_of_arbitrary() {
             }
             let arbitrary = sa.pairs();
             for p in ss.pairs() {
-                assert!(arbitrary.contains(&p), "{expr}, seed {seed}: {p} simple-only");
+                assert!(
+                    arbitrary.contains(&p),
+                    "{expr}, seed {seed}: {p} simple-only"
+                );
             }
         }
     }
