@@ -31,6 +31,12 @@ pub struct Dfa {
     table: Vec<Option<StateId>>,
     /// Per-column `(from, to)` transition pairs.
     by_label: Vec<Vec<(StateId, StateId)>>,
+    /// Per-state outgoing `(label, to)` transitions — drives the
+    /// label-partitioned forward expansion of the streaming engines.
+    from_state: Vec<Vec<(Label, StateId)>>,
+    /// Per-state incoming `(from, label)` transitions — drives the
+    /// label-partitioned reconnection scans of the expiry algorithms.
+    into_state: Vec<Vec<(StateId, Label)>>,
 }
 
 impl Dfa {
@@ -57,6 +63,8 @@ impl Dfa {
         }
         let mut table = vec![None; n_states * alphabet.len()];
         let mut by_label = vec![Vec::new(); alphabet.len()];
+        let mut from_state = vec![Vec::new(); n_states];
+        let mut into_state = vec![Vec::new(); n_states];
         for &(from, label, to) in transitions {
             assert!(from.index() < n_states && to.index() < n_states);
             let col = label_pos[&label] as usize;
@@ -68,9 +76,17 @@ impl Dfa {
             if slot.is_none() {
                 *slot = Some(to);
                 by_label[col].push((from, to));
+                from_state[from.index()].push((label, to));
+                into_state[to.index()].push((from, label));
             }
         }
         for pairs in &mut by_label {
+            pairs.sort_unstable();
+        }
+        for pairs in &mut from_state {
+            pairs.sort_unstable();
+        }
+        for pairs in &mut into_state {
             pairs.sort_unstable();
         }
         Dfa {
@@ -80,6 +96,8 @@ impl Dfa {
             label_pos,
             table,
             by_label,
+            from_state,
+            into_state,
         }
     }
 
@@ -215,6 +233,22 @@ impl Dfa {
             Some(&col) => &self.by_label[col as usize],
             None => &[],
         }
+    }
+
+    /// All `(label, t)` with `t = δ(s, label)`: the outgoing transitions
+    /// of `s`. Paired with the label-partitioned adjacency this lets
+    /// tree expansion visit exactly the matching window edges.
+    #[inline]
+    pub fn transitions_from(&self, s: StateId) -> &[(Label, StateId)] {
+        &self.from_state[s.index()]
+    }
+
+    /// All `(s, label)` with `δ(s, label) = t`: the incoming transitions
+    /// of `t`. Drives the reconnection scans of `ExpiryRAPQ`/`ExpiryRSPQ`
+    /// over only the in-edges whose label can actually reach `t`.
+    #[inline]
+    pub fn transitions_into(&self, t: StateId) -> &[(StateId, Label)] {
+        &self.into_state[t.index()]
     }
 
     /// Iterates all transitions `(from, label, to)`.
@@ -359,6 +393,25 @@ mod tests {
             )
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn per_state_transition_lists_agree_with_delta() {
+        let (dfa, _) = dfa_for("(a | b)* c (a b)+");
+        let mut n_from = 0;
+        for s in 0..dfa.n_states() {
+            let s = StateId(s as u32);
+            for &(l, t) in dfa.transitions_from(s) {
+                assert_eq!(dfa.next(s, l), Some(t));
+                assert!(dfa.transitions_into(t).contains(&(s, l)));
+                n_from += 1;
+            }
+        }
+        let n_into: usize = (0..dfa.n_states())
+            .map(|t| dfa.transitions_into(StateId(t as u32)).len())
+            .sum();
+        assert_eq!(n_from, n_into);
+        assert_eq!(n_from, dfa.transitions().count());
     }
 
     #[test]

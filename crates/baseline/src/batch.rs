@@ -53,8 +53,8 @@ fn collect_from(
     visited.insert((x, s0));
     queue.push_back((x, s0));
     while let Some((v, s)) = queue.pop_front() {
-        for e in graph.out_edges(v, watermark) {
-            if let Some(t) = dfa.next(s, e.label) {
+        for &(label, t) in dfa.transitions_from(s) {
+            for e in graph.out_edges(v, label, watermark) {
                 if visited.insert((e.other, t)) {
                     if dfa.is_accepting(t) {
                         results.insert(ResultPair::new(x, e.other));

@@ -53,19 +53,18 @@ fn dfs_brute(
     on_path: &mut FxHashSet<VertexId>,
     results: &mut FxHashSet<ResultPair>,
 ) {
-    for e in graph.out_edges(v, watermark) {
-        let Some(t) = dfa.next(s, e.label) else {
-            continue;
-        };
-        if on_path.contains(&e.other) {
-            continue; // would repeat a vertex
+    for &(label, t) in dfa.transitions_from(s) {
+        for e in graph.out_edges(v, label, watermark) {
+            if on_path.contains(&e.other) {
+                continue; // would repeat a vertex
+            }
+            if dfa.is_accepting(t) {
+                results.insert(ResultPair::new(x, e.other));
+            }
+            on_path.insert(e.other);
+            dfs_brute(graph, watermark, dfa, x, e.other, t, on_path, results);
+            on_path.remove(&e.other);
         }
-        if dfa.is_accepting(t) {
-            results.insert(ResultPair::new(x, e.other));
-        }
-        on_path.insert(e.other);
-        dfs_brute(graph, watermark, dfa, x, e.other, t, on_path, results);
-        on_path.remove(&e.other);
     }
 }
 
@@ -117,35 +116,34 @@ fn mw_dfs(
     let dfa = query.dfa();
     let containment = query.containment();
     let mut clean = true;
-    for e in graph.out_edges(v, watermark) {
-        let Some(t) = dfa.next(s, e.label) else {
-            continue;
-        };
-        let w = e.other;
-        if path.iter().any(|&(pv, ps)| pv == w && ps == t) {
-            continue; // product-graph cycle
-        }
-        if let Some(&(_, q)) = path.iter().find(|&&(pv, _)| pv == w) {
-            if !containment.contains(q, t) {
-                // Conflict (Definition 16): cannot justify the re-visit,
-                // and ancestors must not be marked.
-                clean = false;
+    for &(label, t) in dfa.transitions_from(s) {
+        for e in graph.out_edges(v, label, watermark) {
+            let w = e.other;
+            if path.iter().any(|&(pv, ps)| pv == w && ps == t) {
+                continue; // product-graph cycle
+            }
+            if let Some(&(_, q)) = path.iter().find(|&&(pv, _)| pv == w) {
+                if !containment.contains(q, t) {
+                    // Conflict (Definition 16): cannot justify the
+                    // re-visit, and ancestors must not be marked.
+                    clean = false;
+                    continue;
+                }
+            }
+            if marked.contains(&(w, t)) {
                 continue;
             }
-        }
-        if marked.contains(&(w, t)) {
-            continue;
-        }
-        if dfa.is_accepting(t) {
-            results.insert(ResultPair::new(x, w));
-        }
-        path.push((w, t));
-        let sub_clean = mw_dfs(graph, watermark, query, x, w, t, path, marked, results);
-        path.pop();
-        if sub_clean {
-            marked.insert((w, t));
-        } else {
-            clean = false;
+            if dfa.is_accepting(t) {
+                results.insert(ResultPair::new(x, w));
+            }
+            path.push((w, t));
+            let sub_clean = mw_dfs(graph, watermark, query, x, w, t, path, marked, results);
+            path.pop();
+            if sub_clean {
+                marked.insert((w, t));
+            } else {
+                clean = false;
+            }
         }
     }
     clean

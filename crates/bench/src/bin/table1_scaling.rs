@@ -9,7 +9,7 @@
 //! faster, consistent with the n² bound being loose in practice (the
 //! paper itself notes the expiry analysis "is not tight").
 
-use srpq_bench::{make_engine, run_engine, scale_from_args};
+use srpq_bench::{make_engine, run_engine, run_engine_batched, scale_from_args};
 use srpq_core::engine::PathSemantics;
 use srpq_datagen::{inject_deletions, yago};
 use srpq_graph::WindowPolicy;
@@ -46,6 +46,23 @@ fn main() {
             r.peak_nodes,
             r.mean_us(),
             r.p99_us()
+        );
+
+        // The same insert path through the batched ingestion API
+        // (256-tuple slide-grouped batches; identical result stream).
+        let mut engine = make_engine(
+            "happenedIn hasCapital*",
+            &ds,
+            window,
+            PathSemantics::Arbitrary,
+        );
+        let rb = run_engine_batched(&mut engine, &ds.tuples, 256, Duration::from_secs(60));
+        println!(
+            "insert_batched,{},{},{:.2},{:.1}",
+            1_000 * mult,
+            rb.peak_nodes,
+            rb.mean_us(),
+            rb.p99_us()
         );
 
         // Delete path: same stream with 10% negative tuples; report the

@@ -23,11 +23,32 @@ use std::time::{Duration, Instant};
 /// default documented in EXPERIMENTS.md; pass a number as the first CLI
 /// argument to scale streams up or down.
 pub fn scale_from_args() -> f64 {
-    std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse::<f64>().ok())
-        .unwrap_or(1.0)
-        .clamp(0.01, 100.0)
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            // Skip the flag and its value so a numeric path is not
+            // misread as the scale.
+            let _ = args.next();
+            continue;
+        }
+        if let Ok(v) = a.parse::<f64>() {
+            return v.clamp(0.01, 100.0);
+        }
+    }
+    1.0
+}
+
+/// The value following a `--json` argument, if any: where the binary
+/// should additionally write its rows as a JSON array (CI perf
+/// artifacts).
+pub fn json_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
 }
 
 /// Builds the laptop-scale stand-in for one of the paper's datasets.
@@ -158,6 +179,56 @@ pub fn run_engine(engine: &mut Engine, tuples: &[StreamTuple], budget: Duration)
     }
 }
 
+/// Drives `engine` over `tuples` through [`Engine::process_batch`] in
+/// `batch_size`-sized chunks. The latency histogram records, per chunk,
+/// the mean per-relevant-tuple cost (so `latency.count()` equals the
+/// number of measured chunks, not tuples). Budget and peak sampling are
+/// checked once per chunk.
+pub fn run_engine_batched(
+    engine: &mut Engine,
+    tuples: &[StreamTuple],
+    batch_size: usize,
+    budget: Duration,
+) -> RunReport {
+    let batch_size = batch_size.max(1);
+    let mut sink = CountSink::default();
+    let mut latency = LatencyHistogram::new();
+    let mut relevant = 0u64;
+    let mut peak_nodes = 0usize;
+    let started = Instant::now();
+    let mut completed = true;
+    for chunk in tuples.chunks(batch_size) {
+        let chunk_relevant = chunk
+            .iter()
+            .filter(|t| engine.query().dfa().knows_label(t.label))
+            .count() as u64;
+        relevant += chunk_relevant;
+        let t0 = Instant::now();
+        engine.process_batch(chunk, &mut sink);
+        if let Some(per_tuple) = (t0.elapsed().as_nanos() as u64).checked_div(chunk_relevant) {
+            latency.record(per_tuple);
+        }
+        peak_nodes = peak_nodes.max(engine.index_size().nodes);
+        if started.elapsed() > budget {
+            completed = false;
+            break;
+        }
+    }
+    let elapsed = started.elapsed();
+    peak_nodes = peak_nodes.max(engine.index_size().nodes);
+    RunReport {
+        tuples_total: tuples.len() as u64,
+        tuples_relevant: relevant,
+        elapsed,
+        latency,
+        results: sink.emitted,
+        index: engine.index_size(),
+        peak_nodes,
+        expiry_nanos: engine.stats().expiry_nanos,
+        completed,
+    }
+}
+
 /// Compiles a query against a dataset's label vocabulary.
 pub fn compile_query(expr: &str, labels: &LabelInterner) -> CompiledQuery {
     let mut labels = labels.clone();
@@ -190,6 +261,78 @@ pub fn print_csv<R: std::fmt::Display>(header: &str, rows: impl IntoIterator<Ite
     println!("{header}");
     for r in rows {
         println!("{r}");
+    }
+}
+
+/// Minimal JSON emission for perf-trajectory artifacts (the tree is
+/// dependency-free, so no serde).
+pub mod jsonout {
+    use std::fmt::Write as _;
+    use std::path::Path;
+
+    /// A JSON scalar.
+    pub enum Val {
+        /// A string (escaped on write).
+        S(String),
+        /// A float (written with 1 decimal).
+        F(f64),
+        /// An unsigned integer.
+        U(u64),
+        /// A boolean.
+        B(bool),
+    }
+
+    /// Renders one `{"k": v, ...}` object.
+    pub fn obj(fields: &[(&str, Val)]) -> String {
+        let mut s = String::from("{");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{k}\": ");
+            match v {
+                Val::S(x) => {
+                    s.push('"');
+                    for c in x.chars() {
+                        match c {
+                            '"' => s.push_str("\\\""),
+                            '\\' => s.push_str("\\\\"),
+                            c if (c as u32) < 0x20 => {
+                                let _ = write!(s, "\\u{:04x}", c as u32);
+                            }
+                            c => s.push(c),
+                        }
+                    }
+                    s.push('"');
+                }
+                Val::F(x) => {
+                    let _ = write!(s, "{x:.1}");
+                }
+                Val::U(x) => {
+                    let _ = write!(s, "{x}");
+                }
+                Val::B(x) => {
+                    let _ = write!(s, "{x}");
+                }
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Writes `objs` as a JSON array, one object per line.
+    pub fn write_array(path: &Path, objs: &[String]) -> std::io::Result<()> {
+        let mut out = String::from("[\n");
+        for (i, o) in objs.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(o);
+            if i + 1 < objs.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out)
     }
 }
 

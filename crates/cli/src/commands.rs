@@ -17,7 +17,8 @@ const USAGE: &str = "usage:
   srpq info --stream FILE
   srpq explain QUERY
   srpq run --query QUERY --stream FILE [--window W] [--slide B]
-           [--semantics arbitrary|simple] [--print-results] [--limit N]";
+           [--semantics arbitrary|simple] [--print-results] [--limit N]
+           [--batch N]";
 
 /// Dispatches a command line.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -184,6 +185,10 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown semantics {other:?}")),
     };
     let limit: usize = args.get_num("limit", usize::MAX)?;
+    let batch: usize = args.get_num("batch", 1usize)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".to_string());
+    }
 
     // Check the query speaks the stream's vocabulary *before* compiling
     // (compilation interns missing labels).
@@ -207,29 +212,35 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 
     if print {
         let mut sink = CollectSink::default();
-        for (i, &t) in tuples.iter().enumerate() {
-            if i >= limit {
-                break;
-            }
-            run_one(&mut engine, t, &mut sink, &mut histogram, &mut relevant);
-        }
+        run_stream(
+            &mut engine,
+            &tuples,
+            limit,
+            batch,
+            &mut sink,
+            &mut histogram,
+            &mut relevant,
+        );
         for &(p, ts) in sink.emitted() {
             println!("[{ts}] + ({}, {})", p.src.0, p.dst.0);
         }
     } else {
         let mut sink = CountSink::default();
-        for (i, &t) in tuples.iter().enumerate() {
-            if i >= limit {
-                break;
-            }
-            run_one(&mut engine, t, &mut sink, &mut histogram, &mut relevant);
-        }
+        run_stream(
+            &mut engine,
+            &tuples,
+            limit,
+            batch,
+            &mut sink,
+            &mut histogram,
+            &mut relevant,
+        );
     }
     let elapsed = started.elapsed();
     let stats = engine.stats();
     eprintln!("--");
     eprintln!("query:        {query_src}");
-    eprintln!("semantics:    {semantics:?}  window |W|={window} slide β={slide}");
+    eprintln!("semantics:    {semantics:?}  window |W|={window} slide β={slide}  batch={batch}",);
     eprintln!(
         "tuples:       {} total, {} relevant, {} discarded",
         tuples.len().min(limit),
@@ -268,6 +279,39 @@ fn run_one<S: srpq_core::sink::ResultSink>(
         histogram.record(t0.elapsed().as_nanos() as u64);
     } else {
         engine.process(t, sink);
+    }
+}
+
+/// Drives the stream either per tuple (`batch == 1`, per-tuple latency)
+/// or through [`Engine::process_batch`] in `batch`-sized chunks (the
+/// histogram then records each chunk's mean per-relevant-tuple cost).
+fn run_stream<S: srpq_core::sink::ResultSink>(
+    engine: &mut Engine,
+    tuples: &[StreamTuple],
+    limit: usize,
+    batch: usize,
+    sink: &mut S,
+    histogram: &mut LatencyHistogram,
+    relevant: &mut u64,
+) {
+    let n = tuples.len().min(limit);
+    if batch <= 1 {
+        for &t in &tuples[..n] {
+            run_one(engine, t, sink, histogram, relevant);
+        }
+        return;
+    }
+    for chunk in tuples[..n].chunks(batch) {
+        let chunk_relevant = chunk
+            .iter()
+            .filter(|t| engine.query().dfa().knows_label(t.label))
+            .count() as u64;
+        *relevant += chunk_relevant;
+        let t0 = Instant::now();
+        engine.process_batch(chunk, sink);
+        if let Some(per_tuple) = (t0.elapsed().as_nanos() as u64).checked_div(chunk_relevant) {
+            histogram.record(per_tuple);
+        }
     }
 }
 
@@ -319,6 +363,15 @@ mod tests {
             "run", "--query", "a2q c2a*", "--stream", path_s, "--limit", "1500",
         ]))
         .unwrap();
+        // Batched ingestion path.
+        dispatch(&argv(&[
+            "run", "--query", "a2q c2a*", "--stream", path_s, "--limit", "1500", "--batch", "64",
+        ]))
+        .unwrap();
+        assert!(dispatch(&argv(&[
+            "run", "--query", "a2q", "--stream", path_s, "--batch", "0",
+        ]))
+        .is_err());
         // Unknown label is an error.
         assert!(dispatch(&argv(&[
             "run",

@@ -32,12 +32,68 @@ impl Node {
     }
 }
 
+/// Occurrence list with the single-occurrence case stored inline:
+/// RAPQ ([`super::Unique`]) trees never heap-allocate here, and RSPQ
+/// trees only do on a genuine duplicate pair — node attachment is
+/// otherwise allocation-free.
+#[derive(Debug)]
+enum OccSet {
+    /// Exactly one occurrence (the overwhelmingly common case).
+    One(NodeId),
+    /// Two or more occurrences, attachment order. Invariant: never
+    /// empty and never a singleton (downgraded on removal).
+    Many(Vec<NodeId>),
+}
+
+impl OccSet {
+    #[inline]
+    fn as_slice(&self) -> &[NodeId] {
+        match self {
+            OccSet::One(id) => std::slice::from_ref(id),
+            OccSet::Many(v) => v.as_slice(),
+        }
+    }
+
+    #[inline]
+    fn first(&self) -> NodeId {
+        match self {
+            OccSet::One(id) => *id,
+            OccSet::Many(v) => v[0],
+        }
+    }
+
+    fn push(&mut self, id: NodeId) {
+        match self {
+            OccSet::One(a) => *self = OccSet::Many(vec![*a, id]),
+            OccSet::Many(v) => v.push(id),
+        }
+    }
+
+    /// Removes `id`; returns `true` when the set became empty (the
+    /// caller then drops the map entry).
+    fn remove(&mut self, id: NodeId) -> bool {
+        let downgrade = match self {
+            OccSet::One(a) => return *a == id,
+            OccSet::Many(v) => {
+                v.retain(|&o| o != id);
+                match v.len() {
+                    0 => return true,
+                    1 => v[0],
+                    _ => return false,
+                }
+            }
+        };
+        *self = OccSet::One(downgrade);
+        false
+    }
+}
+
 /// A spanning tree `T_x` rooted at `(x, s0)`, with semantics extension
 /// `X` observing every mutation.
 ///
 /// Nodes are arena-allocated and identified by position ([`NodeId`]);
 /// the `occurrences` side index lists all live slots holding a given
-/// pair, in attachment order (so `occurrences[0]` is the oldest — the
+/// pair, in attachment order (so the first entry is the oldest — the
 /// *canonical* — occurrence, and for [`super::Unique`] trees the only
 /// one).
 #[derive(Debug)]
@@ -47,7 +103,7 @@ pub struct Tree<X: TreeSemantics> {
     root_id: NodeId,
     arena: Vec<Option<Node>>,
     free: Vec<NodeId>,
-    occurrences: FxHashMap<PairKey, Vec<NodeId>>,
+    occurrences: FxHashMap<PairKey, OccSet>,
     len: usize,
     ext: X,
 }
@@ -64,8 +120,8 @@ impl<X: TreeSemantics> Tree<X> {
             ts: Timestamp::INFINITY,
             children: Vec::new(),
         };
-        let mut occurrences: FxHashMap<PairKey, Vec<NodeId>> = FxHashMap::default();
-        occurrences.insert(root_key, vec![0]);
+        let mut occurrences: FxHashMap<PairKey, OccSet> = FxHashMap::default();
+        occurrences.insert(root_key, OccSet::One(0));
         let mut ext = X::default();
         ext.on_add(root_key, 0, true);
         Tree {
@@ -135,7 +191,10 @@ impl<X: TreeSemantics> Tree<X> {
     /// All live occurrences of `key`, oldest first.
     #[inline]
     pub fn occurrences(&self, key: PairKey) -> &[NodeId] {
-        self.occurrences.get(&key).map(Vec::as_slice).unwrap_or(&[])
+        self.occurrences
+            .get(&key)
+            .map(OccSet::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Whether any occurrence of `key` is present ("(v, t) ∈ T_x").
@@ -147,7 +206,7 @@ impl<X: TreeSemantics> Tree<X> {
     /// The oldest (canonical) occurrence of `key`.
     #[inline]
     pub fn first_occurrence(&self, key: PairKey) -> Option<NodeId> {
-        self.occurrences.get(&key).and_then(|v| v.first()).copied()
+        self.occurrences.get(&key).map(OccSet::first)
     }
 
     /// The `(vertex, state)` pair held at `id`, if alive.
@@ -196,9 +255,16 @@ impl<X: TreeSemantics> Tree<X> {
             .expect("parent must be alive")
             .children
             .push(id);
-        let occ = self.occurrences.entry((vertex, state)).or_default();
-        let first = occ.is_empty();
-        occ.push(id);
+        let first = match self.occurrences.entry((vertex, state)) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(OccSet::One(id));
+                true
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().push(id);
+                false
+            }
+        };
         self.len += 1;
         self.ext.on_add((vertex, state), id, first);
         id
@@ -255,8 +321,7 @@ impl<X: TreeSemantics> Tree<X> {
             self.free.push(id);
             let key = node.key();
             if let Some(occ) = self.occurrences.get_mut(&key) {
-                occ.retain(|&o| o != id);
-                if occ.is_empty() {
+                if occ.remove(id) {
                     self.occurrences.remove(&key);
                 }
             }
@@ -411,10 +476,10 @@ impl<X: TreeSemantics> Tree<X> {
             return Err(format!("len drift: {live} vs {}", self.len));
         }
         for (key, occ) in &self.occurrences {
-            if occ.is_empty() {
+            if occ.as_slice().is_empty() {
                 return Err(format!("empty occurrence list for {key:?}"));
             }
-            for &id in occ {
+            for &id in occ.as_slice() {
                 match self.node(id) {
                     Some(n) if n.key() == *key => {}
                     _ => return Err(format!("occurrence {id} of {key:?} dead or mismatched")),

@@ -66,6 +66,17 @@ impl Engine {
         }
     }
 
+    /// Processes a batch of tuples (non-decreasing timestamps) with one
+    /// slide-boundary check and at most one expiry pass per slide
+    /// interval covered, instead of per tuple. Produces a result stream
+    /// byte-identical to per-tuple [`Self::process`].
+    pub fn process_batch<S: ResultSink>(&mut self, batch: &[StreamTuple], sink: &mut S) {
+        match self {
+            Engine::Arbitrary(e) => e.process_batch(batch, sink),
+            Engine::Simple(e) => e.process_batch(batch, sink),
+        }
+    }
+
     /// Forces an expiry pass at the current eager watermark.
     pub fn expire_now<S: ResultSink>(&mut self, sink: &mut S) {
         match self {

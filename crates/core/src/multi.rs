@@ -234,6 +234,52 @@ impl MultiQueryEngine {
         }
     }
 
+    /// Processes a batch of tuples: shared window maintenance (the
+    /// slide-boundary check and graph purge) runs once per slide
+    /// interval covered instead of once per tuple, and the routing
+    /// table is borrowed once for the whole batch (per-tuple `process`
+    /// must clone the target list to appease the borrow checker).
+    /// Per-query engines still see their tuples in stream order, so the
+    /// tagged result stream is byte-identical to per-tuple processing.
+    ///
+    /// A panic from an engine or sink mid-batch leaves this engine
+    /// unusable (as with any mid-processing panic: the panicking
+    /// query's Δ index is half-applied, and the routing table — parked
+    /// locally for the batch — is not restored). Do not reuse a
+    /// `MultiQueryEngine` after catching an unwind out of it.
+    pub fn process_batch<S: MultiSink>(&mut self, batch: &[StreamTuple], sink: &mut S) {
+        let routing = std::mem::take(&mut self.routing);
+        let window = self.window;
+        let mut i = 0;
+        while i < batch.len() {
+            let (len, group_now) = window.slide_group(self.now, &batch[i..], |t| t.ts);
+            if self.now != Timestamp::NEG_INFINITY && window.crosses_slide(self.now, group_now) {
+                self.graph.purge_expired(window.lazy_watermark(group_now));
+            }
+            for &t in &batch[i..i + len] {
+                self.tuples_seen += 1;
+                if t.ts > self.now {
+                    self.now = t.ts;
+                }
+                let Some(targets) = routing.get(&t.label) else {
+                    continue;
+                };
+                self.tuples_routed += targets.len() as u64;
+                for &qi in targets {
+                    let reg = &mut self.queries[qi as usize];
+                    let mut tagged = TagSink {
+                        id: QueryId(qi),
+                        inner: sink,
+                    };
+                    reg.engine
+                        .process_with_graph(&mut self.graph, t, &mut tagged);
+                }
+            }
+            i += len;
+        }
+        self.routing = routing;
+    }
+
     /// Forces an expiry pass for every query (and a shared graph purge)
     /// at the current eager watermark.
     pub fn expire_now<S: MultiSink>(&mut self, sink: &mut S) {

@@ -173,6 +173,31 @@ impl ParallelRapqEngine {
         }
     }
 
+    /// Ingests a caller-sized batch as the shard hand-off unit: the
+    /// slice is cut only at slide boundaries and deletions (the
+    /// engine's own `batch_capacity` does not apply — the caller chose
+    /// the batch size), each cut fanning out to the shard threads once.
+    /// The pending batch is flushed before returning, so all results
+    /// for these tuples reach `sink` by the time this call ends.
+    pub fn process_batch<S: ResultSink>(&mut self, tuples: &[StreamTuple], sink: &mut S) {
+        for &tuple in tuples {
+            let boundary = self.now != Timestamp::NEG_INFINITY
+                && self
+                    .config
+                    .window
+                    .crosses_slide(self.now, tuple.ts.max(self.now));
+            let deletion = tuple.op == srpq_common::Op::Delete;
+            if boundary || deletion {
+                self.flush(sink);
+            }
+            self.batch.push(tuple);
+            if deletion {
+                self.flush(sink);
+            }
+        }
+        self.flush(sink);
+    }
+
     /// Flushes the pending micro-batch: applies graph updates, then
     /// extends all shards in parallel and drains their outboxes.
     pub fn flush<S: ResultSink>(&mut self, sink: &mut S) {
@@ -442,11 +467,9 @@ fn expire_shard_tree(
         invalidated: &mut shard.invalidated,
     };
     for &(ev, et) in &expired {
-        for e in graph.in_edges(ev, wm) {
-            for &(s, t) in dfa.transitions_for(e.label) {
-                if t != et {
-                    continue;
-                }
+        let adj = graph.in_view(ev);
+        for &(s, label) in dfa.transitions_into(et) {
+            for e in adj.edges(label, wm) {
                 let parent = (e.other, s);
                 let Some(pts) = tree.ts(parent) else { continue };
                 if pts <= wm {
@@ -460,7 +483,7 @@ fn expire_shard_tree(
                     work.push(WorkItem {
                         parent,
                         child: (ev, et),
-                        via: e.label,
+                        via: label,
                         edge_ts: e.ts,
                     });
                     run_insert(

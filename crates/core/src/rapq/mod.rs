@@ -132,6 +132,34 @@ impl RapqEngine {
         }
     }
 
+    /// Processes a slide's worth of tuples at once: the batch is grouped
+    /// by slide interval, so the boundary check and the (at most one)
+    /// expiry pass run once per group instead of once per tuple. The
+    /// result stream is byte-identical to feeding the same tuples
+    /// through [`Self::process`] one at a time.
+    pub fn process_batch<S: ResultSink>(&mut self, batch: &[StreamTuple], sink: &mut S) {
+        let window = self.config.window;
+        let mut i = 0;
+        while i < batch.len() {
+            let (len, group_now) = window.slide_group(self.now, &batch[i..], |t| t.ts);
+            if self.now != Timestamp::NEG_INFINITY && window.crosses_slide(self.now, group_now) {
+                self.now = group_now;
+                let wm = window.lazy_watermark(group_now);
+                self.run_expiry(wm, false, sink);
+            }
+            for &t in &batch[i..i + len] {
+                if t.ts > self.now {
+                    self.now = t.ts;
+                }
+                match t.op {
+                    srpq_common::Op::Insert => self.handle_insert(t, sink),
+                    srpq_common::Op::Delete => self.handle_delete(t, sink),
+                }
+            }
+            i += len;
+        }
+    }
+
     /// Forces an expiry pass at the current eager watermark (harness
     /// hook; normally expiry is driven by slide crossings).
     pub fn expire_now<S: ResultSink>(&mut self, sink: &mut S) {
@@ -348,12 +376,12 @@ impl RapqEngine {
         // Lines 4–10: reconnection. A candidate (v, t) reattaches if some
         // valid in-edge (u, v) comes from a live (u, s) with δ(s,l) = t;
         // Insert then re-expands its former subtree from graph edges.
+        // `transitions_into` × the label-partitioned in-lists visit only
+        // the in-edges whose label can actually reach state `et`.
         for &(ev, et) in &expired {
-            for e in self.graph.in_edges(ev, wm) {
-                for &(s, t) in self.query.dfa().transitions_for(e.label) {
-                    if t != et {
-                        continue;
-                    }
+            let adj = self.graph.in_view(ev);
+            for &(s, label) in self.query.dfa().transitions_into(et) {
+                for e in adj.edges(label, wm) {
                     let parent = (e.other, s);
                     let Some(pts) = tree.ts(parent) else { continue };
                     if pts <= wm {
@@ -363,7 +391,7 @@ impl RapqEngine {
                         work.push(WorkItem {
                             parent,
                             child: (ev, et),
-                            via: e.label,
+                            via: label,
                             edge_ts: e.ts,
                         });
                         run_insert(
@@ -478,8 +506,9 @@ pub(crate) fn run_insert<S: ResultSink>(
                         // Timestamps only ever increase, so this
                         // fixpoint terminates.
                         let (cv, cs) = child;
-                        for e in graph.out_edges(cv, wm) {
-                            if let Some(q) = dfa.next(cs, e.label) {
+                        let adj = graph.out_view(cv);
+                        for &(label, q) in dfa.transitions_from(cs) {
+                            for e in adj.edges(label, wm) {
                                 let target = (e.other, q);
                                 // Absent targets matter too: an edge that
                                 // arrived while this node looked expired
@@ -492,7 +521,7 @@ pub(crate) fn run_insert<S: ResultSink>(
                                     work.push(WorkItem {
                                         parent: child,
                                         child: target,
-                                        via: e.label,
+                                        via: label,
                                         edge_ts: e.ts,
                                     });
                                 }
@@ -514,9 +543,12 @@ pub(crate) fn run_insert<S: ResultSink>(
                     }
                 }
                 // Lines 8–11 of Insert: expand through valid window
-                // edges out of the new node.
-                for e in graph.out_edges(cv, wm) {
-                    if let Some(q) = dfa.next(cs, e.label) {
+                // edges out of the new node. The DFA's per-state
+                // transition list × the label-partitioned adjacency
+                // touches exactly the matching edges, allocation-free.
+                let adj = graph.out_view(cv);
+                for &(label, q) in dfa.transitions_from(cs) {
+                    for e in adj.edges(label, wm) {
                         let target = (e.other, q);
                         let cond = match tree.ts(target) {
                             None => true,
@@ -526,7 +558,7 @@ pub(crate) fn run_insert<S: ResultSink>(
                             work.push(WorkItem {
                                 parent: child,
                                 child: target,
-                                via: e.label,
+                                via: label,
                                 edge_ts: e.ts,
                             });
                         }

@@ -132,6 +132,34 @@ impl RspqEngine {
         }
     }
 
+    /// Processes a slide's worth of tuples at once: the batch is grouped
+    /// by slide interval, so the boundary check and the (at most one)
+    /// expiry pass run once per group instead of once per tuple. The
+    /// result stream is byte-identical to feeding the same tuples
+    /// through [`Self::process`] one at a time.
+    pub fn process_batch<S: ResultSink>(&mut self, batch: &[StreamTuple], sink: &mut S) {
+        let window = self.config.window;
+        let mut i = 0;
+        while i < batch.len() {
+            let (len, group_now) = window.slide_group(self.now, &batch[i..], |t| t.ts);
+            if self.now != Timestamp::NEG_INFINITY && window.crosses_slide(self.now, group_now) {
+                self.now = group_now;
+                let wm = window.lazy_watermark(group_now);
+                self.run_expiry(wm, false, sink);
+            }
+            for &t in &batch[i..i + len] {
+                if t.ts > self.now {
+                    self.now = t.ts;
+                }
+                match t.op {
+                    srpq_common::Op::Insert => self.handle_insert(t, sink),
+                    srpq_common::Op::Delete => self.handle_delete(t, sink),
+                }
+            }
+            i += len;
+        }
+    }
+
     /// Forces an expiry pass at the current eager watermark.
     pub fn expire_now<S: ResultSink>(&mut self, sink: &mut S) {
         let wm = self.config.window.watermark(self.now);
@@ -331,17 +359,16 @@ impl RspqEngine {
         }
         self.stats.nodes_expired += expired.len() as u64;
 
-        // Reconnection for expired marked pairs (lines 6–11).
+        // Reconnection for expired marked pairs (lines 6–11), visiting
+        // only in-edges whose label can reach state `t`.
         let mut budget = self.config.rspq_extend_budget.unwrap_or(u64::MAX);
         for &(v, t) in &dead_marks {
             if tree.is_marked((v, t)) {
                 continue; // reconnected by an earlier candidate's replay
             }
-            for e in self.graph.in_edges(v, wm) {
-                for &(s, t2) in self.query.dfa().transitions_for(e.label) {
-                    if t2 != t {
-                        continue;
-                    }
+            let adj = self.graph.in_view(v);
+            for &(s, label) in self.query.dfa().transitions_into(t) {
+                for e in adj.edges(label, wm) {
                     let occs: Vec<NodeId> = tree.occurrences((e.other, s)).to_vec();
                     for occ in occs {
                         let Some(node) = tree.node(occ) else { continue };
@@ -355,7 +382,7 @@ impl RspqEngine {
                             parent_id: occ,
                             vertex: v,
                             state: t,
-                            via: e.label,
+                            via: label,
                             edge_ts: e.ts,
                         });
                         run_extend(
@@ -517,15 +544,18 @@ fn run_extend<S: ResultSink>(
         // the `Markings` semantics hook.
         let id = tree.add_child(parent_id, vertex, state, via, new_ts);
         idx.note_added(root, vertex);
-        // Lines 14–18: expand through valid window edges.
-        for e in graph.out_edges(vertex, wm) {
-            if let Some(r) = dfa.next(state, e.label) {
+        // Lines 14–18: expand through valid window edges (per-state DFA
+        // transitions × label-partitioned adjacency: only matching
+        // edges are visited, with no per-step allocation).
+        let adj = graph.out_view(vertex);
+        for &(label, r) in dfa.transitions_from(state) {
+            for e in adj.edges(label, wm) {
                 if !tree.path_has(id, e.other, r) && !tree.is_marked((e.other, r)) {
                     work.push(ExtendItem {
                         parent_id: id,
                         vertex: e.other,
                         state: r,
-                        via: e.label,
+                        via: label,
                         edge_ts: e.ts,
                     });
                 }
@@ -561,11 +591,9 @@ fn unmark_and_replay(
         }
     }
     for (v, t) in unmarked {
-        for e in graph.in_edges(v, wm) {
-            for &(s, t2) in dfa.transitions_for(e.label) {
-                if t2 != t {
-                    continue;
-                }
+        let adj = graph.in_view(v);
+        for &(s, label) in dfa.transitions_into(t) {
+            for e in adj.edges(label, wm) {
                 let occs: Vec<NodeId> = tree.occurrences((e.other, s)).to_vec();
                 for occ in occs {
                     let Some(node) = tree.node(occ) else { continue };
@@ -579,7 +607,7 @@ fn unmark_and_replay(
                         parent_id: occ,
                         vertex: v,
                         state: t,
-                        via: e.label,
+                        via: label,
                         edge_ts: e.ts,
                     });
                 }

@@ -1,4 +1,4 @@
-//! The windowed adjacency store.
+//! The windowed adjacency store, label-partitioned.
 //!
 //! Semantics: the window content is a set of labeled edges, each carrying
 //! the timestamp of its **most recent** insertion. Re-inserting an edge
@@ -9,6 +9,27 @@
 //! traversal APIs take a validity watermark and filter on it — exactly
 //! the discipline Algorithms RAPQ/RSPQ apply with their
 //! `(u, s).ts > τ − |W|` guards.
+//!
+//! # Layout
+//!
+//! Adjacency is **partitioned by label**: `out[u][l]` is a contiguous
+//! posting list of `(v, ts)` pairs (and `inc[v][l]` symmetrically), so
+//! the engines' inner loops — "which edges out of `u` carry label `l`
+//! and are still in the window?" — iterate exactly the matching edges,
+//! never scanning or filtering the rest of `u`'s neighborhood. The
+//! traversal APIs ([`WindowGraph::out_edges`], [`WindowGraph::in_edges`])
+//! are borrowing iterators over those lists: no allocation per call.
+//!
+//! Each edge additionally owns a *slot* in a stable arena recording its
+//! `(src, dst, label)`, a generation counter, and the positions of its
+//! two postings. Slots buy O(1) maintenance everywhere:
+//! refresh rewrites both postings through the stored positions,
+//! removal `swap_remove`s them (fixing up the displaced edge's slot),
+//! and the arrival-ordered expiry queue stores `(ts, slot, gen)` so a
+//! queue entry made stale by a refresh or deletion is recognized by a
+//! single indexed load and generation compare — no hash lookups at all
+//! for skipped entries, keeping [`WindowGraph::purge_expired`] amortized
+//! O(#expired) even under refresh-heavy streams.
 
 use srpq_common::{FxHashMap, Label, Timestamp, VertexId};
 use std::collections::VecDeque;
@@ -24,17 +45,90 @@ pub struct EdgeRef {
     pub ts: Timestamp,
 }
 
+/// One adjacency posting: the far endpoint, the edge's current
+/// timestamp (kept inline for cache-friendly traversal), and the owning
+/// slot (for swap-remove fix-ups).
+#[derive(Debug, Clone, Copy)]
+struct Posting {
+    other: VertexId,
+    ts: Timestamp,
+    slot: u32,
+}
+
+/// Per-edge bookkeeping record; the arena index is stable for the
+/// edge's lifetime. Deliberately 24 bytes: the slot is a random-access
+/// structure (the postings carry the timestamp), so density matters.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    src: VertexId,
+    dst: VertexId,
+    label: Label,
+    /// Bumped on every refresh and removal: queue entries carrying an
+    /// older generation are stale and skipped without any map lookup.
+    /// (Also covers liveness — a freed slot's generation was bumped, so
+    /// no stale queue entry can match it, even across slot reuse.)
+    gen: u32,
+    /// Position of this edge's posting in `out[src][label]`.
+    out_pos: u32,
+    /// Position of this edge's posting in `inc[dst][label]`.
+    inc_pos: u32,
+}
+
+/// A borrowed view of one vertex's label-partitioned adjacency (one
+/// direction). Obtained from [`WindowGraph::out_view`] /
+/// [`WindowGraph::in_view`]; serves per-label posting-list scans
+/// without re-hashing the vertex.
+#[derive(Debug, Clone, Copy)]
+pub struct AdjView<'g> {
+    map: Option<&'g FxHashMap<Label, Vec<Posting>>>,
+}
+
+impl<'g> AdjView<'g> {
+    /// Edges carrying `label` with timestamps `> watermark`: a
+    /// borrowing, allocation-free iterator over the posting list.
+    pub fn edges(&self, label: Label, watermark: Timestamp) -> impl Iterator<Item = EdgeRef> + 'g {
+        self.map
+            .and_then(|m| m.get(&label))
+            .into_iter()
+            .flat_map(|list| list.iter())
+            .filter(move |p| p.ts > watermark)
+            .map(move |p| EdgeRef {
+                other: p.other,
+                label,
+                ts: p.ts,
+            })
+    }
+
+    /// Whether the vertex has no stored edges in this direction at all.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_none()
+    }
+}
+
+/// An arrival-ordered expiry queue entry.
+#[derive(Debug, Clone, Copy)]
+struct QueueEntry {
+    ts: Timestamp,
+    slot: u32,
+    gen: u32,
+}
+
 /// The snapshot graph `G_{W,τ}` of a sliding window over a streaming
-/// graph, stored as hash-indexed labeled adjacency in both directions.
+/// graph, stored as label-partitioned adjacency in both directions.
 #[derive(Debug, Default)]
 pub struct WindowGraph {
-    /// `out[u] = {(v, l) → ts}`.
-    out: FxHashMap<VertexId, FxHashMap<(VertexId, Label), Timestamp>>,
-    /// `inc[v] = {(u, l) → ts}`.
-    inc: FxHashMap<VertexId, FxHashMap<(VertexId, Label), Timestamp>>,
-    /// Arrival-ordered queue of (ts, u, v, l) used for O(expired) purge.
-    queue: VecDeque<(Timestamp, VertexId, VertexId, Label)>,
+    /// `out[u][l]` → posting list of `(v, ts)`.
+    out: FxHashMap<VertexId, FxHashMap<Label, Vec<Posting>>>,
+    /// `inc[v][l]` → posting list of `(u, ts)`.
+    inc: FxHashMap<VertexId, FxHashMap<Label, Vec<Posting>>>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Arrival-ordered queue driving O(#expired) purge.
+    queue: VecDeque<QueueEntry>,
     n_edges: usize,
+    n_vertices: usize,
+    purge_pops: u64,
+    purge_stale_skips: u64,
 }
 
 impl WindowGraph {
@@ -50,64 +144,200 @@ impl WindowGraph {
     }
 
     /// Number of vertices with at least one incident stored edge.
+    /// Maintained incrementally — O(1).
     pub fn n_vertices(&self) -> usize {
-        // A vertex appears in `out` or `inc` (or both).
-        let mut n = self.out.len();
-        for v in self.inc.keys() {
-            if !self.out.contains_key(v) {
-                n += 1;
-            }
-        }
-        n
+        self.n_vertices
+    }
+
+    /// Expiry-queue entries popped so far (instrumentation: each pop is
+    /// O(1) and every entry is popped at most once).
+    pub fn purge_pops(&self) -> u64 {
+        self.purge_pops
+    }
+
+    /// Popped entries that were skipped as stale (refreshed or deleted
+    /// edges) by the generation check, without any map lookup.
+    pub fn purge_stale_skips(&self) -> u64 {
+        self.purge_stale_skips
+    }
+
+    /// Current expiry-queue length (instrumentation).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
     }
 
     /// Inserts (or refreshes) edge `u →l v` at time `ts`. Returns `true`
     /// if the edge was not present before.
+    ///
+    /// Existence is resolved by scanning the `(u, l)` posting list —
+    /// for streaming graphs the per-source-per-label degree is small,
+    /// and the scan beats a separate edge→slot hash map (whose every
+    /// probe is a cache miss) by a wide margin.
     pub fn insert(&mut self, u: VertexId, v: VertexId, label: Label, ts: Timestamp) -> bool {
-        let fresh = self
-            .out
-            .entry(u)
-            .or_default()
-            .insert((v, label), ts)
-            .is_none();
-        self.inc.entry(v).or_default().insert((u, label), ts);
-        if fresh {
-            self.n_edges += 1;
+        let out_outer = self.out.entry(u).or_default();
+        let u_first_out = out_outer.is_empty();
+        let out_list = out_outer.entry(label).or_default();
+        if let Some(pos) = out_list.iter().position(|p| p.other == v) {
+            // Refresh: rewrite the timestamp in both postings through
+            // the stored positions — O(1).
+            let id = out_list[pos].slot;
+            out_list[pos].ts = ts;
+            let slot = &mut self.slots[id as usize];
+            slot.gen = slot.gen.wrapping_add(1);
+            let (inc_pos, gen) = (slot.inc_pos, slot.gen);
+            self.inc
+                .get_mut(&v)
+                .expect("live edge has inc postings")
+                .get_mut(&label)
+                .expect("live edge has inc postings")[inc_pos as usize]
+                .ts = ts;
+            self.queue.push_back(QueueEntry { ts, slot: id, gen });
+            return false;
         }
-        self.queue.push_back((ts, u, v, label));
-        fresh
+        let out_pos = out_list.len() as u32;
+        // Slot arena write (inc_pos patched below — same cache line,
+        // effectively free). Reuse a freed slot or append.
+        let (id, gen) = match self.free.pop() {
+            Some(id) => {
+                let slot = &mut self.slots[id as usize];
+                *slot = Slot {
+                    src: u,
+                    dst: v,
+                    label,
+                    gen: slot.gen,
+                    out_pos,
+                    inc_pos: 0,
+                };
+                (id, slot.gen)
+            }
+            None => {
+                self.slots.push(Slot {
+                    src: u,
+                    dst: v,
+                    label,
+                    gen: 0,
+                    out_pos,
+                    inc_pos: 0,
+                });
+                ((self.slots.len() - 1) as u32, 0)
+            }
+        };
+        out_list.push(Posting {
+            other: v,
+            ts,
+            slot: id,
+        });
+        // Presence transitions: a vertex joins the graph exactly when
+        // its (pruned-empty) outer adjacency entries are both absent.
+        // The outer entries are touched here anyway, so the maintained
+        // vertex count costs at most one extra lookup per *first* edge.
+        if u_first_out && !self.inc.contains_key(&u) {
+            self.n_vertices += 1;
+        }
+        let inc_outer = self.inc.entry(v).or_default();
+        let v_first_inc = inc_outer.is_empty();
+        let inc_list = inc_outer.entry(label).or_default();
+        let inc_pos = inc_list.len() as u32;
+        inc_list.push(Posting {
+            other: u,
+            ts,
+            slot: id,
+        });
+        if v_first_inc && !self.out.contains_key(&v) {
+            self.n_vertices += 1;
+        }
+        self.slots[id as usize].inc_pos = inc_pos;
+        self.queue.push_back(QueueEntry { ts, slot: id, gen });
+        self.n_edges += 1;
+        true
     }
 
     /// Removes edge `u →l v` (explicit deletion). Returns its timestamp
     /// if it was present.
     pub fn remove(&mut self, u: VertexId, v: VertexId, label: Label) -> Option<Timestamp> {
-        let ts = self.remove_out(u, v, label)?;
-        self.remove_inc(u, v, label);
+        let list = self.out.get(&u)?.get(&label)?;
+        let pos = list.iter().position(|p| p.other == v)?;
+        let id = list[pos].slot;
+        Some(self.remove_slot(id))
+    }
+
+    /// Removes the edge owning `id` through its stored posting
+    /// positions — no scans, no edge-key hashing. The slot must be live.
+    fn remove_slot(&mut self, id: u32) -> Timestamp {
+        let slot = self.slots[id as usize];
+        let (u_out_gone, ts) = Self::detach_posting(
+            &mut self.out,
+            &mut self.slots,
+            slot.src,
+            slot.label,
+            slot.out_pos,
+            false,
+        );
+        let (v_inc_gone, _) = Self::detach_posting(
+            &mut self.inc,
+            &mut self.slots,
+            slot.dst,
+            slot.label,
+            slot.inc_pos,
+            true,
+        );
+        self.slots[id as usize].gen = slot.gen.wrapping_add(1);
+        self.free.push(id);
         self.n_edges -= 1;
-        Some(ts)
-    }
-
-    fn remove_out(&mut self, u: VertexId, v: VertexId, label: Label) -> Option<Timestamp> {
-        let m = self.out.get_mut(&u)?;
-        let ts = m.remove(&(v, label))?;
-        if m.is_empty() {
-            self.out.remove(&u);
+        // Presence transitions (see `insert`): a vertex leaves the graph
+        // when its last outer entry is pruned and the opposite direction
+        // holds nothing either.
+        if u_out_gone && !self.inc.contains_key(&slot.src) {
+            self.n_vertices -= 1;
         }
-        Some(ts)
+        if slot.dst != slot.src && v_inc_gone && !self.out.contains_key(&slot.dst) {
+            self.n_vertices -= 1;
+        }
+        ts
     }
 
-    fn remove_inc(&mut self, u: VertexId, v: VertexId, label: Label) {
-        if let Some(m) = self.inc.get_mut(&v) {
-            m.remove(&(u, label));
-            if m.is_empty() {
-                self.inc.remove(&v);
+    /// Swap-removes the posting at `pos` from `adj[vertex][label]`,
+    /// repairing the displaced edge's stored position, and pruning empty
+    /// containers. Returns whether the vertex's outer entry was removed
+    /// (its last edge in this direction) and the removed posting's
+    /// timestamp.
+    fn detach_posting(
+        adj: &mut FxHashMap<VertexId, FxHashMap<Label, Vec<Posting>>>,
+        slots: &mut [Slot],
+        vertex: VertexId,
+        label: Label,
+        pos: u32,
+        inc_side: bool,
+    ) -> (bool, Timestamp) {
+        let by_label = adj.get_mut(&vertex).expect("posting parent exists");
+        let list = by_label.get_mut(&label).expect("posting list exists");
+        let removed = list.swap_remove(pos as usize);
+        if let Some(moved) = list.get(pos as usize) {
+            let ms = &mut slots[moved.slot as usize];
+            if inc_side {
+                ms.inc_pos = pos;
+            } else {
+                ms.out_pos = pos;
             }
         }
+        if list.is_empty() {
+            by_label.remove(&label);
+            if by_label.is_empty() {
+                adj.remove(&vertex);
+                return (true, removed.ts);
+            }
+        }
+        (false, removed.ts)
     }
 
     /// The current timestamp of edge `u →l v`, if present.
     pub fn edge_ts(&self, u: VertexId, v: VertexId, label: Label) -> Option<Timestamp> {
-        self.out.get(&u)?.get(&(v, label)).copied()
+        self.out
+            .get(&u)?
+            .get(&label)?
+            .iter()
+            .find(|p| p.other == v)
+            .map(|p| p.ts)
     }
 
     /// Whether edge `u →l v` is present and valid after `watermark`.
@@ -123,27 +353,74 @@ impl WindowGraph {
 
     /// Purges every edge whose timestamp is `<= watermark`. Returns the
     /// number of edges removed. Amortized O(#expired) thanks to the
-    /// arrival-ordered queue.
+    /// arrival-ordered queue; entries stale-ified by refreshes or
+    /// deletions are skipped on a generation compare alone.
     pub fn purge_expired(&mut self, watermark: Timestamp) -> usize {
         let mut removed = 0;
-        while let Some(&(ts, u, v, l)) = self.queue.front() {
+        while let Some(&QueueEntry { ts, slot, gen }) = self.queue.front() {
             if ts > watermark {
                 break;
             }
             self.queue.pop_front();
-            // Only remove if the stored timestamp still matches: a newer
-            // re-insertion refreshes the edge, leaving a stale queue entry
-            // that we simply skip.
-            if self.edge_ts(u, v, l) == Some(ts) {
-                self.remove(u, v, l);
-                removed += 1;
+            self.purge_pops += 1;
+            // A refresh or removal bumped the generation: the queued
+            // entry no longer describes the stored edge (freed slots
+            // bump too, so this also covers liveness and slot reuse).
+            // Skip before touching any map.
+            if self.slots[slot as usize].gen != gen {
+                self.purge_stale_skips += 1;
+                continue;
             }
+            self.remove_slot(slot);
+            removed += 1;
         }
         removed
     }
 
-    /// Out-edges of `u` with timestamps `> watermark`.
+    /// Out-edges of `u` labeled `label` with timestamps `> watermark`.
+    /// Borrowing iterator over the posting list: zero allocation,
+    /// O(matching edges).
     pub fn out_edges(
+        &self,
+        u: VertexId,
+        label: Label,
+        watermark: Timestamp,
+    ) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.out_view(u).edges(label, watermark)
+    }
+
+    /// In-edges of `v` labeled `label` with timestamps `> watermark`.
+    pub fn in_edges(
+        &self,
+        v: VertexId,
+        label: Label,
+        watermark: Timestamp,
+    ) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.in_view(v).edges(label, watermark)
+    }
+
+    /// A borrowed view of `u`'s out-adjacency: hashes `u` once, then
+    /// serves any number of per-label edge scans. The engines hoist
+    /// this out of their per-DFA-transition loops.
+    #[inline]
+    pub fn out_view(&self, u: VertexId) -> AdjView<'_> {
+        AdjView {
+            map: self.out.get(&u),
+        }
+    }
+
+    /// A borrowed view of `v`'s in-adjacency.
+    #[inline]
+    pub fn in_view(&self, v: VertexId) -> AdjView<'_> {
+        AdjView {
+            map: self.inc.get(&v),
+        }
+    }
+
+    /// Out-edges of `u` across **all** labels with timestamps
+    /// `> watermark` (baselines and snapshot exports; the engines use
+    /// the label-partitioned [`Self::out_edges`]).
+    pub fn out_edges_any(
         &self,
         u: VertexId,
         watermark: Timestamp,
@@ -152,16 +429,18 @@ impl WindowGraph {
             .get(&u)
             .into_iter()
             .flat_map(|m| m.iter())
-            .filter(move |(_, &ts)| ts > watermark)
-            .map(|(&(v, l), &ts)| EdgeRef {
-                other: v,
-                label: l,
-                ts,
+            .flat_map(|(&label, list)| list.iter().map(move |p| (label, p)))
+            .filter(move |(_, p)| p.ts > watermark)
+            .map(|(label, p)| EdgeRef {
+                other: p.other,
+                label,
+                ts: p.ts,
             })
     }
 
-    /// In-edges of `v` with timestamps `> watermark`.
-    pub fn in_edges(
+    /// In-edges of `v` across **all** labels with timestamps
+    /// `> watermark`.
+    pub fn in_edges_any(
         &self,
         v: VertexId,
         watermark: Timestamp,
@@ -170,11 +449,12 @@ impl WindowGraph {
             .get(&v)
             .into_iter()
             .flat_map(|m| m.iter())
-            .filter(move |(_, &ts)| ts > watermark)
-            .map(|(&(u, l), &ts)| EdgeRef {
-                other: u,
-                label: l,
-                ts,
+            .flat_map(|(&label, list)| list.iter().map(move |p| (label, p)))
+            .filter(move |(_, p)| p.ts > watermark)
+            .map(|(label, p)| EdgeRef {
+                other: p.other,
+                label,
+                ts: p.ts,
             })
     }
 
@@ -183,12 +463,12 @@ impl WindowGraph {
     pub fn vertices(&self, watermark: Timestamp) -> Vec<VertexId> {
         let mut out: Vec<VertexId> = Vec::new();
         for (&u, m) in &self.out {
-            if m.values().any(|&ts| ts > watermark) {
+            if m.values().flatten().any(|p| p.ts > watermark) {
                 out.push(u);
             }
         }
         for (&v, m) in &self.inc {
-            if !self.out.contains_key(&v) && m.values().any(|&ts| ts > watermark) {
+            if !self.out.contains_key(&v) && m.values().flatten().any(|p| p.ts > watermark) {
                 out.push(v);
             }
         }
@@ -202,9 +482,11 @@ impl WindowGraph {
     pub fn edges(&self, watermark: Timestamp) -> Vec<(VertexId, VertexId, Label, Timestamp)> {
         let mut out = Vec::with_capacity(self.n_edges);
         for (&u, m) in &self.out {
-            for (&(v, l), &ts) in m {
-                if ts > watermark {
-                    out.push((u, v, l, ts));
+            for (&l, list) in m {
+                for p in list {
+                    if p.ts > watermark {
+                        out.push((u, p.other, l, p.ts));
+                    }
                 }
             }
         }
@@ -245,6 +527,15 @@ mod tests {
         assert!(!g.insert(v(0), v(1), l(0), Timestamp(9)));
         assert_eq!(g.n_edges(), 1);
         assert_eq!(g.edge_ts(v(0), v(1), l(0)), Some(Timestamp(9)));
+        // Both traversal directions see the refreshed timestamp.
+        assert_eq!(
+            g.out_edges(v(0), l(0), NEG).next().map(|e| e.ts),
+            Some(Timestamp(9))
+        );
+        assert_eq!(
+            g.in_edges(v(1), l(0), NEG).next().map(|e| e.ts),
+            Some(Timestamp(9))
+        );
     }
 
     #[test]
@@ -253,7 +544,21 @@ mod tests {
         g.insert(v(0), v(1), l(0), Timestamp(1));
         g.insert(v(0), v(1), l(1), Timestamp(2));
         assert_eq!(g.n_edges(), 2);
-        assert_eq!(g.out_edges(v(0), NEG).count(), 2);
+        assert_eq!(g.out_edges(v(0), l(0), NEG).count(), 1);
+        assert_eq!(g.out_edges(v(0), l(1), NEG).count(), 1);
+        assert_eq!(g.out_edges_any(v(0), NEG).count(), 2);
+    }
+
+    #[test]
+    fn label_partition_iterates_only_matching_edges() {
+        let mut g = WindowGraph::new();
+        for i in 1..=10 {
+            g.insert(v(0), v(i), l(i % 3), Timestamp(i as i64));
+        }
+        let only_l0: Vec<_> = g.out_edges(v(0), l(0), NEG).collect();
+        assert_eq!(only_l0.len(), 3); // i = 3, 6, 9
+        assert!(only_l0.iter().all(|e| e.label == l(0)));
+        assert_eq!(g.out_edges_any(v(0), NEG).count(), 10);
     }
 
     #[test]
@@ -262,11 +567,31 @@ mod tests {
         g.insert(v(0), v(1), l(0), Timestamp(1));
         assert_eq!(g.remove(v(0), v(1), l(0)), Some(Timestamp(1)));
         assert_eq!(g.n_edges(), 0);
-        assert_eq!(g.out_edges(v(0), NEG).count(), 0);
-        assert_eq!(g.in_edges(v(1), NEG).count(), 0);
+        assert_eq!(g.out_edges(v(0), l(0), NEG).count(), 0);
+        assert_eq!(g.in_edges(v(1), l(0), NEG).count(), 0);
         assert_eq!(g.n_vertices(), 0);
         // Double delete is a no-op.
         assert_eq!(g.remove(v(0), v(1), l(0)), None);
+    }
+
+    #[test]
+    fn swap_remove_repairs_displaced_positions() {
+        // Three same-label edges out of one vertex; removing the first
+        // swap-moves the last into its place, and that edge must remain
+        // fully maintainable (refresh + remove) afterwards.
+        let mut g = WindowGraph::new();
+        g.insert(v(0), v(1), l(0), Timestamp(1));
+        g.insert(v(0), v(2), l(0), Timestamp(2));
+        g.insert(v(0), v(3), l(0), Timestamp(3));
+        g.remove(v(0), v(1), l(0));
+        assert!(!g.insert(v(0), v(3), l(0), Timestamp(9))); // refresh
+        assert_eq!(g.edge_ts(v(0), v(3), l(0)), Some(Timestamp(9)));
+        let mut seen: Vec<_> = g.out_edges(v(0), l(0), NEG).map(|e| e.other).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![v(2), v(3)]);
+        assert_eq!(g.remove(v(0), v(3), l(0)), Some(Timestamp(9)));
+        assert_eq!(g.remove(v(0), v(2), l(0)), Some(Timestamp(2)));
+        assert_eq!(g.n_edges(), 0);
     }
 
     #[test]
@@ -274,7 +599,7 @@ mod tests {
         let mut g = WindowGraph::new();
         g.insert(v(0), v(1), l(0), Timestamp(5));
         g.insert(v(0), v(2), l(0), Timestamp(15));
-        let visible: Vec<_> = g.out_edges(v(0), Timestamp(10)).collect();
+        let visible: Vec<_> = g.out_edges(v(0), l(0), Timestamp(10)).collect();
         assert_eq!(visible.len(), 1);
         assert_eq!(visible[0].other, v(2));
         assert!(g.contains_valid(v(0), v(2), l(0), Timestamp(10)));
@@ -301,11 +626,49 @@ mod tests {
         g.insert(v(0), v(1), l(0), Timestamp(10)); // refresh
         let removed = g.purge_expired(Timestamp(5));
         assert_eq!(removed, 0);
+        assert_eq!(g.purge_stale_skips(), 1);
         assert_eq!(g.edge_ts(v(0), v(1), l(0)), Some(Timestamp(10)));
         // Later purge removes it exactly once.
         let removed = g.purge_expired(Timestamp(10));
         assert_eq!(removed, 1);
         assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    fn purge_work_is_bounded_by_stream_length_under_refresh() {
+        // O(expired) pin: a refresh-heavy stream (every edge refreshed
+        // `refreshes` times) must cost at most one queue pop per queued
+        // entry over the whole run, with every stale entry skipped by
+        // the generation check (no per-skip map work to count — the
+        // counters expose exactly how many pops and skips happened).
+        let n = 50u32;
+        let refreshes = 9i64;
+        let mut g = WindowGraph::new();
+        let mut queued = 0u64;
+        for round in 0..=refreshes {
+            for i in 0..n {
+                g.insert(v(i), v(i + 1), l(0), Timestamp(round * 100 + i as i64));
+                queued += 1;
+            }
+        }
+        // Purge below every *current* timestamp: only the stale
+        // (superseded) entries leave the queue; nothing is removed.
+        let removed = g.purge_expired(Timestamp(refreshes * 100 - 1));
+        assert_eq!(removed, 0);
+        assert_eq!(g.n_edges(), n as usize);
+        assert_eq!(g.purge_stale_skips(), queued - n as u64);
+        assert_eq!(g.purge_pops(), queued - n as u64);
+        assert_eq!(g.queue_len(), n as usize);
+        // Final purge pops each live entry exactly once: total pops over
+        // the graph's lifetime equal total queued entries — O(stream),
+        // i.e. amortized O(1) per tuple, O(#expired) per purge call.
+        let removed = g.purge_expired(Timestamp(i64::MAX - 1));
+        assert_eq!(removed, n as usize);
+        assert_eq!(g.purge_pops(), queued);
+        assert_eq!(g.queue_len(), 0);
+        // Idempotent afterwards: no queue, no pops.
+        assert_eq!(g.purge_expired(Timestamp(i64::MAX - 1)), 0);
+        assert_eq!(g.purge_pops(), queued);
     }
 
     #[test]
@@ -324,7 +687,22 @@ mod tests {
         g.remove(v(0), v(1), l(0));
         // The queue entry is stale; purge must skip it gracefully.
         assert_eq!(g.purge_expired(Timestamp(5)), 0);
+        assert_eq!(g.purge_stale_skips(), 1);
         assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    fn slot_reuse_does_not_confuse_purge() {
+        // Remove an edge, insert a different edge (reusing the slot) at
+        // a timestamp equal to the dead edge's: the dead edge's queue
+        // entry must not purge the new edge.
+        let mut g = WindowGraph::new();
+        g.insert(v(0), v(1), l(0), Timestamp(5));
+        g.remove(v(0), v(1), l(0));
+        g.insert(v(2), v(3), l(0), Timestamp(200));
+        assert_eq!(g.purge_expired(Timestamp(5)), 0);
+        assert_eq!(g.edge_ts(v(2), v(3), l(0)), Some(Timestamp(200)));
+        assert_eq!(g.n_edges(), 1);
     }
 
     #[test]
@@ -344,9 +722,24 @@ mod tests {
         let mut g = WindowGraph::new();
         g.insert(v(0), v(0), l(0), Timestamp(1));
         assert_eq!(g.n_vertices(), 1);
-        assert_eq!(g.out_edges(v(0), NEG).count(), 1);
-        assert_eq!(g.in_edges(v(0), NEG).count(), 1);
+        assert_eq!(g.out_edges(v(0), l(0), NEG).count(), 1);
+        assert_eq!(g.in_edges(v(0), l(0), NEG).count(), 1);
         g.remove(v(0), v(0), l(0));
+        assert_eq!(g.n_vertices(), 0);
+    }
+
+    #[test]
+    fn n_vertices_tracks_mixed_churn() {
+        let mut g = WindowGraph::new();
+        g.insert(v(0), v(1), l(0), Timestamp(1));
+        g.insert(v(1), v(2), l(0), Timestamp(2));
+        g.insert(v(0), v(1), l(1), Timestamp(3));
+        assert_eq!(g.n_vertices(), 3);
+        g.remove(v(0), v(1), l(0));
+        assert_eq!(g.n_vertices(), 3); // 0—1 still linked via l(1)
+        g.remove(v(0), v(1), l(1));
+        assert_eq!(g.n_vertices(), 2); // v0 gone
+        g.purge_expired(Timestamp(100));
         assert_eq!(g.n_vertices(), 0);
     }
 }

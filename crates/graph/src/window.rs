@@ -57,6 +57,36 @@ impl WindowPolicy {
     pub fn crosses_slide(&self, prev: Timestamp, now: Timestamp) -> bool {
         self.window_end(prev) != self.window_end(now)
     }
+
+    /// Splits off the leading slide-aligned group of a timestamp-ordered
+    /// batch: given the engine clock `now` and a non-empty `batch` with
+    /// timestamp projection `ts_of`, returns `(len, group_now)` where
+    /// `len` is the maximal prefix length whose per-tuple processing
+    /// crosses no slide boundary after the first tuple, and `group_now`
+    /// is the clock value on entering the group (`ts_of(&batch[0])
+    /// .max(now)` — late tuples never regress the clock). The batched
+    /// engines check for a boundary (and run expiry) once per group
+    /// instead of once per tuple.
+    pub fn slide_group<T>(
+        &self,
+        now: Timestamp,
+        batch: &[T],
+        ts_of: impl Fn(&T) -> Timestamp,
+    ) -> (usize, Timestamp) {
+        let group_now = ts_of(&batch[0]).max(now);
+        let group_we = self.window_end(group_now);
+        let mut clock = group_now;
+        let mut len = 0;
+        while len < batch.len() {
+            let next = ts_of(&batch[len]).max(clock);
+            if self.window_end(next) != group_we {
+                break;
+            }
+            clock = next;
+            len += 1;
+        }
+        (len, group_now)
+    }
 }
 
 impl Default for WindowPolicy {
@@ -97,6 +127,51 @@ mod tests {
         assert!(p.crosses_slide(Timestamp(4), Timestamp(5)));
         assert!(p.crosses_slide(Timestamp(4), Timestamp(23)));
         assert!(!p.crosses_slide(Timestamp(5), Timestamp(9)));
+    }
+
+    #[test]
+    fn slide_group_cuts_at_window_end_changes() {
+        let p = WindowPolicy::new(10, 5);
+        let ts: Vec<Timestamp> = [1, 2, 4, 5, 7, 11].map(Timestamp).to_vec();
+        // From clock -∞ (first batch): group is [1, 2, 4] (window end 0).
+        let (len, now) = p.slide_group(Timestamp::NEG_INFINITY, &ts, |&t| t);
+        assert_eq!((len, now), (3, Timestamp(1)));
+        // Next group starts at 5 (window end 5), spans [5, 7].
+        let (len, now) = p.slide_group(Timestamp(4), &ts[3..], |&t| t);
+        assert_eq!((len, now), (2, Timestamp(5)));
+        // Late tuples never regress the clock: from clock 7, a ts-5
+        // tuple stays in clock-7's group.
+        let (len, now) = p.slide_group(Timestamp(7), &[Timestamp(5)], |&t| t);
+        assert_eq!((len, now), (1, Timestamp(7)));
+    }
+
+    #[test]
+    fn slide_group_matches_per_tuple_crossing() {
+        // Walking a stream group-by-group fires exactly where per-tuple
+        // crosses_slide fires.
+        let p = WindowPolicy::new(7, 3);
+        let ts: Vec<Timestamp> = (0..40i64).map(|i| Timestamp(i / 2 + i % 3)).collect();
+        let mut per_tuple = Vec::new();
+        let mut now = Timestamp(0);
+        for &t in &ts {
+            let next = t.max(now);
+            if p.crosses_slide(now, next) {
+                per_tuple.push(t);
+            }
+            now = next;
+        }
+        let mut grouped = Vec::new();
+        let mut now = Timestamp(0);
+        let mut i = 0;
+        while i < ts.len() {
+            let (len, group_now) = p.slide_group(now, &ts[i..], |&t| t);
+            if p.crosses_slide(now, group_now) {
+                grouped.push(ts[i]);
+            }
+            now = ts[i..i + len].iter().fold(group_now, |c, &t| t.max(c));
+            i += len;
+        }
+        assert_eq!(per_tuple, grouped);
     }
 
     #[test]
