@@ -1,0 +1,224 @@
+//! Durability experiment: logging overhead vs fsync policy, and
+//! recovery latency vs window size for both checkpoint strategies, on
+//! the gMark smoke workload.
+//!
+//! Expected shape: `sync=none` and `sync=batch` cost a few percent over
+//! the undurable baseline (one buffered write — plus one fsync for
+//! `batch` — per 256-tuple chunk), while `sync=always` pays an fsync
+//! per tuple and collapses throughput. Recovery grows with window size
+//! for both strategies, with `logical` dominated by the Δ rebuild
+//! replay and `full` by checkpoint decode — the gap is the price of the
+//! smaller logical checkpoint files.
+//!
+//! Pass `--json FILE` to write the rows as a JSON array
+//! (`BENCH_recovery.json` in CI).
+
+use srpq_bench::{gmark_fixture, json_path_from_args, jsonout, scale_from_args};
+use srpq_core::engine::{Engine, PathSemantics};
+use srpq_core::multi::{MultiQueryEngine, MultiSink};
+use srpq_core::sink::CountSink;
+use srpq_core::EngineConfig;
+use srpq_graph::WindowPolicy;
+use srpq_persist::{CheckpointStrategy, DurabilityConfig, Durable, SyncPolicy};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const BATCH: usize = 256;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("srpq-bench-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn make_engine(expr: &str, labels: &srpq_common::LabelInterner, window: WindowPolicy) -> Engine {
+    let mut labels = labels.clone();
+    let query = srpq_automata::CompiledQuery::compile(expr, &mut labels).expect("query compiles");
+    Engine::new(
+        query,
+        EngineConfig::with_window(window),
+        PathSemantics::Arbitrary,
+    )
+}
+
+/// Drives the stream through a fresh durable wrapper; returns elapsed
+/// seconds plus the wrapper for inspection.
+fn run_durable(
+    engine: Engine,
+    tuples: &[srpq_common::StreamTuple],
+    dir: &std::path::Path,
+    cfg: DurabilityConfig,
+) -> (f64, Durable<Engine>) {
+    let mut durable = Durable::create(engine, dir, cfg).expect("init durable dir");
+    let mut sink = CountSink::default();
+    let t0 = Instant::now();
+    for chunk in tuples.chunks(BATCH) {
+        durable
+            .process_batch(chunk, &mut sink)
+            .expect("durable ingest");
+    }
+    (t0.elapsed().as_secs_f64(), durable)
+}
+
+fn checkpoint_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("ck"))
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum()
+}
+
+fn main() {
+    let _scale = scale_from_args();
+    let (ds, queries) = gmark_fixture(1, 8);
+    let span = ds.time_span().map(|(a, b)| b - a).unwrap_or(1).max(1);
+    let mut rows: Vec<String> = Vec::new();
+
+    // ---- Part 1: logging overhead vs fsync policy -------------------
+    //
+    // The realistic serving shape: all eight smoke queries registered
+    // on one multi-query engine, one shared WAL. The WAL is paid once
+    // per batch regardless of query count, so this measures logging
+    // against actual evaluation work, not against an idle engine.
+    // Checkpointing is disabled here (it is a separate axis, measured
+    // in part 2); the one manifest checkpoint from `create` is outside
+    // the timed loop.
+    println!("# Logging overhead: 8 smoke queries, one shared WAL (batch {BATCH})");
+    println!("sync,throughput_tps,baseline_tps,overhead_pct,wal_bytes,fsyncs");
+    let window = WindowPolicy::new((span / 4).max(4), (span / 40).max(1));
+    let make_multi = || {
+        let mut labels = ds.labels.clone();
+        let mut multi = MultiQueryEngine::with_config(EngineConfig::with_window(window));
+        for (qi, q) in queries.iter().enumerate() {
+            let query = srpq_automata::CompiledQuery::compile(&q.expr, &mut labels)
+                .expect("query compiles");
+            multi.register(format!("g{qi}"), query, PathSemantics::Arbitrary);
+        }
+        multi
+    };
+    struct CountMulti(u64);
+    impl MultiSink for CountMulti {
+        fn emit(
+            &mut self,
+            _id: srpq_core::QueryId,
+            _pair: srpq_common::ResultPair,
+            _ts: srpq_common::Timestamp,
+        ) {
+            self.0 += 1;
+        }
+    }
+    let total_tuples = ds.tuples.len() as f64;
+    // Min-of-3 baseline to steady the reference point.
+    let mut baseline = f64::MAX;
+    for _ in 0..3 {
+        let mut multi = make_multi();
+        let mut sink = CountMulti(0);
+        let t0 = Instant::now();
+        for chunk in ds.tuples.chunks(BATCH) {
+            multi.process_batch(chunk, &mut sink);
+        }
+        baseline = baseline.min(t0.elapsed().as_secs_f64());
+    }
+    let baseline_tps = total_tuples / baseline;
+    for sync in [SyncPolicy::None, SyncPolicy::Batch, SyncPolicy::Always] {
+        let tag = match sync {
+            SyncPolicy::None => "none",
+            SyncPolicy::Batch => "batch",
+            SyncPolicy::Always => "always",
+        };
+        let cfg = DurabilityConfig {
+            sync,
+            strategy: CheckpointStrategy::Logical,
+            checkpoint_every: 0,
+            segment_bytes: 16 << 20,
+        };
+        let mut best = f64::MAX;
+        let mut counters = None;
+        for round in 0..3 {
+            let dir = tmpdir(&format!("log-{tag}-{round}"));
+            let mut durable = Durable::create(make_multi(), &dir, cfg).expect("init durable dir");
+            let mut sink = CountMulti(0);
+            let t0 = Instant::now();
+            for chunk in ds.tuples.chunks(BATCH) {
+                durable
+                    .process_batch(chunk, &mut sink)
+                    .expect("durable ingest");
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+            counters = Some(durable.counters());
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        let c = counters.expect("at least one round ran");
+        let tps = total_tuples / best;
+        let overhead = (best / baseline - 1.0) * 100.0;
+        println!(
+            "{tag},{tps:.0},{baseline_tps:.0},{overhead:.1},{},{}",
+            c.wal_bytes, c.fsyncs
+        );
+        rows.push(jsonout::obj(&[
+            ("kind", jsonout::Val::S("logging".into())),
+            ("workload", jsonout::Val::S("gmark-smoke-multi8".into())),
+            ("sync", jsonout::Val::S(tag.into())),
+            ("throughput_tps", jsonout::Val::F(tps)),
+            ("baseline_tps", jsonout::Val::F(baseline_tps)),
+            ("overhead_pct", jsonout::Val::F(overhead)),
+            ("wal_bytes", jsonout::Val::U(c.wal_bytes)),
+            ("fsyncs", jsonout::Val::U(c.fsyncs)),
+        ]));
+    }
+
+    // ---- Part 2: recovery latency vs window size --------------------
+    println!("# Recovery latency vs window size (query g4)");
+    println!("strategy,window,live_edges,delta_nodes,checkpoint_bytes,recover_ms");
+    let expr = &queries[4].expr;
+    let mut labels = ds.labels.clone();
+    for div in [16i64, 8, 4, 2] {
+        let window = WindowPolicy::new((span / div).max(4), (span / (div * 10)).max(1));
+        for strategy in [CheckpointStrategy::Logical, CheckpointStrategy::Full] {
+            let dir = tmpdir(&format!("rec-{div}-{strategy}"));
+            let cfg = DurabilityConfig {
+                sync: SyncPolicy::None,
+                strategy,
+                checkpoint_every: 0, // manual checkpoint at stream end
+                segment_bytes: 4 << 20,
+            };
+            let engine = make_engine(expr, &ds.labels, window);
+            let (_, mut durable) = run_durable(engine, &ds.tuples, &dir, cfg);
+            durable.checkpoint().expect("final checkpoint");
+            let live_edges = durable.inner().graph().n_edges() as u64;
+            let delta_nodes = durable.inner().index_size().nodes as u64;
+            let ckpt_bytes = checkpoint_bytes(&dir);
+            drop(durable); // crash
+
+            let t0 = Instant::now();
+            let (recovered, report) =
+                Durable::<Engine>::recover(&dir, &mut labels, cfg).expect("recovery succeeds");
+            let recover_ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(recovered.inner().graph().n_edges() as u64, live_edges);
+            assert_eq!(report.replayed_tuples, 0);
+            println!(
+                "{strategy},{},{live_edges},{delta_nodes},{ckpt_bytes},{recover_ms:.2}",
+                window.window_size
+            );
+            rows.push(jsonout::obj(&[
+                ("kind", jsonout::Val::S("recovery".into())),
+                ("strategy", jsonout::Val::S(strategy.to_string())),
+                ("window", jsonout::Val::U(window.window_size as u64)),
+                ("live_edges", jsonout::Val::U(live_edges)),
+                ("delta_nodes", jsonout::Val::U(delta_nodes)),
+                ("checkpoint_bytes", jsonout::Val::U(ckpt_bytes)),
+                ("recover_ms", jsonout::Val::F(recover_ms)),
+            ]));
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    if let Some(path) = json_path_from_args() {
+        jsonout::write_array(&path, &rows).expect("write JSON report");
+        eprintln!("wrote {}", path.display());
+    }
+}

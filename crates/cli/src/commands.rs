@@ -9,6 +9,7 @@ use srpq_core::sink::{CollectSink, CountSink};
 use srpq_core::EngineConfig;
 use srpq_datagen::{gmark, ldbc, so, yago, Dataset};
 use srpq_graph::WindowPolicy;
+use srpq_persist::{CheckpointStrategy, DurabilityConfig, Durable, SyncPolicy};
 use std::path::Path;
 use std::time::Instant;
 
@@ -18,7 +19,12 @@ const USAGE: &str = "usage:
   srpq explain QUERY
   srpq run --query QUERY --stream FILE [--window W] [--slide B]
            [--semantics arbitrary|simple] [--print-results] [--limit N]
-           [--batch N]";
+           [--batch N] [--stats] [--refresh none|node|subtree]
+           [--wal-dir DIR [--checkpoint-every N] [--sync none|batch|always]
+            [--checkpoint logical|full]]
+  srpq recover --wal-dir DIR --stream FILE [--batch N] [--print-results]
+           [--limit N] [--stats] [--sync ...] [--checkpoint-every N]
+  srpq wal-info --wal-dir DIR";
 
 /// Dispatches a command line.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -28,9 +34,30 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("info") => cmd_info(&args),
         Some("explain") => cmd_explain(&args),
         Some("run") => cmd_run(&args),
+        Some("recover") => cmd_recover(&args),
+        Some("wal-info") => cmd_wal_info(&args),
         Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
         None => Err(USAGE.to_string()),
     }
+}
+
+/// Parses the shared durability options.
+fn durability_config(args: &Args) -> Result<DurabilityConfig, String> {
+    let sync = match args.get("sync") {
+        None => SyncPolicy::Batch,
+        Some(s) => SyncPolicy::parse(s).ok_or(format!("unknown --sync {s:?}"))?,
+    };
+    let strategy = match args.get("checkpoint") {
+        None => CheckpointStrategy::Logical,
+        Some(s) => CheckpointStrategy::parse(s).ok_or(format!("unknown --checkpoint {s:?}"))?,
+    };
+    let checkpoint_every: u64 = args.get_num("checkpoint-every", 8u64)?;
+    Ok(DurabilityConfig {
+        sync,
+        strategy,
+        checkpoint_every,
+        segment_bytes: args.get_num("segment-bytes", 4u64 << 20)?,
+    })
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
@@ -199,119 +226,315 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
     }
     let query = CompiledQuery::from_regex(parsed, &mut labels);
-    let mut engine = Engine::new(
-        query,
-        EngineConfig::with_window(WindowPolicy::new(window.max(1), slide.max(1))),
-        semantics,
+    let mut config = EngineConfig::with_window(WindowPolicy::new(window.max(1), slide.max(1)));
+    config.refresh = match args.get("refresh").unwrap_or("node") {
+        "none" => srpq_core::config::RefreshPolicy::None,
+        "node" => srpq_core::config::RefreshPolicy::Node,
+        // Canonical Δ timestamps: with `--wal-dir --checkpoint logical`
+        // this makes recovery timestamp-exact (see srpq_persist docs).
+        "subtree" => srpq_core::config::RefreshPolicy::Subtree,
+        other => return Err(format!("unknown refresh policy {other:?}")),
+    };
+    let engine = Engine::new(query, config, semantics);
+
+    let mut host = match args.get("wal-dir") {
+        Some(dir) => EngineHost::Durable(
+            Durable::create(engine, Path::new(dir), durability_config(args)?)
+                .map_err(|e| e.to_string())?,
+        ),
+        None => EngineHost::Plain(engine),
+    };
+    let outcome = drive_stream(
+        &mut host,
+        &tuples,
+        0,
+        limit,
+        batch,
+        args.flag("print-results"),
+    )?;
+    print_summary(
+        args, &query_src, semantics, window, slide, batch, &outcome, &host,
     );
+    Ok(())
+}
 
-    let print = args.flag("print-results");
+fn cmd_recover(args: &Args) -> Result<(), String> {
+    let wal_dir = args.require("wal-dir")?.to_string();
+    let path = args.require("stream")?.to_string();
+    let (mut labels, tuples) = streamfile::load(Path::new(&path))?;
+    let limit: usize = args.get_num("limit", usize::MAX)?;
+    let batch: usize = args.get_num("batch", 1usize)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".to_string());
+    }
+    let (durable, report) =
+        Durable::<Engine>::recover(Path::new(&wal_dir), &mut labels, durability_config(args)?)
+            .map_err(|e| e.to_string())?;
+    eprintln!(
+        "recovered:    checkpoint @{} ({}), {} WAL tuples replayed in {} ms",
+        report.checkpoint_seq, report.strategy, report.replayed_tuples, report.elapsed_ms
+    );
+    let resume = report.resume_seq as usize;
+    if resume > tuples.len() {
+        return Err(format!(
+            "durable state covers {} tuples but the stream file holds only {}",
+            resume,
+            tuples.len()
+        ));
+    }
+    eprintln!(
+        "resuming:     stream position {resume} of {} ({} tuples left)",
+        tuples.len(),
+        tuples.len() - resume
+    );
+    let query_src = durable.inner().query().regex().to_string();
+    let semantics = durable.inner().semantics();
+    let window = durable.inner().config().window;
+    let mut host = EngineHost::Durable(durable);
+    let outcome = drive_stream(
+        &mut host,
+        &tuples,
+        resume,
+        limit,
+        batch,
+        args.flag("print-results"),
+    )?;
+    print_summary(
+        args,
+        &query_src,
+        semantics,
+        window.window_size,
+        window.slide,
+        batch,
+        &outcome,
+        &host,
+    );
+    Ok(())
+}
+
+fn cmd_wal_info(args: &Args) -> Result<(), String> {
+    let dir = Path::new(args.require("wal-dir")?);
+    // Strictly read-only: no directory creation, no torn-tail repair —
+    // inspecting post-crash state must not alter it.
+    let (info, batches) = srpq_persist::Wal::inspect(dir).map_err(|e| e.to_string())?;
+    println!("wal dir:     {}", dir.display());
+    println!("segments:    {}", info.segments);
+    println!("records:     {}", info.records);
+    println!("tuples:      {}", info.tuples);
+    println!("bytes:       {}", info.bytes);
+    println!("seq range:   [{}, {})", info.seq_range.0, info.seq_range.1);
+    match info.ts_range {
+        Some((lo, hi)) => println!("ts range:    [{lo}, {hi}]"),
+        None => println!("ts range:    (empty)"),
+    }
+    let deletions: u64 = batches
+        .iter()
+        .flat_map(|b| &b.tuples)
+        .filter(|t| !t.is_insert())
+        .count() as u64;
+    println!("deletions:   {deletions}");
+    match srpq_persist::checkpoint::load_latest(dir).map_err(|e| e.to_string())? {
+        Some((header, payload)) => {
+            println!(
+                "checkpoint:  seq {} ({}, engine kind {}, {} bytes)",
+                header.seq,
+                header.strategy,
+                header.kind,
+                payload.len()
+            );
+            if header.seq < info.seq_range.1 {
+                println!(
+                    "recovery:    would replay {} tuples on top of the checkpoint",
+                    info.seq_range.1 - header.seq
+                );
+            } else {
+                println!("recovery:    checkpoint covers the whole log");
+            }
+        }
+        None => println!("checkpoint:  (none — this directory is not recoverable)"),
+    }
+    Ok(())
+}
+
+/// A plain or durability-wrapped engine behind one ingestion interface.
+/// (The durable variant is much bigger; exactly one host exists per
+/// process, so boxing would buy nothing.)
+#[allow(clippy::large_enum_variant)]
+enum EngineHost {
+    Plain(Engine),
+    Durable(Durable<Engine>),
+}
+
+impl EngineHost {
+    fn engine(&self) -> &Engine {
+        match self {
+            EngineHost::Plain(e) => e,
+            EngineHost::Durable(d) => d.inner(),
+        }
+    }
+
+    fn process_batch<S: srpq_core::sink::ResultSink>(
+        &mut self,
+        chunk: &[srpq_common::StreamTuple],
+        sink: &mut S,
+    ) -> Result<(), String> {
+        match self {
+            EngineHost::Plain(e) => {
+                e.process_batch(chunk, sink);
+                Ok(())
+            }
+            EngineHost::Durable(d) => d.process_batch(chunk, sink).map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// What one drive produced (for the summary footer).
+struct RunOutcome {
+    processed: usize,
+    relevant: u64,
+    histogram: LatencyHistogram,
+    elapsed: std::time::Duration,
+}
+
+/// Drives `tuples[start..]` (capped by `limit`) through the host in
+/// `batch`-sized chunks, measuring mean per-relevant-tuple latency per
+/// chunk, printing results when `print` is set.
+fn drive_stream(
+    host: &mut EngineHost,
+    tuples: &[StreamTuple],
+    start: usize,
+    limit: usize,
+    batch: usize,
+    print: bool,
+) -> Result<RunOutcome, String> {
+    let end = tuples.len().min(start.saturating_add(limit));
+    let slice = &tuples[start.min(end)..end];
     let mut histogram = LatencyHistogram::new();
-    let started = Instant::now();
     let mut relevant = 0u64;
-
+    let started = Instant::now();
+    fn chunk_loop<S: srpq_core::sink::ResultSink>(
+        host: &mut EngineHost,
+        slice: &[StreamTuple],
+        batch: usize,
+        histogram: &mut LatencyHistogram,
+        relevant: &mut u64,
+        sink: &mut S,
+    ) -> Result<(), String> {
+        for chunk in slice.chunks(batch.max(1)) {
+            let chunk_relevant = chunk
+                .iter()
+                .filter(|t| host.engine().query().dfa().knows_label(t.label))
+                .count() as u64;
+            *relevant += chunk_relevant;
+            let t0 = Instant::now();
+            host.process_batch(chunk, sink)?;
+            if let Some(per_tuple) = (t0.elapsed().as_nanos() as u64).checked_div(chunk_relevant) {
+                histogram.record(per_tuple);
+            }
+        }
+        Ok(())
+    }
     if print {
-        let mut sink = CollectSink::default();
-        run_stream(
-            &mut engine,
-            &tuples,
-            limit,
+        let mut collect = CollectSink::default();
+        chunk_loop(
+            host,
+            slice,
             batch,
-            &mut sink,
             &mut histogram,
             &mut relevant,
-        );
-        for &(p, ts) in sink.emitted() {
+            &mut collect,
+        )?;
+        for &(p, ts) in collect.emitted() {
             println!("[{ts}] + ({}, {})", p.src.0, p.dst.0);
         }
     } else {
-        let mut sink = CountSink::default();
-        run_stream(
-            &mut engine,
-            &tuples,
-            limit,
+        let mut count = CountSink::default();
+        chunk_loop(
+            host,
+            slice,
             batch,
-            &mut sink,
             &mut histogram,
             &mut relevant,
-        );
+            &mut count,
+        )?;
     }
-    let elapsed = started.elapsed();
+    Ok(RunOutcome {
+        processed: slice.len(),
+        relevant,
+        histogram,
+        elapsed: started.elapsed(),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn print_summary(
+    args: &Args,
+    query_src: &str,
+    semantics: PathSemantics,
+    window: i64,
+    slide: i64,
+    batch: usize,
+    outcome: &RunOutcome,
+    host: &EngineHost,
+) {
+    let engine = host.engine();
     let stats = engine.stats();
     eprintln!("--");
     eprintln!("query:        {query_src}");
     eprintln!("semantics:    {semantics:?}  window |W|={window} slide β={slide}  batch={batch}",);
     eprintln!(
         "tuples:       {} total, {} relevant, {} discarded",
-        tuples.len().min(limit),
-        relevant,
-        stats.tuples_discarded
+        outcome.processed, outcome.relevant, stats.tuples_discarded
     );
     eprintln!("results:      {}", engine.result_count());
     eprintln!(
         "throughput:   {:.0} relevant edges/s",
-        relevant as f64 / elapsed.as_secs_f64()
+        outcome.relevant as f64 / outcome.elapsed.as_secs_f64()
     );
     eprintln!(
         "latency:      mean {:.1}us p99 {:.1}us",
-        histogram.mean() / 1e3,
-        histogram.p99() as f64 / 1e3
+        outcome.histogram.mean() / 1e3,
+        outcome.histogram.p99() as f64 / 1e3
     );
     eprintln!("delta index:  {:?}", engine.index_size());
     eprintln!(
         "conflicts:    {} detected, {} unmarked",
         stats.conflicts_detected, stats.nodes_unmarked
     );
-    Ok(())
-}
-
-fn run_one<S: srpq_core::sink::ResultSink>(
-    engine: &mut Engine,
-    t: StreamTuple,
-    sink: &mut S,
-    histogram: &mut LatencyHistogram,
-    relevant: &mut u64,
-) {
-    if engine.query().dfa().knows_label(t.label) {
-        *relevant += 1;
-        let t0 = Instant::now();
-        engine.process(t, sink);
-        histogram.record(t0.elapsed().as_nanos() as u64);
-    } else {
-        engine.process(t, sink);
+    if let EngineHost::Durable(d) = host {
+        let info = d.wal_info();
+        eprintln!(
+            "wal:          {} records / {} bytes in {} segments under {}",
+            info.records,
+            info.bytes,
+            info.segments,
+            d.dir().display()
+        );
+        eprintln!(
+            "checkpoint:   latest @{} ({} written this run)",
+            d.last_checkpoint_seq(),
+            d.counters().checkpoints_written
+        );
     }
-}
-
-/// Drives the stream either per tuple (`batch == 1`, per-tuple latency)
-/// or through [`Engine::process_batch`] in `batch`-sized chunks (the
-/// histogram then records each chunk's mean per-relevant-tuple cost).
-fn run_stream<S: srpq_core::sink::ResultSink>(
-    engine: &mut Engine,
-    tuples: &[StreamTuple],
-    limit: usize,
-    batch: usize,
-    sink: &mut S,
-    histogram: &mut LatencyHistogram,
-    relevant: &mut u64,
-) {
-    let n = tuples.len().min(limit);
-    if batch <= 1 {
-        for &t in &tuples[..n] {
-            run_one(engine, t, sink, histogram, relevant);
-        }
-        return;
-    }
-    for chunk in tuples[..n].chunks(batch) {
-        let chunk_relevant = chunk
-            .iter()
-            .filter(|t| engine.query().dfa().knows_label(t.label))
-            .count() as u64;
-        *relevant += chunk_relevant;
-        let t0 = Instant::now();
-        engine.process_batch(chunk, sink);
-        if let Some(per_tuple) = (t0.elapsed().as_nanos() as u64).checked_div(chunk_relevant) {
-            histogram.record(per_tuple);
-        }
+    if args.flag("stats") {
+        eprintln!("stats:");
+        eprintln!("  tuples_processed     {}", stats.tuples_processed);
+        eprintln!("  tuples_discarded     {}", stats.tuples_discarded);
+        eprintln!("  deletions_processed  {}", stats.deletions_processed);
+        eprintln!("  insert_calls         {}", stats.insert_calls);
+        eprintln!("  results_emitted      {}", stats.results_emitted);
+        eprintln!("  results_invalidated  {}", stats.results_invalidated);
+        eprintln!("  expiry_runs          {}", stats.expiry_runs);
+        eprintln!("  nodes_expired        {}", stats.nodes_expired);
+        eprintln!("  expiry_nanos         {}", stats.expiry_nanos);
+        eprintln!("  conflicts_detected   {}", stats.conflicts_detected);
+        eprintln!("  nodes_unmarked       {}", stats.nodes_unmarked);
+        eprintln!("  budget_exhausted     {}", stats.budget_exhausted);
+        eprintln!("  wal_bytes            {}", stats.wal_bytes);
+        eprintln!("  wal_appends          {}", stats.wal_appends);
+        eprintln!("  fsyncs               {}", stats.fsyncs);
+        eprintln!("  checkpoints_written  {}", stats.checkpoints_written);
+        eprintln!("  last_recovery_ms     {}", stats.last_recovery_ms);
     }
 }
 
@@ -382,5 +605,157 @@ mod tests {
         ]))
         .is_err());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn durable_run_recover_wal_info_round_trip() {
+        let dir = std::env::temp_dir().join(format!("srpq-cli-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let stream = dir.join("s.srpq");
+        let stream_s = stream.to_str().unwrap().to_string();
+        let wal = dir.join("wal");
+        let wal_s = wal.to_str().unwrap().to_string();
+        dispatch(&argv(&[
+            "gen",
+            "--dataset",
+            "so",
+            "--out",
+            &stream_s,
+            "--edges",
+            "1500",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        // Durable run over a prefix only: simulates a crash at --limit.
+        dispatch(&argv(&[
+            "run",
+            "--query",
+            "a2q c2a*",
+            "--stream",
+            &stream_s,
+            "--limit",
+            "900",
+            "--batch",
+            "64",
+            "--wal-dir",
+            &wal_s,
+            "--checkpoint-every",
+            "2",
+            "--sync",
+            "batch",
+            "--stats",
+        ]))
+        .unwrap();
+        dispatch(&argv(&["wal-info", "--wal-dir", &wal_s])).unwrap();
+        // Recover and finish the stream.
+        dispatch(&argv(&[
+            "recover",
+            "--wal-dir",
+            &wal_s,
+            "--stream",
+            &stream_s,
+            "--batch",
+            "64",
+            "--stats",
+        ]))
+        .unwrap();
+        // A second run into the same directory must refuse.
+        assert!(dispatch(&argv(&[
+            "run",
+            "--query",
+            "a2q c2a*",
+            "--stream",
+            &stream_s,
+            "--wal-dir",
+            &wal_s,
+        ]))
+        .is_err());
+        // Bad durability options are rejected.
+        assert!(dispatch(&argv(&[
+            "run",
+            "--query",
+            "a2q",
+            "--stream",
+            &stream_s,
+            "--wal-dir",
+            &wal_s,
+            "--sync",
+            "nope",
+        ]))
+        .is_err());
+        // Recovering a directory without state is an error.
+        let empty = dir.join("empty-wal");
+        assert!(dispatch(&argv(&[
+            "recover",
+            "--wal-dir",
+            empty.to_str().unwrap(),
+            "--stream",
+            &stream_s,
+        ]))
+        .is_err());
+        // wal-info on a missing directory errors and must not create it
+        // (the command is strictly read-only).
+        let missing = dir.join("no-such-wal");
+        assert!(dispatch(&argv(&["wal-info", "--wal-dir", missing.to_str().unwrap()])).is_err());
+        assert!(!missing.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn full_checkpoint_run_recovers() {
+        let dir = std::env::temp_dir().join(format!("srpq-cli-full-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let stream = dir.join("s.srpq");
+        let stream_s = stream.to_str().unwrap().to_string();
+        let wal = dir.join("wal");
+        let wal_s = wal.to_str().unwrap().to_string();
+        dispatch(&argv(&[
+            "gen",
+            "--dataset",
+            "so",
+            "--out",
+            &stream_s,
+            "--edges",
+            "1200",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "run",
+            "--query",
+            "a2q c2a*",
+            "--stream",
+            &stream_s,
+            "--limit",
+            "700",
+            "--batch",
+            "32",
+            "--wal-dir",
+            &wal_s,
+            "--checkpoint",
+            "full",
+            "--checkpoint-every",
+            "1",
+            "--sync",
+            "none",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "recover",
+            "--wal-dir",
+            &wal_s,
+            "--stream",
+            &stream_s,
+            "--batch",
+            "32",
+            "--checkpoint",
+            "full",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

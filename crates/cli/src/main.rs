@@ -4,12 +4,19 @@
 //! srpq gen --dataset so|ldbc|yago|gmark --out FILE [--edges N] [--seed S]
 //! srpq explain QUERY
 //! srpq run --query QUERY --stream FILE [--window W] [--slide B]
-//!          [--semantics arbitrary|simple] [--print-results]
+//!          [--semantics arbitrary|simple] [--print-results] [--stats]
+//!          [--wal-dir DIR [--checkpoint-every N] [--sync none|batch|always]
+//!           [--checkpoint logical|full]]
+//! srpq recover --wal-dir DIR --stream FILE [--print-results] [--stats]
+//! srpq wal-info --wal-dir DIR
 //! srpq info --stream FILE
 //! ```
 //!
 //! Stream files are the `srpq_common::wire` format: a label-name header
-//! (count + newline-separated names) followed by fixed-width tuples.
+//! (count + newline-separated names) followed by fixed-width tuples and
+//! a CRC32 footer. With `--wal-dir`, `run` logs every batch to a
+//! write-ahead log and checkpoints periodically; `recover` restores the
+//! engine after a crash and resumes the stream where durable state ends.
 
 mod args;
 mod commands;

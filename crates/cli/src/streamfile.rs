@@ -1,23 +1,33 @@
-//! Stream-file format: label header + wire-encoded tuples.
+//! Stream-file format: label header + wire-encoded tuples + CRC footer.
 //!
 //! ```text
-//! magic  "SRPQ1\n"
+//! magic  "SRPQ2\n"
 //! u32le  label count
 //! label names, one per line (id order)
-//! wire-encoded tuples (srpq_common::wire, 25 bytes each)
+//! wire-encoded tuples (srpq_common::wire, 21 bytes each)
+//! footer "SQCR" + u32le crc32 of everything before the footer
 //! ```
+//!
+//! The footer shares the WAL's checksum module
+//! ([`srpq_common::crc32::crc32`]), so corrupt stream files are detected
+//! instead of silently mis-decoded. Legacy `SRPQ1` files (no footer,
+//! no checksum) are still read.
 
-use srpq_common::{wire, LabelInterner, StreamTuple};
+use srpq_common::{crc32, wire, LabelInterner, StreamTuple, Timestamp};
 use srpq_datagen::Dataset;
 use std::fs;
 use std::path::Path;
 
-const MAGIC: &[u8] = b"SRPQ1\n";
+const MAGIC_V2: &[u8] = b"SRPQ2\n";
+const MAGIC_V1: &[u8] = b"SRPQ1\n";
+const FOOTER_MAGIC: &[u8] = b"SQCR";
+const FOOTER_BYTES: usize = 4 + 4;
 
-/// Serializes a dataset to a stream file.
+/// Serializes a dataset to a stream file (always the checksummed v2
+/// format).
 pub fn save(ds: &Dataset, path: &Path) -> Result<(), String> {
     let mut buf = Vec::new();
-    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(MAGIC_V2);
     let mut names = Vec::new();
     let mut i = 0u32;
     while let Some(name) = ds.labels.resolve(srpq_common::Label(i)) {
@@ -32,36 +42,81 @@ pub fn save(ds: &Dataset, path: &Path) -> Result<(), String> {
     for t in &ds.tuples {
         wire::encode_tuple(&mut buf, t);
     }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(FOOTER_MAGIC);
+    buf.extend_from_slice(&crc.to_le_bytes());
     fs::write(path, &buf).map_err(|e| format!("write {}: {e}", path.display()))
 }
 
-/// Loads a stream file.
+/// Loads a stream file (v2 with checksum verification, legacy v1
+/// without). Rejects truncated or garbled headers, label tables,
+/// tuples, checksum mismatches, and tuples carrying negative event
+/// timestamps (the wire codec itself is sign-agnostic; this is the
+/// boundary where garbage stops).
 pub fn load(path: &Path) -> Result<(LabelInterner, Vec<StreamTuple>), String> {
     let data = fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-    let mut buf = &data[..];
-    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
-        return Err("not a SRPQ1 stream file".into());
-    }
-    buf = &buf[MAGIC.len()..];
-    if buf.len() < 4 {
-        return Err("truncated header".into());
-    }
-    let n_labels = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    let mut buf: &[u8] = match () {
+        _ if data.starts_with(MAGIC_V2) => {
+            // Verify and strip the footer before parsing anything else.
+            if data.len() < MAGIC_V2.len() + FOOTER_BYTES {
+                return Err("truncated stream file (no footer)".into());
+            }
+            let body_len = data.len() - FOOTER_BYTES;
+            let (body, footer) = data.split_at(body_len);
+            if &footer[..4] != FOOTER_MAGIC {
+                return Err("corrupt stream file: bad footer magic".into());
+            }
+            let stored = u32::from_le_bytes(
+                footer[4..]
+                    .try_into()
+                    .map_err(|_| "corrupt stream file: short footer".to_string())?,
+            );
+            if crc32(body) != stored {
+                return Err("corrupt stream file: checksum mismatch".into());
+            }
+            &body[MAGIC_V2.len()..]
+        }
+        _ if data.starts_with(MAGIC_V1) => &data[MAGIC_V1.len()..],
+        _ => return Err("not a SRPQ stream file".into()),
+    };
+
+    let Some(count_bytes) = buf.get(..4) else {
+        return Err("truncated header (label count)".into());
+    };
+    let n_labels = u32::from_le_bytes(count_bytes.try_into().unwrap()) as usize;
     buf = &buf[4..];
+    if n_labels > buf.len() {
+        return Err(format!("implausible label count {n_labels}"));
+    }
     let mut labels = LabelInterner::new();
-    for _ in 0..n_labels {
+    for i in 0..n_labels {
         let end = buf
             .iter()
             .position(|&b| b == b'\n')
-            .ok_or("truncated label table")?;
+            .ok_or(format!("truncated label table at entry {i}"))?;
         let name =
-            std::str::from_utf8(&buf[..end]).map_err(|_| "label name not UTF-8".to_string())?;
+            std::str::from_utf8(&buf[..end]).map_err(|_| format!("label {i} is not UTF-8"))?;
         labels.intern(name);
         buf = &buf[end + 1..];
     }
+    if !buf.len().is_multiple_of(wire::TUPLE_WIRE_SIZE) {
+        return Err(format!(
+            "tuple section is {} bytes, not a multiple of {}",
+            buf.len(),
+            wire::TUPLE_WIRE_SIZE
+        ));
+    }
     let mut tuples = Vec::with_capacity(buf.len() / wire::TUPLE_WIRE_SIZE);
     while !buf.is_empty() {
-        let t = wire::decode_tuple(&mut buf).ok_or("malformed tuple")?;
+        let t = wire::decode_tuple(&mut buf)
+            .ok_or(format!("malformed tuple at index {}", tuples.len()))?;
+        if t.ts < Timestamp::ZERO {
+            return Err(format!(
+                "tuple {} carries negative timestamp {}",
+                tuples.len(),
+                t.ts
+            ));
+        }
         tuples.push(t);
     }
     Ok((labels, tuples))
@@ -72,18 +127,26 @@ mod tests {
     use super::*;
     use srpq_datagen::so;
 
-    #[test]
-    fn round_trip() {
-        let ds = so::generate(&so::SoConfig {
+    fn testdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("srpq-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_dataset() -> Dataset {
+        so::generate(&so::SoConfig {
             n_users: 20,
             n_edges: 100,
             duration: 500,
             seed: 1,
             preferential: 0.5,
-        });
-        let dir = std::env::temp_dir().join("srpq-cli-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("roundtrip.srpq");
+        })
+    }
+
+    #[test]
+    fn round_trip() {
+        let ds = sample_dataset();
+        let path = testdir().join("roundtrip.srpq");
         save(&ds, &path).unwrap();
         let (labels, tuples) = load(&path).unwrap();
         assert_eq!(tuples, ds.tuples);
@@ -94,11 +157,74 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        let dir = std::env::temp_dir().join("srpq-cli-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("garbage.srpq");
+        let path = testdir().join("garbage.srpq");
         std::fs::write(&path, b"not a stream").unwrap();
         assert!(load(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn detects_bit_rot_via_checksum() {
+        let ds = sample_dataset();
+        let path = testdir().join("bitrot.srpq");
+        save(&ds, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.contains("checksum"), "got: {err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn reads_legacy_footerless_files() {
+        // A v1 file is a v2 file with the old magic and no footer.
+        let ds = sample_dataset();
+        let path = testdir().join("legacy.srpq");
+        save(&ds, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let mut legacy = Vec::from(MAGIC_V1);
+        legacy.extend_from_slice(&bytes[MAGIC_V2.len()..bytes.len() - FOOTER_BYTES]);
+        std::fs::write(&path, &legacy).unwrap();
+        let (labels, tuples) = load(&path).unwrap();
+        assert_eq!(tuples, ds.tuples);
+        assert_eq!(labels.len(), ds.labels.len());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncations_error_cleanly() {
+        let ds = sample_dataset();
+        let path = testdir().join("trunc.srpq");
+        save(&ds, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Sweep a few truncation points: header, label table, tuples,
+        // footer. Every one must error, never panic.
+        for keep in [3, 7, 9, 20, bytes.len() - FOOTER_BYTES - 3, bytes.len() - 2] {
+            std::fs::write(&path, &bytes[..keep]).unwrap();
+            assert!(load(&path).is_err(), "prefix of {keep} bytes accepted");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn negative_timestamps_rejected_at_boundary() {
+        // Craft a legacy (no-checksum) file holding a negative-ts tuple.
+        let mut buf = Vec::from(MAGIC_V1);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(b"a\n");
+        let t = StreamTuple::insert(
+            Timestamp(-3),
+            srpq_common::VertexId(0),
+            srpq_common::VertexId(1),
+            srpq_common::Label(0),
+        );
+        wire::encode_tuple(&mut buf, &t);
+        let path = testdir().join("negts.srpq");
+        std::fs::write(&path, &buf).unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.contains("negative timestamp"), "got: {err}");
         std::fs::remove_file(path).ok();
     }
 }

@@ -1,0 +1,112 @@
+//! CRC32 (IEEE 802.3 polynomial) — the shared checksum of every
+//! on-disk artifact in the workspace.
+//!
+//! The write-ahead log (`srpq_persist::wal`), the checkpoint files
+//! (`srpq_persist::checkpoint`), and the CLI stream-file footer all
+//! guard their bytes with this checksum so that torn writes and bit rot
+//! are detected instead of silently mis-decoded. Table-driven,
+//! reflected, `!0` initial value and final inversion — the same
+//! parameters as zlib's `crc32`, so external tooling can verify the
+//! files.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// A streaming CRC32 hasher (feed chunks, then [`Crc32::finish`]).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        }
+        self.state = crc;
+    }
+
+    /// The checksum over everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard zlib test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"hello streaming rpq world";
+        let mut h = Crc32::new();
+        h.update(&data[..7]);
+        h.update(&data[7..]);
+        assert_eq!(h.finish(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        let base = crc32(&data);
+        for byte in [0usize, 100, 255] {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+}

@@ -13,10 +13,13 @@
 //!   experiment harnesses to report p50/p99/p999.
 //! * [`wire`] — a tiny length-prefixed binary codec for persisting streams
 //!   of sgts (used by the benchmark harness to snapshot datasets).
+//! * [`mod@crc32`] — the shared CRC32 checksum guarding every on-disk artifact
+//!   (WAL records, checkpoints, stream files).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod crc32;
 pub mod hash;
 pub mod histogram;
 pub mod ids;
@@ -24,6 +27,7 @@ pub mod interner;
 pub mod tuple;
 pub mod wire;
 
+pub use crc32::{crc32, Crc32};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use histogram::LatencyHistogram;
 pub use ids::{Label, StateId, Timestamp, VertexId};

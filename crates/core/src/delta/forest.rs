@@ -1,6 +1,7 @@
 //! The Δ forest: all spanning trees plus the vertex → trees reverse
 //! index.
 
+use super::snapshot::{SnapshotExt, TreeSnap};
 use super::{Tree, TreeSemantics};
 use srpq_common::{FxHashMap, StateId, VertexId};
 
@@ -174,5 +175,33 @@ impl<X: TreeSemantics> Forest<X> {
             ));
         }
         Ok(())
+    }
+}
+
+impl<X: SnapshotExt> Forest<X> {
+    /// Captures a faithful snapshot of every tree (`Full` checkpoints),
+    /// sorted by root vertex for deterministic encoding.
+    pub fn to_snapshot(&self) -> Vec<TreeSnap> {
+        let mut snaps: Vec<TreeSnap> = self.trees.values().map(Tree::to_snapshot).collect();
+        snaps.sort_unstable_by_key(|s| s.root);
+        snaps
+    }
+
+    /// Rebuilds a forest from tree snapshots; the reverse index is
+    /// recomputed from the restored trees.
+    pub fn from_snapshot(snaps: Vec<TreeSnap>) -> Result<Forest<X>, String> {
+        let mut forest = Forest::new();
+        for snap in snaps {
+            let root = snap.root;
+            let tree = Tree::from_snapshot(snap).map_err(|e| format!("tree {root}: {e}"))?;
+            for (_, n) in tree.iter() {
+                forest.index.note_added(root, n.vertex);
+            }
+            if forest.trees.insert(root, tree).is_some() {
+                return Err(format!("duplicate tree root {root}"));
+            }
+        }
+        forest.validate()?;
+        Ok(forest)
     }
 }

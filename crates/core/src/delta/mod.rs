@@ -40,6 +40,7 @@
 //!    pruning in `ExpiryRAPQ`/`ExpiryRSPQ` sound.
 
 mod forest;
+mod snapshot;
 mod tree;
 mod unique;
 
@@ -47,6 +48,7 @@ mod unique;
 mod tests;
 
 pub use forest::{Forest, RevIndex};
+pub use snapshot::{NodeSnap, SnapshotExt, TreeSnap};
 pub use tree::{Node, Tree};
 pub use unique::Unique;
 

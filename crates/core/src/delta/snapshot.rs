@@ -1,0 +1,71 @@
+//! Exact structural snapshots of Δ trees — the substrate of `Full`
+//! checkpoints (`srpq_persist`).
+//!
+//! A [`TreeSnap`] captures a [`super::Tree`] *faithfully*: arena slot
+//! assignment, the free list, occurrence order, children order, and the
+//! semantics extension's state (RSPQ markings). Faithfulness matters
+//! because arena ids leak into behaviour — marks point at node ids,
+//! freed slots decide where future nodes land, and expiry iterates the
+//! arena in slot order — so a restored tree must continue *exactly*
+//! where the checkpointed one stopped, not merely hold an equivalent
+//! node set.
+
+use super::{NodeId, PairKey, TreeSemantics};
+use srpq_common::{Label, StateId, Timestamp, VertexId};
+
+/// One live arena slot of a tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSnap {
+    /// Arena slot index.
+    pub id: NodeId,
+    /// Graph vertex.
+    pub vertex: VertexId,
+    /// Automaton state.
+    pub state: StateId,
+    /// Parent slot, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Label of the connecting graph edge (meaningless for the root).
+    pub via_label: Label,
+    /// Minimum edge timestamp along the root path.
+    pub ts: Timestamp,
+    /// Child slots, in the tree's stored order.
+    pub children: Vec<NodeId>,
+}
+
+/// A faithful structural snapshot of one spanning tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeSnap {
+    /// Root vertex `x`.
+    pub root: VertexId,
+    /// Start state `s0` of the root key `(x, s0)`.
+    pub root_state: StateId,
+    /// Arena slot of the root.
+    pub root_id: NodeId,
+    /// Total arena length (live + freed slots).
+    pub arena_len: u32,
+    /// Freed slots, in pop order (the *last* entry is reused first).
+    pub free: Vec<NodeId>,
+    /// Live nodes, ascending slot order.
+    pub nodes: Vec<NodeSnap>,
+    /// Occurrence lists per pair, each in attachment order (oldest —
+    /// canonical — first). Sorted by key for deterministic encoding.
+    pub occurrences: Vec<(PairKey, Vec<NodeId>)>,
+    /// RSPQ marking set `M_x` (empty for RAPQ trees), sorted by key.
+    pub marks: Vec<(PairKey, NodeId)>,
+    /// RSPQ dead-mark queue, in drain order (empty for RAPQ trees).
+    pub dead_marks: Vec<PairKey>,
+}
+
+/// Semantics extensions that can round-trip through a [`TreeSnap`].
+///
+/// [`super::Unique`] (RAPQ) carries no state; the RSPQ `Markings`
+/// extension exports/imports its marking map and dead-mark queue.
+pub trait SnapshotExt: TreeSemantics {
+    /// Exports the extension state as `(marks, dead_marks)`.
+    fn export(&self) -> (Vec<(PairKey, NodeId)>, Vec<PairKey>) {
+        (Vec::new(), Vec::new())
+    }
+
+    /// Rebuilds the extension from exported state.
+    fn import(marks: Vec<(PairKey, NodeId)>, dead_marks: Vec<PairKey>) -> Self;
+}

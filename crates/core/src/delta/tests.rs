@@ -340,6 +340,92 @@ impl TreeSemantics for Recorder {
     }
 }
 
+// ---------------------------------------------------------------------
+// Snapshots: faithful round trips for Full checkpoints.
+// ---------------------------------------------------------------------
+
+#[test]
+fn unique_forest_snapshot_round_trips() {
+    let mut f: Forest<Unique> = Forest::new();
+    f.ensure_tree(v(0), s(0));
+    let (t, idx) = f.tree_with_index(v(0)).unwrap();
+    t.add((v(1), s(1)), (v(0), s(0)), l(0), Timestamp(5));
+    idx.note_added(v(0), v(1));
+    t.add((v(2), s(2)), (v(1), s(1)), l(1), Timestamp(4));
+    idx.note_added(v(0), v(2));
+    t.add((v(3), s(1)), (v(0), s(0)), l(0), Timestamp(7));
+    idx.note_added(v(0), v(3));
+    // Remove one node so the free list is non-empty.
+    t.remove_all_keys(&[(v(2), s(2))]);
+    idx.note_removed(v(0), v(2));
+    f.ensure_tree(v(5), s(0));
+    f.validate().unwrap();
+
+    let restored = Forest::<Unique>::from_snapshot(f.to_snapshot()).unwrap();
+    assert_eq!(restored.n_trees(), f.n_trees());
+    assert_eq!(restored.n_nodes(), f.n_nodes());
+    assert_eq!(restored.to_snapshot(), f.to_snapshot());
+    let rt = restored.tree(v(0)).unwrap();
+    assert_eq!(rt.ts((v(1), s(1))), Some(Timestamp(5)));
+    assert_eq!(rt.parent_key((v(3), s(1))), Some((v(0), s(0))));
+    // The freed arena slot is reused identically on both sides: slot
+    // assignment is part of the faithful contract.
+    let mut f2 = f;
+    let mut r2 = restored;
+    f2.tree_mut(v(0))
+        .unwrap()
+        .add((v(9), s(2)), (v(1), s(1)), l(1), Timestamp(6));
+    r2.tree_mut(v(0))
+        .unwrap()
+        .add((v(9), s(2)), (v(1), s(1)), l(1), Timestamp(6));
+    assert_eq!(
+        f2.tree(v(0)).unwrap().first_occurrence((v(9), s(2))),
+        r2.tree(v(0)).unwrap().first_occurrence((v(9), s(2)))
+    );
+}
+
+#[test]
+fn markings_snapshot_preserves_marks_and_duplicates() {
+    let mut t: Tree<Markings> = Tree::new(v(0), s(0));
+    let a = t.add_child(t.root_id(), v(1), s(1), l(0), Timestamp(5));
+    let b = t.add_child(a, v(2), s(1), l(1), Timestamp(4));
+    // A duplicate occurrence of (v2, s1) plus an unmark, as conflict
+    // replay would produce.
+    let b2 = t.add_child(t.root_id(), v(2), s(1), l(0), Timestamp(6));
+    t.unmark((v(1), s(1)));
+    t.validate().unwrap();
+    let snap = t.to_snapshot();
+    let restored = Tree::<Markings>::from_snapshot(snap.clone()).unwrap();
+    assert_eq!(restored.to_snapshot(), snap);
+    assert_eq!(restored.occurrences((v(2), s(1))), &[b, b2]);
+    assert!(!restored.is_marked((v(1), s(1))));
+    assert!(restored.is_marked((v(2), s(1))));
+    assert_eq!(restored.n_marked(), t.n_marked());
+}
+
+#[test]
+fn corrupt_snapshots_are_rejected() {
+    let mut t: Tree<Unique> = Tree::new(v(0), s(0));
+    t.add((v(1), s(1)), (v(0), s(0)), l(0), Timestamp(5));
+    let good = t.to_snapshot();
+
+    let mut bad = good.clone();
+    bad.nodes[1].parent = Some(99); // dangling parent
+    assert!(Tree::<Unique>::from_snapshot(bad).is_err());
+
+    let mut bad = good.clone();
+    bad.free.push(1); // "free" slot that is live
+    assert!(Tree::<Unique>::from_snapshot(bad).is_err());
+
+    let mut bad = good.clone();
+    bad.occurrences.clear(); // index out of sync
+    assert!(Tree::<Unique>::from_snapshot(bad).is_err());
+
+    let mut bad = good;
+    bad.nodes[0].ts = Timestamp(0); // root below its child: inversion
+    assert!(Tree::<Unique>::from_snapshot(bad).is_err());
+}
+
 #[test]
 fn semantics_hooks_observe_every_mutation() {
     let mut t: Tree<Recorder> = Tree::new(v(0), s(0));

@@ -1,5 +1,6 @@
 //! The arena-backed spanning tree shared by both engines.
 
+use super::snapshot::{NodeSnap, SnapshotExt, TreeSnap};
 use super::{NodeId, PairKey, TreeSemantics};
 use srpq_common::{FxHashMap, Label, StateId, Timestamp, VertexId};
 
@@ -504,5 +505,102 @@ impl<X: TreeSemantics> Tree<X> {
             }
         }
         self.ext.validate(self)
+    }
+}
+
+impl<X: SnapshotExt> Tree<X> {
+    /// Captures a faithful structural snapshot of this tree (`Full`
+    /// checkpoints): arena slot assignment, free list, occurrence order,
+    /// children order, and extension state all survive the round trip.
+    pub fn to_snapshot(&self) -> TreeSnap {
+        let nodes = self
+            .iter()
+            .map(|(id, n)| NodeSnap {
+                id,
+                vertex: n.vertex,
+                state: n.state,
+                parent: n.parent,
+                via_label: n.via_label,
+                ts: n.ts,
+                children: n.children.clone(),
+            })
+            .collect();
+        let mut occurrences: Vec<(PairKey, Vec<NodeId>)> = self
+            .occurrences
+            .iter()
+            .map(|(&k, occ)| (k, occ.as_slice().to_vec()))
+            .collect();
+        occurrences.sort_unstable_by_key(|&(k, _)| k);
+        let (marks, dead_marks) = self.ext.export();
+        TreeSnap {
+            root: self.root,
+            root_state: self.root_key.1,
+            root_id: self.root_id,
+            arena_len: self.arena.len() as u32,
+            free: self.free.clone(),
+            nodes,
+            occurrences,
+            marks,
+            dead_marks,
+        }
+    }
+
+    /// Rebuilds a tree from a snapshot, validating structural
+    /// consistency (a corrupt snapshot is reported, never trusted).
+    pub fn from_snapshot(snap: TreeSnap) -> Result<Tree<X>, String> {
+        let mut arena: Vec<Option<Node>> = (0..snap.arena_len).map(|_| None).collect();
+        for n in &snap.nodes {
+            let slot = arena
+                .get_mut(n.id as usize)
+                .ok_or_else(|| format!("node id {} out of arena bounds", n.id))?;
+            if slot.is_some() {
+                return Err(format!("duplicate node id {}", n.id));
+            }
+            *slot = Some(Node {
+                vertex: n.vertex,
+                state: n.state,
+                parent: n.parent,
+                via_label: n.via_label,
+                ts: n.ts,
+                children: n.children.clone(),
+            });
+        }
+        let mut seen_free = std::collections::HashSet::new();
+        for &f in &snap.free {
+            match arena.get(f as usize) {
+                Some(None) if seen_free.insert(f) => {}
+                Some(None) => return Err(format!("free slot {f} listed twice")),
+                _ => return Err(format!("free slot {f} is live or out of bounds")),
+            }
+        }
+        if snap.nodes.len() + snap.free.len() != snap.arena_len as usize {
+            return Err(format!(
+                "arena accounting drift: {} live + {} free != {} slots",
+                snap.nodes.len(),
+                snap.free.len(),
+                snap.arena_len
+            ));
+        }
+        let mut occurrences: FxHashMap<PairKey, OccSet> = FxHashMap::default();
+        for (key, ids) in snap.occurrences {
+            let occ = match ids.as_slice() {
+                [] => return Err(format!("empty occurrence list for {key:?}")),
+                [one] => OccSet::One(*one),
+                _ => OccSet::Many(ids),
+            };
+            occurrences.insert(key, occ);
+        }
+        let tree = Tree {
+            root: snap.root,
+            root_key: (snap.root, snap.root_state),
+            root_id: snap.root_id,
+            len: snap.nodes.len(),
+            arena,
+            free: snap.free,
+            occurrences,
+            ext: X::import(snap.marks, snap.dead_marks),
+        };
+        tree.validate()?;
+        Ok(tree)
     }
 }

@@ -11,6 +11,12 @@ use srpq_common::{Label, Timestamp};
 #[derive(Debug, Default)]
 pub struct Unique;
 
+impl super::SnapshotExt for Unique {
+    fn import(_marks: Vec<(PairKey, super::NodeId)>, _dead: Vec<PairKey>) -> Unique {
+        Unique
+    }
+}
+
 impl TreeSemantics for Unique {
     fn on_add(&mut self, key: PairKey, _id: super::NodeId, first_occurrence: bool) {
         debug_assert!(first_occurrence, "duplicate node {key:?} in Unique tree");

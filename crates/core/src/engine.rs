@@ -132,6 +132,53 @@ impl Engine {
         }
     }
 
+    /// Mutable statistics (persistence support: `srpq_persist` maintains
+    /// the durability counters here).
+    pub fn stats_mut(&mut self) -> &mut EngineStats {
+        match self {
+            Engine::Arbitrary(e) => e.stats_mut(),
+            Engine::Simple(e) => e.stats_mut(),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &crate::config::EngineConfig {
+        match self {
+            Engine::Arbitrary(e) => e.config(),
+            Engine::Simple(e) => e.config(),
+        }
+    }
+
+    /// The currently reported result pairs, sorted (persistence support).
+    pub fn emitted_pairs(&self) -> Vec<ResultPair> {
+        match self {
+            Engine::Arbitrary(e) => e.emitted_pairs(),
+            Engine::Simple(e) => e.emitted_pairs(),
+        }
+    }
+
+    /// Mutable window graph (persistence support).
+    pub fn graph_mut(&mut self) -> &mut WindowGraph {
+        match self {
+            Engine::Arbitrary(e) => e.graph_mut(),
+            Engine::Simple(e) => e.graph_mut(),
+        }
+    }
+
+    /// Overwrites the engine cursor with checkpointed values
+    /// (persistence support; see `RapqEngine::restore_cursor`).
+    pub fn restore_cursor(
+        &mut self,
+        now: Timestamp,
+        emitted: impl IntoIterator<Item = ResultPair>,
+        stats: EngineStats,
+    ) {
+        match self {
+            Engine::Arbitrary(e) => e.restore_cursor(now, emitted, stats),
+            Engine::Simple(e) => e.restore_cursor(now, emitted, stats),
+        }
+    }
+
     /// Current Δ index size.
     pub fn index_size(&self) -> IndexSize {
         match self {

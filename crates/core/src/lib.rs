@@ -60,7 +60,7 @@ pub mod stats;
 
 pub use config::EngineConfig;
 pub use engine::{Engine, PathSemantics};
-pub use multi::{MultiQueryEngine, QueryId};
+pub use multi::{MultiQueryEngine, NullMultiSink, QueryId};
 pub use parallel::ParallelRapqEngine;
 pub use reorder::ReorderBuffer;
 pub use sink::{CollectSink, CountSink, NullSink, ResultSink};

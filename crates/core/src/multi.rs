@@ -86,9 +86,20 @@ struct Registered {
     engine: Engine,
 }
 
+/// A [`MultiSink`] that discards everything (throughput measurements
+/// and recovery replay).
+#[derive(Debug, Default, Clone)]
+pub struct NullMultiSink;
+
+impl MultiSink for NullMultiSink {
+    #[inline]
+    fn emit(&mut self, _id: QueryId, _pair: ResultPair, _ts: Timestamp) {}
+}
+
 /// A set of persistent RPQs evaluated together over one shared window
 /// graph.
 pub struct MultiQueryEngine {
+    config: EngineConfig,
     window: WindowPolicy,
     graph: WindowGraph,
     queries: Vec<Registered>,
@@ -100,10 +111,18 @@ pub struct MultiQueryEngine {
 }
 
 impl MultiQueryEngine {
-    /// Creates an empty multi-query engine over `window`.
+    /// Creates an empty multi-query engine over `window` with
+    /// paper-default per-query configuration.
     pub fn new(window: WindowPolicy) -> MultiQueryEngine {
+        Self::with_config(EngineConfig::with_window(window))
+    }
+
+    /// Creates an empty multi-query engine whose registered queries all
+    /// share `config` (the window comes from `config.window`).
+    pub fn with_config(config: EngineConfig) -> MultiQueryEngine {
         MultiQueryEngine {
-            window,
+            config,
+            window: config.window,
             graph: WindowGraph::new(),
             queries: Vec::new(),
             routing: FxHashMap::default(),
@@ -131,7 +150,7 @@ impl MultiQueryEngine {
         }
         self.queries.push(Registered {
             name: name.into(),
-            engine: Engine::new(query, EngineConfig::with_window(self.window), semantics),
+            engine: Engine::new(query, self.config, semantics),
         });
         id
     }
@@ -196,6 +215,47 @@ impl MultiQueryEngine {
     /// The shared window graph.
     pub fn graph(&self) -> &WindowGraph {
         &self.graph
+    }
+
+    /// The shared per-query configuration template.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The shared window policy.
+    pub fn window(&self) -> WindowPolicy {
+        self.window
+    }
+
+    /// Stream time of the last processed tuple.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// The registered engine behind `id` (persistence support and
+    /// instrumentation).
+    pub fn engine(&self, id: QueryId) -> Option<&Engine> {
+        self.queries.get(id.0 as usize).map(|r| &r.engine)
+    }
+
+    /// Mutable access to the registered engine behind `id`
+    /// (persistence support: recovery restores per-query cursors).
+    pub fn engine_mut(&mut self, id: QueryId) -> Option<&mut Engine> {
+        self.queries.get_mut(id.0 as usize).map(|r| &mut r.engine)
+    }
+
+    /// Mutable shared window graph (persistence support: `Full`
+    /// recovery rebuilds the graph by direct insertion).
+    pub fn graph_mut(&mut self) -> &mut WindowGraph {
+        &mut self.graph
+    }
+
+    /// Overwrites the shared clock and routing counters with
+    /// checkpointed values (persistence support).
+    pub fn restore_cursor(&mut self, now: Timestamp, tuples_seen: u64, tuples_routed: u64) {
+        self.now = now;
+        self.tuples_seen = tuples_seen;
+        self.tuples_routed = tuples_routed;
     }
 
     /// Tuples seen and per-query dispatches performed — the routing

@@ -155,6 +155,77 @@ impl ParallelRapqEngine {
         &self.graph
     }
 
+    /// The registered query.
+    pub fn query(&self) -> &CompiledQuery {
+        &self.query
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The micro-batch capacity (tuples buffered before an automatic
+    /// flush).
+    pub fn batch_capacity(&self) -> usize {
+        self.batch_capacity
+    }
+
+    /// Stream time of the last *flushed* tuple.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Shard `i`'s currently reported pairs, sorted (persistence
+    /// support).
+    pub fn shard_emitted(&self, i: usize) -> Vec<ResultPair> {
+        let mut out: Vec<ResultPair> = self.shards[i].emitted.iter().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Shard `i`'s statistics.
+    pub fn shard_stats(&self, i: usize) -> &EngineStats {
+        &self.shards[i].stats
+    }
+
+    /// Shard `i`'s Δ index (persistence support: `Full` checkpoints
+    /// serialize each shard's forest).
+    pub fn shard_delta(&self, i: usize) -> &Delta {
+        &self.shards[i].delta
+    }
+
+    /// Mutable window graph (persistence support).
+    pub fn graph_mut(&mut self) -> &mut WindowGraph {
+        &mut self.graph
+    }
+
+    /// Overwrites the engine clock with a checkpointed value
+    /// (persistence support). The pending micro-batch must be empty.
+    pub fn restore_clock(&mut self, now: Timestamp) {
+        assert!(self.batch.is_empty(), "restore with a pending micro-batch");
+        self.now = now;
+    }
+
+    /// Overwrites shard `i`'s result-deduplication set and statistics
+    /// with checkpointed values (persistence support).
+    pub fn restore_shard_cursor(
+        &mut self,
+        i: usize,
+        emitted: impl IntoIterator<Item = ResultPair>,
+        stats: EngineStats,
+    ) {
+        let shard = &mut self.shards[i];
+        shard.emitted = emitted.into_iter().collect();
+        shard.stats = stats;
+    }
+
+    /// Replaces shard `i`'s Δ index wholesale (persistence support:
+    /// `Full` recovery restores the exact checkpointed forests).
+    pub fn set_shard_delta(&mut self, i: usize, delta: Delta) {
+        self.shards[i].delta = delta;
+    }
+
     /// Processes one tuple; results may be delivered on this call or on
     /// the call that flushes the containing micro-batch.
     pub fn process<S: ResultSink>(&mut self, tuple: StreamTuple, sink: &mut S) {

@@ -1,7 +1,7 @@
 //! The RSPQ instantiation of the forest: markings `M_x` layered on the
 //! shared arena through the semantics hooks.
 
-use crate::delta::{NodeId, PairKey, Tree, TreeSemantics};
+use crate::delta::{NodeId, PairKey, SnapshotExt, Tree, TreeSemantics};
 use srpq_common::FxHashMap;
 
 /// Per-tree state of Algorithm RSPQ (§4): unlike RAPQ trees, a
@@ -25,6 +25,22 @@ impl Markings {
     /// The canonical node a mark points at, if `key ∈ M_x`.
     pub fn marked_node(&self, key: PairKey) -> Option<NodeId> {
         self.marked.get(&key).copied()
+    }
+}
+
+impl SnapshotExt for Markings {
+    fn export(&self) -> (Vec<(PairKey, NodeId)>, Vec<PairKey>) {
+        let mut marks: Vec<(PairKey, NodeId)> =
+            self.marked.iter().map(|(&k, &id)| (k, id)).collect();
+        marks.sort_unstable_by_key(|&(k, _)| k);
+        (marks, self.dead.clone())
+    }
+
+    fn import(marks: Vec<(PairKey, NodeId)>, dead: Vec<PairKey>) -> Markings {
+        Markings {
+            marked: marks.into_iter().collect(),
+            dead,
+        }
     }
 }
 

@@ -101,6 +101,51 @@ impl RspqEngine {
         &self.delta
     }
 
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Mutable statistics (persistence support: `srpq_persist` maintains
+    /// the durability counters here).
+    pub fn stats_mut(&mut self) -> &mut EngineStats {
+        &mut self.stats
+    }
+
+    /// The currently reported result pairs, sorted (persistence support:
+    /// checkpoints serialize the deduplication set).
+    pub fn emitted_pairs(&self) -> Vec<ResultPair> {
+        let mut out: Vec<ResultPair> = self.emitted.iter().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Mutable window graph (persistence support: `Full` recovery
+    /// rebuilds the graph by direct insertion instead of replay).
+    pub fn graph_mut(&mut self) -> &mut WindowGraph {
+        &mut self.graph
+    }
+
+    /// Overwrites the engine cursor — clock, result-deduplication set,
+    /// and statistics — with checkpointed values (persistence support;
+    /// called after the recovery replay rebuilt graph and Δ).
+    pub fn restore_cursor(
+        &mut self,
+        now: Timestamp,
+        emitted: impl IntoIterator<Item = ResultPair>,
+        stats: EngineStats,
+    ) {
+        self.now = now;
+        self.emitted = emitted.into_iter().collect();
+        self.stats = stats;
+    }
+
+    /// Replaces the Δ index wholesale (persistence support: `Full`
+    /// recovery restores the exact checkpointed forest).
+    pub fn set_delta(&mut self, delta: SpDelta) {
+        self.delta = delta;
+    }
+
     /// Stream time of the last processed tuple.
     pub fn now(&self) -> Timestamp {
         self.now

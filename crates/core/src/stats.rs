@@ -46,6 +46,18 @@ pub struct EngineStats {
     /// budget (results possibly incomplete; see
     /// `EngineConfig::rspq_extend_budget`).
     pub budget_exhausted: u64,
+    /// Bytes appended to the write-ahead log (maintained by
+    /// `srpq_persist::Durable`; zero for undurable engines).
+    pub wal_bytes: u64,
+    /// Records appended to the write-ahead log.
+    pub wal_appends: u64,
+    /// `fsync` calls issued by the WAL (see `srpq_persist::SyncPolicy`).
+    pub fsyncs: u64,
+    /// Checkpoints written.
+    pub checkpoints_written: u64,
+    /// Wall-clock milliseconds the most recent recovery took (zero if
+    /// this engine was never recovered).
+    pub last_recovery_ms: u64,
 }
 
 #[cfg(test)]

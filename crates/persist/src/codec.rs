@@ -1,0 +1,226 @@
+//! Little-endian byte codec shared by the WAL and checkpoint formats,
+//! plus the crate error type.
+//!
+//! Deliberately minimal: fixed-width integers, length-prefixed byte
+//! strings, and nothing self-describing — every on-disk structure is
+//! versioned by its file magic and guarded by a trailing CRC32
+//! ([`srpq_common::crc32::crc32`]), so the decoder can be strict and simple.
+
+use std::fmt;
+
+/// Errors produced by the durability subsystem.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// Stored bytes failed validation (bad magic, checksum mismatch,
+    /// truncated structure, out-of-range value).
+    Corrupt(String),
+    /// The stored state is well-formed but cannot be applied (wrong
+    /// engine kind, unknown version, query fails to recompile).
+    Incompatible(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Corrupt(m) => write!(f, "corrupt durable state: {m}"),
+            PersistError::Incompatible(m) => write!(f, "incompatible durable state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Shorthand result type.
+pub type Result<T> = std::result::Result<T, PersistError>;
+
+/// Constructs a [`PersistError::Corrupt`].
+pub fn corrupt(msg: impl Into<String>) -> PersistError {
+    PersistError::Corrupt(msg.into())
+}
+
+/// An append-only byte writer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes raw bytes verbatim.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`, little-endian.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// A strict cursor over stored bytes; every read is bounds-checked.
+#[derive(Debug, Clone, Copy)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the cursor consumed everything.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(corrupt(format!(
+                "truncated: wanted {n} bytes at offset {}, {} left",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a `u32`, little-endian.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`, little-endian.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `i64`, little-endian.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let b = self.bytes(len)?;
+        String::from_utf8(b.to_vec()).map_err(|_| corrupt("string is not UTF-8"))
+    }
+
+    /// Reads a `u32` element count, validating it against the bytes
+    /// actually available (`min_elem_bytes` each) so a corrupt length
+    /// cannot trigger a huge allocation.
+    pub fn count(&mut self, min_elem_bytes: usize) -> Result<usize> {
+        let n = self.u32()? as usize;
+        if min_elem_bytes > 0 && n > self.remaining() / min_elem_bytes {
+            return Err(corrupt(format!(
+                "implausible element count {n} for {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.i64(i64::MIN);
+        w.str("hello δ");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), i64::MIN);
+        assert_eq!(r.str().unwrap(), "hello δ");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_reads_error() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(r.u32().is_err());
+        let mut r = ByteReader::new(&[5, 0, 0, 0, b'a']);
+        assert!(r.str().is_err(), "length past end must error");
+    }
+
+    #[test]
+    fn implausible_counts_rejected() {
+        let mut w = ByteWriter::new();
+        w.u32(1_000_000);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.count(8).is_err());
+    }
+}

@@ -1,0 +1,761 @@
+//! The durability hook threaded through every engine layer.
+//!
+//! [`Durable<E>`] wraps an engine with write-ahead logging and periodic
+//! checkpointing: `process_batch` appends the batch to the WAL (and
+//! fsyncs per the [`SyncPolicy`]) **before** the engine mutates any
+//! state, then checkpoints whenever the window has slid
+//! `checkpoint_every` times since the last checkpoint, then truncates
+//! WAL segments that both predate the checkpoint and lie entirely
+//! outside the window.
+//!
+//! [`Durable::recover`] restores a crashed instance from its directory:
+//! load the newest valid checkpoint, rebuild the engine from it
+//! ([`CheckpointStrategy::Logical`] replays the checkpointed window
+//! content through the engine; [`CheckpointStrategy::Full`] restores
+//! the exact Δ-forest arenas), then replay the WAL suffix after the
+//! checkpoint with a discarding sink. The restored engine continues the
+//! stream with the same results at the same stream timestamps as an
+//! uninterrupted run (`tests/recovery_equivalence.rs` pins this with a
+//! crash-injection matrix).
+//!
+//! # Recovery guarantees
+//!
+//! * **Inputs**: a batch acknowledged under `SyncPolicy::Batch` (or
+//!   stricter) is never lost.
+//! * **Outputs**: recovery replays the post-checkpoint suffix with a
+//!   discarding sink — results already delivered before the crash are
+//!   not re-emitted (*at-most-once* delivery for the torn batch; log
+//!   the sink downstream if it must be exactly-once).
+//! * **State**: under `Full` checkpoints the restored engine state is
+//!   bit-faithful for any configuration. Under `Logical` checkpoints the
+//!   Δ forest is rebuilt from the live window; with
+//!   [`RefreshPolicy::Subtree`](srpq_core::config::RefreshPolicy) node
+//!   timestamps are canonical (a pure function of window content), so
+//!   the rebuild is exact. Under the laxer refresh policies the lost
+//!   instance may have carried *stale* (lower-bound) timestamps that the
+//!   rebuild heals to canonical values — the same healing an expiry pass
+//!   performs — which can shift *when* a re-derived result surfaces by
+//!   at most one slide; the result set is unaffected.
+
+use crate::checkpoint::{self, CheckpointStrategy};
+use crate::codec::{corrupt, ByteReader, ByteWriter, PersistError, Result};
+use crate::wal::{SyncPolicy, Wal, WalBatch, WalInfo};
+use srpq_automata::CompiledQuery;
+use srpq_common::{LabelInterner, StreamTuple, Timestamp};
+use srpq_core::delta::Forest;
+use srpq_core::engine::{Engine, PathSemantics};
+use srpq_core::multi::{MultiQueryEngine, MultiSink, NullMultiSink};
+use srpq_core::sink::{NullSink, ResultSink};
+use srpq_core::{EngineStats, ParallelRapqEngine, QueryId};
+use srpq_graph::WindowPolicy;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Durability tunables for one [`Durable`] instance.
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityConfig {
+    /// When the WAL fsyncs (see [`SyncPolicy`]).
+    pub sync: SyncPolicy,
+    /// What checkpoints store (see [`CheckpointStrategy`]).
+    pub strategy: CheckpointStrategy,
+    /// Checkpoint every N window slides; `0` disables automatic
+    /// checkpoints (the initial manifest checkpoint is still written).
+    pub checkpoint_every: u64,
+    /// Rotate WAL segments at roughly this size.
+    pub segment_bytes: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            sync: SyncPolicy::Batch,
+            strategy: CheckpointStrategy::Logical,
+            checkpoint_every: 8,
+            segment_bytes: 4 << 20,
+        }
+    }
+}
+
+/// What [`Durable::recover`] did.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryReport {
+    /// Sequence number of the checkpoint that anchored recovery.
+    pub checkpoint_seq: u64,
+    /// Strategy of that checkpoint.
+    pub strategy: CheckpointStrategy,
+    /// WAL tuples replayed on top of the checkpoint.
+    pub replayed_tuples: u64,
+    /// First stream position the caller should feed next (all tuples
+    /// `0..resume_seq` are already reflected in the engine).
+    pub resume_seq: u64,
+    /// Wall-clock milliseconds recovery took.
+    pub elapsed_ms: u64,
+}
+
+/// Durability counters (mirrored into [`EngineStats`] when the wrapped
+/// engine exposes one).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurabilityCounters {
+    /// Bytes appended to the WAL over the engine's lifetime.
+    pub wal_bytes: u64,
+    /// Records appended to the WAL.
+    pub wal_appends: u64,
+    /// `fsync`s issued.
+    pub fsyncs: u64,
+    /// Checkpoints written.
+    pub checkpoints_written: u64,
+    /// Milliseconds the most recent recovery took.
+    pub last_recovery_ms: u64,
+}
+
+/// An engine that can be checkpointed and restored by [`Durable`].
+///
+/// Implemented for [`Engine`] (covering `RapqEngine` and `RspqEngine`
+/// via [`PathSemantics`]), [`MultiQueryEngine`], and
+/// [`ParallelRapqEngine`].
+pub trait PersistEngine: Sized {
+    /// Discriminant stored in checkpoint headers so a directory cannot
+    /// be recovered as the wrong engine kind.
+    const KIND: u8;
+
+    /// Stream time of the last processed tuple.
+    fn clock(&self) -> Timestamp;
+
+    /// The engine's window policy (drives checkpoint cadence and WAL
+    /// truncation).
+    fn window_policy(&self) -> WindowPolicy;
+
+    /// Serializes the engine state under `strategy`.
+    fn encode_state(&self, strategy: CheckpointStrategy, w: &mut ByteWriter);
+
+    /// Rebuilds an engine from serialized state. `labels` must be the
+    /// same interner (or an equal clone) the original run compiled its
+    /// queries against — checkpoints store query *text*, and label ids
+    /// are interner-relative.
+    fn decode_state(
+        r: &mut ByteReader,
+        strategy: CheckpointStrategy,
+        labels: &mut LabelInterner,
+    ) -> Result<Self>;
+
+    /// Feeds `batch` through normal processing with a discarding sink
+    /// (recovery replay: state advances, outputs are not re-delivered).
+    fn replay(&mut self, batch: &[StreamTuple]);
+
+    /// Mutable statistics, when this engine keeps a single
+    /// [`EngineStats`] (the durability counters are mirrored there).
+    fn durability_stats_mut(&mut self) -> Option<&mut EngineStats>;
+}
+
+/// A durable engine: WAL + checkpoints wrapped around `E`.
+#[derive(Debug)]
+pub struct Durable<E: PersistEngine> {
+    inner: E,
+    wal: Wal,
+    dir: PathBuf,
+    cfg: DurabilityConfig,
+    counters: DurabilityCounters,
+    last_ckpt_seq: u64,
+    /// Window end at the last checkpoint (`None` until the clock starts).
+    last_ckpt_window_end: Option<Timestamp>,
+}
+
+impl<E: PersistEngine> Durable<E> {
+    /// Wraps a fresh engine, initializing `dir` with an empty WAL and a
+    /// manifest checkpoint at sequence 0. Refuses a directory that
+    /// already holds durable state (use [`Self::recover`] for those).
+    pub fn create(inner: E, dir: &Path, cfg: DurabilityConfig) -> Result<Durable<E>> {
+        std::fs::create_dir_all(dir)?;
+        // A corrupt existing checkpoint must surface as an error, not
+        // read as "fresh directory" — proceeding would prune the very
+        // file whose corruption the user needs to hear about.
+        if checkpoint::load_latest(dir)?.is_some() {
+            return Err(PersistError::Incompatible(format!(
+                "{} already holds durable state; recover it or choose a fresh directory",
+                dir.display()
+            )));
+        }
+        let (wal, existing) = Wal::open(dir, cfg.segment_bytes)?;
+        if !existing.is_empty() {
+            return Err(PersistError::Incompatible(format!(
+                "{} holds WAL records but no checkpoint; refusing to overwrite",
+                dir.display()
+            )));
+        }
+        let mut me = Durable {
+            inner,
+            wal,
+            dir: dir.to_path_buf(),
+            cfg,
+            counters: DurabilityCounters::default(),
+            last_ckpt_seq: 0,
+            last_ckpt_window_end: None,
+        };
+        me.checkpoint()?;
+        Ok(me)
+    }
+
+    /// Restores a durable engine from `dir`: newest valid checkpoint +
+    /// WAL suffix replay. See the module docs for the guarantees.
+    pub fn recover(
+        dir: &Path,
+        labels: &mut LabelInterner,
+        cfg: DurabilityConfig,
+    ) -> Result<(Durable<E>, RecoveryReport)> {
+        let t0 = Instant::now();
+        let (header, payload) = checkpoint::load_latest(dir)?.ok_or_else(|| {
+            PersistError::Incompatible(format!("{}: no checkpoint to recover from", dir.display()))
+        })?;
+        if header.kind != E::KIND {
+            return Err(PersistError::Incompatible(format!(
+                "checkpoint holds engine kind {}, expected {}",
+                header.kind,
+                E::KIND
+            )));
+        }
+        let mut r = ByteReader::new(&payload);
+        let mut inner = E::decode_state(&mut r, header.strategy, labels)?;
+        if !r.is_exhausted() {
+            return Err(corrupt(format!(
+                "checkpoint payload has {} trailing bytes",
+                r.remaining()
+            )));
+        }
+
+        let (wal, batches) = Wal::open(dir, cfg.segment_bytes)?;
+        let mut applied = header.seq;
+        let mut replayed = 0u64;
+        for WalBatch { seq, tuples } in &batches {
+            let end = seq + tuples.len() as u64;
+            if end <= applied {
+                continue;
+            }
+            if *seq > applied {
+                return Err(corrupt(format!(
+                    "WAL gap: checkpoint covers {applied}, next record starts at {seq}"
+                )));
+            }
+            let skip = (applied - seq) as usize;
+            inner.replay(&tuples[skip..]);
+            replayed += (tuples.len() - skip) as u64;
+            applied = end;
+        }
+
+        let elapsed_ms = t0.elapsed().as_millis() as u64;
+        // Lifetime counters continue from what the checkpoint recorded.
+        let mut counters = match inner.durability_stats_mut() {
+            Some(s) => DurabilityCounters {
+                wal_bytes: s.wal_bytes,
+                wal_appends: s.wal_appends,
+                fsyncs: s.fsyncs,
+                checkpoints_written: s.checkpoints_written,
+                last_recovery_ms: 0,
+            },
+            None => DurabilityCounters::default(),
+        };
+        counters.last_recovery_ms = elapsed_ms;
+        let we = window_end_opt(inner.window_policy(), inner.clock());
+        let mut me = Durable {
+            inner,
+            wal,
+            dir: dir.to_path_buf(),
+            cfg,
+            counters,
+            last_ckpt_seq: header.seq,
+            last_ckpt_window_end: we,
+        };
+        me.mirror_counters();
+        let report = RecoveryReport {
+            checkpoint_seq: header.seq,
+            strategy: header.strategy,
+            replayed_tuples: replayed,
+            resume_seq: applied,
+            elapsed_ms,
+        };
+        Ok((me, report))
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped engine. Mutating engine *state*
+    /// through this bypasses the WAL; use it for sinks/statistics only.
+    pub fn inner_mut(&mut self) -> &mut E {
+        &mut self.inner
+    }
+
+    /// Unwraps the engine, dropping durability.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+
+    /// The durability directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Aggregate WAL statistics.
+    pub fn wal_info(&self) -> WalInfo {
+        self.wal.info()
+    }
+
+    /// Durability counters for this engine's lifetime.
+    pub fn counters(&self) -> DurabilityCounters {
+        self.counters
+    }
+
+    /// Sequence number of the most recent checkpoint.
+    pub fn last_checkpoint_seq(&self) -> u64 {
+        self.last_ckpt_seq
+    }
+
+    /// Appends `batch` to the WAL under the configured [`SyncPolicy`].
+    /// Must run before the engine sees the batch.
+    fn log_batch(&mut self, batch: &[StreamTuple]) -> Result<()> {
+        match self.cfg.sync {
+            SyncPolicy::Always => {
+                for t in batch {
+                    self.counters.wal_bytes += self.wal.append(std::slice::from_ref(t))?;
+                    self.counters.wal_appends += 1;
+                    if self.wal.sync()? {
+                        self.counters.fsyncs += 1;
+                    }
+                }
+            }
+            SyncPolicy::Batch => {
+                self.counters.wal_bytes += self.wal.append(batch)?;
+                self.counters.wal_appends += 1;
+                if self.wal.sync()? {
+                    self.counters.fsyncs += 1;
+                }
+            }
+            SyncPolicy::None => {
+                self.counters.wal_bytes += self.wal.append(batch)?;
+                self.counters.wal_appends += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Post-batch bookkeeping: checkpoint if the window slid far enough,
+    /// mirror counters into the engine's statistics.
+    fn after_batch(&mut self) -> Result<()> {
+        let window = self.inner.window_policy();
+        let clock = self.inner.clock();
+        if clock != Timestamp::NEG_INFINITY {
+            let we = window.window_end(clock);
+            match self.last_ckpt_window_end {
+                None => self.last_ckpt_window_end = Some(we),
+                Some(prev) if self.cfg.checkpoint_every > 0 => {
+                    let due = prev.saturating_add(
+                        window
+                            .slide
+                            .saturating_mul(self.cfg.checkpoint_every as i64),
+                    );
+                    if we >= due {
+                        self.checkpoint()?;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        self.mirror_counters();
+        Ok(())
+    }
+
+    /// Writes a checkpoint now, then truncates WAL segments that both
+    /// predate it and lie entirely outside the window. Returns the
+    /// covered sequence number.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        // The checkpoint claims coverage of everything logged so far, so
+        // the log must be durable first.
+        if self.wal.sync()? {
+            self.counters.fsyncs += 1;
+        }
+        let seq = self.wal.next_seq();
+        let mut w = ByteWriter::new();
+        self.inner.encode_state(self.cfg.strategy, &mut w);
+        checkpoint::write(&self.dir, E::KIND, self.cfg.strategy, seq, &w.into_bytes())?;
+        self.counters.checkpoints_written += 1;
+        self.last_ckpt_seq = seq;
+        let window = self.inner.window_policy();
+        let clock = self.inner.clock();
+        self.last_ckpt_window_end = window_end_opt(window, clock);
+        if clock != Timestamp::NEG_INFINITY {
+            self.wal.truncate_older(seq, window.watermark(clock))?;
+        }
+        self.mirror_counters();
+        Ok(seq)
+    }
+
+    fn mirror_counters(&mut self) {
+        let c = self.counters;
+        if let Some(s) = self.inner.durability_stats_mut() {
+            s.wal_bytes = c.wal_bytes;
+            s.wal_appends = c.wal_appends;
+            s.fsyncs = c.fsyncs;
+            s.checkpoints_written = c.checkpoints_written;
+            s.last_recovery_ms = c.last_recovery_ms;
+        }
+    }
+}
+
+fn window_end_opt(window: WindowPolicy, clock: Timestamp) -> Option<Timestamp> {
+    if clock == Timestamp::NEG_INFINITY {
+        None
+    } else {
+        Some(window.window_end(clock))
+    }
+}
+
+impl Durable<Engine> {
+    /// WAL-append then process: the durable ingestion entry point.
+    pub fn process_batch<S: ResultSink>(
+        &mut self,
+        batch: &[StreamTuple],
+        sink: &mut S,
+    ) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.log_batch(batch)?;
+        self.inner.process_batch(batch, sink);
+        self.after_batch()
+    }
+}
+
+impl Durable<ParallelRapqEngine> {
+    /// WAL-append then process: the durable ingestion entry point.
+    pub fn process_batch<S: ResultSink>(
+        &mut self,
+        batch: &[StreamTuple],
+        sink: &mut S,
+    ) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.log_batch(batch)?;
+        self.inner.process_batch(batch, sink);
+        self.after_batch()
+    }
+}
+
+impl Durable<MultiQueryEngine> {
+    /// WAL-append then process: the durable ingestion entry point.
+    pub fn process_batch<S: MultiSink>(
+        &mut self,
+        batch: &[StreamTuple],
+        sink: &mut S,
+    ) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.log_batch(batch)?;
+        self.inner.process_batch(batch, sink);
+        self.after_batch()
+    }
+}
+
+// ---------------------------------------------------------------------
+// PersistEngine implementations
+// ---------------------------------------------------------------------
+
+fn encode_semantics(w: &mut ByteWriter, s: PathSemantics) {
+    w.u8(match s {
+        PathSemantics::Arbitrary => 0,
+        PathSemantics::Simple => 1,
+    });
+}
+
+fn decode_semantics(r: &mut ByteReader) -> Result<PathSemantics> {
+    match r.u8()? {
+        0 => Ok(PathSemantics::Arbitrary),
+        1 => Ok(PathSemantics::Simple),
+        other => Err(corrupt(format!("unknown path semantics {other}"))),
+    }
+}
+
+fn compile(regex: &str, labels: &mut LabelInterner) -> Result<CompiledQuery> {
+    CompiledQuery::compile(regex, labels)
+        .map_err(|e| PersistError::Incompatible(format!("stored query {regex:?}: {e}")))
+}
+
+/// Turns a checkpointed edge list back into insert tuples (already in
+/// timestamp order).
+fn edges_to_tuples(edges: &checkpoint::EdgeList) -> Vec<StreamTuple> {
+    edges
+        .iter()
+        .map(|&(u, v, l, ts)| StreamTuple::insert(ts, u, v, l))
+        .collect()
+}
+
+impl PersistEngine for Engine {
+    const KIND: u8 = 1;
+
+    fn clock(&self) -> Timestamp {
+        self.now()
+    }
+
+    fn window_policy(&self) -> WindowPolicy {
+        self.config().window
+    }
+
+    fn encode_state(&self, strategy: CheckpointStrategy, w: &mut ByteWriter) {
+        encode_semantics(w, self.semantics());
+        w.str(&self.query().regex().to_string());
+        checkpoint::encode_config(w, self.config());
+        w.i64(self.now().0);
+        checkpoint::encode_pairs(w, &self.emitted_pairs());
+        checkpoint::encode_stats(w, self.stats());
+        checkpoint::encode_graph(w, self.graph());
+        if strategy == CheckpointStrategy::Full {
+            match self {
+                Engine::Arbitrary(e) => checkpoint::encode_forest(w, e.delta()),
+                Engine::Simple(e) => checkpoint::encode_forest(w, e.delta()),
+            }
+        }
+    }
+
+    fn decode_state(
+        r: &mut ByteReader,
+        strategy: CheckpointStrategy,
+        labels: &mut LabelInterner,
+    ) -> Result<Engine> {
+        let semantics = decode_semantics(r)?;
+        let regex = r.str()?;
+        let config = checkpoint::decode_config(r)?;
+        let now = Timestamp(r.i64()?);
+        let emitted = checkpoint::decode_pairs(r)?;
+        let stats = checkpoint::decode_stats(r)?;
+        let edges = checkpoint::decode_graph(r)?;
+        let query = compile(&regex, labels)?;
+        let mut engine = Engine::new(query, config, semantics);
+        match strategy {
+            CheckpointStrategy::Logical => {
+                engine.process_batch(&edges_to_tuples(&edges), &mut NullSink);
+            }
+            CheckpointStrategy::Full => {
+                let graph = engine.graph_mut();
+                for &(u, v, l, ts) in &edges {
+                    graph.insert(u, v, l, ts);
+                }
+                match &mut engine {
+                    Engine::Arbitrary(e) => e.set_delta(checkpoint::decode_forest(r)?),
+                    Engine::Simple(e) => e.set_delta(checkpoint::decode_forest(r)?),
+                }
+            }
+        }
+        engine.restore_cursor(now, emitted, stats);
+        Ok(engine)
+    }
+
+    fn replay(&mut self, batch: &[StreamTuple]) {
+        self.process_batch(batch, &mut NullSink);
+    }
+
+    fn durability_stats_mut(&mut self) -> Option<&mut EngineStats> {
+        Some(self.stats_mut())
+    }
+}
+
+impl PersistEngine for MultiQueryEngine {
+    const KIND: u8 = 2;
+
+    fn clock(&self) -> Timestamp {
+        self.now()
+    }
+
+    fn window_policy(&self) -> WindowPolicy {
+        self.window()
+    }
+
+    fn encode_state(&self, strategy: CheckpointStrategy, w: &mut ByteWriter) {
+        checkpoint::encode_config(w, self.config());
+        w.i64(self.now().0);
+        let (seen, routed) = self.routing_stats();
+        w.u64(seen);
+        w.u64(routed);
+        checkpoint::encode_graph(w, self.graph());
+        w.u32(self.n_queries() as u32);
+        for qi in 0..self.n_queries() as u32 {
+            let id = QueryId(qi);
+            let engine = self.engine(id).expect("query ids are dense");
+            w.str(self.name(id).unwrap_or(""));
+            encode_semantics(w, engine.semantics());
+            w.str(&engine.query().regex().to_string());
+            w.i64(engine.now().0);
+            checkpoint::encode_pairs(w, &engine.emitted_pairs());
+            checkpoint::encode_stats(w, engine.stats());
+            if strategy == CheckpointStrategy::Full {
+                match engine {
+                    Engine::Arbitrary(e) => checkpoint::encode_forest(w, e.delta()),
+                    Engine::Simple(e) => checkpoint::encode_forest(w, e.delta()),
+                }
+            }
+        }
+    }
+
+    fn decode_state(
+        r: &mut ByteReader,
+        strategy: CheckpointStrategy,
+        labels: &mut LabelInterner,
+    ) -> Result<MultiQueryEngine> {
+        let config = checkpoint::decode_config(r)?;
+        let now = Timestamp(r.i64()?);
+        let seen = r.u64()?;
+        let routed = r.u64()?;
+        let edges = checkpoint::decode_graph(r)?;
+        let n_queries = r.count(1)?;
+
+        struct QueryState {
+            now: Timestamp,
+            emitted: Vec<srpq_common::ResultPair>,
+            stats: EngineStats,
+        }
+        let mut multi = MultiQueryEngine::with_config(config);
+        let mut cursors = Vec::with_capacity(n_queries);
+        for _ in 0..n_queries {
+            let name = r.str()?;
+            let semantics = decode_semantics(r)?;
+            let regex = r.str()?;
+            let qnow = Timestamp(r.i64()?);
+            let emitted = checkpoint::decode_pairs(r)?;
+            let stats = checkpoint::decode_stats(r)?;
+            let query = compile(&regex, labels)?;
+            let id = multi.register(name, query, semantics);
+            if strategy == CheckpointStrategy::Full {
+                let engine = multi.engine_mut(id).expect("just registered");
+                match engine {
+                    Engine::Arbitrary(e) => e.set_delta(checkpoint::decode_forest(r)?),
+                    Engine::Simple(e) => e.set_delta(checkpoint::decode_forest(r)?),
+                }
+            }
+            cursors.push(QueryState {
+                now: qnow,
+                emitted,
+                stats,
+            });
+        }
+        match strategy {
+            CheckpointStrategy::Logical => {
+                multi.process_batch(&edges_to_tuples(&edges), &mut NullMultiSink);
+            }
+            CheckpointStrategy::Full => {
+                let graph = multi.graph_mut();
+                for &(u, v, l, ts) in &edges {
+                    graph.insert(u, v, l, ts);
+                }
+            }
+        }
+        for (qi, cur) in cursors.into_iter().enumerate() {
+            let engine = multi.engine_mut(QueryId(qi as u32)).expect("dense ids");
+            engine.restore_cursor(cur.now, cur.emitted, cur.stats);
+        }
+        multi.restore_cursor(now, seen, routed);
+        Ok(multi)
+    }
+
+    fn replay(&mut self, batch: &[StreamTuple]) {
+        self.process_batch(batch, &mut NullMultiSink);
+    }
+
+    fn durability_stats_mut(&mut self) -> Option<&mut EngineStats> {
+        None
+    }
+}
+
+impl PersistEngine for ParallelRapqEngine {
+    const KIND: u8 = 3;
+
+    fn clock(&self) -> Timestamp {
+        self.now()
+    }
+
+    fn window_policy(&self) -> WindowPolicy {
+        self.config().window
+    }
+
+    fn encode_state(&self, strategy: CheckpointStrategy, w: &mut ByteWriter) {
+        w.str(&self.query().regex().to_string());
+        checkpoint::encode_config(w, self.config());
+        w.u32(self.n_shards() as u32);
+        w.u32(self.batch_capacity() as u32);
+        w.i64(self.now().0);
+        checkpoint::encode_graph(w, self.graph());
+        for i in 0..self.n_shards() {
+            checkpoint::encode_pairs(w, &self.shard_emitted(i));
+            checkpoint::encode_stats(w, self.shard_stats(i));
+            if strategy == CheckpointStrategy::Full {
+                checkpoint::encode_forest(w, self.shard_delta(i));
+            }
+        }
+    }
+
+    fn decode_state(
+        r: &mut ByteReader,
+        strategy: CheckpointStrategy,
+        labels: &mut LabelInterner,
+    ) -> Result<ParallelRapqEngine> {
+        let regex = r.str()?;
+        let config = checkpoint::decode_config(r)?;
+        let n_shards = r.u32()? as usize;
+        let batch_capacity = r.u32()? as usize;
+        if n_shards == 0 || n_shards > 1 << 16 {
+            return Err(corrupt(format!("implausible shard count {n_shards}")));
+        }
+        let now = Timestamp(r.i64()?);
+        let edges = checkpoint::decode_graph(r)?;
+        let query = compile(&regex, labels)?;
+        let mut engine = ParallelRapqEngine::new(query, config, n_shards, batch_capacity);
+
+        struct ShardState {
+            emitted: Vec<srpq_common::ResultPair>,
+            stats: EngineStats,
+            delta: Option<Forest<srpq_core::delta::Unique>>,
+        }
+        let mut shards = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let emitted = checkpoint::decode_pairs(r)?;
+            let stats = checkpoint::decode_stats(r)?;
+            let delta = if strategy == CheckpointStrategy::Full {
+                Some(checkpoint::decode_forest(r)?)
+            } else {
+                None
+            };
+            shards.push(ShardState {
+                emitted,
+                stats,
+                delta,
+            });
+        }
+        match strategy {
+            CheckpointStrategy::Logical => {
+                engine.process_batch(&edges_to_tuples(&edges), &mut NullSink);
+            }
+            CheckpointStrategy::Full => {
+                let graph = engine.graph_mut();
+                for &(u, v, l, ts) in &edges {
+                    graph.insert(u, v, l, ts);
+                }
+            }
+        }
+        for (i, s) in shards.into_iter().enumerate() {
+            if let Some(delta) = s.delta {
+                engine.set_shard_delta(i, delta);
+            }
+            engine.restore_shard_cursor(i, s.emitted, s.stats);
+        }
+        engine.restore_clock(now);
+        Ok(engine)
+    }
+
+    fn replay(&mut self, batch: &[StreamTuple]) {
+        self.process_batch(batch, &mut NullSink);
+    }
+
+    fn durability_stats_mut(&mut self) -> Option<&mut EngineStats> {
+        None
+    }
+}

@@ -1,0 +1,67 @@
+//! Durability for the streaming RPQ engines: write-ahead logging,
+//! checkpoints, and crash recovery.
+//!
+//! The engines in `srpq_core` are purely in-memory — a restart loses
+//! the window graph and the Δ spanning forest, and the only rebuild
+//! path is replaying the stream from its origin. This crate bounds
+//! recovery by **window size instead of stream length**, exploiting the
+//! paper's persistent-query setting: the engines' state is a function
+//! of the live window, and the live window is a bounded suffix of the
+//! input log.
+//!
+//! Three pieces compose (see each module's docs for formats):
+//!
+//! * [`wal`] — a segmented, CRC32-checksummed write-ahead log of stream
+//!   tuples in the 21-byte `srpq_common::wire` encoding, with an
+//!   [`wal::SyncPolicy`] knob, segment rotation, and truncation of
+//!   segments that predate both the latest checkpoint and the window;
+//! * [`checkpoint`] — periodic snapshots under two strategies:
+//!   [`CheckpointStrategy::Logical`] (live window + engine cursor;
+//!   recovery rebuilds Δ by replay) and [`CheckpointStrategy::Full`]
+//!   (exact Δ-forest arenas and result sets for near-instant restart);
+//! * [`durable`] — [`Durable<E>`], the hook threaded through
+//!   [`srpq_core::Engine`], [`srpq_core::MultiQueryEngine`], and
+//!   [`srpq_core::ParallelRapqEngine`]: WAL-append *before* mutation,
+//!   checkpoint every N slides, and [`Durable::recover`] restoring a
+//!   crashed instance that continues the stream with the same results
+//!   at the same stream timestamps as an uninterrupted run.
+//!
+//! ```no_run
+//! use srpq_core::{Engine, PathSemantics, CollectSink};
+//! use srpq_common::LabelInterner;
+//! use srpq_graph::WindowPolicy;
+//! use srpq_persist::{Durable, DurabilityConfig};
+//! use std::path::Path;
+//!
+//! let mut labels = LabelInterner::new();
+//! let engine = Engine::from_str(
+//!     "(follows mentions)+",
+//!     &mut labels,
+//!     WindowPolicy::new(15, 1),
+//!     PathSemantics::Arbitrary,
+//! )
+//! .unwrap();
+//! let mut durable =
+//!     Durable::create(engine, Path::new("state/"), DurabilityConfig::default()).unwrap();
+//! let mut sink = CollectSink::default();
+//! // durable.process_batch(&tuples, &mut sink)?;   // WAL-append, then evaluate
+//! // ... crash ...
+//! let (durable, report) =
+//!     Durable::<Engine>::recover(Path::new("state/"), &mut labels, DurabilityConfig::default())
+//!         .unwrap();
+//! assert!(report.resume_seq >= report.checkpoint_seq);
+//! # let _ = (durable, sink);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod checkpoint;
+pub mod codec;
+pub mod durable;
+pub mod wal;
+
+pub use checkpoint::CheckpointStrategy;
+pub use codec::PersistError;
+pub use durable::{DurabilityConfig, DurabilityCounters, Durable, PersistEngine, RecoveryReport};
+pub use wal::{SyncPolicy, Wal, WalBatch, WalInfo};

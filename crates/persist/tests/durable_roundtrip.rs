@@ -1,0 +1,234 @@
+//! Durable-engine lifecycle: create → ingest → checkpoint → crash →
+//! recover → continue, for both checkpoint strategies.
+
+use srpq_common::{LabelInterner, StreamTuple, Timestamp, VertexId};
+use srpq_core::config::RefreshPolicy;
+use srpq_core::engine::{Engine, PathSemantics};
+use srpq_core::sink::CollectSink;
+use srpq_core::EngineConfig;
+use srpq_graph::WindowPolicy;
+use srpq_persist::{CheckpointStrategy, DurabilityConfig, Durable, SyncPolicy};
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("srpq-durable-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn make_labels() -> LabelInterner {
+    let mut labels = LabelInterner::new();
+    labels.intern("a");
+    labels.intern("b");
+    labels
+}
+
+fn make_engine(labels: &mut LabelInterner, refresh: RefreshPolicy) -> Engine {
+    let query = srpq_automata::CompiledQuery::compile("a b*", labels).unwrap();
+    let mut config = EngineConfig::with_window(WindowPolicy::new(40, 5));
+    config.refresh = refresh;
+    Engine::new(query, config, PathSemantics::Arbitrary)
+}
+
+fn stream(n: usize) -> Vec<StreamTuple> {
+    let mut out = Vec::new();
+    for i in 0..n as u32 {
+        let label = srpq_common::Label(i % 2);
+        out.push(StreamTuple::insert(
+            Timestamp(i as i64),
+            VertexId(i % 11),
+            VertexId((i * 7 + 1) % 11),
+            label,
+        ));
+        if i % 13 == 12 {
+            let old = &out[out.len() - 5];
+            out.push(StreamTuple::delete(
+                Timestamp(i as i64),
+                old.edge.src,
+                old.edge.dst,
+                old.label,
+            ));
+        }
+    }
+    out
+}
+
+fn run_strategy(strategy: CheckpointStrategy, refresh: RefreshPolicy, name: &str) {
+    let dir = tmpdir(name);
+    let labels = make_labels();
+    let tuples = stream(300);
+    let cut = 201;
+
+    // Uninterrupted reference.
+    let mut reference = make_engine(&mut labels.clone(), refresh);
+    let mut ref_sink = CollectSink::default();
+    for chunk in tuples.chunks(32) {
+        reference.process_batch(chunk, &mut ref_sink);
+    }
+
+    // Durable run, crashed at `cut`.
+    let cfg = DurabilityConfig {
+        sync: SyncPolicy::Batch,
+        strategy,
+        checkpoint_every: 2,
+        segment_bytes: 1 << 12,
+    };
+    let engine = make_engine(&mut labels.clone(), refresh);
+    let mut durable = Durable::create(engine, &dir, cfg).unwrap();
+    let mut pre_sink = CollectSink::default();
+    for chunk in tuples[..cut].chunks(32) {
+        durable.process_batch(chunk, &mut pre_sink).unwrap();
+    }
+    let stats = durable.inner().stats();
+    assert!(stats.wal_appends > 0);
+    assert!(stats.fsyncs > 0);
+    assert!(
+        stats.checkpoints_written >= 2,
+        "cadence produced no checkpoints"
+    );
+    drop(durable); // crash
+
+    let mut recovery_labels = labels.clone();
+    let (mut recovered, report) =
+        Durable::<Engine>::recover(&dir, &mut recovery_labels, cfg).unwrap();
+    assert_eq!(
+        report.resume_seq, cut as u64,
+        "WAL must cover the full prefix"
+    );
+    let mut post_sink = CollectSink::default();
+    for chunk in tuples[cut..].chunks(32) {
+        recovered.process_batch(chunk, &mut post_sink).unwrap();
+    }
+
+    // The combined crashed run must match the uninterrupted one:
+    // identical results at identical stream timestamps (ordering within
+    // one timestamp is not part of the contract — hash iteration order
+    // is engine-instance private).
+    let mut expect: Vec<_> = ref_sink.emitted().to_vec();
+    let mut got: Vec<_> = pre_sink.emitted().to_vec();
+    got.extend_from_slice(post_sink.emitted());
+    expect.sort_unstable_by_key(|&(p, ts)| (ts, p));
+    got.sort_unstable_by_key(|&(p, ts)| (ts, p));
+    assert_eq!(expect, got, "{name}: emission streams diverge");
+
+    let mut expect_inv: Vec<_> = ref_sink.invalidated().to_vec();
+    let mut got_inv: Vec<_> = pre_sink.invalidated().to_vec();
+    got_inv.extend_from_slice(post_sink.invalidated());
+    expect_inv.sort_unstable_by_key(|&(p, ts)| (ts, p));
+    got_inv.sort_unstable_by_key(|&(p, ts)| (ts, p));
+    assert_eq!(expect_inv, got_inv, "{name}: invalidation streams diverge");
+
+    assert_eq!(recovered.inner().result_count(), reference.result_count());
+    let (r, e) = (recovered.inner().stats(), reference.stats());
+    assert_eq!(r.tuples_processed, e.tuples_processed);
+    assert_eq!(r.results_emitted, e.results_emitted);
+    assert_eq!(r.results_invalidated, e.results_invalidated);
+    assert_eq!(r.deletions_processed, e.deletions_processed);
+    assert!(r.last_recovery_ms < 60_000);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn logical_checkpoint_round_trip() {
+    run_strategy(
+        CheckpointStrategy::Logical,
+        RefreshPolicy::Subtree,
+        "logical",
+    );
+}
+
+#[test]
+fn full_checkpoint_round_trip() {
+    run_strategy(CheckpointStrategy::Full, RefreshPolicy::Node, "full");
+}
+
+#[test]
+fn create_refuses_existing_state() {
+    let dir = tmpdir("refuse");
+    let mut labels = make_labels();
+    let engine = make_engine(&mut labels, RefreshPolicy::Node);
+    let durable = Durable::create(engine, &dir, DurabilityConfig::default()).unwrap();
+    drop(durable);
+    let engine = make_engine(&mut labels, RefreshPolicy::Node);
+    assert!(Durable::create(engine, &dir, DurabilityConfig::default()).is_err());
+
+    // A *corrupt* checkpoint must also refuse creation (not read as a
+    // fresh directory and get silently pruned).
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) == Some("ck") {
+            let mut bytes = std::fs::read(&path).unwrap();
+            bytes[20] ^= 1;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+    }
+    let engine = make_engine(&mut labels, RefreshPolicy::Node);
+    assert!(Durable::create(engine, &dir, DurabilityConfig::default()).is_err());
+    assert!(
+        std::fs::read_dir(&dir).unwrap().any(|e| e
+            .unwrap()
+            .path()
+            .extension()
+            .and_then(|x| x.to_str())
+            == Some("ck")),
+        "corrupt checkpoint must survive for forensics"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recover_without_state_is_an_error() {
+    let dir = tmpdir("nostate");
+    let mut labels = make_labels();
+    assert!(Durable::<Engine>::recover(&dir, &mut labels, DurabilityConfig::default()).is_err());
+}
+
+#[test]
+fn truncation_keeps_recovery_sound() {
+    // Long stream + aggressive checkpointing + tiny segments: old
+    // segments get truncated, and recovery must still reproduce the
+    // reference run from checkpoint + surviving suffix.
+    let dir = tmpdir("truncate");
+    let labels = make_labels();
+    let tuples = stream(600);
+    let cut = 557;
+
+    let mut reference = make_engine(&mut labels.clone(), RefreshPolicy::Subtree);
+    let mut ref_sink = CollectSink::default();
+    for chunk in tuples.chunks(16) {
+        reference.process_batch(chunk, &mut ref_sink);
+    }
+
+    let cfg = DurabilityConfig {
+        sync: SyncPolicy::None,
+        strategy: CheckpointStrategy::Logical,
+        checkpoint_every: 1,
+        segment_bytes: 512,
+    };
+    let engine = make_engine(&mut labels.clone(), RefreshPolicy::Subtree);
+    let mut durable = Durable::create(engine, &dir, cfg).unwrap();
+    let mut pre_sink = CollectSink::default();
+    for chunk in tuples[..cut].chunks(16) {
+        durable.process_batch(chunk, &mut pre_sink).unwrap();
+    }
+    let info = durable.wal_info();
+    assert!(
+        info.seq_range.0 > 0,
+        "truncation never fired: log still starts at 0 ({info:?})"
+    );
+    drop(durable);
+
+    let (mut recovered, _) = Durable::<Engine>::recover(&dir, &mut labels.clone(), cfg).unwrap();
+    let mut post_sink = CollectSink::default();
+    for chunk in tuples[cut..].chunks(16) {
+        recovered.process_batch(chunk, &mut post_sink).unwrap();
+    }
+    let mut expect: Vec<_> = ref_sink.emitted().to_vec();
+    let mut got: Vec<_> = pre_sink.emitted().to_vec();
+    got.extend_from_slice(post_sink.emitted());
+    expect.sort_unstable_by_key(|&(p, ts)| (ts, p));
+    got.sort_unstable_by_key(|&(p, ts)| (ts, p));
+    assert_eq!(expect, got);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,419 @@
+//! Crash-injection matrix: for each engine layer (RAPQ, RSPQ,
+//! multi-query, parallel) × each checkpoint strategy (logical, full),
+//! cut the run at randomized tuple indexes, recover from the durable
+//! directory, finish the stream, and assert the combined result stream
+//! and the engine statistics match an uninterrupted run.
+//!
+//! Equality contract: the same results and invalidations at the same
+//! stream timestamps (within-timestamp ordering is hash-iteration
+//! private and not pinned). The parallel engine additionally reorders
+//! discovery *within a micro-batch* when batch boundaries move, so its
+//! comparison is on result sets and final engine state — the same
+//! contract its own `matches_sequential_engine` test uses.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use srpq_automata::CompiledQuery;
+use srpq_common::{Label, LabelInterner, ResultPair, StreamTuple, Timestamp, VertexId};
+use srpq_core::config::RefreshPolicy;
+use srpq_core::engine::{Engine, PathSemantics};
+use srpq_core::multi::{MultiCollectSink, MultiQueryEngine};
+use srpq_core::sink::CollectSink;
+use srpq_core::{EngineConfig, EngineStats, ParallelRapqEngine};
+use srpq_graph::WindowPolicy;
+use srpq_persist::{CheckpointStrategy, DurabilityConfig, Durable, SyncPolicy};
+use std::path::PathBuf;
+
+const BATCH: usize = 23;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("srpq-recovery-eq-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A random insert/delete stream over two labels with non-negative,
+/// non-decreasing timestamps (the WAL boundary rejects negative ts).
+fn random_stream(n: usize, n_vertices: u32, seed: u64) -> Vec<StreamTuple> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ts = 0i64;
+    let mut inserted: Vec<StreamTuple> = Vec::new();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        ts += rng.gen_range(0..=2i64);
+        if !inserted.is_empty() && rng.gen_bool(0.08) {
+            let v = inserted[rng.gen_range(0..inserted.len())];
+            out.push(StreamTuple::delete(
+                Timestamp(ts),
+                v.edge.src,
+                v.edge.dst,
+                v.label,
+            ));
+            continue;
+        }
+        let src = VertexId(rng.gen_range(0..n_vertices));
+        let mut dst = VertexId(rng.gen_range(0..n_vertices));
+        if dst == src {
+            dst = VertexId((dst.0 + 1) % n_vertices);
+        }
+        let t = StreamTuple::insert(Timestamp(ts), src, dst, Label(rng.gen_range(0..2)));
+        inserted.push(t);
+        out.push(t);
+    }
+    out
+}
+
+fn labels_ab() -> LabelInterner {
+    let mut labels = LabelInterner::new();
+    labels.intern("a");
+    labels.intern("b");
+    labels
+}
+
+fn config(window: WindowPolicy) -> EngineConfig {
+    let mut c = EngineConfig::with_window(window);
+    // Subtree refresh keeps Δ timestamps canonical — a pure function of
+    // the window content — which is what makes *logical* recovery
+    // timestamp-exact (see srpq_persist::durable docs). Full recovery is
+    // exact under any policy; using one config keeps the matrix uniform.
+    c.refresh = RefreshPolicy::Subtree;
+    c
+}
+
+fn durability(strategy: CheckpointStrategy) -> DurabilityConfig {
+    DurabilityConfig {
+        sync: SyncPolicy::Batch,
+        strategy,
+        checkpoint_every: 3,
+        segment_bytes: 2 << 10,
+    }
+}
+
+fn sorted_stream(parts: &[&[(ResultPair, Timestamp)]]) -> Vec<(ResultPair, Timestamp)> {
+    let mut out: Vec<(ResultPair, Timestamp)> = parts.concat();
+    out.sort_unstable_by_key(|&(p, ts)| (ts, p));
+    out
+}
+
+fn assert_safe_stats_eq(got: &EngineStats, expect: &EngineStats, ctx: &str) {
+    // Deterministic counters only: expiry timing/traversal-order
+    // dependent counters (expiry_nanos, insert_calls) legitimately
+    // differ across an engine rebuild.
+    assert_eq!(
+        got.tuples_processed, expect.tuples_processed,
+        "{ctx}: tuples_processed"
+    );
+    assert_eq!(
+        got.tuples_discarded, expect.tuples_discarded,
+        "{ctx}: tuples_discarded"
+    );
+    assert_eq!(
+        got.deletions_processed, expect.deletions_processed,
+        "{ctx}: deletions_processed"
+    );
+    assert_eq!(
+        got.results_emitted, expect.results_emitted,
+        "{ctx}: results_emitted"
+    );
+    assert_eq!(
+        got.results_invalidated, expect.results_invalidated,
+        "{ctx}: results_invalidated"
+    );
+}
+
+/// RAPQ / RSPQ through the `Engine` facade.
+fn single_engine_case(semantics: PathSemantics, strategy: CheckpointStrategy, seed: u64) {
+    let name = format!(
+        "{}-{strategy}-{seed}",
+        match semantics {
+            PathSemantics::Arbitrary => "rapq",
+            PathSemantics::Simple => "rspq",
+        }
+    );
+    let dir = tmpdir(&name);
+    let labels = labels_ab();
+    let tuples = random_stream(450, 12, seed);
+    let window = WindowPolicy::new(30, 6);
+    let expr = "a b* a?";
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let cut = rng.gen_range(60..tuples.len() - 60);
+
+    let make = |labels: &mut LabelInterner| {
+        let query = CompiledQuery::compile(expr, labels).unwrap();
+        Engine::new(query, config(window), semantics)
+    };
+
+    let mut reference = make(&mut labels.clone());
+    let mut ref_sink = CollectSink::default();
+    for chunk in tuples.chunks(BATCH) {
+        reference.process_batch(chunk, &mut ref_sink);
+    }
+
+    let mut durable =
+        Durable::create(make(&mut labels.clone()), &dir, durability(strategy)).unwrap();
+    let mut pre = CollectSink::default();
+    for chunk in tuples[..cut].chunks(BATCH) {
+        durable.process_batch(chunk, &mut pre).unwrap();
+    }
+    drop(durable); // crash at `cut`
+
+    let (mut recovered, report) =
+        Durable::<Engine>::recover(&dir, &mut labels.clone(), durability(strategy)).unwrap();
+    assert_eq!(
+        report.resume_seq, cut as u64,
+        "{name}: prefix not fully recovered"
+    );
+    let mut post = CollectSink::default();
+    for chunk in tuples[cut..].chunks(BATCH) {
+        recovered.process_batch(chunk, &mut post).unwrap();
+    }
+
+    assert_eq!(
+        sorted_stream(&[ref_sink.emitted()]),
+        sorted_stream(&[pre.emitted(), post.emitted()]),
+        "{name}: emissions diverge"
+    );
+    assert_eq!(
+        sorted_stream(&[ref_sink.invalidated()]),
+        sorted_stream(&[pre.invalidated(), post.invalidated()]),
+        "{name}: invalidations diverge"
+    );
+    assert_eq!(
+        recovered.inner().result_count(),
+        reference.result_count(),
+        "{name}"
+    );
+    assert_safe_stats_eq(recovered.inner().stats(), reference.stats(), &name);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rapq_crash_matrix() {
+    for strategy in [CheckpointStrategy::Logical, CheckpointStrategy::Full] {
+        for seed in 0..3 {
+            single_engine_case(PathSemantics::Arbitrary, strategy, seed);
+        }
+    }
+}
+
+#[test]
+fn rspq_crash_matrix() {
+    for strategy in [CheckpointStrategy::Logical, CheckpointStrategy::Full] {
+        for seed in 0..3 {
+            single_engine_case(PathSemantics::Simple, strategy, seed);
+        }
+    }
+}
+
+/// Multi-query engine over a shared graph.
+fn multi_case(strategy: CheckpointStrategy, seed: u64) {
+    let name = format!("multi-{strategy}-{seed}");
+    let dir = tmpdir(&name);
+    let labels = labels_ab();
+    let tuples = random_stream(450, 12, seed);
+    let window = WindowPolicy::new(30, 6);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xBEEF);
+    let cut = rng.gen_range(60..tuples.len() - 60);
+
+    let make = |labels: &mut LabelInterner| {
+        let mut multi = MultiQueryEngine::with_config(config(window));
+        let q1 = CompiledQuery::compile("a b*", labels).unwrap();
+        let q2 = CompiledQuery::compile("(a | b)+", labels).unwrap();
+        let q3 = CompiledQuery::compile("b a", labels).unwrap();
+        multi.register("ab_star", q1, PathSemantics::Arbitrary);
+        multi.register("alt_plus", q2, PathSemantics::Arbitrary);
+        multi.register("ba_simple", q3, PathSemantics::Simple);
+        multi
+    };
+
+    let mut reference = make(&mut labels.clone());
+    let mut ref_sink = MultiCollectSink::default();
+    for chunk in tuples.chunks(BATCH) {
+        reference.process_batch(chunk, &mut ref_sink);
+    }
+
+    let mut durable =
+        Durable::create(make(&mut labels.clone()), &dir, durability(strategy)).unwrap();
+    let mut pre = MultiCollectSink::default();
+    for chunk in tuples[..cut].chunks(BATCH) {
+        durable.process_batch(chunk, &mut pre).unwrap();
+    }
+    drop(durable);
+
+    let (mut recovered, report) =
+        Durable::<MultiQueryEngine>::recover(&dir, &mut labels.clone(), durability(strategy))
+            .unwrap();
+    assert_eq!(report.resume_seq, cut as u64, "{name}");
+    let mut post = MultiCollectSink::default();
+    for chunk in tuples[cut..].chunks(BATCH) {
+        recovered.process_batch(chunk, &mut post).unwrap();
+    }
+
+    let sort = |parts: &[&MultiCollectSink]| {
+        let mut emitted: Vec<_> = parts.iter().flat_map(|s| s.emitted.clone()).collect();
+        emitted.sort_unstable_by_key(|&(id, p, ts)| (ts, id, p));
+        let mut invalidated: Vec<_> = parts.iter().flat_map(|s| s.invalidated.clone()).collect();
+        invalidated.sort_unstable_by_key(|&(id, p, ts)| (ts, id, p));
+        (emitted, invalidated)
+    };
+    assert_eq!(
+        sort(&[&ref_sink]),
+        sort(&[&pre, &post]),
+        "{name}: tagged streams diverge"
+    );
+    for qi in 0..reference.n_queries() as u32 {
+        let id = srpq_core::QueryId(qi);
+        assert_eq!(
+            recovered.inner().name(id),
+            reference.name(id),
+            "{name}: registration order"
+        );
+        assert_safe_stats_eq(
+            recovered.inner().stats(id).unwrap(),
+            reference.stats(id).unwrap(),
+            &format!("{name} q{qi}"),
+        );
+    }
+    let (seen, routed) = reference.routing_stats();
+    assert_eq!(
+        recovered.inner().routing_stats(),
+        (seen, routed),
+        "{name}: routing stats"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn multi_crash_matrix() {
+    for strategy in [CheckpointStrategy::Logical, CheckpointStrategy::Full] {
+        for seed in 0..3 {
+            multi_case(strategy, seed);
+        }
+    }
+}
+
+/// Parallel RAPQ: sharded trees + micro-batches. Moving the crash point
+/// moves micro-batch boundaries, which legally reorders discovery
+/// within a batch — so the contract here is result-set equality plus
+/// final engine state, as in `parallel::tests::matches_sequential_engine`.
+fn parallel_case(strategy: CheckpointStrategy, seed: u64) {
+    let name = format!("parallel-{strategy}-{seed}");
+    let dir = tmpdir(&name);
+    let labels = labels_ab();
+    let tuples = random_stream(450, 12, seed);
+    let window = WindowPolicy::new(30, 6);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xFACE);
+    let cut = rng.gen_range(60..tuples.len() - 60);
+
+    let make = |labels: &mut LabelInterner| {
+        let query = CompiledQuery::compile("a b* a?", labels).unwrap();
+        ParallelRapqEngine::new(query, config(window), 4, 16)
+    };
+
+    let mut reference = make(&mut labels.clone());
+    let mut ref_sink = CollectSink::default();
+    for chunk in tuples.chunks(BATCH) {
+        reference.process_batch(chunk, &mut ref_sink);
+    }
+
+    let mut durable =
+        Durable::create(make(&mut labels.clone()), &dir, durability(strategy)).unwrap();
+    let mut pre = CollectSink::default();
+    for chunk in tuples[..cut].chunks(BATCH) {
+        durable.process_batch(chunk, &mut pre).unwrap();
+    }
+    drop(durable);
+
+    let (mut recovered, report) =
+        Durable::<ParallelRapqEngine>::recover(&dir, &mut labels.clone(), durability(strategy))
+            .unwrap();
+    assert_eq!(report.resume_seq, cut as u64, "{name}");
+    let mut post = CollectSink::default();
+    for chunk in tuples[cut..].chunks(BATCH) {
+        recovered.process_batch(chunk, &mut post).unwrap();
+    }
+
+    let mut combined = pre.pairs();
+    combined.extend(post.pairs());
+    assert_eq!(
+        ref_sink.pairs(),
+        combined,
+        "{name}: discovered pair sets diverge"
+    );
+    assert_eq!(
+        recovered.inner().result_count(),
+        reference.result_count(),
+        "{name}: live result counts diverge"
+    );
+    for &(pair, _) in ref_sink.emitted() {
+        assert_eq!(
+            recovered.inner().has_result(pair),
+            reference.has_result(pair),
+            "{name}: liveness of {pair} diverges"
+        );
+    }
+    let (r, e) = (recovered.inner().stats(), reference.stats());
+    assert_eq!(r.tuples_processed, e.tuples_processed, "{name}");
+    assert_eq!(r.deletions_processed, e.deletions_processed, "{name}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn parallel_crash_matrix() {
+    for strategy in [CheckpointStrategy::Logical, CheckpointStrategy::Full] {
+        for seed in 0..3 {
+            parallel_case(strategy, seed);
+        }
+    }
+}
+
+/// Crashing exactly at a checkpoint boundary (empty WAL suffix) and
+/// immediately after `create` (manifest-only) must both recover.
+#[test]
+fn edge_cuts_recover() {
+    let dir = tmpdir("edge-manifest");
+    let labels = labels_ab();
+    let make = |labels: &mut LabelInterner| {
+        let query = CompiledQuery::compile("a b*", labels).unwrap();
+        Engine::new(
+            query,
+            config(WindowPolicy::new(30, 6)),
+            PathSemantics::Arbitrary,
+        )
+    };
+    // Manifest-only: no tuple ever processed.
+    let durable = Durable::create(
+        make(&mut labels.clone()),
+        &dir,
+        durability(CheckpointStrategy::Logical),
+    )
+    .unwrap();
+    drop(durable);
+    let (mut recovered, report) = Durable::<Engine>::recover(
+        &dir,
+        &mut labels.clone(),
+        durability(CheckpointStrategy::Logical),
+    )
+    .unwrap();
+    assert_eq!(report.resume_seq, 0);
+    assert_eq!(report.replayed_tuples, 0);
+    let tuples = random_stream(80, 8, 11);
+    let mut sink = CollectSink::default();
+    for chunk in tuples.chunks(BATCH) {
+        recovered.process_batch(chunk, &mut sink).unwrap();
+    }
+    // Checkpoint boundary: checkpoint manually, crash, recover — the
+    // suffix replay is empty.
+    recovered.checkpoint().unwrap();
+    let count_before = recovered.inner().result_count();
+    drop(recovered);
+    let (recovered, report) = Durable::<Engine>::recover(
+        &dir,
+        &mut labels.clone(),
+        durability(CheckpointStrategy::Logical),
+    )
+    .unwrap();
+    assert_eq!(report.replayed_tuples, 0, "checkpoint covers the whole log");
+    assert_eq!(recovered.inner().result_count(), count_before);
+    std::fs::remove_dir_all(&dir).ok();
+}
