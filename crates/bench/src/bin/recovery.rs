@@ -96,7 +96,9 @@ fn main() {
         for (qi, q) in queries.iter().enumerate() {
             let query = srpq_automata::CompiledQuery::compile(&q.expr, &mut labels)
                 .expect("query compiles");
-            multi.register(format!("g{qi}"), query, PathSemantics::Arbitrary);
+            multi
+                .register(format!("g{qi}"), query, PathSemantics::Arbitrary)
+                .expect("unique smoke query names");
         }
         multi
     };

@@ -1,0 +1,170 @@
+//! Serving-layer throughput: tuples/s and ingest-ack tail latency vs
+//! client count and batch size.
+//!
+//! For each grid point an in-memory server is started with the gMark
+//! smoke queries registered; N client threads split the stream into
+//! contiguous shards and push them in acked batches. The ack latency is
+//! the full round trip — frame encode, TCP, pipeline queue, engine
+//! evaluation over every registered query, ack frame back — so small
+//! batches measure pipeline overhead and large batches amortize it.
+//!
+//! ```text
+//! cargo run --release -p srpq_bench --bin server_throughput [scale] [--json OUT]
+//! ```
+
+use srpq_bench::{gmark_fixture, jsonout, print_csv, scale_from_args};
+use srpq_client::Client;
+use srpq_common::{Label, LatencyHistogram, StreamTuple};
+use srpq_core::EngineConfig;
+use srpq_graph::WindowPolicy;
+use srpq_server::ServerConfig;
+use std::fmt;
+use std::time::Instant;
+
+struct Row {
+    clients: usize,
+    batch: usize,
+    tuples: u64,
+    tps: f64,
+    mean_us: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{},{},{},{:.0},{:.1},{:.1},{:.1}",
+            self.clients, self.batch, self.tuples, self.tps, self.mean_us, self.p50_us, self.p99_us
+        )
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let (ds, queries) = gmark_fixture(1, 6);
+    let keep = ((ds.len() as f64 * scale.min(1.0)) as usize).max(2_000);
+    let tuples: Vec<StreamTuple> = ds.tuples[..keep.min(ds.len())].to_vec();
+    let span = match (tuples.first(), tuples.last()) {
+        (Some(a), Some(b)) => (b.ts.0 - a.ts.0).max(1),
+        _ => 1,
+    };
+    let window = WindowPolicy::new((span / 4).max(4), (span / 40).max(1));
+    let label_names: Vec<String> = (0..ds.labels.len() as u32)
+        .map(|i| ds.labels.resolve(Label(i)).unwrap().to_string())
+        .collect();
+
+    println!(
+        "# Serving-layer ingest: {} tuples, {} queries, window {window:?}",
+        tuples.len(),
+        queries.len()
+    );
+    let mut rows = Vec::new();
+    for &clients in &[1usize, 2, 4] {
+        for &batch in &[32usize, 128, 512] {
+            rows.push(run_point(
+                &tuples,
+                &label_names,
+                &queries,
+                window,
+                clients,
+                batch,
+            ));
+        }
+    }
+    print_csv(
+        "clients,batch,tuples,tuples_per_s,ack_mean_us,ack_p50_us,ack_p99_us",
+        rows.iter(),
+    );
+    if let Some(path) = srpq_bench::json_path_from_args() {
+        let objs: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                jsonout::obj(&[
+                    ("bench", jsonout::Val::S("server_throughput".into())),
+                    ("clients", jsonout::Val::U(r.clients as u64)),
+                    ("batch", jsonout::Val::U(r.batch as u64)),
+                    ("tuples", jsonout::Val::U(r.tuples)),
+                    ("tuples_per_s", jsonout::Val::F(r.tps)),
+                    ("ack_mean_us", jsonout::Val::F(r.mean_us)),
+                    ("ack_p50_us", jsonout::Val::F(r.p50_us)),
+                    ("ack_p99_us", jsonout::Val::F(r.p99_us)),
+                ])
+            })
+            .collect();
+        jsonout::write_array(&path, &objs).expect("write JSON artifact");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn run_point(
+    tuples: &[StreamTuple],
+    label_names: &[String],
+    queries: &[srpq_datagen::gmark::SyntheticQuery],
+    window: WindowPolicy,
+    clients: usize,
+    batch: usize,
+) -> Row {
+    let config = ServerConfig::in_memory(EngineConfig::with_window(window));
+    let server = srpq_server::start(config).expect("server starts");
+    let addr = server.addr();
+
+    let mut control = Client::connect(addr).expect("control connects");
+    for (i, q) in queries.iter().enumerate() {
+        control
+            .add_query(&format!("g{i}"), &q.expr, false, false)
+            .expect("smoke query registers");
+    }
+
+    // Contiguous shards: client k streams tuples[k*shard..(k+1)*shard].
+    let shard = tuples.len().div_ceil(clients);
+    let started = Instant::now();
+    let mut histogram = LatencyHistogram::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for k in 0..clients {
+            let lo = (k * shard).min(tuples.len());
+            let hi = ((k + 1) * shard).min(tuples.len());
+            let slice = &tuples[lo..hi];
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("ingest connects");
+                let ids = client.map_labels(label_names).expect("labels map");
+                let remapped: Vec<StreamTuple> = slice
+                    .iter()
+                    .map(|t| {
+                        let mut t = *t;
+                        t.label = ids[t.label.0 as usize];
+                        t
+                    })
+                    .collect();
+                let mut h = LatencyHistogram::new();
+                for chunk in remapped.chunks(batch) {
+                    let t0 = Instant::now();
+                    client.ingest(chunk).expect("batch acked");
+                    h.record(t0.elapsed().as_nanos() as u64);
+                }
+                h
+            }));
+        }
+        for h in handles {
+            histogram.merge(&h.join().expect("client thread"));
+        }
+    });
+    let elapsed = started.elapsed();
+    control.drain().expect("drain");
+    let stats = control.stats().expect("stats");
+    assert_eq!(stats.seq, tuples.len() as u64, "server lost tuples");
+    control.shutdown().expect("shutdown");
+    server.join();
+
+    Row {
+        clients,
+        batch,
+        tuples: tuples.len() as u64,
+        tps: tuples.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        mean_us: histogram.mean() / 1e3,
+        p50_us: histogram.p50() as f64 / 1e3,
+        p99_us: histogram.p99() as f64 / 1e3,
+    }
+}

@@ -24,7 +24,19 @@ const USAGE: &str = "usage:
             [--checkpoint logical|full]]
   srpq recover --wal-dir DIR --stream FILE [--batch N] [--print-results]
            [--limit N] [--stats] [--sync ...] [--checkpoint-every N]
-  srpq wal-info --wal-dir DIR";
+  srpq wal-info --wal-dir DIR
+  srpq serve --listen ADDR --window W [--slide B] [--refresh ...]
+           [--wal-dir DIR [--sync ...] [--checkpoint ...]
+            [--checkpoint-every N]] [--pipeline N]
+  srpq ingest --connect ADDR --stream FILE [--batch N] [--limit N]
+           [--resume] [--drain]
+  srpq subscribe --connect ADDR [--queries a,b] [--policy block|drop]
+           [--capacity N] [--tag] [--invalidations]
+  srpq query add --connect ADDR --name N --query Q
+           [--semantics arbitrary|simple] [--backfill]
+  srpq query remove --connect ADDR --name N
+  srpq query list --connect ADDR
+  srpq ctl drain|checkpoint|shutdown|stats --connect ADDR";
 
 /// Dispatches a command line.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -36,13 +48,18 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("run") => cmd_run(&args),
         Some("recover") => cmd_recover(&args),
         Some("wal-info") => cmd_wal_info(&args),
+        Some("serve") => crate::net::cmd_serve(&args),
+        Some("ingest") => crate::net::cmd_ingest(&args),
+        Some("subscribe") => crate::net::cmd_subscribe(&args),
+        Some("query") => crate::net::cmd_query(&args),
+        Some("ctl") => crate::net::cmd_ctl(&args),
         Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
         None => Err(USAGE.to_string()),
     }
 }
 
 /// Parses the shared durability options.
-fn durability_config(args: &Args) -> Result<DurabilityConfig, String> {
+pub(crate) fn durability_config(args: &Args) -> Result<DurabilityConfig, String> {
     let sync = match args.get("sync") {
         None => SyncPolicy::Batch,
         Some(s) => SyncPolicy::parse(s).ok_or(format!("unknown --sync {s:?}"))?,
@@ -700,6 +717,97 @@ mod tests {
         let missing = dir.join("no-such-wal");
         assert!(dispatch(&argv(&["wal-info", "--wal-dir", missing.to_str().unwrap()])).is_err());
         assert!(!missing.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn network_verbs_round_trip() {
+        // `serve` itself blocks until shutdown, so host the server
+        // in-process and drive the client-side verbs through dispatch.
+        let dir = std::env::temp_dir().join(format!("srpq-cli-net-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let stream = dir.join("s.srpq");
+        let stream_s = stream.to_str().unwrap().to_string();
+        dispatch(&argv(&[
+            "gen",
+            "--dataset",
+            "so",
+            "--out",
+            &stream_s,
+            "--edges",
+            "1000",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+
+        let config = srpq_server::ServerConfig::in_memory(srpq_core::EngineConfig::with_window(
+            srpq_graph::WindowPolicy::new(100_000, 1_000),
+        ));
+        let handle = srpq_server::start(config).unwrap();
+        let addr = handle.addr().to_string();
+
+        dispatch(&argv(&[
+            "query",
+            "add",
+            "--connect",
+            &addr,
+            "--name",
+            "q",
+            "--query",
+            "a2q c2a*",
+        ]))
+        .unwrap();
+        // Duplicate names surface the engine error through the wire.
+        assert!(dispatch(&argv(&[
+            "query",
+            "add",
+            "--connect",
+            &addr,
+            "--name",
+            "q",
+            "--query",
+            "a2q",
+        ]))
+        .is_err());
+        dispatch(&argv(&[
+            "ingest",
+            "--connect",
+            &addr,
+            "--stream",
+            &stream_s,
+            "--batch",
+            "128",
+            "--drain",
+        ]))
+        .unwrap();
+        // Resuming against a fully ingested file sends nothing more.
+        dispatch(&argv(&[
+            "ingest",
+            "--connect",
+            &addr,
+            "--stream",
+            &stream_s,
+            "--resume",
+        ]))
+        .unwrap();
+        dispatch(&argv(&["query", "list", "--connect", &addr])).unwrap();
+        dispatch(&argv(&["ctl", "stats", "--connect", &addr])).unwrap();
+        dispatch(&argv(&[
+            "query",
+            "remove",
+            "--connect",
+            &addr,
+            "--name",
+            "q",
+        ]))
+        .unwrap();
+        assert!(dispatch(&argv(&["ctl", "frobnicate", "--connect", &addr])).is_err());
+        dispatch(&argv(&["ctl", "shutdown", "--connect", &addr])).unwrap();
+        handle.join();
+        // Serving without --window is refused up front.
+        assert!(dispatch(&argv(&["serve", "--listen", "127.0.0.1:0"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

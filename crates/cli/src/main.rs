@@ -10,6 +10,11 @@
 //! srpq recover --wal-dir DIR --stream FILE [--print-results] [--stats]
 //! srpq wal-info --wal-dir DIR
 //! srpq info --stream FILE
+//! srpq serve --listen ADDR --window W [--wal-dir DIR]
+//! srpq ingest --connect ADDR --stream FILE [--resume] [--drain]
+//! srpq subscribe --connect ADDR [--queries a,b]
+//! srpq query add|remove|list --connect ADDR [--name N] [--query Q]
+//! srpq ctl drain|checkpoint|shutdown|stats --connect ADDR
 //! ```
 //!
 //! Stream files are the `srpq_common::wire` format: a label-name header
@@ -20,6 +25,7 @@
 
 mod args;
 mod commands;
+mod net;
 mod streamfile;
 
 use std::process::ExitCode;

@@ -1,0 +1,287 @@
+//! Network verbs: `serve`, `ingest`, `subscribe`, `query`, `ctl`.
+//!
+//! `serve` runs the long-lived process; the other verbs are thin
+//! `srpq_client` front-ends. `subscribe` prints emissions in exactly
+//! the `run --print-results` format (`[ts] + (src, dst)`), so a
+//! subscriber's output can be diffed byte-for-byte against an offline
+//! run over the same tuples — the CI server-smoke job does precisely
+//! that across a kill + recovery.
+
+use crate::args::Args;
+use crate::streamfile;
+use srpq_client::{Client, SubEvent};
+use srpq_common::{Label, StreamTuple};
+use srpq_core::EngineConfig;
+use srpq_graph::WindowPolicy;
+use srpq_server::protocol::SubPolicy;
+use srpq_server::ServerConfig;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Parses the shared `--refresh` option.
+pub fn refresh_policy(args: &Args) -> Result<srpq_core::config::RefreshPolicy, String> {
+    match args.get("refresh").unwrap_or("node") {
+        "none" => Ok(srpq_core::config::RefreshPolicy::None),
+        "node" => Ok(srpq_core::config::RefreshPolicy::Node),
+        "subtree" => Ok(srpq_core::config::RefreshPolicy::Subtree),
+        other => Err(format!("unknown refresh policy {other:?}")),
+    }
+}
+
+fn connect(args: &Args) -> Result<Client, String> {
+    let addr = args.require("connect")?;
+    Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))
+}
+
+/// `srpq serve`: bind, serve until a client sends `shutdown`.
+pub fn cmd_serve(args: &Args) -> Result<(), String> {
+    let listen = args.get("listen").unwrap_or("127.0.0.1:7878").to_string();
+    let window: i64 = args.get_num("window", 0i64)?.max(0);
+    if window == 0 {
+        return Err("serve needs --window (there is no stream file to infer it from)".into());
+    }
+    let slide: i64 = args.get_num("slide", (window / 10).max(1))?;
+    let mut engine = EngineConfig::with_window(WindowPolicy::new(window.max(1), slide.max(1)));
+    engine.refresh = refresh_policy(args)?;
+    let wal_dir = args.get("wal-dir").map(PathBuf::from);
+    let config = ServerConfig {
+        listen,
+        engine,
+        wal_dir: wal_dir.clone(),
+        durability: crate::commands::durability_config(args)?,
+        pipeline_depth: args.get_num("pipeline", 16usize)?,
+    };
+    let handle = srpq_server::start(config)?;
+    match (&wal_dir, &handle.recovery) {
+        (Some(dir), Some(report)) => eprintln!(
+            "recovered:    checkpoint @{} ({}), {} WAL tuples replayed in {} ms from {}",
+            report.checkpoint_seq,
+            report.strategy,
+            report.replayed_tuples,
+            report.elapsed_ms,
+            dir.display()
+        ),
+        (Some(dir), None) => eprintln!("durable:      fresh state under {}", dir.display()),
+        _ => eprintln!("durable:      no (in-memory; pass --wal-dir for a WAL)"),
+    }
+    eprintln!(
+        "serving:      {} (window |W|={window} slide β={slide})",
+        handle.addr()
+    );
+    println!("{}", handle.addr());
+    handle.join();
+    eprintln!("serve:        shut down cleanly");
+    Ok(())
+}
+
+/// Loads a stream file and remaps its labels through the server.
+fn load_remapped(client: &mut Client, path: &Path) -> Result<Vec<StreamTuple>, String> {
+    let (labels, mut tuples) = streamfile::load(path)?;
+    let names: Vec<String> = (0..labels.len() as u32)
+        .map(|i| {
+            labels
+                .resolve(Label(i))
+                .expect("interner ids are dense")
+                .to_string()
+        })
+        .collect();
+    let server_ids = client
+        .map_labels(&names)
+        .map_err(|e| format!("map labels: {e}"))?;
+    for t in &mut tuples {
+        t.label = server_ids[t.label.0 as usize];
+    }
+    Ok(tuples)
+}
+
+/// `srpq ingest`: stream a file into a server in acked batches.
+pub fn cmd_ingest(args: &Args) -> Result<(), String> {
+    let path = args.require("stream")?.to_string();
+    let batch: usize = args.get_num("batch", 512usize)?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    let limit: usize = args.get_num("limit", usize::MAX)?;
+    let mut client = connect(args)?;
+    let tuples = load_remapped(&mut client, Path::new(&path))?;
+    // --resume skips what the server already accepted — the recovery
+    // hand-off for a killed `serve` fed from a single stream file.
+    let start = if args.flag("resume") {
+        client.server_info().seq as usize
+    } else {
+        0
+    };
+    if start > tuples.len() {
+        return Err(format!(
+            "server already accepted {start} tuples but {path} holds only {}",
+            tuples.len()
+        ));
+    }
+    let end = tuples.len().min(start.saturating_add(limit));
+    let slice = &tuples[start..end];
+    let started = Instant::now();
+    let mut histogram = srpq_common::LatencyHistogram::new();
+    let mut last = client.server_info();
+    let mut durable = last.durable;
+    for chunk in slice.chunks(batch) {
+        let t0 = Instant::now();
+        let ack = client.ingest(chunk).map_err(|e| format!("ingest: {e}"))?;
+        histogram.record(t0.elapsed().as_nanos() as u64);
+        durable = ack.durable;
+        last.seq = ack.seq;
+    }
+    if args.flag("drain") {
+        client.drain().map_err(|e| format!("drain: {e}"))?;
+    }
+    let elapsed = started.elapsed();
+    eprintln!("--");
+    eprintln!(
+        "ingested:     {} tuples ({}..{end} of {}), batch={batch}",
+        slice.len(),
+        start,
+        tuples.len()
+    );
+    eprintln!(
+        "acked:        seq {} ({})",
+        last.seq,
+        if durable { "wal-durable" } else { "in-memory" }
+    );
+    eprintln!(
+        "throughput:   {:.0} tuples/s, ack latency mean {:.1}us p99 {:.1}us",
+        slice.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        histogram.mean() / 1e3,
+        histogram.p99() as f64 / 1e3,
+    );
+    Ok(())
+}
+
+/// `srpq subscribe`: attach and print the pushed result stream.
+pub fn cmd_subscribe(args: &Args) -> Result<(), String> {
+    let queries: Vec<String> = args
+        .get("queries")
+        .map(|s| s.split(',').map(str::to_string).collect())
+        .unwrap_or_default();
+    let policy = match args.get("policy") {
+        None => SubPolicy::Block,
+        Some(s) => SubPolicy::parse(s).ok_or(format!("unknown --policy {s:?}"))?,
+    };
+    let capacity: u32 = args.get_num("capacity", 0u32)?;
+    let tag = args.flag("tag");
+    let show_invalidations = args.flag("invalidations");
+    let mut client = connect(args)?;
+    let names: HashMap<u32, String> = if tag {
+        client
+            .list_queries()
+            .map_err(|e| format!("list queries: {e}"))?
+            .into_iter()
+            .map(|q| (q.id, q.name))
+            .collect()
+    } else {
+        HashMap::new()
+    };
+    let mut sub = client
+        .subscribe(&queries, policy, capacity)
+        .map_err(|e| format!("subscribe: {e}"))?;
+    eprintln!("subscribed:   {} matching queries", sub.matched());
+    use std::io::Write as _;
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    while let Some(event) = sub.next_event().map_err(|e| e.to_string())? {
+        match event {
+            SubEvent::Results(entries) => {
+                for e in entries {
+                    if e.invalidated && !show_invalidations {
+                        continue;
+                    }
+                    let sign = if e.invalidated { '-' } else { '+' };
+                    if tag {
+                        let name = names.get(&e.query).map(String::as_str).unwrap_or("?");
+                        writeln!(out, "{name} [{}] {sign} ({}, {})", e.ts, e.src, e.dst)
+                    } else {
+                        writeln!(out, "[{}] {sign} ({}, {})", e.ts, e.src, e.dst)
+                    }
+                    .map_err(|e| e.to_string())?;
+                }
+                out.flush().map_err(|e| e.to_string())?;
+            }
+            SubEvent::Dropped(n) => eprintln!("(dropped {n} results)"),
+        }
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!("subscription ended (server shut down or connection closed)");
+    Ok(())
+}
+
+/// `srpq query add|remove|list`.
+pub fn cmd_query(args: &Args) -> Result<(), String> {
+    let mut client = connect(args)?;
+    match args.positional.get(1).map(String::as_str) {
+        Some("add") => {
+            let name = args.require("name")?;
+            let regex = args.require("query")?;
+            let simple = match args.get("semantics").unwrap_or("arbitrary") {
+                "arbitrary" => false,
+                "simple" => true,
+                other => return Err(format!("unknown semantics {other:?}")),
+            };
+            let id = client
+                .add_query(name, regex, simple, args.flag("backfill"))
+                .map_err(|e| e.to_string())?;
+            println!("added {name} as q{id}");
+            Ok(())
+        }
+        Some("remove") => {
+            let name = args.require("name")?;
+            let id = client.remove_query(name).map_err(|e| e.to_string())?;
+            println!("removed {name} (was q{id})");
+            Ok(())
+        }
+        Some("list") => {
+            let list = client.list_queries().map_err(|e| e.to_string())?;
+            for q in list {
+                let semantics = if q.simple { "simple" } else { "arbitrary" };
+                println!("q{}  {}  {}  [{}]", q.id, q.name, q.regex, semantics);
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "query needs add|remove|list, got {other:?} (see usage)"
+        )),
+    }
+}
+
+/// `srpq ctl drain|checkpoint|shutdown|stats`.
+pub fn cmd_ctl(args: &Args) -> Result<(), String> {
+    let mut client = connect(args)?;
+    match args.positional.get(1).map(String::as_str) {
+        Some("drain") => {
+            let seq = client.drain().map_err(|e| e.to_string())?;
+            println!("drained at seq {seq}");
+            Ok(())
+        }
+        Some("checkpoint") => {
+            let seq = client.checkpoint().map_err(|e| e.to_string())?;
+            println!("checkpointed at seq {seq}");
+            Ok(())
+        }
+        Some("shutdown") => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("server shutting down");
+            Ok(())
+        }
+        Some("stats") => {
+            let s = client.stats().map_err(|e| e.to_string())?;
+            println!("seq:              {}", s.seq);
+            println!("live queries:     {} ({} slots)", s.live_queries, s.slots);
+            println!("subscribers:      {}", s.subscribers);
+            println!("labels:           {}", s.labels);
+            println!("results pushed:   {}", s.results_pushed);
+            println!("results dropped:  {}", s.results_dropped);
+            Ok(())
+        }
+        other => Err(format!(
+            "ctl needs drain|checkpoint|shutdown|stats, got {other:?} (see usage)"
+        )),
+    }
+}

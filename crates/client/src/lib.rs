@@ -1,0 +1,278 @@
+//! Thin client library for the `srpq_server` protocol.
+//!
+//! One [`Client`] wraps one TCP connection. All request/reply commands
+//! borrow the client; [`Client::subscribe`] consumes it, because a
+//! subscribed session is a one-way push stream from then on.
+//!
+//! ```no_run
+//! use srpq_client::Client;
+//! use srpq_common::{Label, StreamTuple, Timestamp, VertexId};
+//!
+//! let mut c = Client::connect("127.0.0.1:7878").unwrap();
+//! let ids = c.map_labels(&["knows".into(), "likes".into()]).unwrap();
+//! let t = StreamTuple::insert(Timestamp(1), VertexId(0), VertexId(1), ids[0]);
+//! let ack = c.ingest(&[t]).unwrap();
+//! assert_eq!(ack.seq, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use srpq_common::{Label, StreamTuple};
+use srpq_server::protocol::{Msg, QueryInfo, StatsSnapshot, SubPolicy, PROTO_VERSION};
+pub use srpq_server::protocol::{ResultEntry, SubPolicy as SubscriptionPolicy};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What the server told us at connect time.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerInfo {
+    /// Tuples the server has already accepted (resume point for ingest
+    /// clients).
+    pub seq: u64,
+    /// Whether the server runs with a write-ahead log.
+    pub durable: bool,
+}
+
+/// An ingest acknowledgement.
+#[derive(Debug, Clone, Copy)]
+pub struct Ack {
+    /// Total tuples the server has accepted after this batch.
+    pub seq: u64,
+    /// Whether the batch hit the write-ahead log before the ack.
+    pub durable: bool,
+}
+
+/// One event on a subscription stream.
+#[derive(Debug, Clone)]
+pub enum SubEvent {
+    /// A batch of results in emission order.
+    Results(Vec<ResultEntry>),
+    /// `count` results were dropped since the last tally (drop-policy
+    /// subscriptions only).
+    Dropped(u64),
+}
+
+/// A connected request/reply session.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    info: ServerInfo,
+}
+
+fn proto_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+impl Client {
+    /// Connects and performs the handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        let mut client = Client {
+            reader,
+            writer,
+            info: ServerInfo {
+                seq: 0,
+                durable: false,
+            },
+        };
+        match client.call(Msg::Hello {
+            proto: PROTO_VERSION,
+        })? {
+            Msg::HelloAck { seq, durable, .. } => {
+                client.info = ServerInfo { seq, durable };
+                Ok(client)
+            }
+            other => Err(proto_err(format!("unexpected handshake reply {other:?}"))),
+        }
+    }
+
+    /// The handshake snapshot (accepted sequence, durability).
+    pub fn server_info(&self) -> ServerInfo {
+        self.info
+    }
+
+    fn call(&mut self, msg: Msg) -> io::Result<Msg> {
+        msg.write_to(&mut self.writer)?;
+        self.writer.flush()?;
+        match Msg::read_from(&mut self.reader)? {
+            Some(Msg::Error { msg }) => Err(io::Error::other(msg)),
+            Some(reply) => Ok(reply),
+            None => Err(proto_err("server closed the connection mid-request")),
+        }
+    }
+
+    /// Interns `names` server-side; returns the server label ids in the
+    /// same order. Ingest tuples must carry these ids.
+    pub fn map_labels(&mut self, names: &[String]) -> io::Result<Vec<Label>> {
+        match self.call(Msg::MapLabels {
+            names: names.to_vec(),
+        })? {
+            Msg::LabelIds { ids } => Ok(ids.into_iter().map(Label).collect()),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Sends one batch; blocks until the server acks it (WAL-durable
+    /// when the server runs with a WAL). Batches over the frame-payload
+    /// cap (~3.1M tuples) are refused locally — chunk them instead.
+    pub fn ingest(&mut self, tuples: &[StreamTuple]) -> io::Result<Ack> {
+        let bytes = tuples.len() * srpq_common::wire::TUPLE_WIRE_SIZE;
+        if bytes > srpq_common::frame::MAX_FRAME_PAYLOAD as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "batch of {} tuples ({bytes} bytes) exceeds the frame cap; \
+                     split it into smaller batches",
+                    tuples.len()
+                ),
+            ));
+        }
+        match self.call(Msg::Ingest {
+            tuples: tuples.to_vec(),
+        })? {
+            Msg::IngestAck { seq, durable } => Ok(Ack { seq, durable }),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Registers a query at runtime; `backfill` replays the live window
+    /// into it so it reports over current content immediately.
+    pub fn add_query(
+        &mut self,
+        name: &str,
+        regex: &str,
+        simple: bool,
+        backfill: bool,
+    ) -> io::Result<u32> {
+        match self.call(Msg::AddQuery {
+            name: name.into(),
+            regex: regex.into(),
+            simple,
+            backfill,
+        })? {
+            Msg::QueryAdded { id } => Ok(id),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Deregisters the live query registered under `name`.
+    pub fn remove_query(&mut self, name: &str) -> io::Result<u32> {
+        match self.call(Msg::RemoveQuery { name: name.into() })? {
+            Msg::QueryRemoved { id } => Ok(id),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Lists the live queries.
+    pub fn list_queries(&mut self) -> io::Result<Vec<QueryInfo>> {
+        match self.call(Msg::ListQueries)? {
+            Msg::QueryList { queries } => Ok(queries),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Blocks until everything accepted so far is evaluated and every
+    /// subscriber's socket is flushed; returns the fenced sequence.
+    pub fn drain(&mut self) -> io::Result<u64> {
+        match self.call(Msg::Drain)? {
+            Msg::Drained { seq } => Ok(seq),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Forces a checkpoint; returns the WAL sequence it covers.
+    pub fn checkpoint(&mut self) -> io::Result<u64> {
+        match self.call(Msg::Checkpoint)? {
+            Msg::CheckpointDone { seq } => Ok(seq),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Server-wide counters.
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        match self.call(Msg::Stats)? {
+            Msg::ServerStats(s) => Ok(s),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Asks the server to shut down gracefully (drain, checkpoint,
+    /// close); consumes the client.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        match self.call(Msg::Shutdown)? {
+            Msg::ShuttingDown => Ok(()),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Converts this session into a push stream. `queries` filters by
+    /// registration name (empty = everything, including queries
+    /// registered later); `capacity` bounds the server-side queue in
+    /// result frames (0 = server default).
+    pub fn subscribe(
+        mut self,
+        queries: &[String],
+        policy: SubPolicy,
+        capacity: u32,
+    ) -> io::Result<Subscription> {
+        match self.call(Msg::Subscribe {
+            queries: queries.to_vec(),
+            policy,
+            capacity,
+        })? {
+            Msg::SubAck { matched } => Ok(Subscription {
+                reader: self.reader,
+                matched,
+            }),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+/// A subscribed session: a blocking stream of [`SubEvent`]s.
+pub struct Subscription {
+    reader: BufReader<TcpStream>,
+    matched: u32,
+}
+
+impl Subscription {
+    /// Live queries the filter matched at subscribe time.
+    pub fn matched(&self) -> u32 {
+        self.matched
+    }
+
+    /// Blocks for the next event; `Ok(None)` when the stream ended
+    /// (server shutdown or connection closed).
+    pub fn next_event(&mut self) -> io::Result<Option<SubEvent>> {
+        loop {
+            return match Msg::read_from(&mut self.reader) {
+                Ok(None) | Ok(Some(Msg::ShuttingDown)) => Ok(None),
+                Ok(Some(Msg::Results { entries })) => Ok(Some(SubEvent::Results(entries))),
+                Ok(Some(Msg::Dropped { count })) => Ok(Some(SubEvent::Dropped(count))),
+                Ok(Some(_)) => continue,
+                // A reset mid-read after ShuttingDown raced the close is
+                // still an orderly end of stream for a subscriber.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionReset => Ok(None),
+                Err(e) => Err(e),
+            };
+        }
+    }
+
+    /// Collects every remaining result entry until the stream ends
+    /// (convenience for tests and batch consumers).
+    pub fn collect_to_end(mut self) -> io::Result<(Vec<ResultEntry>, u64)> {
+        let mut entries = Vec::new();
+        let mut dropped = 0;
+        while let Some(ev) = self.next_event()? {
+            match ev {
+                SubEvent::Results(mut batch) => entries.append(&mut batch),
+                SubEvent::Dropped(n) => dropped += n,
+            }
+        }
+        Ok((entries, dropped))
+    }
+}

@@ -15,11 +15,14 @@
 //!   of sgts (used by the benchmark harness to snapshot datasets).
 //! * [`mod@crc32`] — the shared CRC32 checksum guarding every on-disk artifact
 //!   (WAL records, checkpoints, stream files).
+//! * [`frame`] — length-prefixed, CRC32-guarded message frames, the unit
+//!   of the `srpq_server` network protocol.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod crc32;
+pub mod frame;
 pub mod hash;
 pub mod histogram;
 pub mod ids;

@@ -60,7 +60,9 @@ pub mod stats;
 
 pub use config::EngineConfig;
 pub use engine::{Engine, PathSemantics};
-pub use multi::{MultiQueryEngine, NullMultiSink, QueryId};
+pub use multi::{
+    MultiCollectSink, MultiQueryEngine, MultiSink, NullMultiSink, QueryError, QueryId,
+};
 pub use parallel::ParallelRapqEngine;
 pub use reorder::ReorderBuffer;
 pub use sink::{CollectSink, CountSink, NullSink, ResultSink};

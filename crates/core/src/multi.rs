@@ -22,6 +22,21 @@
 //! [`WindowPolicy`]: the shared graph can only be purged at the widest
 //! window of its consumers, so heterogeneous windows would forfeit the
 //! storage sharing this module exists for.
+//!
+//! # Registration lifecycle
+//!
+//! Queries come and go at runtime (the `srpq_server` serving layer
+//! registers and deregisters them on live windows). The registry is
+//! **slot-based**: [`MultiQueryEngine::register`] appends a slot and
+//! returns its index as the [`QueryId`]; [`MultiQueryEngine::deregister`]
+//! vacates the slot, dropping the query's engine — its Δ-forest arenas,
+//! emitted-pair set, and statistics — and unthreading it from the label
+//! routing table. Slot indexes are **never reused**, so a `QueryId` held
+//! by a subscriber can never silently come to mean a different query;
+//! a vacated slot costs one `None` entry. Query names are unique among
+//! *live* queries — registering a duplicate is an error (it would make
+//! name-based lookups ambiguous), while a deregistered query's name is
+//! free for reuse.
 
 use crate::config::EngineConfig;
 use crate::engine::{Engine, PathSemantics};
@@ -34,6 +49,37 @@ use srpq_graph::{WindowGraph, WindowPolicy};
 /// Identifies a registered query within a [`MultiQueryEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QueryId(pub u32);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Why a registration or deregistration was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A live query is already registered under this name. Deregister
+    /// it first, or pick another name — silently shadowing would make
+    /// name-based lookups ambiguous.
+    DuplicateName(String),
+    /// No live query occupies this id (never registered, or already
+    /// deregistered).
+    UnknownQuery(QueryId),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::DuplicateName(name) => {
+                write!(f, "a live query is already registered as {name:?}")
+            }
+            QueryError::UnknownQuery(id) => write!(f, "no live query with id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// Receives the tagged result streams of a multi-query engine.
 pub trait MultiSink {
@@ -102,8 +148,10 @@ pub struct MultiQueryEngine {
     config: EngineConfig,
     window: WindowPolicy,
     graph: WindowGraph,
-    queries: Vec<Registered>,
-    /// label → indexes of queries whose alphabet contains it.
+    /// Registration slots; `None` marks a deregistered query. Slot
+    /// indexes are query ids and are never reused.
+    queries: Vec<Option<Registered>>,
+    /// label → slots of live queries whose alphabet contains it.
     routing: FxHashMap<Label, Vec<u32>>,
     now: Timestamp,
     tuples_seen: u64,
@@ -133,9 +181,10 @@ impl MultiQueryEngine {
     }
 
     /// Registers a query under the engine's shared window. Returns its
-    /// id. Queries can be registered mid-stream; with plain `register`
-    /// they only see tuples from their registration point onward
-    /// (standard persistent-query semantics) — use
+    /// id, or [`QueryError::DuplicateName`] if a live query already
+    /// carries `name`. Queries can be registered mid-stream; with plain
+    /// `register` they only see tuples from their registration point
+    /// onward (standard persistent-query semantics) — use
     /// [`Self::register_backfilled`] to also evaluate over the current
     /// window content.
     pub fn register(
@@ -143,34 +192,51 @@ impl MultiQueryEngine {
         name: impl Into<String>,
         query: CompiledQuery,
         semantics: PathSemantics,
-    ) -> QueryId {
+    ) -> Result<QueryId, QueryError> {
+        let name = name.into();
+        if self.query_id(&name).is_some() {
+            return Err(QueryError::DuplicateName(name));
+        }
         let id = QueryId(self.queries.len() as u32);
         for &label in query.dfa().alphabet() {
             self.routing.entry(label).or_default().push(id.0);
         }
-        self.queries.push(Registered {
-            name: name.into(),
+        self.queries.push(Some(Registered {
+            name,
             engine: Engine::new(query, self.config, semantics),
-        });
-        id
+        }));
+        Ok(id)
     }
 
     /// Registers a query and *backfills* it: the current window content
     /// is replayed (in timestamp order) into the new query's Δ index, so
     /// it immediately reports results over the live window — the shared
     /// graph makes this catch-up possible without buffering the stream.
+    ///
+    /// Name uniqueness follows [`Self::register`]: a duplicate live name
+    /// is refused with [`QueryError::DuplicateName`] *before* any state
+    /// changes (no slot is consumed, nothing is replayed).
+    ///
+    /// **Coverage caveat**: the shared graph only materializes tuples
+    /// whose label some query spoke *at arrival time* (label routing
+    /// skips foreign labels entirely — that skip is the module's memory
+    /// win). A backfilled query therefore catches up on exactly the
+    /// labels the existing query set kept alive; window content under
+    /// labels nobody queried is gone and is not re-derivable.
     pub fn register_backfilled<S: MultiSink>(
         &mut self,
         name: impl Into<String>,
         query: CompiledQuery,
         semantics: PathSemantics,
         sink: &mut S,
-    ) -> QueryId {
-        let id = self.register(name, query, semantics);
+    ) -> Result<QueryId, QueryError> {
+        let id = self.register(name, query, semantics)?;
         let wm = self.window.watermark(self.now);
         let mut replay = self.graph.edges(wm);
         replay.sort_by_key(|&(.., ts)| ts);
-        let reg = &mut self.queries[id.0 as usize];
+        let reg = self.queries[id.0 as usize]
+            .as_mut()
+            .expect("just registered");
         let mut tagged = TagSink { id, inner: sink };
         for (u, v, label, ts) in replay {
             reg.engine.process_with_graph(
@@ -179,37 +245,116 @@ impl MultiQueryEngine {
                 &mut tagged,
             );
         }
-        id
+        Ok(id)
     }
 
-    /// Number of registered queries.
+    /// Deregisters query `id`, vacating its slot: the query's engine —
+    /// Δ-forest arenas, emitted-pair set, statistics — is dropped, and
+    /// the query is unthreaded from the label routing table (labels no
+    /// other live query speaks disappear from the table entirely). The
+    /// id is never reused; the name becomes free for re-registration.
+    /// Aggregate counters ([`Self::total_index_size`],
+    /// [`Self::routing_table_size`]) return to what they were before the
+    /// query was registered.
+    pub fn deregister(&mut self, id: QueryId) -> Result<(), QueryError> {
+        let slot = self
+            .queries
+            .get_mut(id.0 as usize)
+            .ok_or(QueryError::UnknownQuery(id))?;
+        let reg = slot.take().ok_or(QueryError::UnknownQuery(id))?;
+        for &label in reg.engine.query().dfa().alphabet() {
+            if let Some(targets) = self.routing.get_mut(&label) {
+                targets.retain(|&qi| qi != id.0);
+                if targets.is_empty() {
+                    self.routing.remove(&label);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of live (registered, not deregistered) queries.
     pub fn n_queries(&self) -> usize {
+        self.queries.iter().filter(|q| q.is_some()).count()
+    }
+
+    /// Number of registration slots ever allocated, vacated ones
+    /// included (ids are `0..n_slots`; persistence support).
+    pub fn n_slots(&self) -> usize {
         self.queries.len()
     }
 
-    /// The name a query was registered under.
+    /// Appends a vacant slot, burning one query id (persistence
+    /// support: recovery reconstructs deregistered slots so ids stored
+    /// in checkpoints keep their meaning).
+    pub fn push_vacant_slot(&mut self) {
+        self.queries.push(None);
+    }
+
+    /// Ids of all live queries, ascending.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        self.queries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.as_ref().map(|_| QueryId(i as u32)))
+            .collect()
+    }
+
+    /// The id of the live query registered under `name`.
+    pub fn query_id(&self, name: &str) -> Option<QueryId> {
+        self.queries.iter().enumerate().find_map(|(i, q)| {
+            q.as_ref()
+                .filter(|r| r.name == name)
+                .map(|_| QueryId(i as u32))
+        })
+    }
+
+    /// The name a query was registered under (`None` for vacated or
+    /// never-allocated ids).
     pub fn name(&self, id: QueryId) -> Option<&str> {
-        self.queries.get(id.0 as usize).map(|r| r.name.as_str())
+        self.registered(id).map(|r| r.name.as_str())
     }
 
     /// Per-query engine statistics.
     pub fn stats(&self, id: QueryId) -> Option<&EngineStats> {
-        self.queries.get(id.0 as usize).map(|r| r.engine.stats())
+        self.registered(id).map(|r| r.engine.stats())
     }
 
     /// Per-query Δ index size.
     pub fn index_size(&self, id: QueryId) -> Option<IndexSize> {
-        self.queries
-            .get(id.0 as usize)
-            .map(|r| r.engine.index_size())
+        self.registered(id).map(|r| r.engine.index_size())
+    }
+
+    /// Aggregate Δ index size over all live queries (the leak-check
+    /// counter: deregistration returns this to its pre-register value).
+    pub fn total_index_size(&self) -> IndexSize {
+        let mut total = IndexSize::default();
+        for reg in self.queries.iter().flatten() {
+            let s = reg.engine.index_size();
+            total.trees += s.trees;
+            total.nodes += s.nodes;
+        }
+        total
+    }
+
+    /// Routing-table footprint as `(labels, entries)`: distinct labels
+    /// with at least one target, and total `label → query` entries.
+    pub fn routing_table_size(&self) -> (usize, usize) {
+        (
+            self.routing.len(),
+            self.routing.values().map(Vec::len).sum(),
+        )
     }
 
     /// Whether query `id` currently reports `pair`.
     pub fn has_result(&self, id: QueryId, pair: ResultPair) -> bool {
-        self.queries
-            .get(id.0 as usize)
+        self.registered(id)
             .map(|r| r.engine.has_result(pair))
             .unwrap_or(false)
+    }
+
+    fn registered(&self, id: QueryId) -> Option<&Registered> {
+        self.queries.get(id.0 as usize).and_then(Option::as_ref)
     }
 
     /// The shared window graph.
@@ -235,13 +380,16 @@ impl MultiQueryEngine {
     /// The registered engine behind `id` (persistence support and
     /// instrumentation).
     pub fn engine(&self, id: QueryId) -> Option<&Engine> {
-        self.queries.get(id.0 as usize).map(|r| &r.engine)
+        self.registered(id).map(|r| &r.engine)
     }
 
     /// Mutable access to the registered engine behind `id`
     /// (persistence support: recovery restores per-query cursors).
     pub fn engine_mut(&mut self, id: QueryId) -> Option<&mut Engine> {
-        self.queries.get_mut(id.0 as usize).map(|r| &mut r.engine)
+        self.queries
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .map(|r| &mut r.engine)
     }
 
     /// Mutable shared window graph (persistence support: `Full`
@@ -284,7 +432,9 @@ impl MultiQueryEngine {
         let targets = targets.clone();
         self.tuples_routed += targets.len() as u64;
         for qi in targets {
-            let reg = &mut self.queries[qi as usize];
+            let reg = self.queries[qi as usize]
+                .as_mut()
+                .expect("routing targets are live");
             let mut tagged = TagSink {
                 id: QueryId(qi),
                 inner: sink,
@@ -326,7 +476,9 @@ impl MultiQueryEngine {
                 };
                 self.tuples_routed += targets.len() as u64;
                 for &qi in targets {
-                    let reg = &mut self.queries[qi as usize];
+                    let reg = self.queries[qi as usize]
+                        .as_mut()
+                        .expect("routing targets are live");
                     let mut tagged = TagSink {
                         id: QueryId(qi),
                         inner: sink,
@@ -340,11 +492,12 @@ impl MultiQueryEngine {
         self.routing = routing;
     }
 
-    /// Forces an expiry pass for every query (and a shared graph purge)
-    /// at the current eager watermark.
+    /// Forces an expiry pass for every live query (and a shared graph
+    /// purge) at the current eager watermark.
     pub fn expire_now<S: MultiSink>(&mut self, sink: &mut S) {
         self.graph.purge_expired(self.window.watermark(self.now));
-        for (qi, reg) in self.queries.iter_mut().enumerate() {
+        for (qi, slot) in self.queries.iter_mut().enumerate() {
+            let Some(reg) = slot.as_mut() else { continue };
             let mut tagged = TagSink {
                 id: QueryId(qi as u32),
                 inner: sink,
@@ -365,8 +518,10 @@ mod tests {
         let q1 = CompiledQuery::compile("a b", &mut labels).unwrap();
         let q2 = CompiledQuery::compile("b+", &mut labels).unwrap();
         let mut multi = MultiQueryEngine::new(WindowPolicy::new(100, 10));
-        let id1 = multi.register("ab", q1, PathSemantics::Arbitrary);
-        let id2 = multi.register("bplus", q2, PathSemantics::Arbitrary);
+        let id1 = multi.register("ab", q1, PathSemantics::Arbitrary).unwrap();
+        let id2 = multi
+            .register("bplus", q2, PathSemantics::Arbitrary)
+            .unwrap();
         (multi, labels, id1, id2)
     }
 
@@ -434,8 +589,12 @@ mod tests {
         let window = WindowPolicy::new(20, 4);
 
         let mut multi = MultiQueryEngine::new(window);
-        let id_a = multi.register("qa", qa.clone(), PathSemantics::Arbitrary);
-        let id_b = multi.register("qb", qb.clone(), PathSemantics::Arbitrary);
+        let id_a = multi
+            .register("qa", qa.clone(), PathSemantics::Arbitrary)
+            .unwrap();
+        let id_b = multi
+            .register("qb", qb.clone(), PathSemantics::Arbitrary)
+            .unwrap();
 
         let mut solo_a = Engine::new(
             qa,
@@ -491,7 +650,9 @@ mod tests {
         let mut labels = LabelInterner::new();
         let q1 = CompiledQuery::compile("a", &mut labels).unwrap();
         let mut multi = MultiQueryEngine::new(WindowPolicy::new(100, 10));
-        let id1 = multi.register("first", q1, PathSemantics::Arbitrary);
+        let id1 = multi
+            .register("first", q1, PathSemantics::Arbitrary)
+            .unwrap();
         let a = labels.get("a").unwrap();
         let v = VertexId;
         let mut sink = MultiCollectSink::default();
@@ -500,7 +661,9 @@ mod tests {
         // Register a second query after the first tuple: it only sees
         // tuples from now on, so the 0→1→2 chain is not witnessed.
         let q2 = CompiledQuery::compile("a a", &mut labels).unwrap();
-        let id2 = multi.register("second", q2, PathSemantics::Arbitrary);
+        let id2 = multi
+            .register("second", q2, PathSemantics::Arbitrary)
+            .unwrap();
         multi.process(StreamTuple::insert(Timestamp(2), v(1), v(2), a), &mut sink);
 
         assert!(multi.has_result(id1, ResultPair::new(v(0), v(1))));
@@ -514,7 +677,9 @@ mod tests {
         let mut labels = LabelInterner::new();
         let q1 = CompiledQuery::compile("a", &mut labels).unwrap();
         let mut multi = MultiQueryEngine::new(WindowPolicy::new(100, 10));
-        let _ = multi.register("first", q1, PathSemantics::Arbitrary);
+        let _ = multi
+            .register("first", q1, PathSemantics::Arbitrary)
+            .unwrap();
         let a = labels.get("a").unwrap();
         let v = VertexId;
         let mut sink = MultiCollectSink::default();
@@ -523,7 +688,9 @@ mod tests {
         // Backfilled registration replays the live window into the new
         // query's Δ from the shared graph.
         let q2 = CompiledQuery::compile("a a", &mut labels).unwrap();
-        let id2 = multi.register_backfilled("second", q2, PathSemantics::Arbitrary, &mut sink);
+        let id2 = multi
+            .register_backfilled("second", q2, PathSemantics::Arbitrary, &mut sink)
+            .unwrap();
         multi.process(StreamTuple::insert(Timestamp(2), v(1), v(2), a), &mut sink);
 
         assert!(multi.has_result(id2, ResultPair::new(v(0), v(2))));
@@ -565,5 +732,153 @@ mod tests {
         multi.expire_now(&mut sink);
         // The t=1 edge is far outside the 100-unit window.
         assert_eq!(multi.graph().n_edges(), 1);
+    }
+
+    #[test]
+    fn duplicate_names_are_refused() {
+        let mut labels = LabelInterner::new();
+        let q1 = CompiledQuery::compile("a", &mut labels).unwrap();
+        let q2 = CompiledQuery::compile("a b", &mut labels).unwrap();
+        let mut multi = MultiQueryEngine::new(WindowPolicy::new(100, 10));
+        let id1 = multi.register("q", q1, PathSemantics::Arbitrary).unwrap();
+
+        // Plain and backfilled registration both refuse the live name,
+        // leaving no trace (no burnt slot, no routing entries).
+        let before = multi.routing_table_size();
+        let err = multi
+            .register("q", q2.clone(), PathSemantics::Arbitrary)
+            .unwrap_err();
+        assert_eq!(err, QueryError::DuplicateName("q".into()));
+        let mut sink = MultiCollectSink::default();
+        let err = multi
+            .register_backfilled("q", q2.clone(), PathSemantics::Simple, &mut sink)
+            .unwrap_err();
+        assert_eq!(err, QueryError::DuplicateName("q".into()));
+        assert_eq!(multi.n_slots(), 1);
+        assert_eq!(multi.routing_table_size(), before);
+        assert!(sink.emitted.is_empty());
+        assert_eq!(multi.query_id("q"), Some(id1));
+
+        // After deregistration the name is free again.
+        multi.deregister(id1).unwrap();
+        let id2 = multi.register("q", q2, PathSemantics::Arbitrary).unwrap();
+        assert_ne!(id1, id2);
+        assert_eq!(multi.query_id("q"), Some(id2));
+    }
+
+    #[test]
+    fn deregister_is_leak_free() {
+        // Pin the satellite contract: register → stream → deregister
+        // returns every aggregate counter to its pre-register baseline.
+        let mut labels = LabelInterner::new();
+        let keeper = CompiledQuery::compile("a b", &mut labels).unwrap();
+        let transient = CompiledQuery::compile("(b | c)+", &mut labels).unwrap();
+        let a = labels.get("a").unwrap();
+        let b = labels.get("b").unwrap();
+        let c = labels.get("c").unwrap();
+        let v = VertexId;
+
+        let mut multi = MultiQueryEngine::new(WindowPolicy::new(1000, 10));
+        let keep_id = multi
+            .register("keeper", keeper, PathSemantics::Arbitrary)
+            .unwrap();
+        let mut sink = MultiCollectSink::default();
+        for i in 0..40i64 {
+            let label = [a, b, c][(i % 3) as usize];
+            multi.process(
+                StreamTuple::insert(
+                    Timestamp(i),
+                    v((i % 9) as u32),
+                    v(((i * 5 + 2) % 9) as u32),
+                    label,
+                ),
+                &mut sink,
+            );
+        }
+
+        // Baseline *after* the keeper has state, *before* the transient
+        // query exists.
+        let base_index = multi.total_index_size();
+        let base_routing = multi.routing_table_size();
+        let base_keeper_index = multi.index_size(keep_id).unwrap();
+        let base_results = sink.emitted.len();
+
+        let tid = multi
+            .register_backfilled("transient", transient, PathSemantics::Arbitrary, &mut sink)
+            .unwrap();
+        for i in 40..80i64 {
+            let label = [a, b, c][(i % 3) as usize];
+            multi.process(
+                StreamTuple::insert(
+                    Timestamp(i),
+                    v((i % 9) as u32),
+                    v(((i * 5 + 2) % 9) as u32),
+                    label,
+                ),
+                &mut sink,
+            );
+        }
+        // The transient query really did grow state: its own Δ nodes,
+        // routing entries for `c` (spoken by nobody else), results.
+        assert!(multi.index_size(tid).unwrap().nodes > 0);
+        assert!(multi.routing_table_size() > base_routing);
+        assert!(sink.emitted.iter().any(|&(id, ..)| id == tid));
+
+        multi.deregister(tid).unwrap();
+
+        // The keeper is untouched; the transient's Δ forest, routing
+        // entries, and result set are gone. The keeper kept processing
+        // between baseline and now, so compare against its own live
+        // numbers, not a stale snapshot.
+        assert_eq!(multi.index_size(keep_id).unwrap(), multi.total_index_size());
+        assert_eq!(multi.routing_table_size(), base_routing);
+        assert_eq!(multi.n_queries(), 1);
+        assert!(multi.index_size(tid).is_none());
+        assert!(multi.stats(tid).is_none());
+        assert!(!multi.has_result(tid, ResultPair::new(v(0), v(1))));
+        assert!(multi.name(tid).is_none());
+        // Drain the whole window: with the transient gone, aggregate
+        // state shrinks back through the same expiry path as a
+        // single-query engine — nothing orphaned keeps nodes alive.
+        multi.process(
+            StreamTuple::insert(Timestamp(5000), v(0), v(1), a),
+            &mut sink,
+        );
+        multi.expire_now(&mut sink);
+        assert!(
+            multi.total_index_size().nodes <= base_index.nodes.max(base_keeper_index.nodes) + 2
+        );
+        // Deregistering twice (or a never-registered id) is an error.
+        assert_eq!(multi.deregister(tid), Err(QueryError::UnknownQuery(tid)));
+        assert_eq!(
+            multi.deregister(QueryId(99)),
+            Err(QueryError::UnknownQuery(QueryId(99)))
+        );
+        let _ = base_results;
+    }
+
+    #[test]
+    fn deregistered_queries_stop_receiving_tuples() {
+        let (mut multi, labels, id1, id2) = setup();
+        let b = labels.get("b").unwrap();
+        let v = VertexId;
+        let mut sink = MultiCollectSink::default();
+        multi.process(StreamTuple::insert(Timestamp(1), v(0), v(1), b), &mut sink);
+        multi.deregister(id2).unwrap();
+        sink.emitted.clear();
+        // Both per-tuple and batched paths must skip the vacated slot.
+        multi.process(StreamTuple::insert(Timestamp(2), v(1), v(2), b), &mut sink);
+        multi.process_batch(
+            &[StreamTuple::insert(Timestamp(3), v(2), v(3), b)],
+            &mut sink,
+        );
+        multi.expire_now(&mut sink);
+        assert!(sink.emitted.iter().all(|&(id, ..)| id != id2));
+        let (_, routed_before) = multi.routing_stats();
+        multi.process(StreamTuple::insert(Timestamp(4), v(3), v(4), b), &mut sink);
+        let (_, routed_after) = multi.routing_stats();
+        // Only the live `ab` query is routed to now.
+        assert_eq!(routed_after - routed_before, 1);
+        assert_eq!(multi.query_ids(), vec![id1]);
     }
 }

@@ -578,10 +578,18 @@ impl PersistEngine for MultiQueryEngine {
         w.u64(seen);
         w.u64(routed);
         checkpoint::encode_graph(w, self.graph());
-        w.u32(self.n_queries() as u32);
-        for qi in 0..self.n_queries() as u32 {
+        // Registration slots, vacated ones included: query ids are slot
+        // indexes and subscribers hold them across restarts, so a
+        // deregistered slot is checkpointed as an explicit tombstone
+        // rather than compacted away.
+        w.u32(self.n_slots() as u32);
+        for qi in 0..self.n_slots() as u32 {
             let id = QueryId(qi);
-            let engine = self.engine(id).expect("query ids are dense");
+            let Some(engine) = self.engine(id) else {
+                w.u8(0); // vacant slot
+                continue;
+            };
+            w.u8(1);
             w.str(self.name(id).unwrap_or(""));
             encode_semantics(w, engine.semantics());
             w.str(&engine.query().regex().to_string());
@@ -607,16 +615,23 @@ impl PersistEngine for MultiQueryEngine {
         let seen = r.u64()?;
         let routed = r.u64()?;
         let edges = checkpoint::decode_graph(r)?;
-        let n_queries = r.count(1)?;
+        let n_slots = r.count(1)?;
 
         struct QueryState {
+            id: QueryId,
             now: Timestamp,
             emitted: Vec<srpq_common::ResultPair>,
             stats: EngineStats,
         }
         let mut multi = MultiQueryEngine::with_config(config);
-        let mut cursors = Vec::with_capacity(n_queries);
-        for _ in 0..n_queries {
+        let mut cursors = Vec::with_capacity(n_slots);
+        for slot in 0..n_slots as u32 {
+            if r.u8()? == 0 {
+                // Tombstone of a deregistered query: burn the slot so
+                // later ids keep their meaning.
+                multi.push_vacant_slot();
+                continue;
+            }
             let name = r.str()?;
             let semantics = decode_semantics(r)?;
             let regex = r.str()?;
@@ -624,7 +639,14 @@ impl PersistEngine for MultiQueryEngine {
             let emitted = checkpoint::decode_pairs(r)?;
             let stats = checkpoint::decode_stats(r)?;
             let query = compile(&regex, labels)?;
-            let id = multi.register(name, query, semantics);
+            let id = multi
+                .register(name, query, semantics)
+                .map_err(|e| PersistError::Incompatible(format!("checkpointed query: {e}")))?;
+            if id.0 != slot {
+                return Err(corrupt(format!(
+                    "checkpoint slot {slot} restored as query id {id}"
+                )));
+            }
             if strategy == CheckpointStrategy::Full {
                 let engine = multi.engine_mut(id).expect("just registered");
                 match engine {
@@ -633,6 +655,7 @@ impl PersistEngine for MultiQueryEngine {
                 }
             }
             cursors.push(QueryState {
+                id,
                 now: qnow,
                 emitted,
                 stats,
@@ -649,8 +672,8 @@ impl PersistEngine for MultiQueryEngine {
                 }
             }
         }
-        for (qi, cur) in cursors.into_iter().enumerate() {
-            let engine = multi.engine_mut(QueryId(qi as u32)).expect("dense ids");
+        for cur in cursors {
+            let engine = multi.engine_mut(cur.id).expect("restored above");
             engine.restore_cursor(cur.now, cur.emitted, cur.stats);
         }
         multi.restore_cursor(now, seen, routed);

@@ -232,3 +232,76 @@ fn truncation_keeps_recovery_sound() {
     assert_eq!(expect, got);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn deregistered_slots_survive_recovery() {
+    // A multi-query engine with a vacated slot must checkpoint a
+    // tombstone and recover with the same query ids, the same live set,
+    // and the hole still burnt (no id reuse after restart).
+    use srpq_core::multi::{MultiCollectSink, MultiQueryEngine};
+    use srpq_core::QueryId;
+
+    let dir = tmpdir("dereg-slots");
+    let mut labels = make_labels();
+    let c = labels.intern("c");
+    let tuples = stream(120);
+
+    let q_keep = srpq_automata::CompiledQuery::compile("a b*", &mut labels).unwrap();
+    let q_gone = srpq_automata::CompiledQuery::compile("b c", &mut labels).unwrap();
+    let q_late = srpq_automata::CompiledQuery::compile("(a | b)+", &mut labels).unwrap();
+    let mut multi =
+        MultiQueryEngine::with_config(EngineConfig::with_window(WindowPolicy::new(40, 5)));
+    let keep = multi
+        .register("keep", q_keep, PathSemantics::Arbitrary)
+        .unwrap();
+    let gone = multi
+        .register("gone", q_gone, PathSemantics::Arbitrary)
+        .unwrap();
+
+    let cfg = DurabilityConfig {
+        sync: SyncPolicy::None,
+        strategy: CheckpointStrategy::Logical,
+        checkpoint_every: 1,
+        segment_bytes: 4 << 20,
+    };
+    let mut durable = Durable::create(multi, &dir, cfg).unwrap();
+    let mut sink = MultiCollectSink::default();
+    for chunk in tuples[..60].chunks(8) {
+        durable.process_batch(chunk, &mut sink).unwrap();
+    }
+    durable.inner_mut().deregister(gone).unwrap();
+    let late = durable
+        .inner_mut()
+        .register("late", q_late, PathSemantics::Arbitrary)
+        .unwrap();
+    assert_eq!(late, QueryId(2), "vacated slot must not be reused");
+    for chunk in tuples[60..].chunks(8) {
+        durable.process_batch(chunk, &mut sink).unwrap();
+    }
+    durable.checkpoint().unwrap();
+    let live_before = durable.inner().query_ids();
+    let results_before: usize = durable.inner().n_queries();
+    drop(durable);
+
+    let (recovered, report) =
+        Durable::<MultiQueryEngine>::recover(&dir, &mut labels.clone(), cfg).unwrap();
+    assert_eq!(report.resume_seq, tuples.len() as u64);
+    let multi = recovered.inner();
+    assert_eq!(multi.n_slots(), 3);
+    assert_eq!(multi.n_queries(), results_before);
+    assert_eq!(multi.query_ids(), live_before);
+    assert_eq!(multi.name(keep), Some("keep"));
+    assert_eq!(multi.name(gone), None);
+    assert_eq!(multi.name(late), Some("late"));
+    assert_eq!(multi.query_id("gone"), None);
+    // The recovered engine burnt the tombstoned id: the next
+    // registration continues after it.
+    let mut multi2 = recovered.into_inner();
+    let q_new = srpq_automata::CompiledQuery::compile("c", &mut labels.clone()).unwrap();
+    let next = multi2
+        .register("next", q_new, PathSemantics::Arbitrary)
+        .unwrap();
+    assert_eq!(next, QueryId(3));
+    let _ = c;
+    std::fs::remove_dir_all(&dir).ok();
+}

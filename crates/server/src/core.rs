@@ -1,0 +1,453 @@
+//! The engine thread: sole owner of the evaluation state.
+//!
+//! All sessions funnel their work through one bounded command channel
+//! into this thread — the serialization point that defines the global
+//! stream order (command arrival order) and makes the server's output
+//! reproducible by an offline run performing the same operations in the
+//! same order. The channel bound is the ingest pipeline depth: decode
+//! happens in session threads (sharded per connection), evaluation
+//! here; when evaluation falls behind, session threads block on the
+//! full channel, which backpressures their clients through TCP.
+
+use crate::labels;
+use crate::protocol::{Msg, QueryInfo, StatsSnapshot, SubPolicy};
+use crate::subscriber::{push_to_msg, FanoutSink, Push, Subscriber};
+use srpq_automata::CompiledQuery;
+use srpq_common::{FxHashSet, LabelInterner, StreamTuple, Timestamp};
+use srpq_core::engine::PathSemantics;
+use srpq_core::multi::{MultiQueryEngine, MultiSink};
+use srpq_persist::Durable;
+use std::path::PathBuf;
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::time::Duration;
+
+/// How long a `Drain` waits for each subscriber's flush ack before
+/// giving up on it (a subscriber stuck on a dead socket must not wedge
+/// the control plane forever).
+const DRAIN_ACK_TIMEOUT: Duration = Duration::from_secs(3);
+
+/// The evaluation state behind the command channel.
+pub(crate) enum Host {
+    /// In-memory only (no `--wal-dir`).
+    Plain(Box<MultiQueryEngine>),
+    /// WAL + checkpoints.
+    Durable(Box<Durable<MultiQueryEngine>>),
+}
+
+impl Host {
+    fn engine(&self) -> &MultiQueryEngine {
+        match self {
+            Host::Plain(e) => e,
+            Host::Durable(d) => d.inner(),
+        }
+    }
+
+    fn engine_mut(&mut self) -> &mut MultiQueryEngine {
+        match self {
+            Host::Plain(e) => e,
+            Host::Durable(d) => d.inner_mut(),
+        }
+    }
+
+    fn is_durable(&self) -> bool {
+        matches!(self, Host::Durable(_))
+    }
+
+    fn process_batch<S: MultiSink>(
+        &mut self,
+        batch: &[StreamTuple],
+        sink: &mut S,
+    ) -> Result<(), String> {
+        match self {
+            Host::Plain(e) => {
+                e.process_batch(batch, sink);
+                Ok(())
+            }
+            Host::Durable(d) => d.process_batch(batch, sink).map_err(|e| e.to_string()),
+        }
+    }
+
+    /// Checkpoints durable state; `None` when the host is in-memory.
+    fn checkpoint(&mut self) -> Option<Result<u64, String>> {
+        match self {
+            Host::Plain(_) => None,
+            Host::Durable(d) => Some(d.checkpoint().map_err(|e| e.to_string())),
+        }
+    }
+}
+
+/// One request to the engine thread. Every command carries a reply
+/// sender; the engine always answers with exactly one [`Msg`].
+pub(crate) enum Cmd {
+    Hello {
+        reply: Sender<Msg>,
+    },
+    MapLabels {
+        names: Vec<String>,
+        reply: Sender<Msg>,
+    },
+    Ingest {
+        tuples: Vec<StreamTuple>,
+        reply: Sender<Msg>,
+    },
+    AddQuery {
+        name: String,
+        regex: String,
+        simple: bool,
+        backfill: bool,
+        reply: Sender<Msg>,
+    },
+    RemoveQuery {
+        name: String,
+        reply: Sender<Msg>,
+    },
+    ListQueries {
+        reply: Sender<Msg>,
+    },
+    Subscribe {
+        queries: Vec<String>,
+        policy: SubPolicy,
+        tx: SyncSender<Push>,
+        reply: Sender<Msg>,
+    },
+    Drain {
+        reply: Sender<Msg>,
+    },
+    Checkpoint {
+        reply: Sender<Msg>,
+    },
+    Stats {
+        reply: Sender<Msg>,
+    },
+    Shutdown {
+        reply: Sender<Msg>,
+    },
+}
+
+pub(crate) struct EngineCore {
+    host: Host,
+    labels: LabelInterner,
+    /// Where to persist the label table (durable hosts only).
+    label_dir: Option<PathBuf>,
+    subscribers: Vec<Subscriber>,
+    /// Tuples accepted (equals the WAL sequence for durable hosts).
+    seq: u64,
+    results_pushed: u64,
+    results_dropped: u64,
+}
+
+impl EngineCore {
+    pub(crate) fn new(
+        host: Host,
+        labels: LabelInterner,
+        label_dir: Option<PathBuf>,
+        seq: u64,
+    ) -> EngineCore {
+        EngineCore {
+            host,
+            labels,
+            label_dir,
+            subscribers: Vec::new(),
+            seq,
+            results_pushed: 0,
+            results_dropped: 0,
+        }
+    }
+
+    /// Serves commands until `Shutdown` (graceful: earlier commands in
+    /// the channel have already been handled — the pipeline is drained
+    /// by construction — then durable state is checkpointed and the
+    /// subscriber queues are closed) or until every sender is gone.
+    pub(crate) fn run(mut self, rx: Receiver<Cmd>) {
+        while let Ok(cmd) = rx.recv() {
+            if let Cmd::Shutdown { reply } = cmd {
+                if let Some(Err(e)) = self.host.checkpoint() {
+                    eprintln!("srpq-server: shutdown checkpoint failed: {e}");
+                }
+                // Closing the queues ends every subscriber session; the
+                // sessions write `ShuttingDown` to their clients.
+                self.subscribers.clear();
+                let _ = reply.send(Msg::ShuttingDown);
+                return;
+            }
+            self.handle(cmd);
+        }
+    }
+
+    fn handle(&mut self, cmd: Cmd) {
+        match cmd {
+            Cmd::Hello { reply } => {
+                let _ = reply.send(Msg::HelloAck {
+                    proto: crate::protocol::PROTO_VERSION,
+                    seq: self.seq,
+                    durable: self.host.is_durable(),
+                });
+            }
+            Cmd::MapLabels { names, reply } => {
+                let before = self.labels.len();
+                let ids: Vec<u32> = names.iter().map(|n| self.labels.intern(n).0).collect();
+                let msg = match self.persist_labels_if_grown(before) {
+                    Ok(()) => Msg::LabelIds { ids },
+                    Err(e) => Msg::Error { msg: e },
+                };
+                let _ = reply.send(msg);
+            }
+            Cmd::Ingest { tuples, reply } => {
+                let _ = reply.send(self.ingest(tuples));
+            }
+            Cmd::AddQuery {
+                name,
+                regex,
+                simple,
+                backfill,
+                reply,
+            } => {
+                let _ = reply.send(self.add_query(name, regex, simple, backfill));
+            }
+            Cmd::RemoveQuery { name, reply } => {
+                let _ = reply.send(self.remove_query(name));
+            }
+            Cmd::ListQueries { reply } => {
+                let engine = self.host.engine();
+                let queries = engine
+                    .query_ids()
+                    .into_iter()
+                    .map(|id| {
+                        let e = engine.engine(id).expect("live id");
+                        QueryInfo {
+                            id: id.0,
+                            name: engine.name(id).unwrap_or("").to_string(),
+                            regex: e.query().regex().to_string(),
+                            simple: e.semantics() == PathSemantics::Simple,
+                        }
+                    })
+                    .collect();
+                let _ = reply.send(Msg::QueryList { queries });
+            }
+            Cmd::Subscribe {
+                queries,
+                policy,
+                tx,
+                reply,
+            } => {
+                let engine = self.host.engine();
+                let all = queries.is_empty();
+                let mut resolved = FxHashSet::default();
+                for name in &queries {
+                    if let Some(id) = engine.query_id(name) {
+                        resolved.insert(id.0);
+                    }
+                }
+                let matched = if all {
+                    engine.n_queries() as u32
+                } else {
+                    resolved.len() as u32
+                };
+                self.subscribers
+                    .push(Subscriber::new(queries, resolved, tx, policy));
+                let _ = reply.send(Msg::SubAck { matched });
+            }
+            Cmd::Drain { reply } => {
+                self.drain();
+                let _ = reply.send(Msg::Drained { seq: self.seq });
+            }
+            Cmd::Checkpoint { reply } => {
+                let msg = match self.host.checkpoint() {
+                    None => Msg::Error {
+                        msg: "server runs without --wal-dir; nothing to checkpoint".into(),
+                    },
+                    Some(Ok(seq)) => Msg::CheckpointDone { seq },
+                    Some(Err(e)) => Msg::Error { msg: e },
+                };
+                let _ = reply.send(msg);
+            }
+            Cmd::Stats { reply } => {
+                let engine = self.host.engine();
+                let _ = reply.send(Msg::ServerStats(StatsSnapshot {
+                    seq: self.seq,
+                    live_queries: engine.n_queries() as u32,
+                    slots: engine.n_slots() as u32,
+                    subscribers: self.subscribers.len() as u32,
+                    labels: self.labels.len() as u32,
+                    results_pushed: self.results_pushed,
+                    results_dropped: self.results_dropped,
+                }));
+            }
+            Cmd::Shutdown { .. } => unreachable!("handled by run()"),
+        }
+    }
+
+    fn ingest(&mut self, tuples: Vec<StreamTuple>) -> Msg {
+        if tuples.is_empty() {
+            return Msg::IngestAck {
+                seq: self.seq,
+                durable: self.host.is_durable(),
+            };
+        }
+        // Validate before anything touches the WAL or the engine: a
+        // refused batch leaves no trace and no sequence numbers behind.
+        let n_labels = self.labels.len() as u32;
+        for (i, t) in tuples.iter().enumerate() {
+            if t.ts < Timestamp::ZERO {
+                return Msg::Error {
+                    msg: format!("tuple {i} carries negative timestamp {}", t.ts),
+                };
+            }
+            if t.label.0 >= n_labels {
+                return Msg::Error {
+                    msg: format!(
+                        "tuple {i} carries unmapped label id {} (server knows {n_labels}); \
+                         map labels before ingesting",
+                        t.label.0
+                    ),
+                };
+            }
+        }
+        let mut sink = FanoutSink {
+            subscribers: &mut self.subscribers,
+            pushed: &mut self.results_pushed,
+            dropped: &mut self.results_dropped,
+        };
+        if let Err(e) = self.host.process_batch(&tuples, &mut sink) {
+            // The WAL refused (e.g. disk trouble): the engine saw
+            // nothing, so the session can report and carry on.
+            return Msg::Error { msg: e };
+        }
+        let sink = FanoutSink {
+            subscribers: &mut self.subscribers,
+            pushed: &mut self.results_pushed,
+            dropped: &mut self.results_dropped,
+        };
+        sink.finish();
+        self.seq += tuples.len() as u64;
+        Msg::IngestAck {
+            seq: self.seq,
+            durable: self.host.is_durable(),
+        }
+    }
+
+    fn add_query(&mut self, name: String, regex: String, simple: bool, backfill: bool) -> Msg {
+        let before = self.labels.len();
+        let query = match CompiledQuery::compile(&regex, &mut self.labels) {
+            Ok(q) => q,
+            Err(e) => {
+                return Msg::Error {
+                    msg: format!("query {regex:?}: {e}"),
+                }
+            }
+        };
+        // The label table must be durable before the registration that
+        // references it can be checkpointed.
+        if let Err(e) = self.persist_labels_if_grown(before) {
+            return Msg::Error { msg: e };
+        }
+        let semantics = if simple {
+            PathSemantics::Simple
+        } else {
+            PathSemantics::Arbitrary
+        };
+        let engine = self.host.engine_mut();
+        let registered = if backfill {
+            let mut sink = FanoutSink {
+                subscribers: &mut self.subscribers,
+                pushed: &mut self.results_pushed,
+                dropped: &mut self.results_dropped,
+            };
+            // A subscriber that declared this name must see the
+            // backfill results, so resolve name filters *before*
+            // replay. The id is the next slot index by construction.
+            let id_next = engine.n_slots() as u32;
+            for sub in sink.subscribers.iter_mut() {
+                if sub.names.iter().any(|n| n == &name) {
+                    sub.queries.insert(id_next);
+                }
+            }
+            let r = engine.register_backfilled(&name, query, semantics, &mut sink);
+            sink.finish();
+            if r.is_err() {
+                // Nothing was registered (duplicate name), so the
+                // predicted slot id must not linger in any filter — a
+                // later unrelated query would take that id and leak its
+                // results to these subscribers.
+                for sub in self.subscribers.iter_mut() {
+                    sub.queries.remove(&id_next);
+                }
+            }
+            r
+        } else {
+            engine.register(&name, query, semantics)
+        };
+        let id = match registered {
+            Ok(id) => id,
+            Err(e) => return Msg::Error { msg: e.to_string() },
+        };
+        if !backfill {
+            for sub in self.subscribers.iter_mut() {
+                if sub.names.iter().any(|n| n == &name) {
+                    sub.queries.insert(id.0);
+                }
+            }
+        }
+        // Registration becomes durable with the state it applies to.
+        if let Some(Err(e)) = self.host.checkpoint() {
+            return Msg::Error {
+                msg: format!("query registered but checkpoint failed: {e}"),
+            };
+        }
+        Msg::QueryAdded { id: id.0 }
+    }
+
+    fn remove_query(&mut self, name: String) -> Msg {
+        let engine = self.host.engine_mut();
+        let Some(id) = engine.query_id(&name) else {
+            return Msg::Error {
+                msg: format!("no live query named {name:?}"),
+            };
+        };
+        if let Err(e) = engine.deregister(id) {
+            return Msg::Error { msg: e.to_string() };
+        }
+        for sub in &mut self.subscribers {
+            sub.queries.remove(&id.0);
+        }
+        if let Some(Err(e)) = self.host.checkpoint() {
+            return Msg::Error {
+                msg: format!("query removed but checkpoint failed: {e}"),
+            };
+        }
+        Msg::QueryRemoved { id: id.0 }
+    }
+
+    /// The `Drain` fence: every subscriber flushes its queue and socket
+    /// before this returns (subscribers that cannot ack within the
+    /// timeout are skipped — they are stalled or gone, and the fence
+    /// must not wedge the control plane).
+    fn drain(&mut self) {
+        let mut acks = Vec::new();
+        for sub in &mut self.subscribers {
+            if let Some(rx) = sub.send_fence(DRAIN_ACK_TIMEOUT) {
+                acks.push(rx);
+            }
+        }
+        for rx in acks {
+            let _ = rx.recv_timeout(DRAIN_ACK_TIMEOUT);
+        }
+        self.subscribers.retain(|s| !s.dead);
+    }
+
+    fn persist_labels_if_grown(&mut self, before: usize) -> Result<(), String> {
+        if self.labels.len() == before {
+            return Ok(());
+        }
+        if let Some(dir) = &self.label_dir {
+            labels::save(&self.labels, dir)
+                .map_err(|e| format!("persisting the label table failed: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders one queue item (session-thread side re-export).
+pub(crate) fn render_push(push: &Push) -> Option<Msg> {
+    push_to_msg(push)
+}

@@ -1,0 +1,143 @@
+//! The durable label table.
+//!
+//! Checkpoints store query *text* and the WAL stores label *ids*, so a
+//! recovered server must re-intern names to exactly the ids the crashed
+//! instance used. This module persists the server's [`LabelInterner`]
+//! alongside the WAL directory: a name list in id order, guarded by the
+//! shared CRC32, rewritten atomically (tmp + rename) whenever a label
+//! is first interned — which the serving loop does *before* any tuple
+//! or query referencing the new label becomes durable.
+//!
+//! ```text
+//! file := magic "SRPQLBL1" | u32le count | name "\n" ... | u32le crc
+//! crc  := crc32(everything before the trailer)
+//! ```
+
+use srpq_common::{crc32, LabelInterner};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8] = b"SRPQLBL1";
+const FILE_NAME: &str = "labels.srpq";
+
+/// Where the label table lives inside a durability directory.
+pub fn label_path(dir: &Path) -> PathBuf {
+    dir.join(FILE_NAME)
+}
+
+/// Writes the interner to `dir` atomically.
+pub fn save(labels: &LabelInterner, dir: &Path) -> Result<(), String> {
+    let mut buf = Vec::from(MAGIC);
+    buf.extend_from_slice(&(labels.len() as u32).to_le_bytes());
+    for i in 0..labels.len() as u32 {
+        let name = labels
+            .resolve(srpq_common::Label(i))
+            .ok_or_else(|| format!("label table has a hole at id {i}"))?;
+        buf.extend_from_slice(name.as_bytes());
+        buf.push(b'\n');
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    let path = label_path(dir);
+    let tmp = path.with_extension("srpq.tmp");
+    {
+        use std::io::Write as _;
+        let mut f = fs::File::create(&tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
+        f.write_all(&buf)
+            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        // The table must be on disk *before* the rename publishes it:
+        // tuples and checkpointed query text logged after this call
+        // reference the new ids, and an acked batch must never outlive
+        // the label table it depends on.
+        f.sync_all()
+            .map_err(|e| format!("sync {}: {e}", tmp.display()))?;
+    }
+    fs::rename(&tmp, &path).map_err(|e| format!("publish {}: {e}", path.display()))?;
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Loads the label table from `dir`; an absent file is an empty
+/// interner (fresh directory).
+pub fn load(dir: &Path) -> Result<LabelInterner, String> {
+    let path = label_path(dir);
+    let data = match fs::read(&path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(LabelInterner::new()),
+        Err(e) => return Err(format!("read {}: {e}", path.display())),
+    };
+    if data.len() < MAGIC.len() + 4 + 4 || !data.starts_with(MAGIC) {
+        return Err(format!("{}: not a label table", path.display()));
+    }
+    let (body, trailer) = data.split_at(data.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().unwrap());
+    if crc32(body) != stored {
+        return Err(format!("{}: checksum mismatch", path.display()));
+    }
+    let mut buf = &body[MAGIC.len()..];
+    let count = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    buf = &buf[4..];
+    let mut labels = LabelInterner::new();
+    for i in 0..count {
+        let end = buf
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| format!("{}: truncated at entry {i}", path.display()))?;
+        let name = std::str::from_utf8(&buf[..end])
+            .map_err(|_| format!("{}: label {i} is not UTF-8", path.display()))?;
+        labels.intern(name);
+        buf = &buf[end + 1..];
+    }
+    if !buf.is_empty() {
+        return Err(format!(
+            "{}: trailing bytes after label table",
+            path.display()
+        ));
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn testdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("srpq-labels-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trip_and_missing_file() {
+        let dir = testdir("rt");
+        assert_eq!(load(&dir).unwrap().len(), 0);
+        let mut labels = LabelInterner::new();
+        labels.intern("knows");
+        labels.intern("likes");
+        labels.intern("αβγ");
+        save(&labels, &dir).unwrap();
+        let back = load(&dir).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.get("likes"), labels.get("likes"));
+        assert_eq!(back.get("αβγ"), labels.get("αβγ"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_rot_is_detected() {
+        let dir = testdir("rot");
+        let mut labels = LabelInterner::new();
+        labels.intern("a");
+        save(&labels, &dir).unwrap();
+        let path = label_path(&dir);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(load(&dir).unwrap_err().contains("checksum"));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

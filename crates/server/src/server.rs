@@ -1,0 +1,350 @@
+//! The TCP front-end: listener, session threads, and [`ServerHandle`].
+//!
+//! One thread owns the engine ([`crate::core::EngineCore`]); one thread
+//! accepts connections; each connection gets a session thread that
+//! decodes frames, forwards commands through the bounded pipeline, and
+//! writes replies. A session that issues `Subscribe` flips into push
+//! mode: it stops reading requests and forwards its bounded result
+//! queue to the socket until the client hangs up or the server shuts
+//! down.
+
+use crate::core::{render_push, Cmd, EngineCore, Host};
+use crate::labels;
+use crate::protocol::{Msg, PROTO_VERSION};
+use crate::subscriber::{Push, DEFAULT_CAPACITY};
+use srpq_common::LabelInterner;
+use srpq_core::multi::MultiQueryEngine;
+use srpq_core::EngineConfig;
+use srpq_persist::{checkpoint, DurabilityConfig, Durable, RecoveryReport};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub listen: String,
+    /// Per-query engine configuration shared by every registered query
+    /// (window, refresh policy, budgets).
+    pub engine: EngineConfig,
+    /// Durability directory; `None` serves in-memory. A directory that
+    /// already holds durable state is **recovered** (checkpoint + WAL
+    /// suffix + label table), a fresh one is initialized.
+    pub wal_dir: Option<PathBuf>,
+    /// WAL/checkpoint tunables (used only with `wal_dir`).
+    pub durability: DurabilityConfig,
+    /// Bound of the command pipeline: how many decoded batches may wait
+    /// for the engine before ingest sessions block.
+    pub pipeline_depth: usize,
+}
+
+impl ServerConfig {
+    /// An ephemeral localhost server over `engine` defaults.
+    pub fn in_memory(engine: EngineConfig) -> ServerConfig {
+        ServerConfig {
+            listen: "127.0.0.1:0".into(),
+            engine,
+            wal_dir: None,
+            durability: DurabilityConfig::default(),
+            pipeline_depth: 16,
+        }
+    }
+}
+
+/// A running server: the address it listens on plus the handles needed
+/// to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    cmd_tx: SyncSender<Cmd>,
+    stop: Arc<AtomicBool>,
+    engine_thread: Option<JoinHandle<()>>,
+    accept_thread: Option<JoinHandle<()>>,
+    /// What recovery did, when the server came up from durable state.
+    pub recovery: Option<RecoveryReport>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown (drain → checkpoint → close) and
+    /// waits for the server to exit. Idempotent with a client-issued
+    /// `Shutdown` racing it.
+    pub fn shutdown(mut self) {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if self.cmd_tx.send(Cmd::Shutdown { reply: reply_tx }).is_ok() {
+            let _ = reply_rx.recv();
+        }
+        self.stop_accepting();
+        if let Some(t) = self.engine_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Waits until the server exits (a client sent `Shutdown`).
+    pub fn join(mut self) {
+        if let Some(t) = self.engine_thread.take() {
+            let _ = t.join();
+        }
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Builds the host (fresh or recovered) and starts the server.
+pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
+    let (host, interner, seq, recovery) = match &config.wal_dir {
+        None => (
+            Host::Plain(Box::new(MultiQueryEngine::with_config(config.engine))),
+            LabelInterner::new(),
+            0,
+            None,
+        ),
+        Some(dir) => {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            let has_state = checkpoint::load_latest(dir)
+                .map_err(|e| e.to_string())?
+                .is_some();
+            if has_state {
+                let mut interner = labels::load(dir)?;
+                let (durable, report) =
+                    Durable::<MultiQueryEngine>::recover(dir, &mut interner, config.durability)
+                        .map_err(|e| e.to_string())?;
+                let seq = report.resume_seq;
+                (
+                    Host::Durable(Box::new(durable)),
+                    interner,
+                    seq,
+                    Some(report),
+                )
+            } else {
+                let durable = Durable::create(
+                    MultiQueryEngine::with_config(config.engine),
+                    dir,
+                    config.durability,
+                )
+                .map_err(|e| e.to_string())?;
+                (
+                    Host::Durable(Box::new(durable)),
+                    LabelInterner::new(),
+                    0,
+                    None,
+                )
+            }
+        }
+    };
+
+    let listener =
+        TcpListener::bind(&config.listen).map_err(|e| format!("bind {}: {e}", config.listen))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+
+    let (cmd_tx, cmd_rx) = mpsc::sync_channel::<Cmd>(config.pipeline_depth.max(1));
+    let core = EngineCore::new(host, interner, config.wal_dir.clone(), seq);
+    let engine_thread = std::thread::Builder::new()
+        .name("srpq-engine".into())
+        .spawn(move || core.run(cmd_rx))
+        .map_err(|e| e.to_string())?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = stop.clone();
+    let accept_tx = cmd_tx.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("srpq-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let tx = accept_tx.clone();
+                let _ = std::thread::Builder::new()
+                    .name("srpq-session".into())
+                    .spawn(move || {
+                        let peer = stream
+                            .peer_addr()
+                            .map(|a| a.to_string())
+                            .unwrap_or_else(|_| "?".into());
+                        if let Err(e) = run_session(stream, tx) {
+                            // Client-side disconnects are routine; only
+                            // protocol violations are worth a log line.
+                            if e.kind() == std::io::ErrorKind::InvalidData {
+                                eprintln!("srpq-server: session {peer}: {e}");
+                            }
+                        }
+                    });
+            }
+        })
+        .map_err(|e| e.to_string())?;
+
+    Ok(ServerHandle {
+        addr,
+        cmd_tx,
+        stop,
+        engine_thread: Some(engine_thread),
+        accept_thread: Some(accept_thread),
+        recovery,
+    })
+}
+
+/// Sends one command and waits for the engine's reply. `None` means the
+/// engine is gone (shutdown).
+fn roundtrip(cmd_tx: &SyncSender<Cmd>, make: impl FnOnce(mpsc::Sender<Msg>) -> Cmd) -> Option<Msg> {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    if cmd_tx.send(make(reply_tx)).is_err() {
+        return None;
+    }
+    reply_rx.recv().ok()
+}
+
+/// One connection's request/reply loop.
+fn run_session(stream: TcpStream, cmd_tx: SyncSender<Cmd>) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(msg) = Msg::read_from(&mut reader)? {
+        let reply = match msg {
+            Msg::Hello { proto } => {
+                if proto != PROTO_VERSION {
+                    Some(Msg::Error {
+                        msg: format!(
+                            "protocol mismatch: client speaks v{proto}, server v{PROTO_VERSION}"
+                        ),
+                    })
+                } else {
+                    roundtrip(&cmd_tx, |reply| Cmd::Hello { reply })
+                }
+            }
+            Msg::MapLabels { names } => roundtrip(&cmd_tx, |reply| Cmd::MapLabels { names, reply }),
+            Msg::Ingest { tuples } => roundtrip(&cmd_tx, |reply| Cmd::Ingest { tuples, reply }),
+            Msg::AddQuery {
+                name,
+                regex,
+                simple,
+                backfill,
+            } => roundtrip(&cmd_tx, |reply| Cmd::AddQuery {
+                name,
+                regex,
+                simple,
+                backfill,
+                reply,
+            }),
+            Msg::RemoveQuery { name } => {
+                roundtrip(&cmd_tx, |reply| Cmd::RemoveQuery { name, reply })
+            }
+            Msg::ListQueries => roundtrip(&cmd_tx, |reply| Cmd::ListQueries { reply }),
+            Msg::Drain => roundtrip(&cmd_tx, |reply| Cmd::Drain { reply }),
+            Msg::Checkpoint => roundtrip(&cmd_tx, |reply| Cmd::Checkpoint { reply }),
+            Msg::Stats => roundtrip(&cmd_tx, |reply| Cmd::Stats { reply }),
+            Msg::Shutdown => roundtrip(&cmd_tx, |reply| Cmd::Shutdown { reply }),
+            Msg::Subscribe {
+                queries,
+                policy,
+                capacity,
+            } => {
+                let cap = if capacity == 0 {
+                    DEFAULT_CAPACITY
+                } else {
+                    capacity as usize
+                };
+                let (push_tx, push_rx) = mpsc::sync_channel::<Push>(cap);
+                let ack = roundtrip(&cmd_tx, |reply| Cmd::Subscribe {
+                    queries,
+                    policy,
+                    tx: push_tx,
+                    reply,
+                });
+                match ack {
+                    Some(ack) => {
+                        ack.write_to(&mut writer)?;
+                        writer.flush()?;
+                        // The session is a push stream from here on.
+                        return pump_subscription(push_rx, writer);
+                    }
+                    None => Some(Msg::Error {
+                        msg: "server is shutting down".into(),
+                    }),
+                }
+            }
+            // Server-to-client message kinds are not valid requests.
+            other => Some(Msg::Error {
+                msg: format!("unexpected message {other:?} on a request session"),
+            }),
+        };
+        match reply {
+            Some(reply) => {
+                let shutting_down = matches!(reply, Msg::ShuttingDown);
+                reply.write_to(&mut writer)?;
+                writer.flush()?;
+                if shutting_down {
+                    break;
+                }
+            }
+            None => {
+                let _ = Msg::Error {
+                    msg: "server is shutting down".into(),
+                }
+                .write_to(&mut writer);
+                let _ = writer.flush();
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Forwards the bounded queue to the socket until the engine closes the
+/// queue (shutdown) or the socket dies (client gone — the engine
+/// notices on its next send and reaps this subscriber).
+fn pump_subscription(
+    push_rx: Receiver<Push>,
+    mut writer: BufWriter<TcpStream>,
+) -> std::io::Result<()> {
+    loop {
+        let Ok(first) = push_rx.recv() else {
+            // Engine dropped the queue: graceful end of stream.
+            let _ = Msg::ShuttingDown.write_to(&mut writer);
+            let _ = writer.flush();
+            return Ok(());
+        };
+        // Drain everything already queued, then flush once — low-rate
+        // streams see results promptly, high-rate streams amortize
+        // syscalls over the backlog.
+        let mut item = Some(first);
+        while let Some(push) = item.take() {
+            match push {
+                Push::Flush(ack) => {
+                    writer.flush()?;
+                    let _ = ack.send(());
+                }
+                other => {
+                    if let Some(msg) = render_push(&other) {
+                        msg.write_to(&mut writer)?;
+                    }
+                }
+            }
+            item = push_rx.try_recv().ok();
+        }
+        writer.flush()?;
+    }
+}

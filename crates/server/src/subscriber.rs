@@ -1,0 +1,371 @@
+//! Subscriber registry, bounded result queues, and the fan-out sink.
+//!
+//! Every subscriber session owns one bounded queue of [`Push`] items.
+//! The engine thread fans results out by query id: a [`FanoutSink`]
+//! buffers entries per subscriber during a batch, then flushes them as
+//! [`Push::Results`] frames. When a queue is full the subscriber's
+//! [`SubPolicy`] decides:
+//!
+//! * [`SubPolicy::Block`] — the engine thread blocks until the
+//!   subscriber drains. Lossless; the stall backpressures the whole
+//!   ingest pipeline (acks are withheld), which in turn backpressures
+//!   every ingest client through its bounded command channel and,
+//!   transitively, TCP.
+//! * [`SubPolicy::DropNewest`] — the frame's entries are counted and
+//!   discarded; the tally is delivered as a [`Msg::Dropped`] message as
+//!   soon as the queue has room again. Ingest never waits on a slow
+//!   subscriber.
+//!
+//! Flush fences ([`Push::Flush`]) are delivered with a *blocking* send
+//! under both policies — they carry the determinism guarantee of
+//! `Drain`, so they are never dropped.
+
+use crate::protocol::{Msg, ResultEntry, SubPolicy};
+use srpq_common::{FxHashSet, ResultPair, Timestamp};
+use srpq_core::multi::{MultiSink, QueryId};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+
+/// Result entries per [`Push::Results`] frame before an eager flush.
+pub(crate) const RESULTS_PER_FRAME: usize = 256;
+
+/// Default queue bound (frames) when the subscriber passes 0.
+pub(crate) const DEFAULT_CAPACITY: usize = 64;
+
+/// One item in a subscriber queue.
+pub(crate) enum Push {
+    /// A batch of results to forward.
+    Results(Vec<ResultEntry>),
+    /// A drop tally to forward ([`Msg::Dropped`]).
+    Dropped(u64),
+    /// Flush the socket, then acknowledge — the `Drain` fence.
+    Flush(SyncSender<()>),
+}
+
+/// Engine-side state of one attached subscriber.
+pub(crate) struct Subscriber {
+    /// Follow every query, including ones registered later.
+    pub(crate) all: bool,
+    /// The names this subscriber declared (a query registered — or
+    /// re-registered — later under one of them is followed too).
+    pub(crate) names: Vec<String>,
+    /// Slot ids followed when not `all`.
+    pub(crate) queries: FxHashSet<u32>,
+    /// The bounded queue into the subscriber session thread.
+    pub(crate) tx: SyncSender<Push>,
+    pub(crate) policy: SubPolicy,
+    /// Entries dropped since the last delivered tally.
+    pub(crate) dropped_pending: u64,
+    /// Per-batch staging buffer (flushed at `RESULTS_PER_FRAME` and at
+    /// batch end).
+    pub(crate) buf: Vec<ResultEntry>,
+    /// The session is gone (queue disconnected); reaped after the batch.
+    pub(crate) dead: bool,
+}
+
+impl Subscriber {
+    pub(crate) fn new(
+        names: Vec<String>,
+        queries: FxHashSet<u32>,
+        tx: SyncSender<Push>,
+        policy: SubPolicy,
+    ) -> Subscriber {
+        Subscriber {
+            all: names.is_empty(),
+            names,
+            queries,
+            tx,
+            policy,
+            dropped_pending: 0,
+            buf: Vec::new(),
+            dead: false,
+        }
+    }
+
+    fn matches(&self, query: u32) -> bool {
+        self.all || self.queries.contains(&query)
+    }
+
+    /// Hands the staged buffer to the session thread under the
+    /// subscriber's policy, crediting delivered entries to
+    /// `pushed_total` and shed ones to `dropped_total` (an entry is
+    /// never both).
+    pub(crate) fn flush_buf(&mut self, pushed_total: &mut u64, dropped_total: &mut u64) {
+        if self.dead {
+            self.buf.clear();
+            return;
+        }
+        if !self.buf.is_empty() {
+            let frame = std::mem::take(&mut self.buf);
+            let n = frame.len() as u64;
+            match self.policy {
+                SubPolicy::Block => {
+                    if self.tx.send(Push::Results(frame)).is_err() {
+                        self.dead = true;
+                    } else {
+                        *pushed_total += n;
+                    }
+                }
+                SubPolicy::DropNewest => match self.tx.try_send(Push::Results(frame)) {
+                    Ok(()) => *pushed_total += n,
+                    Err(TrySendError::Full(_)) => {
+                        self.dropped_pending += n;
+                        *dropped_total += n;
+                    }
+                    Err(TrySendError::Disconnected(_)) => self.dead = true,
+                },
+            }
+        }
+        // Deliver an outstanding drop tally opportunistically; if the
+        // queue is still full, keep accumulating.
+        if self.dropped_pending > 0 && !self.dead {
+            match self.tx.try_send(Push::Dropped(self.dropped_pending)) {
+                Ok(()) => self.dropped_pending = 0,
+                Err(TrySendError::Full(_)) => {}
+                Err(TrySendError::Disconnected(_)) => self.dead = true,
+            }
+        }
+    }
+
+    /// Sends the drain fence and returns the ack receiver. Fences are
+    /// never *dropped* — a full queue is retried — but a subscriber
+    /// wedged longer than `timeout` (its client stopped reading and the
+    /// kernel buffers are full) is skipped with `None` rather than
+    /// deadlocking the control plane against the stalled socket.
+    pub(crate) fn send_fence(
+        &mut self,
+        timeout: std::time::Duration,
+    ) -> Option<mpsc::Receiver<()>> {
+        if self.dead {
+            return None;
+        }
+        let (ack_tx, ack_rx) = mpsc::sync_channel(1);
+        let mut fence = Push::Flush(ack_tx);
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match self.tx.try_send(fence) {
+                Ok(()) => return Some(ack_rx),
+                Err(TrySendError::Disconnected(_)) => {
+                    self.dead = true;
+                    return None;
+                }
+                Err(TrySendError::Full(f)) => {
+                    if std::time::Instant::now() >= deadline {
+                        return None;
+                    }
+                    fence = f;
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+        }
+    }
+}
+
+/// A [`MultiSink`] fanning tagged results out to the matching
+/// subscribers' staging buffers.
+pub(crate) struct FanoutSink<'a> {
+    pub(crate) subscribers: &'a mut Vec<Subscriber>,
+    /// Running count of entries handed to session threads.
+    pub(crate) pushed: &'a mut u64,
+    /// Running count of entries lost to drop-policy queues.
+    pub(crate) dropped: &'a mut u64,
+}
+
+impl FanoutSink<'_> {
+    fn push(&mut self, entry: ResultEntry) {
+        for sub in self.subscribers.iter_mut() {
+            if sub.dead || !sub.matches(entry.query) {
+                continue;
+            }
+            sub.buf.push(entry);
+            if sub.buf.len() >= RESULTS_PER_FRAME {
+                sub.flush_buf(self.pushed, self.dropped);
+            }
+        }
+    }
+
+    /// Flushes every staging buffer (end of batch) and reaps dead
+    /// subscribers.
+    pub(crate) fn finish(self) {
+        for sub in self.subscribers.iter_mut() {
+            sub.flush_buf(self.pushed, self.dropped);
+        }
+        self.subscribers.retain(|s| !s.dead);
+    }
+}
+
+impl MultiSink for FanoutSink<'_> {
+    fn emit(&mut self, id: QueryId, pair: ResultPair, ts: Timestamp) {
+        self.push(ResultEntry {
+            query: id.0,
+            invalidated: false,
+            src: pair.src.0,
+            dst: pair.dst.0,
+            ts: ts.0,
+        });
+    }
+
+    fn invalidate(&mut self, id: QueryId, pair: ResultPair, ts: Timestamp) {
+        self.push(ResultEntry {
+            query: id.0,
+            invalidated: true,
+            src: pair.src.0,
+            dst: pair.dst.0,
+            ts: ts.0,
+        });
+    }
+}
+
+/// Renders one queue item as its wire message.
+pub(crate) fn push_to_msg(push: &Push) -> Option<Msg> {
+    match push {
+        Push::Results(entries) => Some(Msg::Results {
+            entries: entries.clone(),
+        }),
+        Push::Dropped(count) => Some(Msg::Dropped { count: *count }),
+        Push::Flush(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srpq_common::VertexId;
+
+    fn entry(q: u32, n: i64) -> ResultEntry {
+        ResultEntry {
+            query: q,
+            invalidated: false,
+            src: n as u32,
+            dst: n as u32 + 1,
+            ts: n,
+        }
+    }
+
+    #[test]
+    fn block_policy_is_lossless() {
+        let (tx, rx) = mpsc::sync_channel(2);
+        let mut subs = vec![Subscriber::new(
+            Vec::new(),
+            FxHashSet::default(),
+            tx,
+            SubPolicy::Block,
+        )];
+        let mut pushed = 0;
+        let mut dropped = 0;
+        // Fill well past the queue bound; a consumer thread drains.
+        let consumer = std::thread::spawn(move || {
+            let mut got = 0usize;
+            while let Ok(p) = rx.recv() {
+                if let Push::Results(v) = p {
+                    got += v.len();
+                }
+            }
+            got
+        });
+        for round in 0..10 {
+            let mut sink = FanoutSink {
+                subscribers: &mut subs,
+                pushed: &mut pushed,
+                dropped: &mut dropped,
+            };
+            for i in 0..(RESULTS_PER_FRAME + 1) {
+                sink.emit(
+                    QueryId(0),
+                    ResultPair::new(VertexId(i as u32), VertexId(round)),
+                    Timestamp(i as i64),
+                );
+            }
+            sink.finish();
+        }
+        drop(subs);
+        let got = consumer.join().unwrap();
+        assert_eq!(got as u64, pushed);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn drop_policy_counts_and_reports() {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let mut subs = vec![Subscriber::new(
+            Vec::new(),
+            FxHashSet::default(),
+            tx,
+            SubPolicy::DropNewest,
+        )];
+        let mut pushed = 0;
+        let mut dropped = 0;
+        // Nobody drains: the first frame occupies the queue, later
+        // frames drop and are tallied.
+        for round in 0..3 {
+            let mut sink = FanoutSink {
+                subscribers: &mut subs,
+                pushed: &mut pushed,
+                dropped: &mut dropped,
+            };
+            sink.push(entry(0, round));
+            sink.finish();
+        }
+        assert_eq!(dropped, 2);
+        assert_eq!(subs[0].dropped_pending, 2);
+        // Drain the queue: the next flush (even an empty one — no new
+        // results required) delivers the tally.
+        let Push::Results(first) = rx.recv().unwrap() else {
+            panic!("expected results first");
+        };
+        assert_eq!(first.len(), 1);
+        let sink = FanoutSink {
+            subscribers: &mut subs,
+            pushed: &mut pushed,
+            dropped: &mut dropped,
+        };
+        sink.finish();
+        let Push::Dropped(n) = rx.recv().unwrap() else {
+            panic!("expected the drop tally");
+        };
+        assert_eq!(n, 2);
+        assert_eq!(subs[0].dropped_pending, 0);
+    }
+
+    #[test]
+    fn filters_and_reaps_disconnected() {
+        let (tx, rx) = mpsc::sync_channel(4);
+        let (tx2, rx2) = mpsc::sync_channel(4);
+        let mut q0 = FxHashSet::default();
+        q0.insert(0);
+        let mut subs = vec![
+            Subscriber::new(vec!["only-q0".into()], q0, tx, SubPolicy::Block),
+            Subscriber::new(Vec::new(), FxHashSet::default(), tx2, SubPolicy::Block),
+        ];
+        let mut pushed = 0;
+        let mut dropped = 0;
+        let mut sink = FanoutSink {
+            subscribers: &mut subs,
+            pushed: &mut pushed,
+            dropped: &mut dropped,
+        };
+        sink.push(entry(0, 1));
+        sink.push(entry(1, 2));
+        sink.finish();
+        // Filtered subscriber only sees query 0; `all` sees both.
+        let Push::Results(a) = rx.recv().unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.iter().map(|e| e.query).collect::<Vec<_>>(), vec![0]);
+        let Push::Results(b) = rx2.recv().unwrap() else {
+            panic!()
+        };
+        assert_eq!(b.iter().map(|e| e.query).collect::<Vec<_>>(), vec![0, 1]);
+        // Disconnect the first subscriber: it is reaped on next flush.
+        drop(rx);
+        let mut sink = FanoutSink {
+            subscribers: &mut subs,
+            pushed: &mut pushed,
+            dropped: &mut dropped,
+        };
+        sink.push(entry(0, 3));
+        sink.finish();
+        assert_eq!(subs.len(), 1);
+        assert!(subs[0].all);
+        drop(rx2);
+    }
+}

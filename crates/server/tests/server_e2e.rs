@@ -1,0 +1,349 @@
+//! End-to-end serving-layer lifecycle over real sockets: handshake,
+//! label mapping, acked ingest, runtime query add/remove, subscription
+//! pushes, drain fences, duplicate-name errors, graceful shutdown, and
+//! kill/recover continuity over a WAL directory.
+
+use srpq_client::{Client, SubEvent};
+use srpq_common::{StreamTuple, Timestamp, VertexId};
+use srpq_core::EngineConfig;
+use srpq_graph::WindowPolicy;
+use srpq_server::protocol::SubPolicy;
+use srpq_server::{ServerConfig, ServerHandle};
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("srpq-server-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_in_memory() -> ServerHandle {
+    let config = ServerConfig::in_memory(EngineConfig::with_window(WindowPolicy::new(1000, 100)));
+    srpq_server::start(config).expect("server starts")
+}
+
+fn chain(labels: &[srpq_common::Label], n: usize) -> Vec<StreamTuple> {
+    (0..n)
+        .map(|i| {
+            StreamTuple::insert(
+                Timestamp(i as i64),
+                VertexId(i as u32),
+                VertexId(i as u32 + 1),
+                labels[i % labels.len()],
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn ingest_query_subscribe_roundtrip() {
+    let server = start_in_memory();
+    let addr = server.addr();
+
+    let mut control = Client::connect(addr).unwrap();
+    assert!(!control.server_info().durable);
+    assert_eq!(control.server_info().seq, 0);
+    let id = control.add_query("ab", "a b", false, false).unwrap();
+    assert_eq!(id, 0);
+
+    // Subscriber attached before any data: sees everything.
+    let sub = Client::connect(addr)
+        .unwrap()
+        .subscribe(&[], SubPolicy::Block, 0)
+        .unwrap();
+    assert_eq!(sub.matched(), 1);
+    let collector = std::thread::spawn(move || sub.collect_to_end().unwrap());
+
+    let mut ingest = Client::connect(addr).unwrap();
+    let ids = ingest
+        .map_labels(&["a".to_string(), "b".to_string()])
+        .unwrap();
+    let tuples = chain(&ids, 10);
+    let ack = ingest.ingest(&tuples[..4]).unwrap();
+    assert_eq!(ack.seq, 4);
+    assert!(!ack.durable);
+    let ack = ingest.ingest(&tuples[4..]).unwrap();
+    assert_eq!(ack.seq, 10);
+
+    // A fresh client sees the advanced sequence in its handshake.
+    let late = Client::connect(addr).unwrap();
+    assert_eq!(late.server_info().seq, 10);
+
+    // Queries are listable; duplicates refused; unknown removals error.
+    let list = control.list_queries().unwrap();
+    assert_eq!(list.len(), 1);
+    assert_eq!(list[0].name, "ab");
+    assert_eq!(list[0].regex.replace(' ', ""), "ab".replace(' ', ""));
+    assert!(control.add_query("ab", "b a", false, false).is_err());
+    assert!(control.remove_query("nope").is_err());
+
+    // Stats reflect the session topology.
+    control.drain().unwrap();
+    let stats = control.stats().unwrap();
+    assert_eq!(stats.seq, 10);
+    assert_eq!(stats.live_queries, 1);
+    assert_eq!(stats.subscribers, 1);
+    assert!(stats.results_pushed > 0);
+    assert_eq!(stats.results_dropped, 0);
+
+    // Graceful shutdown ends the subscription stream.
+    control.shutdown().unwrap();
+    server.join();
+    let (entries, dropped) = collector.join().unwrap();
+    assert_eq!(dropped, 0);
+    // The a/b chain 0→1→2 … yields one "a b" result per odd prefix.
+    assert!(!entries.is_empty());
+    assert!(entries.iter().all(|e| e.query == 0 && !e.invalidated));
+    assert!(entries.iter().any(|e| e.src == 0 && e.dst == 2));
+}
+
+#[test]
+fn backfilled_add_reaches_prior_named_subscriber() {
+    let server = start_in_memory();
+    let addr = server.addr();
+    let mut control = Client::connect(addr).unwrap();
+    // The shared window only materializes labels some live query
+    // speaks, so the first query must cover `a` and `b` for the later
+    // backfill to see both (see `register_backfilled`'s docs).
+    control.add_query("first", "a | b", false, false).unwrap();
+
+    // Subscribe *by name* to a query that does not exist yet.
+    let sub = Client::connect(addr)
+        .unwrap()
+        .subscribe(&["late".to_string()], SubPolicy::Block, 0)
+        .unwrap();
+    assert_eq!(sub.matched(), 0);
+    let collector = std::thread::spawn(move || sub.collect_to_end().unwrap());
+
+    let mut ingest = Client::connect(addr).unwrap();
+    let ids = ingest
+        .map_labels(&["a".to_string(), "b".to_string()])
+        .unwrap();
+    ingest.ingest(&chain(&ids, 6)).unwrap();
+
+    // The backfilled registration replays the live window; the named
+    // subscriber must receive those backfill results.
+    let id = control.add_query("late", "a b", false, true).unwrap();
+    assert_eq!(id, 1);
+    control.drain().unwrap();
+    control.shutdown().unwrap();
+    server.join();
+    let (entries, _) = collector.join().unwrap();
+    assert!(!entries.is_empty());
+    assert!(entries.iter().all(|e| e.query == 1));
+}
+
+#[test]
+fn failed_backfilled_add_does_not_pollute_name_filters() {
+    // Regression: a refused backfilled AddQuery (duplicate name) used
+    // to leave its *predicted* slot id in the name-matching
+    // subscribers' filters, so the next unrelated query taking that
+    // slot leaked its results to them.
+    let server = start_in_memory();
+    let addr = server.addr();
+    let mut control = Client::connect(addr).unwrap();
+    control.add_query("dup", "a", false, false).unwrap();
+
+    let sub = Client::connect(addr)
+        .unwrap()
+        .subscribe(&["dup".to_string()], SubPolicy::Block, 0)
+        .unwrap();
+    let collector = std::thread::spawn(move || sub.collect_to_end().unwrap().0);
+
+    // Refused: "dup" is live. The predicted slot id (1) must not stick.
+    assert!(control.add_query("dup", "a a", false, true).is_err());
+    // "other" takes slot 1; its results must not reach the subscriber.
+    assert_eq!(control.add_query("other", "b", false, false).unwrap(), 1);
+
+    let mut ingest = Client::connect(addr).unwrap();
+    let ids = ingest
+        .map_labels(&["a".to_string(), "b".to_string()])
+        .unwrap();
+    ingest.ingest(&chain(&ids, 8)).unwrap();
+    control.drain().unwrap();
+    control.shutdown().unwrap();
+    server.join();
+    let entries = collector.join().unwrap();
+    assert!(!entries.is_empty(), "the dup query itself still streams");
+    assert!(
+        entries.iter().all(|e| e.query == 0),
+        "results of another query leaked into the name filter: {entries:?}"
+    );
+}
+
+#[test]
+fn ingest_validation_errors_do_not_advance_seq() {
+    let server = start_in_memory();
+    let addr = server.addr();
+    let mut ingest = Client::connect(addr).unwrap();
+    let ids = ingest.map_labels(&["a".to_string()]).unwrap();
+
+    // Unmapped label id.
+    let bad_label = StreamTuple::insert(
+        Timestamp(1),
+        VertexId(0),
+        VertexId(1),
+        srpq_common::Label(77),
+    );
+    let err = ingest.ingest(&[bad_label]).unwrap_err();
+    assert!(err.to_string().contains("unmapped label"), "{err}");
+
+    // Negative timestamp.
+    let bad_ts = StreamTuple::insert(Timestamp(-4), VertexId(0), VertexId(1), ids[0]);
+    let err = ingest.ingest(&[bad_ts]).unwrap_err();
+    assert!(err.to_string().contains("negative timestamp"), "{err}");
+
+    // The session survives errors, and nothing was accepted.
+    let ack = ingest.ingest(&[]).unwrap();
+    assert_eq!(ack.seq, 0);
+    let good = StreamTuple::insert(Timestamp(1), VertexId(0), VertexId(1), ids[0]);
+    assert_eq!(ingest.ingest(&[good]).unwrap().seq, 1);
+    server.shutdown();
+}
+
+#[test]
+fn remove_query_stops_its_stream() {
+    let server = start_in_memory();
+    let addr = server.addr();
+    let mut control = Client::connect(addr).unwrap();
+    control.add_query("q", "a+", false, false).unwrap();
+
+    let mut sub = Client::connect(addr)
+        .unwrap()
+        .subscribe(&[], SubPolicy::Block, 0)
+        .unwrap();
+
+    let mut ingest = Client::connect(addr).unwrap();
+    let ids = ingest.map_labels(&["a".to_string()]).unwrap();
+    ingest.ingest(&chain(&ids, 3)).unwrap();
+    control.drain().unwrap();
+    let Some(SubEvent::Results(first)) = sub.next_event().unwrap() else {
+        panic!("expected results before removal");
+    };
+    assert!(!first.is_empty());
+
+    let removed = control.remove_query("q").unwrap();
+    assert_eq!(removed, 0);
+    ingest.ingest(&chain(&ids, 3)).unwrap();
+    control.drain().unwrap();
+    control.shutdown().unwrap();
+    server.join();
+    // Everything after the removal fence must be silence.
+    let (rest, _) = sub.collect_to_end().unwrap();
+    assert!(
+        rest.is_empty(),
+        "results pushed after deregistration: {rest:?}"
+    );
+}
+
+#[test]
+fn durable_server_recovers_queries_labels_and_sequence() {
+    let dir = tmpdir("recover");
+    let window = EngineConfig::with_window(WindowPolicy::new(100_000, 1000));
+    let mut config = ServerConfig::in_memory(window);
+    config.wal_dir = Some(dir.clone());
+
+    // First life: labels, a query, some tuples — then a hard stop
+    // (drop without shutdown handshake is fine; acked batches are
+    // WAL-durable under the default Batch sync policy).
+    let server = srpq_server::start(config.clone()).unwrap();
+    let addr = server.addr();
+    let mut control = Client::connect(addr).unwrap();
+    assert!(control.server_info().durable);
+    control.add_query("chain", "a b", false, false).unwrap();
+    let mut ingest = Client::connect(addr).unwrap();
+    let ids = ingest
+        .map_labels(&["a".to_string(), "b".to_string()])
+        .unwrap();
+    let tuples = chain(&ids, 8);
+    let ack = ingest.ingest(&tuples[..5]).unwrap();
+    assert!(ack.durable);
+    assert_eq!(ack.seq, 5);
+    // Make registration + tuples durable, then kill without ceremony.
+    control.checkpoint().unwrap();
+    drop(control);
+    drop(ingest);
+    server.shutdown();
+
+    // Second life over the same directory: recovery restores the
+    // query, the label table, and the accepted sequence.
+    let server = srpq_server::start(config).unwrap();
+    assert!(server.recovery.is_some());
+    let addr = server.addr();
+    let mut control = Client::connect(addr).unwrap();
+    assert_eq!(control.server_info().seq, 5);
+    let list = control.list_queries().unwrap();
+    assert_eq!(list.len(), 1);
+    assert_eq!(list[0].name, "chain");
+
+    // The label table survived: mapping the same names yields the same
+    // ids, so a resuming client can continue its remapped stream.
+    let mut ingest = Client::connect(addr).unwrap();
+    let ids2 = ingest
+        .map_labels(&["a".to_string(), "b".to_string()])
+        .unwrap();
+    assert_eq!(ids, ids2);
+
+    let sub = Client::connect(addr)
+        .unwrap()
+        .subscribe(&[], SubPolicy::Block, 0)
+        .unwrap();
+    let collector = std::thread::spawn(move || sub.collect_to_end().unwrap());
+    let resume = control.server_info().seq as usize;
+    ingest.ingest(&tuples[resume..]).unwrap();
+    control.drain().unwrap();
+    control.shutdown().unwrap();
+    server.join();
+    // The post-recovery suffix still produces chain results (the Δ
+    // index was rebuilt from the checkpointed window).
+    let (entries, _) = collector.join().unwrap();
+    assert!(entries.iter().any(|e| e.src == 4 && e.dst == 6));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn drop_policy_subscriber_reports_losses() {
+    let server = start_in_memory();
+    let addr = server.addr();
+    let mut control = Client::connect(addr).unwrap();
+    // A dense alternation query over a chain produces plenty of
+    // results per batch.
+    control.add_query("q", "(a | b)+", false, false).unwrap();
+
+    // Capacity 1 frame and a subscriber that reads nothing while a
+    // dense result stream floods in: once the kernel socket buffers
+    // fill, the pump stalls, the queue stays full, and frames drop.
+    let sub = Client::connect(addr)
+        .unwrap()
+        .subscribe(&[], SubPolicy::DropNewest, 1)
+        .unwrap();
+
+    let mut ingest = Client::connect(addr).unwrap();
+    let ids = ingest
+        .map_labels(&["a".to_string(), "b".to_string()])
+        .unwrap();
+    let tuples = chain(&ids, 1500);
+    for batch in tuples.chunks(100) {
+        ingest.ingest(batch).unwrap();
+    }
+    control.drain().unwrap();
+    let stats = control.stats().unwrap();
+    control.shutdown().unwrap();
+    server.join();
+    let (received, dropped) = sub.collect_to_end().unwrap();
+    assert!(
+        stats.results_dropped > 0,
+        "expected drops under a stalled capacity-1 subscriber \
+         (pushed {}, received {})",
+        stats.results_pushed,
+        received.len()
+    );
+    // Nothing is lost silently: every entry staged for this subscriber
+    // was either delivered (counted in results_pushed) or tallied as
+    // dropped — never both, never neither. The client-side tally is
+    // best-effort (a tally queued behind a full queue dies with the
+    // shutdown), so it lower-bounds the server's.
+    assert_eq!(received.len() as u64, stats.results_pushed);
+    assert!(dropped > 0, "no drop tally reached the client");
+    assert!(dropped <= stats.results_dropped);
+}

@@ -48,7 +48,12 @@ fn main() {
     for &(name, expr) in &queries {
         let mut labels = ds.labels.clone();
         let query = CompiledQuery::compile(expr, &mut labels).unwrap();
-        ids.push((name, multi.register(name, query, PathSemantics::Arbitrary)));
+        ids.push((
+            name,
+            multi
+                .register(name, query, PathSemantics::Arbitrary)
+                .expect("unique query names"),
+        ));
     }
 
     let mut sink = MultiCollectSink::default();
@@ -62,8 +67,9 @@ fn main() {
     // shared window — it immediately reports over live content.
     let mut labels = ds.labels.clone();
     let late = CompiledQuery::compile("replyOf* hasCreator", &mut labels).unwrap();
-    let late_id =
-        multi.register_backfilled("thread-authors", late, PathSemantics::Arbitrary, &mut sink);
+    let late_id = multi
+        .register_backfilled("thread-authors", late, PathSemantics::Arbitrary, &mut sink)
+        .expect("unique query names");
     ids.push(("thread-authors", late_id));
 
     for &t in &ds.tuples[half..] {

@@ -183,16 +183,24 @@ fn multi_query_batch_stream_is_byte_identical() {
         let window = WindowPolicy::new(18, 4);
 
         let mut single = MultiQueryEngine::new(window);
-        single.register("q1", q1.clone(), PathSemantics::Arbitrary);
-        single.register("q2", q2.clone(), PathSemantics::Arbitrary);
+        single
+            .register("q1", q1.clone(), PathSemantics::Arbitrary)
+            .unwrap();
+        single
+            .register("q2", q2.clone(), PathSemantics::Arbitrary)
+            .unwrap();
         let mut s_sink = MultiCollectSink::default();
         for &t in &stream {
             single.process(t, &mut s_sink);
         }
 
         let mut batched = MultiQueryEngine::new(window);
-        batched.register("q1", q1, PathSemantics::Arbitrary);
-        batched.register("q2", q2, PathSemantics::Arbitrary);
+        batched
+            .register("q1", q1, PathSemantics::Arbitrary)
+            .unwrap();
+        batched
+            .register("q2", q2, PathSemantics::Arbitrary)
+            .unwrap();
         let mut b_sink = MultiCollectSink::default();
         let sizes = chunkings(seed);
         let mut i = 0;

@@ -220,9 +220,15 @@ fn multi_case(strategy: CheckpointStrategy, seed: u64) {
         let q1 = CompiledQuery::compile("a b*", labels).unwrap();
         let q2 = CompiledQuery::compile("(a | b)+", labels).unwrap();
         let q3 = CompiledQuery::compile("b a", labels).unwrap();
-        multi.register("ab_star", q1, PathSemantics::Arbitrary);
-        multi.register("alt_plus", q2, PathSemantics::Arbitrary);
-        multi.register("ba_simple", q3, PathSemantics::Simple);
+        multi
+            .register("ab_star", q1, PathSemantics::Arbitrary)
+            .unwrap();
+        multi
+            .register("alt_plus", q2, PathSemantics::Arbitrary)
+            .unwrap();
+        multi
+            .register("ba_simple", q3, PathSemantics::Simple)
+            .unwrap();
         multi
     };
 
