@@ -6,7 +6,7 @@ use srpq_automata::CompiledQuery;
 use srpq_common::{LabelInterner, LatencyHistogram, StreamTuple};
 use srpq_core::engine::{Engine, PathSemantics};
 use srpq_core::sink::{CollectSink, CountSink};
-use srpq_core::EngineConfig;
+use srpq_core::{EngineConfig, ParallelMultiEngine, QueryId};
 use srpq_datagen::{gmark, ldbc, so, yago, Dataset};
 use srpq_graph::WindowPolicy;
 use srpq_persist::{CheckpointStrategy, DurabilityConfig, Durable, SyncPolicy};
@@ -20,13 +20,15 @@ const USAGE: &str = "usage:
   srpq run --query QUERY --stream FILE [--window W] [--slide B]
            [--semantics arbitrary|simple] [--print-results] [--limit N]
            [--batch N] [--stats] [--refresh none|node|subtree]
+           [--workers N]
            [--wal-dir DIR [--checkpoint-every N] [--sync none|batch|always]
             [--checkpoint logical|full]]
   srpq recover --wal-dir DIR --stream FILE [--batch N] [--print-results]
            [--limit N] [--stats] [--sync ...] [--checkpoint-every N]
+           [--workers N]
   srpq wal-info --wal-dir DIR
   srpq serve --listen ADDR --window W [--slide B] [--refresh ...]
-           [--wal-dir DIR [--sync ...] [--checkpoint ...]
+           [--workers N] [--wal-dir DIR [--sync ...] [--checkpoint ...]
             [--checkpoint-every N]] [--pipeline N]
   srpq ingest --connect ADDR --stream FILE [--batch N] [--limit N]
            [--resume] [--drain]
@@ -252,14 +254,31 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         "subtree" => srpq_core::config::RefreshPolicy::Subtree,
         other => return Err(format!("unknown refresh policy {other:?}")),
     };
-    let engine = Engine::new(query, config, semantics);
-
-    let mut host = match args.get("wal-dir") {
-        Some(dir) => EngineHost::Durable(
-            Durable::create(engine, Path::new(dir), durability_config(args)?)
-                .map_err(|e| e.to_string())?,
-        ),
-        None => EngineHost::Plain(engine),
+    let workers: usize = args.get_num("workers", 0usize)?;
+    let mut host = if workers > 0 {
+        // Worker-pool evaluation: the single query rides a
+        // ParallelMultiEngine (byte-identical output, see README).
+        let mut multi = ParallelMultiEngine::with_config(config, workers);
+        let id = multi
+            .register("cli", query, semantics)
+            .expect("fresh engine has no duplicate names");
+        match args.get("wal-dir") {
+            Some(dir) => EngineHost::ParallelDurable(
+                Durable::create(multi, Path::new(dir), durability_config(args)?)
+                    .map_err(|e| e.to_string())?,
+                id,
+            ),
+            None => EngineHost::Parallel(multi, id),
+        }
+    } else {
+        let engine = Engine::new(query, config, semantics);
+        match args.get("wal-dir") {
+            Some(dir) => EngineHost::Durable(
+                Durable::create(engine, Path::new(dir), durability_config(args)?)
+                    .map_err(|e| e.to_string())?,
+            ),
+            None => EngineHost::Plain(engine),
+        }
     };
     let outcome = drive_stream(
         &mut host,
@@ -284,9 +303,39 @@ fn cmd_recover(args: &Args) -> Result<(), String> {
     if batch == 0 {
         return Err("--batch must be at least 1".to_string());
     }
-    let (durable, report) =
-        Durable::<Engine>::recover(Path::new(&wal_dir), &mut labels, durability_config(args)?)
-            .map_err(|e| e.to_string())?;
+    let workers: usize = args.get_num("workers", 0usize)?;
+    let (mut host, report) = if workers > 0 {
+        // A directory written by `run --workers` holds multi-host state
+        // (same format as `serve`); replay fans out per query.
+        let (mut durable, report) = Durable::<ParallelMultiEngine>::recover(
+            Path::new(&wal_dir),
+            &mut labels,
+            durability_config(args)?,
+        )
+        .map_err(|e| e.to_string())?;
+        durable.inner_mut().resize_workers(workers);
+        // Offline recover drives exactly one query (results print
+        // untagged); a multi-query directory — e.g. one written by
+        // `serve` — must be refused, not silently merged.
+        let ids = durable.inner().query_ids();
+        let id = match ids.as_slice() {
+            [] => return Err("recovered multi-host state holds no live query".into()),
+            [id] => *id,
+            many => {
+                return Err(format!(
+                    "recovered state holds {} live queries; `recover` drives exactly one \
+                     (untagged output) — restart this directory with `serve --workers N` instead",
+                    many.len()
+                ))
+            }
+        };
+        (EngineHost::ParallelDurable(durable, id), report)
+    } else {
+        let (durable, report) =
+            Durable::<Engine>::recover(Path::new(&wal_dir), &mut labels, durability_config(args)?)
+                .map_err(|e| e.to_string())?;
+        (EngineHost::Durable(durable), report)
+    };
     eprintln!(
         "recovered:    checkpoint @{} ({}), {} WAL tuples replayed in {} ms",
         report.checkpoint_seq, report.strategy, report.replayed_tuples, report.elapsed_ms
@@ -304,10 +353,9 @@ fn cmd_recover(args: &Args) -> Result<(), String> {
         tuples.len(),
         tuples.len() - resume
     );
-    let query_src = durable.inner().query().regex().to_string();
-    let semantics = durable.inner().semantics();
-    let window = durable.inner().config().window;
-    let mut host = EngineHost::Durable(durable);
+    let query_src = host.engine().query().regex().to_string();
+    let semantics = host.engine().semantics();
+    let window = host.engine().config().window;
     let outcome = drive_stream(
         &mut host,
         &tuples,
@@ -375,11 +423,34 @@ fn cmd_wal_info(args: &Args) -> Result<(), String> {
 
 /// A plain or durability-wrapped engine behind one ingestion interface.
 /// (The durable variant is much bigger; exactly one host exists per
-/// process, so boxing would buy nothing.)
+/// process, so boxing would buy nothing.) `--workers N` swaps in a
+/// [`ParallelMultiEngine`] carrying the single query — the worker-pool
+/// evaluation path — with the query's id kept for the summary.
 #[allow(clippy::large_enum_variant)]
 enum EngineHost {
     Plain(Engine),
     Durable(Durable<Engine>),
+    Parallel(ParallelMultiEngine, QueryId),
+    ParallelDurable(Durable<ParallelMultiEngine>, QueryId),
+}
+
+/// Drops the query tag off a single-query multi engine's events so the
+/// `run` output stays byte-identical to the plain engine's.
+struct UntagSink<'a, S: srpq_core::sink::ResultSink>(&'a mut S);
+
+impl<S: srpq_core::sink::ResultSink> srpq_core::multi::MultiSink for UntagSink<'_, S> {
+    fn emit(&mut self, _id: QueryId, pair: srpq_common::ResultPair, ts: srpq_common::Timestamp) {
+        self.0.emit(pair, ts);
+    }
+
+    fn invalidate(
+        &mut self,
+        _id: QueryId,
+        pair: srpq_common::ResultPair,
+        ts: srpq_common::Timestamp,
+    ) {
+        self.0.invalidate(pair, ts);
+    }
 }
 
 impl EngineHost {
@@ -387,6 +458,8 @@ impl EngineHost {
         match self {
             EngineHost::Plain(e) => e,
             EngineHost::Durable(d) => d.inner(),
+            EngineHost::Parallel(m, id) => m.engine(*id).expect("query registered"),
+            EngineHost::ParallelDurable(d, id) => d.inner().engine(*id).expect("query registered"),
         }
     }
 
@@ -401,6 +474,13 @@ impl EngineHost {
                 Ok(())
             }
             EngineHost::Durable(d) => d.process_batch(chunk, sink).map_err(|e| e.to_string()),
+            EngineHost::Parallel(m, _) => {
+                m.process_batch(chunk, &mut UntagSink(sink));
+                Ok(())
+            }
+            EngineHost::ParallelDurable(d, _) => d
+                .process_batch(chunk, &mut UntagSink(sink))
+                .map_err(|e| e.to_string()),
         }
     }
 }
@@ -518,20 +598,35 @@ fn print_summary(
         "conflicts:    {} detected, {} unmarked",
         stats.conflicts_detected, stats.nodes_unmarked
     );
-    if let EngineHost::Durable(d) = host {
-        let info = d.wal_info();
-        eprintln!(
-            "wal:          {} records / {} bytes in {} segments under {}",
-            info.records,
-            info.bytes,
-            info.segments,
-            d.dir().display()
-        );
-        eprintln!(
-            "checkpoint:   latest @{} ({} written this run)",
+    let workers = match host {
+        EngineHost::Parallel(m, _) => Some(m.n_workers()),
+        EngineHost::ParallelDurable(d, _) => Some(d.inner().n_workers()),
+        _ => None,
+    };
+    if let Some(n) = workers {
+        eprintln!("workers:      {n} evaluation threads");
+    }
+    let (wal, dir, ckpt, written) = match host {
+        EngineHost::Durable(d) => (
+            Some(d.wal_info()),
+            d.dir().display().to_string(),
             d.last_checkpoint_seq(),
-            d.counters().checkpoints_written
+            d.counters().checkpoints_written,
+        ),
+        EngineHost::ParallelDurable(d, _) => (
+            Some(d.wal_info()),
+            d.dir().display().to_string(),
+            d.last_checkpoint_seq(),
+            d.counters().checkpoints_written,
+        ),
+        _ => (None, String::new(), 0, 0),
+    };
+    if let Some(info) = wal {
+        eprintln!(
+            "wal:          {} records / {} bytes in {} segments under {dir}",
+            info.records, info.bytes, info.segments,
         );
+        eprintln!("checkpoint:   latest @{ckpt} ({written} written this run)");
     }
     if args.flag("stats") {
         eprintln!("stats:");
@@ -808,6 +903,77 @@ mod tests {
         handle.join();
         // Serving without --window is refused up front.
         assert!(dispatch(&argv(&["serve", "--listen", "127.0.0.1:0"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_run_and_recover_round_trip() {
+        // `run --workers N` rides the ParallelMultiEngine end to end,
+        // durable included, and `recover --workers N` resumes it.
+        let dir = std::env::temp_dir().join(format!("srpq-cli-par-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let stream = dir.join("s.srpq");
+        let stream_s = stream.to_str().unwrap().to_string();
+        let wal = dir.join("wal");
+        let wal_s = wal.to_str().unwrap().to_string();
+        dispatch(&argv(&[
+            "gen",
+            "--dataset",
+            "so",
+            "--out",
+            &stream_s,
+            "--edges",
+            "1200",
+            "--seed",
+            "11",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "run",
+            "--query",
+            "a2q c2a*",
+            "--stream",
+            &stream_s,
+            "--workers",
+            "2",
+            "--batch",
+            "64",
+            "--limit",
+            "900",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "run",
+            "--query",
+            "a2q c2a*",
+            "--stream",
+            &stream_s,
+            "--workers",
+            "2",
+            "--batch",
+            "64",
+            "--limit",
+            "700",
+            "--wal-dir",
+            &wal_s,
+            "--checkpoint-every",
+            "2",
+            "--stats",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "recover",
+            "--wal-dir",
+            &wal_s,
+            "--stream",
+            &stream_s,
+            "--workers",
+            "2",
+            "--batch",
+            "64",
+        ]))
+        .unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

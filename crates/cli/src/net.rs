@@ -45,12 +45,14 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
     let mut engine = EngineConfig::with_window(WindowPolicy::new(window.max(1), slide.max(1)));
     engine.refresh = refresh_policy(args)?;
     let wal_dir = args.get("wal-dir").map(PathBuf::from);
+    let workers: usize = args.get_num("workers", 0usize)?;
     let config = ServerConfig {
         listen,
         engine,
         wal_dir: wal_dir.clone(),
         durability: crate::commands::durability_config(args)?,
         pipeline_depth: args.get_num("pipeline", 16usize)?,
+        workers,
     };
     let handle = srpq_server::start(config)?;
     match (&wal_dir, &handle.recovery) {
@@ -64,6 +66,10 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
         ),
         (Some(dir), None) => eprintln!("durable:      fresh state under {}", dir.display()),
         _ => eprintln!("durable:      no (in-memory; pass --wal-dir for a WAL)"),
+    }
+    match workers {
+        0 => eprintln!("evaluation:   sequential (pass --workers N to parallelize)"),
+        n => eprintln!("evaluation:   {n} worker threads (inter-query parallel)"),
     }
     eprintln!(
         "serving:      {} (window |W|={window} slide β={slide})",
@@ -241,7 +247,16 @@ pub fn cmd_query(args: &Args) -> Result<(), String> {
             let list = client.list_queries().map_err(|e| e.to_string())?;
             for q in list {
                 let semantics = if q.simple { "simple" } else { "arbitrary" };
-                println!("q{}  {}  {}  [{}]", q.id, q.name, q.regex, semantics);
+                println!(
+                    "q{}  {}  {}  [{}]  routed={} results={} eval={:.1}ms",
+                    q.id,
+                    q.name,
+                    q.regex,
+                    semantics,
+                    q.tuples_routed,
+                    q.results_emitted,
+                    q.eval_ns as f64 / 1e6,
+                );
             }
             Ok(())
         }
@@ -278,6 +293,8 @@ pub fn cmd_ctl(args: &Args) -> Result<(), String> {
             println!("labels:           {}", s.labels);
             println!("results pushed:   {}", s.results_pushed);
             println!("results dropped:  {}", s.results_dropped);
+            println!("workers:          {}", s.workers);
+            println!("eval time:        {:.1}ms total", s.eval_ns as f64 / 1e6);
             Ok(())
         }
         other => Err(format!(

@@ -13,7 +13,7 @@ use crate::sink::ResultSink;
 use crate::stats::{EngineStats, IndexSize};
 use srpq_automata::{CompiledQuery, ParseError};
 use srpq_common::{LabelInterner, ResultPair, StreamTuple, Timestamp};
-use srpq_graph::{WindowGraph, WindowPolicy};
+use srpq_graph::{Visibility, WindowGraph, WindowPolicy};
 
 /// Which path semantics a registered query evaluates under (§1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +105,74 @@ impl Engine {
         match self {
             Engine::Arbitrary(e) => e.expire_now_with_graph(graph, sink),
             Engine::Simple(e) => e.expire_now_with_graph(graph, sink),
+        }
+    }
+
+    /// The **read-only traversal path** over a shared graph whose
+    /// mutations (for this tuple, and possibly its whole micro-batch)
+    /// were already applied by a coordinator: extends/expires this
+    /// engine's Δ without touching the graph. `vis` hides in-batch
+    /// edges a sequential per-tuple run would not have seen yet —
+    /// [`crate::parallel_multi::ParallelMultiEngine`] workers traverse
+    /// one `&WindowGraph` concurrently through this.
+    pub fn extend_with_graph<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        tuple: StreamTuple,
+        sink: &mut S,
+    ) {
+        match self {
+            Engine::Arbitrary(e) => e.extend_with_graph(graph, vis, tuple, sink),
+            Engine::Simple(e) => e.extend_with_graph(graph, vis, tuple, sink),
+        }
+    }
+
+    /// Advances the clock to `ts` and, on a slide-boundary crossing,
+    /// runs the lazy Δ-expiry pass against the shared graph at
+    /// visibility `vis`. A multi-query coordinator uses this (with
+    /// [`Self::dispatch_with_graph`]) to reproduce the sequential
+    /// order: a tuple's *first* routing target expires before the
+    /// tuple's graph mutation is visible, later targets after it.
+    pub fn advance_with_graph<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        ts: Timestamp,
+        sink: &mut S,
+    ) {
+        match self {
+            Engine::Arbitrary(e) => e.advance_with_graph(graph, vis, ts, sink),
+            Engine::Simple(e) => e.advance_with_graph(graph, vis, ts, sink),
+        }
+    }
+
+    /// Δ-side handling of one tuple against the shared graph (no clock
+    /// movement — call [`Self::advance_with_graph`] first).
+    pub fn dispatch_with_graph<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        tuple: StreamTuple,
+        sink: &mut S,
+    ) {
+        match self {
+            Engine::Arbitrary(e) => e.dispatch_with_graph(graph, vis, tuple, sink),
+            Engine::Simple(e) => e.dispatch_with_graph(graph, vis, tuple, sink),
+        }
+    }
+
+    /// Read-only eager Δ-expiry against a shared graph the caller has
+    /// already purged (the shared counterpart of [`Self::expire_now`]).
+    pub fn expire_delta_with_graph<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        sink: &mut S,
+    ) {
+        match self {
+            Engine::Arbitrary(e) => e.expire_delta_with_graph(graph, vis, sink),
+            Engine::Simple(e) => e.expire_delta_with_graph(graph, vis, sink),
         }
     }
 

@@ -112,9 +112,9 @@ impl MultiSink for MultiCollectSink {
 }
 
 /// Adapts a per-query [`ResultSink`] view onto a [`MultiSink`].
-struct TagSink<'a, S: MultiSink> {
-    id: QueryId,
-    inner: &'a mut S,
+pub(crate) struct TagSink<'a, S: MultiSink> {
+    pub(crate) id: QueryId,
+    pub(crate) inner: &'a mut S,
 }
 
 impl<S: MultiSink> ResultSink for TagSink<'_, S> {
@@ -156,6 +156,14 @@ pub struct MultiQueryEngine {
     now: Timestamp,
     tuples_seen: u64,
     tuples_routed: u64,
+    /// Reusable routing-target buffer: `process` must release the
+    /// borrow of `routing` before dispatching into the engines, and
+    /// copying into a retained buffer beats a fresh `Vec` per tuple.
+    route_scratch: Vec<u32>,
+    /// A previous `process_batch` panicked mid-batch: engine state may
+    /// be half-applied, so further processing is refused (see
+    /// [`Self::process_batch`]).
+    poisoned: bool,
 }
 
 impl MultiQueryEngine {
@@ -177,6 +185,8 @@ impl MultiQueryEngine {
             now: Timestamp::NEG_INFINITY,
             tuples_seen: 0,
             tuples_routed: 0,
+            route_scratch: Vec::new(),
+            poisoned: false,
         }
     }
 
@@ -413,7 +423,12 @@ impl MultiQueryEngine {
     }
 
     /// Processes one tuple: route to the queries that speak its label.
+    /// Shares [`Self::process_batch`]'s panic contract: a panic
+    /// mid-tuple poisons the engine (some query's Δ index may be
+    /// half-applied) and further processing is refused.
     pub fn process<S: MultiSink>(&mut self, tuple: StreamTuple, sink: &mut S) {
+        self.assert_usable();
+        self.poisoned = true; // cleared on orderly completion
         self.tuples_seen += 1;
         let prev = self.now;
         if tuple.ts > self.now {
@@ -425,13 +440,18 @@ impl MultiQueryEngine {
                 .purge_expired(self.window.lazy_watermark(self.now));
         }
         let Some(targets) = self.routing.get(&tuple.label) else {
+            self.poisoned = false;
             return; // no registered query speaks this label
         };
         // Each engine mutates the shared graph idempotently (the first
         // insert stores the edge; the rest refresh the same timestamp).
-        let targets = targets.clone();
-        self.tuples_routed += targets.len() as u64;
-        for qi in targets {
+        // The target list is copied into a retained scratch buffer to
+        // release the routing-table borrow — no per-tuple allocation.
+        let mut targets_scratch = std::mem::take(&mut self.route_scratch);
+        targets_scratch.clear();
+        targets_scratch.extend_from_slice(targets);
+        self.tuples_routed += targets_scratch.len() as u64;
+        for &qi in &targets_scratch {
             let reg = self.queries[qi as usize]
                 .as_mut()
                 .expect("routing targets are live");
@@ -439,9 +459,15 @@ impl MultiQueryEngine {
                 id: QueryId(qi),
                 inner: sink,
             };
+            let t0 = std::time::Instant::now();
             reg.engine
                 .process_with_graph(&mut self.graph, tuple, &mut tagged);
+            let stats = reg.engine.stats_mut();
+            stats.tuples_routed += 1;
+            stats.eval_ns += t0.elapsed().as_nanos() as u64;
         }
+        self.route_scratch = targets_scratch;
+        self.poisoned = false;
     }
 
     /// Processes a batch of tuples: shared window maintenance (the
@@ -452,12 +478,16 @@ impl MultiQueryEngine {
     /// Per-query engines still see their tuples in stream order, so the
     /// tagged result stream is byte-identical to per-tuple processing.
     ///
-    /// A panic from an engine or sink mid-batch leaves this engine
-    /// unusable (as with any mid-processing panic: the panicking
-    /// query's Δ index is half-applied, and the routing table — parked
-    /// locally for the batch — is not restored). Do not reuse a
-    /// `MultiQueryEngine` after catching an unwind out of it.
+    /// A panic from an engine or sink mid-batch **poisons** this
+    /// engine: the panicking query's Δ index is half-applied and the
+    /// routing table — parked locally for the batch — is not restored,
+    /// so every subsequent `process`/`process_batch` call panics with a
+    /// poisoned-engine message instead of silently dropping tuples.
+    /// Rebuild the engine after catching an unwind out of it (pinned by
+    /// `tests/parallel_equivalence.rs`).
     pub fn process_batch<S: MultiSink>(&mut self, batch: &[StreamTuple], sink: &mut S) {
+        self.assert_usable();
+        self.poisoned = true; // cleared on orderly completion
         let routing = std::mem::take(&mut self.routing);
         let window = self.window;
         let mut i = 0;
@@ -483,13 +513,27 @@ impl MultiQueryEngine {
                         id: QueryId(qi),
                         inner: sink,
                     };
+                    let t0 = std::time::Instant::now();
                     reg.engine
                         .process_with_graph(&mut self.graph, t, &mut tagged);
+                    let stats = reg.engine.stats_mut();
+                    stats.tuples_routed += 1;
+                    stats.eval_ns += t0.elapsed().as_nanos() as u64;
                 }
             }
             i += len;
         }
         self.routing = routing;
+        self.poisoned = false;
+    }
+
+    fn assert_usable(&self) {
+        assert!(
+            !self.poisoned,
+            "MultiQueryEngine is poisoned: a previous process_batch \
+             panicked mid-batch and engine state may be half-applied; \
+             rebuild the engine instead of reusing it"
+        );
     }
 
     /// Forces an expiry pass for every live query (and a shared graph

@@ -30,7 +30,7 @@ use crate::sink::ResultSink;
 use crate::stats::{EngineStats, IndexSize};
 use srpq_automata::CompiledQuery;
 use srpq_common::{FxHashSet, ResultPair, StreamTuple, Timestamp, VertexId};
-use srpq_graph::WindowGraph;
+use srpq_graph::{Visibility, WindowGraph};
 
 /// One shard: a slice of the Δ index plus its private result set.
 struct Shard {
@@ -38,9 +38,13 @@ struct Shard {
     emitted: FxHashSet<ResultPair>,
     stats: EngineStats,
     /// Results discovered in the current batch, drained to the caller's
-    /// sink after the parallel section.
+    /// sink after the parallel section (`drain` retains capacity, so
+    /// these warm up once and never reallocate in steady state).
     outbox: Vec<(ResultPair, Timestamp)>,
     invalidated: Vec<(ResultPair, Timestamp)>,
+    /// Reusable work stack for the shard's traversal (avoids a fresh
+    /// allocation per batch and per expired tree).
+    work: Vec<WorkItem>,
 }
 
 /// A buffering sink living inside a shard during the parallel section.
@@ -69,6 +73,9 @@ pub struct ParallelRapqEngine {
     now: Timestamp,
     batch: Vec<StreamTuple>,
     batch_capacity: usize,
+    /// Reusable phase-1 buffer of in-alphabet tuples (capacity retained
+    /// across batches).
+    relevant_scratch: Vec<StreamTuple>,
 }
 
 impl ParallelRapqEngine {
@@ -94,11 +101,13 @@ impl ParallelRapqEngine {
                     stats: EngineStats::default(),
                     outbox: Vec::new(),
                     invalidated: Vec::new(),
+                    work: Vec::new(),
                 })
                 .collect(),
             now: Timestamp::NEG_INFINITY,
             batch: Vec::with_capacity(batch_capacity.max(1)),
             batch_capacity: batch_capacity.max(1),
+            relevant_scratch: Vec::new(),
         }
     }
 
@@ -289,9 +298,12 @@ impl ParallelRapqEngine {
             self.parallel_expire(wm, false);
         }
 
-        // Phase 1 (sequential): apply all graph mutations.
-        let mut relevant: Vec<StreamTuple> = Vec::with_capacity(batch.len());
-        for t in batch {
+        // Phase 1 (sequential): apply all graph mutations. Both the
+        // relevant-tuple buffer and the batch buffer are retained
+        // scratch space — no allocation in steady state.
+        let mut relevant = std::mem::take(&mut self.relevant_scratch);
+        relevant.clear();
+        for &t in &batch {
             if !self.query.dfa().knows_label(t.label) {
                 self.shards[0].stats.tuples_discarded += 1;
                 continue;
@@ -315,12 +327,19 @@ impl ParallelRapqEngine {
         let graph = &self.graph;
         let prev_now = prev;
         let n_shards = self.shards.len();
-        let relevant = &relevant;
+        let relevant_ref = &relevant;
         std::thread::scope(|scope| {
             for (si, shard) in self.shards.iter_mut().enumerate() {
                 scope.spawn(move || {
                     shard_process_batch(
-                        shard, si, n_shards, query, config, graph, relevant, prev_now,
+                        shard,
+                        si,
+                        n_shards,
+                        query,
+                        config,
+                        graph,
+                        relevant_ref,
+                        prev_now,
                     );
                 });
             }
@@ -335,6 +354,13 @@ impl ParallelRapqEngine {
                 sink.invalidate(pair, ts);
             }
         }
+
+        // Hand the buffers back with their capacity intact.
+        relevant.clear();
+        self.relevant_scratch = relevant;
+        let mut batch = batch;
+        batch.clear();
+        self.batch = batch;
     }
 
     /// Parallel `ExpiryRAPQ` across shards.
@@ -383,7 +409,7 @@ fn shard_process_batch(
 ) {
     let dfa = query.dfa();
     let s0 = dfa.start();
-    let mut work: Vec<WorkItem> = Vec::new();
+    let mut work = std::mem::take(&mut shard.work);
     let mut tnow = prev_now;
     for t in batch {
         if t.ts > tnow {
@@ -444,6 +470,7 @@ fn shard_process_batch(
                             &mut work,
                             dfa,
                             graph,
+                            Visibility::ALL,
                             config.refresh,
                             config.dedup_results,
                             wm,
@@ -480,12 +507,14 @@ fn shard_process_batch(
                     }
                 }
                 for root in dirty {
-                    expire_shard_tree(shard, root, query, config, graph, wm, true, now);
+                    expire_shard_tree(shard, &mut work, root, query, config, graph, wm, true, now);
                     shard.delta.drop_if_trivial(root);
                 }
             }
         }
     }
+    work.clear();
+    shard.work = work;
 }
 
 /// `ExpiryRAPQ` over one shard's trees.
@@ -500,10 +529,15 @@ fn shard_expire(
 ) {
     let t0 = std::time::Instant::now();
     shard.stats.expiry_runs += 1;
+    let mut work = std::mem::take(&mut shard.work);
     for root in shard.delta.roots() {
-        expire_shard_tree(shard, root, query, config, graph, wm, invalidate, now);
+        expire_shard_tree(
+            shard, &mut work, root, query, config, graph, wm, invalidate, now,
+        );
         shard.delta.drop_if_trivial(root);
     }
+    work.clear();
+    shard.work = work;
     shard.stats.expiry_nanos += t0.elapsed().as_nanos() as u64;
 }
 
@@ -512,6 +546,7 @@ fn shard_expire(
 #[allow(clippy::too_many_arguments)]
 fn expire_shard_tree(
     shard: &mut Shard,
+    work: &mut Vec<WorkItem>,
     root: VertexId,
     query: &CompiledQuery,
     config: &EngineConfig,
@@ -532,7 +567,7 @@ fn expire_shard_tree(
     for &(ev, _) in &expired {
         idx.note_removed(root, ev);
     }
-    let mut work: Vec<WorkItem> = Vec::new();
+    work.clear();
     let mut outbox = OutboxSink {
         outbox: &mut shard.outbox,
         invalidated: &mut shard.invalidated,
@@ -560,9 +595,10 @@ fn expire_shard_tree(
                     run_insert(
                         tree,
                         idx,
-                        &mut work,
+                        work,
                         dfa,
                         graph,
+                        Visibility::ALL,
                         config.refresh,
                         config.dedup_results,
                         wm,

@@ -1,0 +1,1062 @@
+//! Inter-query parallel evaluation: a [`MultiQueryEngine`] whose
+//! per-query work fans out over a long-lived worker pool (§5.1 of the
+//! paper, lifted from trees-within-one-query to queries-within-one-host).
+//!
+//! Per-query Δ forests, emitted-pair sets, and statistics are fully
+//! independent — only the [`WindowGraph`] is shared — so queries
+//! partition cleanly across threads. [`ParallelMultiEngine`]
+//! hash-partitions live queries over `n_workers` long-lived threads
+//! (slot id modulo worker count, re-derived every batch, so
+//! registration changes rebalance automatically) and processes each
+//! caller batch as a sequence of **micro-batches** in two phases:
+//!
+//! 1. **Plan + apply** (single-threaded): the batch is cut at slide
+//!    boundaries, explicit deletions, and timestamp-changing edge
+//!    refreshes; the coordinator then purges the shared graph at each
+//!    crossed boundary and applies the micro-batch's inserts once,
+//!    stamping every *new* edge with its batch position
+//!    ([`WindowGraph::insert_visible_from`]).
+//! 2. **Extend/expire** (parallel): each worker receives its queries'
+//!    engines plus an `Arc` of the (now read-only) graph and drives the
+//!    engines' read-only traversal path
+//!    ([`Engine::extend_with_graph`]) tuple by tuple. A [`Visibility`]
+//!    horizon per tuple hides in-batch edges a sequential per-tuple run
+//!    would not have seen yet, so each engine computes *exactly* what
+//!    it would under [`MultiQueryEngine`].
+//!
+//! Per-worker outboxes are then merged in deterministic
+//! `(arrival position, QueryId)` order — the same order the sequential
+//! engine visits its routing targets — so the tagged event stream is
+//! **byte-identical** to [`MultiQueryEngine`] (pinned by
+//! `tests/parallel_equivalence.rs`, including mid-stream
+//! `register_backfilled`/`deregister`).
+//!
+//! # Panic safety
+//!
+//! A panic in a worker (or in the caller's sink during the merge)
+//! leaves the engine **poisoned**: every subsequent call panics with a
+//! poisoned-engine message instead of silently computing on
+//! half-applied state. Rebuild the engine after catching an unwind.
+//!
+//! The two-phase plan-then-execute shape mirrors deterministic batch
+//! execution in BOHM (Faleiro & Abadi, VLDB 2015); because recovery
+//! replay funnels through [`ParallelMultiEngine::process_batch`], WAL
+//! replay after a crash is parallel per query for free, as in
+//! multicore fast failure recovery (Wu et al.).
+
+use crate::config::EngineConfig;
+use crate::engine::{Engine, PathSemantics};
+#[cfg(doc)]
+use crate::multi::MultiQueryEngine;
+use crate::multi::{MultiSink, QueryError, QueryId, TagSink};
+use crate::sink::ResultSink;
+use crate::stats::{EngineStats, IndexSize};
+use srpq_automata::CompiledQuery;
+use srpq_common::{FxHashMap, Label, Op, ResultPair, StreamTuple, Timestamp};
+use srpq_graph::{Visibility, WindowGraph, WindowPolicy};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One registration slot (mirrors `MultiQueryEngine`'s; engines travel
+/// to worker threads and back every micro-batch).
+struct ParSlot {
+    name: String,
+    engine: Engine,
+}
+
+/// One tagged result event staged in a worker outbox, keyed for the
+/// deterministic merge.
+struct Ev {
+    /// Arrival position within the micro-batch (`u32::MAX` groups the
+    /// events of an explicit expiry pass, which has no driving tuple).
+    pos: u32,
+    query: u32,
+    invalidated: bool,
+    pair: ResultPair,
+    ts: Timestamp,
+}
+
+/// Buffers one engine's events under a fixed `(pos, query)` key.
+struct EvSink<'a> {
+    events: &'a mut Vec<Ev>,
+    pos: u32,
+    query: u32,
+}
+
+impl ResultSink for EvSink<'_> {
+    fn emit(&mut self, pair: ResultPair, ts: Timestamp) {
+        self.events.push(Ev {
+            pos: self.pos,
+            query: self.query,
+            invalidated: false,
+            pair,
+            ts,
+        });
+    }
+
+    fn invalidate(&mut self, pair: ResultPair, ts: Timestamp) {
+        self.events.push(Ev {
+            pos: self.pos,
+            query: self.query,
+            invalidated: true,
+            pair,
+            ts,
+        });
+    }
+}
+
+/// Work shipped to a worker thread for one micro-batch.
+enum Job {
+    /// Extend/expire the shipped engines over the micro-batch.
+    Batch {
+        graph: Arc<WindowGraph>,
+        tuples: Arc<Vec<StreamTuple>>,
+        /// Per tuple: the lowest live query id its label routes to
+        /// (`u32::MAX` if unrouted). Sequentially, that first target
+        /// runs its slide-expiry *before* the tuple's graph mutation;
+        /// every later target runs it after — the worker reproduces
+        /// that by choosing the expiry visibility per engine.
+        first_targets: Arc<Vec<u32>>,
+        slots: Vec<(u32, ParSlot)>,
+    },
+    /// Run an explicit eager expiry pass over the shipped engines.
+    Expire {
+        graph: Arc<WindowGraph>,
+        slots: Vec<(u32, ParSlot)>,
+    },
+}
+
+/// A worker's reply: the engines (with their Δ forests mutated) and the
+/// events they produced, in `(pos, own-queries-ascending)` order.
+struct JobOut {
+    slots: Vec<(u32, ParSlot)>,
+    events: Vec<Ev>,
+}
+
+struct Worker {
+    jobs: Option<Sender<Job>>,
+    results: Receiver<JobOut>,
+    handle: Option<JoinHandle<()>>,
+}
+
+fn worker_loop(jobs: Receiver<Job>, results: Sender<JobOut>) {
+    while let Ok(job) = jobs.recv() {
+        let out = match job {
+            Job::Batch {
+                graph,
+                tuples,
+                first_targets,
+                mut slots,
+            } => {
+                let mut events = Vec::new();
+                for (pos, t) in tuples.iter().enumerate() {
+                    for (qi, slot) in slots.iter_mut() {
+                        // Label routing, per engine: alphabet membership
+                        // is exactly the routing-table criterion.
+                        if !slot.engine.query().dfa().knows_label(t.label) {
+                            continue;
+                        }
+                        let t0 = std::time::Instant::now();
+                        let mut sink = EvSink {
+                            events: &mut events,
+                            pos: pos as u32,
+                            query: *qi,
+                        };
+                        // The first target's slide-expiry precedes the
+                        // tuple's own edge; later targets see it.
+                        let expiry_vis = if first_targets[pos] == *qi {
+                            Visibility::upto(pos).before()
+                        } else {
+                            Visibility::upto(pos)
+                        };
+                        slot.engine
+                            .advance_with_graph(&graph, expiry_vis, t.ts, &mut sink);
+                        slot.engine.dispatch_with_graph(
+                            &graph,
+                            Visibility::upto(pos),
+                            *t,
+                            &mut sink,
+                        );
+                        let stats = slot.engine.stats_mut();
+                        stats.tuples_routed += 1;
+                        stats.eval_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                }
+                // Release the graph before replying: the coordinator
+                // regains exclusive `Arc` access once every worker has
+                // answered.
+                drop(graph);
+                drop(tuples);
+                drop(first_targets);
+                JobOut { slots, events }
+            }
+            Job::Expire { graph, mut slots } => {
+                let mut events = Vec::new();
+                for (qi, slot) in slots.iter_mut() {
+                    let t0 = std::time::Instant::now();
+                    let mut sink = EvSink {
+                        events: &mut events,
+                        pos: u32::MAX,
+                        query: *qi,
+                    };
+                    slot.engine
+                        .expire_delta_with_graph(&graph, Visibility::ALL, &mut sink);
+                    slot.engine.stats_mut().eval_ns += t0.elapsed().as_nanos() as u64;
+                }
+                drop(graph);
+                JobOut { slots, events }
+            }
+        };
+        if results.send(out).is_err() {
+            return; // coordinator gone
+        }
+    }
+}
+
+/// A multi-query engine whose evaluation stage scales across worker
+/// threads (see the module docs). API-compatible with
+/// [`MultiQueryEngine`]; the event stream is byte-identical.
+pub struct ParallelMultiEngine {
+    config: EngineConfig,
+    window: WindowPolicy,
+    /// The shared window graph. Workers hold clones only while a
+    /// micro-batch is in flight; between batches the coordinator has
+    /// exclusive access (`Arc::get_mut`).
+    graph: Arc<WindowGraph>,
+    /// Registration slots; `None` marks a deregistered query (or one
+    /// currently shipped to a worker, mid-batch). Slot indexes are
+    /// query ids and are never reused.
+    slots: Vec<Option<ParSlot>>,
+    /// label → slots of live queries whose alphabet contains it.
+    routing: FxHashMap<Label, Vec<u32>>,
+    now: Timestamp,
+    tuples_seen: u64,
+    tuples_routed: u64,
+    pool: Vec<Worker>,
+    /// Per-group `(src, dst, label) → ts` planning map (retained
+    /// scratch).
+    group_edges: FxHashMap<(u32, u32, u32), Timestamp>,
+    /// Retained merge buffer.
+    events_scratch: Vec<Ev>,
+    poisoned: bool,
+}
+
+impl ParallelMultiEngine {
+    /// Creates an empty engine over `window` with `n_workers` threads
+    /// and paper-default per-query configuration.
+    pub fn new(window: WindowPolicy, n_workers: usize) -> ParallelMultiEngine {
+        Self::with_config(EngineConfig::with_window(window), n_workers)
+    }
+
+    /// Creates an empty engine whose registered queries all share
+    /// `config`, evaluated over `n_workers` long-lived threads.
+    pub fn with_config(config: EngineConfig, n_workers: usize) -> ParallelMultiEngine {
+        ParallelMultiEngine {
+            config,
+            window: config.window,
+            graph: Arc::new(WindowGraph::new()),
+            slots: Vec::new(),
+            routing: FxHashMap::default(),
+            now: Timestamp::NEG_INFINITY,
+            tuples_seen: 0,
+            tuples_routed: 0,
+            pool: spawn_pool(n_workers.max(1)),
+            group_edges: FxHashMap::default(),
+            events_scratch: Vec::new(),
+            poisoned: false,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn n_workers(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Replaces the worker pool with `n_workers` fresh threads. Cheap
+    /// and safe at any point between batches: workers hold no query
+    /// state (engines live in the coordinator and only travel out per
+    /// micro-batch), so the partition re-derives itself on the next
+    /// batch.
+    pub fn resize_workers(&mut self, n_workers: usize) {
+        self.assert_usable();
+        shutdown_pool(&mut self.pool);
+        self.pool = spawn_pool(n_workers.max(1));
+    }
+
+    fn assert_usable(&self) {
+        assert!(
+            !self.poisoned,
+            "ParallelMultiEngine is poisoned: a previous batch panicked \
+             (worker or sink) and engine state may be half-applied; \
+             rebuild the engine instead of reusing it"
+        );
+    }
+
+    /// Registers a query (see [`MultiQueryEngine::register`]).
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        query: CompiledQuery,
+        semantics: PathSemantics,
+    ) -> Result<QueryId, QueryError> {
+        self.assert_usable();
+        let name = name.into();
+        if self.query_id(&name).is_some() {
+            return Err(QueryError::DuplicateName(name));
+        }
+        let id = QueryId(self.slots.len() as u32);
+        for &label in query.dfa().alphabet() {
+            self.routing.entry(label).or_default().push(id.0);
+        }
+        self.slots.push(Some(ParSlot {
+            name,
+            engine: Engine::new(query, self.config, semantics),
+        }));
+        Ok(id)
+    }
+
+    /// Registers a query and backfills it from the live window content
+    /// (see [`MultiQueryEngine::register_backfilled`], including its
+    /// coverage caveat). The replay is single-threaded — registration
+    /// is a control-plane operation — and produces the exact sequential
+    /// event stream.
+    pub fn register_backfilled<S: MultiSink>(
+        &mut self,
+        name: impl Into<String>,
+        query: CompiledQuery,
+        semantics: PathSemantics,
+        sink: &mut S,
+    ) -> Result<QueryId, QueryError> {
+        let id = self.register(name, query, semantics)?;
+        let wm = self.window.watermark(self.now);
+        let graph = Arc::get_mut(&mut self.graph).expect("workers idle between batches");
+        let mut replay = graph.edges(wm);
+        replay.sort_by_key(|&(.., ts)| ts);
+        let slot = self.slots[id.0 as usize].as_mut().expect("just registered");
+        let mut tagged = TagSink { id, inner: sink };
+        for (u, v, label, ts) in replay {
+            slot.engine.process_with_graph(
+                graph,
+                StreamTuple::insert(ts, u, v, label),
+                &mut tagged,
+            );
+        }
+        Ok(id)
+    }
+
+    /// Deregisters query `id` (see [`MultiQueryEngine::deregister`]).
+    pub fn deregister(&mut self, id: QueryId) -> Result<(), QueryError> {
+        self.assert_usable();
+        let slot = self
+            .slots
+            .get_mut(id.0 as usize)
+            .ok_or(QueryError::UnknownQuery(id))?;
+        let reg = slot.take().ok_or(QueryError::UnknownQuery(id))?;
+        for &label in reg.engine.query().dfa().alphabet() {
+            if let Some(targets) = self.routing.get_mut(&label) {
+                targets.retain(|&qi| qi != id.0);
+                if targets.is_empty() {
+                    self.routing.remove(&label);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Processes one tuple (a singleton batch; prefer
+    /// [`Self::process_batch`] — per-tuple fan-out cannot amortize the
+    /// worker hand-off).
+    pub fn process<S: MultiSink>(&mut self, tuple: StreamTuple, sink: &mut S) {
+        self.process_batch(std::slice::from_ref(&tuple), sink);
+    }
+
+    /// Processes a batch: split into micro-batches (cut at slide
+    /// boundaries, deletions, and timestamp-changing refreshes), each
+    /// run in the two-phase parallel scheme. The tagged event stream
+    /// delivered to `sink` is byte-identical to
+    /// [`MultiQueryEngine::process_batch`] over the same tuples.
+    ///
+    /// A panic from a worker or from `sink` poisons the engine: any
+    /// later call panics instead of computing on half-applied state.
+    pub fn process_batch<S: MultiSink>(&mut self, batch: &[StreamTuple], sink: &mut S) {
+        self.assert_usable();
+        if batch.is_empty() {
+            return;
+        }
+        self.poisoned = true; // cleared on orderly completion
+        let mut i = 0;
+        while i < batch.len() {
+            let (len, two_stage) = self.plan_group(&batch[i..]);
+            if two_stage {
+                debug_assert_eq!(len, 1);
+                self.run_singleton(batch[i], sink);
+            } else {
+                self.run_group(&batch[i..i + len], sink);
+            }
+            i += len;
+        }
+        self.poisoned = false;
+    }
+
+    /// Forces an expiry pass for every live query (and a shared graph
+    /// purge) at the current eager watermark, in parallel. Event order
+    /// matches [`MultiQueryEngine::expire_now`] (slots ascending).
+    pub fn expire_now<S: MultiSink>(&mut self, sink: &mut S) {
+        self.assert_usable();
+        self.poisoned = true;
+        Arc::get_mut(&mut self.graph)
+            .expect("workers idle between batches")
+            .purge_expired(self.window.watermark(self.now));
+        let n = self.pool.len();
+        let mut pending = Vec::new();
+        for w in 0..n {
+            let slots = self.take_partition(w, n);
+            if slots.is_empty() {
+                continue;
+            }
+            self.pool[w]
+                .jobs
+                .as_ref()
+                .expect("pool is live")
+                .send(Job::Expire {
+                    graph: self.graph.clone(),
+                    slots,
+                })
+                .expect("worker thread alive");
+            pending.push(w);
+        }
+        let events = std::mem::take(&mut self.events_scratch);
+        self.collect_and_emit(pending, events, sink);
+        self.poisoned = false;
+    }
+
+    /// Cuts the leading micro-batch out of `rest`: within one slide
+    /// interval, stopping before any graph mutation a batched traversal
+    /// must not see early — explicit deletions and timestamp-*changing*
+    /// refreshes of existing edges (phase 1 applying them up front
+    /// would retroactively change what earlier positions observe).
+    /// Those run alone through the two-stage [`Self::run_singleton`]
+    /// path (`true` in the return), which additionally sequences the
+    /// first routing target's slide-expiry *before* the mutation, as
+    /// the sequential engine does.
+    fn plan_group(&mut self, rest: &[StreamTuple]) -> (usize, bool) {
+        let t0 = &rest[0];
+        if self.routing.contains_key(&t0.label) {
+            let mutating = t0.op == Op::Delete
+                || matches!(
+                    self.graph.edge_ts(t0.edge.src, t0.edge.dst, t0.label),
+                    Some(ts0) if ts0 != t0.ts
+                );
+            if mutating {
+                return (1, true);
+            }
+        }
+        let (slide_len, _) = self.window.slide_group(self.now, rest, |t| t.ts);
+        let mut edges = std::mem::take(&mut self.group_edges);
+        edges.clear();
+        let mut len = slide_len;
+        for (j, t) in rest[..slide_len].iter().enumerate() {
+            if !self.routing.contains_key(&t.label) {
+                continue; // inert: touches neither graph nor engines
+            }
+            if t.op == Op::Delete {
+                len = j.max(1);
+                break;
+            }
+            let key = (t.edge.src.0, t.edge.dst.0, t.label.0);
+            let existing = edges
+                .get(&key)
+                .copied()
+                .or_else(|| self.graph.edge_ts(t.edge.src, t.edge.dst, t.label));
+            match existing {
+                Some(ts0) if ts0 != t.ts && j > 0 => {
+                    len = j;
+                    break;
+                }
+                _ => {
+                    edges.insert(key, t.ts);
+                }
+            }
+        }
+        self.group_edges = edges;
+        (len, false)
+    }
+
+    /// Runs one mutating singleton (explicit deletion or ts-changing
+    /// refresh) in two stages, reproducing the sequential interleaving
+    /// exactly: (A) the tuple's *first* routing target advances its
+    /// clock and runs any due slide-expiry against the **pre-mutation**
+    /// graph, inline on the coordinator; the mutation is then applied;
+    /// (B) the tuple fans out normally — the first target's expiry
+    /// already ran (its clock moved), later targets expire against the
+    /// post-mutation graph, and everyone dispatches the tuple.
+    fn run_singleton<S: MultiSink>(&mut self, t: StreamTuple, sink: &mut S) {
+        let entry_now = t.ts.max(self.now);
+        let crossing =
+            self.now != Timestamp::NEG_INFINITY && self.window.crosses_slide(self.now, entry_now);
+        if crossing {
+            Arc::get_mut(&mut self.graph)
+                .expect("workers idle between batches")
+                .purge_expired(self.window.lazy_watermark(entry_now));
+        }
+        self.tuples_seen += 1;
+        let targets = self.routing.get(&t.label).expect("planned as routed");
+        self.tuples_routed += targets.len() as u64;
+        let first = targets[0];
+
+        // Stage A — pre-mutation slide for the first target, inline.
+        let mut events = std::mem::take(&mut self.events_scratch);
+        events.clear();
+        {
+            let slot = self.slots[first as usize]
+                .as_mut()
+                .expect("routing targets are live");
+            let mut ev = EvSink {
+                events: &mut events,
+                pos: 0,
+                query: first,
+            };
+            let t0 = std::time::Instant::now();
+            slot.engine
+                .advance_with_graph(&self.graph, Visibility::ALL, t.ts, &mut ev);
+            slot.engine.stats_mut().eval_ns += t0.elapsed().as_nanos() as u64;
+        }
+
+        // Apply the mutation.
+        {
+            let graph = Arc::get_mut(&mut self.graph).expect("workers idle between batches");
+            match t.op {
+                Op::Insert => {
+                    graph.insert(t.edge.src, t.edge.dst, t.label, t.ts);
+                }
+                Op::Delete => {
+                    graph.remove(t.edge.src, t.edge.dst, t.label);
+                }
+            }
+        }
+        if t.ts > self.now {
+            self.now = t.ts;
+        }
+
+        // Stage B — normal fan-out of the singleton (the mutation is
+        // unstamped, so every visibility admits it; the first target's
+        // clock already advanced, so its expiry does not re-run).
+        let pending = self.fan_out(&[t], &[first]);
+        self.collect_and_emit(pending, events, sink);
+    }
+
+    /// Runs one insert-only micro-batch through the two-phase scheme.
+    fn run_group<S: MultiSink>(&mut self, group: &[StreamTuple], sink: &mut S) {
+        // Phase 1 — shared window maintenance and graph application,
+        // once, single-threaded (exactly what `MultiQueryEngine` does
+        // per slide group, with position stamps added).
+        let entry_now = group[0].ts.max(self.now);
+        let crossing =
+            self.now != Timestamp::NEG_INFINITY && self.window.crosses_slide(self.now, entry_now);
+        let mut first_targets: Vec<u32> = Vec::with_capacity(group.len());
+        {
+            let graph = Arc::get_mut(&mut self.graph).expect("workers idle between batches");
+            if crossing {
+                graph.purge_expired(self.window.lazy_watermark(entry_now));
+            }
+            for (pos, t) in group.iter().enumerate() {
+                self.tuples_seen += 1;
+                if t.ts > self.now {
+                    self.now = t.ts;
+                }
+                let Some(targets) = self.routing.get(&t.label) else {
+                    first_targets.push(u32::MAX);
+                    continue;
+                };
+                first_targets.push(targets[0]);
+                self.tuples_routed += targets.len() as u64;
+                debug_assert_eq!(t.op, Op::Insert, "mutating tuples run as singletons");
+                graph.insert_visible_from(t.edge.src, t.edge.dst, t.label, t.ts, pos);
+            }
+        }
+
+        // Phases 2 + 3 — fan out to the long-lived workers; collect,
+        // merge deterministically, deliver.
+        let pending = self.fan_out(group, &first_targets);
+        let events = std::mem::take(&mut self.events_scratch);
+        self.collect_and_emit(pending, events, sink);
+    }
+
+    /// Ships `group` plus each worker's query partition to the pool;
+    /// returns the workers owed a reply.
+    fn fan_out(&mut self, group: &[StreamTuple], first_targets: &[u32]) -> Vec<usize> {
+        let n = self.pool.len();
+        let tuples = Arc::new(group.to_vec());
+        let first_targets = Arc::new(first_targets.to_vec());
+        let mut pending = Vec::new();
+        for w in 0..n {
+            let slots = self.take_partition(w, n);
+            if slots.is_empty() {
+                continue;
+            }
+            self.pool[w]
+                .jobs
+                .as_ref()
+                .expect("pool is live")
+                .send(Job::Batch {
+                    graph: self.graph.clone(),
+                    tuples: tuples.clone(),
+                    first_targets: first_targets.clone(),
+                    slots,
+                })
+                .expect("worker thread alive");
+            pending.push(w);
+        }
+        pending
+    }
+
+    /// Takes worker `w`'s partition (`slot id % n == w`, ascending) out
+    /// of the registry for shipment.
+    fn take_partition(&mut self, w: usize, n: usize) -> Vec<(u32, ParSlot)> {
+        let mut out = Vec::new();
+        let mut qi = w;
+        while qi < self.slots.len() {
+            if let Some(slot) = self.slots[qi].take() {
+                out.push((qi as u32, slot));
+            }
+            qi += n;
+        }
+        out
+    }
+
+    /// Receives every pending worker's reply, restores the engines,
+    /// merges the outboxes in `(arrival, QueryId)` order (appending to
+    /// `events`, which may carry a singleton's stage-A expiry events —
+    /// the stable sort keeps them ahead of the same query's stage-B
+    /// events), clears the batch's visibility stamps, and delivers to
+    /// `sink`.
+    fn collect_and_emit<S: MultiSink>(
+        &mut self,
+        pending: Vec<usize>,
+        mut events: Vec<Ev>,
+        sink: &mut S,
+    ) {
+        for w in pending {
+            let Ok(out) = self.pool[w].results.recv() else {
+                // The worker unwound mid-batch; its queries are gone and
+                // `poisoned` stays set — surface it loudly.
+                panic!("ParallelMultiEngine worker {w} panicked; engine is poisoned");
+            };
+            for (qi, slot) in out.slots {
+                self.slots[qi as usize] = Some(slot);
+            }
+            events.extend(out.events);
+        }
+        // Each worker's outbox is already (pos asc, own queries asc);
+        // the stable sort is a k-way merge that preserves per-(pos,
+        // query) generation order.
+        events.sort_by_key(|e| (e.pos, e.query));
+        Arc::get_mut(&mut self.graph)
+            .expect("workers idle after collection")
+            .clear_stamps();
+        for e in &events {
+            if e.invalidated {
+                sink.invalidate(QueryId(e.query), e.pair, e.ts);
+            } else {
+                sink.emit(QueryId(e.query), e.pair, e.ts);
+            }
+        }
+        events.clear();
+        self.events_scratch = events;
+    }
+
+    // ---- registry accessors (mirror `MultiQueryEngine`) -------------
+
+    fn registered(&self, id: QueryId) -> Option<&ParSlot> {
+        self.slots.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Number of live (registered, not deregistered) queries.
+    pub fn n_queries(&self) -> usize {
+        self.slots.iter().filter(|q| q.is_some()).count()
+    }
+
+    /// Number of registration slots ever allocated (ids are
+    /// `0..n_slots`; persistence support).
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Appends a vacant slot, burning one query id (persistence
+    /// support; see [`MultiQueryEngine::push_vacant_slot`]).
+    pub fn push_vacant_slot(&mut self) {
+        self.slots.push(None);
+    }
+
+    /// Ids of all live queries, ascending.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.as_ref().map(|_| QueryId(i as u32)))
+            .collect()
+    }
+
+    /// The id of the live query registered under `name`.
+    pub fn query_id(&self, name: &str) -> Option<QueryId> {
+        self.slots.iter().enumerate().find_map(|(i, q)| {
+            q.as_ref()
+                .filter(|r| r.name == name)
+                .map(|_| QueryId(i as u32))
+        })
+    }
+
+    /// The name a query was registered under.
+    pub fn name(&self, id: QueryId) -> Option<&str> {
+        self.registered(id).map(|r| r.name.as_str())
+    }
+
+    /// Per-query engine statistics.
+    pub fn stats(&self, id: QueryId) -> Option<&EngineStats> {
+        self.registered(id).map(|r| r.engine.stats())
+    }
+
+    /// Per-query Δ index size.
+    pub fn index_size(&self, id: QueryId) -> Option<IndexSize> {
+        self.registered(id).map(|r| r.engine.index_size())
+    }
+
+    /// Aggregate Δ index size over all live queries.
+    pub fn total_index_size(&self) -> IndexSize {
+        let mut total = IndexSize::default();
+        for reg in self.slots.iter().flatten() {
+            let s = reg.engine.index_size();
+            total.trees += s.trees;
+            total.nodes += s.nodes;
+        }
+        total
+    }
+
+    /// Routing-table footprint as `(labels, entries)`.
+    pub fn routing_table_size(&self) -> (usize, usize) {
+        (
+            self.routing.len(),
+            self.routing.values().map(Vec::len).sum(),
+        )
+    }
+
+    /// Whether query `id` currently reports `pair`.
+    pub fn has_result(&self, id: QueryId, pair: ResultPair) -> bool {
+        self.registered(id)
+            .map(|r| r.engine.has_result(pair))
+            .unwrap_or(false)
+    }
+
+    /// The shared window graph.
+    pub fn graph(&self) -> &WindowGraph {
+        &self.graph
+    }
+
+    /// Mutable shared window graph (persistence support).
+    pub fn graph_mut(&mut self) -> &mut WindowGraph {
+        Arc::get_mut(&mut self.graph).expect("workers idle between batches")
+    }
+
+    /// The shared per-query configuration template.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The shared window policy.
+    pub fn window(&self) -> WindowPolicy {
+        self.window
+    }
+
+    /// Stream time of the last processed tuple.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// The registered engine behind `id`.
+    pub fn engine(&self, id: QueryId) -> Option<&Engine> {
+        self.registered(id).map(|r| &r.engine)
+    }
+
+    /// Mutable access to the registered engine behind `id`
+    /// (persistence support).
+    pub fn engine_mut(&mut self, id: QueryId) -> Option<&mut Engine> {
+        self.slots
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .map(|r| &mut r.engine)
+    }
+
+    /// Overwrites the shared clock and routing counters with
+    /// checkpointed values (persistence support).
+    pub fn restore_cursor(&mut self, now: Timestamp, tuples_seen: u64, tuples_routed: u64) {
+        self.now = now;
+        self.tuples_seen = tuples_seen;
+        self.tuples_routed = tuples_routed;
+    }
+
+    /// Tuples seen and per-query dispatches performed.
+    pub fn routing_stats(&self) -> (u64, u64) {
+        (self.tuples_seen, self.tuples_routed)
+    }
+}
+
+impl Drop for ParallelMultiEngine {
+    fn drop(&mut self) {
+        shutdown_pool(&mut self.pool);
+    }
+}
+
+fn spawn_pool(n_workers: usize) -> Vec<Worker> {
+    (0..n_workers)
+        .map(|i| {
+            let (job_tx, job_rx) = channel::<Job>();
+            let (res_tx, res_rx) = channel::<JobOut>();
+            let handle = std::thread::Builder::new()
+                .name(format!("srpq-multi-worker-{i}"))
+                .spawn(move || worker_loop(job_rx, res_tx))
+                .expect("spawn worker thread");
+            Worker {
+                jobs: Some(job_tx),
+                results: res_rx,
+                handle: Some(handle),
+            }
+        })
+        .collect()
+}
+
+fn shutdown_pool(pool: &mut Vec<Worker>) {
+    for w in pool.iter_mut() {
+        w.jobs.take(); // closing the channel ends the worker loop
+    }
+    for w in pool.iter_mut() {
+        if let Some(h) = w.handle.take() {
+            let _ = h.join();
+        }
+    }
+    pool.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::{MultiCollectSink, MultiQueryEngine};
+    use srpq_common::{LabelInterner, VertexId};
+
+    fn setup(n_workers: usize) -> (ParallelMultiEngine, LabelInterner, QueryId, QueryId) {
+        let mut labels = LabelInterner::new();
+        let q1 = CompiledQuery::compile("a b", &mut labels).unwrap();
+        let q2 = CompiledQuery::compile("b+", &mut labels).unwrap();
+        let mut multi = ParallelMultiEngine::new(WindowPolicy::new(100, 10), n_workers);
+        let id1 = multi.register("ab", q1, PathSemantics::Arbitrary).unwrap();
+        let id2 = multi
+            .register("bplus", q2, PathSemantics::Arbitrary)
+            .unwrap();
+        (multi, labels, id1, id2)
+    }
+
+    #[test]
+    fn routes_by_label_and_tags_results() {
+        for n_workers in [1, 2, 4] {
+            let (mut multi, labels, id1, id2) = setup(n_workers);
+            let a = labels.get("a").unwrap();
+            let b = labels.get("b").unwrap();
+            let v = VertexId;
+            let mut sink = MultiCollectSink::default();
+            multi.process_batch(
+                &[
+                    StreamTuple::insert(Timestamp(1), v(0), v(1), a),
+                    StreamTuple::insert(Timestamp(2), v(1), v(2), b),
+                    StreamTuple::insert(Timestamp(3), v(2), v(3), b),
+                ],
+                &mut sink,
+            );
+            assert!(multi.has_result(id1, ResultPair::new(v(0), v(2))));
+            assert!(multi.has_result(id2, ResultPair::new(v(1), v(3))));
+            assert!(!multi.has_result(id1, ResultPair::new(v(1), v(3))));
+            for &(id, pair, _) in &sink.emitted {
+                assert!(multi.has_result(id, pair));
+            }
+            let (seen, routed) = multi.routing_stats();
+            assert_eq!(seen, 3);
+            // a → {ab}; each b → {ab, bplus}.
+            assert_eq!(routed, 5);
+            assert_eq!(multi.graph().n_edges(), 3);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_multi_event_stream() {
+        // The headline guarantee in miniature (the full pinned suite
+        // lives in tests/parallel_equivalence.rs): identical tagged
+        // event streams, any worker count.
+        let mut labels = LabelInterner::new();
+        let qa = CompiledQuery::compile("a b*", &mut labels).unwrap();
+        let qb = CompiledQuery::compile("(a | b)+", &mut labels).unwrap();
+        let window = WindowPolicy::new(20, 4);
+        let a = labels.get("a").unwrap();
+        let b = labels.get("b").unwrap();
+        let v = VertexId;
+        let stream: Vec<StreamTuple> = (0..120)
+            .map(|i| {
+                let src = v(i % 7);
+                let dst = v((i * 3 + 1) % 7);
+                let label = if i % 2 == 0 { a } else { b };
+                StreamTuple::insert(Timestamp(i as i64 / 2), src, dst, label)
+            })
+            .collect();
+
+        let mut seq = MultiQueryEngine::new(window);
+        seq.register("qa", qa.clone(), PathSemantics::Arbitrary)
+            .unwrap();
+        seq.register("qb", qb.clone(), PathSemantics::Arbitrary)
+            .unwrap();
+        let mut seq_sink = MultiCollectSink::default();
+        for chunk in stream.chunks(16) {
+            seq.process_batch(chunk, &mut seq_sink);
+        }
+        seq.expire_now(&mut seq_sink);
+
+        for n_workers in [1, 2, 3, 8] {
+            let mut par = ParallelMultiEngine::new(window, n_workers);
+            par.register("qa", qa.clone(), PathSemantics::Arbitrary)
+                .unwrap();
+            par.register("qb", qb.clone(), PathSemantics::Arbitrary)
+                .unwrap();
+            let mut par_sink = MultiCollectSink::default();
+            for chunk in stream.chunks(16) {
+                par.process_batch(chunk, &mut par_sink);
+            }
+            par.expire_now(&mut par_sink);
+            assert_eq!(
+                seq_sink.emitted, par_sink.emitted,
+                "{n_workers} workers: emission stream diverged"
+            );
+            assert_eq!(seq_sink.invalidated, par_sink.invalidated);
+            assert_eq!(par.graph().n_edges(), seq.graph().n_edges());
+        }
+    }
+
+    #[test]
+    fn deletions_and_refresh_cut_batches() {
+        let (mut multi, labels, id1, id2) = setup(2);
+        let a = labels.get("a").unwrap();
+        let b = labels.get("b").unwrap();
+        let v = VertexId;
+        let mut sink = MultiCollectSink::default();
+        // Insert, refresh (same edge, later ts), and delete all in one
+        // caller batch: the planner must cut so the stream still equals
+        // the sequential engine's.
+        let batch = [
+            StreamTuple::insert(Timestamp(1), v(0), v(1), a),
+            StreamTuple::insert(Timestamp(2), v(1), v(2), b),
+            StreamTuple::insert(Timestamp(3), v(1), v(2), b), // refresh
+            StreamTuple::delete(Timestamp(4), v(1), v(2), b),
+            StreamTuple::insert(Timestamp(5), v(1), v(2), b),
+        ];
+        multi.process_batch(&batch, &mut sink);
+        assert!(multi.has_result(id1, ResultPair::new(v(0), v(2))));
+        assert!(multi.has_result(id2, ResultPair::new(v(1), v(2))));
+
+        let mut seq = MultiQueryEngine::new(WindowPolicy::new(100, 10));
+        let mut labels2 = LabelInterner::new();
+        let q1 = CompiledQuery::compile("a b", &mut labels2).unwrap();
+        let q2 = CompiledQuery::compile("b+", &mut labels2).unwrap();
+        seq.register("ab", q1, PathSemantics::Arbitrary).unwrap();
+        seq.register("bplus", q2, PathSemantics::Arbitrary).unwrap();
+        let mut seq_sink = MultiCollectSink::default();
+        seq.process_batch(&batch, &mut seq_sink);
+        assert_eq!(sink.emitted, seq_sink.emitted);
+        assert_eq!(sink.invalidated, seq_sink.invalidated);
+    }
+
+    #[test]
+    fn mid_stream_registration_and_deregistration() {
+        let mut labels = LabelInterner::new();
+        let q1 = CompiledQuery::compile("a", &mut labels).unwrap();
+        let a = labels.get("a").unwrap();
+        let v = VertexId;
+        let mut multi = ParallelMultiEngine::new(WindowPolicy::new(100, 10), 3);
+        let id1 = multi
+            .register("first", q1, PathSemantics::Arbitrary)
+            .unwrap();
+        let mut sink = MultiCollectSink::default();
+        multi.process(StreamTuple::insert(Timestamp(1), v(0), v(1), a), &mut sink);
+
+        let q2 = CompiledQuery::compile("a a", &mut labels).unwrap();
+        let id2 = multi
+            .register_backfilled("second", q2, PathSemantics::Arbitrary, &mut sink)
+            .unwrap();
+        multi.process(StreamTuple::insert(Timestamp(2), v(1), v(2), a), &mut sink);
+        assert!(multi.has_result(id2, ResultPair::new(v(0), v(2))));
+        assert!(multi.index_size(id2).unwrap().nodes > 0);
+
+        multi.deregister(id1).unwrap();
+        sink.emitted.clear();
+        multi.process(StreamTuple::insert(Timestamp(3), v(2), v(3), a), &mut sink);
+        assert!(sink.emitted.iter().all(|&(id, ..)| id != id1));
+        assert_eq!(multi.query_ids(), vec![id2]);
+        assert_eq!(multi.n_slots(), 2);
+        // The vacated name is reusable; the id is not.
+        let q3 = CompiledQuery::compile("a", &mut labels).unwrap();
+        let id3 = multi
+            .register("first", q3, PathSemantics::Arbitrary)
+            .unwrap();
+        assert_eq!(id3, QueryId(2));
+    }
+
+    #[test]
+    fn resize_workers_keeps_state() {
+        let (mut multi, labels, id1, _) = setup(1);
+        let a = labels.get("a").unwrap();
+        let b = labels.get("b").unwrap();
+        let v = VertexId;
+        let mut sink = MultiCollectSink::default();
+        multi.process_batch(
+            &[
+                StreamTuple::insert(Timestamp(1), v(0), v(1), a),
+                StreamTuple::insert(Timestamp(2), v(1), v(2), b),
+            ],
+            &mut sink,
+        );
+        assert!(multi.has_result(id1, ResultPair::new(v(0), v(2))));
+        multi.resize_workers(4);
+        assert_eq!(multi.n_workers(), 4);
+        multi.process_batch(
+            &[StreamTuple::insert(Timestamp(3), v(2), v(3), b)],
+            &mut sink,
+        );
+        assert!(multi.has_result(id1, ResultPair::new(v(0), v(2))));
+        assert_eq!(multi.n_queries(), 2);
+    }
+
+    #[test]
+    fn poisoned_engine_refuses_reuse() {
+        struct PanicSink;
+        impl MultiSink for PanicSink {
+            fn emit(&mut self, _: QueryId, _: ResultPair, _: Timestamp) {
+                panic!("sink exploded");
+            }
+        }
+        let (mut multi, labels, ..) = setup(2);
+        let b = labels.get("b").unwrap();
+        let v = VertexId;
+        let batch = [StreamTuple::insert(Timestamp(1), v(0), v(1), b)];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            multi.process_batch(&batch, &mut PanicSink);
+        }));
+        assert!(err.is_err(), "the sink panic must propagate");
+        // The contract: a poisoned engine refuses reuse loudly rather
+        // than silently corrupting downstream state.
+        let reuse = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            multi.process_batch(&batch, &mut MultiCollectSink::default());
+        }));
+        let payload = reuse.expect_err("poisoned engine must refuse");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("<non-string panic payload>");
+        assert!(msg.contains("poisoned"), "unexpected message: {msg}");
+    }
+}

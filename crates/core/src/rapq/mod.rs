@@ -16,7 +16,7 @@ use crate::sink::ResultSink;
 use crate::stats::{EngineStats, IndexSize};
 use srpq_automata::{CompiledQuery, Dfa};
 use srpq_common::{FxHashSet, Label, ResultPair, StreamTuple, Timestamp, VertexId};
-use srpq_graph::WindowGraph;
+use srpq_graph::{Visibility, WindowGraph};
 
 /// A tree node key: `(vertex, automaton state)`. With RAPQ's
 /// one-occurrence invariant the pair identifies the node.
@@ -171,10 +171,28 @@ impl RapqEngine {
             let wm = self.config.window.lazy_watermark(self.now);
             self.run_expiry(wm, false, sink);
         }
-        match tuple.op {
-            srpq_common::Op::Insert => self.handle_insert(tuple, sink),
-            srpq_common::Op::Delete => self.handle_delete(tuple, sink),
+        self.apply_and_dispatch(tuple, sink);
+    }
+
+    /// Owned-graph tuple handling: mutate the graph, then run the
+    /// read-only Δ traversal against it (the same split a shared-graph
+    /// coordinator performs once per micro-batch).
+    fn apply_and_dispatch<S: ResultSink>(&mut self, tuple: StreamTuple, sink: &mut S) {
+        if self.query.dfa().knows_label(tuple.label) {
+            match tuple.op {
+                srpq_common::Op::Insert => {
+                    self.graph
+                        .insert(tuple.edge.src, tuple.edge.dst, tuple.label, tuple.ts);
+                }
+                srpq_common::Op::Delete => {
+                    self.graph
+                        .remove(tuple.edge.src, tuple.edge.dst, tuple.label);
+                }
+            }
         }
+        let graph = std::mem::take(&mut self.graph);
+        self.dispatch(&graph, Visibility::ALL, tuple, sink);
+        self.graph = graph;
     }
 
     /// Processes a slide's worth of tuples at once: the batch is grouped
@@ -196,10 +214,7 @@ impl RapqEngine {
                 if t.ts > self.now {
                     self.now = t.ts;
                 }
-                match t.op {
-                    srpq_common::Op::Insert => self.handle_insert(t, sink),
-                    srpq_common::Op::Delete => self.handle_delete(t, sink),
-                }
+                self.apply_and_dispatch(t, sink);
             }
             i += len;
         }
@@ -210,6 +225,100 @@ impl RapqEngine {
     pub fn expire_now<S: ResultSink>(&mut self, sink: &mut S) {
         let wm = self.config.window.watermark(self.now);
         self.run_expiry(wm, false, sink);
+    }
+
+    /// The **read-only traversal path**: extends/expires Δ for one
+    /// tuple against an external shared graph that has *already*
+    /// absorbed this tuple's mutation (and possibly the whole
+    /// micro-batch's — `vis` hides in-batch edges a sequential run
+    /// would not have seen yet). The shared graph's slide-boundary
+    /// purge is the coordinator's job; this path only maintains Δ.
+    /// Convenience over [`Self::advance_with_graph`] (expiry hidden one
+    /// position earlier, as for a *first* routing target) followed by
+    /// [`Self::dispatch_with_graph`].
+    pub fn extend_with_graph<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        tuple: StreamTuple,
+        sink: &mut S,
+    ) {
+        self.advance_with_graph(graph, vis.before(), tuple.ts, sink);
+        self.dispatch_with_graph(graph, vis, tuple, sink);
+    }
+
+    /// Advances the clock to `ts` and, on a slide-boundary crossing,
+    /// runs the lazy Δ-expiry pass against the shared graph at
+    /// visibility `vis`. Split from [`Self::dispatch_with_graph`] so a
+    /// multi-query coordinator can reproduce the sequential order
+    /// exactly: the *first* routing target of a tuple expires before
+    /// the tuple's graph mutation is visible, later targets after it.
+    pub fn advance_with_graph<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        ts: Timestamp,
+        sink: &mut S,
+    ) {
+        let prev = self.now;
+        if ts > self.now {
+            self.now = ts;
+        }
+        if prev != Timestamp::NEG_INFINITY && self.config.window.crosses_slide(prev, self.now) {
+            let t0 = std::time::Instant::now();
+            self.stats.expiry_runs += 1;
+            let wm = self.config.window.lazy_watermark(self.now);
+            self.expire_delta(graph, vis, wm, false, sink);
+            self.stats.expiry_nanos += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Δ-side handling of one tuple against the shared graph (no clock
+    /// movement — call [`Self::advance_with_graph`] first).
+    pub fn dispatch_with_graph<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        tuple: StreamTuple,
+        sink: &mut S,
+    ) {
+        self.dispatch(graph, vis, tuple, sink);
+    }
+
+    /// Read-only eager expiry against an external shared graph (the
+    /// shared counterpart of [`Self::expire_now`]; the caller purges
+    /// the graph itself).
+    pub fn expire_delta_with_graph<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        sink: &mut S,
+    ) {
+        let t0 = std::time::Instant::now();
+        self.stats.expiry_runs += 1;
+        let wm = self.config.window.watermark(self.now);
+        self.expire_delta(graph, vis, wm, false, sink);
+        self.stats.expiry_nanos += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Δ-side handling of one tuple: tree extension for inserts,
+    /// subtree severing + reconnection for deletions. The graph
+    /// mutation has already happened (owned path or coordinator).
+    fn dispatch<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        tuple: StreamTuple,
+        sink: &mut S,
+    ) {
+        if !self.query.dfa().knows_label(tuple.label) {
+            self.stats.tuples_discarded += 1;
+            return;
+        }
+        match tuple.op {
+            srpq_common::Op::Insert => self.dispatch_insert(graph, vis, tuple, sink),
+            srpq_common::Op::Delete => self.dispatch_delete(graph, vis, tuple, sink),
+        }
     }
 
     /// Processes a tuple against an **external, shared** window graph
@@ -234,15 +343,16 @@ impl RapqEngine {
         std::mem::swap(&mut self.graph, graph);
     }
 
-    fn handle_insert<S: ResultSink>(&mut self, tuple: StreamTuple, sink: &mut S) {
+    fn dispatch_insert<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        tuple: StreamTuple,
+        sink: &mut S,
+    ) {
         let label = tuple.label;
-        if !self.query.dfa().knows_label(label) {
-            self.stats.tuples_discarded += 1;
-            return;
-        }
         self.stats.tuples_processed += 1;
         let (u, v) = (tuple.edge.src, tuple.edge.dst);
-        self.graph.insert(u, v, label, tuple.ts);
         let wm = self.config.window.watermark(self.now);
 
         // Materialize T_u lazily: only a tuple with δ(s0, l) defined can
@@ -262,7 +372,7 @@ impl RapqEngine {
         // actually extend (reverse index).
         let roots = self.delta.trees_containing(u);
         for root in roots {
-            self.extend_tree_with_edge(root, u, v, label, tuple.ts, wm, sink);
+            self.extend_tree_with_edge(graph, vis, root, u, v, label, tuple.ts, wm, sink);
         }
     }
 
@@ -271,6 +381,8 @@ impl RapqEngine {
     #[allow(clippy::too_many_arguments)]
     fn extend_tree_with_edge<S: ResultSink>(
         &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
         root: VertexId,
         u: VertexId,
         v: VertexId,
@@ -313,7 +425,8 @@ impl RapqEngine {
                 idx,
                 &mut work,
                 self.query.dfa(),
-                &self.graph,
+                graph,
+                vis,
                 self.config.refresh,
                 self.config.dedup_results,
                 wm,
@@ -341,16 +454,17 @@ impl RapqEngine {
         }
     }
 
-    fn handle_delete<S: ResultSink>(&mut self, tuple: StreamTuple, sink: &mut S) {
+    fn dispatch_delete<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        tuple: StreamTuple,
+        sink: &mut S,
+    ) {
         let label = tuple.label;
-        if !self.query.dfa().knows_label(label) {
-            self.stats.tuples_discarded += 1;
-            return;
-        }
         self.stats.tuples_processed += 1;
         self.stats.deletions_processed += 1;
         let (u, v) = (tuple.edge.src, tuple.edge.dst);
-        self.graph.remove(u, v, label);
         let wm = self.config.window.watermark(self.now);
 
         // Algorithm Delete: find trees where (u,s) → (v,t) is a
@@ -371,29 +485,48 @@ impl RapqEngine {
                 }
             }
             if dirty {
-                self.expire_tree(root, wm, true, sink);
+                self.expire_tree(graph, vis, root, wm, true, sink);
                 self.delta.drop_if_trivial(root);
             }
         }
     }
 
-    /// Runs `ExpiryRAPQ` over every tree: prune expired nodes, attempt
-    /// reconnection via surviving window edges, optionally invalidate
-    /// results that lost their last witness.
+    /// Runs `ExpiryRAPQ` over every tree (owned-graph path): purge the
+    /// graph, prune expired nodes, attempt reconnection via surviving
+    /// window edges, optionally invalidate results that lost their last
+    /// witness.
     fn run_expiry<S: ResultSink>(&mut self, wm: Timestamp, invalidate: bool, sink: &mut S) {
         let t0 = std::time::Instant::now();
         self.stats.expiry_runs += 1;
         self.graph.purge_expired(wm);
-        for root in self.delta.roots() {
-            self.expire_tree(root, wm, invalidate, sink);
-            self.delta.drop_if_trivial(root);
-        }
+        let graph = std::mem::take(&mut self.graph);
+        self.expire_delta(&graph, Visibility::ALL, wm, invalidate, sink);
+        self.graph = graph;
         self.stats.expiry_nanos += t0.elapsed().as_nanos() as u64;
     }
 
+    /// The Δ-only part of `ExpiryRAPQ`, over a borrowed (possibly
+    /// shared) graph.
+    fn expire_delta<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        wm: Timestamp,
+        invalidate: bool,
+        sink: &mut S,
+    ) {
+        for root in self.delta.roots() {
+            self.expire_tree(graph, vis, root, wm, invalidate, sink);
+            self.delta.drop_if_trivial(root);
+        }
+    }
+
     /// `ExpiryRAPQ` for a single tree.
+    #[allow(clippy::too_many_arguments)]
     fn expire_tree<S: ResultSink>(
         &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
         root: VertexId,
         wm: Timestamp,
         invalidate: bool,
@@ -424,7 +557,7 @@ impl RapqEngine {
         // `transitions_into` × the label-partitioned in-lists visit only
         // the in-edges whose label can actually reach state `et`.
         for &(ev, et) in &expired {
-            let adj = self.graph.in_view(ev);
+            let adj = graph.in_view_at(ev, vis);
             for &(s, label) in self.query.dfa().transitions_into(et) {
                 for e in adj.edges(label, wm) {
                     let parent = (e.other, s);
@@ -444,7 +577,8 @@ impl RapqEngine {
                             idx,
                             &mut work,
                             self.query.dfa(),
-                            &self.graph,
+                            graph,
+                            vis,
                             self.config.refresh,
                             self.config.dedup_results,
                             wm,
@@ -502,6 +636,7 @@ pub(crate) fn run_insert<S: ResultSink>(
     work: &mut Vec<WorkItem>,
     dfa: &Dfa,
     graph: &WindowGraph,
+    vis: Visibility,
     refresh: RefreshPolicy,
     dedup: bool,
     wm: Timestamp,
@@ -551,7 +686,7 @@ pub(crate) fn run_insert<S: ResultSink>(
                         // Timestamps only ever increase, so this
                         // fixpoint terminates.
                         let (cv, cs) = child;
-                        let adj = graph.out_view(cv);
+                        let adj = graph.out_view_at(cv, vis);
                         for &(label, q) in dfa.transitions_from(cs) {
                             for e in adj.edges(label, wm) {
                                 let target = (e.other, q);
@@ -591,7 +726,7 @@ pub(crate) fn run_insert<S: ResultSink>(
                 // edges out of the new node. The DFA's per-state
                 // transition list × the label-partitioned adjacency
                 // touches exactly the matching edges, allocation-free.
-                let adj = graph.out_view(cv);
+                let adj = graph.out_view_at(cv, vis);
                 for &(label, q) in dfa.transitions_from(cs) {
                     for e in adj.edges(label, wm) {
                         let target = (e.other, q);

@@ -24,7 +24,7 @@ use crate::stats::{EngineStats, IndexSize};
 use markings::Markings;
 use srpq_automata::{CompiledQuery, ContainmentTable, Dfa};
 use srpq_common::{FxHashSet, Label, ResultPair, StateId, StreamTuple, Timestamp, VertexId};
-use srpq_graph::WindowGraph;
+use srpq_graph::{Visibility, WindowGraph};
 
 /// An RSPQ spanning tree `T_x` with markings `M_x`: the shared arena
 /// instantiated with the [`Markings`] semantics.
@@ -171,9 +171,112 @@ impl RspqEngine {
             let wm = self.config.window.lazy_watermark(self.now);
             self.run_expiry(wm, false, sink);
         }
+        self.apply_and_dispatch(tuple, sink);
+    }
+
+    /// Owned-graph tuple handling: mutate the graph, then run the
+    /// read-only Δ traversal against it (the same split a shared-graph
+    /// coordinator performs once per micro-batch).
+    fn apply_and_dispatch<S: ResultSink>(&mut self, tuple: StreamTuple, sink: &mut S) {
+        if self.query.dfa().knows_label(tuple.label) {
+            match tuple.op {
+                srpq_common::Op::Insert => {
+                    self.graph
+                        .insert(tuple.edge.src, tuple.edge.dst, tuple.label, tuple.ts);
+                }
+                srpq_common::Op::Delete => {
+                    self.graph
+                        .remove(tuple.edge.src, tuple.edge.dst, tuple.label);
+                }
+            }
+        }
+        let graph = std::mem::take(&mut self.graph);
+        self.dispatch(&graph, Visibility::ALL, tuple, sink);
+        self.graph = graph;
+    }
+
+    /// The **read-only traversal path**: extends/expires Δ for one
+    /// tuple against an external shared graph that has already absorbed
+    /// this tuple's mutation; `vis` hides in-batch edges a sequential
+    /// run would not have seen yet (see `RapqEngine::extend_with_graph`).
+    pub fn extend_with_graph<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        tuple: StreamTuple,
+        sink: &mut S,
+    ) {
+        self.advance_with_graph(graph, vis.before(), tuple.ts, sink);
+        self.dispatch_with_graph(graph, vis, tuple, sink);
+    }
+
+    /// Advances the clock to `ts` and, on a slide-boundary crossing,
+    /// runs the lazy Δ-expiry pass at visibility `vis` (see
+    /// `RapqEngine::advance_with_graph`).
+    pub fn advance_with_graph<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        ts: Timestamp,
+        sink: &mut S,
+    ) {
+        let prev = self.now;
+        if ts > self.now {
+            self.now = ts;
+        }
+        if prev != Timestamp::NEG_INFINITY && self.config.window.crosses_slide(prev, self.now) {
+            let t0 = std::time::Instant::now();
+            self.stats.expiry_runs += 1;
+            let wm = self.config.window.lazy_watermark(self.now);
+            self.expire_delta(graph, vis, wm, false, sink);
+            self.stats.expiry_nanos += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Δ-side handling of one tuple against the shared graph (no clock
+    /// movement — call [`Self::advance_with_graph`] first).
+    pub fn dispatch_with_graph<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        tuple: StreamTuple,
+        sink: &mut S,
+    ) {
+        self.dispatch(graph, vis, tuple, sink);
+    }
+
+    /// Read-only eager expiry against an external shared graph (the
+    /// shared counterpart of [`Self::expire_now`]; the caller purges
+    /// the graph itself).
+    pub fn expire_delta_with_graph<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        sink: &mut S,
+    ) {
+        let t0 = std::time::Instant::now();
+        self.stats.expiry_runs += 1;
+        let wm = self.config.window.watermark(self.now);
+        self.expire_delta(graph, vis, wm, false, sink);
+        self.stats.expiry_nanos += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Δ-side handling of one tuple; the graph mutation has already
+    /// happened (owned path or coordinator).
+    fn dispatch<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        tuple: StreamTuple,
+        sink: &mut S,
+    ) {
+        if !self.query.dfa().knows_label(tuple.label) {
+            self.stats.tuples_discarded += 1;
+            return;
+        }
         match tuple.op {
-            srpq_common::Op::Insert => self.handle_insert(tuple, sink),
-            srpq_common::Op::Delete => self.handle_delete(tuple, sink),
+            srpq_common::Op::Insert => self.dispatch_insert(graph, vis, tuple, sink),
+            srpq_common::Op::Delete => self.dispatch_delete(graph, vis, tuple, sink),
         }
     }
 
@@ -196,10 +299,7 @@ impl RspqEngine {
                 if t.ts > self.now {
                     self.now = t.ts;
                 }
-                match t.op {
-                    srpq_common::Op::Insert => self.handle_insert(t, sink),
-                    srpq_common::Op::Delete => self.handle_delete(t, sink),
-                }
+                self.apply_and_dispatch(t, sink);
             }
             i += len;
         }
@@ -232,15 +332,16 @@ impl RspqEngine {
         std::mem::swap(&mut self.graph, graph);
     }
 
-    fn handle_insert<S: ResultSink>(&mut self, tuple: StreamTuple, sink: &mut S) {
+    fn dispatch_insert<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        tuple: StreamTuple,
+        sink: &mut S,
+    ) {
         let label = tuple.label;
-        if !self.query.dfa().knows_label(label) {
-            self.stats.tuples_discarded += 1;
-            return;
-        }
         self.stats.tuples_processed += 1;
         let (u, v) = (tuple.edge.src, tuple.edge.dst);
-        self.graph.insert(u, v, label, tuple.ts);
         let wm = self.config.window.watermark(self.now);
 
         let s0 = self.query.dfa().start();
@@ -294,7 +395,8 @@ impl RspqEngine {
                     &mut work,
                     self.query.dfa(),
                     self.query.containment(),
-                    &self.graph,
+                    graph,
+                    vis,
                     self.config.dedup_results,
                     wm,
                     self.now,
@@ -308,16 +410,17 @@ impl RspqEngine {
         }
     }
 
-    fn handle_delete<S: ResultSink>(&mut self, tuple: StreamTuple, sink: &mut S) {
+    fn dispatch_delete<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        tuple: StreamTuple,
+        sink: &mut S,
+    ) {
         let label = tuple.label;
-        if !self.query.dfa().knows_label(label) {
-            self.stats.tuples_discarded += 1;
-            return;
-        }
         self.stats.tuples_processed += 1;
         self.stats.deletions_processed += 1;
         let (u, v) = (tuple.edge.src, tuple.edge.dst);
-        self.graph.remove(u, v, label);
         let wm = self.config.window.watermark(self.now);
 
         let roots = self.delta.trees_containing(v);
@@ -348,7 +451,7 @@ impl RspqEngine {
                 }
             }
             if dirty {
-                self.expire_tree(root, wm, true, sink);
+                self.expire_tree(graph, vis, root, wm, true, sink);
                 self.delta.drop_if_trivial(root);
             }
         }
@@ -358,11 +461,26 @@ impl RspqEngine {
         let t0 = std::time::Instant::now();
         self.stats.expiry_runs += 1;
         self.graph.purge_expired(wm);
+        let graph = std::mem::take(&mut self.graph);
+        self.expire_delta(&graph, Visibility::ALL, wm, invalidate, sink);
+        self.graph = graph;
+        self.stats.expiry_nanos += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// The Δ-only part of `ExpiryRSPQ`, over a borrowed (possibly
+    /// shared) graph.
+    fn expire_delta<S: ResultSink>(
+        &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
+        wm: Timestamp,
+        invalidate: bool,
+        sink: &mut S,
+    ) {
         for root in self.delta.roots() {
-            self.expire_tree(root, wm, invalidate, sink);
+            self.expire_tree(graph, vis, root, wm, invalidate, sink);
             self.delta.drop_if_trivial(root);
         }
-        self.stats.expiry_nanos += t0.elapsed().as_nanos() as u64;
     }
 
     /// `ExpiryRSPQ` for a single tree: prune expired nodes, reattempt
@@ -370,8 +488,11 @@ impl RspqEngine {
     /// already replayed by `Unmark` when their mark was removed), then
     /// restore markings that are no longer blocked and report
     /// invalidations.
+    #[allow(clippy::too_many_arguments)]
     fn expire_tree<S: ResultSink>(
         &mut self,
+        graph: &WindowGraph,
+        vis: Visibility,
         root: VertexId,
         wm: Timestamp,
         invalidate: bool,
@@ -411,7 +532,7 @@ impl RspqEngine {
             if tree.is_marked((v, t)) {
                 continue; // reconnected by an earlier candidate's replay
             }
-            let adj = self.graph.in_view(v);
+            let adj = graph.in_view_at(v, vis);
             for &(s, label) in self.query.dfa().transitions_into(t) {
                 for e in adj.edges(label, wm) {
                     let occs: Vec<NodeId> = tree.occurrences((e.other, s)).to_vec();
@@ -436,7 +557,8 @@ impl RspqEngine {
                             &mut work,
                             self.query.dfa(),
                             self.query.containment(),
-                            &self.graph,
+                            graph,
+                            vis,
                             self.config.dedup_results,
                             wm,
                             self.now,
@@ -516,6 +638,7 @@ fn run_extend<S: ResultSink>(
     dfa: &Dfa,
     containment: &ContainmentTable,
     graph: &WindowGraph,
+    vis: Visibility,
     dedup: bool,
     wm: Timestamp,
     now: Timestamp,
@@ -559,7 +682,7 @@ fn run_extend<S: ResultSink>(
         if let Some(q) = tree.first_state_on_path(parent_id, vertex) {
             if !containment.contains(q, state) {
                 stats.conflicts_detected += 1;
-                unmark_and_replay(tree, parent_id, dfa, graph, wm, work, stats);
+                unmark_and_replay(tree, parent_id, dfa, graph, vis, wm, work, stats);
                 continue;
             }
         }
@@ -592,7 +715,7 @@ fn run_extend<S: ResultSink>(
         // Lines 14–18: expand through valid window edges (per-state DFA
         // transitions × label-partitioned adjacency: only matching
         // edges are visited, with no per-step allocation).
-        let adj = graph.out_view(vertex);
+        let adj = graph.out_view_at(vertex, vis);
         for &(label, r) in dfa.transitions_from(state) {
             for e in adj.edges(label, wm) {
                 if !tree.path_has(id, e.other, r) && !tree.is_marked((e.other, r)) {
@@ -613,11 +736,13 @@ fn run_extend<S: ResultSink>(
 /// marks while present; then replay, for every unmarked pair, the
 /// traversals that were previously pruned by that mark (all valid
 /// in-edges landing in the pair from live occurrences).
+#[allow(clippy::too_many_arguments)]
 fn unmark_and_replay(
     tree: &mut SpTree,
     conflict_pred: NodeId,
     dfa: &Dfa,
     graph: &WindowGraph,
+    vis: Visibility,
     wm: Timestamp,
     work: &mut Vec<ExtendItem>,
     stats: &mut EngineStats,
@@ -636,7 +761,7 @@ fn unmark_and_replay(
         }
     }
     for (v, t) in unmarked {
-        let adj = graph.in_view(v);
+        let adj = graph.in_view_at(v, vis);
         for &(s, label) in dfa.transitions_into(t) {
             for e in adj.edges(label, wm) {
                 let occs: Vec<NodeId> = tree.occurrences((e.other, s)).to_vec();

@@ -46,6 +46,16 @@ pub struct EngineStats {
     /// budget (results possibly incomplete; see
     /// `EngineConfig::rspq_extend_budget`).
     pub budget_exhausted: u64,
+    /// Tuples routed to this engine by a multi-query host (label
+    /// routing hits; zero for engines driven directly). Deterministic —
+    /// it equals the count of alphabet-matching tuples since
+    /// registration.
+    pub tuples_routed: u64,
+    /// Nanoseconds a multi-query host spent inside this engine's
+    /// evaluation calls (extension, expiry, deletions). Wall-clock:
+    /// operators compare queries within one run (`srpq query list`) to
+    /// find the hot one; never compare across runs or recoveries.
+    pub eval_ns: u64,
     /// Bytes appended to the write-ahead log (maintained by
     /// `srpq_persist::Durable`; zero for undurable engines).
     pub wal_bytes: u64,

@@ -18,5 +18,5 @@
 pub mod store;
 pub mod window;
 
-pub use store::{AdjView, EdgeRef, WindowGraph};
+pub use store::{AdjView, EdgeRef, Visibility, WindowGraph};
 pub use window::WindowPolicy;

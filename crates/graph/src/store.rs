@@ -34,6 +34,59 @@
 use srpq_common::{FxHashMap, Label, Timestamp, VertexId};
 use std::collections::VecDeque;
 
+/// A per-micro-batch visibility horizon for shared-graph traversal.
+///
+/// The parallel multi-query coordinator applies a whole micro-batch of
+/// graph inserts up front (single-threaded), stamping each *newly
+/// created* edge with its batch position via
+/// [`WindowGraph::insert_visible_from`]. Worker threads then traverse
+/// the shared graph read-only, passing the position of the tuple they
+/// are evaluating: an edge stamped later in the batch is invisible,
+/// exactly as it would not yet exist in a sequential per-tuple run.
+/// Stamps are transient — [`WindowGraph::clear_stamps`] resets them
+/// after the batch — so a default-constructed slot (`vis_from == 0`) is
+/// always visible and owned single-engine traversal pays nothing.
+///
+/// `horizon` counts visible stamped positions: an edge stamped with
+/// `vis_from = pos + 1` (batch position `pos`) is visible iff
+/// `vis_from <= horizon`. [`Visibility::ALL`] sees everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Visibility {
+    horizon: u32,
+}
+
+impl Visibility {
+    /// Everything in the graph is visible (owned-graph engines, and the
+    /// degenerate shared case of a fully applied batch).
+    pub const ALL: Visibility = Visibility { horizon: u32::MAX };
+
+    /// Visibility for *extending* on the tuple at batch position `pos`:
+    /// the tuple's own edge (stamped `pos + 1`) and everything before
+    /// it are visible; later in-batch edges are not.
+    #[inline]
+    pub fn upto(pos: usize) -> Visibility {
+        Visibility {
+            horizon: pos as u32 + 1,
+        }
+    }
+
+    /// Visibility for work that sequentially precedes the current
+    /// tuple's graph mutation (the slide-boundary Δ-expiry pass runs
+    /// before the tuple's edge exists): one position earlier.
+    #[inline]
+    pub fn before(self) -> Visibility {
+        Visibility {
+            horizon: self.horizon.saturating_sub(1),
+        }
+    }
+
+    /// Whether a slot stamped `vis_from` is visible under this horizon.
+    #[inline]
+    fn admits(self, vis_from: u32) -> bool {
+        vis_from <= self.horizon
+    }
+}
+
 /// A labeled, timestamped half-edge as seen from one endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EdgeRef {
@@ -72,6 +125,10 @@ struct Slot {
     out_pos: u32,
     /// Position of this edge's posting in `inc[dst][label]`.
     inc_pos: u32,
+    /// Micro-batch visibility stamp (see [`Visibility`]): `0` = visible
+    /// at every horizon; `pos + 1` = created at batch position `pos`.
+    /// Reset by [`WindowGraph::clear_stamps`] after every batch.
+    vis_from: u32,
 }
 
 /// A borrowed view of one vertex's label-partitioned adjacency (one
@@ -81,17 +138,27 @@ struct Slot {
 #[derive(Debug, Clone, Copy)]
 pub struct AdjView<'g> {
     map: Option<&'g FxHashMap<Label, Vec<Posting>>>,
+    slots: &'g [Slot],
+    vis: Visibility,
 }
 
 impl<'g> AdjView<'g> {
     /// Edges carrying `label` with timestamps `> watermark`: a
     /// borrowing, allocation-free iterator over the posting list.
+    /// Under a restricted [`Visibility`] (shared-graph workers), edges
+    /// stamped later in the current micro-batch are skipped; under
+    /// [`Visibility::ALL`] the stamp is never even loaded.
     pub fn edges(&self, label: Label, watermark: Timestamp) -> impl Iterator<Item = EdgeRef> + 'g {
+        let vis = self.vis;
+        let all = vis == Visibility::ALL;
+        let slots = self.slots;
         self.map
             .and_then(|m| m.get(&label))
             .into_iter()
             .flat_map(|list| list.iter())
-            .filter(move |p| p.ts > watermark)
+            .filter(move |p| {
+                p.ts > watermark && (all || vis.admits(slots[p.slot as usize].vis_from))
+            })
             .map(move |p| EdgeRef {
                 other: p.other,
                 label,
@@ -123,6 +190,9 @@ pub struct WindowGraph {
     inc: FxHashMap<VertexId, FxHashMap<Label, Vec<Posting>>>,
     slots: Vec<Slot>,
     free: Vec<u32>,
+    /// Slots stamped with a batch position this micro-batch (drained by
+    /// [`Self::clear_stamps`]).
+    stamped: Vec<u32>,
     /// Arrival-ordered queue driving O(#expired) purge.
     queue: VecDeque<QueueEntry>,
     n_edges: usize,
@@ -174,6 +244,43 @@ impl WindowGraph {
     /// and the scan beats a separate edge→slot hash map (whose every
     /// probe is a cache miss) by a wide margin.
     pub fn insert(&mut self, u: VertexId, v: VertexId, label: Label, ts: Timestamp) -> bool {
+        self.insert_inner(u, v, label, ts, 0)
+    }
+
+    /// [`Self::insert`] with a micro-batch visibility stamp: a *newly
+    /// created* edge becomes visible only to [`Visibility`] horizons
+    /// covering batch position `pos` (a refresh of an existing edge
+    /// keeps its stamp — the edge already existed at every horizon).
+    /// The coordinator of a shared-graph batch applies all inserts
+    /// through this, then calls [`Self::clear_stamps`] once the batch's
+    /// workers are done.
+    pub fn insert_visible_from(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        label: Label,
+        ts: Timestamp,
+        pos: usize,
+    ) -> bool {
+        self.insert_inner(u, v, label, ts, pos as u32 + 1)
+    }
+
+    /// Resets every stamp written since the last call, making all edges
+    /// visible at every horizon again. O(#stamped).
+    pub fn clear_stamps(&mut self) {
+        while let Some(id) = self.stamped.pop() {
+            self.slots[id as usize].vis_from = 0;
+        }
+    }
+
+    fn insert_inner(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        label: Label,
+        ts: Timestamp,
+        vis_from: u32,
+    ) -> bool {
         let out_outer = self.out.entry(u).or_default();
         let u_first_out = out_outer.is_empty();
         let out_list = out_outer.entry(label).or_default();
@@ -207,6 +314,7 @@ impl WindowGraph {
                     gen: slot.gen,
                     out_pos,
                     inc_pos: 0,
+                    vis_from,
                 };
                 (id, slot.gen)
             }
@@ -218,10 +326,14 @@ impl WindowGraph {
                     gen: 0,
                     out_pos,
                     inc_pos: 0,
+                    vis_from,
                 });
                 ((self.slots.len() - 1) as u32, 0)
             }
         };
+        if vis_from != 0 {
+            self.stamped.push(id);
+        }
         out_list.push(Posting {
             other: v,
             ts,
@@ -404,16 +516,34 @@ impl WindowGraph {
     /// this out of their per-DFA-transition loops.
     #[inline]
     pub fn out_view(&self, u: VertexId) -> AdjView<'_> {
-        AdjView {
-            map: self.out.get(&u),
-        }
+        self.out_view_at(u, Visibility::ALL)
     }
 
     /// A borrowed view of `v`'s in-adjacency.
     #[inline]
     pub fn in_view(&self, v: VertexId) -> AdjView<'_> {
+        self.in_view_at(v, Visibility::ALL)
+    }
+
+    /// [`Self::out_view`] restricted to a micro-batch [`Visibility`]
+    /// horizon (shared-graph worker traversal).
+    #[inline]
+    pub fn out_view_at(&self, u: VertexId, vis: Visibility) -> AdjView<'_> {
+        AdjView {
+            map: self.out.get(&u),
+            slots: &self.slots,
+            vis,
+        }
+    }
+
+    /// [`Self::in_view`] restricted to a micro-batch [`Visibility`]
+    /// horizon.
+    #[inline]
+    pub fn in_view_at(&self, v: VertexId, vis: Visibility) -> AdjView<'_> {
         AdjView {
             map: self.inc.get(&v),
+            slots: &self.slots,
+            vis,
         }
     }
 
@@ -726,6 +856,65 @@ mod tests {
         assert_eq!(g.in_edges(v(0), l(0), NEG).count(), 1);
         g.remove(v(0), v(0), l(0));
         assert_eq!(g.n_vertices(), 0);
+    }
+
+    #[test]
+    fn visibility_hides_later_batch_positions() {
+        let mut g = WindowGraph::new();
+        g.insert(v(0), v(1), l(0), Timestamp(1)); // pre-batch
+        g.insert_visible_from(v(0), v(2), l(0), Timestamp(2), 0);
+        g.insert_visible_from(v(0), v(3), l(0), Timestamp(3), 2);
+
+        fn others(g: &WindowGraph, vis: Visibility) -> Vec<VertexId> {
+            let mut o: Vec<_> = g
+                .out_view_at(v(0), vis)
+                .edges(l(0), NEG)
+                .map(|e| e.other)
+                .collect();
+            o.sort_unstable();
+            o
+        }
+        // Expiry before position 0 sees only the pre-batch edge.
+        assert_eq!(others(&g, Visibility::upto(0).before()), vec![v(1)]);
+        // Extending on position 0 sees its own edge.
+        assert_eq!(others(&g, Visibility::upto(0)), vec![v(1), v(2)]);
+        // Position 1 does not yet see the edge stamped at position 2.
+        assert_eq!(others(&g, Visibility::upto(1)), vec![v(1), v(2)]);
+        assert_eq!(others(&g, Visibility::upto(2)), vec![v(1), v(2), v(3)]);
+        assert_eq!(others(&g, Visibility::ALL), vec![v(1), v(2), v(3)]);
+        // The in-direction applies the same filter.
+        assert_eq!(
+            g.in_view_at(v(3), Visibility::upto(1))
+                .edges(l(0), NEG)
+                .count(),
+            0
+        );
+        assert_eq!(
+            g.in_view_at(v(3), Visibility::upto(2))
+                .edges(l(0), NEG)
+                .count(),
+            1
+        );
+
+        // A refresh keeps the edge visible at every horizon (it already
+        // existed), and clear_stamps makes everything visible again.
+        assert!(!g.insert_visible_from(v(0), v(1), l(0), Timestamp(9), 3));
+        assert_eq!(others(&g, Visibility::upto(0).before()), vec![v(1)]);
+        g.clear_stamps();
+        assert_eq!(
+            others(&g, Visibility::upto(0).before()),
+            vec![v(1), v(2), v(3)]
+        );
+        // Stamps from the next batch start clean (freed + reused slots
+        // included).
+        g.remove(v(0), v(2), l(0));
+        g.insert(v(5), v(6), l(0), Timestamp(10));
+        assert_eq!(
+            g.out_view_at(v(5), Visibility::upto(0).before())
+                .edges(l(0), NEG)
+                .count(),
+            1
+        );
     }
 
     #[test]

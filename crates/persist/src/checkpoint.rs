@@ -26,7 +26,7 @@
 //!
 //! ```text
 //! file   := body crc32(body)
-//! body   := magic "SRPQCKP1" | u32 version = 1 | u8 kind | u8 strategy
+//! body   := magic "SRPQCKP1" | u32 version = 2 | u8 kind | u8 strategy
 //!           | u64 seq | payload (engine-kind specific, see
 //!           `srpq_persist::durable::PersistEngine`)
 //! ```
@@ -41,7 +41,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 const CKPT_MAGIC: &[u8; 8] = b"SRPQCKP1";
-const CKPT_VERSION: u32 = 1;
+// v2: `EngineStats` gained `tuples_routed`/`eval_ns` mid-record, so v1
+// checkpoints must be refused rather than misdecoded.
+const CKPT_VERSION: u32 = 2;
 
 /// What a checkpoint stores beyond the engine cursor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -288,6 +290,8 @@ pub(crate) fn encode_stats(w: &mut ByteWriter, s: &EngineStats) {
         s.conflicts_detected,
         s.nodes_unmarked,
         s.budget_exhausted,
+        s.tuples_routed,
+        s.eval_ns,
         s.wal_bytes,
         s.wal_appends,
         s.fsyncs,
@@ -313,6 +317,8 @@ pub(crate) fn decode_stats(r: &mut ByteReader) -> Result<EngineStats> {
         conflicts_detected: r.u64()?,
         nodes_unmarked: r.u64()?,
         budget_exhausted: r.u64()?,
+        tuples_routed: r.u64()?,
+        eval_ns: r.u64()?,
         wal_bytes: r.u64()?,
         wal_appends: r.u64()?,
         fsyncs: r.u64()?,

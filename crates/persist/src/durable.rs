@@ -46,7 +46,7 @@ use srpq_core::delta::Forest;
 use srpq_core::engine::{Engine, PathSemantics};
 use srpq_core::multi::{MultiQueryEngine, MultiSink, NullMultiSink};
 use srpq_core::sink::{NullSink, ResultSink};
-use srpq_core::{EngineStats, ParallelRapqEngine, QueryId};
+use srpq_core::{EngineStats, ParallelMultiEngine, ParallelRapqEngine, QueryId};
 use srpq_graph::WindowPolicy;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -458,6 +458,23 @@ impl Durable<MultiQueryEngine> {
     }
 }
 
+impl Durable<ParallelMultiEngine> {
+    /// WAL-append then process: the durable ingestion entry point
+    /// (evaluation fans out over the engine's worker pool).
+    pub fn process_batch<S: MultiSink>(
+        &mut self,
+        batch: &[StreamTuple],
+        sink: &mut S,
+    ) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.log_batch(batch)?;
+        self.inner.process_batch(batch, sink);
+        self.after_batch()
+    }
+}
+
 // ---------------------------------------------------------------------
 // PersistEngine implementations
 // ---------------------------------------------------------------------
@@ -560,134 +577,160 @@ impl PersistEngine for Engine {
     }
 }
 
-impl PersistEngine for MultiQueryEngine {
-    const KIND: u8 = 2;
-
-    fn clock(&self) -> Timestamp {
-        self.now()
-    }
-
-    fn window_policy(&self) -> WindowPolicy {
-        self.window()
-    }
-
-    fn encode_state(&self, strategy: CheckpointStrategy, w: &mut ByteWriter) {
-        checkpoint::encode_config(w, self.config());
-        w.i64(self.now().0);
-        let (seen, routed) = self.routing_stats();
-        w.u64(seen);
-        w.u64(routed);
-        checkpoint::encode_graph(w, self.graph());
-        // Registration slots, vacated ones included: query ids are slot
-        // indexes and subscribers hold them across restarts, so a
-        // deregistered slot is checkpointed as an explicit tombstone
-        // rather than compacted away.
-        w.u32(self.n_slots() as u32);
-        for qi in 0..self.n_slots() as u32 {
-            let id = QueryId(qi);
-            let Some(engine) = self.engine(id) else {
-                w.u8(0); // vacant slot
-                continue;
-            };
-            w.u8(1);
-            w.str(self.name(id).unwrap_or(""));
-            encode_semantics(w, engine.semantics());
-            w.str(&engine.query().regex().to_string());
-            w.i64(engine.now().0);
-            checkpoint::encode_pairs(w, &engine.emitted_pairs());
-            checkpoint::encode_stats(w, engine.stats());
-            if strategy == CheckpointStrategy::Full {
-                match engine {
-                    Engine::Arbitrary(e) => checkpoint::encode_forest(w, e.delta()),
-                    Engine::Simple(e) => checkpoint::encode_forest(w, e.delta()),
-                }
-            }
-        }
-    }
-
-    fn decode_state(
-        r: &mut ByteReader,
-        strategy: CheckpointStrategy,
-        labels: &mut LabelInterner,
-    ) -> Result<MultiQueryEngine> {
-        let config = checkpoint::decode_config(r)?;
-        let now = Timestamp(r.i64()?);
-        let seen = r.u64()?;
-        let routed = r.u64()?;
-        let edges = checkpoint::decode_graph(r)?;
-        let n_slots = r.count(1)?;
-
-        struct QueryState {
-            id: QueryId,
-            now: Timestamp,
-            emitted: Vec<srpq_common::ResultPair>,
-            stats: EngineStats,
-        }
-        let mut multi = MultiQueryEngine::with_config(config);
-        let mut cursors = Vec::with_capacity(n_slots);
-        for slot in 0..n_slots as u32 {
-            if r.u8()? == 0 {
-                // Tombstone of a deregistered query: burn the slot so
-                // later ids keep their meaning.
-                multi.push_vacant_slot();
-                continue;
-            }
-            let name = r.str()?;
-            let semantics = decode_semantics(r)?;
-            let regex = r.str()?;
-            let qnow = Timestamp(r.i64()?);
-            let emitted = checkpoint::decode_pairs(r)?;
-            let stats = checkpoint::decode_stats(r)?;
-            let query = compile(&regex, labels)?;
-            let id = multi
-                .register(name, query, semantics)
-                .map_err(|e| PersistError::Incompatible(format!("checkpointed query: {e}")))?;
-            if id.0 != slot {
-                return Err(corrupt(format!(
-                    "checkpoint slot {slot} restored as query id {id}"
-                )));
-            }
-            if strategy == CheckpointStrategy::Full {
-                let engine = multi.engine_mut(id).expect("just registered");
-                match engine {
-                    Engine::Arbitrary(e) => e.set_delta(checkpoint::decode_forest(r)?),
-                    Engine::Simple(e) => e.set_delta(checkpoint::decode_forest(r)?),
-                }
-            }
-            cursors.push(QueryState {
-                id,
-                now: qnow,
-                emitted,
-                stats,
-            });
-        }
-        match strategy {
-            CheckpointStrategy::Logical => {
-                multi.process_batch(&edges_to_tuples(&edges), &mut NullMultiSink);
-            }
-            CheckpointStrategy::Full => {
-                let graph = multi.graph_mut();
-                for &(u, v, l, ts) in &edges {
-                    graph.insert(u, v, l, ts);
-                }
-            }
-        }
-        for cur in cursors {
-            let engine = multi.engine_mut(cur.id).expect("restored above");
-            engine.restore_cursor(cur.now, cur.emitted, cur.stats);
-        }
-        multi.restore_cursor(now, seen, routed);
-        Ok(multi)
-    }
-
-    fn replay(&mut self, batch: &[StreamTuple]) {
-        self.process_batch(batch, &mut NullMultiSink);
-    }
-
-    fn durability_stats_mut(&mut self) -> Option<&mut EngineStats> {
-        None
-    }
+/// Worker-pool size for a [`ParallelMultiEngine`] rebuilt from a
+/// checkpoint: the checkpoint format is shared with the sequential
+/// engine and deliberately stores no worker count (parallelism is
+/// runtime configuration, not logical state) — recovery defaults to the
+/// machine's parallelism and hosts resize afterwards
+/// (`ParallelMultiEngine::resize_workers`).
+fn default_pool_size() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
+
+/// [`MultiQueryEngine`] and [`ParallelMultiEngine`] carry the same
+/// logical state behind the same API, so they share `KIND` and byte
+/// layout: a durable directory written under either host recovers as
+/// either (switch `--workers` freely across restarts).
+macro_rules! impl_multi_persist {
+    ($ty:ty, $new:expr) => {
+        impl PersistEngine for $ty {
+            const KIND: u8 = 2;
+
+            fn clock(&self) -> Timestamp {
+                self.now()
+            }
+
+            fn window_policy(&self) -> WindowPolicy {
+                self.window()
+            }
+
+            fn encode_state(&self, strategy: CheckpointStrategy, w: &mut ByteWriter) {
+                checkpoint::encode_config(w, self.config());
+                w.i64(self.now().0);
+                let (seen, routed) = self.routing_stats();
+                w.u64(seen);
+                w.u64(routed);
+                checkpoint::encode_graph(w, self.graph());
+                // Registration slots, vacated ones included: query ids are slot
+                // indexes and subscribers hold them across restarts, so a
+                // deregistered slot is checkpointed as an explicit tombstone
+                // rather than compacted away.
+                w.u32(self.n_slots() as u32);
+                for qi in 0..self.n_slots() as u32 {
+                    let id = QueryId(qi);
+                    let Some(engine) = self.engine(id) else {
+                        w.u8(0); // vacant slot
+                        continue;
+                    };
+                    w.u8(1);
+                    w.str(self.name(id).unwrap_or(""));
+                    encode_semantics(w, engine.semantics());
+                    w.str(&engine.query().regex().to_string());
+                    w.i64(engine.now().0);
+                    checkpoint::encode_pairs(w, &engine.emitted_pairs());
+                    checkpoint::encode_stats(w, engine.stats());
+                    if strategy == CheckpointStrategy::Full {
+                        match engine {
+                            Engine::Arbitrary(e) => checkpoint::encode_forest(w, e.delta()),
+                            Engine::Simple(e) => checkpoint::encode_forest(w, e.delta()),
+                        }
+                    }
+                }
+            }
+
+            fn decode_state(
+                r: &mut ByteReader,
+                strategy: CheckpointStrategy,
+                labels: &mut LabelInterner,
+            ) -> Result<$ty> {
+                let config = checkpoint::decode_config(r)?;
+                let now = Timestamp(r.i64()?);
+                let seen = r.u64()?;
+                let routed = r.u64()?;
+                let edges = checkpoint::decode_graph(r)?;
+                let n_slots = r.count(1)?;
+
+                struct QueryState {
+                    id: QueryId,
+                    now: Timestamp,
+                    emitted: Vec<srpq_common::ResultPair>,
+                    stats: EngineStats,
+                }
+                #[allow(clippy::redundant_closure_call)]
+                let mut multi: $ty = ($new)(config);
+                let mut cursors = Vec::with_capacity(n_slots);
+                for slot in 0..n_slots as u32 {
+                    if r.u8()? == 0 {
+                        // Tombstone of a deregistered query: burn the slot so
+                        // later ids keep their meaning.
+                        multi.push_vacant_slot();
+                        continue;
+                    }
+                    let name = r.str()?;
+                    let semantics = decode_semantics(r)?;
+                    let regex = r.str()?;
+                    let qnow = Timestamp(r.i64()?);
+                    let emitted = checkpoint::decode_pairs(r)?;
+                    let stats = checkpoint::decode_stats(r)?;
+                    let query = compile(&regex, labels)?;
+                    let id = multi.register(name, query, semantics).map_err(|e| {
+                        PersistError::Incompatible(format!("checkpointed query: {e}"))
+                    })?;
+                    if id.0 != slot {
+                        return Err(corrupt(format!(
+                            "checkpoint slot {slot} restored as query id {id}"
+                        )));
+                    }
+                    if strategy == CheckpointStrategy::Full {
+                        let engine = multi.engine_mut(id).expect("just registered");
+                        match engine {
+                            Engine::Arbitrary(e) => e.set_delta(checkpoint::decode_forest(r)?),
+                            Engine::Simple(e) => e.set_delta(checkpoint::decode_forest(r)?),
+                        }
+                    }
+                    cursors.push(QueryState {
+                        id,
+                        now: qnow,
+                        emitted,
+                        stats,
+                    });
+                }
+                match strategy {
+                    CheckpointStrategy::Logical => {
+                        multi.process_batch(&edges_to_tuples(&edges), &mut NullMultiSink);
+                    }
+                    CheckpointStrategy::Full => {
+                        let graph = multi.graph_mut();
+                        for &(u, v, l, ts) in &edges {
+                            graph.insert(u, v, l, ts);
+                        }
+                    }
+                }
+                for cur in cursors {
+                    let engine = multi.engine_mut(cur.id).expect("restored above");
+                    engine.restore_cursor(cur.now, cur.emitted, cur.stats);
+                }
+                multi.restore_cursor(now, seen, routed);
+                Ok(multi)
+            }
+
+            fn replay(&mut self, batch: &[StreamTuple]) {
+                self.process_batch(batch, &mut NullMultiSink);
+            }
+
+            fn durability_stats_mut(&mut self) -> Option<&mut EngineStats> {
+                None
+            }
+        }
+    };
+}
+
+impl_multi_persist!(MultiQueryEngine, MultiQueryEngine::with_config);
+impl_multi_persist!(ParallelMultiEngine, |config| {
+    ParallelMultiEngine::with_config(config, default_pool_size())
+});
 
 impl PersistEngine for ParallelRapqEngine {
     const KIND: u8 = 3;

@@ -305,3 +305,77 @@ fn deregistered_slots_survive_recovery() {
     let _ = c;
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn parallel_multi_host_shares_checkpoint_format() {
+    // A durable directory written under the parallel multi host must
+    // recover (a) as a ParallelMultiEngine with parallel per-query
+    // replay, and (b) as a plain MultiQueryEngine — worker count is
+    // runtime configuration, not logical state, so the two hosts share
+    // one checkpoint format and are interchangeable across restarts.
+    use srpq_core::multi::{MultiCollectSink, MultiQueryEngine};
+    use srpq_core::ParallelMultiEngine;
+
+    let dir = tmpdir("parallel-multi");
+    let mut labels = make_labels();
+    let tuples = stream(160);
+
+    let qa = srpq_automata::CompiledQuery::compile("a b*", &mut labels).unwrap();
+    let qb = srpq_automata::CompiledQuery::compile("(a | b)+", &mut labels).unwrap();
+    let mut par =
+        ParallelMultiEngine::with_config(EngineConfig::with_window(WindowPolicy::new(40, 5)), 3);
+    let ida = par.register("qa", qa, PathSemantics::Arbitrary).unwrap();
+    let idb = par.register("qb", qb, PathSemantics::Arbitrary).unwrap();
+
+    let cfg = DurabilityConfig {
+        sync: SyncPolicy::None,
+        strategy: CheckpointStrategy::Logical,
+        // Only the initial manifest checkpoint: recovery must replay
+        // the whole WAL suffix (through the parallel workers).
+        checkpoint_every: 0,
+        segment_bytes: 4 << 20,
+    };
+    let mut durable = Durable::create(par, &dir, cfg).unwrap();
+    let mut sink = MultiCollectSink::default();
+    for chunk in tuples.chunks(16) {
+        durable.process_batch(chunk, &mut sink).unwrap();
+    }
+    let pairs_a: Vec<_> = sink
+        .emitted
+        .iter()
+        .filter(|&&(id, ..)| id == ida)
+        .map(|&(_, p, _)| p)
+        .collect();
+    let n_edges = durable.inner().graph().n_edges();
+    let (seen, routed) = durable.inner().routing_stats();
+    drop(durable);
+
+    // (a) Recover as the parallel host: WAL replay fans out per query.
+    let (rec_par, report) =
+        Durable::<ParallelMultiEngine>::recover(&dir, &mut labels.clone(), cfg).unwrap();
+    assert_eq!(report.resume_seq, tuples.len() as u64);
+    assert!(report.replayed_tuples > 0, "suffix replay expected");
+    assert!(rec_par.inner().n_workers() >= 1);
+    assert_eq!(rec_par.inner().graph().n_edges(), n_edges);
+    assert_eq!(rec_par.inner().routing_stats(), (seen, routed));
+    let _ = pairs_a;
+
+    // (b) Recover the same directory as the sequential host.
+    let (rec_seq, _) =
+        Durable::<MultiQueryEngine>::recover(&dir, &mut labels.clone(), cfg).unwrap();
+    assert_eq!(rec_seq.inner().n_slots(), 2);
+    assert_eq!(rec_seq.inner().graph().n_edges(), n_edges);
+    // Both recoveries agree on every per-query result set.
+    for id in [ida, idb] {
+        assert_eq!(
+            rec_par.inner().engine(id).unwrap().emitted_pairs(),
+            rec_seq.inner().engine(id).unwrap().emitted_pairs(),
+            "hosts disagree on {id}"
+        );
+        assert_eq!(
+            rec_par.inner().index_size(id).unwrap(),
+            rec_seq.inner().index_size(id).unwrap()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -13,9 +13,10 @@ use crate::labels;
 use crate::protocol::{Msg, QueryInfo, StatsSnapshot, SubPolicy};
 use crate::subscriber::{push_to_msg, FanoutSink, Push, Subscriber};
 use srpq_automata::CompiledQuery;
-use srpq_common::{FxHashSet, LabelInterner, StreamTuple, Timestamp};
-use srpq_core::engine::PathSemantics;
-use srpq_core::multi::{MultiQueryEngine, MultiSink};
+use srpq_common::{FxHashSet, LabelInterner, ResultPair, StreamTuple, Timestamp};
+use srpq_core::engine::{Engine, PathSemantics};
+use srpq_core::multi::{MultiQueryEngine, MultiSink, QueryError, QueryId};
+use srpq_core::{EngineStats, ParallelMultiEngine};
 use srpq_persist::Durable;
 use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
@@ -26,31 +27,138 @@ use std::time::Duration;
 /// the control plane forever).
 const DRAIN_ACK_TIMEOUT: Duration = Duration::from_secs(3);
 
+/// The uniform registry surface over the sequential and parallel multi
+/// engines — both expose the identical API, so the engine thread stays
+/// engine-agnostic (only ingestion and checkpointing dispatch
+/// concretely).
+pub(crate) trait MultiRegistry {
+    fn n_queries(&self) -> usize;
+    fn n_slots(&self) -> usize;
+    fn query_ids(&self) -> Vec<QueryId>;
+    fn query_id(&self, name: &str) -> Option<QueryId>;
+    fn name(&self, id: QueryId) -> Option<&str>;
+    fn engine(&self, id: QueryId) -> Option<&Engine>;
+    fn stats(&self, id: QueryId) -> Option<&EngineStats>;
+    /// Evaluation threads (1 = the sequential engine).
+    fn workers(&self) -> usize;
+    fn register(
+        &mut self,
+        name: &str,
+        query: CompiledQuery,
+        semantics: PathSemantics,
+    ) -> Result<QueryId, QueryError>;
+    fn register_backfilled_dyn(
+        &mut self,
+        name: &str,
+        query: CompiledQuery,
+        semantics: PathSemantics,
+        sink: &mut dyn MultiSink,
+    ) -> Result<QueryId, QueryError>;
+    fn deregister(&mut self, id: QueryId) -> Result<(), QueryError>;
+}
+
+/// Forwards a `&mut dyn MultiSink` into the engines' generic sink
+/// parameter.
+struct DynSink<'a>(&'a mut dyn MultiSink);
+
+impl MultiSink for DynSink<'_> {
+    fn emit(&mut self, id: QueryId, pair: ResultPair, ts: Timestamp) {
+        self.0.emit(id, pair, ts);
+    }
+
+    fn invalidate(&mut self, id: QueryId, pair: ResultPair, ts: Timestamp) {
+        self.0.invalidate(id, pair, ts);
+    }
+}
+
+macro_rules! impl_multi_registry {
+    ($ty:ty, $workers:expr) => {
+        impl MultiRegistry for $ty {
+            fn n_queries(&self) -> usize {
+                <$ty>::n_queries(self)
+            }
+            fn n_slots(&self) -> usize {
+                <$ty>::n_slots(self)
+            }
+            fn query_ids(&self) -> Vec<QueryId> {
+                <$ty>::query_ids(self)
+            }
+            fn query_id(&self, name: &str) -> Option<QueryId> {
+                <$ty>::query_id(self, name)
+            }
+            fn name(&self, id: QueryId) -> Option<&str> {
+                <$ty>::name(self, id)
+            }
+            fn engine(&self, id: QueryId) -> Option<&Engine> {
+                <$ty>::engine(self, id)
+            }
+            fn stats(&self, id: QueryId) -> Option<&EngineStats> {
+                <$ty>::stats(self, id)
+            }
+            fn workers(&self) -> usize {
+                #[allow(clippy::redundant_closure_call)]
+                ($workers)(self)
+            }
+            fn register(
+                &mut self,
+                name: &str,
+                query: CompiledQuery,
+                semantics: PathSemantics,
+            ) -> Result<QueryId, QueryError> {
+                <$ty>::register(self, name, query, semantics)
+            }
+            fn register_backfilled_dyn(
+                &mut self,
+                name: &str,
+                query: CompiledQuery,
+                semantics: PathSemantics,
+                sink: &mut dyn MultiSink,
+            ) -> Result<QueryId, QueryError> {
+                <$ty>::register_backfilled(self, name, query, semantics, &mut DynSink(sink))
+            }
+            fn deregister(&mut self, id: QueryId) -> Result<(), QueryError> {
+                <$ty>::deregister(self, id)
+            }
+        }
+    };
+}
+
+impl_multi_registry!(MultiQueryEngine, |_e: &MultiQueryEngine| 1usize);
+impl_multi_registry!(ParallelMultiEngine, |e: &ParallelMultiEngine| e.n_workers());
+
 /// The evaluation state behind the command channel.
 pub(crate) enum Host {
-    /// In-memory only (no `--wal-dir`).
+    /// In-memory only (no `--wal-dir`), single evaluation thread.
     Plain(Box<MultiQueryEngine>),
-    /// WAL + checkpoints.
+    /// WAL + checkpoints, single evaluation thread.
     Durable(Box<Durable<MultiQueryEngine>>),
+    /// In-memory, worker-pool evaluation (`--workers N`).
+    Parallel(Box<ParallelMultiEngine>),
+    /// WAL + checkpoints over the worker-pool engine.
+    DurableParallel(Box<Durable<ParallelMultiEngine>>),
 }
 
 impl Host {
-    fn engine(&self) -> &MultiQueryEngine {
+    fn registry(&self) -> &dyn MultiRegistry {
         match self {
-            Host::Plain(e) => e,
+            Host::Plain(e) => &**e,
             Host::Durable(d) => d.inner(),
+            Host::Parallel(e) => &**e,
+            Host::DurableParallel(d) => d.inner(),
         }
     }
 
-    fn engine_mut(&mut self) -> &mut MultiQueryEngine {
+    fn registry_mut(&mut self) -> &mut dyn MultiRegistry {
         match self {
-            Host::Plain(e) => e,
+            Host::Plain(e) => &mut **e,
             Host::Durable(d) => d.inner_mut(),
+            Host::Parallel(e) => &mut **e,
+            Host::DurableParallel(d) => d.inner_mut(),
         }
     }
 
     fn is_durable(&self) -> bool {
-        matches!(self, Host::Durable(_))
+        matches!(self, Host::Durable(_) | Host::DurableParallel(_))
     }
 
     fn process_batch<S: MultiSink>(
@@ -64,14 +172,20 @@ impl Host {
                 Ok(())
             }
             Host::Durable(d) => d.process_batch(batch, sink).map_err(|e| e.to_string()),
+            Host::Parallel(e) => {
+                e.process_batch(batch, sink);
+                Ok(())
+            }
+            Host::DurableParallel(d) => d.process_batch(batch, sink).map_err(|e| e.to_string()),
         }
     }
 
     /// Checkpoints durable state; `None` when the host is in-memory.
     fn checkpoint(&mut self) -> Option<Result<u64, String>> {
         match self {
-            Host::Plain(_) => None,
+            Host::Plain(_) | Host::Parallel(_) => None,
             Host::Durable(d) => Some(d.checkpoint().map_err(|e| e.to_string())),
+            Host::DurableParallel(d) => Some(d.checkpoint().map_err(|e| e.to_string())),
         }
     }
 }
@@ -208,17 +322,21 @@ impl EngineCore {
                 let _ = reply.send(self.remove_query(name));
             }
             Cmd::ListQueries { reply } => {
-                let engine = self.host.engine();
+                let engine = self.host.registry();
                 let queries = engine
                     .query_ids()
                     .into_iter()
                     .map(|id| {
                         let e = engine.engine(id).expect("live id");
+                        let stats = e.stats();
                         QueryInfo {
                             id: id.0,
                             name: engine.name(id).unwrap_or("").to_string(),
                             regex: e.query().regex().to_string(),
                             simple: e.semantics() == PathSemantics::Simple,
+                            tuples_routed: stats.tuples_routed,
+                            results_emitted: stats.results_emitted,
+                            eval_ns: stats.eval_ns,
                         }
                     })
                     .collect();
@@ -230,7 +348,7 @@ impl EngineCore {
                 tx,
                 reply,
             } => {
-                let engine = self.host.engine();
+                let engine = self.host.registry();
                 let all = queries.is_empty();
                 let mut resolved = FxHashSet::default();
                 for name in &queries {
@@ -262,7 +380,13 @@ impl EngineCore {
                 let _ = reply.send(msg);
             }
             Cmd::Stats { reply } => {
-                let engine = self.host.engine();
+                let engine = self.host.registry();
+                let eval_ns = engine
+                    .query_ids()
+                    .into_iter()
+                    .filter_map(|id| engine.stats(id))
+                    .map(|s| s.eval_ns)
+                    .sum();
                 let _ = reply.send(Msg::ServerStats(StatsSnapshot {
                     seq: self.seq,
                     live_queries: engine.n_queries() as u32,
@@ -271,6 +395,8 @@ impl EngineCore {
                     labels: self.labels.len() as u32,
                     results_pushed: self.results_pushed,
                     results_dropped: self.results_dropped,
+                    workers: engine.workers() as u32,
+                    eval_ns,
                 }));
             }
             Cmd::Shutdown { .. } => unreachable!("handled by run()"),
@@ -346,7 +472,7 @@ impl EngineCore {
         } else {
             PathSemantics::Arbitrary
         };
-        let engine = self.host.engine_mut();
+        let engine = self.host.registry_mut();
         let registered = if backfill {
             let mut sink = FanoutSink {
                 subscribers: &mut self.subscribers,
@@ -362,7 +488,7 @@ impl EngineCore {
                     sub.queries.insert(id_next);
                 }
             }
-            let r = engine.register_backfilled(&name, query, semantics, &mut sink);
+            let r = engine.register_backfilled_dyn(&name, query, semantics, &mut sink);
             sink.finish();
             if r.is_err() {
                 // Nothing was registered (duplicate name), so the
@@ -398,7 +524,7 @@ impl EngineCore {
     }
 
     fn remove_query(&mut self, name: String) -> Msg {
-        let engine = self.host.engine_mut();
+        let engine = self.host.registry_mut();
         let Some(id) = engine.query_id(&name) else {
             return Msg::Error {
                 msg: format!("no live query named {name:?}"),

@@ -23,7 +23,7 @@ use std::io::{self, Read, Write};
 /// Protocol revision spoken by this build. [`Msg::Hello`] carries the
 /// client's revision; the server refuses mismatches outright (no
 /// negotiation — both binaries come from this repository).
-pub const PROTO_VERSION: u16 = 1;
+pub const PROTO_VERSION: u16 = 2;
 
 /// What a subscriber wants done when its queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -93,6 +93,14 @@ pub struct QueryInfo {
     pub regex: String,
     /// `true` = simple-path semantics, `false` = arbitrary.
     pub simple: bool,
+    /// Tuples label-routed to this query since registration.
+    pub tuples_routed: u64,
+    /// Results this query has emitted (post-dedup).
+    pub results_emitted: u64,
+    /// Nanoseconds spent inside this query's evaluation calls — the
+    /// hot-query indicator (`srpq query list`). Comparable within one
+    /// server lifetime only.
+    pub eval_ns: u64,
 }
 
 /// A snapshot of server-wide counters ([`Msg::ServerStats`]).
@@ -112,6 +120,11 @@ pub struct StatsSnapshot {
     pub results_pushed: u64,
     /// Result entries dropped across all drop-policy subscribers.
     pub results_dropped: u64,
+    /// Evaluation worker threads (1 = sequential engine).
+    pub workers: u32,
+    /// Total nanoseconds spent in per-query evaluation across all live
+    /// queries.
+    pub eval_ns: u64,
 }
 
 /// A protocol message (client requests < 0x80 ≤ server responses).
@@ -390,6 +403,9 @@ impl Msg {
                     w.str(&q.name);
                     w.str(&q.regex);
                     w.u8(q.simple as u8);
+                    w.u64(q.tuples_routed);
+                    w.u64(q.results_emitted);
+                    w.u64(q.eval_ns);
                 }
                 K_QUERY_LIST
             }
@@ -429,6 +445,8 @@ impl Msg {
                 w.u32(s.labels);
                 w.u64(s.results_pushed);
                 w.u64(s.results_dropped);
+                w.u32(s.workers);
+                w.u64(s.eval_ns);
                 K_SERVER_STATS
             }
             Msg::Error { msg } => {
@@ -507,6 +525,9 @@ impl Msg {
                         name: r.str().map_err(e)?,
                         regex: r.str().map_err(e)?,
                         simple: r.u8().map_err(e)? != 0,
+                        tuples_routed: r.u64().map_err(e)?,
+                        results_emitted: r.u64().map_err(e)?,
+                        eval_ns: r.u64().map_err(e)?,
                     });
                 }
                 Msg::QueryList { queries }
@@ -546,6 +567,8 @@ impl Msg {
                 labels: r.u32().map_err(e)?,
                 results_pushed: r.u64().map_err(e)?,
                 results_dropped: r.u64().map_err(e)?,
+                workers: r.u32().map_err(e)?,
+                eval_ns: r.u64().map_err(e)?,
             }),
             K_ERROR => Msg::Error {
                 msg: r.str().map_err(e)?,
@@ -632,6 +655,9 @@ mod tests {
                     name: "q".into(),
                     regex: "a+".into(),
                     simple: false,
+                    tuples_routed: 41,
+                    results_emitted: 6,
+                    eval_ns: 12_345,
                 }],
             },
             Msg::SubAck { matched: 1 },
@@ -656,6 +682,8 @@ mod tests {
                 labels: 5,
                 results_pushed: 6,
                 results_dropped: 7,
+                workers: 4,
+                eval_ns: 8,
             }),
             Msg::Error { msg: "nope".into() },
         ]

@@ -14,7 +14,7 @@ use crate::protocol::{Msg, PROTO_VERSION};
 use crate::subscriber::{Push, DEFAULT_CAPACITY};
 use srpq_common::LabelInterner;
 use srpq_core::multi::MultiQueryEngine;
-use srpq_core::EngineConfig;
+use srpq_core::{EngineConfig, ParallelMultiEngine};
 use srpq_persist::{checkpoint, DurabilityConfig, Durable, RecoveryReport};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -41,6 +41,11 @@ pub struct ServerConfig {
     /// Bound of the command pipeline: how many decoded batches may wait
     /// for the engine before ingest sessions block.
     pub pipeline_depth: usize,
+    /// Evaluation worker threads: `0` = the single-threaded
+    /// [`MultiQueryEngine`]; `n ≥ 1` = a `ParallelMultiEngine` with `n`
+    /// workers (inter-query parallel evaluation). Durable state is
+    /// host-agnostic — the same `wal_dir` may restart under any value.
+    pub workers: usize,
 }
 
 impl ServerConfig {
@@ -52,6 +57,7 @@ impl ServerConfig {
             wal_dir: None,
             durability: DurabilityConfig::default(),
             pipeline_depth: 16,
+            workers: 0,
         }
     }
 }
@@ -115,13 +121,19 @@ impl Drop for ServerHandle {
 
 /// Builds the host (fresh or recovered) and starts the server.
 pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
+    let workers = config.workers;
     let (host, interner, seq, recovery) = match &config.wal_dir {
-        None => (
-            Host::Plain(Box::new(MultiQueryEngine::with_config(config.engine))),
-            LabelInterner::new(),
-            0,
-            None,
-        ),
+        None => {
+            let host = if workers == 0 {
+                Host::Plain(Box::new(MultiQueryEngine::with_config(config.engine)))
+            } else {
+                Host::Parallel(Box::new(ParallelMultiEngine::with_config(
+                    config.engine,
+                    workers,
+                )))
+            };
+            (host, LabelInterner::new(), 0, None)
+        }
         Some(dir) => {
             std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
             let has_state = checkpoint::load_latest(dir)
@@ -129,29 +141,44 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
                 .is_some();
             if has_state {
                 let mut interner = labels::load(dir)?;
-                let (durable, report) =
-                    Durable::<MultiQueryEngine>::recover(dir, &mut interner, config.durability)
-                        .map_err(|e| e.to_string())?;
+                // The two multi hosts share one checkpoint format, so
+                // `--workers` may change freely across restarts.
+                let (host, report) = if workers == 0 {
+                    let (durable, report) =
+                        Durable::<MultiQueryEngine>::recover(dir, &mut interner, config.durability)
+                            .map_err(|e| e.to_string())?;
+                    (Host::Durable(Box::new(durable)), report)
+                } else {
+                    let (mut durable, report) = Durable::<ParallelMultiEngine>::recover(
+                        dir,
+                        &mut interner,
+                        config.durability,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    durable.inner_mut().resize_workers(workers);
+                    (Host::DurableParallel(Box::new(durable)), report)
+                };
                 let seq = report.resume_seq;
-                (
-                    Host::Durable(Box::new(durable)),
-                    interner,
-                    seq,
-                    Some(report),
-                )
+                (host, interner, seq, Some(report))
             } else {
-                let durable = Durable::create(
-                    MultiQueryEngine::with_config(config.engine),
-                    dir,
-                    config.durability,
-                )
-                .map_err(|e| e.to_string())?;
-                (
-                    Host::Durable(Box::new(durable)),
-                    LabelInterner::new(),
-                    0,
-                    None,
-                )
+                let host = if workers == 0 {
+                    let durable = Durable::create(
+                        MultiQueryEngine::with_config(config.engine),
+                        dir,
+                        config.durability,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    Host::Durable(Box::new(durable))
+                } else {
+                    let durable = Durable::create(
+                        ParallelMultiEngine::with_config(config.engine, workers),
+                        dir,
+                        config.durability,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    Host::DurableParallel(Box::new(durable))
+                };
+                (host, LabelInterner::new(), 0, None)
             }
         }
     };

@@ -347,3 +347,63 @@ fn drop_policy_subscriber_reports_losses() {
     assert!(dropped > 0, "no drop tally reached the client");
     assert!(dropped <= stats.results_dropped);
 }
+
+#[test]
+fn parallel_workers_server_matches_sequential_server() {
+    // The same session driven against a sequential host and a
+    // `workers: 3` parallel host must push identical result streams —
+    // the serving-layer face of the ParallelMultiEngine equivalence
+    // guarantee. Stats must also report the worker count and per-query
+    // routing counters.
+    fn run(workers: usize) -> Vec<(u32, u32, u32, i64, bool)> {
+        let mut config =
+            ServerConfig::in_memory(EngineConfig::with_window(WindowPolicy::new(1000, 100)));
+        config.workers = workers;
+        let server = srpq_server::start(config).expect("server starts");
+        let addr = server.addr();
+
+        let mut control = Client::connect(addr).unwrap();
+        control.add_query("ab", "a b", false, false).unwrap();
+        control.add_query("bplus", "b+", false, false).unwrap();
+
+        let sub = Client::connect(addr)
+            .unwrap()
+            .subscribe(&[], SubPolicy::Block, 0)
+            .unwrap();
+        let collector = std::thread::spawn(move || sub.collect_to_end().unwrap());
+
+        let mut ingest = Client::connect(addr).unwrap();
+        let ids = ingest
+            .map_labels(&["a".to_string(), "b".to_string()])
+            .unwrap();
+        let tuples = chain(&ids, 64);
+        for chunk in tuples.chunks(16) {
+            ingest.ingest(chunk).unwrap();
+        }
+        // Mid-stream registration changes, backfill included.
+        control.add_query("late", "a b a", false, true).unwrap();
+        control.remove_query("bplus").unwrap();
+        ingest.ingest(&chain(&ids, 80)[64..]).unwrap();
+        control.drain().unwrap();
+
+        let stats = control.stats().unwrap();
+        assert_eq!(stats.workers as usize, workers.max(1));
+        let list = control.list_queries().unwrap();
+        assert!(list.iter().all(|q| q.tuples_routed > 0 || q.name == "late"));
+
+        control.shutdown().unwrap();
+        server.join();
+        let (entries, dropped) = collector.join().unwrap();
+        assert_eq!(dropped, 0);
+        entries
+            .into_iter()
+            .map(|e| (e.query, e.src, e.dst, e.ts, e.invalidated))
+            .collect()
+    }
+
+    let sequential = run(0);
+    assert!(!sequential.is_empty());
+    for workers in [1, 3] {
+        assert_eq!(run(workers), sequential, "{workers} workers diverged");
+    }
+}

@@ -1,0 +1,330 @@
+//! `ParallelMultiEngine` ⇔ `MultiQueryEngine` equivalence suite.
+//!
+//! The tentpole guarantee: the parallel engine's **tagged event
+//! stream** — every `(QueryId, pair, ts)` emission and invalidation, in
+//! order — is byte-identical to the sequential engine's, for any worker
+//! count, any refresh policy, under deletions, window churn, and
+//! mid-stream registration changes (`register_backfilled` /
+//! `deregister`, which also rebalance the query partition). Plus the
+//! panic-safety contract both engines share: a batch that panics
+//! poisons the engine, and a poisoned engine refuses reuse loudly.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use srpq_automata::CompiledQuery;
+use srpq_common::{Label, LabelInterner, ResultPair, StreamTuple, Timestamp, VertexId};
+use srpq_core::config::RefreshPolicy;
+use srpq_core::engine::PathSemantics;
+use srpq_core::multi::{MultiCollectSink, MultiQueryEngine, MultiSink, QueryId};
+use srpq_core::{EngineConfig, ParallelMultiEngine};
+use srpq_graph::WindowPolicy;
+
+/// A random stream over `n_labels` labels with ~10% explicit deletions
+/// and slowly advancing timestamps (several window slides).
+fn random_stream(n: usize, n_vertices: u32, n_labels: u32, seed: u64) -> Vec<StreamTuple> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ts = 0i64;
+    let mut inserted: Vec<StreamTuple> = Vec::new();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        ts += rng.gen_range(0..=2i64);
+        if !inserted.is_empty() && rng.gen_bool(0.1) {
+            let v = inserted[rng.gen_range(0..inserted.len())];
+            out.push(StreamTuple::delete(
+                Timestamp(ts),
+                v.edge.src,
+                v.edge.dst,
+                v.label,
+            ));
+            continue;
+        }
+        let src = VertexId(rng.gen_range(0..n_vertices));
+        let mut dst = VertexId(rng.gen_range(0..n_vertices));
+        if dst == src {
+            dst = VertexId((dst.0 + 1) % n_vertices);
+        }
+        let t = StreamTuple::insert(Timestamp(ts), src, dst, Label(rng.gen_range(0..n_labels)));
+        inserted.push(t);
+        out.push(t);
+    }
+    out
+}
+
+fn labels_abcd() -> LabelInterner {
+    let mut labels = LabelInterner::new();
+    for l in ["a", "b", "c", "d"] {
+        labels.intern(l);
+    }
+    labels
+}
+
+const QUERIES: &[(&str, &str, PathSemantics)] = &[
+    ("q_ab", "a b*", PathSemantics::Arbitrary),
+    ("q_alt", "(a | b)+", PathSemantics::Arbitrary),
+    ("q_chain", "a b a", PathSemantics::Arbitrary),
+    ("q_c", "c+", PathSemantics::Arbitrary),
+    ("q_cd", "c d", PathSemantics::Arbitrary),
+    ("q_simple", "(a | c)*", PathSemantics::Simple),
+    ("q_bd", "b d*", PathSemantics::Arbitrary),
+    ("q_any", "(a | b | c | d)+", PathSemantics::Arbitrary),
+];
+
+/// Drives one engine through the scripted session: chunked batches with
+/// a backfilled registration, a deregistration, and a name-reusing
+/// re-registration at fixed chunk positions, then a final expiry pass.
+/// Generic over the two engine types via the closure arguments.
+struct Script<'a> {
+    stream: &'a [StreamTuple],
+    chunk: usize,
+    labels: LabelInterner,
+}
+
+impl Script<'_> {
+    fn run_sequential(&self, config: EngineConfig) -> MultiCollectSink {
+        let mut labels = self.labels.clone();
+        let mut engine = MultiQueryEngine::with_config(config);
+        for &(name, expr, sem) in QUERIES {
+            let q = CompiledQuery::compile(expr, &mut labels).unwrap();
+            engine.register(name, q, sem).unwrap();
+        }
+        let mut sink = MultiCollectSink::default();
+        for (i, chunk) in self.stream.chunks(self.chunk).enumerate() {
+            engine.process_batch(chunk, &mut sink);
+            self.control(i, &mut labels, &mut sink, |name, q, sem, sink| {
+                engine.register_backfilled(name, q, sem, sink).map(|_| ())
+            });
+            if i == 6 {
+                let id = engine.query_id("q_c").expect("q_c is live");
+                engine.deregister(id).unwrap();
+            }
+        }
+        engine.expire_now(&mut sink);
+        sink
+    }
+
+    fn run_parallel(&self, config: EngineConfig, workers: usize) -> MultiCollectSink {
+        let mut labels = self.labels.clone();
+        let mut engine = ParallelMultiEngine::with_config(config, workers);
+        for &(name, expr, sem) in QUERIES {
+            let q = CompiledQuery::compile(expr, &mut labels).unwrap();
+            engine.register(name, q, sem).unwrap();
+        }
+        let mut sink = MultiCollectSink::default();
+        for (i, chunk) in self.stream.chunks(self.chunk).enumerate() {
+            engine.process_batch(chunk, &mut sink);
+            self.control(i, &mut labels, &mut sink, |name, q, sem, sink| {
+                engine.register_backfilled(name, q, sem, sink).map(|_| ())
+            });
+            if i == 6 {
+                let id = engine.query_id("q_c").expect("q_c is live");
+                engine.deregister(id).unwrap();
+            }
+        }
+        engine.expire_now(&mut sink);
+        sink
+    }
+
+    /// Shared mid-stream registration script: a backfilled query joins
+    /// after chunk 3, and after chunk 8 the vacated name "q_c" is
+    /// re-registered (fresh slot id, rebalanced partition).
+    fn control(
+        &self,
+        i: usize,
+        labels: &mut LabelInterner,
+        sink: &mut MultiCollectSink,
+        mut register_backfilled: impl FnMut(
+            &str,
+            CompiledQuery,
+            PathSemantics,
+            &mut MultiCollectSink,
+        ) -> Result<(), srpq_core::multi::QueryError>,
+    ) {
+        if i == 3 {
+            let q = CompiledQuery::compile("b (c | d)", labels).unwrap();
+            register_backfilled("late", q, PathSemantics::Arbitrary, sink).unwrap();
+        }
+        if i == 8 {
+            let q = CompiledQuery::compile("c a*", labels).unwrap();
+            register_backfilled("q_c", q, PathSemantics::Arbitrary, sink).unwrap();
+        }
+    }
+}
+
+#[test]
+fn byte_identical_stream_under_midstream_registration_changes() {
+    let labels = labels_abcd();
+    let stream = random_stream(1_500, 24, 4, 0xbeef);
+    let script = Script {
+        stream: &stream,
+        chunk: 96,
+        labels,
+    };
+    let window = WindowPolicy::new(120, 20);
+    let mut config = EngineConfig::with_window(window);
+    config.rspq_extend_budget = Some(20_000);
+    let reference = script.run_sequential(config);
+    assert!(
+        !reference.emitted.is_empty(),
+        "vacuous fixture: no results emitted"
+    );
+    assert!(
+        reference.emitted.iter().any(|&(id, ..)| id == QueryId(8)),
+        "the backfilled query never emitted"
+    );
+    for workers in [1usize, 2, 4, 8] {
+        let got = script.run_parallel(config, workers);
+        assert_eq!(
+            got.emitted, reference.emitted,
+            "{workers} workers: emission stream diverged"
+        );
+        assert_eq!(
+            got.invalidated, reference.invalidated,
+            "{workers} workers: invalidation stream diverged"
+        );
+    }
+}
+
+#[test]
+fn seeded_sweep_workers_by_refresh_policy() {
+    // Satellite pin: {1, 2, 4, 8} workers × all refresh policies ×
+    // seeds, exact stream equality (no registration churn — this sweep
+    // isolates the evaluation path itself).
+    for &refresh in &[
+        RefreshPolicy::None,
+        RefreshPolicy::Node,
+        RefreshPolicy::Subtree,
+    ] {
+        for seed in 0..2u64 {
+            let stream = random_stream(700, 16, 4, 0xA0 + seed);
+            let mut labels = labels_abcd();
+            let window = WindowPolicy::new(60, 10);
+            let mut config = EngineConfig::with_window(window);
+            config.refresh = refresh;
+            config.rspq_extend_budget = Some(20_000);
+
+            let mut seq = MultiQueryEngine::with_config(config);
+            for &(name, expr, sem) in QUERIES {
+                let q = CompiledQuery::compile(expr, &mut labels).unwrap();
+                seq.register(name, q, sem).unwrap();
+            }
+            let mut seq_sink = MultiCollectSink::default();
+            for chunk in stream.chunks(64) {
+                seq.process_batch(chunk, &mut seq_sink);
+            }
+            seq.expire_now(&mut seq_sink);
+
+            for workers in [1usize, 2, 4, 8] {
+                let mut labels2 = labels_abcd();
+                let mut par = ParallelMultiEngine::with_config(config, workers);
+                for &(name, expr, sem) in QUERIES {
+                    let q = CompiledQuery::compile(expr, &mut labels2).unwrap();
+                    par.register(name, q, sem).unwrap();
+                }
+                let mut par_sink = MultiCollectSink::default();
+                for chunk in stream.chunks(64) {
+                    par.process_batch(chunk, &mut par_sink);
+                }
+                par.expire_now(&mut par_sink);
+                assert_eq!(
+                    par_sink.emitted, seq_sink.emitted,
+                    "refresh {refresh:?}, seed {seed}, {workers} workers: emitted"
+                );
+                assert_eq!(
+                    par_sink.invalidated, seq_sink.invalidated,
+                    "refresh {refresh:?}, seed {seed}, {workers} workers: invalidated"
+                );
+                // Shared-graph state also agrees (purges + stamps reset).
+                assert_eq!(par.graph().n_edges(), seq.graph().n_edges());
+                for id in seq.query_ids() {
+                    assert_eq!(
+                        par.engine(id).unwrap().emitted_pairs(),
+                        seq.engine(id).unwrap().emitted_pairs(),
+                        "refresh {refresh:?}, seed {seed}, {workers} workers: {id}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A sink that panics after `n` emissions — drives the poisoning path.
+struct FuseSink {
+    left: u32,
+}
+
+impl MultiSink for FuseSink {
+    fn emit(&mut self, _: QueryId, _: ResultPair, _: Timestamp) {
+        if self.left == 0 {
+            panic!("fuse blown");
+        }
+        self.left -= 1;
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
+}
+
+#[test]
+fn sequential_multi_poisoned_by_midbatch_panic_refuses_reuse() {
+    // Satellite pin (documented on `MultiQueryEngine::process_batch`):
+    // a panic mid-batch leaves half-applied state, so the engine
+    // poisons itself and refuses reuse instead of silently dropping
+    // every subsequent tuple (the routing table was parked for the
+    // batch).
+    let mut labels = labels_abcd();
+    let q = CompiledQuery::compile("a+", &mut labels).unwrap();
+    let mut engine = MultiQueryEngine::new(WindowPolicy::new(100, 10));
+    engine.register("q", q, PathSemantics::Arbitrary).unwrap();
+    let a = labels.get("a").unwrap();
+    let batch: Vec<StreamTuple> = (0..8)
+        .map(|i| StreamTuple::insert(Timestamp(i), VertexId(i as u32), VertexId(i as u32 + 1), a))
+        .collect();
+
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.process_batch(&batch, &mut FuseSink { left: 2 });
+    }));
+    assert!(unwound.is_err(), "the sink panic must propagate");
+
+    let reuse = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.process_batch(&batch, &mut MultiCollectSink::default());
+    }));
+    let payload = reuse.expect_err("poisoned engine must refuse reuse");
+    assert!(
+        panic_message(payload.as_ref()).contains("poisoned"),
+        "expected a poisoned-engine refusal"
+    );
+    // Per-tuple processing is refused too.
+    let reuse = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.process(batch[0], &mut MultiCollectSink::default());
+    }));
+    assert!(panic_message(reuse.expect_err("refuse").as_ref()).contains("poisoned"));
+}
+
+#[test]
+fn parallel_multi_poisoned_by_midbatch_panic_refuses_reuse() {
+    let mut labels = labels_abcd();
+    let q = CompiledQuery::compile("a+", &mut labels).unwrap();
+    let mut engine = ParallelMultiEngine::new(WindowPolicy::new(100, 10), 2);
+    engine.register("q", q, PathSemantics::Arbitrary).unwrap();
+    let a = labels.get("a").unwrap();
+    let batch: Vec<StreamTuple> = (0..8)
+        .map(|i| StreamTuple::insert(Timestamp(i), VertexId(i as u32), VertexId(i as u32 + 1), a))
+        .collect();
+
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.process_batch(&batch, &mut FuseSink { left: 2 });
+    }));
+    assert!(unwound.is_err(), "the sink panic must propagate");
+    let reuse = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.process_batch(&batch, &mut MultiCollectSink::default());
+    }));
+    assert!(
+        panic_message(reuse.expect_err("refuse").as_ref()).contains("poisoned"),
+        "expected a poisoned-engine refusal"
+    );
+}
