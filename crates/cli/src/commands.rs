@@ -642,6 +642,9 @@ fn print_summary(
         eprintln!("  conflicts_detected   {}", stats.conflicts_detected);
         eprintln!("  nodes_unmarked       {}", stats.nodes_unmarked);
         eprintln!("  budget_exhausted     {}", stats.budget_exhausted);
+        eprintln!("  delta_nodes_live     {}", stats.delta_nodes_live);
+        eprintln!("  delta_capacity       {}", stats.delta_capacity);
+        eprintln!("  compactions          {}", stats.compactions);
         eprintln!("  wal_bytes            {}", stats.wal_bytes);
         eprintln!("  wal_appends          {}", stats.wal_appends);
         eprintln!("  fsyncs               {}", stats.fsyncs);

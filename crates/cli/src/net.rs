@@ -295,6 +295,10 @@ pub fn cmd_ctl(args: &Args) -> Result<(), String> {
             println!("results dropped:  {}", s.results_dropped);
             println!("workers:          {}", s.workers);
             println!("eval time:        {:.1}ms total", s.eval_ns as f64 / 1e6);
+            println!(
+                "delta occupancy:  {} live / {} slots ({} compactions)",
+                s.delta_nodes_live, s.delta_capacity, s.compactions
+            );
             Ok(())
         }
         other => Err(format!(

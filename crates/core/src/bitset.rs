@@ -1,0 +1,116 @@
+//! Generation-stamped bitsets for the engine hot paths.
+//!
+//! The extend/expire inner loops need transient membership sets — "is
+//! `(vertex, state)` on this root path?", "was this node in the expired
+//! batch?" — that are built and discarded once per work item or per
+//! expiry pass. Hash sets pay a hashing + probing cost per query and an
+//! allocation per rebuild; [`GenBitSet`] instead keeps u64 blocks that
+//! live for the engine's lifetime and are *logically* cleared in O(1)
+//! by bumping a generation counter. A block's stored bits only count
+//! when its stamp matches the current generation, so `reset` never
+//! touches memory and each block is lazily zeroed at most once per
+//! generation, on first insert.
+//!
+//! Callers index the set with a dense `u64` key — e.g.
+//! `vertex_slot * n_states + state` for product-graph pairs, where the
+//! DFA's state count is a small per-query constant — so membership is
+//! one shift, one mask, and one compare against a cache-resident block.
+
+/// A u64-blocked bitset with generation-stamped O(1) clearing.
+#[derive(Debug, Default)]
+pub struct GenBitSet {
+    blocks: Vec<u64>,
+    /// Per-block generation stamps: a block's bits are valid only when
+    /// its stamp equals `gen`.
+    gens: Vec<u32>,
+    gen: u32,
+}
+
+impl GenBitSet {
+    /// Creates an empty set.
+    pub fn new() -> GenBitSet {
+        GenBitSet {
+            blocks: Vec::new(),
+            gens: Vec::new(),
+            gen: 1,
+        }
+    }
+
+    /// Logically clears the set in O(1) by starting a new generation.
+    /// On the (astronomically rare) generation wrap the stamps are
+    /// rewritten once so stale blocks cannot alias the new generation.
+    pub fn reset(&mut self) {
+        if self.gen == u32::MAX {
+            self.gens.fill(0);
+            self.gen = 1;
+        } else {
+            self.gen += 1;
+        }
+    }
+
+    /// Inserts `bit`, growing the block array on demand. Returns `true`
+    /// when the bit was not yet set in the current generation.
+    #[inline]
+    pub fn insert(&mut self, bit: u64) -> bool {
+        let block = (bit >> 6) as usize;
+        let mask = 1u64 << (bit & 63);
+        if block >= self.blocks.len() {
+            self.blocks.resize(block + 1, 0);
+            self.gens.resize(block + 1, 0);
+        }
+        if self.gens[block] != self.gen {
+            self.gens[block] = self.gen;
+            self.blocks[block] = 0;
+        }
+        let fresh = self.blocks[block] & mask == 0;
+        self.blocks[block] |= mask;
+        fresh
+    }
+
+    /// Whether `bit` is set in the current generation.
+    #[inline]
+    pub fn contains(&self, bit: u64) -> bool {
+        let block = (bit >> 6) as usize;
+        match (self.blocks.get(block), self.gens.get(block)) {
+            (Some(&bits), Some(&g)) => g == self.gen && bits & (1u64 << (bit & 63)) != 0,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_reset() {
+        let mut s = GenBitSet::new();
+        assert!(!s.contains(7));
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(7));
+        assert!(s.insert(64 * 100 + 3));
+        s.reset();
+        assert!(!s.contains(7));
+        assert!(!s.contains(64 * 100 + 3));
+        assert!(s.insert(7));
+    }
+
+    #[test]
+    fn generation_wrap_clears_stale_stamps() {
+        let mut s = GenBitSet::new();
+        s.insert(1);
+        s.gen = u32::MAX - 1;
+        // A block stamped at the pre-wrap generation must not leak into
+        // the post-wrap one.
+        s.insert(200);
+        s.reset(); // -> u32::MAX
+        s.insert(300);
+        s.reset(); // wrap: stamps rewritten
+        assert!(!s.contains(1));
+        assert!(!s.contains(200));
+        assert!(!s.contains(300));
+        assert!(s.insert(300));
+        assert!(s.contains(300));
+    }
+}

@@ -19,10 +19,19 @@ pub struct RevIndex {
 impl RevIndex {
     /// Roots of all trees containing at least one `(v, ·)` node.
     pub fn trees_containing(&self, v: VertexId) -> Vec<VertexId> {
-        self.occurrence
-            .get(&v)
-            .map(|m| m.keys().copied().collect())
-            .unwrap_or_default()
+        let mut out = Vec::new();
+        self.collect_trees_containing(v, &mut out);
+        out
+    }
+
+    /// Clears `out` and fills it with the roots of all trees containing
+    /// at least one `(v, ·)` node — the allocation-free variant for the
+    /// per-tuple hot path (same order as [`RevIndex::trees_containing`]).
+    pub fn collect_trees_containing(&self, v: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        if let Some(m) = self.occurrence.get(&v) {
+            out.extend(m.keys().copied());
+        }
     }
 
     /// Total node count over all trees (roots included).
@@ -42,8 +51,10 @@ impl RevIndex {
     }
 
     /// Bookkeeping: a node for `vertex` was removed from tree `root`.
+    /// A vertex's outer entry is retained even when its last incidence
+    /// goes — window churn re-adds the same vertices, and an empty
+    /// inner map with warm capacity makes the re-add allocation-free.
     pub fn note_removed(&mut self, root: VertexId, vertex: VertexId) {
-        let mut empty = false;
         if let Some(m) = self.occurrence.get_mut(&vertex) {
             if let Some(c) = m.get_mut(&root) {
                 *c -= 1;
@@ -51,10 +62,6 @@ impl RevIndex {
                     m.remove(&root);
                 }
             }
-            empty = m.is_empty();
-        }
-        if empty {
-            self.occurrence.remove(&vertex);
         }
         self.total_nodes -= 1;
     }
@@ -76,7 +83,17 @@ impl RevIndex {
 pub struct Forest<X: TreeSemantics> {
     trees: FxHashMap<VertexId, Tree<X>>,
     index: RevIndex,
+    /// Recycled trees awaiting a new root. Window churn destroys and
+    /// recreates trees constantly; re-rooting a pooled tree reuses its
+    /// arena columns and occurrence map at their high-water capacity,
+    /// keeping the steady-state slide path allocation-free.
+    pool: Vec<Tree<X>>,
 }
+
+/// Trees whose arenas grew beyond this many slots are dropped instead
+/// of pooled — one pathological burst must not pin its high-water
+/// memory for the rest of the stream.
+const POOL_MAX_SLOTS: usize = 4096;
 
 impl<X: TreeSemantics> Forest<X> {
     /// Creates an empty index.
@@ -84,6 +101,7 @@ impl<X: TreeSemantics> Forest<X> {
         Forest {
             trees: FxHashMap::default(),
             index: RevIndex::default(),
+            pool: Vec::new(),
         }
     }
 
@@ -97,10 +115,19 @@ impl<X: TreeSemantics> Forest<X> {
         self.index.n_nodes()
     }
 
-    /// Ensures a tree rooted at `x` exists, creating `(x, s0)` if not.
+    /// Ensures a tree rooted at `x` exists, creating `(x, s0)` if not
+    /// (re-rooting a pooled tree when one is available).
     pub fn ensure_tree(&mut self, x: VertexId, s0: StateId) -> &mut Tree<X> {
+        let pool = &mut self.pool;
         if let std::collections::hash_map::Entry::Vacant(e) = self.trees.entry(x) {
-            e.insert(Tree::new(x, s0));
+            let tree = match pool.pop() {
+                Some(mut t) => {
+                    t.reset_root(x, s0);
+                    t
+                }
+                None => Tree::new(x, s0),
+            };
+            e.insert(tree);
             self.index.note_added(x, x);
         }
         self.trees.get_mut(&x).expect("just inserted")
@@ -129,17 +156,48 @@ impl<X: TreeSemantics> Forest<X> {
         self.index.trees_containing(v)
     }
 
+    /// Clears `out` and fills it with the roots of all trees containing
+    /// at least one `(v, ·)` node (allocation-free hot-path variant).
+    pub fn collect_trees_containing(&self, v: VertexId, out: &mut Vec<VertexId>) {
+        self.index.collect_trees_containing(v, out);
+    }
+
     /// Roots of all trees.
     pub fn roots(&self) -> Vec<VertexId> {
         self.trees.keys().copied().collect()
     }
 
+    /// Clears `out` and fills it with the roots of all trees
+    /// (allocation-free variant for per-slide expiry sweeps).
+    pub fn collect_roots(&self, out: &mut Vec<VertexId>) {
+        out.clear();
+        out.extend(self.trees.keys().copied());
+    }
+
+    /// Total arena slots (live + free-listed) over all trees.
+    pub fn n_slots(&self) -> usize {
+        let live: usize = self.trees.values().map(Tree::capacity).sum();
+        live + self.pool.iter().map(|t| t.capacity()).sum::<usize>()
+    }
+
+    /// Total bytes held by the column arrays over all trees, pooled
+    /// recycled trees included (their arenas stay resident).
+    pub fn arena_bytes(&self) -> usize {
+        let live: usize = self.trees.values().map(Tree::arena_bytes).sum();
+        live + self.pool.iter().map(|t| t.arena_bytes()).sum::<usize>()
+    }
+
     /// Drops the tree rooted at `x` if only its root remains, updating
-    /// the reverse index. Returns true if dropped.
+    /// the reverse index. Modest trees go to the recycling pool instead
+    /// of being freed. Returns true if dropped.
     pub fn drop_if_trivial(&mut self, x: VertexId) -> bool {
         let trivial = self.trees.get(&x).map(|t| t.is_trivial()).unwrap_or(false);
         if trivial {
-            self.trees.remove(&x);
+            if let Some(t) = self.trees.remove(&x) {
+                if t.capacity() <= POOL_MAX_SLOTS {
+                    self.pool.push(t);
+                }
+            }
             self.index.note_removed(x, x);
             true
         } else {

@@ -13,9 +13,15 @@
 //! This module factors the common 90% into one arena-backed
 //! implementation, parameterized by a [`TreeSemantics`] hook type:
 //!
-//! * [`Tree`]`<X>` — one spanning tree: an arena of [`Node`]s with
-//!   parent/child links, a `(vertex, state) → occurrences` side index,
-//!   timestamp maintenance, subtree detach/expiry, and path queries;
+//! * [`Tree`]`<X>` — one spanning tree, stored **struct-of-arrays**:
+//!   parallel columns for `(vertex, state)`, parent link, via-label,
+//!   and a dedicated contiguous timestamp column (so expiry candidate
+//!   collection is a branch-free threshold scan), with tree shape held
+//!   in intrusive first-child/next-sibling link columns instead of
+//!   per-node heap children lists; plus the
+//!   `(vertex, state) → occurrences` side index, timestamp
+//!   maintenance, subtree detach/expiry, per-slide arena compaction
+//!   ([`Tree::maybe_compact`]), and path queries;
 //! * [`Forest`]`<X>` — the Δ index: all trees plus the [`RevIndex`]
 //!   mapping vertices to the trees containing them (what bounds
 //!   per-tuple work by the number of *relevant* trees);
@@ -38,6 +44,11 @@
 //!    the root. Consequently the expired set `{n | n.ts ≤ watermark}`
 //!    is always a union of whole subtrees, which is what makes batch
 //!    pruning in `ExpiryRAPQ`/`ExpiryRSPQ` sound.
+//! 3. **Compaction transparency**: [`Tree::maybe_compact`] only
+//!    renames arena slots — every link, the occurrence index, and the
+//!    semantics extension ([`TreeSemantics::on_compact`]) are remapped
+//!    together, so observable behaviour (and therefore recovery
+//!    equivalence) is unchanged.
 
 mod forest;
 mod snapshot;
@@ -79,6 +90,19 @@ pub trait TreeSemantics: Default + std::fmt::Debug {
     fn on_remove(&mut self, key: PairKey, id: NodeId) {
         let _ = (key, id);
     }
+
+    /// The arena was compacted: any [`NodeId`] the extension retains
+    /// must be rewritten to `remap[old_id]`. Entries for freed slots
+    /// hold a sentinel the extension will never hold a reference to.
+    fn on_compact(&mut self, remap: &[NodeId]) {
+        let _ = remap;
+    }
+
+    /// The tree is being recycled for a new root
+    /// ([`Tree::reset_root`]): drop all extension state *in place*,
+    /// retaining any container capacity, so pooled-tree reuse stays
+    /// allocation-free.
+    fn reset(&mut self) {}
 
     /// Extension-specific structural validation, called from
     /// [`Tree::validate`] after the core checks pass.

@@ -1,14 +1,18 @@
 //! Exact structural snapshots of Δ trees — the substrate of `Full`
 //! checkpoints (`srpq_persist`).
 //!
-//! A [`TreeSnap`] captures a [`super::Tree`] *faithfully*: arena slot
-//! assignment, the free list, occurrence order, children order, and the
-//! semantics extension's state (RSPQ markings). Faithfulness matters
-//! because arena ids leak into behaviour — marks point at node ids,
-//! freed slots decide where future nodes land, and expiry iterates the
-//! arena in slot order — so a restored tree must continue *exactly*
-//! where the checkpointed one stopped, not merely hold an equivalent
-//! node set.
+//! A [`TreeSnap`] captures a [`super::Tree`] *faithfully*, in a
+//! canonical children-list form that is independent of the in-memory
+//! layout: arena slot assignment, the free list, occurrence order,
+//! sibling-chain order (flattened into an explicit child list per
+//! node), and the semantics extension's state (RSPQ markings).
+//! Faithfulness matters because arena ids leak into behaviour — marks
+//! point at node ids, freed slots decide where future nodes land, and
+//! expiry scans the timestamp column in slot order — so a restored
+//! tree must continue *exactly* where the checkpointed one stopped,
+//! not merely hold an equivalent node set. Restoration rewires the
+//! recorded child lists back into the intrusive sibling chains in
+//! order, making snapshot → restore → snapshot the identity.
 
 use super::{NodeId, PairKey, TreeSemantics};
 use srpq_common::{Label, StateId, Timestamp, VertexId};

@@ -31,7 +31,9 @@ fn new_tree_has_immortal_root() {
     assert!(t.is_trivial());
     assert!(!t.is_empty());
     assert_eq!(t.ts((v(0), s(0))), Some(Timestamp::INFINITY));
-    assert!(t.expired_keys(Timestamp(i64::MAX - 1)).is_empty());
+    let mut expired = Vec::new();
+    t.collect_expired_keys(Timestamp(i64::MAX - 1), &mut expired);
+    assert!(expired.is_empty());
     t.validate().unwrap();
 }
 
@@ -97,7 +99,7 @@ fn reparent_same_parent_updates_ts_only() {
     t.add((v(1), s(1)), (v(0), s(0)), l(0), Timestamp(2));
     t.reparent_key((v(1), s(1)), (v(0), s(0)), l(0), Timestamp(9));
     assert_eq!(t.ts((v(1), s(1))), Some(Timestamp(9)));
-    assert_eq!(t.get((v(0), s(0))).unwrap().children.len(), 1);
+    assert_eq!(t.children(t.root_id()).count(), 1);
     t.validate().unwrap();
 }
 
@@ -110,7 +112,8 @@ fn expired_set_is_downward_closed_and_removable() {
     t.add((v(1), s(1)), (v(0), s(0)), l(0), Timestamp(2));
     t.add((v(2), s(2)), (v(1), s(1)), l(1), Timestamp(2));
     t.add((v(3), s(1)), (v(0), s(0)), l(0), Timestamp(9));
-    let expired = t.expired_keys(Timestamp(5));
+    let mut expired = Vec::new();
+    t.collect_expired_keys(Timestamp(5), &mut expired);
     assert_eq!(expired.len(), 2);
     // Downward-closed: every live descendant of an expired node is in
     // the set too.
@@ -207,15 +210,16 @@ fn arena_reuses_free_slots() {
 }
 
 #[test]
-fn expired_ids_and_subtree_ts() {
+fn collect_expired_and_subtree_ts() {
     let mut t: Tree<Markings> = Tree::new(v(0), s(0));
     let a = t.add_child(t.root_id(), v(1), s(1), l(0), Timestamp(10));
     let b = t.add_child(a, v(2), s(2), l(1), Timestamp(5));
-    assert_eq!(t.expired_ids(Timestamp(5)), vec![b]);
+    let mut exp = Vec::new();
+    t.collect_expired(Timestamp(5), &mut exp);
+    assert_eq!(exp, vec![b]);
     t.set_subtree_ts(a, Timestamp::NEG_INFINITY);
-    let mut exp = t.expired_ids(Timestamp(5));
-    exp.sort_unstable();
-    assert_eq!(exp, vec![a, b]);
+    t.collect_expired(Timestamp(5), &mut exp);
+    assert_eq!(exp, vec![a, b], "ascending slot order, scratch re-cleared");
 }
 
 #[test]
@@ -424,6 +428,124 @@ fn corrupt_snapshots_are_rejected() {
     let mut bad = good;
     bad.nodes[0].ts = Timestamp(0); // root below its child: inversion
     assert!(Tree::<Unique>::from_snapshot(bad).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Compaction: remap consistency, occurrence agreement, determinism.
+// ---------------------------------------------------------------------
+
+#[test]
+fn small_arenas_never_compact() {
+    let mut t: Tree<Markings> = Tree::new(v(0), s(0));
+    let a = t.add_child(t.root_id(), v(1), s(1), l(0), Timestamp(2));
+    t.remove_all(&[a]);
+    let mut remap = Vec::new();
+    assert!(!t.maybe_compact(&mut remap), "below the capacity floor");
+}
+
+#[test]
+fn compaction_squeezes_arena_and_remaps_ids() {
+    let mut t: Tree<Markings> = Tree::new(v(0), s(0));
+    let ids: Vec<NodeId> = (0..100u32)
+        .map(|i| t.add_child(t.root_id(), v(i + 1), s(1), l(0), Timestamp(10)))
+        .collect();
+    // Kill the first 90 children, keep the last 10.
+    t.remove_all(&ids[..90]);
+    t.take_dead_marks();
+    let before_cap = t.capacity();
+    assert!(before_cap >= 64);
+    let mut remap = Vec::new();
+    assert!(t.maybe_compact(&mut remap));
+    assert_eq!(t.capacity(), t.len(), "arena not squeezed to live size");
+    t.validate().unwrap();
+    // Every survivor is still reachable under its key, with timestamp,
+    // parent, and mark intact (occurrence-index agreement is part of
+    // validate()).
+    for i in 90..100u32 {
+        let key = (v(i + 1), s(1));
+        let id = t.first_occurrence(key).expect("survivor lost");
+        assert_eq!(t.ts_of(id), Some(Timestamp(10)));
+        assert_eq!(t.node(id).unwrap().parent, Some(t.root_id()));
+        assert!(t.is_marked(key));
+        assert_eq!(t.ext().marked_node(key), Some(id), "mark not remapped");
+    }
+}
+
+#[test]
+fn compaction_is_deterministic_and_snapshot_round_trips() {
+    let build = || {
+        let mut t: Tree<Markings> = Tree::new(v(0), s(0));
+        let mut prev = t.root_id();
+        for i in 0..80u32 {
+            let id = t.add_child(prev, v(i + 1), s(i % 3), l(0), Timestamp(100 - i as i64));
+            if i % 2 == 0 {
+                prev = id;
+            }
+        }
+        // Expire the deep (low-timestamp) tail so the survivors sit in
+        // scattered slots, then compact.
+        let mut exp = Vec::new();
+        t.collect_expired(Timestamp(80), &mut exp);
+        t.remove_all(&exp);
+        t.take_dead_marks();
+        let mut remap = Vec::new();
+        assert!(t.maybe_compact(&mut remap), "fixture must trigger");
+        t
+    };
+    let t1 = build();
+    let t2 = build();
+    assert_eq!(
+        t1.to_snapshot(),
+        t2.to_snapshot(),
+        "compaction depends on more than slot liveness"
+    );
+    let snap = t1.to_snapshot();
+    let restored = Tree::<Markings>::from_snapshot(snap.clone()).unwrap();
+    assert_eq!(restored.to_snapshot(), snap);
+    restored.validate().unwrap();
+}
+
+#[test]
+fn randomized_sweeps_stay_valid_across_compactions() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    for seed in 0..4u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut t: Tree<Markings> = Tree::new(v(0), s(0));
+        let mut remap = Vec::new();
+        let mut exp = Vec::new();
+        let mut compactions = 0u32;
+        for round in 0..40 {
+            // Insert a burst under random live parents, respecting
+            // timestamp monotonicity (child ts ≤ parent ts).
+            let mut live: Vec<NodeId> = t.iter().map(|(id, _)| id).collect();
+            for _ in 0..rng.gen_range(5..40) {
+                let pid = live[rng.gen_range(0..live.len())];
+                let pts = t.ts_of(pid).unwrap();
+                let ts = Timestamp(rng.gen_range(0..=pts.0.min(1_000)));
+                let id = t.add_child(
+                    pid,
+                    v(rng.gen_range(1..50)),
+                    s(rng.gen_range(0..4)),
+                    l(0),
+                    ts,
+                );
+                live.push(id);
+            }
+            // Expire a random watermark (the candidate set is downward
+            // closed under monotonicity), then maybe compact.
+            let wm = Timestamp(rng.gen_range(0..800));
+            t.collect_expired(wm, &mut exp);
+            t.remove_all(&exp);
+            t.take_dead_marks();
+            if t.maybe_compact(&mut remap) {
+                compactions += 1;
+            }
+            t.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}, round {round}: {e}"));
+        }
+        assert!(compactions > 0, "seed {seed}: compaction never triggered");
+    }
 }
 
 #[test]

@@ -1,12 +1,42 @@
-//! The arena-backed spanning tree shared by both engines.
+//! The arena-backed spanning tree shared by both engines, stored
+//! **struct-of-arrays**.
+//!
+//! Node attributes live in parallel columns indexed by [`NodeId`]:
+//! `(vertex, state)` pair, parent link, via-label, and a dedicated
+//! contiguous `ts` column so expiry candidate collection is a
+//! branch-free threshold scan over one cache-friendly array instead of
+//! a pointer-chase through node structs. Tree shape is kept in
+//! intrusive `first_child`/`next_sib`/`prev_sib` link columns — no
+//! per-node heap `Vec<NodeId>` children list, so node attachment and
+//! detachment never allocate.
+//!
+//! Slots are recycled through a free list; a dead slot is marked by
+//! the sentinel [`DEAD`] in its parent column and carries
+//! `Timestamp::INFINITY` in the `ts` column so the expiry scan skips
+//! it without a liveness branch (the root is immortal for the same
+//! reason: its timestamp is `INFINITY` per Definition 9, under which a
+//! node's timestamp is the minimum edge timestamp along its root
+//! path). Long-running windows are defragmented by [`Tree::maybe_compact`],
+//! which packs live slots to the front (preserving relative slot
+//! order), remaps every link and the occurrence index, and hands the
+//! remap table to the semantics extension.
 
 use super::snapshot::{NodeSnap, SnapshotExt, TreeSnap};
 use super::{NodeId, PairKey, TreeSemantics};
 use srpq_common::{FxHashMap, Label, StateId, Timestamp, VertexId};
 
-/// A spanning-tree node: a product-graph pair plus tree links and the
-/// minimum edge timestamp along its root path (Definition 9).
-#[derive(Debug, Clone)]
+/// "No link" sentinel: absent sibling/child links and the root's
+/// parent.
+const NIL: NodeId = u32::MAX;
+
+/// Parent-column sentinel marking a dead (free-listed) slot.
+const DEAD: NodeId = u32::MAX - 1;
+
+/// A by-value view of one spanning-tree node: its product-graph pair,
+/// parent link, and the minimum edge timestamp along its root path
+/// (Definition 9). Materialized on demand from the column arrays;
+/// child links are walked through [`Tree::children`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Node {
     /// Graph vertex.
     pub vertex: VertexId,
@@ -21,8 +51,6 @@ pub struct Node {
     /// Minimum edge timestamp along the root path;
     /// `Timestamp::INFINITY` for the root.
     pub ts: Timestamp,
-    /// Child node ids (unordered).
-    pub children: Vec<NodeId>,
 }
 
 impl Node {
@@ -87,14 +115,26 @@ impl OccSet {
         *self = OccSet::One(downgrade);
         false
     }
+
+    /// Remaps every occurrence through a compaction table.
+    fn remap(&mut self, remap: &[NodeId]) {
+        match self {
+            OccSet::One(id) => *id = remap[*id as usize],
+            OccSet::Many(v) => {
+                for id in v.iter_mut() {
+                    *id = remap[*id as usize];
+                }
+            }
+        }
+    }
 }
 
 /// A spanning tree `T_x` rooted at `(x, s0)`, with semantics extension
 /// `X` observing every mutation.
 ///
-/// Nodes are arena-allocated and identified by position ([`NodeId`]);
-/// the `occurrences` side index lists all live slots holding a given
-/// pair, in attachment order (so the first entry is the oldest — the
+/// Nodes are identified by column index ([`NodeId`]); the
+/// `occurrences` side index lists all live slots holding a given pair,
+/// in attachment order (so the first entry is the oldest — the
 /// *canonical* — occurrence, and for [`super::Unique`] trees the only
 /// one).
 #[derive(Debug)]
@@ -102,7 +142,21 @@ pub struct Tree<X: TreeSemantics> {
     root: VertexId,
     root_key: PairKey,
     root_id: NodeId,
-    arena: Vec<Option<Node>>,
+    // Struct-of-arrays node storage, all columns indexed by NodeId.
+    vertex: Vec<VertexId>,
+    state: Vec<StateId>,
+    /// Parent link; `NIL` for the root, `DEAD` marks a free slot.
+    parent: Vec<NodeId>,
+    via_label: Vec<Label>,
+    /// Contiguous timestamp column — the expiry scan reads only this.
+    /// Dead slots hold `Timestamp::INFINITY` so the scan needs no
+    /// liveness branch.
+    ts: Vec<Timestamp>,
+    // Intrusive tree links (children = singly-walked doubly-linked
+    // sibling chain; `prev_sib` buys O(1) unlink).
+    first_child: Vec<NodeId>,
+    next_sib: Vec<NodeId>,
+    prev_sib: Vec<NodeId>,
     free: Vec<NodeId>,
     occurrences: FxHashMap<PairKey, OccSet>,
     len: usize,
@@ -113,14 +167,6 @@ impl<X: TreeSemantics> Tree<X> {
     /// Creates a tree containing only its root `(x, s0)`.
     pub fn new(root: VertexId, s0: StateId) -> Tree<X> {
         let root_key = (root, s0);
-        let node = Node {
-            vertex: root,
-            state: s0,
-            parent: None,
-            via_label: Label(u32::MAX),
-            ts: Timestamp::INFINITY,
-            children: Vec::new(),
-        };
         let mut occurrences: FxHashMap<PairKey, OccSet> = FxHashMap::default();
         occurrences.insert(root_key, OccSet::One(0));
         let mut ext = X::default();
@@ -129,12 +175,51 @@ impl<X: TreeSemantics> Tree<X> {
             root,
             root_key,
             root_id: 0,
-            arena: vec![Some(node)],
+            vertex: vec![root],
+            state: vec![s0],
+            parent: vec![NIL],
+            via_label: vec![Label(u32::MAX)],
+            ts: vec![Timestamp::INFINITY],
+            first_child: vec![NIL],
+            next_sib: vec![NIL],
+            prev_sib: vec![NIL],
             free: Vec::new(),
             occurrences,
             len: 1,
             ext,
         }
+    }
+
+    /// Resets a recycled tree to a fresh single-root state rooted at
+    /// `(root, s0)`. Every column, the free list, and the occurrence
+    /// map are cleared *in place* — capacity is retained — so
+    /// forest-level tree pooling re-roots without heap allocation.
+    pub fn reset_root(&mut self, root: VertexId, s0: StateId) {
+        self.root = root;
+        self.root_key = (root, s0);
+        self.root_id = 0;
+        self.vertex.clear();
+        self.state.clear();
+        self.parent.clear();
+        self.via_label.clear();
+        self.ts.clear();
+        self.first_child.clear();
+        self.next_sib.clear();
+        self.prev_sib.clear();
+        self.free.clear();
+        self.occurrences.clear();
+        self.len = 1;
+        self.vertex.push(root);
+        self.state.push(s0);
+        self.parent.push(NIL);
+        self.via_label.push(Label(u32::MAX));
+        self.ts.push(Timestamp::INFINITY);
+        self.first_child.push(NIL);
+        self.next_sib.push(NIL);
+        self.prev_sib.push(NIL);
+        self.occurrences.insert(self.root_key, OccSet::One(0));
+        self.ext.reset();
+        self.ext.on_add(self.root_key, 0, true);
     }
 
     /// The root vertex `x`.
@@ -171,6 +256,24 @@ impl<X: TreeSemantics> Tree<X> {
         self.len == 1
     }
 
+    /// Number of arena slots (live + free-listed).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Bytes held by the column arrays for the current capacity
+    /// (excludes the occurrence index and the free list).
+    pub fn arena_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.capacity()
+            * (size_of::<VertexId>()
+                + size_of::<StateId>()
+                + size_of::<Label>()
+                + size_of::<Timestamp>()
+                + 4 * size_of::<NodeId>())
+    }
+
     /// The semantics extension.
     #[inline]
     pub fn ext(&self) -> &X {
@@ -183,10 +286,82 @@ impl<X: TreeSemantics> Tree<X> {
         &mut self.ext
     }
 
+    #[inline]
+    fn live(&self, i: usize) -> bool {
+        i < self.parent.len() && self.parent[i] != DEAD
+    }
+
+    #[inline]
+    fn view(&self, i: usize) -> Node {
+        Node {
+            vertex: self.vertex[i],
+            state: self.state[i],
+            parent: match self.parent[i] {
+                NIL => None,
+                p => Some(p),
+            },
+            via_label: self.via_label[i],
+            ts: self.ts[i],
+        }
+    }
+
     /// The node at `id`, if alive.
     #[inline]
-    pub fn node(&self, id: NodeId) -> Option<&Node> {
-        self.arena.get(id as usize).and_then(|n| n.as_ref())
+    pub fn node(&self, id: NodeId) -> Option<Node> {
+        let i = id as usize;
+        if self.live(i) {
+            Some(self.view(i))
+        } else {
+            None
+        }
+    }
+
+    /// The timestamp of the live node `id` — one array read, no view
+    /// materialization.
+    #[inline]
+    pub fn ts_of(&self, id: NodeId) -> Option<Timestamp> {
+        let i = id as usize;
+        if self.live(i) {
+            Some(self.ts[i])
+        } else {
+            None
+        }
+    }
+
+    /// Lean upward-walk step: `(vertex, state, parent)` of the live
+    /// node `id` in three column reads. The engines' per-item path
+    /// walks are the hottest loops over the arena; this keeps them off
+    /// the full [`Node`] view (which also touches `via_label` and
+    /// `ts`).
+    #[inline]
+    pub fn step_up(&self, id: NodeId) -> Option<(VertexId, StateId, Option<NodeId>)> {
+        let i = id as usize;
+        if !self.live(i) {
+            return None;
+        }
+        let parent = match self.parent[i] {
+            NIL => None,
+            p => Some(p),
+        };
+        Some((self.vertex[i], self.state[i], parent))
+    }
+
+    /// Iterates the child ids of `id` by walking its intrusive sibling
+    /// chain (newest attachment first). Empty for a dead id.
+    pub fn children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut cur = if self.live(id as usize) {
+            self.first_child[id as usize]
+        } else {
+            NIL
+        };
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let c = cur;
+            cur = self.next_sib[c as usize];
+            Some(c)
+        })
     }
 
     /// All live occurrences of `key`, oldest first.
@@ -213,18 +388,57 @@ impl<X: TreeSemantics> Tree<X> {
     /// The `(vertex, state)` pair held at `id`, if alive.
     #[inline]
     pub fn key_of(&self, id: NodeId) -> Option<PairKey> {
-        self.node(id).map(Node::key)
+        let i = id as usize;
+        if self.live(i) {
+            Some((self.vertex[i], self.state[i]))
+        } else {
+            None
+        }
     }
 
     /// The parent's pair of the node at `id` (`None` for the root or a
     /// dead id).
     pub fn parent_key_of(&self, id: NodeId) -> Option<PairKey> {
-        let parent = self.node(id)?.parent?;
-        self.key_of(parent)
+        let i = id as usize;
+        if !self.live(i) || self.parent[i] == NIL {
+            return None;
+        }
+        self.key_of(self.parent[i])
     }
 
-    /// Adds a child node under `parent`. Returns the new id. Panics
-    /// if `parent` is dead.
+    /// Prepends `id` to `parent`'s sibling chain.
+    fn link_under(&mut self, parent: NodeId, id: NodeId) {
+        let i = id as usize;
+        let fc = self.first_child[parent as usize];
+        self.first_child[parent as usize] = id;
+        self.next_sib[i] = fc;
+        self.prev_sib[i] = NIL;
+        if fc != NIL {
+            self.prev_sib[fc as usize] = id;
+        }
+    }
+
+    /// Detaches the live node `id` from its (live) parent's sibling
+    /// chain in O(1).
+    fn unlink(&mut self, id: NodeId) {
+        let i = id as usize;
+        let p = self.parent[i] as usize;
+        let prev = self.prev_sib[i];
+        let next = self.next_sib[i];
+        if prev == NIL {
+            self.first_child[p] = next;
+        } else {
+            self.next_sib[prev as usize] = next;
+        }
+        if next != NIL {
+            self.prev_sib[next as usize] = prev;
+        }
+    }
+
+    /// Adds a child node under `parent`. Returns the new id. Never
+    /// heap-allocates once the columns have warmed up (free-listed
+    /// slots are reused, the sibling chain is intrusive). Panics if
+    /// `parent` is dead.
     pub fn add_child(
         &mut self,
         parent: NodeId,
@@ -233,29 +447,33 @@ impl<X: TreeSemantics> Tree<X> {
         via_label: Label,
         ts: Timestamp,
     ) -> NodeId {
-        let node = Node {
-            vertex,
-            state,
-            parent: Some(parent),
-            via_label,
-            ts,
-            children: Vec::new(),
-        };
+        assert!(self.live(parent as usize), "parent must be alive");
         let id = match self.free.pop() {
             Some(id) => {
-                self.arena[id as usize] = Some(node);
+                let i = id as usize;
+                self.vertex[i] = vertex;
+                self.state[i] = state;
+                self.parent[i] = parent;
+                self.via_label[i] = via_label;
+                self.ts[i] = ts;
+                self.first_child[i] = NIL;
                 id
             }
             None => {
-                self.arena.push(Some(node));
-                (self.arena.len() - 1) as NodeId
+                let id = self.parent.len() as NodeId;
+                debug_assert!(id < DEAD, "arena overflow");
+                self.vertex.push(vertex);
+                self.state.push(state);
+                self.parent.push(parent);
+                self.via_label.push(via_label);
+                self.ts.push(ts);
+                self.first_child.push(NIL);
+                self.next_sib.push(NIL);
+                self.prev_sib.push(NIL);
+                id
             }
         };
-        self.arena[parent as usize]
-            .as_mut()
-            .expect("parent must be alive")
-            .children
-            .push(id);
+        self.link_under(parent, id);
         let first = match self.occurrences.entry((vertex, state)) {
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(OccSet::One(id));
@@ -275,100 +493,231 @@ impl<X: TreeSemantics> Tree<X> {
     /// refresh, Algorithm RAPQ line 7 / Insert lines 2–3). The subtree
     /// stays attached. Panics if either node is dead.
     pub fn reparent(&mut self, id: NodeId, new_parent: NodeId, via_label: Label, ts: Timestamp) {
-        let old_parent = {
-            let n = self.arena[id as usize]
-                .as_mut()
-                .expect("node must be alive");
-            let old = n.parent;
-            n.parent = Some(new_parent);
-            n.via_label = via_label;
-            n.ts = ts;
-            old
-        };
-        if let Some(op) = old_parent {
-            if op != new_parent {
-                if let Some(Some(pn)) = self.arena.get_mut(op as usize) {
-                    pn.children.retain(|&c| c != id);
-                }
-                self.arena[new_parent as usize]
-                    .as_mut()
-                    .expect("new parent must be alive")
-                    .children
-                    .push(id);
-            }
+        let i = id as usize;
+        assert!(self.live(i), "node must be alive");
+        assert!(self.live(new_parent as usize), "new parent must be alive");
+        self.via_label[i] = via_label;
+        self.ts[i] = ts;
+        let old = self.parent[i];
+        if old == new_parent || old == NIL {
+            return;
         }
+        self.unlink(id);
+        self.parent[i] = new_parent;
+        self.link_under(new_parent, id);
     }
 
     /// Updates only the timestamp of the live node `id`.
     pub fn set_ts(&mut self, id: NodeId, ts: Timestamp) {
-        self.arena[id as usize]
-            .as_mut()
-            .expect("node must be alive")
-            .ts = ts;
+        assert!(self.live(id as usize), "node must be alive");
+        self.ts[id as usize] = ts;
+    }
+
+    /// Removes the node at `id`, if alive. Cleans the occurrence index,
+    /// detaches it from a surviving parent's sibling chain (a parent
+    /// dying in the same batch needs no unlink), and reports the
+    /// removal to the semantics extension. Returns whether a node was
+    /// removed.
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let i = id as usize;
+        if !self.live(i) {
+            return false;
+        }
+        let p = self.parent[i];
+        if p != NIL && self.parent[p as usize] != DEAD {
+            self.unlink(id);
+        }
+        let key = (self.vertex[i], self.state[i]);
+        self.parent[i] = DEAD;
+        self.ts[i] = Timestamp::INFINITY;
+        self.first_child[i] = NIL;
+        self.next_sib[i] = NIL;
+        self.prev_sib[i] = NIL;
+        self.len -= 1;
+        self.free.push(id);
+        if let Some(occ) = self.occurrences.get_mut(&key) {
+            if occ.remove(id) {
+                self.occurrences.remove(&key);
+            }
+        }
+        self.ext.on_remove(key, id);
+        true
     }
 
     /// Removes a set of node ids wholesale. The caller guarantees the
     /// set is downward-closed (whole subtrees) — which holds for expiry
     /// candidates thanks to the timestamp monotonicity invariant.
-    /// Cleans the occurrence index, detaches removed children from
-    /// surviving parents, and reports each removal to the semantics
-    /// extension.
     pub fn remove_all(&mut self, ids: &[NodeId]) {
         for &id in ids {
-            let Some(node) = self.arena.get_mut(id as usize).and_then(Option::take) else {
-                continue;
-            };
-            self.len -= 1;
-            self.free.push(id);
-            let key = node.key();
-            if let Some(occ) = self.occurrences.get_mut(&key) {
-                if occ.remove(id) {
-                    self.occurrences.remove(&key);
-                }
-            }
-            if let Some(p) = node.parent {
-                if let Some(Some(pn)) = self.arena.get_mut(p as usize) {
-                    pn.children.retain(|&c| c != id);
-                }
-            }
-            self.ext.on_remove(key, id);
+            self.remove(id);
         }
     }
 
-    /// Node ids of the subtree rooted at `id` (inclusive), BFS order.
+    /// Node ids of the subtree rooted at `id` (inclusive), preorder.
     pub fn subtree_ids(&self, id: NodeId) -> Vec<NodeId> {
         let mut out = Vec::new();
-        if self.node(id).is_none() {
-            return out;
-        }
-        out.push(id);
-        let mut i = 0;
-        while i < out.len() {
-            if let Some(n) = self.node(out[i]) {
-                out.extend(n.children.iter().copied());
-            }
-            i += 1;
-        }
+        self.collect_subtree(id, &mut out);
         out
+    }
+
+    /// Clears `out` and fills it with the subtree under `id`
+    /// (inclusive, preorder) by walking the intrusive links — no
+    /// auxiliary queue.
+    pub fn collect_subtree(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        if !self.live(id as usize) {
+            return;
+        }
+        let mut cur = id;
+        loop {
+            out.push(cur);
+            let fc = self.first_child[cur as usize];
+            if fc != NIL {
+                cur = fc;
+                continue;
+            }
+            loop {
+                if cur == id {
+                    return;
+                }
+                let ns = self.next_sib[cur as usize];
+                if ns != NIL {
+                    cur = ns;
+                    break;
+                }
+                cur = self.parent[cur as usize];
+            }
+        }
     }
 
     /// Sets the timestamp of the whole subtree under `id` (inclusive).
     /// Used by `Delete` to mark victims with `-∞` (§3.2).
+    /// Allocation-free: traverses via the intrusive links.
     pub fn set_subtree_ts(&mut self, id: NodeId, ts: Timestamp) {
-        for nid in self.subtree_ids(id) {
-            if let Some(Some(n)) = self.arena.get_mut(nid as usize) {
-                n.ts = ts;
+        if !self.live(id as usize) {
+            return;
+        }
+        let mut cur = id;
+        loop {
+            self.ts[cur as usize] = ts;
+            let fc = self.first_child[cur as usize];
+            if fc != NIL {
+                cur = fc;
+                continue;
+            }
+            loop {
+                if cur == id {
+                    return;
+                }
+                let ns = self.next_sib[cur as usize];
+                if ns != NIL {
+                    cur = ns;
+                    break;
+                }
+                cur = self.parent[cur as usize];
             }
         }
     }
 
-    /// Live node ids with `ts <= watermark` (the expiry candidate set
-    /// P, downward-closed by timestamp monotonicity).
-    pub fn expired_ids(&self, watermark: Timestamp) -> Vec<NodeId> {
-        self.iter()
-            .filter(|(_, n)| n.ts <= watermark)
-            .map(|(id, _)| id)
-            .collect()
+    /// Clears `out` and fills it with the live node ids whose
+    /// `ts <= watermark` (the expiry candidate set P, downward-closed
+    /// by timestamp monotonicity), ascending slot order. One branch-free
+    /// threshold scan over the contiguous `ts` column; dead slots and
+    /// the root hold `Timestamp::INFINITY` and never match a (finite)
+    /// watermark.
+    pub fn collect_expired(&self, watermark: Timestamp, out: &mut Vec<NodeId>) {
+        out.clear();
+        for (i, &ts) in self.ts.iter().enumerate() {
+            if ts <= watermark {
+                out.push(i as NodeId);
+            }
+        }
+    }
+
+    /// Like [`Tree::collect_expired`] but yields `(vertex, state)`
+    /// pairs — the keyed variant for [`super::Unique`] trees, where a
+    /// pair identifies its node.
+    pub fn collect_expired_keys(&self, watermark: Timestamp, out: &mut Vec<PairKey>) {
+        out.clear();
+        for (i, &ts) in self.ts.iter().enumerate() {
+            if ts <= watermark {
+                out.push((self.vertex[i], self.state[i]));
+            }
+        }
+    }
+
+    /// Fused expiry sweep (`ExpiryRAPQ` lines 2–3 in one pass): removes
+    /// every node with `ts <= watermark`, recording its pair key in
+    /// `out` in ascending slot order. Equivalent to
+    /// [`Tree::collect_expired_keys`] followed by per-key removal, but
+    /// one threshold scan over the contiguous `ts` column — no
+    /// occurrence-map probe to resolve each key back to its id, and no
+    /// sibling unlinking inside subtrees that die wholesale.
+    pub fn remove_expired_keys(&mut self, watermark: Timestamp, out: &mut Vec<PairKey>) {
+        out.clear();
+        for i in 0..self.ts.len() {
+            if self.ts[i] <= watermark {
+                out.push((self.vertex[i], self.state[i]));
+                self.remove_swept(i as NodeId, watermark);
+            }
+        }
+    }
+
+    /// Like [`Tree::remove_expired_keys`] but records, per removed
+    /// node, its parent id when that parent **survives** the sweep
+    /// (`None` when the parent is swept away too) — exactly the
+    /// information Algorithm RSPQ's re-marking pass needs, captured
+    /// here so the engine needs no pre-removal snapshot pass.
+    pub fn remove_expired_with_parents(
+        &mut self,
+        watermark: Timestamp,
+        out: &mut Vec<(PairKey, Option<NodeId>)>,
+    ) {
+        out.clear();
+        for i in 0..self.ts.len() {
+            if self.ts[i] > watermark {
+                continue;
+            }
+            let p = self.parent[i];
+            let parent = (p != NIL && self.survives(p, watermark)).then_some(p);
+            out.push(((self.vertex[i], self.state[i]), parent));
+            self.remove_swept(i as NodeId, watermark);
+        }
+    }
+
+    /// Whether the node in slot `id` outlives a sweep at `watermark`:
+    /// live (a slot already swept this pass is `DEAD` with its `ts`
+    /// reset to `INFINITY`, hence the explicit check) and not itself
+    /// below the threshold.
+    #[inline]
+    fn survives(&self, id: NodeId, watermark: Timestamp) -> bool {
+        let i = id as usize;
+        self.parent[i] != DEAD && self.ts[i] > watermark
+    }
+
+    /// Removes one slot during a fused expiry sweep: as [`Tree::remove`]
+    /// but the parent's child chain is only repaired when the parent
+    /// survives the sweep — dying parents take their chains with them.
+    fn remove_swept(&mut self, id: NodeId, watermark: Timestamp) {
+        let i = id as usize;
+        let p = self.parent[i];
+        if p != NIL && self.survives(p, watermark) {
+            self.unlink(id);
+        }
+        let key = (self.vertex[i], self.state[i]);
+        self.parent[i] = DEAD;
+        self.ts[i] = Timestamp::INFINITY;
+        self.first_child[i] = NIL;
+        self.next_sib[i] = NIL;
+        self.prev_sib[i] = NIL;
+        self.len -= 1;
+        self.free.push(id);
+        if let Some(occ) = self.occurrences.get_mut(&key) {
+            if occ.remove(id) {
+                self.occurrences.remove(&key);
+            }
+        }
+        self.ext.on_remove(key, id);
     }
 
     /// The state of the **first** (closest to root) occurrence of
@@ -376,39 +725,53 @@ impl<X: TreeSemantics> Tree<X> {
     /// Extend. Walks upward, so the first-from-root is the last found.
     pub fn first_state_on_path(&self, id: NodeId, vertex: VertexId) -> Option<StateId> {
         let mut found = None;
-        let mut cur = Some(id);
-        while let Some(c) = cur {
-            let n = self.node(c)?;
-            if n.vertex == vertex {
-                found = Some(n.state);
+        let mut cur = id;
+        loop {
+            let i = cur as usize;
+            if !self.live(i) {
+                return None;
             }
-            cur = n.parent;
+            if self.vertex[i] == vertex {
+                found = Some(self.state[i]);
+            }
+            let p = self.parent[i];
+            if p == NIL {
+                return found;
+            }
+            cur = p;
         }
-        found
     }
 
     /// Whether `(vertex, state)` occurs on the root path of `id` —
     /// `t ∈ p[v]` in Algorithm RSPQ/Extend.
     pub fn path_has(&self, id: NodeId, vertex: VertexId, state: StateId) -> bool {
-        let mut cur = Some(id);
-        while let Some(c) = cur {
-            let Some(n) = self.node(c) else { return false };
-            if n.vertex == vertex && n.state == state {
+        let mut cur = id;
+        loop {
+            let i = cur as usize;
+            if !self.live(i) {
+                return false;
+            }
+            if self.vertex[i] == vertex && self.state[i] == state {
                 return true;
             }
-            cur = n.parent;
+            let p = self.parent[i];
+            if p == NIL {
+                return false;
+            }
+            cur = p;
         }
-        false
     }
 
     /// The root path of `id` as pair keys, root first.
     pub fn path_keys(&self, id: NodeId) -> Vec<PairKey> {
         let mut out = Vec::new();
-        let mut cur = Some(id);
-        while let Some(c) = cur {
-            let Some(n) = self.node(c) else { break };
-            out.push(n.key());
-            cur = n.parent;
+        let mut cur = id;
+        while let Some(key) = self.key_of(cur) {
+            out.push(key);
+            match self.parent[cur as usize] {
+                NIL => break,
+                p => cur = p,
+            }
         }
         out.reverse();
         out
@@ -417,64 +780,213 @@ impl<X: TreeSemantics> Tree<X> {
     /// The root path of `id` as node ids, root first.
     pub fn path_ids(&self, id: NodeId) -> Vec<NodeId> {
         let mut out = Vec::new();
-        let mut cur = Some(id);
-        while let Some(c) = cur {
-            out.push(c);
-            cur = self.node(c).and_then(|n| n.parent);
+        let mut cur = id;
+        while self.live(cur as usize) {
+            out.push(cur);
+            match self.parent[cur as usize] {
+                NIL => break,
+                p => cur = p,
+            }
         }
         out.reverse();
         out
     }
 
-    /// Iterates `(id, node)` over live nodes in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.arena
-            .iter()
-            .enumerate()
-            .filter_map(|(i, n)| n.as_ref().map(|n| (i as NodeId, n)))
+    /// The parent id of the live node `id` (`None` for the root or a
+    /// dead id).
+    #[inline]
+    pub fn parent_id_of(&self, id: NodeId) -> Option<NodeId> {
+        let i = id as usize;
+        if !self.live(i) || self.parent[i] == NIL {
+            return None;
+        }
+        Some(self.parent[i])
     }
 
-    /// Debug validation: arena/occurrence-index/parent-child
-    /// consistency, timestamp monotonicity, acyclicity, and the
+    /// Iterates `(id, node)` over live nodes in ascending slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Node)> + '_ {
+        (0..self.parent.len()).filter_map(move |i| {
+            if self.parent[i] == DEAD {
+                None
+            } else {
+                Some((i as NodeId, self.view(i)))
+            }
+        })
+    }
+
+    /// Compacts the arena when fragmentation warrants it: capacity of
+    /// at least 64 slots with live occupancy at or below half. Live
+    /// slots are packed to the front preserving relative order, every
+    /// link and occurrence is remapped, and the semantics extension is
+    /// handed the remap table (old id → new id, the dead-slot sentinel
+    /// for freed
+    /// slots). `remap_scratch` is caller-owned so per-slide compaction
+    /// allocates nothing once warmed. Returns whether a compaction
+    /// ran. Deterministic: the outcome depends only on slot liveness,
+    /// so recovered engines re-compact identically.
+    pub fn maybe_compact(&mut self, remap_scratch: &mut Vec<NodeId>) -> bool {
+        let cap = self.parent.len();
+        if cap < 64 || self.len * 2 > cap {
+            return false;
+        }
+        self.compact(remap_scratch);
+        true
+    }
+
+    fn compact(&mut self, remap: &mut Vec<NodeId>) {
+        let cap = self.parent.len();
+        remap.clear();
+        remap.resize(cap, DEAD);
+        let mut rank: NodeId = 0;
+        for (r, &p) in remap.iter_mut().zip(&self.parent) {
+            if p != DEAD {
+                *r = rank;
+                rank += 1;
+            }
+        }
+        #[inline]
+        fn map_link(x: NodeId, remap: &[NodeId]) -> NodeId {
+            if x == NIL {
+                NIL
+            } else {
+                remap[x as usize]
+            }
+        }
+        // In-place forward moves: rank(i) <= i, and any live slot being
+        // overwritten was itself already moved further forward.
+        for i in 0..cap {
+            let r = remap[i];
+            if r == DEAD {
+                continue;
+            }
+            let ri = r as usize;
+            self.vertex[ri] = self.vertex[i];
+            self.state[ri] = self.state[i];
+            self.via_label[ri] = self.via_label[i];
+            self.ts[ri] = self.ts[i];
+            self.parent[ri] = map_link(self.parent[i], remap);
+            self.first_child[ri] = map_link(self.first_child[i], remap);
+            self.next_sib[ri] = map_link(self.next_sib[i], remap);
+            self.prev_sib[ri] = map_link(self.prev_sib[i], remap);
+        }
+        let live = rank as usize;
+        debug_assert_eq!(live, self.len);
+        // Vec::truncate keeps heap capacity, so regrowth after
+        // compaction does not reallocate.
+        self.vertex.truncate(live);
+        self.state.truncate(live);
+        self.parent.truncate(live);
+        self.via_label.truncate(live);
+        self.ts.truncate(live);
+        self.first_child.truncate(live);
+        self.next_sib.truncate(live);
+        self.prev_sib.truncate(live);
+        self.free.clear();
+        for occ in self.occurrences.values_mut() {
+            occ.remap(remap);
+        }
+        self.root_id = remap[self.root_id as usize];
+        self.ext.on_compact(remap);
+    }
+
+    /// Debug validation: column/occurrence-index/link consistency,
+    /// timestamp monotonicity, acyclicity, free-list hygiene, and the
     /// semantics extension's own checks.
     pub fn validate(&self) -> Result<(), String> {
-        if self.node(self.root_id).is_none() {
+        let cap = self.parent.len();
+        if self.vertex.len() != cap
+            || self.state.len() != cap
+            || self.via_label.len() != cap
+            || self.ts.len() != cap
+            || self.first_child.len() != cap
+            || self.next_sib.len() != cap
+            || self.prev_sib.len() != cap
+        {
+            return Err("column length drift".into());
+        }
+        if !self.live(self.root_id as usize) {
             return Err("root missing".into());
         }
         let mut live = 0usize;
-        for (id, n) in self.iter() {
+        for i in 0..cap {
+            if self.parent[i] == DEAD {
+                if self.ts[i] != Timestamp::INFINITY {
+                    return Err(format!("dead slot {i} has a finite timestamp"));
+                }
+                continue;
+            }
             live += 1;
-            match n.parent {
-                None if id != self.root_id => return Err(format!("non-root {id} parentless")),
-                None => {}
-                Some(p) => {
-                    let Some(pn) = self.node(p) else {
-                        return Err(format!("{id} has dead parent {p}"));
-                    };
-                    if !pn.children.contains(&id) {
+            let id = i as NodeId;
+            let p = self.parent[i];
+            if p == NIL {
+                if id != self.root_id {
+                    return Err(format!("non-root {id} parentless"));
+                }
+            } else {
+                if !self.live(p as usize) {
+                    return Err(format!("{id} has dead parent {p}"));
+                }
+                if self.ts[p as usize] < self.ts[i] {
+                    return Err(format!(
+                        "timestamp inversion: parent {p}@{} < child {id}@{}",
+                        self.ts[p as usize], self.ts[i]
+                    ));
+                }
+                let prev = self.prev_sib[i];
+                if prev == NIL {
+                    if self.first_child[p as usize] != id {
                         return Err(format!("{p} does not list child {id}"));
                     }
-                    if pn.ts < n.ts {
-                        return Err(format!(
-                            "timestamp inversion: parent {p}@{} < child {id}@{}",
-                            pn.ts, n.ts
-                        ));
-                    }
+                } else if !self.live(prev as usize)
+                    || self.next_sib[prev as usize] != id
+                    || self.parent[prev as usize] != p
+                {
+                    return Err(format!("broken sibling link into {id}"));
+                }
+                let next = self.next_sib[i];
+                if next != NIL
+                    && (!self.live(next as usize)
+                        || self.prev_sib[next as usize] != id
+                        || self.parent[next as usize] != p)
+                {
+                    return Err(format!("broken sibling link out of {id}"));
                 }
             }
-            let occ = self.occurrences(n.key());
+            let occ = self.occurrences((self.vertex[i], self.state[i]));
             if !occ.contains(&id) {
                 return Err(format!("occurrence index misses {id}"));
             }
-            for &c in &n.children {
-                match self.node(c) {
-                    Some(cn) if cn.parent == Some(id) => {}
-                    _ => return Err(format!("stale child {c} of {id}")),
+            let mut c = self.first_child[i];
+            let mut steps = 0usize;
+            while c != NIL {
+                if !self.live(c as usize) || self.parent[c as usize] != id {
+                    return Err(format!("stale child {c} of {id}"));
                 }
+                steps += 1;
+                if steps > self.len {
+                    return Err(format!("sibling cycle under {id}"));
+                }
+                c = self.next_sib[c as usize];
             }
         }
         if live != self.len {
             return Err(format!("len drift: {live} vs {}", self.len));
+        }
+        if self.free.len() != cap - self.len {
+            return Err(format!(
+                "free-list drift: {} free vs {} dead slots",
+                self.free.len(),
+                cap - self.len
+            ));
+        }
+        let mut seen_free = std::collections::HashSet::new();
+        for &f in &self.free {
+            if (f as usize) >= cap || self.parent[f as usize] != DEAD {
+                return Err(format!("free slot {f} is live or out of bounds"));
+            }
+            if !seen_free.insert(f) {
+                return Err(format!("free slot {f} listed twice"));
+            }
         }
         for (key, occ) in &self.occurrences {
             if occ.as_slice().is_empty() {
@@ -488,17 +1000,20 @@ impl<X: TreeSemantics> Tree<X> {
             }
         }
         // Cycle check: every node must reach the root.
-        for (id, _) in self.iter() {
-            let mut cur = id;
-            let mut steps = 0;
-            while let Some(n) = self.node(cur) {
-                match n.parent {
-                    None => break,
-                    Some(p) => {
-                        cur = p;
+        for i in 0..cap {
+            if self.parent[i] == DEAD {
+                continue;
+            }
+            let mut cur = i;
+            let mut steps = 0usize;
+            loop {
+                match self.parent[cur] {
+                    NIL => break,
+                    p => {
+                        cur = p as usize;
                         steps += 1;
                         if steps > self.len {
-                            return Err(format!("cycle through {id}"));
+                            return Err(format!("cycle through {i}"));
                         }
                     }
                 }
@@ -510,8 +1025,10 @@ impl<X: TreeSemantics> Tree<X> {
 
 impl<X: SnapshotExt> Tree<X> {
     /// Captures a faithful structural snapshot of this tree (`Full`
-    /// checkpoints): arena slot assignment, free list, occurrence order,
-    /// children order, and extension state all survive the round trip.
+    /// checkpoints) in the canonical children-list form: arena slot
+    /// assignment, free list, occurrence order, sibling-chain order
+    /// (recorded as an explicit child list per node), and extension
+    /// state all survive the round trip.
     pub fn to_snapshot(&self) -> TreeSnap {
         let nodes = self
             .iter()
@@ -522,7 +1039,7 @@ impl<X: SnapshotExt> Tree<X> {
                 parent: n.parent,
                 via_label: n.via_label,
                 ts: n.ts,
-                children: n.children.clone(),
+                children: self.children(id).collect(),
             })
             .collect();
         let mut occurrences: Vec<(PairKey, Vec<NodeId>)> = self
@@ -536,7 +1053,7 @@ impl<X: SnapshotExt> Tree<X> {
             root: self.root,
             root_state: self.root_key.1,
             root_id: self.root_id,
-            arena_len: self.arena.len() as u32,
+            arena_len: self.capacity() as u32,
             free: self.free.clone(),
             nodes,
             occurrences,
@@ -547,33 +1064,64 @@ impl<X: SnapshotExt> Tree<X> {
 
     /// Rebuilds a tree from a snapshot, validating structural
     /// consistency (a corrupt snapshot is reported, never trusted).
+    /// The recorded child lists are rewired into the intrusive sibling
+    /// chains in order, so a snapshot of the restored tree is
+    /// byte-identical to the original's.
     pub fn from_snapshot(snap: TreeSnap) -> Result<Tree<X>, String> {
-        let mut arena: Vec<Option<Node>> = (0..snap.arena_len).map(|_| None).collect();
+        if snap.arena_len >= DEAD {
+            return Err(format!("arena length {} out of range", snap.arena_len));
+        }
+        let cap = snap.arena_len as usize;
+        let mut vertex = vec![VertexId(0); cap];
+        let mut state = vec![StateId(0); cap];
+        let mut parent = vec![DEAD; cap];
+        let mut via_label = vec![Label(0); cap];
+        let mut ts = vec![Timestamp::INFINITY; cap];
+        let mut first_child = vec![NIL; cap];
+        let mut next_sib = vec![NIL; cap];
+        let mut prev_sib = vec![NIL; cap];
         for n in &snap.nodes {
-            let slot = arena
-                .get_mut(n.id as usize)
-                .ok_or_else(|| format!("node id {} out of arena bounds", n.id))?;
-            if slot.is_some() {
+            let i = n.id as usize;
+            if i >= cap {
+                return Err(format!("node id {} out of arena bounds", n.id));
+            }
+            if parent[i] != DEAD {
                 return Err(format!("duplicate node id {}", n.id));
             }
-            *slot = Some(Node {
-                vertex: n.vertex,
-                state: n.state,
-                parent: n.parent,
-                via_label: n.via_label,
-                ts: n.ts,
-                children: n.children.clone(),
-            });
+            vertex[i] = n.vertex;
+            state[i] = n.state;
+            via_label[i] = n.via_label;
+            ts[i] = n.ts;
+            parent[i] = match n.parent {
+                None => NIL,
+                Some(p) if (p as usize) < cap => p,
+                Some(p) => return Err(format!("{} has dead parent {p}", n.id)),
+            };
+        }
+        for n in &snap.nodes {
+            let mut prev = NIL;
+            for &c in &n.children {
+                if (c as usize) >= cap {
+                    return Err(format!("stale child {c} of {}", n.id));
+                }
+                if prev == NIL {
+                    first_child[n.id as usize] = c;
+                } else {
+                    next_sib[prev as usize] = c;
+                }
+                prev_sib[c as usize] = prev;
+                prev = c;
+            }
         }
         let mut seen_free = std::collections::HashSet::new();
         for &f in &snap.free {
-            match arena.get(f as usize) {
-                Some(None) if seen_free.insert(f) => {}
-                Some(None) => return Err(format!("free slot {f} listed twice")),
+            match parent.get(f as usize) {
+                Some(&DEAD) if seen_free.insert(f) => {}
+                Some(&DEAD) => return Err(format!("free slot {f} listed twice")),
                 _ => return Err(format!("free slot {f} is live or out of bounds")),
             }
         }
-        if snap.nodes.len() + snap.free.len() != snap.arena_len as usize {
+        if snap.nodes.len() + snap.free.len() != cap {
             return Err(format!(
                 "arena accounting drift: {} live + {} free != {} slots",
                 snap.nodes.len(),
@@ -595,7 +1143,14 @@ impl<X: SnapshotExt> Tree<X> {
             root_key: (snap.root, snap.root_state),
             root_id: snap.root_id,
             len: snap.nodes.len(),
-            arena,
+            vertex,
+            state,
+            parent,
+            via_label,
+            ts,
+            first_child,
+            next_sib,
+            prev_sib,
             free: snap.free,
             occurrences,
             ext: X::import(snap.marks, snap.dead_marks),

@@ -53,16 +53,18 @@ impl Tree<Unique> {
         self.has_pair(key)
     }
 
-    /// The node payload for `key`.
+    /// The node payload for `key` (a by-value view over the columns).
     #[inline]
-    pub fn get(&self, key: PairKey) -> Option<&Node> {
+    pub fn get(&self, key: PairKey) -> Option<Node> {
         self.node(self.id(key)?)
     }
 
-    /// The timestamp of `key`, if present.
+    /// The timestamp of `key`, if present. One occurrence-map probe
+    /// plus one `ts` column read — the per-out-edge guard of the
+    /// extend loop, kept off the full node view deliberately.
     #[inline]
     pub fn ts(&self, key: PairKey) -> Option<Timestamp> {
-        self.get(key).map(|n| n.ts)
+        self.ts_of(self.id(key)?)
     }
 
     /// The parent pair of `key` (`None` for the root or an absent key).
@@ -92,22 +94,20 @@ impl Tree<Unique> {
         }
     }
 
-    /// Pairs with `ts <= watermark` (the expiry candidate set P).
-    pub fn expired_keys(&self, watermark: Timestamp) -> Vec<PairKey> {
-        self.iter()
-            .filter(|(_, n)| n.ts <= watermark)
-            .map(|(_, n)| n.key())
-            .collect()
-    }
-
     /// Removes a set of pairs wholesale (must be downward-closed:
-    /// whole subtrees).
+    /// whole subtrees). Allocation-free: each pair resolves to its
+    /// sole occurrence and is removed directly. (The caller obtains
+    /// the expiry candidate set via [`Tree::collect_expired_keys`]
+    /// into its own scratch buffer.)
     pub fn remove_all_keys(&mut self, keys: &[PairKey]) {
-        let ids: Vec<super::NodeId> = keys.iter().filter_map(|&k| self.id(k)).collect();
-        self.remove_all(&ids);
+        for &k in keys {
+            if let Some(id) = self.id(k) {
+                self.remove(id);
+            }
+        }
     }
 
-    /// Pairs of the subtree rooted at `key` (inclusive), BFS order.
+    /// Pairs of the subtree rooted at `key` (inclusive), preorder.
     pub fn subtree_keys(&self, key: PairKey) -> Vec<PairKey> {
         match self.id(key) {
             Some(id) => self

@@ -26,6 +26,10 @@ pub enum PathSemantics {
 }
 
 /// A persistent streaming RPQ evaluator.
+// The variants differ in size (the RSPQ engine carries marking state
+// and several bitsets), but one long-lived engine exists per query, so
+// boxing would buy nothing and cost a pointer chase per tuple.
+#[allow(clippy::large_enum_variant)]
 pub enum Engine {
     /// Arbitrary path semantics.
     Arbitrary(RapqEngine),

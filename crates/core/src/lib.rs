@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod bitset;
 pub mod config;
 pub mod delta;
 pub mod engine;

@@ -343,6 +343,7 @@ impl MultiQueryEngine {
             let s = reg.engine.index_size();
             total.trees += s.trees;
             total.nodes += s.nodes;
+            total.arena_bytes += s.arena_bytes;
         }
         total
     }

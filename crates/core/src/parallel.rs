@@ -24,6 +24,7 @@
 //! equivalence.
 
 use crate::config::EngineConfig;
+use crate::delta::{NodeId, PairKey};
 use crate::rapq::Delta;
 use crate::rapq::{run_insert, WorkItem};
 use crate::sink::ResultSink;
@@ -45,6 +46,15 @@ struct Shard {
     /// Reusable work stack for the shard's traversal (avoids a fresh
     /// allocation per batch and per expired tree).
     work: Vec<WorkItem>,
+    /// Reusable root-list scratch (per-tuple tree lookups and per-slide
+    /// sweeps).
+    roots_scratch: Vec<VertexId>,
+    /// Reusable dirty-tree scratch for deletions.
+    dirty_scratch: Vec<VertexId>,
+    /// Reusable expiry-candidate scratch.
+    expired_scratch: Vec<PairKey>,
+    /// Reusable compaction remap scratch.
+    compact_scratch: Vec<NodeId>,
 }
 
 /// A buffering sink living inside a shard during the parallel section.
@@ -102,6 +112,10 @@ impl ParallelRapqEngine {
                     outbox: Vec::new(),
                     invalidated: Vec::new(),
                     work: Vec::new(),
+                    roots_scratch: Vec::new(),
+                    dirty_scratch: Vec::new(),
+                    expired_scratch: Vec::new(),
+                    compact_scratch: Vec::new(),
                 })
                 .collect(),
             now: Timestamp::NEG_INFINITY,
@@ -128,6 +142,7 @@ impl ParallelRapqEngine {
         for s in &self.shards {
             total.trees += s.delta.n_trees();
             total.nodes += s.delta.n_nodes();
+            total.arena_bytes += s.delta.arena_bytes();
         }
         total
     }
@@ -145,6 +160,9 @@ impl ParallelRapqEngine {
             out.expiry_runs += s.stats.expiry_runs;
             out.nodes_expired += s.stats.nodes_expired;
             out.expiry_nanos += s.stats.expiry_nanos;
+            out.delta_nodes_live += s.stats.delta_nodes_live;
+            out.delta_capacity += s.stats.delta_capacity;
+            out.compactions += s.stats.compactions;
         }
         out
     }
@@ -429,16 +447,19 @@ fn shard_process_batch(
                 {
                     shard.delta.ensure_tree(u, s0);
                 }
-                let roots = shard.delta.trees_containing(u);
-                for root in roots {
+                let mut roots = std::mem::take(&mut shard.roots_scratch);
+                shard.delta.collect_trees_containing(u, &mut roots);
+                for &root in &roots {
                     let Some(tree) = shard.delta.tree(root) else {
                         continue;
                     };
                     work.clear();
                     for &(s, st) in dfa.transitions_for(t.label) {
-                        let parent = (u, s);
                         let child = (v, st);
-                        let Some(pts) = tree.ts(parent) else { continue };
+                        let Some(pid) = tree.first_occurrence((u, s)) else {
+                            continue;
+                        };
+                        let Some(pts) = tree.ts_of(pid) else { continue };
                         if pts <= wm {
                             continue;
                         }
@@ -448,7 +469,7 @@ fn shard_process_batch(
                         };
                         if should {
                             work.push(WorkItem {
-                                parent,
+                                parent_id: pid,
                                 child,
                                 via: t.label,
                                 edge_ts: t.ts,
@@ -481,14 +502,17 @@ fn shard_process_batch(
                         );
                     }
                 }
+                shard.roots_scratch = roots;
             }
             srpq_common::Op::Delete => {
                 if shard_index == 0 {
                     shard.stats.deletions_processed += 1;
                 }
-                let roots = shard.delta.trees_containing(v);
-                let mut dirty = Vec::new();
-                for root in roots {
+                let mut roots = std::mem::take(&mut shard.roots_scratch);
+                shard.delta.collect_trees_containing(v, &mut roots);
+                let mut dirty = std::mem::take(&mut shard.dirty_scratch);
+                dirty.clear();
+                for &root in &roots {
                     if let Some(tree) = shard.delta.tree_mut(root) {
                         let mut touched = false;
                         for &(s, st) in dfa.transitions_for(t.label) {
@@ -506,10 +530,14 @@ fn shard_process_batch(
                         }
                     }
                 }
-                for root in dirty {
+                for &root in &dirty {
                     expire_shard_tree(shard, &mut work, root, query, config, graph, wm, true, now);
                     shard.delta.drop_if_trivial(root);
                 }
+                shard.dirty_scratch = dirty;
+                shard.roots_scratch = roots;
+                shard.stats.delta_nodes_live = shard.delta.n_nodes() as u64;
+                shard.stats.delta_capacity = shard.delta.n_slots() as u64;
             }
         }
     }
@@ -530,14 +558,19 @@ fn shard_expire(
     let t0 = std::time::Instant::now();
     shard.stats.expiry_runs += 1;
     let mut work = std::mem::take(&mut shard.work);
-    for root in shard.delta.roots() {
+    let mut roots = std::mem::take(&mut shard.roots_scratch);
+    shard.delta.collect_roots(&mut roots);
+    for &root in &roots {
         expire_shard_tree(
             shard, &mut work, root, query, config, graph, wm, invalidate, now,
         );
         shard.delta.drop_if_trivial(root);
     }
+    shard.roots_scratch = roots;
     work.clear();
     shard.work = work;
+    shard.stats.delta_nodes_live = shard.delta.n_nodes() as u64;
+    shard.stats.delta_capacity = shard.delta.n_slots() as u64;
     shard.stats.expiry_nanos += t0.elapsed().as_nanos() as u64;
 }
 
@@ -556,14 +589,19 @@ fn expire_shard_tree(
     now: Timestamp,
 ) {
     let dfa = query.dfa();
+    let mut expired = std::mem::take(&mut shard.expired_scratch);
+    let mut remap = std::mem::take(&mut shard.compact_scratch);
     let Some((tree, idx)) = shard.delta.tree_with_index(root) else {
+        shard.expired_scratch = expired;
+        shard.compact_scratch = remap;
         return;
     };
-    let expired = tree.expired_keys(wm);
+    tree.remove_expired_keys(wm, &mut expired);
     if expired.is_empty() {
+        shard.expired_scratch = expired;
+        shard.compact_scratch = remap;
         return;
     }
-    tree.remove_all_keys(&expired);
     for &(ev, _) in &expired {
         idx.note_removed(root, ev);
     }
@@ -576,8 +614,10 @@ fn expire_shard_tree(
         let adj = graph.in_view(ev);
         for &(s, label) in dfa.transitions_into(et) {
             for e in adj.edges(label, wm) {
-                let parent = (e.other, s);
-                let Some(pts) = tree.ts(parent) else { continue };
+                let Some(pid) = tree.first_occurrence((e.other, s)) else {
+                    continue;
+                };
+                let Some(pts) = tree.ts_of(pid) else { continue };
                 if pts <= wm {
                     continue;
                 }
@@ -587,7 +627,7 @@ fn expire_shard_tree(
                 };
                 if should {
                     work.push(WorkItem {
-                        parent,
+                        parent_id: pid,
                         child: (ev, et),
                         via: label,
                         edge_ts: e.ts,
@@ -628,6 +668,12 @@ fn expire_shard_tree(
         }
     }
     shard.stats.nodes_expired += permanently_removed;
+    // Per-slide compaction, mirroring `RapqEngine::expire_tree`.
+    if tree.maybe_compact(&mut remap) {
+        shard.stats.compactions += 1;
+    }
+    shard.expired_scratch = expired;
+    shard.compact_scratch = remap;
 }
 
 #[cfg(test)]

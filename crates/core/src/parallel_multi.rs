@@ -729,6 +729,7 @@ impl ParallelMultiEngine {
             let s = reg.engine.index_size();
             total.trees += s.trees;
             total.nodes += s.nodes;
+            total.arena_bytes += s.arena_bytes;
         }
         total
     }

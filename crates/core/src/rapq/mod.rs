@@ -11,7 +11,7 @@
 //! `-∞` timestamps and reuse the very same expiry machinery (§3.2).
 
 use crate::config::{EngineConfig, RefreshPolicy};
-use crate::delta::{Forest, RevIndex, Unique};
+use crate::delta::{Forest, NodeId, RevIndex, Unique};
 use crate::sink::ResultSink;
 use crate::stats::{EngineStats, IndexSize};
 use srpq_automata::{CompiledQuery, Dfa};
@@ -30,11 +30,14 @@ pub type Tree = crate::delta::Tree<Unique>;
 /// semantics.
 pub type Delta = Forest<Unique>;
 
-/// A unit of deferred `Insert` work: attach `child` under `parent` via a
-/// graph edge labeled `via` with timestamp `edge_ts`.
+/// A unit of deferred `Insert` work: attach the node for `child` under
+/// the live node at `parent_id` via a graph edge labeled `via` with
+/// timestamp `edge_ts`. The parent is addressed by arena id — resolved
+/// once at push time — so the drain loop re-validates it with one
+/// column read instead of a hash lookup.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct WorkItem {
-    pub(crate) parent: NodeKey,
+    pub(crate) parent_id: NodeId,
     pub(crate) child: NodeKey,
     pub(crate) via: Label,
     pub(crate) edge_ts: Timestamp,
@@ -53,6 +56,14 @@ pub struct RapqEngine {
     stats: EngineStats,
     /// Reusable work stack (avoids reallocating per tuple).
     work: Vec<WorkItem>,
+    /// Per-tuple scratch: roots of the trees a tuple can extend.
+    roots_scratch: Vec<VertexId>,
+    /// Per-slide scratch: all tree roots during an expiry sweep.
+    expire_roots_scratch: Vec<VertexId>,
+    /// Per-slide scratch: the expiry candidate set of one tree.
+    expired_scratch: Vec<NodeKey>,
+    /// Per-slide scratch: the compaction remap table.
+    compact_scratch: Vec<NodeId>,
 }
 
 impl RapqEngine {
@@ -67,6 +78,10 @@ impl RapqEngine {
             now: Timestamp::NEG_INFINITY,
             stats: EngineStats::default(),
             work: Vec::new(),
+            roots_scratch: Vec::new(),
+            expire_roots_scratch: Vec::new(),
+            expired_scratch: Vec::new(),
+            compact_scratch: Vec::new(),
         }
     }
 
@@ -85,6 +100,7 @@ impl RapqEngine {
         IndexSize {
             trees: self.delta.n_trees(),
             nodes: self.delta.n_nodes(),
+            arena_bytes: self.delta.arena_bytes(),
         }
     }
 
@@ -370,10 +386,12 @@ impl RapqEngine {
 
         // Lines 4–12 of Algorithm RAPQ, restricted to trees that can
         // actually extend (reverse index).
-        let roots = self.delta.trees_containing(u);
-        for root in roots {
+        let mut roots = std::mem::take(&mut self.roots_scratch);
+        self.delta.collect_trees_containing(u, &mut roots);
+        for &root in &roots {
             self.extend_tree_with_edge(graph, vis, root, u, v, label, tuple.ts, wm, sink);
         }
+        self.roots_scratch = roots;
     }
 
     /// For one tree: try every DFA transition `(s, t)` on `label` with
@@ -399,15 +417,17 @@ impl RapqEngine {
                 return;
             };
             for &(s, t) in self.query.dfa().transitions_for(label) {
-                let parent = (u, s);
                 let child = (v, t);
-                let Some(pts) = tree.ts(parent) else { continue };
+                let Some(pid) = tree.first_occurrence((u, s)) else {
+                    continue;
+                };
+                let Some(pts) = tree.ts_of(pid) else { continue };
                 if pts <= wm {
                     continue; // parent expired (line 6 guard)
                 }
                 if Self::should_insert(tree, child, pts, edge_ts) {
                     work.push(WorkItem {
-                        parent,
+                        parent_id: pid,
                         child,
                         via: label,
                         edge_ts,
@@ -470,8 +490,9 @@ impl RapqEngine {
         // Algorithm Delete: find trees where (u,s) → (v,t) is a
         // tree-edge (Definition 13), mark the severed subtree with -∞,
         // then run the expiry machinery to prune/reconnect.
-        let roots = self.delta.trees_containing(v);
-        for root in roots {
+        let mut roots = std::mem::take(&mut self.roots_scratch);
+        self.delta.collect_trees_containing(v, &mut roots);
+        for &root in &roots {
             let mut dirty = false;
             if let Some(tree) = self.delta.tree_mut(root) {
                 for &(s, t) in self.query.dfa().transitions_for(label) {
@@ -489,6 +510,8 @@ impl RapqEngine {
                 self.delta.drop_if_trivial(root);
             }
         }
+        self.roots_scratch = roots;
+        self.refresh_delta_gauges();
     }
 
     /// Runs `ExpiryRAPQ` over every tree (owned-graph path): purge the
@@ -515,10 +538,21 @@ impl RapqEngine {
         invalidate: bool,
         sink: &mut S,
     ) {
-        for root in self.delta.roots() {
+        let mut roots = std::mem::take(&mut self.expire_roots_scratch);
+        self.delta.collect_roots(&mut roots);
+        for &root in &roots {
             self.expire_tree(graph, vis, root, wm, invalidate, sink);
             self.delta.drop_if_trivial(root);
         }
+        self.expire_roots_scratch = roots;
+        self.refresh_delta_gauges();
+    }
+
+    /// Refreshes the arena-occupancy gauges, sampled once per expiry
+    /// sweep / deletion (the natural per-slide observation points).
+    fn refresh_delta_gauges(&mut self) {
+        self.stats.delta_nodes_live = self.delta.n_nodes() as u64;
+        self.stats.delta_capacity = self.delta.n_slots() as u64;
     }
 
     /// `ExpiryRAPQ` for a single tree.
@@ -534,19 +568,23 @@ impl RapqEngine {
     ) {
         let mut work = std::mem::take(&mut self.work);
         work.clear();
+        let mut expired = std::mem::take(&mut self.expired_scratch);
 
         let Some((tree, idx)) = self.delta.tree_with_index(root) else {
             self.work = work;
+            self.expired_scratch = expired;
             return;
         };
-        // Line 2: candidate set P (downward-closed by the timestamp
-        // monotonicity invariant). Line 3: prune.
-        let expired = tree.expired_keys(wm);
+        // Lines 2–3: candidate set P (downward-closed by the timestamp
+        // monotonicity invariant) and prune, fused into one threshold
+        // scan over the contiguous timestamp column (the keys land in a
+        // reusable scratch buffer for the reconnection pass below).
+        tree.remove_expired_keys(wm, &mut expired);
         if expired.is_empty() {
             self.work = work;
+            self.expired_scratch = expired;
             return;
         }
-        tree.remove_all_keys(&expired);
         for &(ev, _) in &expired {
             idx.note_removed(root, ev);
         }
@@ -560,14 +598,16 @@ impl RapqEngine {
             let adj = graph.in_view_at(ev, vis);
             for &(s, label) in self.query.dfa().transitions_into(et) {
                 for e in adj.edges(label, wm) {
-                    let parent = (e.other, s);
-                    let Some(pts) = tree.ts(parent) else { continue };
+                    let Some(pid) = tree.first_occurrence((e.other, s)) else {
+                        continue;
+                    };
+                    let Some(pts) = tree.ts_of(pid) else { continue };
                     if pts <= wm {
                         continue;
                     }
                     if Self::should_insert(tree, (ev, et), pts, e.ts) {
                         work.push(WorkItem {
-                            parent,
+                            parent_id: pid,
                             child: (ev, et),
                             via: label,
                             edge_ts: e.ts,
@@ -620,7 +660,17 @@ impl RapqEngine {
             }
         }
         self.stats.nodes_expired += permanently_removed;
+
+        // Per-slide compaction: defragment the arena once occupancy
+        // drops to half, so long-running windows keep the timestamp
+        // scan dense.
+        let mut remap = std::mem::take(&mut self.compact_scratch);
+        if tree.maybe_compact(&mut remap) {
+            self.stats.compactions += 1;
+        }
+        self.compact_scratch = remap;
         self.work = work;
+        self.expired_scratch = expired;
     }
 }
 
@@ -647,7 +697,7 @@ pub(crate) fn run_insert<S: ResultSink>(
 ) {
     let root = tree.root();
     while let Some(WorkItem {
-        parent,
+        parent_id,
         child,
         via,
         edge_ts,
@@ -656,7 +706,11 @@ pub(crate) fn run_insert<S: ResultSink>(
         stats.insert_calls += 1;
         // Re-validate: the tree may have changed since this item was
         // pushed (conditions are monotone, so re-checking is safe).
-        let Some(pts) = tree.ts(parent) else { continue };
+        // Nothing is removed while work drains, so the parent id is
+        // stable and this is a single column read.
+        let Some(pts) = tree.ts_of(parent_id) else {
+            continue;
+        };
         if pts <= wm {
             continue;
         }
@@ -664,21 +718,22 @@ pub(crate) fn run_insert<S: ResultSink>(
         if new_ts <= wm {
             continue; // the connecting edge itself has expired
         }
-        match tree.ts(child) {
-            Some(cts) => {
+        match tree.first_occurrence(child) {
+            Some(cid) => {
                 // Timestamp refresh (Algorithm RAPQ line 7 / Insert
                 // lines 2–3). The paper re-points the parent without
                 // re-expanding; `RefreshPolicy` exposes the variants.
+                let Some(cts) = tree.ts_of(cid) else { continue };
                 if cts >= new_ts {
                     continue;
                 }
                 match refresh {
                     RefreshPolicy::None => {}
                     RefreshPolicy::Node => {
-                        tree.reparent_key(child, parent, via, new_ts);
+                        tree.reparent(cid, parent_id, via, new_ts);
                     }
                     RefreshPolicy::Subtree => {
-                        tree.reparent_key(child, parent, via, new_ts);
+                        tree.reparent(cid, parent_id, via, new_ts);
                         // Propagate the improvement: any neighbour whose
                         // timestamp can now improve through this node is
                         // re-examined — both current children and nodes
@@ -699,7 +754,7 @@ pub(crate) fn run_insert<S: ResultSink>(
                                 };
                                 if improvable {
                                     work.push(WorkItem {
-                                        parent: child,
+                                        parent_id: cid,
                                         child: target,
                                         via: label,
                                         edge_ts: e.ts,
@@ -711,7 +766,7 @@ pub(crate) fn run_insert<S: ResultSink>(
                 }
             }
             None => {
-                tree.add(child, parent, via, new_ts);
+                let id = tree.add_child(parent_id, child.0, child.1, via, new_ts);
                 idx.note_added(root, child.0);
                 let (cv, cs) = child;
                 if dfa.is_accepting(cs) {
@@ -736,7 +791,7 @@ pub(crate) fn run_insert<S: ResultSink>(
                         };
                         if cond {
                             work.push(WorkItem {
-                                parent: child,
+                                parent_id: id,
                                 child: target,
                                 via: label,
                                 edge_ts: e.ts,

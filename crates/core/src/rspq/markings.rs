@@ -62,6 +62,19 @@ impl TreeSemantics for Markings {
         }
     }
 
+    fn on_compact(&mut self, remap: &[NodeId]) {
+        // Marks point at live nodes (validated invariant), so every
+        // retained id has a live entry in the remap table.
+        for id in self.marked.values_mut() {
+            *id = remap[*id as usize];
+        }
+    }
+
+    fn reset(&mut self) {
+        self.marked.clear();
+        self.dead.clear();
+    }
+
     fn validate(&self, tree: &Tree<Markings>) -> Result<(), String> {
         for (key, &id) in &self.marked {
             match tree.node(id) {
@@ -98,8 +111,22 @@ impl Tree<Markings> {
     }
 
     /// Drains the pairs whose mark died with its node since the last
-    /// call (populated by node removal).
+    /// call (populated by node removal). Pair with
+    /// [`Tree::recycle_dead_marks`] to keep the buffer's capacity.
     pub fn take_dead_marks(&mut self) -> Vec<PairKey> {
         std::mem::take(&mut self.ext_mut().dead)
+    }
+
+    /// Returns a drained dead-marks buffer so its heap capacity is
+    /// reused by subsequent removals (allocation-free steady state).
+    pub fn recycle_dead_marks(&mut self, mut buf: Vec<PairKey>) {
+        buf.clear();
+        let dead = &mut self.ext_mut().dead;
+        if dead.capacity() < buf.capacity() {
+            // Keep whatever accumulated since the drain (normally
+            // nothing: recycle directly follows processing).
+            buf.append(dead);
+            *dead = buf;
+        }
     }
 }

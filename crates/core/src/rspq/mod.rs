@@ -17,6 +17,7 @@
 
 pub mod markings;
 
+use crate::bitset::GenBitSet;
 use crate::config::EngineConfig;
 use crate::delta::{Forest, NodeId, PairKey, RevIndex};
 use crate::sink::ResultSink;
@@ -45,6 +46,14 @@ struct ExtendItem {
     edge_ts: Timestamp,
 }
 
+/// The `(vertex, state)` product-pair bit for the generation-stamped
+/// frontier bitsets: vertex slots are dense (interned), the DFA state
+/// count (`stride`) is a small per-query constant.
+#[inline]
+fn pair_bit(v: VertexId, s: StateId, stride: u64) -> u64 {
+    v.0 as u64 * stride + s.0 as u64
+}
+
 /// The streaming RSPQ engine (Algorithm RSPQ + Extend + Unmark +
 /// ExpiryRSPQ).
 pub struct RspqEngine {
@@ -56,6 +65,25 @@ pub struct RspqEngine {
     now: Timestamp,
     stats: EngineStats,
     work: Vec<ExtendItem>,
+    /// Per-tuple scratch: roots of the trees a tuple can extend.
+    roots_scratch: Vec<VertexId>,
+    /// Per-slide scratch: all tree roots during an expiry sweep.
+    expire_roots_scratch: Vec<VertexId>,
+    /// Per-slide scratch: `(pair, surviving parent)` of removed nodes.
+    removed_scratch: Vec<(PairKey, Option<NodeId>)>,
+    /// Per-reconnection scratch: occurrence-list copy (the list may
+    /// shift while `run_extend` mutates the tree).
+    occs_scratch: Vec<NodeId>,
+    /// Per-delete scratch: tree-edge victims of one deletion.
+    victims_scratch: Vec<NodeId>,
+    /// Per-slide scratch: the compaction remap table.
+    compact_scratch: Vec<NodeId>,
+    /// Root-path membership bitset, rebuilt per extend item.
+    path_bits: GenBitSet,
+    /// Dead-mark membership bitset (pair domain).
+    dead_mark_bits: GenBitSet,
+    /// Invalidation dedup bitset (vertex domain).
+    seen_bits: GenBitSet,
 }
 
 impl RspqEngine {
@@ -70,6 +98,15 @@ impl RspqEngine {
             now: Timestamp::NEG_INFINITY,
             stats: EngineStats::default(),
             work: Vec::new(),
+            roots_scratch: Vec::new(),
+            expire_roots_scratch: Vec::new(),
+            removed_scratch: Vec::new(),
+            occs_scratch: Vec::new(),
+            victims_scratch: Vec::new(),
+            compact_scratch: Vec::new(),
+            path_bits: GenBitSet::new(),
+            dead_mark_bits: GenBitSet::new(),
+            seen_bits: GenBitSet::new(),
         }
     }
 
@@ -88,6 +125,7 @@ impl RspqEngine {
         IndexSize {
             trees: self.delta.n_trees(),
             nodes: self.delta.n_nodes(),
+            arena_bytes: self.delta.arena_bytes(),
         }
     }
 
@@ -356,8 +394,10 @@ impl RspqEngine {
         }
 
         let mut budget = self.config.rspq_extend_budget.unwrap_or(u64::MAX);
-        let roots = self.delta.trees_containing(u);
-        for root in roots {
+        let stride = self.query.dfa().n_states() as u64;
+        let mut roots = std::mem::take(&mut self.roots_scratch);
+        self.delta.collect_trees_containing(u, &mut roots);
+        for &root in &roots {
             let mut work = std::mem::take(&mut self.work);
             work.clear();
             {
@@ -370,8 +410,10 @@ impl RspqEngine {
                 // path-cycle or marking guards.
                 for &(s, t) in self.query.dfa().transitions_for(label) {
                     for &occ in tree.occurrences((u, s)) {
-                        let Some(node) = tree.node(occ) else { continue };
-                        if node.ts <= wm {
+                        let Some(occ_ts) = tree.ts_of(occ) else {
+                            continue;
+                        };
+                        if occ_ts <= wm {
                             continue;
                         }
                         if tree.path_has(occ, v, t) || tree.is_marked((v, t)) {
@@ -404,10 +446,13 @@ impl RspqEngine {
                     &mut self.stats,
                     sink,
                     &mut budget,
+                    &mut self.path_bits,
+                    stride,
                 );
             }
             self.work = work;
         }
+        self.roots_scratch = roots;
     }
 
     fn dispatch_delete<S: ResultSink>(
@@ -423,28 +468,26 @@ impl RspqEngine {
         let (u, v) = (tuple.edge.src, tuple.edge.dst);
         let wm = self.config.window.watermark(self.now);
 
-        let roots = self.delta.trees_containing(v);
-        for root in roots {
+        let mut roots = std::mem::take(&mut self.roots_scratch);
+        self.delta.collect_trees_containing(v, &mut roots);
+        let mut victims = std::mem::take(&mut self.victims_scratch);
+        for &root in &roots {
             let mut dirty = false;
             if let Some(tree) = self.delta.tree_mut(root) {
                 for &(s, t) in self.query.dfa().transitions_for(label) {
                     // Every occurrence of (v, t) whose tree edge is the
                     // deleted edge loses its subtree (Definition 13).
-                    let victims: Vec<NodeId> = tree
-                        .occurrences((v, t))
-                        .iter()
-                        .copied()
-                        .filter(|&id| {
-                            tree.node(id)
-                                .and_then(|n| {
-                                    let p = n.parent?;
-                                    let pn = tree.node(p)?;
-                                    Some(pn.vertex == u && pn.state == s && n.via_label == label)
-                                })
-                                .unwrap_or(false)
-                        })
-                        .collect();
-                    for id in victims {
+                    victims.clear();
+                    victims.extend(tree.occurrences((v, t)).iter().copied().filter(|&id| {
+                        tree.node(id)
+                            .and_then(|n| {
+                                let p = n.parent?;
+                                let pn = tree.node(p)?;
+                                Some(pn.vertex == u && pn.state == s && n.via_label == label)
+                            })
+                            .unwrap_or(false)
+                    }));
+                    for &id in &victims {
                         tree.set_subtree_ts(id, Timestamp::NEG_INFINITY);
                         dirty = true;
                     }
@@ -455,6 +498,9 @@ impl RspqEngine {
                 self.delta.drop_if_trivial(root);
             }
         }
+        self.victims_scratch = victims;
+        self.roots_scratch = roots;
+        self.refresh_delta_gauges();
     }
 
     fn run_expiry<S: ResultSink>(&mut self, wm: Timestamp, invalidate: bool, sink: &mut S) {
@@ -477,10 +523,21 @@ impl RspqEngine {
         invalidate: bool,
         sink: &mut S,
     ) {
-        for root in self.delta.roots() {
+        let mut roots = std::mem::take(&mut self.expire_roots_scratch);
+        self.delta.collect_roots(&mut roots);
+        for &root in &roots {
             self.expire_tree(graph, vis, root, wm, invalidate, sink);
             self.delta.drop_if_trivial(root);
         }
+        self.expire_roots_scratch = roots;
+        self.refresh_delta_gauges();
+    }
+
+    /// Refreshes the Δ occupancy gauges (live nodes vs arena slots)
+    /// after structural churn.
+    fn refresh_delta_gauges(&mut self) {
+        self.stats.delta_nodes_live = self.delta.n_nodes() as u64;
+        self.stats.delta_capacity = self.delta.n_slots() as u64;
     }
 
     /// `ExpiryRSPQ` for a single tree: prune expired nodes, reattempt
@@ -500,34 +557,34 @@ impl RspqEngine {
     ) {
         let mut work = std::mem::take(&mut self.work);
         work.clear();
+        let stride = self.query.dfa().n_states() as u64;
         let Some((tree, idx)) = self.delta.tree_with_index(root) else {
             self.work = work;
             return;
         };
-        let expired = tree.expired_ids(wm);
-        if expired.is_empty() {
+        // Lines 2–3 fused: one threshold scan over the contiguous
+        // timestamp column removes the candidate set P and records, per
+        // node, its pair and its parent when that parent survives the
+        // sweep (the re-marking pass below needs exactly this).
+        let mut removed_pairs = std::mem::take(&mut self.removed_scratch);
+        tree.remove_expired_with_parents(wm, &mut removed_pairs);
+        if removed_pairs.is_empty() {
             self.work = work;
+            self.removed_scratch = removed_pairs;
             return;
         }
-        // Record vertex/state/parent info before removal.
-        let mut removed_pairs: Vec<(PairKey, Option<NodeId>)> = Vec::with_capacity(expired.len());
-        let expired_set: FxHashSet<NodeId> = expired.iter().copied().collect();
-        for &id in &expired {
-            if let Some(n) = tree.node(id) {
-                let parent = n.parent.filter(|p| !expired_set.contains(p));
-                removed_pairs.push(((n.vertex, n.state), parent));
-            }
-        }
-        tree.remove_all(&expired);
         let dead_marks = tree.take_dead_marks();
         for &((v, _), _) in &removed_pairs {
             idx.note_removed(root, v);
         }
-        self.stats.nodes_expired += expired.len() as u64;
+        self.stats.nodes_expired += removed_pairs.len() as u64;
 
         // Reconnection for expired marked pairs (lines 6–11), visiting
-        // only in-edges whose label can reach state `t`.
+        // only in-edges whose label can reach state `t`. The occurrence
+        // list is copied into engine scratch because `run_extend`
+        // mutates the tree while we iterate.
         let mut budget = self.config.rspq_extend_budget.unwrap_or(u64::MAX);
+        let mut occs = std::mem::take(&mut self.occs_scratch);
         for &(v, t) in &dead_marks {
             if tree.is_marked((v, t)) {
                 continue; // reconnected by an earlier candidate's replay
@@ -535,10 +592,13 @@ impl RspqEngine {
             let adj = graph.in_view_at(v, vis);
             for &(s, label) in self.query.dfa().transitions_into(t) {
                 for e in adj.edges(label, wm) {
-                    let occs: Vec<NodeId> = tree.occurrences((e.other, s)).to_vec();
-                    for occ in occs {
-                        let Some(node) = tree.node(occ) else { continue };
-                        if node.ts <= wm {
+                    occs.clear();
+                    occs.extend_from_slice(tree.occurrences((e.other, s)));
+                    for &occ in &occs {
+                        let Some(occ_ts) = tree.ts_of(occ) else {
+                            continue;
+                        };
+                        if occ_ts <= wm {
                             continue;
                         }
                         if tree.path_has(occ, v, t) || tree.is_marked((v, t)) {
@@ -566,18 +626,25 @@ impl RspqEngine {
                             &mut self.stats,
                             sink,
                             &mut budget,
+                            &mut self.path_bits,
+                            stride,
                         );
                     }
                 }
             }
         }
+        self.occs_scratch = occs;
 
         // Lines 12–15: a permanently removed marked node may unblock its
         // parent's marking ("all siblings are in M_x" ⇒ the parent is no
         // longer a conflict predecessor).
-        let dead_mark_set: FxHashSet<PairKey> = dead_marks.iter().copied().collect();
+        let dead_mark_bits = &mut self.dead_mark_bits;
+        dead_mark_bits.reset();
+        for &(v, t) in &dead_marks {
+            dead_mark_bits.insert(pair_bit(v, t, stride));
+        }
         for &(key, parent) in &removed_pairs {
-            if !dead_mark_set.contains(&key) || tree.is_marked(key) {
+            if !dead_mark_bits.contains(pair_bit(key.0, key.1, stride)) || tree.is_marked(key) {
                 continue;
             }
             let Some(pid) = parent else { continue };
@@ -592,7 +659,7 @@ impl RspqEngine {
             if tree.occurrences(pkey).len() != 1 {
                 continue;
             }
-            let all_marked = pn.children.iter().all(|&c| {
+            let all_marked = tree.children(pid).all(|c| {
                 tree.node(c)
                     .map(|cn| tree.is_marked((cn.vertex, cn.state)))
                     .unwrap_or(true)
@@ -604,9 +671,10 @@ impl RspqEngine {
 
         // Invalidations for accepting pairs that lost all witnesses.
         if invalidate && self.config.report_invalidations {
-            let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+            let seen = &mut self.seen_bits;
+            seen.reset();
             for &((v, t), _) in &removed_pairs {
-                if !self.query.dfa().is_accepting(t) || !seen.insert(v) {
+                if !self.query.dfa().is_accepting(t) || !seen.insert(v.0 as u64) {
                     continue;
                 }
                 let witnessed = self
@@ -623,13 +691,30 @@ impl RspqEngine {
                 }
             }
         }
+
+        // Per-slide compaction: once the batch removal leaves the arena
+        // mostly dead, squeeze it (marks are remapped via the semantics
+        // hook) so the next timestamp scan touches only live slots.
+        let mut remap = std::mem::take(&mut self.compact_scratch);
+        if tree.maybe_compact(&mut remap) {
+            self.stats.compactions += 1;
+        }
+        self.compact_scratch = remap;
+        tree.recycle_dead_marks(dead_marks);
         self.work = work;
+        self.removed_scratch = removed_pairs;
     }
 }
 
 /// The iterative core of Algorithm Extend (+ Unmark as a sub-procedure):
 /// drains `work`, attaching nodes, detecting conflicts, and replaying
 /// pruned traversals after unmarking.
+///
+/// Per popped item the root path is walked **once** into `path_bits`
+/// (generation-stamped, so clearing is O(1)); every subsequent on-path
+/// test — the re-checked caller guard, the conflict probe, and the
+/// per-out-edge cycle guard — is then a single bit read instead of a
+/// pointer chase up the path.
 #[allow(clippy::too_many_arguments)]
 fn run_extend<S: ResultSink>(
     tree: &mut SpTree,
@@ -646,6 +731,8 @@ fn run_extend<S: ResultSink>(
     stats: &mut EngineStats,
     sink: &mut S,
     budget: &mut u64,
+    path_bits: &mut GenBitSet,
+    stride: u64,
 ) {
     let root = tree.root();
     while let Some(ExtendItem {
@@ -665,21 +752,37 @@ fn run_extend<S: ResultSink>(
         }
         *budget -= 1;
         stats.insert_calls += 1;
-        let Some(pnode) = tree.node(parent_id) else {
+        let Some(p_ts) = tree.ts_of(parent_id) else {
             continue;
         };
-        let p_ts = pnode.ts;
         if p_ts <= wm {
             continue;
         }
+        // One upward walk serves every on-path test for this item: set
+        // the pair bit of each ancestor, and remember the state of the
+        // occurrence of `vertex` closest to the root (the "first"
+        // occurrence in path order) for the conflict probe below.
+        path_bits.reset();
+        let mut first_state = None;
+        let mut cur = parent_id;
+        while let Some((v, s, parent)) = tree.step_up(cur) {
+            path_bits.insert(pair_bit(v, s, stride));
+            if v == vertex {
+                first_state = Some(s);
+            }
+            match parent {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
         // Re-check the caller guards — earlier items may have changed
         // the tree.
-        if tree.path_has(parent_id, vertex, state) || tree.is_marked((vertex, state)) {
+        if path_bits.contains(pair_bit(vertex, state, stride)) || tree.is_marked((vertex, state)) {
             continue;
         }
         // Conflict detection (Extend line 2): the first occurrence of
         // `vertex` on the prefix path must suffix-contain the new state.
-        if let Some(q) = tree.first_state_on_path(parent_id, vertex) {
+        if let Some(q) = first_state {
             if !containment.contains(q, state) {
                 stats.conflicts_detected += 1;
                 unmark_and_replay(tree, parent_id, dfa, graph, vis, wm, work, stats);
@@ -712,13 +815,18 @@ fn run_extend<S: ResultSink>(
         // the `Markings` semantics hook.
         let id = tree.add_child(parent_id, vertex, state, via, new_ts);
         idx.note_added(root, vertex);
+        // The new node's root path is its parent's plus itself — extend
+        // the bitset so each out-edge's cycle guard is one bit read.
+        path_bits.insert(pair_bit(vertex, state, stride));
         // Lines 14–18: expand through valid window edges (per-state DFA
         // transitions × label-partitioned adjacency: only matching
         // edges are visited, with no per-step allocation).
         let adj = graph.out_view_at(vertex, vis);
         for &(label, r) in dfa.transitions_from(state) {
             for e in adj.edges(label, wm) {
-                if !tree.path_has(id, e.other, r) && !tree.is_marked((e.other, r)) {
+                if !path_bits.contains(pair_bit(e.other, r, stride))
+                    && !tree.is_marked((e.other, r))
+                {
                     work.push(ExtendItem {
                         parent_id: id,
                         vertex: e.other,
@@ -747,27 +855,39 @@ fn unmark_and_replay(
     work: &mut Vec<ExtendItem>,
     stats: &mut EngineStats,
 ) {
-    let mut path = tree.path_ids(conflict_pred);
-    let mut unmarked: Vec<PairKey> = Vec::new();
-    while let Some(&last) = path.last() {
-        let Some(n) = tree.node(last) else { break };
-        let key = (n.vertex, n.state);
-        if tree.unmark(key) {
-            stats.nodes_unmarked += 1;
-            unmarked.push(key);
-            path.pop();
-        } else {
+    // Phase 1 (Unmark): walk up from the conflict predecessor along the
+    // parent links, removing marks while present. No path
+    // materialization — the deepest-first order of the old explicit
+    // path vector is exactly the upward walk.
+    let mut unmarked = 0usize;
+    let mut cur = conflict_pred;
+    while let Some((v, s, parent)) = tree.step_up(cur) {
+        if !tree.unmark((v, s)) {
             break;
         }
+        stats.nodes_unmarked += 1;
+        unmarked += 1;
+        match parent {
+            Some(p) => cur = p,
+            None => break,
+        }
     }
-    for (v, t) in unmarked {
+    // Phase 2 (replay): revisit the same first `unmarked` ancestors.
+    // The tree is only read here (pushes go to `work`), so the
+    // occurrence slice is iterated in place.
+    let mut cur = conflict_pred;
+    for _ in 0..unmarked {
+        let Some((v, t, parent)) = tree.step_up(cur) else {
+            break;
+        };
         let adj = graph.in_view_at(v, vis);
         for &(s, label) in dfa.transitions_into(t) {
             for e in adj.edges(label, wm) {
-                let occs: Vec<NodeId> = tree.occurrences((e.other, s)).to_vec();
-                for occ in occs {
-                    let Some(node) = tree.node(occ) else { continue };
-                    if node.ts <= wm {
+                for &occ in tree.occurrences((e.other, s)) {
+                    let Some(occ_ts) = tree.ts_of(occ) else {
+                        continue;
+                    };
+                    if occ_ts <= wm {
                         continue;
                     }
                     if tree.path_has(occ, v, t) {
@@ -782,6 +902,10 @@ fn unmark_and_replay(
                     });
                 }
             }
+        }
+        match parent {
+            Some(p) => cur = p,
+            None => break,
         }
     }
 }

@@ -12,6 +12,9 @@ pub struct IndexSize {
     pub trees: usize,
     /// Total number of nodes over all spanning trees (roots included).
     pub nodes: usize,
+    /// Resident bytes of the struct-of-arrays node arenas (live slots
+    /// plus not-yet-compacted dead slots; excludes occurrence maps).
+    pub arena_bytes: usize,
 }
 
 /// Cumulative operation counters maintained by the engines.
@@ -68,6 +71,14 @@ pub struct EngineStats {
     /// Wall-clock milliseconds the most recent recovery took (zero if
     /// this engine was never recovered).
     pub last_recovery_ms: u64,
+    /// Live Δ nodes (gauge, refreshed after deletions and expiry).
+    pub delta_nodes_live: u64,
+    /// Total Δ arena slots, live + free-listed (gauge). The gap to
+    /// [`EngineStats::delta_nodes_live`] is the fragmentation the
+    /// per-slide compactor bounds.
+    pub delta_capacity: u64,
+    /// Arena compactions performed (per-tree, per-slide).
+    pub compactions: u64,
 }
 
 #[cfg(test)]

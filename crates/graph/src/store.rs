@@ -166,9 +166,10 @@ impl<'g> AdjView<'g> {
             })
     }
 
-    /// Whether the vertex has no stored edges in this direction at all.
+    /// Whether the vertex has no stored edges in this direction at all
+    /// (emptied posting lists are retained, so each must be checked).
     pub fn is_empty(&self) -> bool {
-        self.map.is_none()
+        self.map.is_none_or(|m| m.values().all(Vec::is_empty))
     }
 }
 
@@ -180,14 +181,26 @@ struct QueueEntry {
     gen: u32,
 }
 
+/// One direction of a vertex's label-partitioned adjacency. Emptied
+/// posting lists and label entries are *retained* (capacity at high
+/// water) rather than pruned: sliding-window churn re-adds the same
+/// `(vertex, label)` keys over and over, and reuse of warm containers
+/// keeps the steady-state insert path allocation-free. Presence is
+/// tracked by `len`, the live posting count across all labels.
+#[derive(Debug, Default)]
+struct Adj {
+    by_label: FxHashMap<Label, Vec<Posting>>,
+    len: usize,
+}
+
 /// The snapshot graph `G_{W,τ}` of a sliding window over a streaming
 /// graph, stored as label-partitioned adjacency in both directions.
 #[derive(Debug, Default)]
 pub struct WindowGraph {
     /// `out[u][l]` → posting list of `(v, ts)`.
-    out: FxHashMap<VertexId, FxHashMap<Label, Vec<Posting>>>,
+    out: FxHashMap<VertexId, Adj>,
     /// `inc[v][l]` → posting list of `(u, ts)`.
-    inc: FxHashMap<VertexId, FxHashMap<Label, Vec<Posting>>>,
+    inc: FxHashMap<VertexId, Adj>,
     slots: Vec<Slot>,
     free: Vec<u32>,
     /// Slots stamped with a batch position this micro-batch (drained by
@@ -282,8 +295,8 @@ impl WindowGraph {
         vis_from: u32,
     ) -> bool {
         let out_outer = self.out.entry(u).or_default();
-        let u_first_out = out_outer.is_empty();
-        let out_list = out_outer.entry(label).or_default();
+        let u_first_out = out_outer.len == 0;
+        let out_list = out_outer.by_label.entry(label).or_default();
         if let Some(pos) = out_list.iter().position(|p| p.other == v) {
             // Refresh: rewrite the timestamp in both postings through
             // the stored positions — O(1).
@@ -295,6 +308,7 @@ impl WindowGraph {
             self.inc
                 .get_mut(&v)
                 .expect("live edge has inc postings")
+                .by_label
                 .get_mut(&label)
                 .expect("live edge has inc postings")[inc_pos as usize]
                 .ts = ts;
@@ -339,23 +353,25 @@ impl WindowGraph {
             ts,
             slot: id,
         });
+        out_outer.len += 1;
         // Presence transitions: a vertex joins the graph exactly when
-        // its (pruned-empty) outer adjacency entries are both absent.
-        // The outer entries are touched here anyway, so the maintained
-        // vertex count costs at most one extra lookup per *first* edge.
-        if u_first_out && !self.inc.contains_key(&u) {
+        // both directions hold no live posting. The outer entries are
+        // touched here anyway, so the maintained vertex count costs at
+        // most one extra lookup per *first* edge.
+        if u_first_out && self.inc.get(&u).is_none_or(|a| a.len == 0) {
             self.n_vertices += 1;
         }
         let inc_outer = self.inc.entry(v).or_default();
-        let v_first_inc = inc_outer.is_empty();
-        let inc_list = inc_outer.entry(label).or_default();
+        let v_first_inc = inc_outer.len == 0;
+        let inc_list = inc_outer.by_label.entry(label).or_default();
         let inc_pos = inc_list.len() as u32;
         inc_list.push(Posting {
             other: u,
             ts,
             slot: id,
         });
-        if v_first_inc && !self.out.contains_key(&v) {
+        inc_outer.len += 1;
+        if v_first_inc && self.out.get(&v).is_none_or(|a| a.len == 0) {
             self.n_vertices += 1;
         }
         self.slots[id as usize].inc_pos = inc_pos;
@@ -367,7 +383,7 @@ impl WindowGraph {
     /// Removes edge `u →l v` (explicit deletion). Returns its timestamp
     /// if it was present.
     pub fn remove(&mut self, u: VertexId, v: VertexId, label: Label) -> Option<Timestamp> {
-        let list = self.out.get(&u)?.get(&label)?;
+        let list = self.out.get(&u)?.by_label.get(&label)?;
         let pos = list.iter().position(|p| p.other == v)?;
         let id = list[pos].slot;
         Some(self.remove_slot(id))
@@ -397,32 +413,33 @@ impl WindowGraph {
         self.free.push(id);
         self.n_edges -= 1;
         // Presence transitions (see `insert`): a vertex leaves the graph
-        // when its last outer entry is pruned and the opposite direction
-        // holds nothing either.
-        if u_out_gone && !self.inc.contains_key(&slot.src) {
+        // when its last live posting in one direction goes and the
+        // opposite direction holds nothing either.
+        if u_out_gone && self.inc.get(&slot.src).is_none_or(|a| a.len == 0) {
             self.n_vertices -= 1;
         }
-        if slot.dst != slot.src && v_inc_gone && !self.out.contains_key(&slot.dst) {
+        if slot.dst != slot.src && v_inc_gone && self.out.get(&slot.dst).is_none_or(|a| a.len == 0)
+        {
             self.n_vertices -= 1;
         }
         ts
     }
 
     /// Swap-removes the posting at `pos` from `adj[vertex][label]`,
-    /// repairing the displaced edge's stored position, and pruning empty
-    /// containers. Returns whether the vertex's outer entry was removed
-    /// (its last edge in this direction) and the removed posting's
-    /// timestamp.
+    /// repairing the displaced edge's stored position. Emptied lists
+    /// and entries are retained with their capacity (see [`Adj`]).
+    /// Returns whether this was the vertex's last live posting in this
+    /// direction, and the removed posting's timestamp.
     fn detach_posting(
-        adj: &mut FxHashMap<VertexId, FxHashMap<Label, Vec<Posting>>>,
+        adj: &mut FxHashMap<VertexId, Adj>,
         slots: &mut [Slot],
         vertex: VertexId,
         label: Label,
         pos: u32,
         inc_side: bool,
     ) -> (bool, Timestamp) {
-        let by_label = adj.get_mut(&vertex).expect("posting parent exists");
-        let list = by_label.get_mut(&label).expect("posting list exists");
+        let entry = adj.get_mut(&vertex).expect("posting parent exists");
+        let list = entry.by_label.get_mut(&label).expect("posting list exists");
         let removed = list.swap_remove(pos as usize);
         if let Some(moved) = list.get(pos as usize) {
             let ms = &mut slots[moved.slot as usize];
@@ -432,20 +449,15 @@ impl WindowGraph {
                 ms.out_pos = pos;
             }
         }
-        if list.is_empty() {
-            by_label.remove(&label);
-            if by_label.is_empty() {
-                adj.remove(&vertex);
-                return (true, removed.ts);
-            }
-        }
-        (false, removed.ts)
+        entry.len -= 1;
+        (entry.len == 0, removed.ts)
     }
 
     /// The current timestamp of edge `u →l v`, if present.
     pub fn edge_ts(&self, u: VertexId, v: VertexId, label: Label) -> Option<Timestamp> {
         self.out
             .get(&u)?
+            .by_label
             .get(&label)?
             .iter()
             .find(|p| p.other == v)
@@ -530,7 +542,7 @@ impl WindowGraph {
     #[inline]
     pub fn out_view_at(&self, u: VertexId, vis: Visibility) -> AdjView<'_> {
         AdjView {
-            map: self.out.get(&u),
+            map: self.out.get(&u).map(|a| &a.by_label),
             slots: &self.slots,
             vis,
         }
@@ -541,7 +553,7 @@ impl WindowGraph {
     #[inline]
     pub fn in_view_at(&self, v: VertexId, vis: Visibility) -> AdjView<'_> {
         AdjView {
-            map: self.inc.get(&v),
+            map: self.inc.get(&v).map(|a| &a.by_label),
             slots: &self.slots,
             vis,
         }
@@ -558,7 +570,7 @@ impl WindowGraph {
         self.out
             .get(&u)
             .into_iter()
-            .flat_map(|m| m.iter())
+            .flat_map(|a| a.by_label.iter())
             .flat_map(|(&label, list)| list.iter().map(move |p| (label, p)))
             .filter(move |(_, p)| p.ts > watermark)
             .map(|(label, p)| EdgeRef {
@@ -578,7 +590,7 @@ impl WindowGraph {
         self.inc
             .get(&v)
             .into_iter()
-            .flat_map(|m| m.iter())
+            .flat_map(|a| a.by_label.iter())
             .flat_map(|(&label, list)| list.iter().map(move |p| (label, p)))
             .filter(move |(_, p)| p.ts > watermark)
             .map(|(label, p)| EdgeRef {
@@ -592,13 +604,13 @@ impl WindowGraph {
     /// `watermark`.
     pub fn vertices(&self, watermark: Timestamp) -> Vec<VertexId> {
         let mut out: Vec<VertexId> = Vec::new();
-        for (&u, m) in &self.out {
-            if m.values().flatten().any(|p| p.ts > watermark) {
+        for (&u, a) in &self.out {
+            if a.by_label.values().flatten().any(|p| p.ts > watermark) {
                 out.push(u);
             }
         }
-        for (&v, m) in &self.inc {
-            if !self.out.contains_key(&v) && m.values().flatten().any(|p| p.ts > watermark) {
+        for (&v, a) in &self.inc {
+            if a.by_label.values().flatten().any(|p| p.ts > watermark) {
                 out.push(v);
             }
         }
@@ -611,8 +623,8 @@ impl WindowGraph {
     /// export for the batch baselines).
     pub fn edges(&self, watermark: Timestamp) -> Vec<(VertexId, VertexId, Label, Timestamp)> {
         let mut out = Vec::with_capacity(self.n_edges);
-        for (&u, m) in &self.out {
-            for (&l, list) in m {
+        for (&u, a) in &self.out {
+            for (&l, list) in &a.by_label {
                 for p in list {
                     if p.ts > watermark {
                         out.push((u, p.other, l, p.ts));

@@ -26,7 +26,7 @@
 //!
 //! ```text
 //! file   := body crc32(body)
-//! body   := magic "SRPQCKP1" | u32 version = 2 | u8 kind | u8 strategy
+//! body   := magic "SRPQCKP1" | u32 version = 3 | u8 kind | u8 strategy
 //!           | u64 seq | payload (engine-kind specific, see
 //!           `srpq_persist::durable::PersistEngine`)
 //! ```
@@ -43,7 +43,9 @@ use std::path::{Path, PathBuf};
 const CKPT_MAGIC: &[u8; 8] = b"SRPQCKP1";
 // v2: `EngineStats` gained `tuples_routed`/`eval_ns` mid-record, so v1
 // checkpoints must be refused rather than misdecoded.
-const CKPT_VERSION: u32 = 2;
+// v3: `EngineStats` gained the Δ occupancy gauges
+// (`delta_nodes_live`/`delta_capacity`) and `compactions`.
+const CKPT_VERSION: u32 = 3;
 
 /// What a checkpoint stores beyond the engine cursor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -297,6 +299,9 @@ pub(crate) fn encode_stats(w: &mut ByteWriter, s: &EngineStats) {
         s.fsyncs,
         s.checkpoints_written,
         s.last_recovery_ms,
+        s.delta_nodes_live,
+        s.delta_capacity,
+        s.compactions,
     ] {
         w.u64(v);
     }
@@ -324,6 +329,9 @@ pub(crate) fn decode_stats(r: &mut ByteReader) -> Result<EngineStats> {
         fsyncs: r.u64()?,
         checkpoints_written: r.u64()?,
         last_recovery_ms: r.u64()?,
+        delta_nodes_live: r.u64()?,
+        delta_capacity: r.u64()?,
+        compactions: r.u64()?,
     })
 }
 
@@ -564,6 +572,9 @@ mod tests {
         let s = EngineStats {
             tuples_processed: 9,
             last_recovery_ms: 3,
+            delta_nodes_live: 4,
+            delta_capacity: 6,
+            compactions: 2,
             ..Default::default()
         };
         encode_stats(&mut w, &s);
@@ -577,6 +588,79 @@ mod tests {
         let s2 = decode_stats(&mut r).unwrap();
         assert_eq!(s2.tuples_processed, 9);
         assert_eq!(s2.last_recovery_ms, 3);
+        assert_eq!(s2.delta_nodes_live, 4);
+        assert_eq!(s2.delta_capacity, 6);
+        assert_eq!(s2.compactions, 2);
         assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn compacted_forest_round_trips_through_codec() {
+        use srpq_common::StateId;
+        use srpq_core::rspq::markings::Markings;
+
+        // Build a forest whose tree has been through batch removal and
+        // arena compaction, then push it through the Full-checkpoint
+        // forest codec: the canonical children-list form must restore
+        // the compacted arena exactly.
+        let mut forest: Forest<Markings> = Forest::new();
+        forest.ensure_tree(VertexId(0), StateId(0));
+        {
+            let (tree, idx) = forest.tree_with_index(VertexId(0)).unwrap();
+            let root_id = tree.root_id();
+            let ids: Vec<u32> = (0..100u32)
+                .map(|i| {
+                    let id = tree.add_child(
+                        root_id,
+                        VertexId(i + 1),
+                        StateId(1),
+                        Label(0),
+                        Timestamp(10),
+                    );
+                    idx.note_added(VertexId(0), VertexId(i + 1));
+                    id
+                })
+                .collect();
+            for &id in &ids[..90] {
+                let v = tree.node(id).unwrap().vertex;
+                tree.remove(id);
+                idx.note_removed(VertexId(0), v);
+            }
+            // Leave one unmark + dead-mark so extension state is
+            // non-trivial.
+            tree.unmark((VertexId(100), StateId(1)));
+            let mut remap = Vec::new();
+            assert!(tree.maybe_compact(&mut remap), "fixture must compact");
+        }
+        forest.validate().unwrap();
+
+        let mut w = ByteWriter::new();
+        encode_forest(&mut w, &forest);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let restored: Forest<Markings> = decode_forest(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        restored.validate().unwrap();
+        assert_eq!(restored.to_snapshot(), forest.to_snapshot());
+        // Slot assignment survives: the next insertion lands identically
+        // on both sides.
+        let mut restored = restored;
+        let t1 = forest.tree_mut(VertexId(0)).unwrap();
+        let a = t1.add_child(
+            t1.root_id(),
+            VertexId(200),
+            StateId(1),
+            Label(0),
+            Timestamp(9),
+        );
+        let t2 = restored.tree_mut(VertexId(0)).unwrap();
+        let b = t2.add_child(
+            t2.root_id(),
+            VertexId(200),
+            StateId(1),
+            Label(0),
+            Timestamp(9),
+        );
+        assert_eq!(a, b, "slot assignment diverged after recovery");
     }
 }

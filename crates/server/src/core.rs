@@ -381,12 +381,16 @@ impl EngineCore {
             }
             Cmd::Stats { reply } => {
                 let engine = self.host.registry();
-                let eval_ns = engine
-                    .query_ids()
-                    .into_iter()
-                    .filter_map(|id| engine.stats(id))
-                    .map(|s| s.eval_ns)
-                    .sum();
+                let (mut eval_ns, mut delta_nodes_live, mut delta_capacity, mut compactions) =
+                    (0u64, 0u64, 0u64, 0u64);
+                for id in engine.query_ids() {
+                    if let Some(s) = engine.stats(id) {
+                        eval_ns += s.eval_ns;
+                        delta_nodes_live += s.delta_nodes_live;
+                        delta_capacity += s.delta_capacity;
+                        compactions += s.compactions;
+                    }
+                }
                 let _ = reply.send(Msg::ServerStats(StatsSnapshot {
                     seq: self.seq,
                     live_queries: engine.n_queries() as u32,
@@ -397,6 +401,9 @@ impl EngineCore {
                     results_dropped: self.results_dropped,
                     workers: engine.workers() as u32,
                     eval_ns,
+                    delta_nodes_live,
+                    delta_capacity,
+                    compactions,
                 }));
             }
             Cmd::Shutdown { .. } => unreachable!("handled by run()"),

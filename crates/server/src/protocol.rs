@@ -23,7 +23,7 @@ use std::io::{self, Read, Write};
 /// Protocol revision spoken by this build. [`Msg::Hello`] carries the
 /// client's revision; the server refuses mismatches outright (no
 /// negotiation — both binaries come from this repository).
-pub const PROTO_VERSION: u16 = 2;
+pub const PROTO_VERSION: u16 = 3;
 
 /// What a subscriber wants done when its queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -125,6 +125,13 @@ pub struct StatsSnapshot {
     /// Total nanoseconds spent in per-query evaluation across all live
     /// queries.
     pub eval_ns: u64,
+    /// Live Δ nodes across all live queries (gauge).
+    pub delta_nodes_live: u64,
+    /// Total Δ arena slots across all live queries (gauge); the gap to
+    /// `delta_nodes_live` is arena fragmentation awaiting compaction.
+    pub delta_capacity: u64,
+    /// Δ arena compactions performed across all live queries.
+    pub compactions: u64,
 }
 
 /// A protocol message (client requests < 0x80 ≤ server responses).
@@ -447,6 +454,9 @@ impl Msg {
                 w.u64(s.results_dropped);
                 w.u32(s.workers);
                 w.u64(s.eval_ns);
+                w.u64(s.delta_nodes_live);
+                w.u64(s.delta_capacity);
+                w.u64(s.compactions);
                 K_SERVER_STATS
             }
             Msg::Error { msg } => {
@@ -569,6 +579,9 @@ impl Msg {
                 results_dropped: r.u64().map_err(e)?,
                 workers: r.u32().map_err(e)?,
                 eval_ns: r.u64().map_err(e)?,
+                delta_nodes_live: r.u64().map_err(e)?,
+                delta_capacity: r.u64().map_err(e)?,
+                compactions: r.u64().map_err(e)?,
             }),
             K_ERROR => Msg::Error {
                 msg: r.str().map_err(e)?,
@@ -684,6 +697,9 @@ mod tests {
                 results_dropped: 7,
                 workers: 4,
                 eval_ns: 8,
+                delta_nodes_live: 9,
+                delta_capacity: 12,
+                compactions: 1,
             }),
             Msg::Error { msg: "nope".into() },
         ]
