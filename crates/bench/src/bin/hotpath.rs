@@ -6,6 +6,10 @@
 //!
 //! - `aggregate`    — the 8-query single-thread smoke workload (the
 //!   perf-trajectory anchor; acceptance gates on this row's speedup).
+//! - `multi_agg`    — the same 8 queries through the shared-window
+//!   `MultiQueryEngine`, the multi-query hot path the serving layer
+//!   drives. This row pins the cost of the per-stage accounting
+//!   (`StageTotals` deltas) that feeds the observability layer.
 //! - `expiry_scan`  — slide β = 1, so every timestamp advance runs a
 //!   window slide: dominated by the Δ-arena threshold scan.
 //! - `extend_loop`  — window larger than the stream, so nothing ever
@@ -28,7 +32,7 @@
 //! The source intentionally sticks to bench-lib APIs that predate the
 //! arena rework, so the identical file builds in the baseline worktree.
 
-use srpq_bench::{gmark_fixture, jsonout, make_engine, run_engine};
+use srpq_bench::{compile_query, gmark_fixture, jsonout, make_engine, run_engine};
 use srpq_common::{LabelInterner, StreamTuple, Timestamp, VertexId};
 use srpq_core::engine::{Engine, PathSemantics};
 use srpq_core::sink::CountSink;
@@ -44,7 +48,13 @@ use std::time::{Duration, Instant};
 const BUDGET: Duration = Duration::from_secs(120);
 
 /// Row names in execution order.
-const ROWS: [&str; 4] = ["aggregate", "expiry_scan", "extend_loop", "alloc_steady"];
+const ROWS: [&str; 5] = [
+    "aggregate",
+    "multi_agg",
+    "expiry_scan",
+    "extend_loop",
+    "alloc_steady",
+];
 
 // ---------------------------------------------------------------------
 // Counting allocator: a pass-through over the system allocator that
@@ -133,6 +143,7 @@ fn span_of(ds: &Dataset) -> i64 {
 fn run_row(name: &str, assert_zero_alloc: bool) -> Row {
     match name {
         "aggregate" => row_aggregate(),
+        "multi_agg" => row_multi_agg(),
         "expiry_scan" => row_expiry_scan(),
         "extend_loop" => row_extend_loop(),
         "alloc_steady" => row_alloc_steady(assert_zero_alloc),
@@ -156,6 +167,63 @@ fn row_aggregate() -> Row {
     Row {
         tuples,
         ns,
+        allocs: 0,
+    }
+}
+
+/// The same 8 queries sharing one window through `MultiQueryEngine`
+/// (single thread, batched ingestion) — the multi-query hot path the
+/// serving layer drives, including the per-batch stage accounting
+/// (route/eval/expiry `StageTotals`) the observability layer reads.
+/// Interleaved against the merge-base binary, this row bounds the
+/// accounting overhead; CI fails if it regresses beyond noise.
+fn row_multi_agg() -> Row {
+    struct CountMultiSink(u64);
+    impl srpq_core::multi::MultiSink for CountMultiSink {
+        fn emit(
+            &mut self,
+            _id: srpq_core::QueryId,
+            _pair: srpq_common::ResultPair,
+            _ts: Timestamp,
+        ) {
+            self.0 += 1;
+        }
+
+        fn invalidate(
+            &mut self,
+            _id: srpq_core::QueryId,
+            _pair: srpq_common::ResultPair,
+            _ts: Timestamp,
+        ) {
+        }
+    }
+    let (ds, queries) = gmark_fixture(1, 8);
+    let span = span_of(&ds);
+    let window = WindowPolicy::new((span / 4).max(4), (span / 40).max(1));
+    let mut multi =
+        srpq_core::MultiQueryEngine::with_config(srpq_core::EngineConfig::with_window(window));
+    for (i, q) in queries.iter().enumerate() {
+        multi
+            .register(
+                format!("q{i}"),
+                compile_query(&q.expr, &ds.labels),
+                PathSemantics::Arbitrary,
+            )
+            .expect("workload query registers");
+    }
+    let mut sink = CountMultiSink(0);
+    let started = Instant::now();
+    let mut driven = 0u64;
+    for chunk in ds.tuples.chunks(256) {
+        multi.process_batch(chunk, &mut sink);
+        driven += chunk.len() as u64;
+        if started.elapsed() > BUDGET {
+            break;
+        }
+    }
+    Row {
+        tuples: driven,
+        ns: started.elapsed().as_nanos() as u64,
         allocs: 0,
     }
 }

@@ -19,17 +19,18 @@ const USAGE: &str = "usage:
   srpq explain QUERY
   srpq run --query QUERY --stream FILE [--window W] [--slide B]
            [--semantics arbitrary|simple] [--print-results] [--limit N]
-           [--batch N] [--stats] [--refresh none|node|subtree]
-           [--workers N]
+           [--batch N] [--stats] [--stats-json FILE] [--trace]
+           [--refresh none|node|subtree] [--workers N]
            [--wal-dir DIR [--checkpoint-every N] [--sync none|batch|always]
             [--checkpoint logical|full]]
   srpq recover --wal-dir DIR --stream FILE [--batch N] [--print-results]
-           [--limit N] [--stats] [--sync ...] [--checkpoint-every N]
-           [--workers N]
+           [--limit N] [--stats] [--stats-json FILE] [--trace] [--sync ...]
+           [--checkpoint-every N] [--workers N]
   srpq wal-info --wal-dir DIR
   srpq serve --listen ADDR --window W [--slide B] [--refresh ...]
            [--workers N] [--wal-dir DIR [--sync ...] [--checkpoint ...]
             [--checkpoint-every N]] [--pipeline N]
+           [--metrics-addr ADDR] [--e2e-sample N]
   srpq ingest --connect ADDR --stream FILE [--batch N] [--limit N]
            [--resume] [--drain]
   srpq subscribe --connect ADDR [--queries a,b] [--policy block|drop]
@@ -38,7 +39,8 @@ const USAGE: &str = "usage:
            [--semantics arbitrary|simple] [--backfill]
   srpq query remove --connect ADDR --name N
   srpq query list --connect ADDR
-  srpq ctl drain|checkpoint|shutdown|stats --connect ADDR";
+  srpq ctl drain|checkpoint|shutdown|stats|metrics --connect ADDR
+  srpq ctl events --connect ADDR [--since SEQ]";
 
 /// Dispatches a command line.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -280,6 +282,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             None => EngineHost::Plain(engine),
         }
     };
+    let journal = args.flag("trace").then(srpq_obs::Journal::default);
     let outcome = drive_stream(
         &mut host,
         &tuples,
@@ -287,10 +290,18 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         limit,
         batch,
         args.flag("print-results"),
+        journal.as_ref(),
     )?;
     print_summary(
         args, &query_src, semantics, window, slide, batch, &outcome, &host,
     );
+    if let Some(journal) = &journal {
+        print_trace(journal);
+    }
+    if let Some(path) = args.get("stats-json") {
+        write_stats_json(path, &host, &outcome)?;
+        eprintln!("stats json:   {path}");
+    }
     Ok(())
 }
 
@@ -356,6 +367,16 @@ fn cmd_recover(args: &Args) -> Result<(), String> {
     let query_src = host.engine().query().regex().to_string();
     let semantics = host.engine().semantics();
     let window = host.engine().config().window;
+    let journal = args.flag("trace").then(srpq_obs::Journal::default);
+    if let Some(j) = &journal {
+        j.record(
+            srpq_obs::EventKind::Recovery,
+            format!(
+                "checkpoint_seq={} replayed={} elapsed_ms={}",
+                report.checkpoint_seq, report.replayed_tuples, report.elapsed_ms
+            ),
+        );
+    }
     let outcome = drive_stream(
         &mut host,
         &tuples,
@@ -363,6 +384,7 @@ fn cmd_recover(args: &Args) -> Result<(), String> {
         limit,
         batch,
         args.flag("print-results"),
+        journal.as_ref(),
     )?;
     print_summary(
         args,
@@ -374,6 +396,13 @@ fn cmd_recover(args: &Args) -> Result<(), String> {
         &outcome,
         &host,
     );
+    if let Some(journal) = &journal {
+        print_trace(journal);
+    }
+    if let Some(path) = args.get("stats-json") {
+        write_stats_json(path, &host, &outcome)?;
+        eprintln!("stats json:   {path}");
+    }
     Ok(())
 }
 
@@ -495,7 +524,9 @@ struct RunOutcome {
 
 /// Drives `tuples[start..]` (capped by `limit`) through the host in
 /// `batch`-sized chunks, measuring mean per-relevant-tuple latency per
-/// chunk, printing results when `print` is set.
+/// chunk, printing results when `print` is set. With `trace`, window
+/// slides, compactions, and checkpoints detected between chunks are
+/// recorded as journal events (replayed to stderr after the run).
 fn drive_stream(
     host: &mut EngineHost,
     tuples: &[StreamTuple],
@@ -503,20 +534,27 @@ fn drive_stream(
     limit: usize,
     batch: usize,
     print: bool,
+    trace: Option<&srpq_obs::Journal>,
 ) -> Result<RunOutcome, String> {
     let end = tuples.len().min(start.saturating_add(limit));
     let slice = &tuples[start.min(end)..end];
     let mut histogram = LatencyHistogram::new();
     let mut relevant = 0u64;
     let started = Instant::now();
+    #[allow(clippy::too_many_arguments)]
     fn chunk_loop<S: srpq_core::sink::ResultSink>(
         host: &mut EngineHost,
         slice: &[StreamTuple],
+        start: usize,
         batch: usize,
         histogram: &mut LatencyHistogram,
         relevant: &mut u64,
         sink: &mut S,
+        trace: Option<&srpq_obs::Journal>,
     ) -> Result<(), String> {
+        use srpq_obs::EventKind;
+        let mut pos = start;
+        let mut last = *host.engine().stats();
         for chunk in slice.chunks(batch.max(1)) {
             let chunk_relevant = chunk
                 .iter()
@@ -528,6 +566,38 @@ fn drive_stream(
             if let Some(per_tuple) = (t0.elapsed().as_nanos() as u64).checked_div(chunk_relevant) {
                 histogram.record(per_tuple);
             }
+            pos += chunk.len();
+            if let Some(journal) = trace {
+                let now = *host.engine().stats();
+                if now.expiry_runs > last.expiry_runs {
+                    journal.record(
+                        EventKind::SlideBoundary,
+                        format!(
+                            "pos={pos} expiry_runs+={} nodes_expired+={}",
+                            now.expiry_runs - last.expiry_runs,
+                            now.nodes_expired - last.nodes_expired
+                        ),
+                    );
+                }
+                if now.compactions > last.compactions {
+                    journal.record(
+                        EventKind::Compaction,
+                        format!(
+                            "pos={pos} compactions+={}",
+                            now.compactions - last.compactions
+                        ),
+                    );
+                }
+                if now.checkpoints_written > last.checkpoints_written {
+                    journal.record(
+                        EventKind::Checkpoint,
+                        format!("pos={pos} checkpoints+={}", {
+                            now.checkpoints_written - last.checkpoints_written
+                        }),
+                    );
+                }
+                last = now;
+            }
         }
         Ok(())
     }
@@ -536,10 +606,12 @@ fn drive_stream(
         chunk_loop(
             host,
             slice,
+            start,
             batch,
             &mut histogram,
             &mut relevant,
             &mut collect,
+            trace,
         )?;
         for &(p, ts) in collect.emitted() {
             println!("[{ts}] + ({}, {})", p.src.0, p.dst.0);
@@ -549,10 +621,12 @@ fn drive_stream(
         chunk_loop(
             host,
             slice,
+            start,
             batch,
             &mut histogram,
             &mut relevant,
             &mut count,
+            trace,
         )?;
     }
     Ok(RunOutcome {
@@ -561,6 +635,61 @@ fn drive_stream(
         histogram,
         elapsed: started.elapsed(),
     })
+}
+
+/// Replays a `--trace` journal to stderr, oldest first.
+fn print_trace(journal: &srpq_obs::Journal) {
+    for e in journal.since(0) {
+        eprintln!("trace #{:<5} {:<21} {}", e.seq, e.kind.name(), e.detail);
+    }
+}
+
+/// `--stats-json`: the final [`srpq_core::EngineStats`] and index size
+/// as one JSON object (hand-rolled — every field is an integer, so no
+/// escaping is needed).
+fn write_stats_json(path: &str, host: &EngineHost, outcome: &RunOutcome) -> Result<(), String> {
+    let stats = host.engine().stats();
+    let index = host.engine().index_size();
+    let mut fields: Vec<(&str, u64)> = vec![
+        ("tuples_processed", stats.tuples_processed),
+        ("tuples_discarded", stats.tuples_discarded),
+        ("deletions_processed", stats.deletions_processed),
+        ("insert_calls", stats.insert_calls),
+        ("results_emitted", stats.results_emitted),
+        ("results_invalidated", stats.results_invalidated),
+        ("expiry_runs", stats.expiry_runs),
+        ("nodes_expired", stats.nodes_expired),
+        ("expiry_nanos", stats.expiry_nanos),
+        ("conflicts_detected", stats.conflicts_detected),
+        ("nodes_unmarked", stats.nodes_unmarked),
+        ("budget_exhausted", stats.budget_exhausted),
+        ("tuples_routed", stats.tuples_routed),
+        ("eval_ns", stats.eval_ns),
+        ("wal_bytes", stats.wal_bytes),
+        ("wal_appends", stats.wal_appends),
+        ("fsyncs", stats.fsyncs),
+        ("checkpoints_written", stats.checkpoints_written),
+        ("last_recovery_ms", stats.last_recovery_ms),
+        ("delta_nodes_live", stats.delta_nodes_live),
+        ("delta_capacity", stats.delta_capacity),
+        ("compactions", stats.compactions),
+        ("index_trees", index.trees as u64),
+        ("index_nodes", index.nodes as u64),
+        ("index_arena_bytes", index.arena_bytes as u64),
+        ("tuples_driven", outcome.processed as u64),
+        ("tuples_relevant", outcome.relevant),
+        ("results_live", host.engine().result_count() as u64),
+        ("elapsed_ns", outcome.elapsed.as_nanos() as u64),
+        ("latency_p50_ns", outcome.histogram.quantile(0.5)),
+        ("latency_p99_ns", outcome.histogram.p99()),
+    ];
+    fields.sort_unstable_by_key(|&(k, _)| k);
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    let json = format!("{{\n{}\n}}\n", body.join(",\n"));
+    std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -701,11 +830,36 @@ mod tests {
             "run", "--query", "a2q c2a*", "--stream", path_s, "--limit", "1500",
         ]))
         .unwrap();
-        // Batched ingestion path.
+        // Batched ingestion path, with the JSON stats dump and trace.
+        let json = dir.join("stats.json");
+        let json_s = json.to_str().unwrap();
         dispatch(&argv(&[
-            "run", "--query", "a2q c2a*", "--stream", path_s, "--limit", "1500", "--batch", "64",
+            "run",
+            "--query",
+            "a2q c2a*",
+            "--stream",
+            path_s,
+            "--limit",
+            "1500",
+            "--batch",
+            "64",
+            "--stats-json",
+            json_s,
+            "--trace",
         ]))
         .unwrap();
+        let dumped = std::fs::read_to_string(&json).unwrap();
+        assert!(dumped.starts_with("{\n"), "not a JSON object: {dumped}");
+        for key in [
+            "tuples_processed",
+            "results_emitted",
+            "index_arena_bytes",
+            "elapsed_ns",
+            "latency_p99_ns",
+        ] {
+            assert!(dumped.contains(&format!("\"{key}\": ")), "missing {key}");
+        }
+        std::fs::remove_file(&json).ok();
         assert!(dispatch(&argv(&[
             "run", "--query", "a2q", "--stream", path_s, "--batch", "0",
         ]))

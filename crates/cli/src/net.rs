@@ -53,8 +53,13 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
         durability: crate::commands::durability_config(args)?,
         pipeline_depth: args.get_num("pipeline", 16usize)?,
         workers,
+        metrics_addr: args.get("metrics-addr").map(str::to_string),
+        e2e_sample: args.get_num("e2e-sample", 1u32)?,
     };
     let handle = srpq_server::start(config)?;
+    if let Some(maddr) = handle.metrics_addr() {
+        eprintln!("metrics:      http://{maddr}/metrics (Prometheus text)");
+    }
     match (&wal_dir, &handle.recovery) {
         (Some(dir), Some(report)) => eprintln!(
             "recovered:    checkpoint @{} ({}), {} WAL tuples replayed in {} ms from {}",
@@ -299,10 +304,41 @@ pub fn cmd_ctl(args: &Args) -> Result<(), String> {
                 "delta occupancy:  {} live / {} slots ({} compactions)",
                 s.delta_nodes_live, s.delta_capacity, s.compactions
             );
+            // Per-worker eval/expiry ledgers (parallel hosts; the last
+            // entry is the coordinator's inline share).
+            let n = s.worker_ns.len();
+            for (i, (eval, expiry)) in s.worker_ns.iter().enumerate() {
+                let who = if i + 1 == n {
+                    "coord".to_string()
+                } else {
+                    format!("w{i}")
+                };
+                println!(
+                    "  {who:<6} eval {:.1}ms  expiry {:.1}ms",
+                    *eval as f64 / 1e6,
+                    *expiry as f64 / 1e6
+                );
+            }
+            Ok(())
+        }
+        Some("metrics") => {
+            let text = client.metrics().map_err(|e| e.to_string())?;
+            print!("{text}");
+            Ok(())
+        }
+        Some("events") => {
+            let since: u64 = args.get_num("since", 0u64)?;
+            let events = client.events(since).map_err(|e| e.to_string())?;
+            for e in events {
+                let kind = srpq_obs::EventKind::from_u8(e.kind)
+                    .map(|k| k.name())
+                    .unwrap_or("unknown");
+                println!("#{:<6} {:>13}  {:<21} {}", e.seq, e.unix_ms, kind, e.detail);
+            }
             Ok(())
         }
         other => Err(format!(
-            "ctl needs drain|checkpoint|shutdown|stats, got {other:?} (see usage)"
+            "ctl needs drain|checkpoint|shutdown|stats|metrics|events, got {other:?} (see usage)"
         )),
     }
 }

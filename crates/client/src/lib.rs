@@ -19,8 +19,8 @@
 #![warn(clippy::all)]
 
 use srpq_common::{Label, StreamTuple};
+pub use srpq_server::protocol::{EventWire, ResultEntry, SubPolicy as SubscriptionPolicy};
 use srpq_server::protocol::{Msg, QueryInfo, StatsSnapshot, SubPolicy, PROTO_VERSION};
-pub use srpq_server::protocol::{ResultEntry, SubPolicy as SubscriptionPolicy};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -196,6 +196,26 @@ impl Client {
     pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
         match self.call(Msg::Stats)? {
             Msg::ServerStats(s) => Ok(s),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// The server's metrics in Prometheus text exposition format (the
+    /// same document `GET /metrics` serves when the server runs with a
+    /// metrics listener).
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.call(Msg::Metrics)? {
+            Msg::MetricsText { text } => Ok(text),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Structured events from the server's bounded journal with
+    /// sequence numbers strictly greater than `since` (pass 0 for
+    /// everything still retained).
+    pub fn events(&mut self, since: u64) -> io::Result<Vec<EventWire>> {
+        match self.call(Msg::Events { since })? {
+            Msg::EventList { events } => Ok(events),
             other => Err(proto_err(format!("unexpected reply {other:?}"))),
         }
     }

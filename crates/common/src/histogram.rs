@@ -78,6 +78,22 @@ impl LatencyHistogram {
         self.min = self.min.min(value);
     }
 
+    /// Records `n` samples of the same value in one update. Used when a
+    /// single measured event stands for a batch of logical samples
+    /// (e.g. one subscriber frame carrying many results): the histogram
+    /// count then equals the logical sample count exactly.
+    #[inline]
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_index(value)] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -121,7 +137,11 @@ impl LatencyHistogram {
         }
     }
 
-    /// Value at quantile `q ∈ [0, 1]` (bucket lower bound; 0 if empty).
+    /// Value at quantile `q ∈ [0, 1]` (0 if empty). Reports the
+    /// midpoint of the winning bucket — halving the worst-case error
+    /// versus the raw bucket floor — clamped to the observed
+    /// `[min, max]` range. Buckets below `SUB_BUCKETS` hold a single
+    /// value each, so small samples are still reported exactly.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -132,10 +152,45 @@ impl LatencyHistogram {
         for (idx, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Self::bucket_floor(idx).min(self.max).max(self.min);
+                let floor = Self::bucket_floor(idx);
+                let next = if idx + 1 < MAGNITUDES * SUB_BUCKETS {
+                    Self::bucket_floor(idx + 1)
+                } else {
+                    u64::MAX
+                };
+                let mid = floor + next.saturating_sub(floor) / 2;
+                return mid.min(self.max).max(self.min);
             }
         }
         self.max
+    }
+
+    /// Total of all recorded samples (exact, not bucket-approximated).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Cumulative bucket counts as `(upper_bound, cumulative_count)`
+    /// pairs, one per non-empty bucket, in ascending order — the shape
+    /// a Prometheus histogram's `_bucket{le="…"}` series needs. The
+    /// upper bound is inclusive (the largest value the bucket can
+    /// hold); the final bucket reports `u64::MAX`.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            let le = if idx + 1 < MAGNITUDES * SUB_BUCKETS {
+                Self::bucket_floor(idx + 1) - 1
+            } else {
+                u64::MAX
+            };
+            out.push((le, cum));
+        }
+        out
     }
 
     /// 50th percentile.
@@ -267,6 +322,79 @@ mod tests {
             assert!(floor >= last, "idx={idx} floor={floor} last={last}");
             last = floor;
         }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        // Property: for any sample set and q1 <= q2,
+        // quantile(q1) <= quantile(q2). Exercise several distributions
+        // (uniform, exponential-ish, point mass, extremes).
+        let mut xorshift = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            xorshift ^= xorshift << 13;
+            xorshift ^= xorshift >> 7;
+            xorshift ^= xorshift << 17;
+            xorshift
+        };
+        let mut sets: Vec<Vec<u64>> =
+            vec![(0..1000).collect(), vec![42; 500], vec![0, 1, u64::MAX]];
+        let mut random = Vec::new();
+        for _ in 0..2000 {
+            let r = next();
+            random.push(r >> (r % 60) as u32); // spread across magnitudes
+        }
+        sets.push(random);
+        for samples in &sets {
+            let mut h = LatencyHistogram::new();
+            for &v in samples {
+                h.record(v);
+            }
+            let mut last = 0u64;
+            for i in 0..=100 {
+                let q = i as f64 / 100.0;
+                let v = h.quantile(q);
+                assert!(v >= last, "q={q} v={v} last={last}");
+                last = v;
+            }
+            assert!(h.quantile(0.0) >= h.min());
+            assert!(h.quantile(1.0) <= h.max());
+        }
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for _ in 0..37 {
+            a.record(1234);
+        }
+        b.record_n(1234, 37);
+        b.record_n(9999, 0); // no-op
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.sum(), b.sum());
+        assert_eq!(a.p50(), b.p50());
+        assert_eq!(a.max(), b.max());
+        assert_eq!(a.min(), b.min());
+    }
+
+    #[test]
+    fn cumulative_buckets_cover_all_samples() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 5, 5, 100, 100_000, u64::MAX] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        // Ascending le, ascending cumulative, final cum == count.
+        let mut last_le = 0u64;
+        let mut last_cum = 0u64;
+        for &(le, cum) in &buckets {
+            assert!(le >= last_le);
+            assert!(cum > last_cum);
+            last_le = le;
+            last_cum = cum;
+        }
+        assert_eq!(buckets.last().unwrap().1, h.count());
+        assert_eq!(buckets.last().unwrap().0, u64::MAX);
     }
 
     #[test]

@@ -41,7 +41,7 @@
 use crate::config::EngineConfig;
 use crate::engine::{Engine, PathSemantics};
 use crate::sink::ResultSink;
-use crate::stats::{EngineStats, IndexSize};
+use crate::stats::{EngineStats, IndexSize, StageTotals};
 use srpq_automata::CompiledQuery;
 use srpq_common::{FxHashMap, Label, ResultPair, StreamTuple, Timestamp};
 use srpq_graph::{WindowGraph, WindowPolicy};
@@ -164,6 +164,9 @@ pub struct MultiQueryEngine {
     /// be half-applied, so further processing is refused (see
     /// [`Self::process_batch`]).
     poisoned: bool,
+    /// Cumulative stage timings of the batch path (see
+    /// [`Self::stage_totals`]).
+    stage: StageTotals,
 }
 
 impl MultiQueryEngine {
@@ -187,7 +190,17 @@ impl MultiQueryEngine {
             tuples_routed: 0,
             route_scratch: Vec::new(),
             poisoned: false,
+            stage: StageTotals::default(),
         }
+    }
+
+    /// Cumulative time spent in the batch path ([`Self::process_batch`]),
+    /// split into routing (everything outside per-query evaluation) and
+    /// evaluation (with its expiry slice). Monotone counters — an
+    /// observability layer turns per-batch deltas into stage latency
+    /// histograms without the engine depending on any metrics crate.
+    pub fn stage_totals(&self) -> StageTotals {
+        self.stage
     }
 
     /// Registers a query under the engine's shared window. Returns its
@@ -248,6 +261,7 @@ impl MultiQueryEngine {
             .as_mut()
             .expect("just registered");
         let mut tagged = TagSink { id, inner: sink };
+        let t0 = std::time::Instant::now();
         for (u, v, label, ts) in replay {
             reg.engine.process_with_graph(
                 &mut self.graph,
@@ -255,6 +269,9 @@ impl MultiQueryEngine {
                 &mut tagged,
             );
         }
+        // Attribute the replay to the new query's evaluation time, like
+        // any other dispatch into its engine.
+        reg.engine.stats_mut().eval_ns += t0.elapsed().as_nanos() as u64;
         Ok(id)
     }
 
@@ -491,6 +508,9 @@ impl MultiQueryEngine {
         self.poisoned = true; // cleared on orderly completion
         let routing = std::mem::take(&mut self.routing);
         let window = self.window;
+        let t_batch = std::time::Instant::now();
+        let mut batch_eval = 0u64;
+        let mut batch_expiry = 0u64;
         let mut i = 0;
         while i < batch.len() {
             let (len, group_now) = window.slide_group(self.now, &batch[i..], |t| t.ts);
@@ -514,18 +534,27 @@ impl MultiQueryEngine {
                         id: QueryId(qi),
                         inner: sink,
                     };
+                    let expiry0 = reg.engine.stats().expiry_nanos;
                     let t0 = std::time::Instant::now();
                     reg.engine
                         .process_with_graph(&mut self.graph, t, &mut tagged);
+                    let elapsed = t0.elapsed().as_nanos() as u64;
                     let stats = reg.engine.stats_mut();
                     stats.tuples_routed += 1;
-                    stats.eval_ns += t0.elapsed().as_nanos() as u64;
+                    stats.eval_ns += elapsed;
+                    batch_eval += elapsed;
+                    batch_expiry += stats.expiry_nanos - expiry0;
                 }
             }
             i += len;
         }
         self.routing = routing;
         self.poisoned = false;
+        let total = t_batch.elapsed().as_nanos() as u64;
+        self.stage.batches += 1;
+        self.stage.eval_ns += batch_eval;
+        self.stage.expiry_ns += batch_expiry;
+        self.stage.route_ns += total.saturating_sub(batch_eval);
     }
 
     fn assert_usable(&self) {

@@ -50,7 +50,7 @@ use crate::engine::{Engine, PathSemantics};
 use crate::multi::MultiQueryEngine;
 use crate::multi::{MultiSink, QueryError, QueryId, TagSink};
 use crate::sink::ResultSink;
-use crate::stats::{EngineStats, IndexSize};
+use crate::stats::{EngineStats, IndexSize, StageTotals};
 use srpq_automata::CompiledQuery;
 use srpq_common::{FxHashMap, Label, Op, ResultPair, StreamTuple, Timestamp};
 use srpq_graph::{Visibility, WindowGraph, WindowPolicy};
@@ -128,10 +128,15 @@ enum Job {
 }
 
 /// A worker's reply: the engines (with their Δ forests mutated) and the
-/// events they produced, in `(pos, own-queries-ascending)` order.
+/// events they produced, in `(pos, own-queries-ascending)` order, plus
+/// the job's evaluation/expiry wall-clock so the coordinator can keep
+/// honest per-worker totals (mirroring every `eval_ns` increment the
+/// job applied to per-query stats).
 struct JobOut {
     slots: Vec<(u32, ParSlot)>,
     events: Vec<Ev>,
+    eval_ns: u64,
+    expiry_ns: u64,
 }
 
 struct Worker {
@@ -150,6 +155,8 @@ fn worker_loop(jobs: Receiver<Job>, results: Sender<JobOut>) {
                 mut slots,
             } => {
                 let mut events = Vec::new();
+                let mut eval_ns = 0u64;
+                let mut expiry_ns = 0u64;
                 for (pos, t) in tuples.iter().enumerate() {
                     for (qi, slot) in slots.iter_mut() {
                         // Label routing, per engine: alphabet membership
@@ -157,6 +164,7 @@ fn worker_loop(jobs: Receiver<Job>, results: Sender<JobOut>) {
                         if !slot.engine.query().dfa().knows_label(t.label) {
                             continue;
                         }
+                        let expiry0 = slot.engine.stats().expiry_nanos;
                         let t0 = std::time::Instant::now();
                         let mut sink = EvSink {
                             events: &mut events,
@@ -178,9 +186,12 @@ fn worker_loop(jobs: Receiver<Job>, results: Sender<JobOut>) {
                             *t,
                             &mut sink,
                         );
+                        let elapsed = t0.elapsed().as_nanos() as u64;
                         let stats = slot.engine.stats_mut();
                         stats.tuples_routed += 1;
-                        stats.eval_ns += t0.elapsed().as_nanos() as u64;
+                        stats.eval_ns += elapsed;
+                        eval_ns += elapsed;
+                        expiry_ns += stats.expiry_nanos - expiry0;
                     }
                 }
                 // Release the graph before replying: the coordinator
@@ -189,11 +200,19 @@ fn worker_loop(jobs: Receiver<Job>, results: Sender<JobOut>) {
                 drop(graph);
                 drop(tuples);
                 drop(first_targets);
-                JobOut { slots, events }
+                JobOut {
+                    slots,
+                    events,
+                    eval_ns,
+                    expiry_ns,
+                }
             }
             Job::Expire { graph, mut slots } => {
                 let mut events = Vec::new();
+                let mut eval_ns = 0u64;
+                let mut expiry_ns = 0u64;
                 for (qi, slot) in slots.iter_mut() {
+                    let expiry0 = slot.engine.stats().expiry_nanos;
                     let t0 = std::time::Instant::now();
                     let mut sink = EvSink {
                         events: &mut events,
@@ -202,10 +221,19 @@ fn worker_loop(jobs: Receiver<Job>, results: Sender<JobOut>) {
                     };
                     slot.engine
                         .expire_delta_with_graph(&graph, Visibility::ALL, &mut sink);
-                    slot.engine.stats_mut().eval_ns += t0.elapsed().as_nanos() as u64;
+                    let elapsed = t0.elapsed().as_nanos() as u64;
+                    let stats = slot.engine.stats_mut();
+                    stats.eval_ns += elapsed;
+                    eval_ns += elapsed;
+                    expiry_ns += stats.expiry_nanos - expiry0;
                 }
                 drop(graph);
-                JobOut { slots, events }
+                JobOut {
+                    slots,
+                    events,
+                    eval_ns,
+                    expiry_ns,
+                }
             }
         };
         if results.send(out).is_err() {
@@ -240,6 +268,18 @@ pub struct ParallelMultiEngine {
     /// Retained merge buffer.
     events_scratch: Vec<Ev>,
     poisoned: bool,
+    /// Per-worker `(eval_ns, expiry_ns)` totals, index-aligned with
+    /// `pool` (see [`Self::worker_totals`]).
+    worker_ns: Vec<(u64, u64)>,
+    /// Evaluation/expiry time spent inline on the coordinator
+    /// (singleton stage A, backfill replay).
+    coord_ns: (u64, u64),
+    /// Worker-wait time of the batch in flight (reset per batch; what
+    /// the coordinator spends blocked on worker replies, excluded from
+    /// `route_ns`).
+    wait_scratch_ns: u64,
+    /// Cumulative batch counters (see [`Self::stage_totals`]).
+    stage: StageTotals,
 }
 
 impl ParallelMultiEngine {
@@ -265,7 +305,41 @@ impl ParallelMultiEngine {
             group_edges: FxHashMap::default(),
             events_scratch: Vec::new(),
             poisoned: false,
+            worker_ns: vec![(0, 0); n_workers.max(1)],
+            coord_ns: (0, 0),
+            wait_scratch_ns: 0,
+            stage: StageTotals::default(),
         }
+    }
+
+    /// Per-worker `(eval_ns, expiry_ns)` totals: the wall-clock each
+    /// worker thread spent inside per-query evaluation calls, and the
+    /// expiry slice thereof. Together with [`Self::coord_totals`] this
+    /// partitions the cluster's evaluation time by the thread that
+    /// actually spent it: summing per-query `eval_ns` over
+    /// [`Self::stats`] equals worker totals plus coordinator totals
+    /// (while no query has been deregistered — dropping a query drops
+    /// its side of the ledger).
+    pub fn worker_totals(&self) -> &[(u64, u64)] {
+        &self.worker_ns
+    }
+
+    /// `(eval_ns, expiry_ns)` spent inline on the coordinator thread
+    /// (mutating-singleton stage A and backfill replay).
+    pub fn coord_totals(&self) -> (u64, u64) {
+        self.coord_ns
+    }
+
+    /// Cumulative stage timings of the batch path. `route_ns` is
+    /// coordinator-exclusive time (planning, graph application, merge —
+    /// worker-wait excluded); `eval_ns`/`expiry_ns` are derived from
+    /// the per-worker and coordinator ledgers, so they keep counting
+    /// evaluation wall-clock even when workers overlap.
+    pub fn stage_totals(&self) -> StageTotals {
+        let mut totals = self.stage;
+        totals.eval_ns = self.coord_ns.0 + self.worker_ns.iter().map(|w| w.0).sum::<u64>();
+        totals.expiry_ns = self.coord_ns.1 + self.worker_ns.iter().map(|w| w.1).sum::<u64>();
+        totals
     }
 
     /// Number of worker threads.
@@ -282,6 +356,14 @@ impl ParallelMultiEngine {
         self.assert_usable();
         shutdown_pool(&mut self.pool);
         self.pool = spawn_pool(n_workers.max(1));
+        // The outgoing pool's evaluation ledger folds into the
+        // coordinator's, conserving total attributed time across the
+        // resize; the new workers start from zero.
+        for &(eval, expiry) in &self.worker_ns {
+            self.coord_ns.0 += eval;
+            self.coord_ns.1 += expiry;
+        }
+        self.worker_ns = vec![(0, 0); self.pool.len()];
     }
 
     fn assert_usable(&self) {
@@ -335,6 +417,8 @@ impl ParallelMultiEngine {
         replay.sort_by_key(|&(.., ts)| ts);
         let slot = self.slots[id.0 as usize].as_mut().expect("just registered");
         let mut tagged = TagSink { id, inner: sink };
+        let expiry0 = slot.engine.stats().expiry_nanos;
+        let t0 = std::time::Instant::now();
         for (u, v, label, ts) in replay {
             slot.engine.process_with_graph(
                 graph,
@@ -342,6 +426,13 @@ impl ParallelMultiEngine {
                 &mut tagged,
             );
         }
+        // Attribute the replay to the new query's evaluation time (as
+        // the sequential engine does) and to the coordinator's ledger.
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        let stats = slot.engine.stats_mut();
+        stats.eval_ns += elapsed;
+        self.coord_ns.0 += elapsed;
+        self.coord_ns.1 += stats.expiry_nanos - expiry0;
         Ok(id)
     }
 
@@ -385,6 +476,8 @@ impl ParallelMultiEngine {
             return;
         }
         self.poisoned = true; // cleared on orderly completion
+        let t_batch = std::time::Instant::now();
+        self.wait_scratch_ns = 0;
         let mut i = 0;
         while i < batch.len() {
             let (len, two_stage) = self.plan_group(&batch[i..]);
@@ -397,6 +490,12 @@ impl ParallelMultiEngine {
             i += len;
         }
         self.poisoned = false;
+        // Coordinator-exclusive routing time: planning, graph
+        // application, and merge — the blocked-on-workers span (whose
+        // time the worker ledgers own) subtracted out.
+        let total = t_batch.elapsed().as_nanos() as u64;
+        self.stage.batches += 1;
+        self.stage.route_ns += total.saturating_sub(self.wait_scratch_ns);
     }
 
     /// Forces an expiry pass for every live query (and a shared graph
@@ -517,10 +616,15 @@ impl ParallelMultiEngine {
                 pos: 0,
                 query: first,
             };
+            let expiry0 = slot.engine.stats().expiry_nanos;
             let t0 = std::time::Instant::now();
             slot.engine
                 .advance_with_graph(&self.graph, Visibility::ALL, t.ts, &mut ev);
-            slot.engine.stats_mut().eval_ns += t0.elapsed().as_nanos() as u64;
+            let elapsed = t0.elapsed().as_nanos() as u64;
+            let stats = slot.engine.stats_mut();
+            stats.eval_ns += elapsed;
+            self.coord_ns.0 += elapsed;
+            self.coord_ns.1 += stats.expiry_nanos - expiry0;
         }
 
         // Apply the mutation.
@@ -638,11 +742,15 @@ impl ParallelMultiEngine {
         sink: &mut S,
     ) {
         for w in pending {
+            let t_wait = std::time::Instant::now();
             let Ok(out) = self.pool[w].results.recv() else {
                 // The worker unwound mid-batch; its queries are gone and
                 // `poisoned` stays set — surface it loudly.
                 panic!("ParallelMultiEngine worker {w} panicked; engine is poisoned");
             };
+            self.wait_scratch_ns += t_wait.elapsed().as_nanos() as u64;
+            self.worker_ns[w].0 += out.eval_ns;
+            self.worker_ns[w].1 += out.expiry_ns;
             for (qi, slot) in out.slots {
                 self.slots[qi as usize] = Some(slot);
             }
@@ -1029,6 +1137,85 @@ mod tests {
         );
         assert!(multi.has_result(id1, ResultPair::new(v(0), v(2))));
         assert_eq!(multi.n_queries(), 2);
+    }
+
+    #[test]
+    fn eval_time_ledger_is_conserved_across_workers() {
+        // Per-query `eval_ns` must sum to exactly what the per-worker
+        // and coordinator ledgers recorded: every increment applied to
+        // a query's stats is mirrored into whichever thread spent it
+        // (worker batch/expire jobs, coordinator singleton stage A and
+        // backfill replay).
+        for n_workers in [1, 2, 3] {
+            let mut labels = LabelInterner::new();
+            let qa = CompiledQuery::compile("a b*", &mut labels).unwrap();
+            let qb = CompiledQuery::compile("(a | b)+", &mut labels).unwrap();
+            let a = labels.get("a").unwrap();
+            let b = labels.get("b").unwrap();
+            let v = VertexId;
+            let mut multi = ParallelMultiEngine::new(WindowPolicy::new(20, 4), n_workers);
+            multi.register("qa", qa, PathSemantics::Arbitrary).unwrap();
+            multi.register("qb", qb, PathSemantics::Arbitrary).unwrap();
+            let mut sink = MultiCollectSink::default();
+            let stream: Vec<StreamTuple> = (0..100)
+                .map(|i| {
+                    let label = if i % 2 == 0 { a } else { b };
+                    StreamTuple::insert(
+                        Timestamp(i as i64 / 2),
+                        v(i % 6),
+                        v((i * 5 + 1) % 6),
+                        label,
+                    )
+                })
+                .collect();
+            for chunk in stream.chunks(16) {
+                multi.process_batch(chunk, &mut sink);
+            }
+            // Exercise every eval site: deletion singleton, explicit
+            // expiry, and a backfilled registration.
+            multi.process(StreamTuple::delete(Timestamp(49), v(0), v(1), a), &mut sink);
+            multi.expire_now(&mut sink);
+            let qc = CompiledQuery::compile("b a", &mut labels).unwrap();
+            multi
+                .register_backfilled("qc", qc, PathSemantics::Arbitrary, &mut sink)
+                .unwrap();
+
+            let per_query_eval: u64 = multi
+                .query_ids()
+                .iter()
+                .map(|&id| multi.stats(id).unwrap().eval_ns)
+                .sum();
+            let per_query_expiry: u64 = multi
+                .query_ids()
+                .iter()
+                .map(|&id| multi.stats(id).unwrap().expiry_nanos)
+                .sum();
+            let ledger_eval: u64 =
+                multi.coord_totals().0 + multi.worker_totals().iter().map(|w| w.0).sum::<u64>();
+            let ledger_expiry: u64 =
+                multi.coord_totals().1 + multi.worker_totals().iter().map(|w| w.1).sum::<u64>();
+            assert_eq!(
+                per_query_eval, ledger_eval,
+                "{n_workers} workers: eval ledger diverged"
+            );
+            assert_eq!(
+                per_query_expiry, ledger_expiry,
+                "{n_workers} workers: expiry ledger diverged"
+            );
+            assert!(per_query_eval > 0, "work happened, so time was spent");
+            let stage = multi.stage_totals();
+            assert_eq!(stage.eval_ns, ledger_eval);
+            assert_eq!(stage.expiry_ns, ledger_expiry);
+            assert!(stage.batches > 0);
+
+            // Resizing folds worker ledgers into the coordinator's —
+            // the total is conserved.
+            multi.resize_workers(2);
+            assert_eq!(
+                multi.coord_totals().0 + multi.worker_totals().iter().map(|w| w.0).sum::<u64>(),
+                ledger_eval
+            );
+        }
     }
 
     #[test]

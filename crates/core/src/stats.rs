@@ -81,6 +81,26 @@ pub struct EngineStats {
     pub compactions: u64,
 }
 
+/// Cumulative per-stage time spent inside a multi-query host's batch
+/// path, split the way the serving pipeline is staged: routing (label
+/// lookup, slide grouping, shared-graph maintenance, fan-out
+/// bookkeeping), evaluation (per-query Δ extension — includes expiry),
+/// and expiry alone (the window-management slice of evaluation,
+/// Fig. 6b). An observability layer records per-batch deltas of these
+/// counters into stage histograms; the engines themselves stay free of
+/// any metrics dependency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTotals {
+    /// Batches processed through the batch path.
+    pub batches: u64,
+    /// Nanoseconds of batch time outside per-query evaluation calls.
+    pub route_ns: u64,
+    /// Nanoseconds inside per-query evaluation calls (expiry included).
+    pub eval_ns: u64,
+    /// Nanoseconds of evaluation spent in expiry passes.
+    pub expiry_ns: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

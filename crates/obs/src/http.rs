@@ -1,0 +1,149 @@
+//! A tiny hand-rolled HTTP/1.0 responder serving `GET /metrics`.
+//!
+//! One accept thread, one short-lived handler per connection, no
+//! keep-alive, no dependencies. This is deliberately minimal: the only
+//! client it must satisfy is a Prometheus scraper or `curl`.
+
+use crate::Obs;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running `/metrics` listener. Stop it explicitly with
+/// [`MetricsServer::stop`] or let `Drop` do it.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` and serves `obs`'s registry as Prometheus text on
+    /// `GET /metrics` until stopped. Bind errors surface immediately;
+    /// per-connection errors are swallowed (a half-open scraper must
+    /// not kill the exporter).
+    pub fn start(addr: impl ToSocketAddrs, obs: Obs) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("srpq-metrics".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        let _ = handle(stream, &obs);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread. Idempotent.
+    pub fn stop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.stop.store(true, Ordering::Release);
+            // Unblock the accept call with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+fn handle(stream: TcpStream, obs: &Obs) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients see a clean close.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = if method == "GET" && (path == "/metrics" || path == "/metrics/") {
+        ("200 OK", obs.render_prometheus())
+    } else {
+        ("404 Not Found", "not found; try /metrics\n".to_string())
+    };
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_404s_elsewhere() {
+        let obs = Obs::new();
+        obs.registry().counter("srpq_http_test_total", &[]).add(9);
+        let mut srv = MetricsServer::start("127.0.0.1:0", obs.clone()).unwrap();
+        let addr = srv.local_addr();
+
+        let resp = get(addr, "/metrics");
+        assert!(resp.starts_with("HTTP/1.0 200 OK"), "{resp}");
+        assert!(resp.contains("srpq_http_test_total 9"), "{resp}");
+
+        // Scrapes observe live updates.
+        obs.registry().counter("srpq_http_test_total", &[]).inc();
+        let resp = get(addr, "/metrics");
+        assert!(resp.contains("srpq_http_test_total 10"), "{resp}");
+
+        let resp = get(addr, "/other");
+        assert!(resp.starts_with("HTTP/1.0 404"), "{resp}");
+
+        srv.stop();
+        srv.stop(); // idempotent
+    }
+}

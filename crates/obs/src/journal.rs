@@ -1,0 +1,237 @@
+//! A bounded event journal: a fixed-size ring of structured events
+//! with monotonic sequence numbers. Hosts record state transitions
+//! (slide boundaries, compactions, checkpoints, backpressure drops,
+//! subscriber churn, recovery, poisoning); operators replay the ring
+//! via `ctl events [--since seq]` or `run --trace`.
+//!
+//! Sequence numbers never reset while the process lives, so a reader
+//! polling with `--since <last seen>` observes every retained event
+//! exactly once and can detect loss (a gap between its cursor and the
+//! oldest retained seq means the ring wrapped past it).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Default ring capacity. At one event per slide/checkpoint/connect
+/// this covers hours of operation in a few hundred KiB.
+pub const JOURNAL_CAPACITY: usize = 4096;
+
+/// What happened. The discriminant is stable wire currency (the
+/// `ctl events` protocol frame carries it as a `u8`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// The window crossed a slide boundary (expiry watermark advanced).
+    SlideBoundary = 0,
+    /// A Δ arena compaction ran.
+    Compaction = 1,
+    /// A checkpoint was written.
+    Checkpoint = 2,
+    /// A subscriber frame was dropped under `SubPolicy::DropNewest`.
+    BackpressureDrop = 3,
+    /// A subscriber attached.
+    SubscriberConnect = 4,
+    /// A subscriber detached (orderly or reaped).
+    SubscriberDisconnect = 5,
+    /// Recovery replayed state from disk.
+    Recovery = 6,
+    /// An engine was poisoned by a mid-batch panic.
+    Poison = 7,
+    /// A query was registered.
+    QueryAdd = 8,
+    /// A query was deregistered.
+    QueryRemove = 9,
+}
+
+impl EventKind {
+    /// Wire discriminant.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`EventKind::as_u8`]; `None` for unknown values
+    /// (forward compatibility: newer servers may journal kinds an
+    /// older client cannot name).
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => EventKind::SlideBoundary,
+            1 => EventKind::Compaction,
+            2 => EventKind::Checkpoint,
+            3 => EventKind::BackpressureDrop,
+            4 => EventKind::SubscriberConnect,
+            5 => EventKind::SubscriberDisconnect,
+            6 => EventKind::Recovery,
+            7 => EventKind::Poison,
+            8 => EventKind::QueryAdd,
+            9 => EventKind::QueryRemove,
+            _ => return None,
+        })
+    }
+
+    /// Stable lowercase name for display and grepping.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::SlideBoundary => "slide_boundary",
+            EventKind::Compaction => "compaction",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::BackpressureDrop => "backpressure_drop",
+            EventKind::SubscriberConnect => "subscriber_connect",
+            EventKind::SubscriberDisconnect => "subscriber_disconnect",
+            EventKind::Recovery => "recovery",
+            EventKind::Poison => "poison",
+            EventKind::QueryAdd => "query_add",
+            EventKind::QueryRemove => "query_remove",
+        }
+    }
+}
+
+impl std::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One journal entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number, starting at 1.
+    pub seq: u64,
+    /// Wall-clock milliseconds since the Unix epoch at record time.
+    pub unix_ms: u64,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Free-form detail (query name, byte counts, durations, …).
+    pub detail: String,
+}
+
+struct Inner {
+    ring: VecDeque<Event>,
+    next_seq: u64,
+}
+
+/// The bounded ring. Recording is one short mutex hold; this is off
+/// the per-tuple path (events fire per slide/checkpoint/connection).
+pub struct Journal {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Self::with_capacity(JOURNAL_CAPACITY)
+    }
+}
+
+impl Journal {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Journal {
+            inner: Mutex::new(Inner {
+                ring: VecDeque::new(),
+                next_seq: 1,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full. Returns the
+    /// assigned sequence number.
+    pub fn record(&self, kind: EventKind, detail: impl Into<String>) -> u64 {
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(Event {
+            seq,
+            unix_ms,
+            kind,
+            detail: detail.into(),
+        });
+        seq
+    }
+
+    /// Returns retained events with `seq > since`, oldest first.
+    /// `since == 0` returns everything retained.
+    pub fn since(&self, since: u64) -> Vec<Event> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .ring
+            .iter()
+            .filter(|e| e.seq > since)
+            .cloned()
+            .collect()
+    }
+
+    /// The most recently assigned sequence number (0 if none yet).
+    pub fn last_seq(&self) -> u64 {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.next_seq - 1
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_monotonic_and_since_filters() {
+        let j = Journal::with_capacity(100);
+        let s1 = j.record(EventKind::Checkpoint, "a");
+        let s2 = j.record(EventKind::SlideBoundary, "b");
+        assert_eq!((s1, s2), (1, 2));
+        assert_eq!(j.last_seq(), 2);
+        let all = j.since(0);
+        assert_eq!(all.len(), 2);
+        let tail = j.since(1);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].kind, EventKind::SlideBoundary);
+        assert!(j.since(2).is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_keeps_seq() {
+        let j = Journal::with_capacity(3);
+        for i in 0..10 {
+            j.record(EventKind::Compaction, format!("e{i}"));
+        }
+        let kept = j.since(0);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept[0].seq, 8);
+        assert_eq!(kept[2].seq, 10);
+        assert_eq!(j.last_seq(), 10);
+    }
+
+    #[test]
+    fn kind_round_trips_through_u8() {
+        for k in [
+            EventKind::SlideBoundary,
+            EventKind::Compaction,
+            EventKind::Checkpoint,
+            EventKind::BackpressureDrop,
+            EventKind::SubscriberConnect,
+            EventKind::SubscriberDisconnect,
+            EventKind::Recovery,
+            EventKind::Poison,
+            EventKind::QueryAdd,
+            EventKind::QueryRemove,
+        ] {
+            assert_eq!(EventKind::from_u8(k.as_u8()), Some(k));
+        }
+        assert_eq!(EventKind::from_u8(200), None);
+    }
+}

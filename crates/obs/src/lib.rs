@@ -1,0 +1,71 @@
+//! Observability layer: metrics registry, event journal, and export
+//! surfaces (Prometheus text format over a hand-rolled HTTP listener,
+//! plus renderable snapshots for the `ctl metrics` protocol verb).
+//!
+//! The paper's evaluation reports per-tuple throughput and tail (p99)
+//! latency (§5.1.1), Δ-index size over time (Fig. 5), and window
+//! management cost (Fig. 6b). This crate turns those one-shot exit
+//! numbers into live, scrapeable series: every layer (core engines,
+//! `Durable`, the server, subscriber queues) publishes into an [`Obs`]
+//! bundle, and operators read it via `GET /metrics` or `ctl metrics`.
+//!
+//! Design constraints, in order:
+//! - **std-only** like the rest of the workspace — the HTTP responder
+//!   and text renderer are hand-rolled.
+//! - **near-free on the hot path**: counters and gauges are single
+//!   relaxed atomics; histograms are sharded per recording thread and
+//!   merged only at snapshot time; per-tuple timestamping is gated
+//!   behind a caller-side sampling knob.
+//! - **no process globals**: an [`Obs`] is instantiated per server (or
+//!   per `run` invocation) so parallel tests in one process never share
+//!   state.
+
+#![warn(missing_docs)]
+
+mod http;
+mod journal;
+mod prom;
+mod registry;
+
+pub use http::MetricsServer;
+pub use journal::{Event, EventKind, Journal, JOURNAL_CAPACITY};
+pub use prom::render;
+pub use registry::{Counter, Gauge, Histogram, MetricSnapshot, MetricValue, Registry};
+
+use std::sync::Arc;
+
+/// One observability bundle: a metrics registry plus an event journal.
+/// Cheap to clone (two `Arc`s); hand one to every layer that records.
+#[derive(Clone, Default)]
+pub struct Obs {
+    registry: Arc<Registry>,
+    journal: Arc<Journal>,
+}
+
+impl Obs {
+    /// Creates an empty bundle with the default journal capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The event journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Renders the current registry contents in Prometheus text format.
+    pub fn render_prometheus(&self) -> String {
+        prom::render(&self.registry.snapshot())
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs").finish_non_exhaustive()
+    }
+}

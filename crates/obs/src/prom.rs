@@ -1,0 +1,149 @@
+//! Prometheus text-format (version 0.0.4) rendering of a registry
+//! snapshot. Hand-rolled — the workspace is std-only.
+//!
+//! Conventions enforced here:
+//! - counters render with their registered name (callers name them
+//!   with a `_total` suffix) and `# TYPE … counter`;
+//! - histograms expand into cumulative `name_bucket{le="…"}` series
+//!   (non-empty buckets plus `+Inf`), `name_sum`, and `name_count`;
+//! - `# TYPE` is emitted once per family, before its first sample;
+//! - label values are escaped per the exposition format (backslash,
+//!   double quote, newline).
+
+use crate::registry::{MetricSnapshot, MetricValue};
+use std::fmt::Write;
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `{k="v",…}` (empty string when there are no labels). An
+/// extra pair (used for `le`) can be appended.
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Renders a registry snapshot (from
+/// [`Registry::snapshot`](crate::Registry::snapshot)) as Prometheus
+/// exposition text.
+pub fn render(snapshot: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<&str> = None;
+    for m in snapshot {
+        let family = m.name.as_str();
+        let new_family = last_family != Some(family);
+        last_family = Some(family);
+        match &m.value {
+            MetricValue::Counter(v) => {
+                if new_family {
+                    let _ = writeln!(out, "# TYPE {family} counter");
+                }
+                let _ = writeln!(out, "{family}{} {v}", label_block(&m.labels, None));
+            }
+            MetricValue::Gauge(v) => {
+                if new_family {
+                    let _ = writeln!(out, "# TYPE {family} gauge");
+                }
+                let _ = writeln!(out, "{family}{} {v}", label_block(&m.labels, None));
+            }
+            MetricValue::Histogram(h) => {
+                if new_family {
+                    let _ = writeln!(out, "# TYPE {family} histogram");
+                }
+                for (le, cum) in h.cumulative_buckets() {
+                    if le == u64::MAX {
+                        continue; // folded into +Inf below
+                    }
+                    let le_s = le.to_string();
+                    let _ = writeln!(
+                        out,
+                        "{family}_bucket{} {cum}",
+                        label_block(&m.labels, Some(("le", &le_s)))
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{family}_bucket{} {}",
+                    label_block(&m.labels, Some(("le", "+Inf"))),
+                    h.count()
+                );
+                let _ = writeln!(
+                    out,
+                    "{family}_sum{} {}",
+                    label_block(&m.labels, None),
+                    h.sum()
+                );
+                let _ = writeln!(
+                    out,
+                    "{family}_count{} {}",
+                    label_block(&m.labels, None),
+                    h.count()
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let r = Registry::new();
+        r.counter("srpq_x_total", &[("query", "reach")]).add(7);
+        r.counter("srpq_x_total", &[("query", "walk")]).add(2);
+        r.gauge("srpq_y_bytes", &[]).set(4096);
+        let h = r.histogram("srpq_z_ns", &[]);
+        h.record(5);
+        h.record(5000);
+        let text = render(&r.snapshot());
+
+        // TYPE once per family, labeled samples present.
+        assert_eq!(text.matches("# TYPE srpq_x_total counter").count(), 1);
+        assert!(text.contains("srpq_x_total{query=\"reach\"} 7"));
+        assert!(text.contains("srpq_x_total{query=\"walk\"} 2"));
+        assert!(text.contains("# TYPE srpq_y_bytes gauge"));
+        assert!(text.contains("srpq_y_bytes 4096"));
+
+        // Histogram expansion: buckets cumulative, +Inf == count == 2.
+        assert!(text.contains("# TYPE srpq_z_ns histogram"));
+        assert!(text.contains("srpq_z_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("srpq_z_ns_sum 5005"));
+        assert!(text.contains("srpq_z_ns_count 2"));
+        let first_bucket = text
+            .lines()
+            .find(|l| l.starts_with("srpq_z_ns_bucket"))
+            .unwrap();
+        assert!(first_bucket.ends_with(" 1"), "{first_bucket}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.gauge("srpq_g", &[("q", "a\"b\\c\nd")]).set(1);
+        let text = render(&r.snapshot());
+        assert!(text.contains(r#"q="a\"b\\c\nd""#), "{text}");
+    }
+}

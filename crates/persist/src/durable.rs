@@ -48,6 +48,7 @@ use srpq_core::multi::{MultiQueryEngine, MultiSink, NullMultiSink};
 use srpq_core::sink::{NullSink, ResultSink};
 use srpq_core::{EngineStats, ParallelMultiEngine, ParallelRapqEngine, QueryId};
 use srpq_graph::WindowPolicy;
+use srpq_obs::{Counter, EventKind, Gauge, Histogram, Obs};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -147,6 +148,21 @@ pub trait PersistEngine: Sized {
     fn durability_stats_mut(&mut self) -> Option<&mut EngineStats>;
 }
 
+/// Cached observability handles (see [`Durable::set_obs`]). Metric
+/// handles are registered once at attach time so the per-batch path
+/// does no registry lookups.
+#[derive(Debug)]
+struct ObsHooks {
+    obs: Obs,
+    wal_append_ns: Histogram,
+    checkpoint_ns: Histogram,
+    wal_bytes: Counter,
+    wal_appends: Counter,
+    fsyncs: Counter,
+    checkpoints: Counter,
+    recovery_ms: Gauge,
+}
+
 /// A durable engine: WAL + checkpoints wrapped around `E`.
 #[derive(Debug)]
 pub struct Durable<E: PersistEngine> {
@@ -158,6 +174,10 @@ pub struct Durable<E: PersistEngine> {
     last_ckpt_seq: u64,
     /// Window end at the last checkpoint (`None` until the clock starts).
     last_ckpt_window_end: Option<Timestamp>,
+    /// What [`Self::recover`] reported, kept so a later
+    /// [`Self::set_obs`] can publish the recovery retroactively.
+    last_recovery: Option<RecoveryReport>,
+    obs: Option<ObsHooks>,
 }
 
 impl<E: PersistEngine> Durable<E> {
@@ -190,6 +210,8 @@ impl<E: PersistEngine> Durable<E> {
             counters: DurabilityCounters::default(),
             last_ckpt_seq: 0,
             last_ckpt_window_end: None,
+            last_recovery: None,
+            obs: None,
         };
         me.checkpoint()?;
         Ok(me)
@@ -255,6 +277,13 @@ impl<E: PersistEngine> Durable<E> {
         };
         counters.last_recovery_ms = elapsed_ms;
         let we = window_end_opt(inner.window_policy(), inner.clock());
+        let report = RecoveryReport {
+            checkpoint_seq: header.seq,
+            strategy: header.strategy,
+            replayed_tuples: replayed,
+            resume_seq: applied,
+            elapsed_ms,
+        };
         let mut me = Durable {
             inner,
             wal,
@@ -263,16 +292,50 @@ impl<E: PersistEngine> Durable<E> {
             counters,
             last_ckpt_seq: header.seq,
             last_ckpt_window_end: we,
+            last_recovery: Some(report),
+            obs: None,
         };
         me.mirror_counters();
-        let report = RecoveryReport {
-            checkpoint_seq: header.seq,
-            strategy: header.strategy,
-            replayed_tuples: replayed,
-            resume_seq: applied,
-            elapsed_ms,
-        };
         Ok((me, report))
+    }
+
+    /// Attaches an observability bundle: WAL-append and checkpoint
+    /// latency histograms, WAL/checkpoint counters, the last-recovery
+    /// gauge, and checkpoint/recovery journal events. Counters start
+    /// from this engine's lifetime totals (a recovered instance reports
+    /// its pre-crash history), and a recovery performed before the
+    /// attach is published retroactively.
+    pub fn set_obs(&mut self, obs: Obs) {
+        let r = obs.registry();
+        let hooks = ObsHooks {
+            wal_append_ns: r.histogram("srpq_stage_wal_append_ns", &[]),
+            checkpoint_ns: r.histogram("srpq_checkpoint_ns", &[]),
+            wal_bytes: r.counter("srpq_wal_bytes_total", &[]),
+            wal_appends: r.counter("srpq_wal_appends_total", &[]),
+            fsyncs: r.counter("srpq_wal_fsyncs_total", &[]),
+            checkpoints: r.counter("srpq_checkpoints_total", &[]),
+            recovery_ms: r.gauge("srpq_recovery_last_ms", &[]),
+            obs,
+        };
+        hooks.wal_bytes.add(self.counters.wal_bytes);
+        hooks.wal_appends.add(self.counters.wal_appends);
+        hooks.fsyncs.add(self.counters.fsyncs);
+        hooks.checkpoints.add(self.counters.checkpoints_written);
+        hooks.recovery_ms.set(self.counters.last_recovery_ms);
+        if let Some(rep) = self.last_recovery {
+            hooks.obs.journal().record(
+                EventKind::Recovery,
+                format!(
+                    "dir={} checkpoint_seq={} replayed={} resume_seq={} elapsed_ms={}",
+                    self.dir.display(),
+                    rep.checkpoint_seq,
+                    rep.replayed_tuples,
+                    rep.resume_seq,
+                    rep.elapsed_ms
+                ),
+            );
+        }
+        self.obs = Some(hooks);
     }
 
     /// The wrapped engine.
@@ -314,6 +377,23 @@ impl<E: PersistEngine> Durable<E> {
     /// Appends `batch` to the WAL under the configured [`SyncPolicy`].
     /// Must run before the engine sees the batch.
     fn log_batch(&mut self, batch: &[StreamTuple]) -> Result<()> {
+        let before = self.counters;
+        let t0 = Instant::now();
+        self.log_batch_inner(batch)?;
+        if let Some(hooks) = &self.obs {
+            hooks.wal_append_ns.record(t0.elapsed().as_nanos() as u64);
+            hooks
+                .wal_bytes
+                .add(self.counters.wal_bytes - before.wal_bytes);
+            hooks
+                .wal_appends
+                .add(self.counters.wal_appends - before.wal_appends);
+            hooks.fsyncs.add(self.counters.fsyncs - before.fsyncs);
+        }
+        Ok(())
+    }
+
+    fn log_batch_inner(&mut self, batch: &[StreamTuple]) -> Result<()> {
         match self.cfg.sync {
             SyncPolicy::Always => {
                 for t in batch {
@@ -369,6 +449,8 @@ impl<E: PersistEngine> Durable<E> {
     /// predate it and lie entirely outside the window. Returns the
     /// covered sequence number.
     pub fn checkpoint(&mut self) -> Result<u64> {
+        let fsyncs_before = self.counters.fsyncs;
+        let t0 = Instant::now();
         // The checkpoint claims coverage of everything logged so far, so
         // the log must be durable first.
         if self.wal.sync()? {
@@ -377,7 +459,9 @@ impl<E: PersistEngine> Durable<E> {
         let seq = self.wal.next_seq();
         let mut w = ByteWriter::new();
         self.inner.encode_state(self.cfg.strategy, &mut w);
-        checkpoint::write(&self.dir, E::KIND, self.cfg.strategy, seq, &w.into_bytes())?;
+        let bytes = w.into_bytes();
+        let payload_bytes = bytes.len();
+        checkpoint::write(&self.dir, E::KIND, self.cfg.strategy, seq, &bytes)?;
         self.counters.checkpoints_written += 1;
         self.last_ckpt_seq = seq;
         let window = self.inner.window_policy();
@@ -387,6 +471,20 @@ impl<E: PersistEngine> Durable<E> {
             self.wal.truncate_older(seq, window.watermark(clock))?;
         }
         self.mirror_counters();
+        if let Some(hooks) = &self.obs {
+            let elapsed = t0.elapsed();
+            hooks.checkpoint_ns.record(elapsed.as_nanos() as u64);
+            hooks.checkpoints.inc();
+            hooks.fsyncs.add(self.counters.fsyncs - fsyncs_before);
+            hooks.obs.journal().record(
+                EventKind::Checkpoint,
+                format!(
+                    "seq={seq} strategy={:?} bytes={payload_bytes} elapsed_us={}",
+                    self.cfg.strategy,
+                    elapsed.as_micros()
+                ),
+            );
+        }
         Ok(seq)
     }
 

@@ -10,17 +10,19 @@
 //! full channel, which backpressures their clients through TCP.
 
 use crate::labels;
-use crate::protocol::{Msg, QueryInfo, StatsSnapshot, SubPolicy};
+use crate::protocol::{EventWire, Msg, QueryInfo, StatsSnapshot, SubPolicy};
 use crate::subscriber::{push_to_msg, FanoutSink, Push, Subscriber};
 use srpq_automata::CompiledQuery;
 use srpq_common::{FxHashSet, LabelInterner, ResultPair, StreamTuple, Timestamp};
 use srpq_core::engine::{Engine, PathSemantics};
 use srpq_core::multi::{MultiQueryEngine, MultiSink, QueryError, QueryId};
-use srpq_core::{EngineStats, ParallelMultiEngine};
+use srpq_core::{EngineStats, ParallelMultiEngine, StageTotals};
+use srpq_obs::{Counter, EventKind, Gauge, Histogram, Obs};
 use srpq_persist::Durable;
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a `Drain` waits for each subscriber's flush ack before
 /// giving up on it (a subscriber stuck on a dead socket must not wedge
@@ -41,6 +43,12 @@ pub(crate) trait MultiRegistry {
     fn stats(&self, id: QueryId) -> Option<&EngineStats>;
     /// Evaluation threads (1 = the sequential engine).
     fn workers(&self) -> usize;
+    /// Cumulative batch-path stage counters (route / eval / expiry).
+    fn stage_totals(&self) -> StageTotals;
+    /// Per-worker `(eval_ns, expiry_ns)` ledgers with the coordinator's
+    /// inline time as one final synthetic entry; empty for the
+    /// sequential engine (its whole ledger is `stage_totals`).
+    fn worker_ns(&self) -> Vec<(u64, u64)>;
     fn register(
         &mut self,
         name: &str,
@@ -72,7 +80,7 @@ impl MultiSink for DynSink<'_> {
 }
 
 macro_rules! impl_multi_registry {
-    ($ty:ty, $workers:expr) => {
+    ($ty:ty, $workers:expr, $worker_ns:expr) => {
         impl MultiRegistry for $ty {
             fn n_queries(&self) -> usize {
                 <$ty>::n_queries(self)
@@ -99,6 +107,13 @@ macro_rules! impl_multi_registry {
                 #[allow(clippy::redundant_closure_call)]
                 ($workers)(self)
             }
+            fn stage_totals(&self) -> StageTotals {
+                <$ty>::stage_totals(self)
+            }
+            fn worker_ns(&self) -> Vec<(u64, u64)> {
+                #[allow(clippy::redundant_closure_call)]
+                ($worker_ns)(self)
+            }
             fn register(
                 &mut self,
                 name: &str,
@@ -123,8 +138,20 @@ macro_rules! impl_multi_registry {
     };
 }
 
-impl_multi_registry!(MultiQueryEngine, |_e: &MultiQueryEngine| 1usize);
-impl_multi_registry!(ParallelMultiEngine, |e: &ParallelMultiEngine| e.n_workers());
+impl_multi_registry!(
+    MultiQueryEngine,
+    |_e: &MultiQueryEngine| 1usize,
+    |_e: &MultiQueryEngine| Vec::new()
+);
+impl_multi_registry!(
+    ParallelMultiEngine,
+    |e: &ParallelMultiEngine| e.n_workers(),
+    |e: &ParallelMultiEngine| {
+        let mut v = e.worker_totals().to_vec();
+        v.push(e.coord_totals());
+        v
+    }
+);
 
 /// The evaluation state behind the command channel.
 pub(crate) enum Host {
@@ -202,6 +229,9 @@ pub(crate) enum Cmd {
     },
     Ingest {
         tuples: Vec<StreamTuple>,
+        /// Ingest-decode timestamp when the end-to-end latency sampler
+        /// picked this batch; rides every result frame it produces.
+        stamp: Option<Instant>,
         reply: Sender<Msg>,
     },
     AddQuery {
@@ -233,9 +263,78 @@ pub(crate) enum Cmd {
     Stats {
         reply: Sender<Msg>,
     },
+    Metrics {
+        reply: Sender<Msg>,
+    },
+    Events {
+        since: u64,
+        reply: Sender<Msg>,
+    },
     Shutdown {
         reply: Sender<Msg>,
     },
+}
+
+/// Handles into the always-hot metric families, registered once at
+/// construction so the per-batch path never takes the registry lock.
+struct CoreMetrics {
+    hist_route: Histogram,
+    hist_extend: Histogram,
+    hist_expiry: Histogram,
+    hist_emit: Histogram,
+    ingest_tuples: Counter,
+    ingest_batches: Counter,
+    results_delivered: Counter,
+    results_dropped: Counter,
+    gauge_subscribers: Gauge,
+    gauge_live_queries: Gauge,
+}
+
+impl CoreMetrics {
+    fn new(obs: &Obs) -> CoreMetrics {
+        let r = obs.registry();
+        CoreMetrics {
+            hist_route: r.histogram("srpq_stage_route_ns", &[]),
+            hist_extend: r.histogram("srpq_stage_extend_ns", &[]),
+            hist_expiry: r.histogram("srpq_stage_expiry_ns", &[]),
+            hist_emit: r.histogram("srpq_stage_emit_ns", &[]),
+            ingest_tuples: r.counter("srpq_ingest_tuples_total", &[]),
+            ingest_batches: r.counter("srpq_ingest_batches_total", &[]),
+            results_delivered: r.counter("srpq_results_delivered_total", &[]),
+            results_dropped: r.counter("srpq_results_dropped_total", &[]),
+            gauge_subscribers: r.gauge("srpq_subscribers", &[]),
+            gauge_live_queries: r.gauge("srpq_live_queries", &[]),
+        }
+    }
+}
+
+/// Cached per-query gauge handles plus the compaction watermark the
+/// journal diffs against.
+struct QueryGauges {
+    delta_nodes: Gauge,
+    delta_capacity: Gauge,
+    compactions: Gauge,
+    routed: Gauge,
+    eval_ns: Gauge,
+    results: Gauge,
+    /// Compactions at the last refresh (journal delta detection).
+    last_compactions: u64,
+}
+
+impl QueryGauges {
+    fn new(obs: &Obs, name: &str) -> QueryGauges {
+        let r = obs.registry();
+        let l: &[(&str, &str)] = &[("query", name)];
+        QueryGauges {
+            delta_nodes: r.gauge("srpq_query_delta_nodes", l),
+            delta_capacity: r.gauge("srpq_query_delta_capacity", l),
+            compactions: r.gauge("srpq_query_compactions_total", l),
+            routed: r.gauge("srpq_query_routed_total", l),
+            eval_ns: r.gauge("srpq_query_eval_ns_total", l),
+            results: r.gauge("srpq_query_results_total", l),
+            last_compactions: 0,
+        }
+    }
 }
 
 pub(crate) struct EngineCore {
@@ -248,6 +347,17 @@ pub(crate) struct EngineCore {
     seq: u64,
     results_pushed: u64,
     results_dropped: u64,
+    obs: Obs,
+    metrics: CoreMetrics,
+    /// Per-query gauge handles, keyed by slot id.
+    query_gauges: HashMap<u32, QueryGauges>,
+    /// Worker-ledger gauges, grown lazily to the ledger length.
+    worker_gauges: Vec<(Gauge, Gauge)>,
+    /// Stage counters at the last batch (per-batch delta source).
+    last_stage: StageTotals,
+    /// Σ `expiry_runs` over live queries at the last batch — a positive
+    /// delta marks a window slide boundary for the journal.
+    last_expiry_runs: u64,
 }
 
 impl EngineCore {
@@ -256,8 +366,10 @@ impl EngineCore {
         labels: LabelInterner,
         label_dir: Option<PathBuf>,
         seq: u64,
+        obs: Obs,
     ) -> EngineCore {
-        EngineCore {
+        let metrics = CoreMetrics::new(&obs);
+        let mut core = EngineCore {
             host,
             labels,
             label_dir,
@@ -265,6 +377,138 @@ impl EngineCore {
             seq,
             results_pushed: 0,
             results_dropped: 0,
+            obs,
+            metrics,
+            query_gauges: HashMap::new(),
+            worker_gauges: Vec::new(),
+            last_stage: StageTotals::default(),
+            last_expiry_runs: 0,
+        };
+        // Recovered hosts come up with live queries and non-zero stage
+        // ledgers; seed the gauges and watermarks so the first batch
+        // reports deltas, not lifetime totals.
+        core.last_stage = core.host.registry().stage_totals();
+        core.refresh_gauges();
+        core.last_expiry_runs = core.sum_expiry_runs();
+        for id in core.host.registry().query_ids() {
+            let stats = *core.host.registry().stats(id).expect("live id");
+            if let Some(g) = core.query_gauges.get_mut(&id.0) {
+                g.last_compactions = stats.compactions;
+            }
+        }
+        core
+    }
+
+    fn sum_expiry_runs(&self) -> u64 {
+        let engine = self.host.registry();
+        engine
+            .query_ids()
+            .iter()
+            .filter_map(|&id| engine.stats(id))
+            .map(|s| s.expiry_runs)
+            .sum()
+    }
+
+    /// Publishes the pull-model gauges: per-query Δ/occupancy/time,
+    /// worker ledgers, subscriber and query counts. Runs after every
+    /// ingest batch and on query add/remove — `/metrics` scrapes read
+    /// the last published state without touching the engine thread.
+    fn refresh_gauges(&mut self) {
+        let host = &self.host;
+        let engine = host.registry();
+        for id in engine.query_ids() {
+            let Some(stats) = engine.stats(id) else {
+                continue;
+            };
+            let stats = *stats;
+            let name = engine.name(id).unwrap_or("").to_string();
+            let g = self
+                .query_gauges
+                .entry(id.0)
+                .or_insert_with(|| QueryGauges::new(&self.obs, &name));
+            g.delta_nodes.set(stats.delta_nodes_live);
+            g.delta_capacity.set(stats.delta_capacity);
+            g.compactions.set(stats.compactions);
+            g.routed.set(stats.tuples_routed);
+            g.eval_ns.set(stats.eval_ns);
+            g.results.set(stats.results_emitted);
+        }
+        let ledger = engine.worker_ns();
+        for (i, &(eval, expiry)) in ledger.iter().enumerate() {
+            if self.worker_gauges.len() <= i {
+                // The final ledger entry is the coordinator's inline time.
+                let label = if i + 1 == ledger.len() {
+                    "coord".to_string()
+                } else {
+                    i.to_string()
+                };
+                let l: &[(&str, &str)] = &[("worker", &label)];
+                self.worker_gauges.push((
+                    self.obs.registry().gauge("srpq_worker_eval_ns_total", l),
+                    self.obs.registry().gauge("srpq_worker_expiry_ns_total", l),
+                ));
+            }
+            self.worker_gauges[i].0.set(eval);
+            self.worker_gauges[i].1.set(expiry);
+        }
+        self.metrics
+            .gauge_live_queries
+            .set(engine.n_queries() as u64);
+        self.metrics
+            .gauge_subscribers
+            .set(self.subscribers.len() as u64);
+        // Counters mirror the engine-thread tallies; only this thread
+        // writes them, so catching up by delta is race-free.
+        let delivered = &self.metrics.results_delivered;
+        delivered.add(self.results_pushed.saturating_sub(delivered.get()));
+        let dropped = &self.metrics.results_dropped;
+        dropped.add(self.results_dropped.saturating_sub(dropped.get()));
+    }
+
+    /// Journals slide boundaries and compactions detected since the
+    /// last batch, and records the per-batch stage histograms.
+    fn observe_batch(&mut self, emit_ns: u64) {
+        let stage = self.host.registry().stage_totals();
+        if stage.batches > self.last_stage.batches {
+            let route = stage.route_ns.saturating_sub(self.last_stage.route_ns);
+            let eval = stage.eval_ns.saturating_sub(self.last_stage.eval_ns);
+            let expiry = stage.expiry_ns.saturating_sub(self.last_stage.expiry_ns);
+            self.metrics.hist_route.record(route);
+            self.metrics.hist_extend.record(eval.saturating_sub(expiry));
+            self.metrics.hist_expiry.record(expiry);
+            self.metrics.hist_emit.record(emit_ns);
+        }
+        self.last_stage = stage;
+        let expiry_runs = self.sum_expiry_runs();
+        if expiry_runs > self.last_expiry_runs {
+            self.obs.journal().record(
+                EventKind::SlideBoundary,
+                format!(
+                    "seq={} expiry_runs+={}",
+                    self.seq,
+                    expiry_runs - self.last_expiry_runs
+                ),
+            );
+            self.last_expiry_runs = expiry_runs;
+        }
+        for id in self.host.registry().query_ids() {
+            let Some(stats) = self.host.registry().stats(id) else {
+                continue;
+            };
+            let compactions = stats.compactions;
+            let name = self.host.registry().name(id).unwrap_or("").to_string();
+            if let Some(g) = self.query_gauges.get_mut(&id.0) {
+                if compactions > g.last_compactions {
+                    self.obs.journal().record(
+                        EventKind::Compaction,
+                        format!(
+                            "query={name} compactions+={}",
+                            compactions - g.last_compactions
+                        ),
+                    );
+                    g.last_compactions = compactions;
+                }
+            }
         }
     }
 
@@ -306,8 +550,12 @@ impl EngineCore {
                 };
                 let _ = reply.send(msg);
             }
-            Cmd::Ingest { tuples, reply } => {
-                let _ = reply.send(self.ingest(tuples));
+            Cmd::Ingest {
+                tuples,
+                stamp,
+                reply,
+            } => {
+                let _ = reply.send(self.ingest(tuples, stamp));
             }
             Cmd::AddQuery {
                 name,
@@ -361,8 +609,18 @@ impl EngineCore {
                 } else {
                     resolved.len() as u32
                 };
+                self.obs.journal().record(
+                    EventKind::SubscriberConnect,
+                    format!(
+                        "queries={} matched={matched}",
+                        if all { "*".into() } else { queries.join(",") }
+                    ),
+                );
                 self.subscribers
                     .push(Subscriber::new(queries, resolved, tx, policy));
+                self.metrics
+                    .gauge_subscribers
+                    .set(self.subscribers.len() as u64);
                 let _ = reply.send(Msg::SubAck { matched });
             }
             Cmd::Drain { reply } => {
@@ -404,13 +662,35 @@ impl EngineCore {
                     delta_nodes_live,
                     delta_capacity,
                     compactions,
+                    worker_ns: engine.worker_ns(),
                 }));
+            }
+            Cmd::Metrics { reply } => {
+                self.refresh_gauges();
+                let _ = reply.send(Msg::MetricsText {
+                    text: self.obs.render_prometheus(),
+                });
+            }
+            Cmd::Events { since, reply } => {
+                let events = self
+                    .obs
+                    .journal()
+                    .since(since)
+                    .into_iter()
+                    .map(|e| EventWire {
+                        seq: e.seq,
+                        unix_ms: e.unix_ms,
+                        kind: e.kind.as_u8(),
+                        detail: e.detail,
+                    })
+                    .collect();
+                let _ = reply.send(Msg::EventList { events });
             }
             Cmd::Shutdown { .. } => unreachable!("handled by run()"),
         }
     }
 
-    fn ingest(&mut self, tuples: Vec<StreamTuple>) -> Msg {
+    fn ingest(&mut self, tuples: Vec<StreamTuple>, stamp: Option<Instant>) -> Msg {
         if tuples.is_empty() {
             return Msg::IngestAck {
                 seq: self.seq,
@@ -436,23 +716,46 @@ impl EngineCore {
                 };
             }
         }
+        let dropped_before = self.results_dropped;
         let mut sink = FanoutSink {
             subscribers: &mut self.subscribers,
             pushed: &mut self.results_pushed,
             dropped: &mut self.results_dropped,
+            stamp,
         };
         if let Err(e) = self.host.process_batch(&tuples, &mut sink) {
             // The WAL refused (e.g. disk trouble): the engine saw
             // nothing, so the session can report and carry on.
             return Msg::Error { msg: e };
         }
+        // The emit stage is the end-of-batch hand-off of staged frames
+        // to the subscriber queues — where the Block policy can stall
+        // and the Drop policy sheds. (Per-entry staging during
+        // evaluation is attributed to the extend stage.)
+        let t_emit = Instant::now();
         let sink = FanoutSink {
             subscribers: &mut self.subscribers,
             pushed: &mut self.results_pushed,
             dropped: &mut self.results_dropped,
+            stamp,
         };
         sink.finish();
+        let emit_ns = t_emit.elapsed().as_nanos() as u64;
         self.seq += tuples.len() as u64;
+        self.metrics.ingest_tuples.add(tuples.len() as u64);
+        self.metrics.ingest_batches.inc();
+        if self.results_dropped > dropped_before {
+            self.obs.journal().record(
+                EventKind::BackpressureDrop,
+                format!(
+                    "seq={} dropped+={}",
+                    self.seq,
+                    self.results_dropped - dropped_before
+                ),
+            );
+        }
+        self.observe_batch(emit_ns);
+        self.refresh_gauges();
         Msg::IngestAck {
             seq: self.seq,
             durable: self.host.is_durable(),
@@ -485,6 +788,7 @@ impl EngineCore {
                 subscribers: &mut self.subscribers,
                 pushed: &mut self.results_pushed,
                 dropped: &mut self.results_dropped,
+                stamp: None,
             };
             // A subscriber that declared this name must see the
             // backfill results, so resolve name filters *before*
@@ -527,6 +831,11 @@ impl EngineCore {
                 msg: format!("query registered but checkpoint failed: {e}"),
             };
         }
+        self.obs.journal().record(
+            EventKind::QueryAdd,
+            format!("name={name} id={} regex={regex} backfill={backfill}", id.0),
+        );
+        self.refresh_gauges();
         Msg::QueryAdded { id: id.0 }
     }
 
@@ -548,6 +857,14 @@ impl EngineCore {
                 msg: format!("query removed but checkpoint failed: {e}"),
             };
         }
+        self.obs
+            .journal()
+            .record(EventKind::QueryRemove, format!("name={name} id={}", id.0));
+        // Stop exporting the removed query's series; a re-registration
+        // under the same name starts fresh.
+        self.query_gauges.remove(&id.0);
+        self.obs.registry().remove_labeled("query", &name);
+        self.refresh_gauges();
         Msg::QueryRemoved { id: id.0 }
     }
 

@@ -23,7 +23,7 @@ use std::io::{self, Read, Write};
 /// Protocol revision spoken by this build. [`Msg::Hello`] carries the
 /// client's revision; the server refuses mismatches outright (no
 /// negotiation — both binaries come from this repository).
-pub const PROTO_VERSION: u16 = 3;
+pub const PROTO_VERSION: u16 = 4;
 
 /// What a subscriber wants done when its queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -103,8 +103,24 @@ pub struct QueryInfo {
     pub eval_ns: u64,
 }
 
+/// One structured event from the server's bounded journal
+/// ([`Msg::EventList`]). `kind` is the journal's stable `u8`
+/// discriminant (`srpq_obs::EventKind`), carried raw so older clients
+/// can still display events newer servers journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventWire {
+    /// Monotonic journal sequence number.
+    pub seq: u64,
+    /// Wall-clock milliseconds since the Unix epoch at record time.
+    pub unix_ms: u64,
+    /// Event-kind discriminant.
+    pub kind: u8,
+    /// Free-form detail.
+    pub detail: String,
+}
+
 /// A snapshot of server-wide counters ([`Msg::ServerStats`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     /// Tuples accepted (and, when durable, WAL-logged) so far.
     pub seq: u64,
@@ -132,6 +148,13 @@ pub struct StatsSnapshot {
     pub delta_capacity: u64,
     /// Δ arena compactions performed across all live queries.
     pub compactions: u64,
+    /// Per-worker `(eval_ns, expiry_ns)`: the wall-clock each
+    /// evaluation worker thread spent inside per-query evaluation calls
+    /// and the expiry slice thereof. Empty for sequential hosts; the
+    /// parallel host's coordinator-inline time rides as one final
+    /// synthetic entry, so the entries sum to the per-query `eval_ns`
+    /// total (while no query has been deregistered).
+    pub worker_ns: Vec<(u64, u64)>,
 }
 
 /// A protocol message (client requests < 0x80 ≤ server responses).
@@ -202,6 +225,16 @@ pub enum Msg {
     Shutdown,
     /// Server-wide counters ([`Msg::ServerStats`]).
     Stats,
+    /// The full metrics registry rendered as Prometheus text
+    /// ([`Msg::MetricsText`]) — the frame-protocol twin of
+    /// `GET /metrics`.
+    Metrics,
+    /// Journal events with sequence numbers greater than `since`
+    /// ([`Msg::EventList`]). `since = 0` returns everything retained.
+    Events {
+        /// Replay events after this journal sequence number.
+        since: u64,
+    },
 
     // ---- server → client ------------------------------------------
     /// Handshake answer.
@@ -280,6 +313,16 @@ pub enum Msg {
         /// Human-readable reason.
         msg: String,
     },
+    /// The metrics registry in Prometheus exposition text.
+    MetricsText {
+        /// The rendered text (UTF-8).
+        text: String,
+    },
+    /// Journal events, oldest first.
+    EventList {
+        /// Retained events after the requested sequence number.
+        events: Vec<EventWire>,
+    },
 }
 
 // Frame kinds (one per message).
@@ -294,6 +337,8 @@ const K_DRAIN: u8 = 0x08;
 const K_CHECKPOINT: u8 = 0x09;
 const K_SHUTDOWN: u8 = 0x0A;
 const K_STATS: u8 = 0x0B;
+const K_METRICS: u8 = 0x0C;
+const K_EVENTS: u8 = 0x0D;
 const K_HELLO_ACK: u8 = 0x81;
 const K_LABEL_IDS: u8 = 0x82;
 const K_INGEST_ACK: u8 = 0x83;
@@ -308,6 +353,8 @@ const K_CHECKPOINT_DONE: u8 = 0x8B;
 const K_SHUTTING_DOWN: u8 = 0x8C;
 const K_SERVER_STATS: u8 = 0x8D;
 const K_ERROR: u8 = 0x8E;
+const K_METRICS_TEXT: u8 = 0x8F;
+const K_EVENT_LIST: u8 = 0x90;
 
 fn strings(w: &mut ByteWriter, items: &[String]) {
     w.u32(items.len() as u32);
@@ -373,6 +420,11 @@ impl Msg {
             Msg::Checkpoint => K_CHECKPOINT,
             Msg::Shutdown => K_SHUTDOWN,
             Msg::Stats => K_STATS,
+            Msg::Metrics => K_METRICS,
+            Msg::Events { since } => {
+                w.u64(*since);
+                K_EVENTS
+            }
             Msg::HelloAck {
                 proto,
                 seq,
@@ -457,11 +509,30 @@ impl Msg {
                 w.u64(s.delta_nodes_live);
                 w.u64(s.delta_capacity);
                 w.u64(s.compactions);
+                w.u32(s.worker_ns.len() as u32);
+                for &(eval, expiry) in &s.worker_ns {
+                    w.u64(eval);
+                    w.u64(expiry);
+                }
                 K_SERVER_STATS
             }
             Msg::Error { msg } => {
                 w.str(msg);
                 K_ERROR
+            }
+            Msg::MetricsText { text } => {
+                w.str(text);
+                K_METRICS_TEXT
+            }
+            Msg::EventList { events } => {
+                w.u32(events.len() as u32);
+                for ev in events {
+                    w.u64(ev.seq);
+                    w.u64(ev.unix_ms);
+                    w.u8(ev.kind);
+                    w.str(&ev.detail);
+                }
+                K_EVENT_LIST
             }
         };
         (kind, w.into_bytes())
@@ -503,6 +574,10 @@ impl Msg {
             K_CHECKPOINT => Msg::Checkpoint,
             K_SHUTDOWN => Msg::Shutdown,
             K_STATS => Msg::Stats,
+            K_METRICS => Msg::Metrics,
+            K_EVENTS => Msg::Events {
+                since: r.u64().map_err(e)?,
+            },
             K_HELLO_ACK => Msg::HelloAck {
                 proto: r.u32().map_err(e)? as u16,
                 seq: r.u64().map_err(e)?,
@@ -569,23 +644,48 @@ impl Msg {
                 seq: r.u64().map_err(e)?,
             },
             K_SHUTTING_DOWN => Msg::ShuttingDown,
-            K_SERVER_STATS => Msg::ServerStats(StatsSnapshot {
-                seq: r.u64().map_err(e)?,
-                live_queries: r.u32().map_err(e)?,
-                slots: r.u32().map_err(e)?,
-                subscribers: r.u32().map_err(e)?,
-                labels: r.u32().map_err(e)?,
-                results_pushed: r.u64().map_err(e)?,
-                results_dropped: r.u64().map_err(e)?,
-                workers: r.u32().map_err(e)?,
-                eval_ns: r.u64().map_err(e)?,
-                delta_nodes_live: r.u64().map_err(e)?,
-                delta_capacity: r.u64().map_err(e)?,
-                compactions: r.u64().map_err(e)?,
-            }),
+            K_SERVER_STATS => {
+                let mut s = StatsSnapshot {
+                    seq: r.u64().map_err(e)?,
+                    live_queries: r.u32().map_err(e)?,
+                    slots: r.u32().map_err(e)?,
+                    subscribers: r.u32().map_err(e)?,
+                    labels: r.u32().map_err(e)?,
+                    results_pushed: r.u64().map_err(e)?,
+                    results_dropped: r.u64().map_err(e)?,
+                    workers: r.u32().map_err(e)?,
+                    eval_ns: r.u64().map_err(e)?,
+                    delta_nodes_live: r.u64().map_err(e)?,
+                    delta_capacity: r.u64().map_err(e)?,
+                    compactions: r.u64().map_err(e)?,
+                    worker_ns: Vec::new(),
+                };
+                let n = r.count(16).map_err(e)?;
+                s.worker_ns.reserve(n);
+                for _ in 0..n {
+                    s.worker_ns.push((r.u64().map_err(e)?, r.u64().map_err(e)?));
+                }
+                Msg::ServerStats(s)
+            }
             K_ERROR => Msg::Error {
                 msg: r.str().map_err(e)?,
             },
+            K_METRICS_TEXT => Msg::MetricsText {
+                text: r.str().map_err(e)?,
+            },
+            K_EVENT_LIST => {
+                let n = r.count(21).map_err(e)?;
+                let mut events = Vec::with_capacity(n);
+                for _ in 0..n {
+                    events.push(EventWire {
+                        seq: r.u64().map_err(e)?,
+                        unix_ms: r.u64().map_err(e)?,
+                        kind: r.u8().map_err(e)?,
+                        detail: r.str().map_err(e)?,
+                    });
+                }
+                Msg::EventList { events }
+            }
             other => return Err(format!("unknown message kind 0x{other:02x}")),
         };
         if !r.is_exhausted() {
@@ -605,11 +705,23 @@ impl Msg {
 
     /// Reads one message; `Ok(None)` on clean EOF between frames.
     pub fn read_from(r: &mut impl Read) -> io::Result<Option<Msg>> {
+        Self::read_from_timed(r).map(|opt| opt.map(|(msg, _)| msg))
+    }
+
+    /// Like [`Msg::read_from`], additionally reporting the nanoseconds
+    /// spent decoding the frame payload into a message — the
+    /// ingest-decode stage measurement. Socket reads (and the CRC check
+    /// interleaved with them) are excluded: a session blocked waiting
+    /// for the next frame is idle, not decoding.
+    pub fn read_from_timed(r: &mut impl Read) -> io::Result<Option<(Msg, u64)>> {
         match frame::read_frame(r)? {
             None => Ok(None),
-            Some((kind, payload)) => Msg::decode(kind, &payload)
-                .map(Some)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            Some((kind, payload)) => {
+                let t0 = std::time::Instant::now();
+                let msg = Msg::decode(kind, &payload)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                Ok(Some((msg, t0.elapsed().as_nanos() as u64)))
+            }
         }
     }
 }
@@ -650,6 +762,8 @@ mod tests {
             Msg::Checkpoint,
             Msg::Shutdown,
             Msg::Stats,
+            Msg::Metrics,
+            Msg::Events { since: 42 },
             Msg::HelloAck {
                 proto: PROTO_VERSION,
                 seq: 12345,
@@ -700,8 +814,29 @@ mod tests {
                 delta_nodes_live: 9,
                 delta_capacity: 12,
                 compactions: 1,
+                worker_ns: vec![(100, 10), (200, 20), (7, 0)],
             }),
             Msg::Error { msg: "nope".into() },
+            Msg::MetricsText {
+                text: "# TYPE srpq_ingest_tuples_total counter\nsrpq_ingest_tuples_total 5\n"
+                    .into(),
+            },
+            Msg::EventList {
+                events: vec![
+                    EventWire {
+                        seq: 1,
+                        unix_ms: 1_700_000_000_000,
+                        kind: 2,
+                        detail: "seq=10 strategy=Full".into(),
+                    },
+                    EventWire {
+                        seq: 2,
+                        unix_ms: 1_700_000_000_500,
+                        kind: 4,
+                        detail: String::new(),
+                    },
+                ],
+            },
         ]
     }
 

@@ -15,14 +15,16 @@ use crate::subscriber::{Push, DEFAULT_CAPACITY};
 use srpq_common::LabelInterner;
 use srpq_core::multi::MultiQueryEngine;
 use srpq_core::{EngineConfig, ParallelMultiEngine};
+use srpq_obs::{Counter, EventKind, Histogram, MetricsServer, Obs};
 use srpq_persist::{checkpoint, DurabilityConfig, Durable, RecoveryReport};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Server construction knobs.
 #[derive(Debug, Clone)]
@@ -46,6 +48,15 @@ pub struct ServerConfig {
     /// workers (inter-query parallel evaluation). Durable state is
     /// host-agnostic — the same `wal_dir` may restart under any value.
     pub workers: usize,
+    /// Address for the plain-HTTP Prometheus `/metrics` listener;
+    /// `None` disables it (`ctl metrics` still works over the frame
+    /// protocol).
+    pub metrics_addr: Option<String>,
+    /// End-to-end latency sampling: stamp 1-in-N ingest frames at
+    /// decode and observe the elapsed time when their results hit a
+    /// subscriber socket. `1` stamps everything (the histogram `count`
+    /// then equals delivered results); `0` disables stamping.
+    pub e2e_sample: u32,
 }
 
 impl ServerConfig {
@@ -58,7 +69,48 @@ impl ServerConfig {
             durability: DurabilityConfig::default(),
             pipeline_depth: 16,
             workers: 0,
+            metrics_addr: None,
+            e2e_sample: 1,
         }
+    }
+}
+
+/// Per-process observability context shared by every session thread.
+struct SessionCtx {
+    obs: Obs,
+    e2e_sample: u32,
+    /// Ingest frames seen across all sessions (sampling counter).
+    ingest_frames: AtomicU64,
+    decode_hist: Histogram,
+    write_hist: Histogram,
+    e2e_hist: Histogram,
+    sub_connects: Counter,
+    sub_disconnects: Counter,
+}
+
+impl SessionCtx {
+    fn new(obs: Obs, e2e_sample: u32) -> SessionCtx {
+        let r = obs.registry();
+        SessionCtx {
+            e2e_sample,
+            ingest_frames: AtomicU64::new(0),
+            decode_hist: r.histogram("srpq_stage_ingest_decode_ns", &[]),
+            write_hist: r.histogram("srpq_stage_subscriber_write_ns", &[]),
+            e2e_hist: r.histogram("srpq_e2e_latency_ns", &[]),
+            sub_connects: r.counter("srpq_subscriber_connects_total", &[]),
+            sub_disconnects: r.counter("srpq_subscriber_disconnects_total", &[]),
+            obs,
+        }
+    }
+
+    /// 1-in-N sampling decision for an ingest frame.
+    fn stamp(&self) -> Option<Instant> {
+        if self.e2e_sample == 0 {
+            return None;
+        }
+        let n = self.ingest_frames.fetch_add(1, Ordering::Relaxed);
+        n.is_multiple_of(u64::from(self.e2e_sample))
+            .then(Instant::now)
     }
 }
 
@@ -70,6 +122,8 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     engine_thread: Option<JoinHandle<()>>,
     accept_thread: Option<JoinHandle<()>>,
+    metrics: Option<MetricsServer>,
+    obs: Obs,
     /// What recovery did, when the server came up from durable state.
     pub recovery: Option<RecoveryReport>,
 }
@@ -78,6 +132,17 @@ impl ServerHandle {
     /// The bound address (resolves ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The `/metrics` listener address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(|m| m.local_addr())
+    }
+
+    /// The server's observability bundle (registry + event journal) —
+    /// in-process introspection for tests and embedders.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Requests a graceful shutdown (drain → checkpoint → close) and
@@ -122,6 +187,7 @@ impl Drop for ServerHandle {
 /// Builds the host (fresh or recovered) and starts the server.
 pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
     let workers = config.workers;
+    let obs = Obs::new();
     let (host, interner, seq, recovery) = match &config.wal_dir {
         None => {
             let host = if workers == 0 {
@@ -144,9 +210,10 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
                 // The two multi hosts share one checkpoint format, so
                 // `--workers` may change freely across restarts.
                 let (host, report) = if workers == 0 {
-                    let (durable, report) =
+                    let (mut durable, report) =
                         Durable::<MultiQueryEngine>::recover(dir, &mut interner, config.durability)
                             .map_err(|e| e.to_string())?;
+                    durable.set_obs(obs.clone());
                     (Host::Durable(Box::new(durable)), report)
                 } else {
                     let (mut durable, report) = Durable::<ParallelMultiEngine>::recover(
@@ -156,26 +223,29 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
                     )
                     .map_err(|e| e.to_string())?;
                     durable.inner_mut().resize_workers(workers);
+                    durable.set_obs(obs.clone());
                     (Host::DurableParallel(Box::new(durable)), report)
                 };
                 let seq = report.resume_seq;
                 (host, interner, seq, Some(report))
             } else {
                 let host = if workers == 0 {
-                    let durable = Durable::create(
+                    let mut durable = Durable::create(
                         MultiQueryEngine::with_config(config.engine),
                         dir,
                         config.durability,
                     )
                     .map_err(|e| e.to_string())?;
+                    durable.set_obs(obs.clone());
                     Host::Durable(Box::new(durable))
                 } else {
-                    let durable = Durable::create(
+                    let mut durable = Durable::create(
                         ParallelMultiEngine::with_config(config.engine, workers),
                         dir,
                         config.durability,
                     )
                     .map_err(|e| e.to_string())?;
+                    durable.set_obs(obs.clone());
                     Host::DurableParallel(Box::new(durable))
                 };
                 (host, LabelInterner::new(), 0, None)
@@ -188,12 +258,21 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
 
     let (cmd_tx, cmd_rx) = mpsc::sync_channel::<Cmd>(config.pipeline_depth.max(1));
-    let core = EngineCore::new(host, interner, config.wal_dir.clone(), seq);
+    let core = EngineCore::new(host, interner, config.wal_dir.clone(), seq, obs.clone());
     let engine_thread = std::thread::Builder::new()
         .name("srpq-engine".into())
         .spawn(move || core.run(cmd_rx))
         .map_err(|e| e.to_string())?;
 
+    let metrics = match &config.metrics_addr {
+        Some(maddr) => Some(
+            MetricsServer::start(maddr, obs.clone())
+                .map_err(|e| format!("metrics listener {maddr}: {e}"))?,
+        ),
+        None => None,
+    };
+
+    let ctx = Arc::new(SessionCtx::new(obs.clone(), config.e2e_sample));
     let stop = Arc::new(AtomicBool::new(false));
     let accept_stop = stop.clone();
     let accept_tx = cmd_tx.clone();
@@ -206,6 +285,7 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
                 }
                 let Ok(stream) = conn else { continue };
                 let tx = accept_tx.clone();
+                let session_ctx = Arc::clone(&ctx);
                 let _ = std::thread::Builder::new()
                     .name("srpq-session".into())
                     .spawn(move || {
@@ -213,7 +293,7 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
                             .peer_addr()
                             .map(|a| a.to_string())
                             .unwrap_or_else(|_| "?".into());
-                        if let Err(e) = run_session(stream, tx) {
+                        if let Err(e) = run_session(stream, tx, &session_ctx) {
                             // Client-side disconnects are routine; only
                             // protocol violations are worth a log line.
                             if e.kind() == std::io::ErrorKind::InvalidData {
@@ -231,6 +311,8 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
         stop,
         engine_thread: Some(engine_thread),
         accept_thread: Some(accept_thread),
+        metrics,
+        obs,
         recovery,
     })
 }
@@ -246,10 +328,14 @@ fn roundtrip(cmd_tx: &SyncSender<Cmd>, make: impl FnOnce(mpsc::Sender<Msg>) -> C
 }
 
 /// One connection's request/reply loop.
-fn run_session(stream: TcpStream, cmd_tx: SyncSender<Cmd>) -> std::io::Result<()> {
+fn run_session(
+    stream: TcpStream,
+    cmd_tx: SyncSender<Cmd>,
+    ctx: &SessionCtx,
+) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    while let Some(msg) = Msg::read_from(&mut reader)? {
+    while let Some((msg, decode_ns)) = Msg::read_from_timed(&mut reader)? {
         let reply = match msg {
             Msg::Hello { proto } => {
                 if proto != PROTO_VERSION {
@@ -263,7 +349,15 @@ fn run_session(stream: TcpStream, cmd_tx: SyncSender<Cmd>) -> std::io::Result<()
                 }
             }
             Msg::MapLabels { names } => roundtrip(&cmd_tx, |reply| Cmd::MapLabels { names, reply }),
-            Msg::Ingest { tuples } => roundtrip(&cmd_tx, |reply| Cmd::Ingest { tuples, reply }),
+            Msg::Ingest { tuples } => {
+                ctx.decode_hist.record(decode_ns);
+                let stamp = ctx.stamp();
+                roundtrip(&cmd_tx, |reply| Cmd::Ingest {
+                    tuples,
+                    stamp,
+                    reply,
+                })
+            }
             Msg::AddQuery {
                 name,
                 regex,
@@ -283,6 +377,8 @@ fn run_session(stream: TcpStream, cmd_tx: SyncSender<Cmd>) -> std::io::Result<()
             Msg::Drain => roundtrip(&cmd_tx, |reply| Cmd::Drain { reply }),
             Msg::Checkpoint => roundtrip(&cmd_tx, |reply| Cmd::Checkpoint { reply }),
             Msg::Stats => roundtrip(&cmd_tx, |reply| Cmd::Stats { reply }),
+            Msg::Metrics => roundtrip(&cmd_tx, |reply| Cmd::Metrics { reply }),
+            Msg::Events { since } => roundtrip(&cmd_tx, |reply| Cmd::Events { since, reply }),
             Msg::Shutdown => roundtrip(&cmd_tx, |reply| Cmd::Shutdown { reply }),
             Msg::Subscribe {
                 queries,
@@ -305,8 +401,19 @@ fn run_session(stream: TcpStream, cmd_tx: SyncSender<Cmd>) -> std::io::Result<()
                     Some(ack) => {
                         ack.write_to(&mut writer)?;
                         writer.flush()?;
+                        ctx.sub_connects.inc();
                         // The session is a push stream from here on.
-                        return pump_subscription(push_rx, writer);
+                        let peer = writer
+                            .get_ref()
+                            .peer_addr()
+                            .map(|a| a.to_string())
+                            .unwrap_or_else(|_| "?".into());
+                        let result = pump_subscription(push_rx, writer, ctx);
+                        ctx.sub_disconnects.inc();
+                        ctx.obs
+                            .journal()
+                            .record(EventKind::SubscriberDisconnect, format!("peer={peer}"));
+                        return result;
                     }
                     None => Some(Msg::Error {
                         msg: "server is shutting down".into(),
@@ -346,7 +453,11 @@ fn run_session(stream: TcpStream, cmd_tx: SyncSender<Cmd>) -> std::io::Result<()
 fn pump_subscription(
     push_rx: Receiver<Push>,
     mut writer: BufWriter<TcpStream>,
+    ctx: &SessionCtx,
 ) -> std::io::Result<()> {
+    // End-to-end samples whose frames are written but not yet flushed;
+    // observed once the covering flush makes them visible to the client.
+    let mut stamped: Vec<(Instant, u64)> = Vec::new();
     loop {
         let Ok(first) = push_rx.recv() else {
             // Engine dropped the queue: graceful end of stream.
@@ -362,16 +473,31 @@ fn pump_subscription(
             match push {
                 Push::Flush(ack) => {
                     writer.flush()?;
+                    for (t, n) in stamped.drain(..) {
+                        ctx.e2e_hist.record_n(t.elapsed().as_nanos() as u64, n);
+                    }
                     let _ = ack.send(());
                 }
                 other => {
                     if let Some(msg) = render_push(&other) {
+                        let t0 = Instant::now();
                         msg.write_to(&mut writer)?;
+                        ctx.write_hist.record(t0.elapsed().as_nanos() as u64);
+                    }
+                    if let Push::Results {
+                        entries,
+                        stamp: Some(t),
+                    } = &other
+                    {
+                        stamped.push((*t, entries.len() as u64));
                     }
                 }
             }
             item = push_rx.try_recv().ok();
         }
         writer.flush()?;
+        for (t, n) in stamped.drain(..) {
+            ctx.e2e_hist.record_n(t.elapsed().as_nanos() as u64, n);
+        }
     }
 }

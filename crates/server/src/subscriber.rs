@@ -24,6 +24,7 @@ use crate::protocol::{Msg, ResultEntry, SubPolicy};
 use srpq_common::{FxHashSet, ResultPair, Timestamp};
 use srpq_core::multi::{MultiSink, QueryId};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::time::Instant;
 
 /// Result entries per [`Push::Results`] frame before an eager flush.
 pub(crate) const RESULTS_PER_FRAME: usize = 256;
@@ -33,8 +34,14 @@ pub(crate) const DEFAULT_CAPACITY: usize = 64;
 
 /// One item in a subscriber queue.
 pub(crate) enum Push {
-    /// A batch of results to forward.
-    Results(Vec<ResultEntry>),
+    /// A batch of results to forward. `stamp` is the ingest-decode
+    /// timestamp of the batch that produced these entries, when the
+    /// end-to-end latency sampler picked that batch — the pump thread
+    /// observes it after the socket write.
+    Results {
+        entries: Vec<ResultEntry>,
+        stamp: Option<Instant>,
+    },
     /// A drop tally to forward ([`Msg::Dropped`]).
     Dropped(u64),
     /// Flush the socket, then acknowledge — the `Drain` fence.
@@ -89,7 +96,12 @@ impl Subscriber {
     /// subscriber's policy, crediting delivered entries to
     /// `pushed_total` and shed ones to `dropped_total` (an entry is
     /// never both).
-    pub(crate) fn flush_buf(&mut self, pushed_total: &mut u64, dropped_total: &mut u64) {
+    pub(crate) fn flush_buf(
+        &mut self,
+        pushed_total: &mut u64,
+        dropped_total: &mut u64,
+        stamp: Option<Instant>,
+    ) {
         if self.dead {
             self.buf.clear();
             return;
@@ -99,13 +111,23 @@ impl Subscriber {
             let n = frame.len() as u64;
             match self.policy {
                 SubPolicy::Block => {
-                    if self.tx.send(Push::Results(frame)).is_err() {
+                    if self
+                        .tx
+                        .send(Push::Results {
+                            entries: frame,
+                            stamp,
+                        })
+                        .is_err()
+                    {
                         self.dead = true;
                     } else {
                         *pushed_total += n;
                     }
                 }
-                SubPolicy::DropNewest => match self.tx.try_send(Push::Results(frame)) {
+                SubPolicy::DropNewest => match self.tx.try_send(Push::Results {
+                    entries: frame,
+                    stamp,
+                }) {
                     Ok(()) => *pushed_total += n,
                     Err(TrySendError::Full(_)) => {
                         self.dropped_pending += n;
@@ -168,6 +190,9 @@ pub(crate) struct FanoutSink<'a> {
     pub(crate) pushed: &'a mut u64,
     /// Running count of entries lost to drop-policy queues.
     pub(crate) dropped: &'a mut u64,
+    /// Ingest-decode timestamp of the driving batch (end-to-end latency
+    /// sample), attached to every frame this sink flushes.
+    pub(crate) stamp: Option<Instant>,
 }
 
 impl FanoutSink<'_> {
@@ -178,7 +203,7 @@ impl FanoutSink<'_> {
             }
             sub.buf.push(entry);
             if sub.buf.len() >= RESULTS_PER_FRAME {
-                sub.flush_buf(self.pushed, self.dropped);
+                sub.flush_buf(self.pushed, self.dropped, self.stamp);
             }
         }
     }
@@ -187,7 +212,7 @@ impl FanoutSink<'_> {
     /// subscribers.
     pub(crate) fn finish(self) {
         for sub in self.subscribers.iter_mut() {
-            sub.flush_buf(self.pushed, self.dropped);
+            sub.flush_buf(self.pushed, self.dropped, self.stamp);
         }
         self.subscribers.retain(|s| !s.dead);
     }
@@ -218,7 +243,7 @@ impl MultiSink for FanoutSink<'_> {
 /// Renders one queue item as its wire message.
 pub(crate) fn push_to_msg(push: &Push) -> Option<Msg> {
     match push {
-        Push::Results(entries) => Some(Msg::Results {
+        Push::Results { entries, .. } => Some(Msg::Results {
             entries: entries.clone(),
         }),
         Push::Dropped(count) => Some(Msg::Dropped { count: *count }),
@@ -256,7 +281,7 @@ mod tests {
         let consumer = std::thread::spawn(move || {
             let mut got = 0usize;
             while let Ok(p) = rx.recv() {
-                if let Push::Results(v) = p {
+                if let Push::Results { entries: v, .. } = p {
                     got += v.len();
                 }
             }
@@ -267,6 +292,7 @@ mod tests {
                 subscribers: &mut subs,
                 pushed: &mut pushed,
                 dropped: &mut dropped,
+                stamp: None,
             };
             for i in 0..(RESULTS_PER_FRAME + 1) {
                 sink.emit(
@@ -301,6 +327,7 @@ mod tests {
                 subscribers: &mut subs,
                 pushed: &mut pushed,
                 dropped: &mut dropped,
+                stamp: None,
             };
             sink.push(entry(0, round));
             sink.finish();
@@ -309,7 +336,7 @@ mod tests {
         assert_eq!(subs[0].dropped_pending, 2);
         // Drain the queue: the next flush (even an empty one — no new
         // results required) delivers the tally.
-        let Push::Results(first) = rx.recv().unwrap() else {
+        let Push::Results { entries: first, .. } = rx.recv().unwrap() else {
             panic!("expected results first");
         };
         assert_eq!(first.len(), 1);
@@ -317,6 +344,7 @@ mod tests {
             subscribers: &mut subs,
             pushed: &mut pushed,
             dropped: &mut dropped,
+            stamp: None,
         };
         sink.finish();
         let Push::Dropped(n) = rx.recv().unwrap() else {
@@ -342,16 +370,17 @@ mod tests {
             subscribers: &mut subs,
             pushed: &mut pushed,
             dropped: &mut dropped,
+            stamp: None,
         };
         sink.push(entry(0, 1));
         sink.push(entry(1, 2));
         sink.finish();
         // Filtered subscriber only sees query 0; `all` sees both.
-        let Push::Results(a) = rx.recv().unwrap() else {
+        let Push::Results { entries: a, .. } = rx.recv().unwrap() else {
             panic!()
         };
         assert_eq!(a.iter().map(|e| e.query).collect::<Vec<_>>(), vec![0]);
-        let Push::Results(b) = rx2.recv().unwrap() else {
+        let Push::Results { entries: b, .. } = rx2.recv().unwrap() else {
             panic!()
         };
         assert_eq!(b.iter().map(|e| e.query).collect::<Vec<_>>(), vec![0, 1]);
@@ -361,6 +390,7 @@ mod tests {
             subscribers: &mut subs,
             pushed: &mut pushed,
             dropped: &mut dropped,
+            stamp: None,
         };
         sink.push(entry(0, 3));
         sink.finish();

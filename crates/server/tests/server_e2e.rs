@@ -407,3 +407,110 @@ fn parallel_workers_server_matches_sequential_server() {
         assert_eq!(run(workers), sequential, "{workers} workers diverged");
     }
 }
+
+/// Reads the `NAME_count` line of a Prometheus histogram out of an
+/// exposition document.
+fn prom_hist_count(text: &str, name: &str) -> u64 {
+    let needle = format!("{name}_count");
+    text.lines()
+        .find(|l| l.starts_with(&needle))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("series {needle} missing from:\n{text}"))
+}
+
+#[test]
+fn metrics_events_and_exact_e2e_histogram() {
+    // Default in-memory config: e2e_sample == 1, so every delivered
+    // result is stamped at ingest decode and observed at the flush that
+    // makes it client-visible — the e2e histogram count must equal the
+    // delivered-results count exactly.
+    let mut config =
+        ServerConfig::in_memory(EngineConfig::with_window(WindowPolicy::new(1000, 100)));
+    config.metrics_addr = Some("127.0.0.1:0".to_string());
+    let server = srpq_server::start(config).expect("server starts");
+    let addr = server.addr();
+    let http_addr = server.metrics_addr().expect("metrics listener up");
+    let obs = server.obs().clone();
+
+    let mut control = Client::connect(addr).unwrap();
+    control.add_query("ab", "a b", false, false).unwrap();
+    let sub = Client::connect(addr)
+        .unwrap()
+        .subscribe(&[], SubPolicy::Block, 0)
+        .unwrap();
+    let collector = std::thread::spawn(move || sub.collect_to_end().unwrap());
+
+    let mut ingest = Client::connect(addr).unwrap();
+    let ids = ingest
+        .map_labels(&["a".to_string(), "b".to_string()])
+        .unwrap();
+    // 256 tuples at ts 0..256 cross the slide boundary (β = 100), so
+    // the journal sees window slides, not just topology events.
+    for chunk in chain(&ids, 256).chunks(32) {
+        ingest.ingest(chunk).unwrap();
+    }
+    control.drain().unwrap();
+
+    // `ctl metrics` surface: the full pipeline shows up as series.
+    let text = control.metrics().unwrap();
+    assert!(prom_hist_count(&text, "srpq_stage_ingest_decode_ns") >= 4);
+    assert!(prom_hist_count(&text, "srpq_stage_route_ns") > 0);
+    assert!(prom_hist_count(&text, "srpq_stage_extend_ns") > 0);
+    assert!(prom_hist_count(&text, "srpq_stage_subscriber_write_ns") > 0);
+    assert!(
+        text.contains("srpq_query_delta_nodes{query=\"ab\"}"),
+        "{text}"
+    );
+    assert!(text.contains("srpq_ingest_tuples_total 256"), "{text}");
+    assert!(text.contains("srpq_subscribers 1"), "{text}");
+
+    // HTTP surface: a raw HTTP/1.0 GET serves the same document shape.
+    let body = {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(http_addr).unwrap();
+        s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 200"), "{resp}");
+        resp
+    };
+    assert!(body.contains("srpq_live_queries 1"), "{body}");
+
+    // Exact e2e accounting: every result delivered so far was stamped
+    // (sample=1, no backfill) and observed before the drain fence acked.
+    let stats = control.stats().unwrap();
+    assert!(stats.results_pushed > 0);
+    assert_eq!(
+        prom_hist_count(&text, "srpq_e2e_latency_ns"),
+        stats.results_pushed
+    );
+
+    // The journal replays the session's structured history.
+    let events = control.events(0).unwrap();
+    let kind = |k: srpq_obs::EventKind| events.iter().filter(|e| e.kind == k.as_u8()).count();
+    assert!(kind(srpq_obs::EventKind::QueryAdd) == 1, "{events:?}");
+    assert!(
+        kind(srpq_obs::EventKind::SubscriberConnect) == 1,
+        "{events:?}"
+    );
+    assert!(kind(srpq_obs::EventKind::SlideBoundary) > 0, "{events:?}");
+    // `--since` cursors resume after the last seen sequence.
+    let last = events.last().unwrap().seq;
+    assert!(control.events(last).unwrap().is_empty());
+
+    control.shutdown().unwrap();
+    server.join();
+    let (entries, dropped) = collector.join().unwrap();
+    assert_eq!(dropped, 0);
+    let final_count = obs
+        .registry()
+        .histogram("srpq_e2e_latency_ns", &[])
+        .merged()
+        .count();
+    assert_eq!(
+        final_count,
+        entries.len() as u64,
+        "e2e histogram count must equal delivered results"
+    );
+}
