@@ -30,7 +30,7 @@ const USAGE: &str = "usage:
   srpq serve --listen ADDR --window W [--slide B] [--refresh ...]
            [--workers N] [--wal-dir DIR [--sync ...] [--checkpoint ...]
             [--checkpoint-every N]] [--pipeline N]
-           [--metrics-addr ADDR] [--e2e-sample N]
+           [--metrics-addr ADDR] [--e2e-sample N] [--trace-sample N]
   srpq ingest --connect ADDR --stream FILE [--batch N] [--limit N]
            [--resume] [--drain]
   srpq subscribe --connect ADDR [--queries a,b] [--policy block|drop]
@@ -39,8 +39,9 @@ const USAGE: &str = "usage:
            [--semantics arbitrary|simple] [--backfill]
   srpq query remove --connect ADDR --name N
   srpq query list --connect ADDR
-  srpq ctl drain|checkpoint|shutdown|stats|metrics --connect ADDR
-  srpq ctl events --connect ADDR [--since SEQ]";
+  srpq ctl drain|checkpoint|shutdown|stats|metrics|trace --connect ADDR
+  srpq ctl events --connect ADDR [--since SEQ]
+  srpq ctl explain NAME --connect ADDR [--json]";
 
 /// Dispatches a command line.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -526,7 +527,9 @@ struct RunOutcome {
 /// `batch`-sized chunks, measuring mean per-relevant-tuple latency per
 /// chunk, printing results when `print` is set. With `trace`, window
 /// slides, compactions, and checkpoints detected between chunks are
-/// recorded as journal events (replayed to stderr after the run).
+/// journaled through the same [`srpq_obs::StageTracker`] the server's
+/// engine thread uses — the offline run and a live server emit one and
+/// the same event stream (replayed to stderr after the run).
 fn drive_stream(
     host: &mut EngineHost,
     tuples: &[StreamTuple],
@@ -552,9 +555,16 @@ fn drive_stream(
         sink: &mut S,
         trace: Option<&srpq_obs::Journal>,
     ) -> Result<(), String> {
-        use srpq_obs::EventKind;
         let mut pos = start;
-        let mut last = *host.engine().stats();
+        // Seed the watermarks from the host's lifetime counters so a
+        // recovered engine reports deltas, not totals (exactly what the
+        // server does at startup).
+        let mut tracker = srpq_obs::StageTracker::new();
+        {
+            let stats = host.engine().stats();
+            tracker.seed(stats.expiry_runs, stats.checkpoints_written);
+            tracker.seed_query("cli", stats.compactions);
+        }
         for chunk in slice.chunks(batch.max(1)) {
             let chunk_relevant = chunk
                 .iter()
@@ -569,34 +579,10 @@ fn drive_stream(
             pos += chunk.len();
             if let Some(journal) = trace {
                 let now = *host.engine().stats();
-                if now.expiry_runs > last.expiry_runs {
-                    journal.record(
-                        EventKind::SlideBoundary,
-                        format!(
-                            "pos={pos} expiry_runs+={} nodes_expired+={}",
-                            now.expiry_runs - last.expiry_runs,
-                            now.nodes_expired - last.nodes_expired
-                        ),
-                    );
-                }
-                if now.compactions > last.compactions {
-                    journal.record(
-                        EventKind::Compaction,
-                        format!(
-                            "pos={pos} compactions+={}",
-                            now.compactions - last.compactions
-                        ),
-                    );
-                }
-                if now.checkpoints_written > last.checkpoints_written {
-                    journal.record(
-                        EventKind::Checkpoint,
-                        format!("pos={pos} checkpoints+={}", {
-                            now.checkpoints_written - last.checkpoints_written
-                        }),
-                    );
-                }
-                last = now;
+                let at = format!("pos={pos}");
+                tracker.slide(journal, &at, now.expiry_runs);
+                tracker.compaction(journal, "cli", now.compactions);
+                tracker.checkpoint(journal, &at, now.checkpoints_written);
             }
         }
         Ok(())

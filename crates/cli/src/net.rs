@@ -55,6 +55,7 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
         workers,
         metrics_addr: args.get("metrics-addr").map(str::to_string),
         e2e_sample: args.get_num("e2e-sample", 1u32)?,
+        trace_sample: args.get_num("trace-sample", 0u32)?,
     };
     let handle = srpq_server::start(config)?;
     if let Some(maddr) = handle.metrics_addr() {
@@ -328,7 +329,10 @@ pub fn cmd_ctl(args: &Args) -> Result<(), String> {
         }
         Some("events") => {
             let since: u64 = args.get_num("since", 0u64)?;
-            let events = client.events(since).map_err(|e| e.to_string())?;
+            let (events, dropped) = client.events(since).map_err(|e| e.to_string())?;
+            if dropped > 0 {
+                eprintln!("({dropped} earlier events already overwritten by the bounded journal)");
+            }
             for e in events {
                 let kind = srpq_obs::EventKind::from_u8(e.kind)
                     .map(|k| k.name())
@@ -337,8 +341,139 @@ pub fn cmd_ctl(args: &Args) -> Result<(), String> {
             }
             Ok(())
         }
+        Some("trace") => {
+            let spans = client.trace().map_err(|e| e.to_string())?;
+            if spans.is_empty() {
+                eprintln!("(no spans retained; run the server with --trace-sample N)");
+            }
+            // Spans arrive sorted by (trace, start); children indent
+            // under their trace's root.
+            for s in &spans {
+                let indent = if s.parent == 0 { "" } else { "  " };
+                println!(
+                    "t{:<5} {indent}{:<16} {:>9.3}ms @{:<10} [{}] {}",
+                    s.trace_id,
+                    s.name,
+                    s.dur_us as f64 / 1e3,
+                    s.start_us,
+                    s.thread,
+                    s.detail
+                );
+            }
+            Ok(())
+        }
+        Some("explain") => {
+            let name = args
+                .positional
+                .get(2)
+                .ok_or("ctl explain needs a query name")?;
+            let x = client.explain(name).map_err(|e| e.to_string())?;
+            if args.flag("json") {
+                print_explain_json(&x);
+            } else {
+                print_explain(&x);
+            }
+            Ok(())
+        }
         other => Err(format!(
-            "ctl needs drain|checkpoint|shutdown|stats|metrics|events, got {other:?} (see usage)"
+            "ctl needs drain|checkpoint|shutdown|stats|metrics|events|trace|explain, \
+             got {other:?} (see usage)"
         )),
     }
+}
+
+/// Human-readable `ctl explain` report.
+fn print_explain(x: &srpq_client::ExplainWire) {
+    let semantics = if x.simple { "simple" } else { "arbitrary" };
+    println!("query q{}: {}  {}  [{semantics}]", x.id, x.name, x.regex);
+    println!(
+        "dfa:              {} states, start {}, accepting {:?}",
+        x.dfa_states, x.dfa_start, x.dfa_accepting
+    );
+    for l in &x.labels {
+        println!(
+            "  label {:<12} {} transition(s), routed to {} quer{}",
+            l.name,
+            l.transitions,
+            l.sharing_queries,
+            if l.sharing_queries == 1 { "y" } else { "ies" }
+        );
+    }
+    println!(
+        "delta forest:     {} trees, {} nodes / {} slots, {} bytes, {} compactions",
+        x.delta_trees, x.delta_nodes, x.delta_slots, x.delta_arena_bytes, x.compactions
+    );
+    for &(state, n) in &x.nodes_per_state {
+        println!("  state {state:<4} {n} node(s)");
+    }
+    let max_depth = x.depth_hist.iter().rposition(|&c| c > 0).unwrap_or(0);
+    println!("  depth histogram (max {max_depth}):");
+    for (d, &n) in x.depth_hist.iter().enumerate().take(max_depth + 1) {
+        if n > 0 {
+            println!("    depth {d:<3} {n}");
+        }
+    }
+    println!(
+        "routing:          {} tuples routed, {} results emitted",
+        x.tuples_routed, x.results_emitted
+    );
+    let share = if x.total_eval_ns > 0 {
+        100.0 * x.eval_ns as f64 / x.total_eval_ns as f64
+    } else {
+        0.0
+    };
+    println!(
+        "time:             eval {:.1}ms (expiry {:.1}ms) — {share:.1}% of all evaluation",
+        x.eval_ns as f64 / 1e6,
+        x.expiry_ns as f64 / 1e6,
+    );
+}
+
+/// Machine-readable `ctl explain --json` (hand-rolled, std-only).
+fn print_explain_json(x: &srpq_client::ExplainWire) {
+    use std::fmt::Write as _;
+    let esc = |s: &str| {
+        s.replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+    };
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"id\":{},\"name\":\"{}\",\"regex\":\"{}\",\"simple\":{},\
+         \"dfa\":{{\"states\":{},\"start\":{},\"accepting\":{:?}}},\"labels\":[",
+        x.id,
+        esc(&x.name),
+        esc(&x.regex),
+        x.simple,
+        x.dfa_states,
+        x.dfa_start,
+        x.dfa_accepting
+    );
+    for (i, l) in x.labels.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"name\":\"{}\",\"transitions\":{},\"sharing_queries\":{}}}",
+            if i > 0 { "," } else { "" },
+            esc(&l.name),
+            l.transitions,
+            l.sharing_queries
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"delta\":{{\"trees\":{},\"nodes\":{},\"slots\":{},\"arena_bytes\":{},\
+         \"compactions\":{},\"nodes_per_state\":[",
+        x.delta_trees, x.delta_nodes, x.delta_slots, x.delta_arena_bytes, x.compactions
+    );
+    for (i, &(state, n)) in x.nodes_per_state.iter().enumerate() {
+        let _ = write!(out, "{}[{state},{n}]", if i > 0 { "," } else { "" });
+    }
+    let _ = write!(
+        out,
+        "],\"depth_hist\":{:?}}},\"tuples_routed\":{},\"eval_ns\":{},\"expiry_ns\":{},\
+         \"total_eval_ns\":{},\"results_emitted\":{}}}",
+        x.depth_hist, x.tuples_routed, x.eval_ns, x.expiry_ns, x.total_eval_ns, x.results_emitted
+    );
+    println!("{out}");
 }

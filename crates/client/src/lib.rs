@@ -19,7 +19,9 @@
 #![warn(clippy::all)]
 
 use srpq_common::{Label, StreamTuple};
-pub use srpq_server::protocol::{EventWire, ResultEntry, SubPolicy as SubscriptionPolicy};
+pub use srpq_server::protocol::{
+    EventWire, ExplainWire, LabelRoute, ResultEntry, SpanWire, SubPolicy as SubscriptionPolicy,
+};
 use srpq_server::protocol::{Msg, QueryInfo, StatsSnapshot, SubPolicy, PROTO_VERSION};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -212,10 +214,31 @@ impl Client {
 
     /// Structured events from the server's bounded journal with
     /// sequence numbers strictly greater than `since` (pass 0 for
-    /// everything still retained).
-    pub fn events(&mut self, since: u64) -> io::Result<Vec<EventWire>> {
+    /// everything still retained), plus the count of events after
+    /// `since` the bounded journal has already overwritten — nonzero
+    /// means the replay has a gap at its start.
+    pub fn events(&mut self, since: u64) -> io::Result<(Vec<EventWire>, u64)> {
         match self.call(Msg::Events { since })? {
-            Msg::EventList { events } => Ok(events),
+            Msg::EventList { events, dropped } => Ok((events, dropped)),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// The server's retained causal-trace spans (sampled ingest
+    /// batches; empty unless the server runs with `--trace-sample`).
+    pub fn trace(&mut self) -> io::Result<Vec<SpanWire>> {
+        match self.call(Msg::Trace)? {
+            Msg::TraceList { spans } => Ok(spans),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// The introspection report for the live query registered under
+    /// `name`: minimized-DFA shape, Δ-forest profile, routing fan-in,
+    /// and evaluation time share.
+    pub fn explain(&mut self, name: &str) -> io::Result<ExplainWire> {
+        match self.call(Msg::Explain { name: name.into() })? {
+            Msg::ExplainReport(x) => Ok(x),
             other => Err(proto_err(format!("unexpected reply {other:?}"))),
         }
     }

@@ -17,10 +17,13 @@
 //!   (WAL records, checkpoints, stream files).
 //! * [`frame`] — length-prefixed, CRC32-guarded message frames, the unit
 //!   of the `srpq_server` network protocol.
+//! * [`beacon`] — relaxed-atomic stage beacons published by engine and
+//!   worker threads, sampled by the std-only profiler in `srpq_obs`.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod beacon;
 pub mod crc32;
 pub mod frame;
 pub mod hash;
@@ -30,6 +33,7 @@ pub mod interner;
 pub mod tuple;
 pub mod wire;
 
+pub use beacon::StageBeacon;
 pub use crc32::{crc32, Crc32};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use histogram::LatencyHistogram;

@@ -7,10 +7,11 @@
 //! the second dimension without further dispatch.
 
 use crate::config::EngineConfig;
+use crate::delta::{Forest, TreeSemantics};
 use crate::rapq::RapqEngine;
 use crate::rspq::RspqEngine;
 use crate::sink::ResultSink;
-use crate::stats::{EngineStats, IndexSize};
+use crate::stats::{DeltaProfile, EngineStats, IndexSize};
 use srpq_automata::{CompiledQuery, ParseError};
 use srpq_common::{LabelInterner, ResultPair, StreamTuple, Timestamp};
 use srpq_graph::{Visibility, WindowGraph, WindowPolicy};
@@ -259,6 +260,16 @@ impl Engine {
         }
     }
 
+    /// A structural profile of the Δ forest (live nodes per DFA state,
+    /// depth histogram, arena occupancy) for introspection surfaces
+    /// like `ctl explain`. O(|Δ|) — do not call on the tuple path.
+    pub fn delta_profile(&self) -> DeltaProfile {
+        match self {
+            Engine::Arbitrary(e) => profile_forest(e.delta()),
+            Engine::Simple(e) => profile_forest(e.delta()),
+        }
+    }
+
     /// The window graph.
     pub fn graph(&self) -> &WindowGraph {
         match self {
@@ -292,6 +303,44 @@ impl Engine {
     }
 }
 
+/// Walks every live node of `forest` into a [`DeltaProfile`]. Depths
+/// come from parent-chain walks per node — quadratic in the worst
+/// case, fine for an on-demand introspection verb.
+fn profile_forest<X: TreeSemantics>(forest: &Forest<X>) -> DeltaProfile {
+    let mut per_state: srpq_common::FxHashMap<u32, u64> = srpq_common::FxHashMap::default();
+    let mut depth_histogram = vec![0u64; DeltaProfile::DEPTH_BUCKETS];
+    let mut nodes = 0usize;
+    for root in forest.roots() {
+        let Some(tree) = forest.tree(root) else {
+            continue;
+        };
+        for (id, node) in tree.iter() {
+            nodes += 1;
+            *per_state.entry(node.state.0).or_insert(0) += 1;
+            let mut depth = 0usize;
+            let mut cursor = id;
+            while let Some(parent) = tree.parent_id_of(cursor) {
+                depth += 1;
+                cursor = parent;
+                if depth >= DeltaProfile::DEPTH_BUCKETS - 1 {
+                    break;
+                }
+            }
+            depth_histogram[depth.min(DeltaProfile::DEPTH_BUCKETS - 1)] += 1;
+        }
+    }
+    let mut nodes_per_state: Vec<(u32, u64)> = per_state.into_iter().collect();
+    nodes_per_state.sort_unstable();
+    DeltaProfile {
+        trees: forest.n_trees(),
+        nodes,
+        slots: forest.n_slots(),
+        arena_bytes: forest.arena_bytes(),
+        nodes_per_state,
+        depth_histogram,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,6 +368,43 @@ mod tests {
             assert!(engine.index_size().nodes >= 2);
             assert_eq!(engine.now(), Timestamp(2));
             engine.expire_now(&mut sink);
+        }
+    }
+
+    #[test]
+    fn delta_profile_reflects_forest_shape() {
+        for semantics in [PathSemantics::Arbitrary, PathSemantics::Simple] {
+            let mut labels = LabelInterner::new();
+            let mut verts = VertexInterner::new();
+            let mut engine =
+                Engine::from_str("a b", &mut labels, WindowPolicy::new(100, 10), semantics)
+                    .unwrap();
+            let a = labels.get("a").unwrap();
+            let b = labels.get("b").unwrap();
+            let (x, y, z) = (verts.intern("x"), verts.intern("y"), verts.intern("z"));
+            let mut sink = CollectSink::default();
+            let empty = engine.delta_profile();
+            assert_eq!((empty.trees, empty.nodes), (0, 0));
+            assert!(empty.nodes_per_state.is_empty());
+            assert_eq!(empty.max_depth(), 0);
+            engine.process(StreamTuple::insert(Timestamp(1), x, y, a), &mut sink);
+            engine.process(StreamTuple::insert(Timestamp(2), y, z, b), &mut sink);
+            let p = engine.delta_profile();
+            let size = engine.index_size();
+            assert_eq!(p.nodes, size.nodes);
+            assert_eq!(p.trees, size.trees);
+            assert_eq!(p.arena_bytes, size.arena_bytes);
+            assert!(p.nodes >= 2);
+            assert!(p.slots >= p.nodes);
+            // Per-state counts and the depth histogram both partition
+            // the node set; roots sit at depth 0, one per tree.
+            assert_eq!(
+                p.nodes_per_state.iter().map(|(_, n)| *n).sum::<u64>(),
+                p.nodes as u64
+            );
+            assert_eq!(p.depth_histogram.iter().sum::<u64>(), p.nodes as u64);
+            assert_eq!(p.depth_histogram[0], p.trees as u64);
+            assert!(p.max_depth() >= 1);
         }
     }
 

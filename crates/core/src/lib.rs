@@ -69,4 +69,4 @@ pub use parallel::ParallelRapqEngine;
 pub use parallel_multi::ParallelMultiEngine;
 pub use reorder::ReorderBuffer;
 pub use sink::{CollectSink, CountSink, NullSink, ResultSink};
-pub use stats::{EngineStats, IndexSize, StageTotals};
+pub use stats::{DeltaProfile, EngineStats, IndexSize, StageTotals};

@@ -167,6 +167,9 @@ pub struct MultiQueryEngine {
     /// Cumulative stage timings of the batch path (see
     /// [`Self::stage_totals`]).
     stage: StageTotals,
+    /// Optional stage beacon published for the sampling profiler (see
+    /// [`Self::set_beacon`]). `None` (the default) costs one branch.
+    beacon: Option<std::sync::Arc<srpq_common::StageBeacon>>,
 }
 
 impl MultiQueryEngine {
@@ -191,7 +194,24 @@ impl MultiQueryEngine {
             route_scratch: Vec::new(),
             poisoned: false,
             stage: StageTotals::default(),
+            beacon: None,
         }
+    }
+
+    /// Attaches a stage beacon: the batch path publishes which stage
+    /// the calling thread is in (route/extend/expiry) through relaxed
+    /// atomic stores, read by an external ~1 kHz sampling profiler.
+    /// The engine stays free of any metrics dependency — the beacon is
+    /// a vocabulary type from `srpq_common`.
+    pub fn set_beacon(&mut self, beacon: std::sync::Arc<srpq_common::StageBeacon>) {
+        self.beacon = Some(beacon);
+    }
+
+    /// Worker-thread beacons — none; the sequential engine evaluates
+    /// on the calling thread (API parity with
+    /// `ParallelMultiEngine::worker_beacons`).
+    pub fn worker_beacons(&self) -> Vec<std::sync::Arc<srpq_common::StageBeacon>> {
+        Vec::new()
     }
 
     /// Cumulative time spent in the batch path ([`Self::process_batch`]),
@@ -506,6 +526,9 @@ impl MultiQueryEngine {
     pub fn process_batch<S: MultiSink>(&mut self, batch: &[StreamTuple], sink: &mut S) {
         self.assert_usable();
         self.poisoned = true; // cleared on orderly completion
+        if let Some(b) = &self.beacon {
+            b.set(srpq_common::beacon::stage::ROUTE);
+        }
         let routing = std::mem::take(&mut self.routing);
         let window = self.window;
         let t_batch = std::time::Instant::now();
@@ -535,10 +558,16 @@ impl MultiQueryEngine {
                         inner: sink,
                     };
                     let expiry0 = reg.engine.stats().expiry_nanos;
+                    if let Some(b) = &self.beacon {
+                        b.set(srpq_common::beacon::stage::EXTEND);
+                    }
                     let t0 = std::time::Instant::now();
                     reg.engine
                         .process_with_graph(&mut self.graph, t, &mut tagged);
                     let elapsed = t0.elapsed().as_nanos() as u64;
+                    if let Some(b) = &self.beacon {
+                        b.set(srpq_common::beacon::stage::ROUTE);
+                    }
                     let stats = reg.engine.stats_mut();
                     stats.tuples_routed += 1;
                     stats.eval_ns += elapsed;
@@ -555,6 +584,10 @@ impl MultiQueryEngine {
         self.stage.eval_ns += batch_eval;
         self.stage.expiry_ns += batch_expiry;
         self.stage.route_ns += total.saturating_sub(batch_eval);
+        if let Some(b) = &self.beacon {
+            b.set(srpq_common::beacon::stage::IDLE);
+            b.advance();
+        }
     }
 
     fn assert_usable(&self) {
@@ -569,6 +602,9 @@ impl MultiQueryEngine {
     /// Forces an expiry pass for every live query (and a shared graph
     /// purge) at the current eager watermark.
     pub fn expire_now<S: MultiSink>(&mut self, sink: &mut S) {
+        if let Some(b) = &self.beacon {
+            b.set(srpq_common::beacon::stage::EXPIRY);
+        }
         self.graph.purge_expired(self.window.watermark(self.now));
         for (qi, slot) in self.queries.iter_mut().enumerate() {
             let Some(reg) = slot.as_mut() else { continue };
@@ -578,6 +614,10 @@ impl MultiQueryEngine {
             };
             reg.engine
                 .expire_now_with_graph(&mut self.graph, &mut tagged);
+        }
+        if let Some(b) = &self.beacon {
+            b.set(srpq_common::beacon::stage::IDLE);
+            b.advance();
         }
     }
 }

@@ -143,9 +143,16 @@ struct Worker {
     jobs: Option<Sender<Job>>,
     results: Receiver<JobOut>,
     handle: Option<JoinHandle<()>>,
+    /// Stage beacon published by the worker thread (sampling profiler).
+    beacon: Arc<srpq_common::StageBeacon>,
 }
 
-fn worker_loop(jobs: Receiver<Job>, results: Sender<JobOut>) {
+fn worker_loop(
+    jobs: Receiver<Job>,
+    results: Sender<JobOut>,
+    beacon: Arc<srpq_common::StageBeacon>,
+) {
+    use srpq_common::beacon::stage;
     while let Ok(job) = jobs.recv() {
         let out = match job {
             Job::Batch {
@@ -154,6 +161,7 @@ fn worker_loop(jobs: Receiver<Job>, results: Sender<JobOut>) {
                 first_targets,
                 mut slots,
             } => {
+                beacon.set(stage::EXTEND);
                 let mut events = Vec::new();
                 let mut eval_ns = 0u64;
                 let mut expiry_ns = 0u64;
@@ -208,6 +216,7 @@ fn worker_loop(jobs: Receiver<Job>, results: Sender<JobOut>) {
                 }
             }
             Job::Expire { graph, mut slots } => {
+                beacon.set(stage::EXPIRY);
                 let mut events = Vec::new();
                 let mut eval_ns = 0u64;
                 let mut expiry_ns = 0u64;
@@ -236,10 +245,15 @@ fn worker_loop(jobs: Receiver<Job>, results: Sender<JobOut>) {
                 }
             }
         };
-        if results.send(out).is_err() {
+        beacon.set(stage::HANDOFF);
+        let sent = results.send(out);
+        beacon.set(stage::IDLE);
+        beacon.advance();
+        if sent.is_err() {
             return; // coordinator gone
         }
     }
+    beacon.set(stage::IDLE);
 }
 
 /// A multi-query engine whose evaluation stage scales across worker
@@ -280,6 +294,9 @@ pub struct ParallelMultiEngine {
     wait_scratch_ns: u64,
     /// Cumulative batch counters (see [`Self::stage_totals`]).
     stage: StageTotals,
+    /// Optional coordinator-thread stage beacon (see
+    /// [`Self::set_beacon`]).
+    beacon: Option<Arc<srpq_common::StageBeacon>>,
 }
 
 impl ParallelMultiEngine {
@@ -309,7 +326,24 @@ impl ParallelMultiEngine {
             coord_ns: (0, 0),
             wait_scratch_ns: 0,
             stage: StageTotals::default(),
+            beacon: None,
         }
+    }
+
+    /// Attaches a coordinator-thread stage beacon (mirrors
+    /// [`MultiQueryEngine::set_beacon`]): the batch path publishes
+    /// route/expiry stages through relaxed atomic stores for the
+    /// sampling profiler. Worker threads publish their own beacons —
+    /// see [`Self::worker_beacons`].
+    pub fn set_beacon(&mut self, beacon: Arc<srpq_common::StageBeacon>) {
+        self.beacon = Some(beacon);
+    }
+
+    /// The per-worker stage beacons, index-aligned with the pool
+    /// (thread `srpq-multi-worker-{i}`). Refreshed by
+    /// [`Self::resize_workers`] — re-fetch after a resize.
+    pub fn worker_beacons(&self) -> Vec<Arc<srpq_common::StageBeacon>> {
+        self.pool.iter().map(|w| Arc::clone(&w.beacon)).collect()
     }
 
     /// Per-worker `(eval_ns, expiry_ns)` totals: the wall-clock each
@@ -476,6 +510,9 @@ impl ParallelMultiEngine {
             return;
         }
         self.poisoned = true; // cleared on orderly completion
+        if let Some(b) = &self.beacon {
+            b.set(srpq_common::beacon::stage::ROUTE);
+        }
         let t_batch = std::time::Instant::now();
         self.wait_scratch_ns = 0;
         let mut i = 0;
@@ -496,6 +533,10 @@ impl ParallelMultiEngine {
         let total = t_batch.elapsed().as_nanos() as u64;
         self.stage.batches += 1;
         self.stage.route_ns += total.saturating_sub(self.wait_scratch_ns);
+        if let Some(b) = &self.beacon {
+            b.set(srpq_common::beacon::stage::IDLE);
+            b.advance();
+        }
     }
 
     /// Forces an expiry pass for every live query (and a shared graph
@@ -504,6 +545,9 @@ impl ParallelMultiEngine {
     pub fn expire_now<S: MultiSink>(&mut self, sink: &mut S) {
         self.assert_usable();
         self.poisoned = true;
+        if let Some(b) = &self.beacon {
+            b.set(srpq_common::beacon::stage::EXPIRY);
+        }
         Arc::get_mut(&mut self.graph)
             .expect("workers idle between batches")
             .purge_expired(self.window.watermark(self.now));
@@ -528,6 +572,10 @@ impl ParallelMultiEngine {
         let events = std::mem::take(&mut self.events_scratch);
         self.collect_and_emit(pending, events, sink);
         self.poisoned = false;
+        if let Some(b) = &self.beacon {
+            b.set(srpq_common::beacon::stage::IDLE);
+            b.advance();
+        }
     }
 
     /// Cuts the leading micro-batch out of `rest`: within one slide
@@ -921,14 +969,17 @@ fn spawn_pool(n_workers: usize) -> Vec<Worker> {
         .map(|i| {
             let (job_tx, job_rx) = channel::<Job>();
             let (res_tx, res_rx) = channel::<JobOut>();
+            let beacon = Arc::new(srpq_common::StageBeacon::new());
+            let worker_beacon = Arc::clone(&beacon);
             let handle = std::thread::Builder::new()
                 .name(format!("srpq-multi-worker-{i}"))
-                .spawn(move || worker_loop(job_rx, res_tx))
+                .spawn(move || worker_loop(job_rx, res_tx, worker_beacon))
                 .expect("spawn worker thread");
             Worker {
                 jobs: Some(job_tx),
                 results: res_rx,
                 handle: Some(handle),
+                beacon,
             }
         })
         .collect()

@@ -81,6 +81,41 @@ pub struct EngineStats {
     pub compactions: u64,
 }
 
+/// A structural profile of one query's Δ spanning forest, computed on
+/// demand for introspection (`ctl explain`). Walking every node is
+/// O(|Δ|) — this never runs on the tuple path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaProfile {
+    /// Number of spanning trees.
+    pub trees: usize,
+    /// Live nodes over all trees.
+    pub nodes: usize,
+    /// Arena slots (live + free-listed).
+    pub slots: usize,
+    /// Resident bytes of the node arenas.
+    pub arena_bytes: usize,
+    /// Live node count per DFA state, sorted by state id. States with
+    /// no live nodes are omitted.
+    pub nodes_per_state: Vec<(u32, u64)>,
+    /// Node count by depth (root = 0); index `DEPTH_BUCKETS - 1`
+    /// accumulates everything at or beyond that depth.
+    pub depth_histogram: Vec<u64>,
+}
+
+impl DeltaProfile {
+    /// Length of [`DeltaProfile::depth_histogram`]; the last bucket is
+    /// an overflow bucket.
+    pub const DEPTH_BUCKETS: usize = 33;
+
+    /// The deepest non-empty depth bucket (0 when the forest is empty).
+    pub fn max_depth(&self) -> usize {
+        self.depth_histogram
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0)
+    }
+}
+
 /// Cumulative per-stage time spent inside a multi-query host's batch
 /// path, split the way the serving pipeline is staged: routing (label
 /// lookup, slide grouping, shared-graph maintenance, fan-out

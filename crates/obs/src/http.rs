@@ -1,8 +1,13 @@
-//! A tiny hand-rolled HTTP/1.0 responder serving `GET /metrics`.
+//! A tiny hand-rolled HTTP/1.0 responder serving `GET /metrics`,
+//! `GET /trace` (Chrome trace-event JSON), and `GET /profile?seconds=N`
+//! (collapsed-stack stage profile).
 //!
 //! One accept thread, one short-lived handler per connection, no
 //! keep-alive, no dependencies. This is deliberately minimal: the only
-//! client it must satisfy is a Prometheus scraper or `curl`.
+//! clients it must satisfy are a Prometheus scraper, `curl`, and a
+//! browser downloading a trace. A `/profile` request blocks its
+//! connection (not the engine) for the requested window; concurrent
+//! scrapes queue behind it, so keep windows short.
 
 use crate::Obs;
 use std::io::{self, BufRead, BufReader, Write};
@@ -96,19 +101,52 @@ fn handle(stream: TcpStream, obs: &Obs) -> io::Result<()> {
     let mut stream = reader.into_inner();
     let mut parts = request_line.split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    let (status, body) = if method == "GET" && (path == "/metrics" || path == "/metrics/") {
-        ("200 OK", obs.render_prometheus())
-    } else {
-        ("404 Not Found", "not found; try /metrics\n".to_string())
+    let (bare_path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
     };
+    let (status, ctype, body) =
+        if method == "GET" && (bare_path == "/metrics" || bare_path == "/metrics/") {
+            (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                obs.render_prometheus(),
+            )
+        } else if method == "GET" && (bare_path == "/trace" || bare_path == "/trace/") {
+            ("200 OK", "application/json", obs.trace().to_chrome_json())
+        } else if method == "GET" && (bare_path == "/profile" || bare_path == "/profile/") {
+            ("200 OK", "text/plain", profile_window(obs, query))
+        } else {
+            (
+                "404 Not Found",
+                "text/plain",
+                "not found; try /metrics, /trace, or /profile?seconds=N\n".to_string(),
+            )
+        };
     let header = format!(
-        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+        "HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(header.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
+}
+
+/// Collapsed-stack profile over a `seconds=N` window (default 1,
+/// clamped to 1..=30). Diffs two sampler snapshots taken N seconds
+/// apart on this connection's handler.
+fn profile_window(obs: &Obs, query: &str) -> String {
+    let seconds = query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("seconds="))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(1)
+        .clamp(1, 30);
+    let before = obs.profiler().ticks();
+    std::thread::sleep(Duration::from_secs(seconds));
+    let after = obs.profiler().ticks();
+    crate::Profiler::collapsed(&before, &after)
 }
 
 #[cfg(test)]
@@ -145,5 +183,36 @@ mod tests {
 
         srv.stop();
         srv.stop(); // idempotent
+    }
+
+    #[test]
+    fn serves_trace_json_and_profile_collapsed() {
+        let obs = Obs::new();
+        let t0 = std::time::Instant::now();
+        let trace = obs.trace().alloc_id();
+        let root = obs.trace().alloc_id();
+        obs.trace()
+            .root_candidate(trace, root, t0, t0, "srpq-engine", "");
+        obs.start_profiler();
+        let beacon = Arc::new(srpq_common::StageBeacon::new());
+        obs.profiler().register("srpq-engine", beacon);
+        let mut srv = MetricsServer::start("127.0.0.1:0", obs.clone()).unwrap();
+        let addr = srv.local_addr();
+
+        let resp = get(addr, "/trace");
+        assert!(resp.starts_with("HTTP/1.0 200 OK"), "{resp}");
+        assert!(resp.contains("application/json"), "{resp}");
+        assert!(resp.contains("\"traceEvents\""), "{resp}");
+
+        let resp = get(addr, "/profile?seconds=1");
+        assert!(resp.starts_with("HTTP/1.0 200 OK"), "{resp}");
+        let body = resp.split("\r\n\r\n").nth(1).unwrap_or("");
+        assert!(
+            body.lines().any(|l| l.starts_with("srpq-engine;idle ")),
+            "{resp}"
+        );
+
+        obs.profiler().stop();
+        srv.stop();
     }
 }

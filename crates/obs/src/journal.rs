@@ -42,6 +42,8 @@ pub enum EventKind {
     QueryAdd = 8,
     /// A query was deregistered.
     QueryRemove = 9,
+    /// The stall watchdog saw a stage beacon stuck mid-batch.
+    Stall = 10,
 }
 
 impl EventKind {
@@ -65,6 +67,7 @@ impl EventKind {
             7 => EventKind::Poison,
             8 => EventKind::QueryAdd,
             9 => EventKind::QueryRemove,
+            10 => EventKind::Stall,
             _ => return None,
         })
     }
@@ -82,6 +85,7 @@ impl EventKind {
             EventKind::Poison => "poison",
             EventKind::QueryAdd => "query_add",
             EventKind::QueryRemove => "query_remove",
+            EventKind::Stall => "stall",
         }
     }
 }
@@ -159,14 +163,31 @@ impl Journal {
 
     /// Returns retained events with `seq > since`, oldest first.
     /// `since == 0` returns everything retained.
+    ///
+    /// Prefer [`Journal::since_with_dropped`] when the caller needs to
+    /// know whether the ring wrapped past its cursor — this variant
+    /// silently skips overwritten entries.
     pub fn since(&self, since: u64) -> Vec<Event> {
+        self.since_with_dropped(since).0
+    }
+
+    /// Like [`Journal::since`], but also reports how many events with
+    /// `seq > since` were already evicted from the ring — i.e. the gap
+    /// between the caller's cursor and the oldest retained sequence.
+    /// A non-zero count means the reader lost events to wraparound.
+    pub fn since_with_dropped(&self, since: u64) -> (Vec<Event>, u64) {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        inner
+        let events: Vec<Event> = inner
             .ring
             .iter()
             .filter(|e| e.seq > since)
             .cloned()
-            .collect()
+            .collect();
+        // Events with seq in (since, oldest_retained) were recorded
+        // after the cursor but have already been overwritten.
+        let oldest_retained = inner.ring.front().map_or(inner.next_seq, |e| e.seq);
+        let dropped = oldest_retained.saturating_sub(since + 1);
+        (events, dropped)
     }
 
     /// The most recently assigned sequence number (0 if none yet).
@@ -217,6 +238,31 @@ mod tests {
     }
 
     #[test]
+    fn wraparound_reports_dropped_count() {
+        let j = Journal::with_capacity(3);
+        // No events yet: nothing retained, nothing dropped.
+        assert_eq!(j.since_with_dropped(0), (Vec::new(), 0));
+        for i in 0..10 {
+            j.record(EventKind::Compaction, format!("e{i}"));
+        }
+        // Seqs 8..=10 retained; a cursor at 0 lost seqs 1..=7.
+        let (events, dropped) = j.since_with_dropped(0);
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), [8, 9, 10]);
+        assert_eq!(dropped, 7);
+        // A cursor at 5 lost seqs 6 and 7.
+        let (events, dropped) = j.since_with_dropped(5);
+        assert_eq!(events.len(), 3);
+        assert_eq!(dropped, 2);
+        // A cursor inside the retained range loses nothing.
+        let (events, dropped) = j.since_with_dropped(8);
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), [9, 10]);
+        assert_eq!(dropped, 0);
+        // A cursor past the end sees nothing and drops nothing.
+        assert_eq!(j.since_with_dropped(10), (Vec::new(), 0));
+        assert_eq!(j.since_with_dropped(99), (Vec::new(), 0));
+    }
+
+    #[test]
     fn kind_round_trips_through_u8() {
         for k in [
             EventKind::SlideBoundary,
@@ -229,6 +275,7 @@ mod tests {
             EventKind::Poison,
             EventKind::QueryAdd,
             EventKind::QueryRemove,
+            EventKind::Stall,
         ] {
             assert_eq!(EventKind::from_u8(k.as_u8()), Some(k));
         }

@@ -24,22 +24,31 @@
 
 mod http;
 mod journal;
+mod profiler;
 mod prom;
 mod registry;
+pub mod trace;
+mod tracker;
 
 pub use http::MetricsServer;
 pub use journal::{Event, EventKind, Journal, JOURNAL_CAPACITY};
+pub use profiler::Profiler;
 pub use prom::render;
 pub use registry::{Counter, Gauge, Histogram, MetricSnapshot, MetricValue, Registry};
+pub use trace::{Span, TraceBuf, TRACE_CAPACITY};
+pub use tracker::StageTracker;
 
 use std::sync::Arc;
 
-/// One observability bundle: a metrics registry plus an event journal.
-/// Cheap to clone (two `Arc`s); hand one to every layer that records.
+/// One observability bundle: a metrics registry, an event journal, a
+/// causal-trace span buffer, and a stage profiler. Cheap to clone
+/// (four `Arc`s); hand one to every layer that records.
 #[derive(Clone, Default)]
 pub struct Obs {
     registry: Arc<Registry>,
     journal: Arc<Journal>,
+    trace: Arc<TraceBuf>,
+    profiler: Arc<Profiler>,
 }
 
 impl Obs {
@@ -56,6 +65,24 @@ impl Obs {
     /// The event journal.
     pub fn journal(&self) -> &Journal {
         &self.journal
+    }
+
+    /// The causal-trace span buffer.
+    pub fn trace(&self) -> &TraceBuf {
+        &self.trace
+    }
+
+    /// The stage profiler (beacon registry + sampler control).
+    pub fn profiler(&self) -> &Arc<Profiler> {
+        &self.profiler
+    }
+
+    /// Starts the profiler's background sampler/watchdog thread
+    /// (idempotent), journaling stalls into this bundle's journal.
+    pub fn start_profiler(&self) {
+        let gauge = self.registry.gauge("srpq_stalled_threads", &[]);
+        self.profiler
+            .start_sampler(Arc::clone(&self.journal), gauge);
     }
 
     /// Renders the current registry contents in Prometheus text format.

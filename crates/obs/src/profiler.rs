@@ -1,0 +1,259 @@
+//! Std-only sampling stage profiler + stall watchdog.
+//!
+//! Engine and worker threads publish [`StageBeacon`]s (two relaxed
+//! atomics: current stage + a progress counter). A sampler thread
+//! ticks at ~997 Hz — prime, so it cannot phase-lock with millisecond-
+//! aligned batch cadences — and accumulates per-thread, per-stage tick
+//! counts. Two snapshots N seconds apart diff into a wall-clock
+//! profile rendered as collapsed-stack text (`thread;stage count`),
+//! directly consumable by `flamegraph.pl` or speedscope.
+//!
+//! The watchdog rides the same thread at ~1 Hz: a beacon reporting a
+//! non-idle stage whose progress counter has not moved for a full
+//! watchdog interval is a thread stuck mid-batch — it journals a
+//! [`EventKind::Stall`] event and raises the
+//! `srpq_stalled_threads` gauge until the beacon advances again.
+
+use crate::journal::{EventKind, Journal};
+use crate::registry::Gauge;
+use srpq_common::beacon::{stage, StageBeacon};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Sampling period: ~997 Hz.
+const SAMPLE_PERIOD: Duration = Duration::from_micros(1003);
+/// Watchdog cadence in sampler ticks (~1 s).
+const WATCHDOG_TICKS: u32 = 997;
+
+struct Slot {
+    name: String,
+    beacon: Arc<StageBeacon>,
+    ticks: [u64; stage::COUNT],
+    last_stage: u8,
+    last_progress: u64,
+    stalled: bool,
+}
+
+#[derive(Default)]
+struct Inner {
+    slots: Vec<Slot>,
+}
+
+/// Beacon registry + tick accumulator. One per [`Obs`](crate::Obs)
+/// bundle; the sampler thread is started explicitly (servers start it,
+/// offline runs and most tests don't).
+#[derive(Default)]
+pub struct Profiler {
+    inner: Mutex<Inner>,
+    sampler_running: AtomicBool,
+    stop: AtomicBool,
+}
+
+impl Profiler {
+    /// Registers a named beacon. Names should be the owning thread's
+    /// name ("srpq-engine", "srpq-multi-worker-0", …); re-registering a
+    /// name replaces the previous beacon.
+    pub fn register(&self, name: impl Into<String>, beacon: Arc<StageBeacon>) {
+        let name = name.into();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let (last_stage, last_progress) = beacon.load();
+        let slot = Slot {
+            name,
+            beacon,
+            ticks: [0; stage::COUNT],
+            last_stage,
+            last_progress,
+            stalled: false,
+        };
+        if let Some(existing) = inner.slots.iter_mut().find(|s| s.name == slot.name) {
+            *existing = slot;
+        } else {
+            inner.slots.push(slot);
+        }
+    }
+
+    /// One sampler tick: reads every beacon and bumps its current
+    /// stage's tick count. Public so tests can drive the accumulator
+    /// deterministically without the thread.
+    pub fn sample_once(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        for slot in &mut inner.slots {
+            let (st, _) = slot.beacon.load();
+            let idx = (st as usize).min(stage::COUNT - 1);
+            slot.ticks[idx] += 1;
+        }
+    }
+
+    /// One watchdog pass: flags beacons stuck non-idle with no progress
+    /// since the previous pass. Journals a `stall` event on the falling
+    /// edge and keeps `stalled_gauge` at the count of currently-stalled
+    /// threads. Public for deterministic tests.
+    pub fn watchdog_once(&self, journal: &Journal, stalled_gauge: &Gauge) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut stalled = 0u64;
+        for slot in &mut inner.slots {
+            let (st, progress) = slot.beacon.load();
+            let stuck =
+                st != stage::IDLE && st == slot.last_stage && progress == slot.last_progress;
+            if stuck && !slot.stalled {
+                journal.record(
+                    EventKind::Stall,
+                    format!(
+                        "{} stuck in {} (progress={progress})",
+                        slot.name,
+                        stage::name(st)
+                    ),
+                );
+            }
+            slot.stalled = stuck;
+            if stuck {
+                stalled += 1;
+            }
+            slot.last_stage = st;
+            slot.last_progress = progress;
+        }
+        stalled_gauge.set(stalled);
+    }
+
+    /// Snapshot of accumulated per-thread, per-stage tick counts.
+    pub fn ticks(&self) -> Vec<(String, [u64; stage::COUNT])> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .slots
+            .iter()
+            .map(|s| (s.name.clone(), s.ticks))
+            .collect()
+    }
+
+    /// Renders the difference between two [`Profiler::ticks`] snapshots
+    /// as collapsed-stack text: one `thread;stage count` line per
+    /// non-zero cell, flamegraph.pl-compatible.
+    pub fn collapsed(
+        before: &[(String, [u64; stage::COUNT])],
+        after: &[(String, [u64; stage::COUNT])],
+    ) -> String {
+        let mut out = String::new();
+        for (name, after_ticks) in after {
+            let before_ticks = before
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, t)| *t)
+                .unwrap_or([0; stage::COUNT]);
+            for (idx, &a) in after_ticks.iter().enumerate() {
+                let d = a.saturating_sub(before_ticks[idx]);
+                if d > 0 {
+                    out.push_str(&format!("{name};{} {d}\n", stage::name(idx as u8)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Starts the background sampler/watchdog thread (idempotent).
+    /// `journal` and `stalled_gauge` feed the watchdog. The thread
+    /// exits after [`Profiler::stop`].
+    pub fn start_sampler(self: &Arc<Self>, journal: Arc<Journal>, stalled_gauge: Gauge) {
+        if self.sampler_running.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.stop.store(false, Ordering::SeqCst);
+        let me = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("srpq-profiler".into())
+            .spawn(move || {
+                let mut tick = 0u32;
+                while !me.stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(SAMPLE_PERIOD);
+                    me.sample_once();
+                    tick += 1;
+                    if tick >= WATCHDOG_TICKS {
+                        tick = 0;
+                        me.watchdog_once(&journal, &stalled_gauge);
+                    }
+                }
+                me.sampler_running.store(false, Ordering::SeqCst);
+            })
+            .expect("spawn srpq-profiler");
+    }
+
+    /// Asks a running sampler thread to exit (no-op when not running).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profiler").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn ticks_accumulate_per_stage_and_collapse() {
+        let p = Profiler::default();
+        let b = Arc::new(StageBeacon::new());
+        p.register("worker-0", Arc::clone(&b));
+        let before = p.ticks();
+
+        b.set(stage::ROUTE);
+        p.sample_once();
+        p.sample_once();
+        b.set(stage::EXTEND);
+        p.sample_once();
+        b.set(stage::IDLE);
+        p.sample_once();
+
+        let after = p.ticks();
+        let text = Profiler::collapsed(&before, &after);
+        assert!(text.contains("worker-0;route 2\n"), "{text}");
+        assert!(text.contains("worker-0;extend 1\n"), "{text}");
+        assert!(text.contains("worker-0;idle 1\n"), "{text}");
+        // Every line is `frames count` — flamegraph.pl-parseable.
+        for line in text.lines() {
+            let (frames, count) = line.rsplit_once(' ').unwrap();
+            assert!(frames.contains(';'), "{line}");
+            count.parse::<u64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn watchdog_flags_stuck_beacons_once() {
+        let p = Profiler::default();
+        let journal = Journal::default();
+        let r = Registry::new();
+        let gauge = r.gauge("srpq_stalled_threads", &[]);
+        let b = Arc::new(StageBeacon::new());
+        p.register("eng", Arc::clone(&b));
+
+        // Idle beacons never stall.
+        p.watchdog_once(&journal, &gauge);
+        assert_eq!(gauge.get(), 0);
+
+        // Non-idle with no progress across two passes: stalled, and the
+        // journal records the transition exactly once.
+        b.set(stage::EXTEND);
+        p.watchdog_once(&journal, &gauge); // observes the new stage
+        p.watchdog_once(&journal, &gauge); // no progress since
+        assert_eq!(gauge.get(), 1);
+        p.watchdog_once(&journal, &gauge);
+        assert_eq!(gauge.get(), 1);
+        let stalls: Vec<_> = journal
+            .since(0)
+            .into_iter()
+            .filter(|e| e.kind == EventKind::Stall)
+            .collect();
+        assert_eq!(stalls.len(), 1, "{stalls:?}");
+        assert!(stalls[0].detail.contains("eng stuck in extend"));
+
+        // Progress clears the flag.
+        b.advance();
+        p.watchdog_once(&journal, &gauge);
+        assert_eq!(gauge.get(), 0);
+    }
+}

@@ -146,4 +146,57 @@ mod tests {
         let text = render(&r.snapshot());
         assert!(text.contains(r#"q="a\"b\\c\nd""#), "{text}");
     }
+
+    /// Inverse of [`escape_label`], per the exposition format: the only
+    /// escapes in a label value are `\\`, `\"`, and `\n`.
+    fn unescape_label(v: &str) -> String {
+        let mut out = String::new();
+        let mut chars = v.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                other => panic!("invalid escape \\{other:?} in {v:?}"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hostile_label_values_round_trip() {
+        // Query names are user-controlled: adversarial values must
+        // escape to a single-line, parseable sample and decode back to
+        // the original.
+        let hostile = [
+            "plain",
+            "a\"b",
+            "back\\slash",
+            "new\nline",
+            "\\n literal",
+            "\"\\\n",
+            "trailing\\",
+            "uni→code\twith tab",
+        ];
+        for v in hostile {
+            let r = Registry::new();
+            r.counter("srpq_rt_total", &[("query", v)]).add(1);
+            let text = render(&r.snapshot());
+            let sample = text
+                .lines()
+                .find(|l| l.starts_with("srpq_rt_total{"))
+                .unwrap_or_else(|| panic!("no sample line for {v:?}: {text}"));
+            // The rendered value sits between `query="` and the closing
+            // `"} `; it must not contain a raw quote or newline.
+            let start = sample.find("query=\"").unwrap() + "query=\"".len();
+            let end = sample.rfind("\"}").unwrap();
+            let escaped = &sample[start..end];
+            assert!(!escaped.contains('\n'));
+            assert_eq!(unescape_label(escaped), v, "escaped form {escaped:?}");
+        }
+    }
 }

@@ -1,0 +1,391 @@
+//! Sampled causal traces: parent/child spans following one ingest
+//! frame from decode through delivery.
+//!
+//! A sampled frame gets a `trace_id` at decode time; every stage it
+//! flows through (WAL append, routing, per-query extension, expiry,
+//! emit, per-subscriber socket write) records a [`Span`] into a
+//! bounded [`TraceBuf`]. The root span ("ingest") is special: its end
+//! is the *last* covering subscriber flush, which no single thread
+//! observes — so writers report [`TraceBuf::root_candidate`] and the
+//! buffer keeps the widest extent per trace, materializing the root at
+//! export time.
+//!
+//! Export surfaces: raw span lists (the `ctl trace` protocol verb) and
+//! hand-rolled Chrome trace-event JSON (`GET /trace`, loadable in
+//! `chrome://tracing` or Perfetto).
+//!
+//! Cost model: recording is one short mutex hold per span, and spans
+//! only exist for sampled frames — with sampling off (the default)
+//! nothing ever touches this module's locks.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default bound on retained spans.
+pub const TRACE_CAPACITY: usize = 8192;
+
+/// Bound on open root extents tracked at once; excess roots are
+/// materialized into the span ring eagerly.
+const ROOT_CAPACITY: usize = 512;
+
+/// One completed span. `parent == 0` marks a root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// Unique id of this span.
+    pub span_id: u64,
+    /// Parent span id (0 for roots).
+    pub parent: u64,
+    /// Stage name ("decode", "wal", "route", "extend:q", …).
+    pub name: String,
+    /// Start, microseconds since the buffer's epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Name of the thread that executed the stage.
+    pub thread: String,
+    /// Free-form detail (tuple counts, byte counts, …).
+    pub detail: String,
+}
+
+struct RootExtent {
+    span_id: u64,
+    start_us: u64,
+    end_us: u64,
+    thread: String,
+    detail: String,
+}
+
+struct Inner {
+    ring: VecDeque<Span>,
+    /// Open root extents, insertion-ordered for eviction.
+    roots: Vec<(u64, RootExtent)>,
+}
+
+/// Bounded buffer of completed spans plus open root extents.
+pub struct TraceBuf {
+    inner: Mutex<Inner>,
+    next_id: AtomicU64,
+    epoch: Instant,
+    capacity: usize,
+}
+
+impl Default for TraceBuf {
+    fn default() -> Self {
+        Self::with_capacity(TRACE_CAPACITY)
+    }
+}
+
+impl TraceBuf {
+    /// Creates a buffer retaining at most `capacity` spans (min 16).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuf {
+            inner: Mutex::new(Inner {
+                ring: VecDeque::new(),
+                roots: Vec::new(),
+            }),
+            next_id: AtomicU64::new(1),
+            epoch: Instant::now(),
+            capacity: capacity.max(16),
+        }
+    }
+
+    /// Microseconds since this buffer's epoch for `t` (saturating at 0
+    /// for instants before the epoch).
+    pub fn us(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.epoch).as_micros() as u64
+    }
+
+    /// Allocates a fresh id (used for both trace and span ids; the two
+    /// namespaces share one counter so ids are globally unique).
+    pub fn alloc_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records a completed child span.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        trace_id: u64,
+        parent: u64,
+        name: impl Into<String>,
+        start: Instant,
+        end: Instant,
+        thread: &str,
+        detail: impl Into<String>,
+    ) -> u64 {
+        let span_id = self.alloc_id();
+        let start_us = self.us(start);
+        let end_us = self.us(end);
+        let span = Span {
+            trace_id,
+            span_id,
+            parent,
+            name: name.into(),
+            start_us,
+            dur_us: end_us.saturating_sub(start_us),
+            thread: thread.to_string(),
+            detail: detail.into(),
+        };
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        push_bounded(&mut inner.ring, span, self.capacity);
+        span_id
+    }
+
+    /// Extends the root span of `trace_id`: the root opens at the first
+    /// reported `start` and closes at the widest reported `end` (the
+    /// covering subscriber flush reports last). `root_span_id` must be
+    /// the id allocated for the root when the trace was started.
+    pub fn root_candidate(
+        &self,
+        trace_id: u64,
+        root_span_id: u64,
+        start: Instant,
+        end: Instant,
+        thread: &str,
+        detail: &str,
+    ) {
+        let start_us = self.us(start);
+        let end_us = self.us(end);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, ext)) = inner.roots.iter_mut().find(|(t, _)| *t == trace_id) {
+            ext.start_us = ext.start_us.min(start_us);
+            if end_us > ext.end_us {
+                ext.end_us = end_us;
+                ext.detail = detail.to_string();
+            }
+            return;
+        }
+        if inner.roots.len() == ROOT_CAPACITY {
+            // Evict the oldest open root into the span ring.
+            let (tid, ext) = inner.roots.remove(0);
+            let span = materialize_root(tid, ext);
+            push_bounded(&mut inner.ring, span, self.capacity);
+        }
+        inner.roots.push((
+            trace_id,
+            RootExtent {
+                span_id: root_span_id,
+                start_us,
+                end_us,
+                thread: thread.to_string(),
+                detail: detail.to_string(),
+            },
+        ));
+    }
+
+    /// All retained spans, oldest first, with open roots materialized
+    /// (left open in the buffer — a later `root_candidate` can still
+    /// widen them).
+    pub fn snapshot(&self) -> Vec<Span> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<Span> = inner.ring.iter().cloned().collect();
+        for (tid, ext) in &inner.roots {
+            out.push(materialize_root(
+                *tid,
+                RootExtent {
+                    span_id: ext.span_id,
+                    start_us: ext.start_us,
+                    end_us: ext.end_us,
+                    thread: ext.thread.clone(),
+                    detail: ext.detail.clone(),
+                },
+            ));
+        }
+        out.sort_by_key(|s| (s.trace_id, s.start_us, s.span_id));
+        out
+    }
+
+    /// Renders the current contents as Chrome trace-event JSON
+    /// (`{"traceEvents":[…]}`, "X" complete events, ts/dur in µs),
+    /// loadable in `chrome://tracing` or Perfetto.
+    pub fn to_chrome_json(&self) -> String {
+        let spans = self.snapshot();
+        // Stable small integer per thread name, plus "M" metadata
+        // events naming them.
+        let mut threads: Vec<&str> = Vec::new();
+        for s in &spans {
+            if !threads.contains(&s.thread.as_str()) {
+                threads.push(&s.thread);
+            }
+        }
+        let tid_of = |name: &str| threads.iter().position(|t| *t == name).unwrap_or(0) + 1;
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for (i, name) in threads.iter().enumerate() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                i + 1,
+                json_escape(name)
+            ));
+        }
+        for s in &spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"srpq\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":{},\"args\":{{\"trace_id\":{},\"span_id\":{},\
+                 \"parent\":{},\"detail\":\"{}\"}}}}",
+                json_escape(&s.name),
+                s.start_us,
+                s.dur_us.max(1),
+                tid_of(&s.thread),
+                s.trace_id,
+                s.span_id,
+                s.parent,
+                json_escape(&s.detail)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl std::fmt::Debug for TraceBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuf")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+fn materialize_root(trace_id: u64, ext: RootExtent) -> Span {
+    Span {
+        trace_id,
+        span_id: ext.span_id,
+        parent: 0,
+        name: "ingest".to_string(),
+        start_us: ext.start_us,
+        dur_us: ext.end_us.saturating_sub(ext.start_us),
+        thread: ext.thread,
+        detail: ext.detail,
+    }
+}
+
+fn push_bounded(ring: &mut VecDeque<Span>, span: Span, capacity: usize) {
+    if ring.len() == capacity {
+        ring.pop_front();
+    }
+    ring.push_back(span);
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn spans_record_and_roots_widen() {
+        let buf = TraceBuf::with_capacity(64);
+        let t0 = Instant::now();
+        let trace = buf.alloc_id();
+        let root = buf.alloc_id();
+        buf.record(
+            trace,
+            root,
+            "decode",
+            t0,
+            t0 + Duration::from_micros(50),
+            "srpq-session",
+            "tuples=3",
+        );
+        buf.root_candidate(
+            trace,
+            root,
+            t0,
+            t0 + Duration::from_micros(100),
+            "srpq-session",
+            "",
+        );
+        // A later, wider candidate extends the root.
+        buf.root_candidate(
+            trace,
+            root,
+            t0,
+            t0 + Duration::from_micros(400),
+            "srpq-session",
+            "covering",
+        );
+        let spans = buf.snapshot();
+        assert_eq!(spans.len(), 2);
+        let root_span = spans.iter().find(|s| s.parent == 0).unwrap();
+        assert_eq!(root_span.name, "ingest");
+        assert_eq!(root_span.span_id, root);
+        assert_eq!(root_span.dur_us, 400);
+        let child = spans.iter().find(|s| s.parent == root).unwrap();
+        assert_eq!(child.name, "decode");
+        // Child nests within the root extent.
+        assert!(child.start_us >= root_span.start_us);
+        assert!(child.start_us + child.dur_us <= root_span.start_us + root_span.dur_us);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let buf = TraceBuf::with_capacity(16);
+        let t0 = Instant::now();
+        for i in 0..100 {
+            buf.record(1, 0, format!("s{i}"), t0, t0, "t", "");
+        }
+        assert_eq!(buf.snapshot().len(), 16);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let buf = TraceBuf::with_capacity(64);
+        let t0 = Instant::now();
+        let trace = buf.alloc_id();
+        let root = buf.alloc_id();
+        buf.root_candidate(trace, root, t0, t0 + Duration::from_micros(10), "eng", "");
+        buf.record(
+            trace,
+            root,
+            "route \"x\"\\n",
+            t0,
+            t0 + Duration::from_micros(5),
+            "eng",
+            "d",
+        );
+        let json = buf.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        // Escaping: raw quote/backslash never appear unescaped.
+        assert!(json.contains("route \\\"x\\\"\\\\n"));
+    }
+
+    #[test]
+    fn json_escape_covers_controls() {
+        assert_eq!(
+            json_escape("a\"b\\c\nd\te\u{1}"),
+            "a\\\"b\\\\c\\nd\\te\\u0001"
+        );
+    }
+}

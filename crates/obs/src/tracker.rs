@@ -1,0 +1,135 @@
+//! Shared stats→journal derivation: turns monotone engine counters
+//! into journal events.
+//!
+//! Both the server's engine thread (per ingest batch) and the offline
+//! `run` driver (per stream chunk) detect slide boundaries,
+//! compactions, and checkpoints by diffing engine counters. This type
+//! is that diff, written once: only plain integers cross the API, so
+//! the core engines stay free of any metrics dependency while the
+//! server and the CLI journal the *same* event stream.
+
+use crate::journal::{EventKind, Journal};
+use srpq_common::FxHashMap;
+
+/// Monotone-counter watermarks with journal emission on advance.
+#[derive(Debug, Default)]
+pub struct StageTracker {
+    last_expiry_runs: u64,
+    last_checkpoints: u64,
+    last_compactions: FxHashMap<String, u64>,
+}
+
+impl StageTracker {
+    /// A tracker with all watermarks at zero (fresh engine).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds the expiry/checkpoint watermarks (recovered hosts come up
+    /// with non-zero lifetime counters; the first diff should report
+    /// deltas, not totals).
+    pub fn seed(&mut self, expiry_runs: u64, checkpoints: u64) {
+        self.last_expiry_runs = expiry_runs;
+        self.last_checkpoints = checkpoints;
+    }
+
+    /// Seeds one query's compaction watermark.
+    pub fn seed_query(&mut self, query: &str, compactions: u64) {
+        self.last_compactions.insert(query.to_string(), compactions);
+    }
+
+    /// Forgets a query's watermark (a re-registration under the same
+    /// name starts fresh).
+    pub fn reset_query(&mut self, query: &str) {
+        self.last_compactions.remove(query);
+    }
+
+    /// Journals a [`EventKind::SlideBoundary`] if `expiry_runs`
+    /// advanced past the watermark. `at` is a caller-side cursor
+    /// (`"seq=5"`, `"chunk=3"`) prefixed to the detail.
+    pub fn slide(&mut self, journal: &Journal, at: &str, expiry_runs: u64) -> bool {
+        if expiry_runs <= self.last_expiry_runs {
+            return false;
+        }
+        journal.record(
+            EventKind::SlideBoundary,
+            format!("{at} expiry_runs+={}", expiry_runs - self.last_expiry_runs),
+        );
+        self.last_expiry_runs = expiry_runs;
+        true
+    }
+
+    /// Journals a [`EventKind::Compaction`] if `query`'s compaction
+    /// counter advanced past its watermark.
+    pub fn compaction(&mut self, journal: &Journal, query: &str, compactions: u64) -> bool {
+        let last = self.last_compactions.entry(query.to_string()).or_insert(0);
+        if compactions <= *last {
+            return false;
+        }
+        journal.record(
+            EventKind::Compaction,
+            format!("query={query} compactions+={}", compactions - *last),
+        );
+        *last = compactions;
+        true
+    }
+
+    /// Journals a [`EventKind::Checkpoint`] if `checkpoints` advanced
+    /// past the watermark.
+    pub fn checkpoint(&mut self, journal: &Journal, at: &str, checkpoints: u64) -> bool {
+        if checkpoints <= self.last_checkpoints {
+            return false;
+        }
+        journal.record(
+            EventKind::Checkpoint,
+            format!("{at} checkpoints+={}", checkpoints - self.last_checkpoints),
+        );
+        self.last_checkpoints = checkpoints;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_journal_once_per_advance() {
+        let j = Journal::default();
+        let mut t = StageTracker::new();
+        assert!(!t.slide(&j, "chunk=0", 0));
+        assert!(t.slide(&j, "chunk=1", 3));
+        assert!(!t.slide(&j, "chunk=2", 3));
+        assert!(t.compaction(&j, "reach", 1));
+        assert!(!t.compaction(&j, "reach", 1));
+        assert!(t.checkpoint(&j, "chunk=3", 2));
+
+        let events = j.since(0);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::SlideBoundary);
+        assert_eq!(events[0].detail, "chunk=1 expiry_runs+=3");
+        assert_eq!(events[1].kind, EventKind::Compaction);
+        assert_eq!(events[1].detail, "query=reach compactions+=1");
+        assert_eq!(events[2].kind, EventKind::Checkpoint);
+        assert_eq!(events[2].detail, "chunk=3 checkpoints+=2");
+    }
+
+    #[test]
+    fn seeding_suppresses_lifetime_totals() {
+        let j = Journal::default();
+        let mut t = StageTracker::new();
+        t.seed(100, 5);
+        t.seed_query("q", 7);
+        assert!(!t.slide(&j, "seq=1", 100));
+        assert!(!t.compaction(&j, "q", 7));
+        assert!(!t.checkpoint(&j, "seq=1", 5));
+        assert!(t.slide(&j, "seq=2", 101));
+        let events = j.since(0);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].detail, "seq=2 expiry_runs+=1");
+
+        // Reset: a fresh query under the same name reports from zero.
+        t.reset_query("q");
+        assert!(t.compaction(&j, "q", 1));
+    }
+}

@@ -10,18 +10,23 @@
 //! full channel, which backpressures their clients through TCP.
 
 use crate::labels;
-use crate::protocol::{EventWire, Msg, QueryInfo, StatsSnapshot, SubPolicy};
-use crate::subscriber::{push_to_msg, FanoutSink, Push, Subscriber};
+use crate::protocol::{
+    EventWire, ExplainWire, LabelRoute, Msg, QueryInfo, StatsSnapshot, SubPolicy,
+};
+use crate::subscriber::{push_to_msg, BatchStamp, FanoutSink, Push, Subscriber};
 use srpq_automata::CompiledQuery;
-use srpq_common::{FxHashSet, LabelInterner, ResultPair, StreamTuple, Timestamp};
+use srpq_common::beacon::stage;
+use srpq_common::{FxHashSet, LabelInterner, ResultPair, StageBeacon, StreamTuple, Timestamp};
 use srpq_core::engine::{Engine, PathSemantics};
 use srpq_core::multi::{MultiQueryEngine, MultiSink, QueryError, QueryId};
 use srpq_core::{EngineStats, ParallelMultiEngine, StageTotals};
-use srpq_obs::{Counter, EventKind, Gauge, Histogram, Obs};
+use srpq_obs::{Counter, EventKind, Gauge, Histogram, Obs, StageTracker};
 use srpq_persist::Durable;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::AtomicU64;
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How long a `Drain` waits for each subscriber's flush ack before
@@ -49,6 +54,12 @@ pub(crate) trait MultiRegistry {
     /// inline time as one final synthetic entry; empty for the
     /// sequential engine (its whole ledger is `stage_totals`).
     fn worker_ns(&self) -> Vec<(u64, u64)>;
+    /// Installs the stage beacon the batch path publishes on (the
+    /// profiler samples it).
+    fn set_beacon(&mut self, beacon: Arc<StageBeacon>);
+    /// The evaluation workers' beacons (empty for the sequential
+    /// engine, whose only beacon is the coordinator's).
+    fn worker_beacons(&self) -> Vec<Arc<StageBeacon>>;
     fn register(
         &mut self,
         name: &str,
@@ -113,6 +124,12 @@ macro_rules! impl_multi_registry {
             fn worker_ns(&self) -> Vec<(u64, u64)> {
                 #[allow(clippy::redundant_closure_call)]
                 ($worker_ns)(self)
+            }
+            fn set_beacon(&mut self, beacon: Arc<StageBeacon>) {
+                <$ty>::set_beacon(self, beacon)
+            }
+            fn worker_beacons(&self) -> Vec<Arc<StageBeacon>> {
+                <$ty>::worker_beacons(self)
             }
             fn register(
                 &mut self,
@@ -229,9 +246,10 @@ pub(crate) enum Cmd {
     },
     Ingest {
         tuples: Vec<StreamTuple>,
-        /// Ingest-decode timestamp when the end-to-end latency sampler
-        /// picked this batch; rides every result frame it produces.
-        stamp: Option<Instant>,
+        /// Sampling marks (e2e latency and/or causal trace) when a
+        /// sampler picked this batch; ride every result frame it
+        /// produces.
+        stamp: Option<BatchStamp>,
         reply: Sender<Msg>,
     },
     AddQuery {
@@ -252,6 +270,9 @@ pub(crate) enum Cmd {
         queries: Vec<String>,
         policy: SubPolicy,
         tx: SyncSender<Push>,
+        /// Drop-tally counter shared with the session thread, which
+        /// sweeps it into a final `Dropped` when the queue closes.
+        pending: Arc<AtomicU64>,
         reply: Sender<Msg>,
     },
     Drain {
@@ -268,6 +289,10 @@ pub(crate) enum Cmd {
     },
     Events {
         since: u64,
+        reply: Sender<Msg>,
+    },
+    Explain {
+        name: String,
         reply: Sender<Msg>,
     },
     Shutdown {
@@ -308,8 +333,7 @@ impl CoreMetrics {
     }
 }
 
-/// Cached per-query gauge handles plus the compaction watermark the
-/// journal diffs against.
+/// Cached per-query gauge handles.
 struct QueryGauges {
     delta_nodes: Gauge,
     delta_capacity: Gauge,
@@ -317,8 +341,6 @@ struct QueryGauges {
     routed: Gauge,
     eval_ns: Gauge,
     results: Gauge,
-    /// Compactions at the last refresh (journal delta detection).
-    last_compactions: u64,
 }
 
 impl QueryGauges {
@@ -332,7 +354,6 @@ impl QueryGauges {
             routed: r.gauge("srpq_query_routed_total", l),
             eval_ns: r.gauge("srpq_query_eval_ns_total", l),
             results: r.gauge("srpq_query_results_total", l),
-            last_compactions: 0,
         }
     }
 }
@@ -355,9 +376,12 @@ pub(crate) struct EngineCore {
     worker_gauges: Vec<(Gauge, Gauge)>,
     /// Stage counters at the last batch (per-batch delta source).
     last_stage: StageTotals,
-    /// Σ `expiry_runs` over live queries at the last batch — a positive
-    /// delta marks a window slide boundary for the journal.
-    last_expiry_runs: u64,
+    /// Watermarks behind the slide-boundary and compaction journal
+    /// events (shared with the offline runner's `--trace` mode).
+    tracker: StageTracker,
+    /// The coordinator's stage beacon, shared with the engine's batch
+    /// path and sampled by the profiler as thread `srpq-engine`.
+    beacon: Arc<StageBeacon>,
 }
 
 impl EngineCore {
@@ -382,19 +406,31 @@ impl EngineCore {
             query_gauges: HashMap::new(),
             worker_gauges: Vec::new(),
             last_stage: StageTotals::default(),
-            last_expiry_runs: 0,
+            tracker: StageTracker::new(),
+            beacon: Arc::new(StageBeacon::new()),
         };
         // Recovered hosts come up with live queries and non-zero stage
         // ledgers; seed the gauges and watermarks so the first batch
         // reports deltas, not lifetime totals.
         core.last_stage = core.host.registry().stage_totals();
         core.refresh_gauges();
-        core.last_expiry_runs = core.sum_expiry_runs();
+        core.tracker.seed(core.sum_expiry_runs(), 0);
         for id in core.host.registry().query_ids() {
             let stats = *core.host.registry().stats(id).expect("live id");
-            if let Some(g) = core.query_gauges.get_mut(&id.0) {
-                g.last_compactions = stats.compactions;
-            }
+            let name = core.host.registry().name(id).unwrap_or("").to_string();
+            core.tracker.seed_query(&name, stats.compactions);
+        }
+        // Hand the batch path its beacon and register every evaluation
+        // thread with the profiler (the sequential engine has only the
+        // coordinator; the parallel host adds one beacon per worker).
+        core.host.registry_mut().set_beacon(core.beacon.clone());
+        core.obs
+            .profiler()
+            .register("srpq-engine", core.beacon.clone());
+        for (i, b) in core.host.registry().worker_beacons().iter().enumerate() {
+            core.obs
+                .profiler()
+                .register(format!("srpq-multi-worker-{i}"), b.clone());
         }
         core
     }
@@ -480,35 +516,22 @@ impl EngineCore {
         }
         self.last_stage = stage;
         let expiry_runs = self.sum_expiry_runs();
-        if expiry_runs > self.last_expiry_runs {
-            self.obs.journal().record(
-                EventKind::SlideBoundary,
-                format!(
-                    "seq={} expiry_runs+={}",
-                    self.seq,
-                    expiry_runs - self.last_expiry_runs
-                ),
-            );
-            self.last_expiry_runs = expiry_runs;
-        }
-        for id in self.host.registry().query_ids() {
-            let Some(stats) = self.host.registry().stats(id) else {
-                continue;
-            };
-            let compactions = stats.compactions;
-            let name = self.host.registry().name(id).unwrap_or("").to_string();
-            if let Some(g) = self.query_gauges.get_mut(&id.0) {
-                if compactions > g.last_compactions {
-                    self.obs.journal().record(
-                        EventKind::Compaction,
-                        format!(
-                            "query={name} compactions+={}",
-                            compactions - g.last_compactions
-                        ),
-                    );
-                    g.last_compactions = compactions;
-                }
-            }
+        let at = format!("seq={}", self.seq);
+        self.tracker.slide(self.obs.journal(), &at, expiry_runs);
+        let per_query: Vec<(String, u64)> = {
+            let engine = self.host.registry();
+            engine
+                .query_ids()
+                .into_iter()
+                .filter_map(|id| {
+                    let stats = engine.stats(id)?;
+                    Some((engine.name(id)?.to_string(), stats.compactions))
+                })
+                .collect()
+        };
+        for (name, compactions) in per_query {
+            self.tracker
+                .compaction(self.obs.journal(), &name, compactions);
         }
     }
 
@@ -523,7 +546,11 @@ impl EngineCore {
                     eprintln!("srpq-server: shutdown checkpoint failed: {e}");
                 }
                 // Closing the queues ends every subscriber session; the
-                // sessions write `ShuttingDown` to their clients.
+                // sessions drain what's buffered, sweep the shared
+                // drop-tally counters into one final `Dropped`, and
+                // write `ShuttingDown` to their clients — the
+                // accounting guarantee ("delivered or tallied, never
+                // silently lost") holds through shutdown.
                 self.subscribers.clear();
                 let _ = reply.send(Msg::ShuttingDown);
                 return;
@@ -594,6 +621,7 @@ impl EngineCore {
                 queries,
                 policy,
                 tx,
+                pending,
                 reply,
             } => {
                 let engine = self.host.registry();
@@ -617,7 +645,7 @@ impl EngineCore {
                     ),
                 );
                 self.subscribers
-                    .push(Subscriber::new(queries, resolved, tx, policy));
+                    .push(Subscriber::new(queries, resolved, tx, policy, pending));
                 self.metrics
                     .gauge_subscribers
                     .set(self.subscribers.len() as u64);
@@ -672,10 +700,8 @@ impl EngineCore {
                 });
             }
             Cmd::Events { since, reply } => {
-                let events = self
-                    .obs
-                    .journal()
-                    .since(since)
+                let (events, dropped) = self.obs.journal().since_with_dropped(since);
+                let events = events
                     .into_iter()
                     .map(|e| EventWire {
                         seq: e.seq,
@@ -684,13 +710,16 @@ impl EngineCore {
                         detail: e.detail,
                     })
                     .collect();
-                let _ = reply.send(Msg::EventList { events });
+                let _ = reply.send(Msg::EventList { events, dropped });
+            }
+            Cmd::Explain { name, reply } => {
+                let _ = reply.send(self.explain(&name));
             }
             Cmd::Shutdown { .. } => unreachable!("handled by run()"),
         }
     }
 
-    fn ingest(&mut self, tuples: Vec<StreamTuple>, stamp: Option<Instant>) -> Msg {
+    fn ingest(&mut self, tuples: Vec<StreamTuple>, stamp: Option<BatchStamp>) -> Msg {
         if tuples.is_empty() {
             return Msg::IngestAck {
                 seq: self.seq,
@@ -717,6 +746,33 @@ impl EngineCore {
             }
         }
         let dropped_before = self.results_dropped;
+        // Pre-batch snapshot for sampled batches: stage totals and
+        // per-query counters, diffed after the batch to attribute its
+        // evaluation time to causal-trace spans.
+        let trace = stamp.and_then(|s| s.trace);
+        let pre = trace.map(|_| {
+            let engine = self.host.registry();
+            let queries: Vec<(String, u64, u64, u64)> = engine
+                .query_ids()
+                .into_iter()
+                .filter_map(|id| {
+                    let s = engine.stats(id)?;
+                    Some((
+                        engine.name(id)?.to_string(),
+                        s.tuples_routed,
+                        s.eval_ns,
+                        s.expiry_nanos,
+                    ))
+                })
+                .collect();
+            (engine.stage_totals(), queries)
+        });
+        if self.host.is_durable() {
+            // The WAL append runs on this thread before the engine's
+            // batch path takes over the beacon.
+            self.beacon.set(stage::WAL);
+        }
+        let t_b0 = Instant::now();
         let mut sink = FanoutSink {
             subscribers: &mut self.subscribers,
             pushed: &mut self.results_pushed,
@@ -724,15 +780,18 @@ impl EngineCore {
             stamp,
         };
         if let Err(e) = self.host.process_batch(&tuples, &mut sink) {
+            self.beacon.set(stage::IDLE);
             // The WAL refused (e.g. disk trouble): the engine saw
             // nothing, so the session can report and carry on.
             return Msg::Error { msg: e };
         }
+        let t_b1 = Instant::now();
         // The emit stage is the end-of-batch hand-off of staged frames
         // to the subscriber queues — where the Block policy can stall
         // and the Drop policy sheds. (Per-entry staging during
         // evaluation is attributed to the extend stage.)
         let t_emit = Instant::now();
+        self.beacon.set(stage::EMIT);
         let sink = FanoutSink {
             subscribers: &mut self.subscribers,
             pushed: &mut self.results_pushed,
@@ -740,7 +799,18 @@ impl EngineCore {
             stamp,
         };
         sink.finish();
+        self.beacon.set(stage::IDLE);
+        self.beacon.advance();
         let emit_ns = t_emit.elapsed().as_nanos() as u64;
+        if let (Some((trace_id, root)), Some((stage_pre, queries_pre))) = (trace, pre) {
+            self.record_batch_spans(
+                trace_id,
+                root,
+                (t_b0, t_b1, t_emit, emit_ns),
+                stage_pre,
+                &queries_pre,
+            );
+        }
         self.seq += tuples.len() as u64;
         self.metrics.ingest_tuples.add(tuples.len() as u64);
         self.metrics.ingest_batches.inc();
@@ -863,6 +933,7 @@ impl EngineCore {
         // Stop exporting the removed query's series; a re-registration
         // under the same name starts fresh.
         self.query_gauges.remove(&id.0);
+        self.tracker.reset_query(&name);
         self.obs.registry().remove_labeled("query", &name);
         self.refresh_gauges();
         Msg::QueryRemoved { id: id.0 }
@@ -883,6 +954,138 @@ impl EngineCore {
             let _ = rx.recv_timeout(DRAIN_ACK_TIMEOUT);
         }
         self.subscribers.retain(|s| !s.dead);
+    }
+
+    /// Synthesizes the engine-side child spans of a sampled batch from
+    /// the same monotone counters the stage histograms diff: WAL (batch
+    /// wall time not accounted to routing or evaluation; durable hosts
+    /// only), routing, one `extend:<query>` span per routed query, the
+    /// pooled expiry slice, and the emit hand-off. Stage slices are
+    /// laid out sequentially from the batch start — exact for the
+    /// sequential host; for the worker pool they are CPU-time
+    /// attribution and may overrun the batch's wall clock.
+    fn record_batch_spans(
+        &self,
+        trace_id: u64,
+        root: u64,
+        timing: (Instant, Instant, Instant, u64),
+        stage_pre: StageTotals,
+        queries_pre: &[(String, u64, u64, u64)],
+    ) {
+        const THREAD: &str = "srpq-engine";
+        let (t_b0, t_b1, t_emit, emit_ns) = timing;
+        let tb = self.obs.trace();
+        let engine = self.host.registry();
+        let stage_now = engine.stage_totals();
+        let route_ns = stage_now.route_ns.saturating_sub(stage_pre.route_ns);
+        let eval_ns = stage_now.eval_ns.saturating_sub(stage_pre.eval_ns);
+        let batch_ns = t_b1.duration_since(t_b0).as_nanos() as u64;
+        let mut cur = t_b0;
+        if self.host.is_durable() {
+            let wal_ns = batch_ns.saturating_sub(route_ns + eval_ns);
+            let end = cur + Duration::from_nanos(wal_ns);
+            tb.record(trace_id, root, "wal", cur, end, THREAD, "");
+            cur = end;
+        }
+        let end = cur + Duration::from_nanos(route_ns);
+        tb.record(trace_id, root, "route", cur, end, THREAD, "");
+        cur = end;
+        let mut expiry_total = 0u64;
+        for (name, routed0, eval0, expiry0) in queries_pre {
+            let Some(s) = engine.query_id(name).and_then(|id| engine.stats(id)) else {
+                continue;
+            };
+            let expiry_q = s.expiry_nanos.saturating_sub(*expiry0);
+            expiry_total += expiry_q;
+            let routed = s.tuples_routed.saturating_sub(*routed0);
+            if routed == 0 {
+                continue;
+            }
+            let extend_ns = s.eval_ns.saturating_sub(*eval0).saturating_sub(expiry_q);
+            let end = cur + Duration::from_nanos(extend_ns);
+            tb.record(
+                trace_id,
+                root,
+                format!("extend:{name}"),
+                cur,
+                end,
+                THREAD,
+                format!("tuples={routed}"),
+            );
+            cur = end;
+        }
+        if expiry_total > 0 {
+            let end = cur + Duration::from_nanos(expiry_total);
+            tb.record(trace_id, root, "expiry", cur, end, THREAD, "");
+        }
+        let emit_end = t_emit + Duration::from_nanos(emit_ns);
+        tb.record(trace_id, root, "emit", t_emit, emit_end, THREAD, "");
+        // Keep the root open at least through the engine's hand-off;
+        // a covering subscriber flush widens it to actual delivery.
+        tb.root_candidate(trace_id, root, t_b0, emit_end, THREAD, "handed-off");
+    }
+
+    /// The `ctl explain` report: minimized-DFA shape, Δ-forest profile
+    /// (an O(|Δ|) walk — never on the tuple path), routing fan-in, and
+    /// this query's share of evaluation time.
+    fn explain(&self, name: &str) -> Msg {
+        let engine = self.host.registry();
+        let Some(id) = engine.query_id(name) else {
+            return Msg::Error {
+                msg: format!("no live query named {name:?}"),
+            };
+        };
+        let e = engine.engine(id).expect("live id");
+        let stats = *e.stats();
+        let dfa = e.query().dfa();
+        let profile = e.delta_profile();
+        let ids = engine.query_ids();
+        let labels = dfa
+            .alphabet()
+            .iter()
+            .map(|&label| {
+                let sharing = ids
+                    .iter()
+                    .filter(|&&other| {
+                        engine
+                            .engine(other)
+                            .is_some_and(|oe| oe.query().dfa().knows_label(label))
+                    })
+                    .count() as u32;
+                LabelRoute {
+                    name: self.labels.resolve(label).unwrap_or("?").to_string(),
+                    transitions: dfa.transitions_for(label).len() as u32,
+                    sharing_queries: sharing,
+                }
+            })
+            .collect();
+        let total_eval_ns = ids
+            .iter()
+            .filter_map(|&q| engine.stats(q))
+            .map(|s| s.eval_ns)
+            .sum();
+        Msg::ExplainReport(ExplainWire {
+            id: id.0,
+            name: name.to_string(),
+            regex: e.query().regex().to_string(),
+            simple: e.semantics() == PathSemantics::Simple,
+            dfa_states: dfa.n_states() as u32,
+            dfa_start: dfa.start().0,
+            dfa_accepting: dfa.accepting_states().map(|s| s.0).collect(),
+            labels,
+            delta_trees: profile.trees as u64,
+            delta_nodes: profile.nodes as u64,
+            delta_slots: profile.slots as u64,
+            delta_arena_bytes: profile.arena_bytes as u64,
+            compactions: stats.compactions,
+            nodes_per_state: profile.nodes_per_state.clone(),
+            depth_hist: profile.depth_histogram.clone(),
+            tuples_routed: stats.tuples_routed,
+            eval_ns: stats.eval_ns,
+            expiry_ns: stats.expiry_nanos,
+            total_eval_ns,
+            results_emitted: stats.results_emitted,
+        })
     }
 
     fn persist_labels_if_grown(&mut self, before: usize) -> Result<(), String> {

@@ -23,7 +23,7 @@ use std::io::{self, Read, Write};
 /// Protocol revision spoken by this build. [`Msg::Hello`] carries the
 /// client's revision; the server refuses mismatches outright (no
 /// negotiation — both binaries come from this repository).
-pub const PROTO_VERSION: u16 = 4;
+pub const PROTO_VERSION: u16 = 5;
 
 /// What a subscriber wants done when its queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -117,6 +117,99 @@ pub struct EventWire {
     pub kind: u8,
     /// Free-form detail.
     pub detail: String,
+}
+
+/// One causal-trace span ([`Msg::TraceList`]): a named interval on one
+/// pipeline stage, attributed to a sampled ingest batch. The field
+/// layout mirrors `srpq_obs::Span`; timestamps are microseconds since
+/// the server's trace epoch (its start), so spans from one response are
+/// mutually comparable but not wall-clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanWire {
+    /// The sampled batch this span belongs to.
+    pub trace_id: u64,
+    /// Unique id of this span within the trace buffer.
+    pub span_id: u64,
+    /// Parent span id (0 = root).
+    pub parent: u64,
+    /// Stage name (`ingest`, `decode`, `wal`, `route`, `extend:<q>`,
+    /// `expiry`, `emit`, `write`).
+    pub name: String,
+    /// Start, microseconds since the trace epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Thread the stage ran on.
+    pub thread: String,
+    /// Free-form detail (tuple counts, subscriber, …).
+    pub detail: String,
+}
+
+/// How one label of a query's alphabet is routed
+/// ([`Msg::ExplainReport`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelRoute {
+    /// The label name.
+    pub name: String,
+    /// DFA transitions consuming this label.
+    pub transitions: u32,
+    /// Live queries (this one included) whose alphabet contains the
+    /// label — the routing fan-in: a matching tuple is handed to this
+    /// many engines.
+    pub sharing_queries: u32,
+}
+
+/// The introspection report behind `ctl explain <query>`
+/// ([`Msg::ExplainReport`]): minimized-DFA shape, Δ-forest profile, and
+/// time share since registration. Computing it walks the query's whole
+/// Δ forest — it never runs on the tuple path.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExplainWire {
+    /// Slot id of the query.
+    pub id: u32,
+    /// Registration name.
+    pub name: String,
+    /// The query expression.
+    pub regex: String,
+    /// `true` = simple-path semantics.
+    pub simple: bool,
+    /// States in the minimized DFA.
+    pub dfa_states: u32,
+    /// Start state.
+    pub dfa_start: u32,
+    /// Accepting states, ascending.
+    pub dfa_accepting: Vec<u32>,
+    /// Per-label DFA transition counts and routing fan-in, in alphabet
+    /// order.
+    pub labels: Vec<LabelRoute>,
+    /// Spanning trees in Δ.
+    pub delta_trees: u64,
+    /// Live Δ nodes over all trees.
+    pub delta_nodes: u64,
+    /// Arena slots (live + free-listed); the gap to `delta_nodes` is
+    /// fragmentation awaiting per-slide compaction.
+    pub delta_slots: u64,
+    /// Resident bytes of the node arenas.
+    pub delta_arena_bytes: u64,
+    /// Arena compactions performed for this query.
+    pub compactions: u64,
+    /// Live node count per DFA state, sorted by state id; empty states
+    /// omitted.
+    pub nodes_per_state: Vec<(u32, u64)>,
+    /// Node count by depth (root = 0); the last bucket accumulates
+    /// everything at or beyond it.
+    pub depth_hist: Vec<u64>,
+    /// Tuples label-routed to this query since registration.
+    pub tuples_routed: u64,
+    /// Nanoseconds inside this query's evaluation calls.
+    pub eval_ns: u64,
+    /// The expiry (window-management) slice of `eval_ns`.
+    pub expiry_ns: u64,
+    /// Evaluation nanoseconds summed over all live queries — the
+    /// denominator of this query's time share.
+    pub total_eval_ns: u64,
+    /// Results emitted (post-dedup).
+    pub results_emitted: u64,
 }
 
 /// A snapshot of server-wide counters ([`Msg::ServerStats`]).
@@ -235,6 +328,17 @@ pub enum Msg {
         /// Replay events after this journal sequence number.
         since: u64,
     },
+    /// The causal-trace span buffer ([`Msg::TraceList`]): every span
+    /// recorded for sampled ingest batches still retained in the
+    /// bounded ring. Empty unless the server runs with
+    /// `--trace-sample`.
+    Trace,
+    /// Introspect one live query ([`Msg::ExplainReport`] /
+    /// [`Msg::Error`] on unknown names).
+    Explain {
+        /// The registration name.
+        name: String,
+    },
 
     // ---- server → client ------------------------------------------
     /// Handshake answer.
@@ -322,7 +426,19 @@ pub enum Msg {
     EventList {
         /// Retained events after the requested sequence number.
         events: Vec<EventWire>,
+        /// Events after `since` that the bounded journal has already
+        /// overwritten — nonzero means the replay has a gap at its
+        /// start.
+        dropped: u64,
     },
+    /// Retained trace spans, oldest first.
+    TraceList {
+        /// The spans, roots interleaved with children (group by
+        /// `trace_id`, nest by `parent`).
+        spans: Vec<SpanWire>,
+    },
+    /// The introspection report for one live query.
+    ExplainReport(ExplainWire),
 }
 
 // Frame kinds (one per message).
@@ -339,6 +455,8 @@ const K_SHUTDOWN: u8 = 0x0A;
 const K_STATS: u8 = 0x0B;
 const K_METRICS: u8 = 0x0C;
 const K_EVENTS: u8 = 0x0D;
+const K_TRACE: u8 = 0x0E;
+const K_EXPLAIN: u8 = 0x0F;
 const K_HELLO_ACK: u8 = 0x81;
 const K_LABEL_IDS: u8 = 0x82;
 const K_INGEST_ACK: u8 = 0x83;
@@ -355,6 +473,8 @@ const K_SERVER_STATS: u8 = 0x8D;
 const K_ERROR: u8 = 0x8E;
 const K_METRICS_TEXT: u8 = 0x8F;
 const K_EVENT_LIST: u8 = 0x90;
+const K_TRACE_LIST: u8 = 0x91;
+const K_EXPLAIN_REPORT: u8 = 0x92;
 
 fn strings(w: &mut ByteWriter, items: &[String]) {
     w.u32(items.len() as u32);
@@ -424,6 +544,11 @@ impl Msg {
             Msg::Events { since } => {
                 w.u64(*since);
                 K_EVENTS
+            }
+            Msg::Trace => K_TRACE,
+            Msg::Explain { name } => {
+                w.str(name);
+                K_EXPLAIN
             }
             Msg::HelloAck {
                 proto,
@@ -524,7 +649,8 @@ impl Msg {
                 w.str(text);
                 K_METRICS_TEXT
             }
-            Msg::EventList { events } => {
+            Msg::EventList { events, dropped } => {
+                w.u64(*dropped);
                 w.u32(events.len() as u32);
                 for ev in events {
                     w.u64(ev.seq);
@@ -533,6 +659,58 @@ impl Msg {
                     w.str(&ev.detail);
                 }
                 K_EVENT_LIST
+            }
+            Msg::TraceList { spans } => {
+                w.u32(spans.len() as u32);
+                for s in spans {
+                    w.u64(s.trace_id);
+                    w.u64(s.span_id);
+                    w.u64(s.parent);
+                    w.str(&s.name);
+                    w.u64(s.start_us);
+                    w.u64(s.dur_us);
+                    w.str(&s.thread);
+                    w.str(&s.detail);
+                }
+                K_TRACE_LIST
+            }
+            Msg::ExplainReport(x) => {
+                w.u32(x.id);
+                w.str(&x.name);
+                w.str(&x.regex);
+                w.u8(x.simple as u8);
+                w.u32(x.dfa_states);
+                w.u32(x.dfa_start);
+                w.u32(x.dfa_accepting.len() as u32);
+                for s in &x.dfa_accepting {
+                    w.u32(*s);
+                }
+                w.u32(x.labels.len() as u32);
+                for l in &x.labels {
+                    w.str(&l.name);
+                    w.u32(l.transitions);
+                    w.u32(l.sharing_queries);
+                }
+                w.u64(x.delta_trees);
+                w.u64(x.delta_nodes);
+                w.u64(x.delta_slots);
+                w.u64(x.delta_arena_bytes);
+                w.u64(x.compactions);
+                w.u32(x.nodes_per_state.len() as u32);
+                for &(state, n) in &x.nodes_per_state {
+                    w.u32(state);
+                    w.u64(n);
+                }
+                w.u32(x.depth_hist.len() as u32);
+                for d in &x.depth_hist {
+                    w.u64(*d);
+                }
+                w.u64(x.tuples_routed);
+                w.u64(x.eval_ns);
+                w.u64(x.expiry_ns);
+                w.u64(x.total_eval_ns);
+                w.u64(x.results_emitted);
+                K_EXPLAIN_REPORT
             }
         };
         (kind, w.into_bytes())
@@ -577,6 +755,10 @@ impl Msg {
             K_METRICS => Msg::Metrics,
             K_EVENTS => Msg::Events {
                 since: r.u64().map_err(e)?,
+            },
+            K_TRACE => Msg::Trace,
+            K_EXPLAIN => Msg::Explain {
+                name: r.str().map_err(e)?,
             },
             K_HELLO_ACK => Msg::HelloAck {
                 proto: r.u32().map_err(e)? as u16,
@@ -674,6 +856,7 @@ impl Msg {
                 text: r.str().map_err(e)?,
             },
             K_EVENT_LIST => {
+                let dropped = r.u64().map_err(e)?;
                 let n = r.count(21).map_err(e)?;
                 let mut events = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -684,7 +867,71 @@ impl Msg {
                         detail: r.str().map_err(e)?,
                     });
                 }
-                Msg::EventList { events }
+                Msg::EventList { events, dropped }
+            }
+            K_TRACE_LIST => {
+                let n = r.count(48).map_err(e)?;
+                let mut spans = Vec::with_capacity(n);
+                for _ in 0..n {
+                    spans.push(SpanWire {
+                        trace_id: r.u64().map_err(e)?,
+                        span_id: r.u64().map_err(e)?,
+                        parent: r.u64().map_err(e)?,
+                        name: r.str().map_err(e)?,
+                        start_us: r.u64().map_err(e)?,
+                        dur_us: r.u64().map_err(e)?,
+                        thread: r.str().map_err(e)?,
+                        detail: r.str().map_err(e)?,
+                    });
+                }
+                Msg::TraceList { spans }
+            }
+            K_EXPLAIN_REPORT => {
+                let mut x = ExplainWire {
+                    id: r.u32().map_err(e)?,
+                    name: r.str().map_err(e)?,
+                    regex: r.str().map_err(e)?,
+                    simple: r.u8().map_err(e)? != 0,
+                    dfa_states: r.u32().map_err(e)?,
+                    dfa_start: r.u32().map_err(e)?,
+                    ..ExplainWire::default()
+                };
+                let n = r.count(4).map_err(e)?;
+                x.dfa_accepting.reserve(n);
+                for _ in 0..n {
+                    x.dfa_accepting.push(r.u32().map_err(e)?);
+                }
+                let n = r.count(12).map_err(e)?;
+                x.labels.reserve(n);
+                for _ in 0..n {
+                    x.labels.push(LabelRoute {
+                        name: r.str().map_err(e)?,
+                        transitions: r.u32().map_err(e)?,
+                        sharing_queries: r.u32().map_err(e)?,
+                    });
+                }
+                x.delta_trees = r.u64().map_err(e)?;
+                x.delta_nodes = r.u64().map_err(e)?;
+                x.delta_slots = r.u64().map_err(e)?;
+                x.delta_arena_bytes = r.u64().map_err(e)?;
+                x.compactions = r.u64().map_err(e)?;
+                let n = r.count(12).map_err(e)?;
+                x.nodes_per_state.reserve(n);
+                for _ in 0..n {
+                    x.nodes_per_state
+                        .push((r.u32().map_err(e)?, r.u64().map_err(e)?));
+                }
+                let n = r.count(8).map_err(e)?;
+                x.depth_hist.reserve(n);
+                for _ in 0..n {
+                    x.depth_hist.push(r.u64().map_err(e)?);
+                }
+                x.tuples_routed = r.u64().map_err(e)?;
+                x.eval_ns = r.u64().map_err(e)?;
+                x.expiry_ns = r.u64().map_err(e)?;
+                x.total_eval_ns = r.u64().map_err(e)?;
+                x.results_emitted = r.u64().map_err(e)?;
+                Msg::ExplainReport(x)
             }
             other => return Err(format!("unknown message kind 0x{other:02x}")),
         };
@@ -764,6 +1011,8 @@ mod tests {
             Msg::Stats,
             Msg::Metrics,
             Msg::Events { since: 42 },
+            Msg::Trace,
+            Msg::Explain { name: "q".into() },
             Msg::HelloAck {
                 proto: PROTO_VERSION,
                 seq: 12345,
@@ -836,7 +1085,65 @@ mod tests {
                         detail: String::new(),
                     },
                 ],
+                dropped: 3,
             },
+            Msg::TraceList {
+                spans: vec![
+                    SpanWire {
+                        trace_id: 7,
+                        span_id: 8,
+                        parent: 0,
+                        name: "ingest".into(),
+                        start_us: 1_000,
+                        dur_us: 900,
+                        thread: "srpq-session".into(),
+                        detail: "delivered".into(),
+                    },
+                    SpanWire {
+                        trace_id: 7,
+                        span_id: 9,
+                        parent: 8,
+                        name: "extend:q".into(),
+                        start_us: 1_100,
+                        dur_us: 40,
+                        thread: "srpq-engine".into(),
+                        detail: String::new(),
+                    },
+                ],
+            },
+            Msg::ExplainReport(ExplainWire {
+                id: 2,
+                name: "q".into(),
+                regex: "(a b)+".into(),
+                simple: true,
+                dfa_states: 3,
+                dfa_start: 0,
+                dfa_accepting: vec![2],
+                labels: vec![
+                    LabelRoute {
+                        name: "a".into(),
+                        transitions: 1,
+                        sharing_queries: 2,
+                    },
+                    LabelRoute {
+                        name: "b".into(),
+                        transitions: 1,
+                        sharing_queries: 1,
+                    },
+                ],
+                delta_trees: 4,
+                delta_nodes: 17,
+                delta_slots: 20,
+                delta_arena_bytes: 640,
+                compactions: 2,
+                nodes_per_state: vec![(0, 4), (1, 9), (2, 4)],
+                depth_hist: vec![4, 9, 4],
+                tuples_routed: 55,
+                eval_ns: 1_234,
+                expiry_ns: 234,
+                total_eval_ns: 5_000,
+                results_emitted: 6,
+            }),
         ]
     }
 

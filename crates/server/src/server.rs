@@ -10,8 +10,8 @@
 
 use crate::core::{render_push, Cmd, EngineCore, Host};
 use crate::labels;
-use crate::protocol::{Msg, PROTO_VERSION};
-use crate::subscriber::{Push, DEFAULT_CAPACITY};
+use crate::protocol::{Msg, SpanWire, PROTO_VERSION};
+use crate::subscriber::{BatchStamp, Push, DEFAULT_CAPACITY};
 use srpq_common::LabelInterner;
 use srpq_core::multi::MultiQueryEngine;
 use srpq_core::{EngineConfig, ParallelMultiEngine};
@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server construction knobs.
 #[derive(Debug, Clone)]
@@ -57,6 +57,11 @@ pub struct ServerConfig {
     /// subscriber socket. `1` stamps everything (the histogram `count`
     /// then equals delivered results); `0` disables stamping.
     pub e2e_sample: u32,
+    /// Causal-trace sampling: record a full span tree (decode → WAL →
+    /// route → per-query extend → expiry → emit → subscriber write) for
+    /// 1-in-N ingest frames, exported via `ctl trace` and `/trace`.
+    /// `0` (the default) disables tracing entirely.
+    pub trace_sample: u32,
 }
 
 impl ServerConfig {
@@ -71,6 +76,7 @@ impl ServerConfig {
             workers: 0,
             metrics_addr: None,
             e2e_sample: 1,
+            trace_sample: 0,
         }
     }
 }
@@ -79,7 +85,9 @@ impl ServerConfig {
 struct SessionCtx {
     obs: Obs,
     e2e_sample: u32,
-    /// Ingest frames seen across all sessions (sampling counter).
+    trace_sample: u32,
+    /// Ingest frames seen across all sessions (shared by both
+    /// samplers, so their picks interleave deterministically).
     ingest_frames: AtomicU64,
     decode_hist: Histogram,
     write_hist: Histogram,
@@ -89,10 +97,11 @@ struct SessionCtx {
 }
 
 impl SessionCtx {
-    fn new(obs: Obs, e2e_sample: u32) -> SessionCtx {
+    fn new(obs: Obs, e2e_sample: u32, trace_sample: u32) -> SessionCtx {
         let r = obs.registry();
         SessionCtx {
             e2e_sample,
+            trace_sample,
             ingest_frames: AtomicU64::new(0),
             decode_hist: r.histogram("srpq_stage_ingest_decode_ns", &[]),
             write_hist: r.histogram("srpq_stage_subscriber_write_ns", &[]),
@@ -103,14 +112,26 @@ impl SessionCtx {
         }
     }
 
-    /// 1-in-N sampling decision for an ingest frame.
-    fn stamp(&self) -> Option<Instant> {
-        if self.e2e_sample == 0 {
+    /// Independent 1-in-N sampling decisions (e2e latency, causal
+    /// trace) for an ingest frame; `None` when neither sampler picked
+    /// it — the hot-path common case costs one relaxed fetch-add.
+    fn stamp(&self) -> Option<BatchStamp> {
+        let n = self.ingest_frames.fetch_add(1, Ordering::Relaxed);
+        let picked = |every: u32| every != 0 && n.is_multiple_of(u64::from(every));
+        let e2e = picked(self.e2e_sample);
+        let traced = picked(self.trace_sample);
+        if !e2e && !traced {
             return None;
         }
-        let n = self.ingest_frames.fetch_add(1, Ordering::Relaxed);
-        n.is_multiple_of(u64::from(self.e2e_sample))
-            .then(Instant::now)
+        let trace = traced.then(|| {
+            let tb = self.obs.trace();
+            (tb.alloc_id(), tb.alloc_id())
+        });
+        Some(BatchStamp {
+            t0: Instant::now(),
+            e2e,
+            trace,
+        })
     }
 }
 
@@ -179,6 +200,7 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
+        self.obs.profiler().stop();
         self.stop.store(true, Ordering::SeqCst);
         let _ = TcpStream::connect(self.addr);
     }
@@ -272,7 +294,15 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
         None => None,
     };
 
-    let ctx = Arc::new(SessionCtx::new(obs.clone(), config.e2e_sample));
+    // The stage sampler + stall watchdog: ~997 Hz over the beacons the
+    // engine core registered above. Runs for the server's lifetime.
+    obs.start_profiler();
+
+    let ctx = Arc::new(SessionCtx::new(
+        obs.clone(),
+        config.e2e_sample,
+        config.trace_sample,
+    ));
     let stop = Arc::new(AtomicBool::new(false));
     let accept_stop = stop.clone();
     let accept_tx = cmd_tx.clone();
@@ -352,11 +382,53 @@ fn run_session(
             Msg::Ingest { tuples } => {
                 ctx.decode_hist.record(decode_ns);
                 let stamp = ctx.stamp();
-                roundtrip(&cmd_tx, |reply| Cmd::Ingest {
+                if let Some(BatchStamp {
+                    t0,
+                    trace: Some((trace_id, root)),
+                    ..
+                }) = stamp
+                {
+                    // Back-date the decode span over the just-measured
+                    // decode time and open the root at its start; the
+                    // engine and subscriber pumps widen it from here.
+                    let start = t0
+                        .checked_sub(Duration::from_nanos(decode_ns))
+                        .unwrap_or(t0);
+                    let tb = ctx.obs.trace();
+                    tb.root_candidate(trace_id, root, start, t0, "srpq-session", "decoded");
+                    tb.record(
+                        trace_id,
+                        root,
+                        "decode",
+                        start,
+                        t0,
+                        "srpq-session",
+                        format!("tuples={}", tuples.len()),
+                    );
+                }
+                let reply = roundtrip(&cmd_tx, |reply| Cmd::Ingest {
                     tuples,
                     stamp,
                     reply,
-                })
+                });
+                if let Some(BatchStamp {
+                    t0,
+                    trace: Some((trace_id, root)),
+                    ..
+                }) = stamp
+                {
+                    // Without subscribers no covering flush ever
+                    // reports delivery; the ack still closes the root.
+                    ctx.obs.trace().root_candidate(
+                        trace_id,
+                        root,
+                        t0,
+                        Instant::now(),
+                        "srpq-session",
+                        "acked",
+                    );
+                }
+                reply
             }
             Msg::AddQuery {
                 name,
@@ -379,6 +451,27 @@ fn run_session(
             Msg::Stats => roundtrip(&cmd_tx, |reply| Cmd::Stats { reply }),
             Msg::Metrics => roundtrip(&cmd_tx, |reply| Cmd::Metrics { reply }),
             Msg::Events { since } => roundtrip(&cmd_tx, |reply| Cmd::Events { since, reply }),
+            // The trace buffer is process-shared; answer without a
+            // trip through the engine thread.
+            Msg::Trace => Some(Msg::TraceList {
+                spans: ctx
+                    .obs
+                    .trace()
+                    .snapshot()
+                    .into_iter()
+                    .map(|s| SpanWire {
+                        trace_id: s.trace_id,
+                        span_id: s.span_id,
+                        parent: s.parent,
+                        name: s.name,
+                        start_us: s.start_us,
+                        dur_us: s.dur_us,
+                        thread: s.thread,
+                        detail: s.detail,
+                    })
+                    .collect(),
+            }),
+            Msg::Explain { name } => roundtrip(&cmd_tx, |reply| Cmd::Explain { name, reply }),
             Msg::Shutdown => roundtrip(&cmd_tx, |reply| Cmd::Shutdown { reply }),
             Msg::Subscribe {
                 queries,
@@ -391,10 +484,12 @@ fn run_session(
                     capacity as usize
                 };
                 let (push_tx, push_rx) = mpsc::sync_channel::<Push>(cap);
+                let pending = Arc::new(AtomicU64::new(0));
                 let ack = roundtrip(&cmd_tx, |reply| Cmd::Subscribe {
                     queries,
                     policy,
                     tx: push_tx,
+                    pending: Arc::clone(&pending),
                     reply,
                 });
                 match ack {
@@ -408,7 +503,7 @@ fn run_session(
                             .peer_addr()
                             .map(|a| a.to_string())
                             .unwrap_or_else(|_| "?".into());
-                        let result = pump_subscription(push_rx, writer, ctx);
+                        let result = pump_subscription(push_rx, writer, ctx, pending);
                         ctx.sub_disconnects.inc();
                         ctx.obs
                             .journal()
@@ -450,17 +545,29 @@ fn run_session(
 /// Forwards the bounded queue to the socket until the engine closes the
 /// queue (shutdown) or the socket dies (client gone — the engine
 /// notices on its next send and reaps this subscriber).
+///
+/// `pending` is the drop-tally counter shared with the engine-side
+/// [`Subscriber`](crate::subscriber::Subscriber). Once the queue closes
+/// the engine can no longer touch it, so sweeping it here — after the
+/// buffered frames have drained — delivers losses the engine could
+/// never fit into a wedged queue, ahead of `ShuttingDown`.
 fn pump_subscription(
     push_rx: Receiver<Push>,
     mut writer: BufWriter<TcpStream>,
     ctx: &SessionCtx,
+    pending: Arc<AtomicU64>,
 ) -> std::io::Result<()> {
-    // End-to-end samples whose frames are written but not yet flushed;
+    // Sampled batches whose frames are written but not yet flushed;
     // observed once the covering flush makes them visible to the client.
-    let mut stamped: Vec<(Instant, u64)> = Vec::new();
+    let mut stamped: Vec<(BatchStamp, u64)> = Vec::new();
     loop {
         let Ok(first) = push_rx.recv() else {
-            // Engine dropped the queue: graceful end of stream.
+            // Engine dropped the queue: graceful end of stream. Any
+            // drop tally that never fit into the queue goes out now.
+            let swept = pending.swap(0, Ordering::Relaxed);
+            if swept > 0 {
+                let _ = (Msg::Dropped { count: swept }).write_to(&mut writer);
+            }
             let _ = Msg::ShuttingDown.write_to(&mut writer);
             let _ = writer.flush();
             return Ok(());
@@ -473,31 +580,66 @@ fn pump_subscription(
             match push {
                 Push::Flush(ack) => {
                     writer.flush()?;
-                    for (t, n) in stamped.drain(..) {
-                        ctx.e2e_hist.record_n(t.elapsed().as_nanos() as u64, n);
-                    }
+                    observe_delivered(ctx, &mut stamped);
                     let _ = ack.send(());
                 }
                 other => {
                     if let Some(msg) = render_push(&other) {
                         let t0 = Instant::now();
                         msg.write_to(&mut writer)?;
-                        ctx.write_hist.record(t0.elapsed().as_nanos() as u64);
+                        let t1 = Instant::now();
+                        ctx.write_hist
+                            .record(t1.duration_since(t0).as_nanos() as u64);
+                        if let Push::Results {
+                            stamp: Some(st), ..
+                        } = &other
+                        {
+                            if let Some((trace_id, root)) = st.trace {
+                                ctx.obs.trace().record(
+                                    trace_id,
+                                    root,
+                                    "write",
+                                    t0,
+                                    t1,
+                                    "srpq-session",
+                                    "",
+                                );
+                            }
+                        }
                     }
                     if let Push::Results {
                         entries,
-                        stamp: Some(t),
+                        stamp: Some(st),
                     } = &other
                     {
-                        stamped.push((*t, entries.len() as u64));
+                        stamped.push((*st, entries.len() as u64));
                     }
                 }
             }
             item = push_rx.try_recv().ok();
         }
         writer.flush()?;
-        for (t, n) in stamped.drain(..) {
-            ctx.e2e_hist.record_n(t.elapsed().as_nanos() as u64, n);
+        observe_delivered(ctx, &mut stamped);
+    }
+}
+
+/// Observes flushed sampled batches: end-to-end latency into the
+/// histogram, delivery time into the trace root — both against the same
+/// decode timestamp, so span durations reconcile with the histogram.
+fn observe_delivered(ctx: &SessionCtx, stamped: &mut Vec<(BatchStamp, u64)>) {
+    if stamped.is_empty() {
+        return;
+    }
+    let now = Instant::now();
+    for (st, n) in stamped.drain(..) {
+        if st.e2e {
+            ctx.e2e_hist
+                .record_n(now.duration_since(st.t0).as_nanos() as u64, n);
+        }
+        if let Some((trace_id, root)) = st.trace {
+            ctx.obs
+                .trace()
+                .root_candidate(trace_id, root, st.t0, now, "srpq-session", "delivered");
         }
     }
 }

@@ -14,7 +14,10 @@
 //! * [`SubPolicy::DropNewest`] — the frame's entries are counted and
 //!   discarded; the tally is delivered as a [`Msg::Dropped`] message as
 //!   soon as the queue has room again. Ingest never waits on a slow
-//!   subscriber.
+//!   subscriber. The pending count lives in an [`AtomicU64`] shared
+//!   with the session thread, which sweeps it once its queue closes and
+//!   writes one final tally ahead of `ShuttingDown` — so losses reach
+//!   the client even when the queue was wedged full to the very end.
 //!
 //! Flush fences ([`Push::Flush`]) are delivered with a *blocking* send
 //! under both policies — they carry the determinism guarantee of
@@ -23,7 +26,9 @@
 use crate::protocol::{Msg, ResultEntry, SubPolicy};
 use srpq_common::{FxHashSet, ResultPair, Timestamp};
 use srpq_core::multi::{MultiSink, QueryId};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Result entries per [`Push::Results`] frame before an eager flush.
@@ -32,15 +37,34 @@ pub(crate) const RESULTS_PER_FRAME: usize = 256;
 /// Default queue bound (frames) when the subscriber passes 0.
 pub(crate) const DEFAULT_CAPACITY: usize = 64;
 
+/// Sampling marks attached to one ingest batch at decode time, riding
+/// every result frame the batch produces: the end-to-end latency
+/// sampler's timestamp and/or the causal tracer's identifiers. The two
+/// samplers are independent knobs over the same path; a batch can
+/// carry either, both, or (the common case — then no stamp exists at
+/// all) neither.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BatchStamp {
+    /// Ingest-decode completion time.
+    pub(crate) t0: Instant,
+    /// The e2e latency sampler picked this batch: the pump thread
+    /// records `now - t0` into the e2e histogram after the covering
+    /// socket write.
+    pub(crate) e2e: bool,
+    /// The causal tracer picked this batch: `(trace_id,
+    /// root_span_id)`; every stage the batch flows through records a
+    /// child span under the root.
+    pub(crate) trace: Option<(u64, u64)>,
+}
+
 /// One item in a subscriber queue.
 pub(crate) enum Push {
-    /// A batch of results to forward. `stamp` is the ingest-decode
-    /// timestamp of the batch that produced these entries, when the
-    /// end-to-end latency sampler picked that batch — the pump thread
-    /// observes it after the socket write.
+    /// A batch of results to forward. `stamp` carries the sampling
+    /// marks of the batch that produced these entries, when a sampler
+    /// picked it — the pump thread observes it after the socket write.
     Results {
         entries: Vec<ResultEntry>,
-        stamp: Option<Instant>,
+        stamp: Option<BatchStamp>,
     },
     /// A drop tally to forward ([`Msg::Dropped`]).
     Dropped(u64),
@@ -60,8 +84,11 @@ pub(crate) struct Subscriber {
     /// The bounded queue into the subscriber session thread.
     pub(crate) tx: SyncSender<Push>,
     pub(crate) policy: SubPolicy,
-    /// Entries dropped since the last delivered tally.
-    pub(crate) dropped_pending: u64,
+    /// Entries dropped since the last delivered tally. Shared with the
+    /// session thread, which sweeps any remainder into a final
+    /// [`Msg::Dropped`] when the queue closes; at any instant the count
+    /// lives either here or in an enqueued tally, never both.
+    pub(crate) dropped_pending: Arc<AtomicU64>,
     /// Per-batch staging buffer (flushed at `RESULTS_PER_FRAME` and at
     /// batch end).
     pub(crate) buf: Vec<ResultEntry>,
@@ -75,6 +102,7 @@ impl Subscriber {
         queries: FxHashSet<u32>,
         tx: SyncSender<Push>,
         policy: SubPolicy,
+        dropped_pending: Arc<AtomicU64>,
     ) -> Subscriber {
         Subscriber {
             all: names.is_empty(),
@@ -82,7 +110,7 @@ impl Subscriber {
             queries,
             tx,
             policy,
-            dropped_pending: 0,
+            dropped_pending,
             buf: Vec::new(),
             dead: false,
         }
@@ -100,7 +128,7 @@ impl Subscriber {
         &mut self,
         pushed_total: &mut u64,
         dropped_total: &mut u64,
-        stamp: Option<Instant>,
+        stamp: Option<BatchStamp>,
     ) {
         if self.dead {
             self.buf.clear();
@@ -130,7 +158,7 @@ impl Subscriber {
                 }) {
                     Ok(()) => *pushed_total += n,
                     Err(TrySendError::Full(_)) => {
-                        self.dropped_pending += n;
+                        self.dropped_pending.fetch_add(n, Ordering::Relaxed);
                         *dropped_total += n;
                     }
                     Err(TrySendError::Disconnected(_)) => self.dead = true,
@@ -138,12 +166,19 @@ impl Subscriber {
             }
         }
         // Deliver an outstanding drop tally opportunistically; if the
-        // queue is still full, keep accumulating.
-        if self.dropped_pending > 0 && !self.dead {
-            match self.tx.try_send(Push::Dropped(self.dropped_pending)) {
-                Ok(()) => self.dropped_pending = 0,
-                Err(TrySendError::Full(_)) => {}
-                Err(TrySendError::Disconnected(_)) => self.dead = true,
+        // queue is still full, put the count back and keep accumulating
+        // (the session thread sweeps any remainder when the queue
+        // closes, so a wedged queue delays the tally but never eats it).
+        if !self.dead {
+            let pending = self.dropped_pending.swap(0, Ordering::Relaxed);
+            if pending > 0 {
+                match self.tx.try_send(Push::Dropped(pending)) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        self.dropped_pending.fetch_add(pending, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Disconnected(_)) => self.dead = true,
+                }
             }
         }
     }
@@ -190,9 +225,9 @@ pub(crate) struct FanoutSink<'a> {
     pub(crate) pushed: &'a mut u64,
     /// Running count of entries lost to drop-policy queues.
     pub(crate) dropped: &'a mut u64,
-    /// Ingest-decode timestamp of the driving batch (end-to-end latency
-    /// sample), attached to every frame this sink flushes.
-    pub(crate) stamp: Option<Instant>,
+    /// Sampling marks of the driving batch (e2e latency and/or causal
+    /// trace), attached to every frame this sink flushes.
+    pub(crate) stamp: Option<BatchStamp>,
 }
 
 impl FanoutSink<'_> {
@@ -274,6 +309,7 @@ mod tests {
             FxHashSet::default(),
             tx,
             SubPolicy::Block,
+            Arc::new(AtomicU64::new(0)),
         )];
         let mut pushed = 0;
         let mut dropped = 0;
@@ -312,11 +348,13 @@ mod tests {
     #[test]
     fn drop_policy_counts_and_reports() {
         let (tx, rx) = mpsc::sync_channel(1);
+        let pending = Arc::new(AtomicU64::new(0));
         let mut subs = vec![Subscriber::new(
             Vec::new(),
             FxHashSet::default(),
             tx,
             SubPolicy::DropNewest,
+            Arc::clone(&pending),
         )];
         let mut pushed = 0;
         let mut dropped = 0;
@@ -333,7 +371,7 @@ mod tests {
             sink.finish();
         }
         assert_eq!(dropped, 2);
-        assert_eq!(subs[0].dropped_pending, 2);
+        assert_eq!(pending.load(Ordering::Relaxed), 2);
         // Drain the queue: the next flush (even an empty one — no new
         // results required) delivers the tally.
         let Push::Results { entries: first, .. } = rx.recv().unwrap() else {
@@ -351,7 +389,52 @@ mod tests {
             panic!("expected the drop tally");
         };
         assert_eq!(n, 2);
-        assert_eq!(subs[0].dropped_pending, 0);
+        assert_eq!(pending.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn wedged_queue_leaves_tally_for_session_sweep() {
+        // A capacity-1 queue that nobody ever drains: every flush finds
+        // it full, so the tally can never ride the queue. The shared
+        // counter must still hold the full count for the session
+        // thread's shutdown sweep — delivered or tallied, never lost.
+        let (tx, rx) = mpsc::sync_channel(1);
+        let pending = Arc::new(AtomicU64::new(0));
+        let mut subs = vec![Subscriber::new(
+            Vec::new(),
+            FxHashSet::default(),
+            tx,
+            SubPolicy::DropNewest,
+            Arc::clone(&pending),
+        )];
+        let mut pushed = 0;
+        let mut dropped = 0;
+        for round in 0..5 {
+            let mut sink = FanoutSink {
+                subscribers: &mut subs,
+                pushed: &mut pushed,
+                dropped: &mut dropped,
+                stamp: None,
+            };
+            sink.push(entry(0, round));
+            sink.finish();
+        }
+        assert_eq!(pushed, 1);
+        assert_eq!(dropped, 4);
+        assert_eq!(pending.load(Ordering::Relaxed), 4);
+        // Engine shutdown drops the subscriber; the buffered frame
+        // survives inside the channel, and the sweep (modelled here)
+        // recovers the exact tally afterwards.
+        drop(subs);
+        let mut delivered = 0usize;
+        while let Ok(p) = rx.recv() {
+            if let Push::Results { entries, .. } = p {
+                delivered += entries.len();
+            }
+        }
+        let swept = pending.swap(0, Ordering::Relaxed);
+        assert_eq!(delivered, 1);
+        assert_eq!(swept, 4);
     }
 
     #[test]
@@ -361,8 +444,20 @@ mod tests {
         let mut q0 = FxHashSet::default();
         q0.insert(0);
         let mut subs = vec![
-            Subscriber::new(vec!["only-q0".into()], q0, tx, SubPolicy::Block),
-            Subscriber::new(Vec::new(), FxHashSet::default(), tx2, SubPolicy::Block),
+            Subscriber::new(
+                vec!["only-q0".into()],
+                q0,
+                tx,
+                SubPolicy::Block,
+                Arc::new(AtomicU64::new(0)),
+            ),
+            Subscriber::new(
+                Vec::new(),
+                FxHashSet::default(),
+                tx2,
+                SubPolicy::Block,
+                Arc::new(AtomicU64::new(0)),
+            ),
         ];
         let mut pushed = 0;
         let mut dropped = 0;
