@@ -25,9 +25,11 @@ pub mod minimize;
 pub mod nfa;
 pub mod parser;
 pub mod query;
+pub mod signature;
 
 pub use ast::Regex;
 pub use containment::ContainmentTable;
 pub use dfa::Dfa;
 pub use parser::{parse, ParseError};
 pub use query::CompiledQuery;
+pub use signature::DfaSignature;

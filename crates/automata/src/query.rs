@@ -71,6 +71,14 @@ impl CompiledQuery {
     pub fn has_containment_property(&self) -> bool {
         self.containment.has_containment_property()
     }
+
+    /// The canonical signature of the minimal DFA: equal for any two
+    /// registrations denoting the same language over the same alphabet.
+    /// Computed on demand — the DFA is small and this runs only on
+    /// registration paths, never per tuple.
+    pub fn signature(&self) -> crate::signature::DfaSignature {
+        crate::signature::DfaSignature::of(&self.dfa)
+    }
 }
 
 #[cfg(test)]

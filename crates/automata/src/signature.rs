@@ -1,0 +1,257 @@
+//! Canonical automaton signatures for multi-query sharing.
+//!
+//! Thousands of registered RPQs are typically near-duplicates of a few
+//! templates, and two registrations whose expressions denote the same
+//! language compile — via subset construction and Hopcroft minimization
+//! — to *isomorphic* minimal partial DFAs (Myhill–Nerode). A
+//! [`DfaSignature`] is a deterministic canonical form of such a DFA:
+//! states are renumbered in BFS order from the start state (exploring
+//! transitions in sorted-alphabet order), and the renumbered automaton
+//! — state count, interned alphabet, accepting set, and sorted
+//! transition table — is serialized into a byte string and hashed.
+//! Equal-language, equal-alphabet registrations therefore collapse to
+//! one key, which the multi-query registry uses to attach them to one
+//! shared evaluation group.
+//!
+//! Equality compares the full canonical byte string (hash first as a
+//! fast path), so signature collisions cannot silently merge distinct
+//! languages. The declared alphabet Σ_Q participates in the signature
+//! even where it adds no transitions: routing and per-query
+//! `tuples_routed` accounting follow Σ_Q, so automata that differ only
+//! in dead alphabet labels must not share a group.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use srpq_common::hash::FxHasher;
+use srpq_common::StateId;
+
+use crate::dfa::Dfa;
+
+/// A deterministic canonical form of a minimized partial DFA, hashed
+/// into a compact key. Two DFAs have equal signatures iff their
+/// canonical forms are byte-identical — i.e. they are isomorphic
+/// automata over the same interned alphabet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfaSignature {
+    /// FxHash of `canon` — the fast-path comparison and display key.
+    hash: u64,
+    /// The canonical serialization itself; equality is decided here, so
+    /// hash collisions cannot merge distinct languages.
+    canon: Vec<u8>,
+}
+
+impl DfaSignature {
+    /// Computes the signature of `dfa`.
+    ///
+    /// The minimizer already renumbers states in BFS order from the
+    /// start, but the canonicalization does not rely on that: it
+    /// re-derives the BFS numbering here, so any isomorphic relabeling
+    /// of the same automaton (e.g. one built by [`Dfa::from_parts`]
+    /// directly) maps to the same canonical form. States unreachable
+    /// from the start — absent from minimized DFAs — are appended in
+    /// ascending original order so the form stays total.
+    pub fn of(dfa: &Dfa) -> DfaSignature {
+        let n = dfa.n_states();
+        let mut renum = vec![u32::MAX; n];
+        let mut bfs: Vec<StateId> = Vec::with_capacity(n);
+        if n > 0 {
+            renum[dfa.start().index()] = 0;
+            bfs.push(dfa.start());
+        }
+        let mut head = 0;
+        while head < bfs.len() {
+            let s = bfs[head];
+            head += 1;
+            for &l in dfa.alphabet() {
+                if let Some(t) = dfa.next(s, l) {
+                    if renum[t.index()] == u32::MAX {
+                        renum[t.index()] = bfs.len() as u32;
+                        bfs.push(t);
+                    }
+                }
+            }
+        }
+        let mut next = bfs.len() as u32;
+        for slot in renum.iter_mut() {
+            if *slot == u32::MAX {
+                *slot = next;
+                next += 1;
+            }
+        }
+
+        let alphabet = dfa.alphabet();
+        let mut accepting: Vec<u32> = dfa.accepting_states().map(|s| renum[s.index()]).collect();
+        accepting.sort_unstable();
+        // Transitions as (from, alphabet column, to) over renumbered
+        // states; the column index is canonical because the alphabet is
+        // itself part of the serialization.
+        let mut transitions: Vec<(u32, u32, u32)> = dfa
+            .transitions()
+            .map(|(s, l, t)| {
+                let col = alphabet.binary_search(&l).expect("label in alphabet") as u32;
+                (renum[s.index()], col, renum[t.index()])
+            })
+            .collect();
+        transitions.sort_unstable();
+
+        let mut canon = Vec::with_capacity(
+            16 + 4 * (alphabet.len() + accepting.len()) + 12 * transitions.len(),
+        );
+        let push = |canon: &mut Vec<u8>, v: u32| canon.extend_from_slice(&v.to_le_bytes());
+        push(&mut canon, n as u32);
+        push(&mut canon, alphabet.len() as u32);
+        for &l in alphabet {
+            push(&mut canon, l.0);
+        }
+        push(&mut canon, accepting.len() as u32);
+        for a in accepting {
+            push(&mut canon, a);
+        }
+        push(&mut canon, transitions.len() as u32);
+        for (s, col, t) in transitions {
+            push(&mut canon, s);
+            push(&mut canon, col);
+            push(&mut canon, t);
+        }
+
+        let mut hasher = FxHasher::default();
+        hasher.write(&canon);
+        DfaSignature {
+            hash: hasher.finish(),
+            canon,
+        }
+    }
+
+    /// The 64-bit hash of the canonical form — stable across processes
+    /// (FxHash is unseeded), used for display and fast comparison.
+    pub fn hash64(&self) -> u64 {
+        self.hash
+    }
+
+    /// The canonical serialization (state count, alphabet, accepting
+    /// set, sorted transition table; all little-endian u32).
+    pub fn canon_bytes(&self) -> &[u8] {
+        &self.canon
+    }
+}
+
+impl Hash for DfaSignature {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl fmt::Display for DfaSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::CompiledQuery;
+    use srpq_common::{Label, LabelInterner};
+
+    fn sig(expr: &str, labels: &mut LabelInterner) -> DfaSignature {
+        CompiledQuery::compile(expr, labels).unwrap().signature()
+    }
+
+    #[test]
+    fn equal_languages_share_a_signature() {
+        let mut labels = LabelInterner::new();
+        // AST-level rewrites that minimize to the same DFA.
+        assert_eq!(sig("a | b", &mut labels), sig("b | a", &mut labels));
+        assert_eq!(sig("a* a*", &mut labels), sig("a*", &mut labels));
+        assert_eq!(sig("a a*", &mut labels), sig("a+", &mut labels));
+        assert_eq!(sig("(a b)+", &mut labels), sig("a b (a b)*", &mut labels));
+    }
+
+    #[test]
+    fn distinct_languages_differ() {
+        let mut labels = LabelInterner::new();
+        let exprs = ["a", "a*", "a+", "a | b", "a b", "b a", "(a b)+", "a b*"];
+        let sigs: Vec<DfaSignature> = exprs.iter().map(|e| sig(e, &mut labels)).collect();
+        for i in 0..sigs.len() {
+            for j in 0..sigs.len() {
+                if i != j {
+                    assert_ne!(sigs[i], sigs[j], "{} vs {}", exprs[i], exprs[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invariant_under_state_renumbering() {
+        // The same automaton with states permuted must canonicalize
+        // identically: a -> b with states (0 start, 1 accept) vs
+        // (1 start, 0 accept).
+        let a = Label(0);
+        let b = Label(1);
+        let d1 = Dfa::from_parts(
+            3,
+            StateId(0),
+            &[StateId(2)],
+            &[a, b],
+            &[(StateId(0), a, StateId(1)), (StateId(1), b, StateId(2))],
+        );
+        let d2 = Dfa::from_parts(
+            3,
+            StateId(2),
+            &[StateId(0)],
+            &[a, b],
+            &[(StateId(2), a, StateId(1)), (StateId(1), b, StateId(0))],
+        );
+        assert_eq!(DfaSignature::of(&d1), DfaSignature::of(&d2));
+    }
+
+    #[test]
+    fn dead_alphabet_labels_keep_automata_apart() {
+        // Same transition structure, but d2 declares an extra alphabet
+        // label with no transitions — routing follows the alphabet, so
+        // the signatures must differ.
+        let a = Label(0);
+        let b = Label(1);
+        let t = [(StateId(0), a, StateId(1))];
+        let d1 = Dfa::from_parts(2, StateId(0), &[StateId(1)], &[a], &t);
+        let d2 = Dfa::from_parts(2, StateId(0), &[StateId(1)], &[a, b], &t);
+        assert_ne!(DfaSignature::of(&d1), DfaSignature::of(&d2));
+    }
+
+    #[test]
+    fn hash_is_stable_and_displayed_as_hex() {
+        let mut labels = LabelInterner::new();
+        let s1 = sig("(knows | follows)+", &mut labels);
+        let s2 = sig("(follows | knows)+", &mut labels);
+        assert_eq!(s1.hash64(), s2.hash64());
+        assert_eq!(format!("{s1}"), format!("{:016x}", s1.hash64()));
+        assert_eq!(s1.canon_bytes(), s2.canon_bytes());
+    }
+
+    #[test]
+    fn property_random_equivalent_rewrites_collapse() {
+        // A light property sweep: for each base expression, a handful
+        // of language-preserving rewrites must hash identically, and a
+        // language-changing tweak must not.
+        let mut labels = LabelInterner::new();
+        let families = [
+            ("a+", "a a*", "a?"),
+            ("(a | b)*", "(b | a)*", "(a b)*"),
+            ("a b* c", "a (b)* c", "a b+ c"),
+            ("(a b)+ c?", "a b (a b)* c?", "(a b)+ c"),
+        ];
+        for (base, same, different) in families {
+            assert_eq!(
+                sig(base, &mut labels),
+                sig(same, &mut labels),
+                "{base} vs {same}"
+            );
+            assert_ne!(
+                sig(base, &mut labels),
+                sig(different, &mut labels),
+                "{base} vs {different}"
+            );
+        }
+    }
+}

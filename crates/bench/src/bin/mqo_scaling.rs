@@ -1,0 +1,232 @@
+//! Multi-query sharing scaling: per-tuple cost and Δ footprint vs
+//! registered-query count × duplication ratio, shared evaluation
+//! against per-query forests.
+//!
+//! Workloads with thousands of registered queries are dominated by
+//! near-duplicates: dashboards and alerting rules instantiate the same
+//! handful of path templates over and over. Each grid point registers
+//! `n` queries drawn from a template pool — the duplication knob sets
+//! how many *distinct* templates the pool contributes — and drives the
+//! same gMark tuple stream through two engines:
+//!
+//! - **shared**: canonical-signature grouping on (the default); all
+//!   equal-language registrations collapse onto one Δ forest, so cost
+//!   and memory scale with *groups*, not queries.
+//! - **unshared**: `shared_groups = false`; every registration owns a
+//!   private forest — the pre-sharing baseline.
+//!
+//! Reported per row: evaluation groups actually live, per-tuple cost,
+//! live Δ nodes, and arena bytes. The headline claim this reproduces:
+//! at high duplication, shared-mode per-tuple cost grows only with the
+//! template count as registrations grow 1k → 10k, while unshared cost
+//! grows with the registration count (~10×).
+//!
+//! ```text
+//! cargo run --release -p srpq_bench --bin mqo_scaling [scale] [--json OUT] [--check]
+//! ```
+//!
+//! `--check` is the CI memory gate: shared-mode arena bytes at the 4k
+//! fully-duplicated point must stay within 2× of the 8-query footprint
+//! (the forests are the same eight; sharing must not re-materialize
+//! them per subscriber). Exits non-zero on violation.
+
+use srpq_bench::{compile_query, gmark_fixture, jsonout, print_csv, scale_from_args};
+use srpq_core::multi::{MultiQueryEngine, NullMultiSink};
+use srpq_core::{EngineConfig, PathSemantics};
+use srpq_graph::WindowPolicy;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+const BATCH: usize = 256;
+/// Distinct templates behind the fully-duplicated points — the "eight
+/// dashboards, thousands of instantiations" shape.
+const TEMPLATES: usize = 8;
+
+struct Row {
+    queries: usize,
+    dup_pct: u32,
+    shared: bool,
+    groups: usize,
+    tuples: u64,
+    per_tuple_ns: f64,
+    delta_nodes: u64,
+    arena_bytes: u64,
+    completed: bool,
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{},{},{},{},{},{:.0},{},{},{}",
+            self.queries,
+            self.dup_pct,
+            self.shared,
+            self.groups,
+            self.tuples,
+            self.per_tuple_ns,
+            self.delta_nodes,
+            self.arena_bytes,
+            self.completed
+        )
+    }
+}
+
+/// The per-run workload shared by every grid point.
+struct Fixture<'a> {
+    exprs: &'a [String],
+    window: WindowPolicy,
+    ds: &'a srpq_datagen::Dataset,
+    tuples: &'a [srpq_common::StreamTuple],
+    budget: Duration,
+}
+
+/// Registers `n` queries cycling over the first `distinct` pool
+/// expressions and drives the stream through, within the fixture's
+/// budget.
+fn run_point(fx: &Fixture<'_>, n: usize, distinct: usize, shared: bool) -> Row {
+    let Fixture {
+        exprs,
+        window,
+        ds,
+        tuples,
+        budget,
+    } = *fx;
+    let mut config = EngineConfig::with_window(window);
+    config.shared_groups = shared;
+    let mut engine = MultiQueryEngine::with_config(config);
+    for i in 0..n {
+        engine
+            .register(
+                format!("q{i}"),
+                compile_query(&exprs[i % distinct], &ds.labels),
+                PathSemantics::Arbitrary,
+            )
+            .expect("template registers");
+    }
+    let mut sink = NullMultiSink;
+    let mut processed = 0u64;
+    let mut completed = true;
+    let t0 = Instant::now();
+    for chunk in tuples.chunks(BATCH) {
+        engine.process_batch(chunk, &mut sink);
+        processed += chunk.len() as u64;
+        if t0.elapsed() > budget {
+            completed = false;
+            break;
+        }
+    }
+    let elapsed = t0.elapsed();
+    let size = engine.total_index_size();
+    Row {
+        queries: n,
+        dup_pct: (100 * (n - distinct.min(n)) / n.max(1)) as u32,
+        shared,
+        groups: engine.groups_live(),
+        tuples: processed,
+        per_tuple_ns: elapsed.as_nanos() as f64 / processed.max(1) as f64,
+        delta_nodes: size.nodes as u64,
+        arena_bytes: size.arena_bytes as u64,
+        completed,
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let check = std::env::args().any(|a| a == "--check");
+    // A pool of distinct templates: the first TEMPLATES are the
+    // duplicated "dashboard" set, the rest feed the mixed points.
+    let (ds, pool) = gmark_fixture(1, 64);
+    let exprs: Vec<String> = pool.iter().map(|q| q.expr.clone()).collect();
+    let keep = ((ds.len() as f64 * scale.min(1.0)) as usize).max(2_000);
+    let tuples = &ds.tuples[..keep.min(ds.len())];
+    let span = match (tuples.first(), tuples.last()) {
+        (Some(a), Some(b)) => (b.ts.0 - a.ts.0).max(1),
+        _ => 1,
+    };
+    let window = WindowPolicy::new((span / 4).max(4), (span / 40).max(1));
+    // The registration grid scales with the knob so CI smoke stays
+    // cheap (0.05 → 50 / 200 / 500) while a full run hits 1k/4k/10k.
+    let counts: Vec<usize> = [1_000usize, 4_000, 10_000]
+        .iter()
+        .map(|&c| (((c as f64) * scale).round() as usize).clamp(16, c))
+        .collect();
+    let budget = Duration::from_secs(120);
+
+    println!(
+        "# MQO sharing scaling: {} tuples, window {window:?}, batch {BATCH}, grid {counts:?}",
+        tuples.len()
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    let fx = Fixture {
+        exprs: &exprs,
+        window,
+        ds: &ds,
+        tuples,
+        budget,
+    };
+    // The reference footprint the CI gate compares against: the eight
+    // distinct templates, one registration each, shared mode.
+    let footprint8 = run_point(&fx, TEMPLATES, TEMPLATES, true);
+    eprintln!(
+        "# footprint({TEMPLATES} queries): {} arena bytes, {} groups",
+        footprint8.arena_bytes, footprint8.groups
+    );
+    for &n in &counts {
+        // High duplication: every registration instantiates one of the
+        // eight templates. Mixed: half the pool's distinct templates.
+        for &(dup_distinct, label) in &[(TEMPLATES, "dup"), (exprs.len().min(n), "mixed")] {
+            let _ = label;
+            for &shared in &[true, false] {
+                rows.push(run_point(&fx, n, dup_distinct, shared));
+            }
+        }
+    }
+    print_csv(
+        "queries,dup_pct,shared,groups,tuples,per_tuple_ns,delta_nodes_live,arena_bytes,completed",
+        &rows,
+    );
+    if let Some(path) = srpq_bench::json_path_from_args() {
+        let objs: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                jsonout::obj(&[
+                    ("bench", jsonout::Val::S("mqo_scaling".into())),
+                    ("queries", jsonout::Val::U(r.queries as u64)),
+                    ("dup_pct", jsonout::Val::U(r.dup_pct as u64)),
+                    ("shared", jsonout::Val::B(r.shared)),
+                    ("groups", jsonout::Val::U(r.groups as u64)),
+                    ("tuples", jsonout::Val::U(r.tuples)),
+                    ("per_tuple_ns", jsonout::Val::F(r.per_tuple_ns)),
+                    ("delta_nodes_live", jsonout::Val::U(r.delta_nodes)),
+                    ("arena_bytes", jsonout::Val::U(r.arena_bytes)),
+                    ("completed", jsonout::Val::B(r.completed)),
+                ])
+            })
+            .collect();
+        jsonout::write_array(&path, &objs).expect("write json artifact");
+        eprintln!("wrote {}", path.display());
+    }
+    if check {
+        // CI memory gate: shared evaluation at the 4k-scaled, fully
+        // duplicated point must cost (arena-byte-wise) no more than 2×
+        // the eight templates it deduplicates to.
+        let gate = rows
+            .iter()
+            .find(|r| r.queries == counts[1] && r.shared && r.groups <= TEMPLATES)
+            .expect("4k duplicated shared row present");
+        let limit = footprint8.arena_bytes.max(1) * 2;
+        eprintln!(
+            "# gate: shared arena bytes at {} duplicated queries = {} (limit {limit})",
+            gate.queries, gate.arena_bytes
+        );
+        if gate.arena_bytes > limit {
+            eprintln!(
+                "MEMORY GATE FAILED: {} > 2 x {}",
+                gate.arena_bytes, footprint8.arena_bytes
+            );
+            std::process::exit(1);
+        }
+        eprintln!("# gate passed");
+    }
+}

@@ -254,11 +254,12 @@ pub fn cmd_query(args: &Args) -> Result<(), String> {
             for q in list {
                 let semantics = if q.simple { "simple" } else { "arbitrary" };
                 println!(
-                    "q{}  {}  {}  [{}]  routed={} results={} eval={:.1}ms",
+                    "q{}  {}  {}  [{}]  group=g{} routed={} results={} eval={:.1}ms",
                     q.id,
                     q.name,
                     q.regex,
                     semantics,
+                    q.group,
                     q.tuples_routed,
                     q.results_emitted,
                     q.eval_ns as f64 / 1e6,
@@ -295,6 +296,11 @@ pub fn cmd_ctl(args: &Args) -> Result<(), String> {
             let s = client.stats().map_err(|e| e.to_string())?;
             println!("seq:              {}", s.seq);
             println!("live queries:     {} ({} slots)", s.live_queries, s.slots);
+            println!(
+                "eval groups:      {} ({} shared away)",
+                s.groups_live,
+                (s.live_queries).saturating_sub(s.groups_live)
+            );
             println!("subscribers:      {}", s.subscribers);
             println!("labels:           {}", s.labels);
             println!("results pushed:   {}", s.results_pushed);
@@ -386,21 +392,39 @@ pub fn cmd_ctl(args: &Args) -> Result<(), String> {
 fn print_explain(x: &srpq_client::ExplainWire) {
     let semantics = if x.simple { "simple" } else { "arbitrary" };
     println!("query q{}: {}  {}  [{semantics}]", x.id, x.name, x.regex);
+    if x.co_subscribers.is_empty() {
+        println!(
+            "group:            g{} (private), signature {:016x}",
+            x.group, x.signature_hash
+        );
+    } else {
+        println!(
+            "group:            g{} shared with {}, signature {:016x}",
+            x.group,
+            x.co_subscribers.join(", "),
+            x.signature_hash
+        );
+    }
     println!(
         "dfa:              {} states, start {}, accepting {:?}",
         x.dfa_states, x.dfa_start, x.dfa_accepting
     );
     for l in &x.labels {
         println!(
-            "  label {:<12} {} transition(s), routed to {} quer{}",
+            "  label {:<12} {} transition(s), routed to {} group{}",
             l.name,
             l.transitions,
             l.sharing_queries,
-            if l.sharing_queries == 1 { "y" } else { "ies" }
+            if l.sharing_queries == 1 { "" } else { "s" }
         );
     }
+    let delta_kind = if x.co_subscribers.is_empty() {
+        "private"
+    } else {
+        "shared"
+    };
     println!(
-        "delta forest:     {} trees, {} nodes / {} slots, {} bytes, {} compactions",
+        "delta forest:     {} trees, {} nodes / {} slots, {} bytes, {} compactions [{delta_kind}]",
         x.delta_trees, x.delta_nodes, x.delta_slots, x.delta_arena_bytes, x.compactions
     );
     for &(state, n) in &x.nodes_per_state {
@@ -472,8 +496,20 @@ fn print_explain_json(x: &srpq_client::ExplainWire) {
     let _ = write!(
         out,
         "],\"depth_hist\":{:?}}},\"tuples_routed\":{},\"eval_ns\":{},\"expiry_ns\":{},\
-         \"total_eval_ns\":{},\"results_emitted\":{}}}",
-        x.depth_hist, x.tuples_routed, x.eval_ns, x.expiry_ns, x.total_eval_ns, x.results_emitted
+         \"total_eval_ns\":{},\"results_emitted\":{},\"group\":{},\"signature_hash\":\"{:016x}\",\
+         \"co_subscribers\":[",
+        x.depth_hist,
+        x.tuples_routed,
+        x.eval_ns,
+        x.expiry_ns,
+        x.total_eval_ns,
+        x.results_emitted,
+        x.group,
+        x.signature_hash
     );
+    for (i, name) in x.co_subscribers.iter().enumerate() {
+        let _ = write!(out, "{}\"{}\"", if i > 0 { "," } else { "" }, esc(name));
+    }
+    let _ = write!(out, "]}}");
     println!("{out}");
 }

@@ -78,6 +78,91 @@ impl GenBitSet {
     }
 }
 
+/// A plain u64-blocked bitset over dense small-integer keys, with
+/// set-bit iteration — the label → group-set routing index of the
+/// multi-query engines. Unlike [`GenBitSet`] it has no generations:
+/// membership changes are explicit (`insert` / `remove`) and persist
+/// until removed, and `iter_ones` walks the set bits in ascending
+/// order with one trailing-zeros scan per word. Routing a tuple is one
+/// such iteration over the groups whose alphabet contains the label,
+/// instead of an O(n_queries) scan.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct DenseBitSet {
+    blocks: Vec<u64>,
+}
+
+impl DenseBitSet {
+    /// Creates an empty set.
+    pub fn new() -> DenseBitSet {
+        DenseBitSet { blocks: Vec::new() }
+    }
+
+    /// Inserts `bit`, growing on demand. Returns `true` when the bit
+    /// was not yet set.
+    #[inline]
+    pub fn insert(&mut self, bit: u32) -> bool {
+        let block = (bit >> 6) as usize;
+        let mask = 1u64 << (bit & 63);
+        if block >= self.blocks.len() {
+            self.blocks.resize(block + 1, 0);
+        }
+        let fresh = self.blocks[block] & mask == 0;
+        self.blocks[block] |= mask;
+        fresh
+    }
+
+    /// Removes `bit`. Returns `true` when the bit was set.
+    #[inline]
+    pub fn remove(&mut self, bit: u32) -> bool {
+        let block = (bit >> 6) as usize;
+        let mask = 1u64 << (bit & 63);
+        match self.blocks.get_mut(block) {
+            Some(b) => {
+                let was = *b & mask != 0;
+                *b &= !mask;
+                was
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `bit` is set.
+    #[inline]
+    pub fn contains(&self, bit: u32) -> bool {
+        match self.blocks.get((bit >> 6) as usize) {
+            Some(&b) => b & (1u64 << (bit & 63)) != 0,
+            None => false,
+        }
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Iterates the set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u32> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(i, &block)| {
+            let base = (i as u32) << 6;
+            std::iter::successors((block != 0).then_some(block), |&b| {
+                let rest = b & (b - 1);
+                (rest != 0).then_some(rest)
+            })
+            .map(move |b| base + b.trailing_zeros())
+        })
+    }
+
+    /// Resident bytes of the block array (capacity, not just length).
+    pub fn resident_bytes(&self) -> usize {
+        self.blocks.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +197,40 @@ mod tests {
         assert!(!s.contains(300));
         assert!(s.insert(300));
         assert!(s.contains(300));
+    }
+
+    #[test]
+    fn dense_insert_remove_iterate() {
+        let mut s = DenseBitSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(64));
+        assert!(s.insert(200));
+        assert!(s.insert(0));
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![0, 3, 64, 200]);
+        assert_eq!(s.count(), 4);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert!(!s.remove(1000));
+        assert!(!s.contains(64));
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![0, 3, 200]);
+        s.remove(0);
+        s.remove(3);
+        s.remove(200);
+        assert!(s.is_empty());
+        assert_eq!(s.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn dense_full_word_iterates_all_bits() {
+        let mut s = DenseBitSet::new();
+        for b in 0..130 {
+            s.insert(b);
+        }
+        assert_eq!(
+            s.iter_ones().collect::<Vec<_>>(),
+            (0..130).collect::<Vec<_>>()
+        );
     }
 }

@@ -46,6 +46,14 @@ pub struct EngineConfig {
     /// incomplete — and `EngineStats::budget_exhausted` is bumped so
     /// callers can flag the run.
     pub rspq_extend_budget: Option<u64>,
+    /// Multi-query sharing: when true (default), registrations whose
+    /// automata have equal canonical signatures attach to one shared
+    /// evaluation group (one Δ forest, one emitted-set) and emissions
+    /// are fanned out per subscriber. When false every registration
+    /// founds a private group — the unshared baseline the equivalence
+    /// suite and the `mqo_scaling` bench compare against. Per-subscriber
+    /// event streams are byte-identical either way.
+    pub shared_groups: bool,
 }
 
 impl EngineConfig {
@@ -66,6 +74,7 @@ impl Default for EngineConfig {
             report_invalidations: true,
             refresh: RefreshPolicy::Node,
             rspq_extend_budget: None,
+            shared_groups: true,
         }
     }
 }

@@ -137,8 +137,9 @@ impl Engine {
     /// runs the lazy Δ-expiry pass against the shared graph at
     /// visibility `vis`. A multi-query coordinator uses this (with
     /// [`Self::dispatch_with_graph`]) to reproduce the sequential
-    /// order: a tuple's *first* routing target expires before the
-    /// tuple's graph mutation is visible, later targets after it.
+    /// order: every routed group expires against the pre-mutation
+    /// graph, then the coordinator applies the mutation once, then
+    /// every routed group dispatches the tuple.
     pub fn advance_with_graph<S: ResultSink>(
         &mut self,
         graph: &WindowGraph,

@@ -3,20 +3,56 @@
 //!
 //! The paper's conclusion lists "multi-query optimization techniques to
 //! share computation across multiple persistent RPQs" as future work.
-//! This module implements the first layer of that sharing:
+//! This module implements two layers of that sharing:
 //!
 //! * one [`WindowGraph`] holds the window content once, instead of one
 //!   copy per registered query — the dominant memory term for queries
 //!   with overlapping alphabets;
-//! * incoming tuples are **routed by label**: only engines whose query
-//!   alphabet contains the tuple's label are invoked at all (engines
-//!   also discard foreign labels themselves, but routing skips the
-//!   dispatch entirely);
+//! * registrations whose automata are **language-equivalent** collapse
+//!   into one *shared evaluation group*: thousands of near-duplicate
+//!   queries (dashboards instantiating the same template) are evaluated
+//!   once, over one Δ forest and one emitted-pair set, and every
+//!   emission is fanned out to each subscriber under its own
+//!   [`QueryId`] tag;
+//! * incoming tuples are **routed by label** through a
+//!   label → group-set bitmap index
+//!   ([`crate::bitset::DenseBitSet`]): only groups whose query alphabet
+//!   contains the tuple's label are invoked at all;
 //! * window maintenance (graph purge) happens once per slide, not once
 //!   per query.
 //!
-//! Δ tree indexes remain per-query — sharing partial results *across
-//! automata* (the deeper future-work idea) is out of scope.
+//! # Groups and signatures
+//!
+//! Two registrations share a group iff their compiled automata have
+//! equal canonical [`DfaSignature`]s *and* equal [`PathSemantics`]:
+//! minimal DFAs of the same language over the same alphabet are
+//! isomorphic, so signature equality is language-and-alphabet equality,
+//! and a group's Δ forest is exactly the forest each subscriber would
+//! have built alone. The first registration of a signature founds the
+//! group; later ones attach a subscriber tag; deregistration drops the
+//! tag and frees the group — forest, emitted-set, containment table —
+//! only when the last subscriber leaves.
+//!
+//! Sharing preserves the single-query event streams **byte-identically**:
+//! for each tuple, every routed group first advances its clock (running
+//! the pre-mutation expiry pass exactly like a solo engine), then the
+//! coordinator applies the graph mutation once, then every routed group
+//! dispatches the tuple; the buffered per-group events are finally
+//! fanned out per subscriber in ascending slot order. A subscriber
+//! cannot observe whether it shares its group.
+//!
+//! # Late joiners
+//!
+//! A group founded at stream start is *complete*: its Δ forest covers
+//! the whole window, so a mid-stream [`register_backfilled`] with the
+//! same signature can attach to it directly — the backfill events are
+//! replayed through a throwaway scratch engine (the shared forest is
+//! not touched), after which the subscriber simply rides the shared
+//! stream. A plain mid-stream [`register`] sees only future tuples, so
+//! it founds a *private incomplete* group: its partial forest is not
+//! equivalent to any other registration's and is never signature-
+//! indexed. With [`EngineConfig::shared_groups`] disabled every
+//! registration founds a private group — the unshared baseline.
 //!
 //! All queries in one [`MultiQueryEngine`] share a single
 //! [`WindowPolicy`]: the shared graph can only be purged at the widest
@@ -27,24 +63,29 @@
 //!
 //! Queries come and go at runtime (the `srpq_server` serving layer
 //! registers and deregisters them on live windows). The registry is
-//! **slot-based**: [`MultiQueryEngine::register`] appends a slot and
-//! returns its index as the [`QueryId`]; [`MultiQueryEngine::deregister`]
-//! vacates the slot, dropping the query's engine — its Δ-forest arenas,
-//! emitted-pair set, and statistics — and unthreading it from the label
-//! routing table. Slot indexes are **never reused**, so a `QueryId` held
-//! by a subscriber can never silently come to mean a different query;
-//! a vacated slot costs one `None` entry. Query names are unique among
-//! *live* queries — registering a duplicate is an error (it would make
-//! name-based lookups ambiguous), while a deregistered query's name is
-//! free for reuse.
+//! **slot-based**: [`register`] appends a slot and returns its index as
+//! the [`QueryId`]; [`deregister`] vacates the slot and detaches the
+//! subscriber from its group. Slot indexes are **never reused**, so a
+//! `QueryId` held by a subscriber can never silently come to mean a
+//! different query; a vacated slot costs one `None` entry. Group ids,
+//! by contrast, are internal and recycled through a free list — the
+//! group table stays bounded by the peak number of *distinct* live
+//! queries. Query names are unique among *live* queries — registering a
+//! duplicate is an error (it would make name-based lookups ambiguous),
+//! while a deregistered query's name is free for reuse.
+//!
+//! [`register`]: MultiQueryEngine::register
+//! [`register_backfilled`]: MultiQueryEngine::register_backfilled
+//! [`deregister`]: MultiQueryEngine::deregister
 
+use crate::bitset::DenseBitSet;
 use crate::config::EngineConfig;
 use crate::engine::{Engine, PathSemantics};
 use crate::sink::ResultSink;
 use crate::stats::{EngineStats, IndexSize, StageTotals};
-use srpq_automata::CompiledQuery;
-use srpq_common::{FxHashMap, Label, ResultPair, StreamTuple, Timestamp};
-use srpq_graph::{WindowGraph, WindowPolicy};
+use srpq_automata::{CompiledQuery, DfaSignature};
+use srpq_common::{FxHashMap, Label, Op, ResultPair, StreamTuple, Timestamp};
+use srpq_graph::{Visibility, WindowGraph, WindowPolicy};
 
 /// Identifies a registered query within a [`MultiQueryEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -127,9 +168,58 @@ impl<S: MultiSink> ResultSink for TagSink<'_, S> {
     }
 }
 
-struct Registered {
+/// Buffers a group engine's untagged events so they can be fanned out
+/// to every subscriber afterwards. The `bool` marks invalidations.
+struct BufSink<'a> {
+    buf: &'a mut Vec<(bool, ResultPair, Timestamp)>,
+}
+
+impl ResultSink for BufSink<'_> {
+    fn emit(&mut self, pair: ResultPair, ts: Timestamp) {
+        self.buf.push((false, pair, ts));
+    }
+
+    fn invalidate(&mut self, pair: ResultPair, ts: Timestamp) {
+        self.buf.push((true, pair, ts));
+    }
+}
+
+/// The group-key discriminant for path semantics ([`PathSemantics`]
+/// carries no `Hash` impl; the tag also doubles as the checkpoint
+/// encoding).
+pub(crate) fn semantics_tag(semantics: PathSemantics) -> u8 {
+    match semantics {
+        PathSemantics::Arbitrary => 0,
+        PathSemantics::Simple => 1,
+    }
+}
+
+/// One registration slot: the subscriber's name and the evaluation
+/// group it rides.
+struct Slot {
     name: String,
+    group: u32,
+}
+
+/// One shared evaluation group: a single engine (Δ forest, emitted-pair
+/// set, statistics) serving every subscriber whose automaton is
+/// language-equivalent to its query.
+struct Group {
     engine: Engine,
+    /// Live subscriber slots, ascending (slots are allocated
+    /// monotonically and pushed in order).
+    subscribers: Vec<u32>,
+    /// Whether the group's Δ forest covers the whole current window —
+    /// true for groups founded at stream start or by backfilled
+    /// registration. Only complete groups are signature-indexed and
+    /// joinable: an incomplete (plain mid-stream) group's partial
+    /// forest is not equivalent to any other registration's.
+    complete: bool,
+    /// The canonical signature of the group's automaton.
+    signature: DfaSignature,
+    /// Per-tuple event buffer, fanned out to `subscribers` after each
+    /// dispatch (retained across tuples to avoid allocation).
+    buffer: Vec<(bool, ResultPair, Timestamp)>,
 }
 
 /// A [`MultiSink`] that discards everything (throughput measurements
@@ -143,23 +233,38 @@ impl MultiSink for NullMultiSink {
 }
 
 /// A set of persistent RPQs evaluated together over one shared window
-/// graph.
+/// graph, with language-equivalent registrations collapsed into shared
+/// evaluation groups.
 pub struct MultiQueryEngine {
     config: EngineConfig,
     window: WindowPolicy,
     graph: WindowGraph,
     /// Registration slots; `None` marks a deregistered query. Slot
     /// indexes are query ids and are never reused.
-    queries: Vec<Option<Registered>>,
-    /// label → slots of live queries whose alphabet contains it.
-    routing: FxHashMap<Label, Vec<u32>>,
+    slots: Vec<Option<Slot>>,
+    /// Evaluation groups; `None` marks a freed group whose id waits on
+    /// `free_groups` for reuse.
+    groups: Vec<Option<Group>>,
+    /// Freed group ids, reused LIFO — the group table stays bounded by
+    /// the peak number of distinct live queries.
+    free_groups: Vec<u32>,
+    /// `(signature, semantics)` → joinable group. Only complete groups
+    /// under `config.shared_groups` are indexed.
+    sig_index: FxHashMap<(DfaSignature, u8), u32>,
+    /// Live query name → slot (O(1) name lookups at thousands of
+    /// registered queries).
+    by_name: FxHashMap<String, u32>,
+    /// label → set of group ids whose alphabet contains it.
+    routing: FxHashMap<Label, DenseBitSet>,
     now: Timestamp,
     tuples_seen: u64,
     tuples_routed: u64,
-    /// Reusable routing-target buffer: `process` must release the
-    /// borrow of `routing` before dispatching into the engines, and
-    /// copying into a retained buffer beats a fresh `Vec` per tuple.
+    /// Reusable routing-target buffer: dispatch must release the borrow
+    /// of `routing` before touching the groups, and copying into a
+    /// retained buffer beats a fresh `Vec` per tuple.
     route_scratch: Vec<u32>,
+    /// Reusable `(slot, group)` fan-out schedule per tuple.
+    fanout_scratch: Vec<(u32, u32)>,
     /// A previous `process_batch` panicked mid-batch: engine state may
     /// be half-applied, so further processing is refused (see
     /// [`Self::process_batch`]).
@@ -174,7 +279,7 @@ pub struct MultiQueryEngine {
 
 impl MultiQueryEngine {
     /// Creates an empty multi-query engine over `window` with
-    /// paper-default per-query configuration.
+    /// paper-default per-query configuration (sharing enabled).
     pub fn new(window: WindowPolicy) -> MultiQueryEngine {
         Self::with_config(EngineConfig::with_window(window))
     }
@@ -186,12 +291,17 @@ impl MultiQueryEngine {
             config,
             window: config.window,
             graph: WindowGraph::new(),
-            queries: Vec::new(),
+            slots: Vec::new(),
+            groups: Vec::new(),
+            free_groups: Vec::new(),
+            sig_index: FxHashMap::default(),
+            by_name: FxHashMap::default(),
             routing: FxHashMap::default(),
             now: Timestamp::NEG_INFINITY,
             tuples_seen: 0,
             tuples_routed: 0,
             route_scratch: Vec::new(),
+            fanout_scratch: Vec::new(),
             poisoned: false,
             stage: StageTotals::default(),
             beacon: None,
@@ -215,7 +325,7 @@ impl MultiQueryEngine {
     }
 
     /// Cumulative time spent in the batch path ([`Self::process_batch`]),
-    /// split into routing (everything outside per-query evaluation) and
+    /// split into routing (everything outside per-group evaluation) and
     /// evaluation (with its expiry slice). Monotone counters — an
     /// observability layer turns per-batch deltas into stage latency
     /// histograms without the engine depending on any metrics crate.
@@ -223,13 +333,84 @@ impl MultiQueryEngine {
         self.stage
     }
 
+    /// Allocates a group for `query` (free-listed id, routing bits,
+    /// fresh engine). The caller decides whether to signature-index it.
+    fn alloc_group(
+        &mut self,
+        query: CompiledQuery,
+        semantics: PathSemantics,
+        complete: bool,
+    ) -> u32 {
+        let signature = query.signature();
+        let g = match self.free_groups.pop() {
+            Some(g) => g,
+            None => {
+                self.groups.push(None);
+                (self.groups.len() - 1) as u32
+            }
+        };
+        for &label in query.dfa().alphabet() {
+            self.routing.entry(label).or_default().insert(g);
+        }
+        self.groups[g as usize] = Some(Group {
+            engine: Engine::new(query, self.config, semantics),
+            subscribers: Vec::new(),
+            complete,
+            signature,
+            buffer: Vec::new(),
+        });
+        g
+    }
+
+    /// Frees group `g`: unthreads its routing bits (labels no live
+    /// group speaks disappear from the table), drops its signature
+    /// index entry if it owns one, and recycles the id.
+    fn free_group(&mut self, g: u32) {
+        let grp = self.groups[g as usize]
+            .take()
+            .expect("freeing a live group");
+        for &label in grp.engine.query().dfa().alphabet() {
+            if let Some(set) = self.routing.get_mut(&label) {
+                set.remove(g);
+                if set.is_empty() {
+                    self.routing.remove(&label);
+                }
+            }
+        }
+        let key = (grp.signature, semantics_tag(grp.engine.semantics()));
+        if self.sig_index.get(&key) == Some(&g) {
+            self.sig_index.remove(&key);
+        }
+        self.free_groups.push(g);
+    }
+
+    /// Appends a slot subscribed to group `g` under `name`.
+    fn attach(&mut self, name: String, g: u32) -> QueryId {
+        let id = QueryId(self.slots.len() as u32);
+        self.by_name.insert(name.clone(), id.0);
+        self.slots.push(Some(Slot { name, group: g }));
+        self.groups[g as usize]
+            .as_mut()
+            .expect("attaching to a live group")
+            .subscribers
+            .push(id.0);
+        id
+    }
+
     /// Registers a query under the engine's shared window. Returns its
     /// id, or [`QueryError::DuplicateName`] if a live query already
-    /// carries `name`. Queries can be registered mid-stream; with plain
-    /// `register` they only see tuples from their registration point
-    /// onward (standard persistent-query semantics) — use
+    /// carries `name`.
+    ///
+    /// At stream start (before the first tuple) a registration whose
+    /// automaton is language-equivalent to an existing one **joins its
+    /// shared group** (when [`EngineConfig::shared_groups`] is on):
+    /// evaluation happens once, and the subscriber receives the exact
+    /// event stream a private engine would produce. Queries can also be
+    /// registered mid-stream; with plain `register` they only see
+    /// tuples from their registration point onward (standard
+    /// persistent-query semantics), so they found a private group — use
     /// [`Self::register_backfilled`] to also evaluate over the current
-    /// window content.
+    /// window content and stay joinable.
     pub fn register(
         &mut self,
         name: impl Into<String>,
@@ -237,24 +418,41 @@ impl MultiQueryEngine {
         semantics: PathSemantics,
     ) -> Result<QueryId, QueryError> {
         let name = name.into();
-        if self.query_id(&name).is_some() {
+        if self.by_name.contains_key(&name) {
             return Err(QueryError::DuplicateName(name));
         }
-        let id = QueryId(self.queries.len() as u32);
-        for &label in query.dfa().alphabet() {
-            self.routing.entry(label).or_default().push(id.0);
-        }
-        self.queries.push(Some(Registered {
-            name,
-            engine: Engine::new(query, self.config, semantics),
-        }));
-        Ok(id)
+        let at_start = self.now == Timestamp::NEG_INFINITY;
+        let g = if self.config.shared_groups && at_start {
+            let key = (query.signature(), semantics_tag(semantics));
+            match self.sig_index.get(&key) {
+                Some(&g) => g,
+                None => {
+                    let g = self.alloc_group(query, semantics, true);
+                    self.sig_index.insert(key, g);
+                    g
+                }
+            }
+        } else {
+            // Mid-stream plain registrations see only future tuples
+            // (their forests are incomplete, hence unjoinable); with
+            // sharing disabled every registration is private.
+            self.alloc_group(query, semantics, at_start)
+        };
+        Ok(self.attach(name, g))
     }
 
     /// Registers a query and *backfills* it: the current window content
-    /// is replayed (in timestamp order) into the new query's Δ index, so
-    /// it immediately reports results over the live window — the shared
-    /// graph makes this catch-up possible without buffering the stream.
+    /// is replayed (in timestamp order), so it immediately reports
+    /// results over the live window — the shared graph makes this
+    /// catch-up possible without buffering the stream.
+    ///
+    /// When a complete group with the same signature already exists,
+    /// the new query **attaches to it**: the shared Δ forest already
+    /// covers the window, so only the backfill *events* are recomputed,
+    /// through a throwaway scratch engine, and the shared forest is not
+    /// touched. Otherwise a new complete group is founded and the
+    /// window is replayed into it for real — and it becomes the join
+    /// target for future equivalent registrations.
     ///
     /// Name uniqueness follows [`Self::register`]: a duplicate live name
     /// is refused with [`QueryError::DuplicateName`] *before* any state
@@ -273,111 +471,258 @@ impl MultiQueryEngine {
         semantics: PathSemantics,
         sink: &mut S,
     ) -> Result<QueryId, QueryError> {
-        let id = self.register(name, query, semantics)?;
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(QueryError::DuplicateName(name));
+        }
+        if self.now == Timestamp::NEG_INFINITY {
+            // Nothing to replay yet — identical to plain registration
+            // (and joinable under sharing).
+            return self.register(name, query, semantics);
+        }
         let wm = self.window.watermark(self.now);
         let mut replay = self.graph.edges(wm);
         replay.sort_by_key(|&(.., ts)| ts);
-        let reg = self.queries[id.0 as usize]
-            .as_mut()
-            .expect("just registered");
+
+        if self.config.shared_groups {
+            let key = (query.signature(), semantics_tag(semantics));
+            if let Some(&g) = self.sig_index.get(&key) {
+                // Join: the shared forest already covers the window.
+                // Replay through a scratch engine for the backfill
+                // events only (graph mutations are idempotent
+                // re-inserts at identical timestamps; its purges run at
+                // the lazy watermark, which never exceeds the eager
+                // one).
+                let id = self.attach(name, g);
+                let mut scratch = Engine::new(query, self.config, semantics);
+                let mut tagged = TagSink { id, inner: sink };
+                let t0 = std::time::Instant::now();
+                for (u, v, label, ts) in replay {
+                    scratch.process_with_graph(
+                        &mut self.graph,
+                        StreamTuple::insert(ts, u, v, label),
+                        &mut tagged,
+                    );
+                }
+                self.groups[g as usize]
+                    .as_mut()
+                    .expect("joined group is live")
+                    .engine
+                    .stats_mut()
+                    .eval_ns += t0.elapsed().as_nanos() as u64;
+                return Ok(id);
+            }
+            let g = self.alloc_group(query, semantics, true);
+            self.sig_index.insert(key, g);
+            return Ok(self.replay_into(name, g, replay, sink));
+        }
+        let g = self.alloc_group(query, semantics, true);
+        Ok(self.replay_into(name, g, replay, sink))
+    }
+
+    /// Attaches `name` to freshly founded group `g` and replays the
+    /// window content into its engine.
+    fn replay_into<S: MultiSink>(
+        &mut self,
+        name: String,
+        g: u32,
+        replay: Vec<(
+            srpq_common::VertexId,
+            srpq_common::VertexId,
+            Label,
+            Timestamp,
+        )>,
+        sink: &mut S,
+    ) -> QueryId {
+        let id = self.attach(name, g);
+        let grp = self.groups[g as usize].as_mut().expect("just founded");
         let mut tagged = TagSink { id, inner: sink };
         let t0 = std::time::Instant::now();
         for (u, v, label, ts) in replay {
-            reg.engine.process_with_graph(
+            grp.engine.process_with_graph(
                 &mut self.graph,
                 StreamTuple::insert(ts, u, v, label),
                 &mut tagged,
             );
         }
-        // Attribute the replay to the new query's evaluation time, like
-        // any other dispatch into its engine.
-        reg.engine.stats_mut().eval_ns += t0.elapsed().as_nanos() as u64;
-        Ok(id)
+        // Attribute the replay to the group's evaluation time, like any
+        // other dispatch into its engine.
+        grp.engine.stats_mut().eval_ns += t0.elapsed().as_nanos() as u64;
+        id
     }
 
-    /// Deregisters query `id`, vacating its slot: the query's engine —
-    /// Δ-forest arenas, emitted-pair set, statistics — is dropped, and
-    /// the query is unthreaded from the label routing table (labels no
-    /// other live query speaks disappear from the table entirely). The
-    /// id is never reused; the name becomes free for re-registration.
+    /// Deregisters query `id`, vacating its slot and detaching it from
+    /// its group. The group's engine — Δ-forest arenas, emitted-pair
+    /// set, statistics — is dropped only when the **last** subscriber
+    /// leaves, at which point the group is also unthreaded from the
+    /// label routing table (labels no other live group speaks disappear
+    /// from the table entirely) and its id is recycled. The query id is
+    /// never reused; the name becomes free for re-registration.
     /// Aggregate counters ([`Self::total_index_size`],
-    /// [`Self::routing_table_size`]) return to what they were before the
-    /// query was registered.
+    /// [`Self::routing_table_size`]) return to what they were before
+    /// the query was registered.
     pub fn deregister(&mut self, id: QueryId) -> Result<(), QueryError> {
         let slot = self
-            .queries
+            .slots
             .get_mut(id.0 as usize)
             .ok_or(QueryError::UnknownQuery(id))?;
-        let reg = slot.take().ok_or(QueryError::UnknownQuery(id))?;
-        for &label in reg.engine.query().dfa().alphabet() {
-            if let Some(targets) = self.routing.get_mut(&label) {
-                targets.retain(|&qi| qi != id.0);
-                if targets.is_empty() {
-                    self.routing.remove(&label);
-                }
-            }
+        let s = slot.take().ok_or(QueryError::UnknownQuery(id))?;
+        self.by_name.remove(&s.name);
+        let grp = self.groups[s.group as usize]
+            .as_mut()
+            .expect("slot points at a live group");
+        grp.subscribers.retain(|&qi| qi != id.0);
+        if grp.subscribers.is_empty() {
+            self.free_group(s.group);
         }
         Ok(())
     }
 
     /// Number of live (registered, not deregistered) queries.
     pub fn n_queries(&self) -> usize {
-        self.queries.iter().filter(|q| q.is_some()).count()
+        self.slots.iter().filter(|s| s.is_some()).count()
     }
 
     /// Number of registration slots ever allocated, vacated ones
     /// included (ids are `0..n_slots`; persistence support).
     pub fn n_slots(&self) -> usize {
-        self.queries.len()
+        self.slots.len()
+    }
+
+    /// Number of live evaluation groups — at most [`Self::n_queries`];
+    /// the gap is the sharing win.
+    pub fn groups_live(&self) -> usize {
+        self.groups.iter().filter(|g| g.is_some()).count()
+    }
+
+    /// Number of group table entries, freed ones included (group ids
+    /// are `0..n_group_slots`; persistence support).
+    pub fn n_group_slots(&self) -> usize {
+        self.groups.len()
     }
 
     /// Appends a vacant slot, burning one query id (persistence
     /// support: recovery reconstructs deregistered slots so ids stored
     /// in checkpoints keep their meaning).
     pub fn push_vacant_slot(&mut self) {
-        self.queries.push(None);
+        self.slots.push(None);
+    }
+
+    /// Appends a vacant (freed) group entry and free-lists its id
+    /// (persistence support: recovery reconstructs the group table
+    /// positionally).
+    pub fn push_vacant_group(&mut self) {
+        let g = self.groups.len() as u32;
+        self.groups.push(None);
+        self.free_groups.push(g);
+    }
+
+    /// Appends group `n_group_slots` holding a fresh engine for
+    /// `query`, re-wiring routing and (for complete groups under
+    /// sharing) the signature index; returns its id (persistence
+    /// support: recovery rebuilds groups positionally from encoded
+    /// membership, never by signature re-matching).
+    pub fn restore_push_group(
+        &mut self,
+        query: CompiledQuery,
+        semantics: PathSemantics,
+        complete: bool,
+    ) -> u32 {
+        let signature = query.signature();
+        let g = self.groups.len() as u32;
+        for &label in query.dfa().alphabet() {
+            self.routing.entry(label).or_default().insert(g);
+        }
+        if complete && self.config.shared_groups {
+            self.sig_index
+                .entry((signature.clone(), semantics_tag(semantics)))
+                .or_insert(g);
+        }
+        self.groups.push(Some(Group {
+            engine: Engine::new(query, self.config, semantics),
+            subscribers: Vec::new(),
+            complete,
+            signature,
+            buffer: Vec::new(),
+        }));
+        g
+    }
+
+    /// Appends a slot subscribed to (already restored) group `group`
+    /// under `name` (persistence support).
+    pub fn restore_subscriber(&mut self, name: impl Into<String>, group: u32) -> QueryId {
+        self.attach(name.into(), group)
     }
 
     /// Ids of all live queries, ascending.
     pub fn query_ids(&self) -> Vec<QueryId> {
-        self.queries
+        self.slots
             .iter()
             .enumerate()
-            .filter_map(|(i, q)| q.as_ref().map(|_| QueryId(i as u32)))
+            .filter_map(|(i, s)| s.as_ref().map(|_| QueryId(i as u32)))
             .collect()
     }
 
-    /// The id of the live query registered under `name`.
+    /// Ids of all live groups, ascending.
+    pub fn group_ids(&self) -> Vec<u32> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter_map(|(g, s)| s.as_ref().map(|_| g as u32))
+            .collect()
+    }
+
+    /// The id of the live query registered under `name` (O(1)).
     pub fn query_id(&self, name: &str) -> Option<QueryId> {
-        self.queries.iter().enumerate().find_map(|(i, q)| {
-            q.as_ref()
-                .filter(|r| r.name == name)
-                .map(|_| QueryId(i as u32))
-        })
+        self.by_name.get(name).map(|&slot| QueryId(slot))
     }
 
     /// The name a query was registered under (`None` for vacated or
     /// never-allocated ids).
     pub fn name(&self, id: QueryId) -> Option<&str> {
-        self.registered(id).map(|r| r.name.as_str())
+        self.slot(id).map(|s| s.name.as_str())
     }
 
-    /// Per-query engine statistics.
+    /// The evaluation group query `id` rides.
+    pub fn group_of(&self, id: QueryId) -> Option<u32> {
+        self.slot(id).map(|s| s.group)
+    }
+
+    /// Live subscriber slots of group `g`, ascending.
+    pub fn group_subscribers(&self, g: u32) -> Option<&[u32]> {
+        self.group(g).map(|grp| grp.subscribers.as_slice())
+    }
+
+    /// The canonical automaton signature of group `g`.
+    pub fn group_signature(&self, g: u32) -> Option<&DfaSignature> {
+        self.group(g).map(|grp| &grp.signature)
+    }
+
+    /// Whether group `g`'s Δ forest covers the whole window (joinable
+    /// by backfilled registrations).
+    pub fn group_is_complete(&self, g: u32) -> Option<bool> {
+        self.group(g).map(|grp| grp.complete)
+    }
+
+    /// Per-query engine statistics. Subscribers of one group share one
+    /// engine, so their statistics views coincide — aggregate over
+    /// [`Self::group_ids`] to avoid double counting.
     pub fn stats(&self, id: QueryId) -> Option<&EngineStats> {
-        self.registered(id).map(|r| r.engine.stats())
+        self.group_for(id).map(|grp| grp.engine.stats())
     }
 
-    /// Per-query Δ index size.
+    /// Per-query Δ index size (shared with any co-subscribers).
     pub fn index_size(&self, id: QueryId) -> Option<IndexSize> {
-        self.registered(id).map(|r| r.engine.index_size())
+        self.group_for(id).map(|grp| grp.engine.index_size())
     }
 
-    /// Aggregate Δ index size over all live queries (the leak-check
+    /// Aggregate Δ index size over all live groups (the leak-check
     /// counter: deregistration returns this to its pre-register value).
+    /// O(groups live), independent of the number of registration slots.
     pub fn total_index_size(&self) -> IndexSize {
         let mut total = IndexSize::default();
-        for reg in self.queries.iter().flatten() {
-            let s = reg.engine.index_size();
+        for grp in self.groups.iter().flatten() {
+            let s = grp.engine.index_size();
             total.trees += s.trees;
             total.nodes += s.nodes;
             total.arena_bytes += s.arena_bytes;
@@ -386,23 +731,32 @@ impl MultiQueryEngine {
     }
 
     /// Routing-table footprint as `(labels, entries)`: distinct labels
-    /// with at least one target, and total `label → query` entries.
+    /// with at least one target group, and total `label → group`
+    /// entries.
     pub fn routing_table_size(&self) -> (usize, usize) {
         (
             self.routing.len(),
-            self.routing.values().map(Vec::len).sum(),
+            self.routing.values().map(DenseBitSet::count).sum(),
         )
     }
 
     /// Whether query `id` currently reports `pair`.
     pub fn has_result(&self, id: QueryId, pair: ResultPair) -> bool {
-        self.registered(id)
-            .map(|r| r.engine.has_result(pair))
+        self.group_for(id)
+            .map(|grp| grp.engine.has_result(pair))
             .unwrap_or(false)
     }
 
-    fn registered(&self, id: QueryId) -> Option<&Registered> {
-        self.queries.get(id.0 as usize).and_then(Option::as_ref)
+    fn slot(&self, id: QueryId) -> Option<&Slot> {
+        self.slots.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    fn group(&self, g: u32) -> Option<&Group> {
+        self.groups.get(g as usize).and_then(Option::as_ref)
+    }
+
+    fn group_for(&self, id: QueryId) -> Option<&Group> {
+        self.slot(id).and_then(|s| self.group(s.group))
     }
 
     /// The shared window graph.
@@ -425,19 +779,30 @@ impl MultiQueryEngine {
         self.now
     }
 
-    /// The registered engine behind `id` (persistence support and
-    /// instrumentation).
+    /// The group engine behind query `id` (shared with any
+    /// co-subscribers; persistence support and instrumentation).
     pub fn engine(&self, id: QueryId) -> Option<&Engine> {
-        self.registered(id).map(|r| &r.engine)
+        self.group_for(id).map(|grp| &grp.engine)
     }
 
-    /// Mutable access to the registered engine behind `id`
-    /// (persistence support: recovery restores per-query cursors).
+    /// Mutable access to the group engine behind query `id`
+    /// (persistence support: recovery restores per-group cursors).
     pub fn engine_mut(&mut self, id: QueryId) -> Option<&mut Engine> {
-        self.queries
-            .get_mut(id.0 as usize)
+        let g = self.group_of(id)?;
+        self.group_engine_mut(g)
+    }
+
+    /// The engine of group `g`.
+    pub fn group_engine(&self, g: u32) -> Option<&Engine> {
+        self.group(g).map(|grp| &grp.engine)
+    }
+
+    /// Mutable engine of group `g` (persistence support).
+    pub fn group_engine_mut(&mut self, g: u32) -> Option<&mut Engine> {
+        self.groups
+            .get_mut(g as usize)
             .and_then(Option::as_mut)
-            .map(|r| &mut r.engine)
+            .map(|grp| &mut grp.engine)
     }
 
     /// Mutable shared window graph (persistence support: `Full`
@@ -454,15 +819,129 @@ impl MultiQueryEngine {
         self.tuples_routed = tuples_routed;
     }
 
-    /// Tuples seen and per-query dispatches performed — the routing
-    /// win is `seen × n_queries − routed`.
+    /// Tuples seen and logical per-subscriber dispatches performed —
+    /// the routing win is `seen × n_queries − routed`, and the sharing
+    /// win on top is that `routed` subscribers cost only
+    /// `groups-routed` evaluations.
     pub fn routing_stats(&self) -> (u64, u64) {
         (self.tuples_seen, self.tuples_routed)
     }
 
-    /// Processes one tuple: route to the queries that speak its label.
+    /// Routes one tuple into its label's group set and fans the
+    /// buffered events out per subscriber. Returns `(eval_ns,
+    /// expiry_ns)` spent inside group engines (batch stage accounting).
+    ///
+    /// Every routed group advances against the **pre-mutation** graph —
+    /// exactly the solo engine's expiry-before-mutation order — then the
+    /// coordinator applies the mutation once, then every routed group
+    /// dispatches the tuple. Each subscriber's event stream is
+    /// therefore byte-identical to a private engine's.
+    fn dispatch_routed<S: MultiSink>(&mut self, tuple: StreamTuple, sink: &mut S) -> (u64, u64) {
+        let mut targets = std::mem::take(&mut self.route_scratch);
+        targets.clear();
+        if let Some(set) = self.routing.get(&tuple.label) {
+            targets.extend(set.iter_ones());
+        }
+        if targets.is_empty() {
+            // No registered query speaks this label: the graph is not
+            // mutated (the skip is the module's memory win).
+            self.route_scratch = targets;
+            return (0, 0);
+        }
+        if let Some(b) = &self.beacon {
+            b.set(srpq_common::beacon::stage::EXTEND);
+        }
+        let mut eval = 0u64;
+        let mut expiry = 0u64;
+        // Phase A — advance every routed group over the pre-mutation
+        // graph (slide-crossing Δ expiry runs here).
+        for &g in &targets {
+            let grp = self.groups[g as usize]
+                .as_mut()
+                .expect("routed groups are live");
+            self.tuples_routed += grp.subscribers.len() as u64;
+            grp.buffer.clear();
+            let expiry0 = grp.engine.stats().expiry_nanos;
+            let t0 = std::time::Instant::now();
+            grp.engine.advance_with_graph(
+                &self.graph,
+                Visibility::ALL,
+                tuple.ts,
+                &mut BufSink {
+                    buf: &mut grp.buffer,
+                },
+            );
+            let elapsed = t0.elapsed().as_nanos() as u64;
+            let stats = grp.engine.stats_mut();
+            stats.eval_ns += elapsed;
+            eval += elapsed;
+            expiry += stats.expiry_nanos - expiry0;
+        }
+        // The coordinator applies the mutation once (idempotent under
+        // the old per-engine scheme; exactly-once here).
+        match tuple.op {
+            Op::Insert => {
+                self.graph
+                    .insert(tuple.edge.src, tuple.edge.dst, tuple.label, tuple.ts);
+            }
+            Op::Delete => {
+                self.graph
+                    .remove(tuple.edge.src, tuple.edge.dst, tuple.label);
+            }
+        }
+        // Phase B — dispatch the tuple into every routed group.
+        for &g in &targets {
+            let grp = self.groups[g as usize]
+                .as_mut()
+                .expect("routed groups are live");
+            let t0 = std::time::Instant::now();
+            grp.engine.dispatch_with_graph(
+                &self.graph,
+                Visibility::ALL,
+                tuple,
+                &mut BufSink {
+                    buf: &mut grp.buffer,
+                },
+            );
+            let elapsed = t0.elapsed().as_nanos() as u64;
+            let stats = grp.engine.stats_mut();
+            stats.tuples_routed += 1;
+            stats.eval_ns += elapsed;
+            eval += elapsed;
+        }
+        if let Some(b) = &self.beacon {
+            b.set(srpq_common::beacon::stage::ROUTE);
+        }
+        // Fan-out: each subscriber of a group with events receives the
+        // group's buffer under its own tag, in ascending slot order —
+        // the order a per-query registry would have dispatched in.
+        let mut fan = std::mem::take(&mut self.fanout_scratch);
+        fan.clear();
+        for &g in &targets {
+            let grp = self.groups[g as usize].as_ref().expect("still live");
+            if !grp.buffer.is_empty() {
+                fan.extend(grp.subscribers.iter().map(|&slot| (slot, g)));
+            }
+        }
+        fan.sort_unstable();
+        for &(slot, g) in &fan {
+            let grp = self.groups[g as usize].as_ref().expect("still live");
+            for &(invalidated, pair, ts) in &grp.buffer {
+                if invalidated {
+                    sink.invalidate(QueryId(slot), pair, ts);
+                } else {
+                    sink.emit(QueryId(slot), pair, ts);
+                }
+            }
+        }
+        self.fanout_scratch = fan;
+        self.route_scratch = targets;
+        (eval, expiry)
+    }
+
+    /// Processes one tuple: route to the groups that speak its label.
     /// Shares [`Self::process_batch`]'s panic contract: a panic
-    /// mid-tuple poisons the engine (some query's Δ index may be
+    /// mid-tuple poisons the engine (some group's Δ index may be
     /// half-applied) and further processing is refused.
     pub fn process<S: MultiSink>(&mut self, tuple: StreamTuple, sink: &mut S) {
         self.assert_usable();
@@ -477,49 +956,19 @@ impl MultiQueryEngine {
             self.graph
                 .purge_expired(self.window.lazy_watermark(self.now));
         }
-        let Some(targets) = self.routing.get(&tuple.label) else {
-            self.poisoned = false;
-            return; // no registered query speaks this label
-        };
-        // Each engine mutates the shared graph idempotently (the first
-        // insert stores the edge; the rest refresh the same timestamp).
-        // The target list is copied into a retained scratch buffer to
-        // release the routing-table borrow — no per-tuple allocation.
-        let mut targets_scratch = std::mem::take(&mut self.route_scratch);
-        targets_scratch.clear();
-        targets_scratch.extend_from_slice(targets);
-        self.tuples_routed += targets_scratch.len() as u64;
-        for &qi in &targets_scratch {
-            let reg = self.queries[qi as usize]
-                .as_mut()
-                .expect("routing targets are live");
-            let mut tagged = TagSink {
-                id: QueryId(qi),
-                inner: sink,
-            };
-            let t0 = std::time::Instant::now();
-            reg.engine
-                .process_with_graph(&mut self.graph, tuple, &mut tagged);
-            let stats = reg.engine.stats_mut();
-            stats.tuples_routed += 1;
-            stats.eval_ns += t0.elapsed().as_nanos() as u64;
-        }
-        self.route_scratch = targets_scratch;
+        self.dispatch_routed(tuple, sink);
         self.poisoned = false;
     }
 
     /// Processes a batch of tuples: shared window maintenance (the
     /// slide-boundary check and graph purge) runs once per slide
-    /// interval covered instead of once per tuple, and the routing
-    /// table is borrowed once for the whole batch (per-tuple `process`
-    /// must clone the target list to appease the borrow checker).
-    /// Per-query engines still see their tuples in stream order, so the
-    /// tagged result stream is byte-identical to per-tuple processing.
+    /// interval covered instead of once per tuple. Group engines still
+    /// see their tuples in stream order, so the tagged result stream is
+    /// byte-identical to per-tuple processing.
     ///
     /// A panic from an engine or sink mid-batch **poisons** this
-    /// engine: the panicking query's Δ index is half-applied and the
-    /// routing table — parked locally for the batch — is not restored,
-    /// so every subsequent `process`/`process_batch` call panics with a
+    /// engine: the panicking group's Δ index is half-applied, so every
+    /// subsequent `process`/`process_batch` call panics with a
     /// poisoned-engine message instead of silently dropping tuples.
     /// Rebuild the engine after catching an unwind out of it (pinned by
     /// `tests/parallel_equivalence.rs`).
@@ -529,7 +978,6 @@ impl MultiQueryEngine {
         if let Some(b) = &self.beacon {
             b.set(srpq_common::beacon::stage::ROUTE);
         }
-        let routing = std::mem::take(&mut self.routing);
         let window = self.window;
         let t_batch = std::time::Instant::now();
         let mut batch_eval = 0u64;
@@ -545,39 +993,12 @@ impl MultiQueryEngine {
                 if t.ts > self.now {
                     self.now = t.ts;
                 }
-                let Some(targets) = routing.get(&t.label) else {
-                    continue;
-                };
-                self.tuples_routed += targets.len() as u64;
-                for &qi in targets {
-                    let reg = self.queries[qi as usize]
-                        .as_mut()
-                        .expect("routing targets are live");
-                    let mut tagged = TagSink {
-                        id: QueryId(qi),
-                        inner: sink,
-                    };
-                    let expiry0 = reg.engine.stats().expiry_nanos;
-                    if let Some(b) = &self.beacon {
-                        b.set(srpq_common::beacon::stage::EXTEND);
-                    }
-                    let t0 = std::time::Instant::now();
-                    reg.engine
-                        .process_with_graph(&mut self.graph, t, &mut tagged);
-                    let elapsed = t0.elapsed().as_nanos() as u64;
-                    if let Some(b) = &self.beacon {
-                        b.set(srpq_common::beacon::stage::ROUTE);
-                    }
-                    let stats = reg.engine.stats_mut();
-                    stats.tuples_routed += 1;
-                    stats.eval_ns += elapsed;
-                    batch_eval += elapsed;
-                    batch_expiry += stats.expiry_nanos - expiry0;
-                }
+                let (eval, expiry) = self.dispatch_routed(t, sink);
+                batch_eval += eval;
+                batch_expiry += expiry;
             }
             i += len;
         }
-        self.routing = routing;
         self.poisoned = false;
         let total = t_batch.elapsed().as_nanos() as u64;
         self.stage.batches += 1;
@@ -599,22 +1020,42 @@ impl MultiQueryEngine {
         );
     }
 
-    /// Forces an expiry pass for every live query (and a shared graph
-    /// purge) at the current eager watermark.
+    /// Forces an expiry pass for every live group (and a shared graph
+    /// purge) at the current eager watermark; expiry events fan out to
+    /// every subscriber in ascending slot order.
     pub fn expire_now<S: MultiSink>(&mut self, sink: &mut S) {
         if let Some(b) = &self.beacon {
             b.set(srpq_common::beacon::stage::EXPIRY);
         }
         self.graph.purge_expired(self.window.watermark(self.now));
-        for (qi, slot) in self.queries.iter_mut().enumerate() {
-            let Some(reg) = slot.as_mut() else { continue };
-            let mut tagged = TagSink {
-                id: QueryId(qi as u32),
-                inner: sink,
-            };
-            reg.engine
-                .expire_now_with_graph(&mut self.graph, &mut tagged);
+        let mut fan = std::mem::take(&mut self.fanout_scratch);
+        fan.clear();
+        for (g, entry) in self.groups.iter_mut().enumerate() {
+            let Some(grp) = entry.as_mut() else { continue };
+            grp.buffer.clear();
+            grp.engine.expire_delta_with_graph(
+                &self.graph,
+                Visibility::ALL,
+                &mut BufSink {
+                    buf: &mut grp.buffer,
+                },
+            );
+            if !grp.buffer.is_empty() {
+                fan.extend(grp.subscribers.iter().map(|&slot| (slot, g as u32)));
+            }
         }
+        fan.sort_unstable();
+        for &(slot, g) in &fan {
+            let grp = self.groups[g as usize].as_ref().expect("still live");
+            for &(invalidated, pair, ts) in &grp.buffer {
+                if invalidated {
+                    sink.invalidate(QueryId(slot), pair, ts);
+                } else {
+                    sink.emit(QueryId(slot), pair, ts);
+                }
+            }
+        }
+        self.fanout_scratch = fan;
         if let Some(b) = &self.beacon {
             b.set(srpq_common::beacon::stage::IDLE);
             b.advance();
@@ -666,7 +1107,7 @@ mod tests {
         let b = labels.get("b").unwrap();
         let v = VertexId;
         let mut sink = MultiCollectSink::default();
-        // Label `b` is in both alphabets: routed to both engines, but
+        // Label `b` is in both alphabets: routed to both groups, but
         // the shared graph must hold the edge exactly once.
         multi.process(StreamTuple::insert(Timestamp(1), v(0), v(1), b), &mut sink);
         assert_eq!(multi.graph().n_edges(), 1);
@@ -947,6 +1388,7 @@ mod tests {
         assert_eq!(multi.index_size(keep_id).unwrap(), multi.total_index_size());
         assert_eq!(multi.routing_table_size(), base_routing);
         assert_eq!(multi.n_queries(), 1);
+        assert_eq!(multi.groups_live(), 1);
         assert!(multi.index_size(tid).is_none());
         assert!(multi.stats(tid).is_none());
         assert!(!multi.has_result(tid, ResultPair::new(v(0), v(1))));
@@ -994,5 +1436,200 @@ mod tests {
         // Only the live `ab` query is routed to now.
         assert_eq!(routed_after - routed_before, 1);
         assert_eq!(multi.query_ids(), vec![id1]);
+    }
+
+    // ------------------------------------------------------------------
+    // Shared-group lifecycle.
+
+    #[test]
+    fn equivalent_registrations_share_one_group() {
+        let mut labels = LabelInterner::new();
+        let mut multi = MultiQueryEngine::new(WindowPolicy::new(100, 10));
+        let mut ids = Vec::new();
+        for (i, expr) in ["(a | b)+", "(b | a)+", "(a|b)(a|b)*"].iter().enumerate() {
+            let q = CompiledQuery::compile(expr, &mut labels).unwrap();
+            ids.push(
+                multi
+                    .register(format!("q{i}"), q, PathSemantics::Arbitrary)
+                    .unwrap(),
+            );
+        }
+        let distinct = CompiledQuery::compile("a b", &mut labels).unwrap();
+        let id_d = multi
+            .register("distinct", distinct, PathSemantics::Arbitrary)
+            .unwrap();
+        assert_eq!(multi.n_queries(), 4);
+        assert_eq!(multi.groups_live(), 2);
+        let g = multi.group_of(ids[0]).unwrap();
+        assert!(ids.iter().all(|&id| multi.group_of(id) == Some(g)));
+        assert_ne!(multi.group_of(id_d), Some(g));
+        assert_eq!(multi.group_subscribers(g).unwrap().len(), 3);
+        assert_eq!(multi.group_is_complete(g), Some(true));
+        // Same language, different semantics: never shared.
+        let simple = CompiledQuery::compile("(a | b)+", &mut labels).unwrap();
+        let id_s = multi
+            .register("simple", simple, PathSemantics::Simple)
+            .unwrap();
+        assert_ne!(multi.group_of(id_s), Some(g));
+        assert_eq!(multi.groups_live(), 3);
+    }
+
+    #[test]
+    fn shared_group_fans_out_identical_streams() {
+        let mut labels = LabelInterner::new();
+        let q1 = CompiledQuery::compile("a b*", &mut labels).unwrap();
+        let q2 = CompiledQuery::compile("a (b)*", &mut labels).unwrap();
+        let mut multi = MultiQueryEngine::new(WindowPolicy::new(20, 4));
+        let id1 = multi.register("one", q1, PathSemantics::Arbitrary).unwrap();
+        let id2 = multi.register("two", q2, PathSemantics::Arbitrary).unwrap();
+        assert_eq!(multi.groups_live(), 1);
+
+        let a = labels.get("a").unwrap();
+        let b = labels.get("b").unwrap();
+        let v = VertexId;
+        let mut sink = MultiCollectSink::default();
+        for i in 0..50i64 {
+            let label = if i % 2 == 0 { a } else { b };
+            let t = StreamTuple::insert(
+                Timestamp(i),
+                v((i % 6) as u32),
+                v(((i * 5 + 1) % 6) as u32),
+                label,
+            );
+            multi.process(t, &mut sink);
+        }
+        multi.expire_now(&mut sink);
+        let stream = |id: QueryId, log: &[(QueryId, ResultPair, Timestamp)]| {
+            log.iter()
+                .filter(|&&(i, ..)| i == id)
+                .map(|&(_, p, ts)| (p, ts))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(stream(id1, &sink.emitted), stream(id2, &sink.emitted));
+        assert_eq!(
+            stream(id1, &sink.invalidated),
+            stream(id2, &sink.invalidated)
+        );
+        assert!(!stream(id1, &sink.emitted).is_empty());
+        // One evaluation, two logical dispatches per routed tuple.
+        let (seen, routed) = multi.routing_stats();
+        assert_eq!(routed, seen * 2);
+        assert_eq!(multi.stats(id1).unwrap().tuples_routed, seen);
+    }
+
+    #[test]
+    fn unshared_config_founds_private_groups() {
+        let mut labels = LabelInterner::new();
+        let mut config = EngineConfig::with_window(WindowPolicy::new(100, 10));
+        config.shared_groups = false;
+        let mut multi = MultiQueryEngine::with_config(config);
+        for i in 0..3 {
+            let q = CompiledQuery::compile("(a | b)+", &mut labels).unwrap();
+            multi
+                .register(format!("q{i}"), q, PathSemantics::Arbitrary)
+                .unwrap();
+        }
+        assert_eq!(multi.n_queries(), 3);
+        assert_eq!(multi.groups_live(), 3);
+    }
+
+    #[test]
+    fn mid_stream_plain_register_stays_private() {
+        let mut labels = LabelInterner::new();
+        let q1 = CompiledQuery::compile("a+", &mut labels).unwrap();
+        let mut multi = MultiQueryEngine::new(WindowPolicy::new(100, 10));
+        let id1 = multi.register("one", q1, PathSemantics::Arbitrary).unwrap();
+        let a = labels.get("a").unwrap();
+        let v = VertexId;
+        let mut sink = MultiCollectSink::default();
+        multi.process(StreamTuple::insert(Timestamp(1), v(0), v(1), a), &mut sink);
+        // Same signature, but mid-stream without backfill: the new
+        // query must not see pre-registration results, so it cannot
+        // join the complete group.
+        let q2 = CompiledQuery::compile("a a*", &mut labels).unwrap();
+        let id2 = multi.register("two", q2, PathSemantics::Arbitrary).unwrap();
+        assert_ne!(multi.group_of(id1), multi.group_of(id2));
+        assert_eq!(
+            multi.group_is_complete(multi.group_of(id2).unwrap()),
+            Some(false)
+        );
+        multi.process(StreamTuple::insert(Timestamp(2), v(1), v(2), a), &mut sink);
+        assert!(multi.has_result(id1, ResultPair::new(v(0), v(1))));
+        assert!(!multi.has_result(id2, ResultPair::new(v(0), v(1))));
+        assert!(multi.has_result(id2, ResultPair::new(v(1), v(2))));
+    }
+
+    #[test]
+    fn backfilled_late_joiner_attaches_to_complete_group() {
+        let mut labels = LabelInterner::new();
+        let q1 = CompiledQuery::compile("a b", &mut labels).unwrap();
+        let mut multi = MultiQueryEngine::new(WindowPolicy::new(100, 10));
+        let id1 = multi.register("one", q1, PathSemantics::Arbitrary).unwrap();
+        let a = labels.get("a").unwrap();
+        let b = labels.get("b").unwrap();
+        let v = VertexId;
+        let mut sink = MultiCollectSink::default();
+        multi.process(StreamTuple::insert(Timestamp(1), v(0), v(1), a), &mut sink);
+        multi.process(StreamTuple::insert(Timestamp(2), v(1), v(2), b), &mut sink);
+
+        let nodes_before = multi.total_index_size().nodes;
+        let q2 = CompiledQuery::compile("(a) (b)", &mut labels).unwrap();
+        let id2 = multi
+            .register_backfilled("two", q2, PathSemantics::Arbitrary, &mut sink)
+            .unwrap();
+        // Joined, not copied: same group, no new Δ nodes.
+        assert_eq!(multi.group_of(id1), multi.group_of(id2));
+        assert_eq!(multi.groups_live(), 1);
+        assert_eq!(multi.total_index_size().nodes, nodes_before);
+        // The backfill replayed the window result to the late joiner.
+        assert!(sink
+            .emitted
+            .iter()
+            .any(|&(id, p, _)| id == id2 && p == ResultPair::new(v(0), v(2))));
+        assert!(multi.has_result(id2, ResultPair::new(v(0), v(2))));
+        // And it rides the shared stream from here on.
+        multi.process(StreamTuple::insert(Timestamp(3), v(2), v(3), a), &mut sink);
+        multi.process(StreamTuple::insert(Timestamp(4), v(3), v(4), b), &mut sink);
+        assert!(multi.has_result(id2, ResultPair::new(v(2), v(4))));
+    }
+
+    #[test]
+    fn group_frees_only_after_last_subscriber_leaves() {
+        let mut labels = LabelInterner::new();
+        let mut multi = MultiQueryEngine::new(WindowPolicy::new(100, 10));
+        let mk = |labels: &mut LabelInterner| CompiledQuery::compile("a+", labels).unwrap();
+        let id1 = multi
+            .register("one", mk(&mut labels), PathSemantics::Arbitrary)
+            .unwrap();
+        let id2 = multi
+            .register("two", mk(&mut labels), PathSemantics::Arbitrary)
+            .unwrap();
+        let g = multi.group_of(id1).unwrap();
+        assert_eq!(multi.group_of(id2), Some(g));
+
+        let a = labels.get("a").unwrap();
+        let v = VertexId;
+        let mut sink = MultiCollectSink::default();
+        multi.process(StreamTuple::insert(Timestamp(1), v(0), v(1), a), &mut sink);
+
+        multi.deregister(id1).unwrap();
+        // The survivor keeps the group, its state, and its results.
+        assert_eq!(multi.groups_live(), 1);
+        assert!(multi.has_result(id2, ResultPair::new(v(0), v(1))));
+        sink.emitted.clear();
+        multi.process(StreamTuple::insert(Timestamp(2), v(1), v(2), a), &mut sink);
+        assert!(sink.emitted.iter().any(|&(id, ..)| id == id2));
+        assert!(sink.emitted.iter().all(|&(id, ..)| id != id1));
+
+        multi.deregister(id2).unwrap();
+        assert_eq!(multi.groups_live(), 0);
+        assert_eq!(multi.routing_table_size(), (0, 0));
+        assert_eq!(multi.total_index_size(), IndexSize::default());
+        // The freed id is recycled for the next group.
+        let id3 = multi
+            .register("three", mk(&mut labels), PathSemantics::Arbitrary)
+            .unwrap();
+        assert_eq!(multi.group_of(id3), Some(g));
+        assert_eq!(multi.n_group_slots(), 1);
     }
 }

@@ -1,14 +1,16 @@
 //! Inter-query parallel evaluation: a [`MultiQueryEngine`] whose
-//! per-query work fans out over a long-lived worker pool (§5.1 of the
+//! per-group work fans out over a long-lived worker pool (§5.1 of the
 //! paper, lifted from trees-within-one-query to queries-within-one-host).
 //!
-//! Per-query Δ forests, emitted-pair sets, and statistics are fully
-//! independent — only the [`WindowGraph`] is shared — so queries
-//! partition cleanly across threads. [`ParallelMultiEngine`]
-//! hash-partitions live queries over `n_workers` long-lived threads
-//! (slot id modulo worker count, re-derived every batch, so
-//! registration changes rebalance automatically) and processes each
-//! caller batch as a sequence of **micro-batches** in two phases:
+//! The unit of parallelism is the **shared evaluation group** (see
+//! [`crate::multi`]): language-equivalent registrations share one Δ
+//! forest, one emitted-pair set, and one statistics block, so the group
+//! — not the registration slot — is the thing that must never be
+//! touched by two threads. [`ParallelMultiEngine`] hash-partitions live
+//! groups over `n_workers` long-lived threads (group id modulo worker
+//! count, re-derived every batch, so registration changes rebalance
+//! automatically) and processes each caller batch as a sequence of
+//! **micro-batches** in two phases:
 //!
 //! 1. **Plan + apply** (single-threaded): the batch is cut at slide
 //!    boundaries, explicit deletions, and timestamp-changing edge
@@ -16,19 +18,22 @@
 //!    crossed boundary and applies the micro-batch's inserts once,
 //!    stamping every *new* edge with its batch position
 //!    ([`WindowGraph::insert_visible_from`]).
-//! 2. **Extend/expire** (parallel): each worker receives its queries'
+//! 2. **Extend/expire** (parallel): each worker receives its groups'
 //!    engines plus an `Arc` of the (now read-only) graph and drives the
 //!    engines' read-only traversal path
 //!    ([`Engine::extend_with_graph`]) tuple by tuple. A [`Visibility`]
 //!    horizon per tuple hides in-batch edges a sequential per-tuple run
-//!    would not have seen yet, so each engine computes *exactly* what
-//!    it would under [`MultiQueryEngine`].
+//!    would not have seen yet — and makes each group's slide-expiry run
+//!    against the pre-mutation graph, exactly like the sequential
+//!    engine — so each group computes *exactly* what it would under
+//!    [`MultiQueryEngine`].
 //!
 //! Per-worker outboxes are then merged in deterministic
-//! `(arrival position, QueryId)` order — the same order the sequential
-//! engine visits its routing targets — so the tagged event stream is
-//! **byte-identical** to [`MultiQueryEngine`] (pinned by
-//! `tests/parallel_equivalence.rs`, including mid-stream
+//! `(arrival position, group)` order and each group's event run is
+//! fanned out to its subscribers in ascending slot order — the same
+//! order the sequential engine's fan-out stage uses — so the tagged
+//! event stream is **byte-identical** to [`MultiQueryEngine`] (pinned
+//! by `tests/parallel_equivalence.rs`, including mid-stream
 //! `register_backfilled`/`deregister`).
 //!
 //! # Panic safety
@@ -41,54 +46,71 @@
 //! The two-phase plan-then-execute shape mirrors deterministic batch
 //! execution in BOHM (Faleiro & Abadi, VLDB 2015); because recovery
 //! replay funnels through [`ParallelMultiEngine::process_batch`], WAL
-//! replay after a crash is parallel per query for free, as in
+//! replay after a crash is parallel per group for free, as in
 //! multicore fast failure recovery (Wu et al.).
 
+use crate::bitset::DenseBitSet;
 use crate::config::EngineConfig;
 use crate::engine::{Engine, PathSemantics};
 #[cfg(doc)]
 use crate::multi::MultiQueryEngine;
-use crate::multi::{MultiSink, QueryError, QueryId, TagSink};
+use crate::multi::{semantics_tag, MultiSink, QueryError, QueryId, TagSink};
 use crate::sink::ResultSink;
 use crate::stats::{EngineStats, IndexSize, StageTotals};
-use srpq_automata::CompiledQuery;
+use srpq_automata::{CompiledQuery, DfaSignature};
 use srpq_common::{FxHashMap, Label, Op, ResultPair, StreamTuple, Timestamp};
 use srpq_graph::{Visibility, WindowGraph, WindowPolicy};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// One registration slot (mirrors `MultiQueryEngine`'s; engines travel
-/// to worker threads and back every micro-batch).
-struct ParSlot {
+/// One registration slot: the subscriber's name and the evaluation
+/// group it rides (mirrors `MultiQueryEngine`'s).
+struct Slot {
     name: String,
-    engine: Engine,
+    group: u32,
 }
 
-/// One tagged result event staged in a worker outbox, keyed for the
-/// deterministic merge.
+/// One shared evaluation group (engines travel to worker threads and
+/// back every micro-batch; the subscriber tags ride along so the
+/// registry entry is whole wherever it is).
+struct ParGroup {
+    engine: Engine,
+    /// Live subscriber slots, ascending.
+    subscribers: Vec<u32>,
+    /// Whether the group's Δ forest covers the whole current window
+    /// (see `crate::multi`: only complete groups are signature-indexed
+    /// and joinable).
+    complete: bool,
+    /// The canonical signature of the group's automaton.
+    signature: DfaSignature,
+}
+
+/// One untagged result event staged in a worker outbox, keyed for the
+/// deterministic merge. Fan-out to subscriber tags happens on the
+/// coordinator, after the merge.
 struct Ev {
     /// Arrival position within the micro-batch (`u32::MAX` groups the
     /// events of an explicit expiry pass, which has no driving tuple).
     pos: u32,
-    query: u32,
+    group: u32,
     invalidated: bool,
     pair: ResultPair,
     ts: Timestamp,
 }
 
-/// Buffers one engine's events under a fixed `(pos, query)` key.
+/// Buffers one group engine's events under a fixed `(pos, group)` key.
 struct EvSink<'a> {
     events: &'a mut Vec<Ev>,
     pos: u32,
-    query: u32,
+    group: u32,
 }
 
 impl ResultSink for EvSink<'_> {
     fn emit(&mut self, pair: ResultPair, ts: Timestamp) {
         self.events.push(Ev {
             pos: self.pos,
-            query: self.query,
+            group: self.group,
             invalidated: false,
             pair,
             ts,
@@ -98,7 +120,7 @@ impl ResultSink for EvSink<'_> {
     fn invalidate(&mut self, pair: ResultPair, ts: Timestamp) {
         self.events.push(Ev {
             pos: self.pos,
-            query: self.query,
+            group: self.group,
             invalidated: true,
             pair,
             ts,
@@ -108,32 +130,26 @@ impl ResultSink for EvSink<'_> {
 
 /// Work shipped to a worker thread for one micro-batch.
 enum Job {
-    /// Extend/expire the shipped engines over the micro-batch.
+    /// Extend/expire the shipped groups over the micro-batch.
     Batch {
         graph: Arc<WindowGraph>,
         tuples: Arc<Vec<StreamTuple>>,
-        /// Per tuple: the lowest live query id its label routes to
-        /// (`u32::MAX` if unrouted). Sequentially, that first target
-        /// runs its slide-expiry *before* the tuple's graph mutation;
-        /// every later target runs it after — the worker reproduces
-        /// that by choosing the expiry visibility per engine.
-        first_targets: Arc<Vec<u32>>,
-        slots: Vec<(u32, ParSlot)>,
+        groups: Vec<(u32, ParGroup)>,
     },
-    /// Run an explicit eager expiry pass over the shipped engines.
+    /// Run an explicit eager expiry pass over the shipped groups.
     Expire {
         graph: Arc<WindowGraph>,
-        slots: Vec<(u32, ParSlot)>,
+        groups: Vec<(u32, ParGroup)>,
     },
 }
 
-/// A worker's reply: the engines (with their Δ forests mutated) and the
-/// events they produced, in `(pos, own-queries-ascending)` order, plus
+/// A worker's reply: the groups (with their Δ forests mutated) and the
+/// events they produced, in `(pos, own-groups-ascending)` order, plus
 /// the job's evaluation/expiry wall-clock so the coordinator can keep
 /// honest per-worker totals (mirroring every `eval_ns` increment the
-/// job applied to per-query stats).
+/// job applied to per-group stats).
 struct JobOut {
-    slots: Vec<(u32, ParSlot)>,
+    groups: Vec<(u32, ParGroup)>,
     events: Vec<Ev>,
     eval_ns: u64,
     expiry_ns: u64,
@@ -158,44 +174,35 @@ fn worker_loop(
             Job::Batch {
                 graph,
                 tuples,
-                first_targets,
-                mut slots,
+                mut groups,
             } => {
                 beacon.set(stage::EXTEND);
                 let mut events = Vec::new();
                 let mut eval_ns = 0u64;
                 let mut expiry_ns = 0u64;
                 for (pos, t) in tuples.iter().enumerate() {
-                    for (qi, slot) in slots.iter_mut() {
-                        // Label routing, per engine: alphabet membership
+                    for (gi, grp) in groups.iter_mut() {
+                        // Label routing, per group: alphabet membership
                         // is exactly the routing-table criterion.
-                        if !slot.engine.query().dfa().knows_label(t.label) {
+                        if !grp.engine.query().dfa().knows_label(t.label) {
                             continue;
                         }
-                        let expiry0 = slot.engine.stats().expiry_nanos;
+                        let expiry0 = grp.engine.stats().expiry_nanos;
                         let t0 = std::time::Instant::now();
                         let mut sink = EvSink {
                             events: &mut events,
                             pos: pos as u32,
-                            query: *qi,
+                            group: *gi,
                         };
-                        // The first target's slide-expiry precedes the
-                        // tuple's own edge; later targets see it.
-                        let expiry_vis = if first_targets[pos] == *qi {
-                            Visibility::upto(pos).before()
-                        } else {
-                            Visibility::upto(pos)
-                        };
-                        slot.engine
-                            .advance_with_graph(&graph, expiry_vis, t.ts, &mut sink);
-                        slot.engine.dispatch_with_graph(
-                            &graph,
-                            Visibility::upto(pos),
-                            *t,
-                            &mut sink,
-                        );
+                        // `extend` = advance at `upto(pos).before()` —
+                        // slide-expiry against the pre-mutation graph,
+                        // as the sequential engine runs it — then
+                        // dispatch at `upto(pos)`, which admits the
+                        // tuple's own edge.
+                        grp.engine
+                            .extend_with_graph(&graph, Visibility::upto(pos), *t, &mut sink);
                         let elapsed = t0.elapsed().as_nanos() as u64;
-                        let stats = slot.engine.stats_mut();
+                        let stats = grp.engine.stats_mut();
                         stats.tuples_routed += 1;
                         stats.eval_ns += elapsed;
                         eval_ns += elapsed;
@@ -207,38 +214,37 @@ fn worker_loop(
                 // answered.
                 drop(graph);
                 drop(tuples);
-                drop(first_targets);
                 JobOut {
-                    slots,
+                    groups,
                     events,
                     eval_ns,
                     expiry_ns,
                 }
             }
-            Job::Expire { graph, mut slots } => {
+            Job::Expire { graph, mut groups } => {
                 beacon.set(stage::EXPIRY);
                 let mut events = Vec::new();
                 let mut eval_ns = 0u64;
                 let mut expiry_ns = 0u64;
-                for (qi, slot) in slots.iter_mut() {
-                    let expiry0 = slot.engine.stats().expiry_nanos;
+                for (gi, grp) in groups.iter_mut() {
+                    let expiry0 = grp.engine.stats().expiry_nanos;
                     let t0 = std::time::Instant::now();
                     let mut sink = EvSink {
                         events: &mut events,
                         pos: u32::MAX,
-                        query: *qi,
+                        group: *gi,
                     };
-                    slot.engine
+                    grp.engine
                         .expire_delta_with_graph(&graph, Visibility::ALL, &mut sink);
                     let elapsed = t0.elapsed().as_nanos() as u64;
-                    let stats = slot.engine.stats_mut();
+                    let stats = grp.engine.stats_mut();
                     stats.eval_ns += elapsed;
                     eval_ns += elapsed;
                     expiry_ns += stats.expiry_nanos - expiry0;
                 }
                 drop(graph);
                 JobOut {
-                    slots,
+                    groups,
                     events,
                     eval_ns,
                     expiry_ns,
@@ -266,12 +272,21 @@ pub struct ParallelMultiEngine {
     /// micro-batch is in flight; between batches the coordinator has
     /// exclusive access (`Arc::get_mut`).
     graph: Arc<WindowGraph>,
-    /// Registration slots; `None` marks a deregistered query (or one
-    /// currently shipped to a worker, mid-batch). Slot indexes are
-    /// query ids and are never reused.
-    slots: Vec<Option<ParSlot>>,
-    /// label → slots of live queries whose alphabet contains it.
-    routing: FxHashMap<Label, Vec<u32>>,
+    /// Registration slots; `None` marks a deregistered query. Slot
+    /// indexes are query ids and are never reused.
+    slots: Vec<Option<Slot>>,
+    /// Evaluation groups; `None` marks a freed group (or one currently
+    /// shipped to a worker, mid-batch).
+    groups: Vec<Option<ParGroup>>,
+    /// Freed group ids, reused LIFO.
+    free_groups: Vec<u32>,
+    /// `(signature, semantics)` → joinable group. Only complete groups
+    /// under `config.shared_groups` are indexed.
+    sig_index: FxHashMap<(DfaSignature, u8), u32>,
+    /// Live query name → slot (O(1) name lookups).
+    by_name: FxHashMap<String, u32>,
+    /// label → set of group ids whose alphabet contains it.
+    routing: FxHashMap<Label, DenseBitSet>,
     now: Timestamp,
     tuples_seen: u64,
     tuples_routed: u64,
@@ -281,6 +296,11 @@ pub struct ParallelMultiEngine {
     group_edges: FxHashMap<(u32, u32, u32), Timestamp>,
     /// Retained merge buffer.
     events_scratch: Vec<Ev>,
+    /// Reusable routing-target buffer (singleton path).
+    route_scratch: Vec<u32>,
+    /// Reusable `(slot, run start, run end)` fan-out schedule per
+    /// merged position segment.
+    fan_scratch: Vec<(u32, usize, usize)>,
     poisoned: bool,
     /// Per-worker `(eval_ns, expiry_ns)` totals, index-aligned with
     /// `pool` (see [`Self::worker_totals`]).
@@ -301,7 +321,7 @@ pub struct ParallelMultiEngine {
 
 impl ParallelMultiEngine {
     /// Creates an empty engine over `window` with `n_workers` threads
-    /// and paper-default per-query configuration.
+    /// and paper-default per-query configuration (sharing enabled).
     pub fn new(window: WindowPolicy, n_workers: usize) -> ParallelMultiEngine {
         Self::with_config(EngineConfig::with_window(window), n_workers)
     }
@@ -314,6 +334,10 @@ impl ParallelMultiEngine {
             window: config.window,
             graph: Arc::new(WindowGraph::new()),
             slots: Vec::new(),
+            groups: Vec::new(),
+            free_groups: Vec::new(),
+            sig_index: FxHashMap::default(),
+            by_name: FxHashMap::default(),
             routing: FxHashMap::default(),
             now: Timestamp::NEG_INFINITY,
             tuples_seen: 0,
@@ -321,6 +345,8 @@ impl ParallelMultiEngine {
             pool: spawn_pool(n_workers.max(1)),
             group_edges: FxHashMap::default(),
             events_scratch: Vec::new(),
+            route_scratch: Vec::new(),
+            fan_scratch: Vec::new(),
             poisoned: false,
             worker_ns: vec![(0, 0); n_workers.max(1)],
             coord_ns: (0, 0),
@@ -347,13 +373,12 @@ impl ParallelMultiEngine {
     }
 
     /// Per-worker `(eval_ns, expiry_ns)` totals: the wall-clock each
-    /// worker thread spent inside per-query evaluation calls, and the
+    /// worker thread spent inside per-group evaluation calls, and the
     /// expiry slice thereof. Together with [`Self::coord_totals`] this
     /// partitions the cluster's evaluation time by the thread that
-    /// actually spent it: summing per-query `eval_ns` over
-    /// [`Self::stats`] equals worker totals plus coordinator totals
-    /// (while no query has been deregistered — dropping a query drops
-    /// its side of the ledger).
+    /// actually spent it: summing `eval_ns` over the *group* engines
+    /// equals worker totals plus coordinator totals (while no group has
+    /// been freed — dropping a group drops its side of the ledger).
     pub fn worker_totals(&self) -> &[(u64, u64)] {
         &self.worker_ns
     }
@@ -383,7 +408,7 @@ impl ParallelMultiEngine {
 
     /// Replaces the worker pool with `n_workers` fresh threads. Cheap
     /// and safe at any point between batches: workers hold no query
-    /// state (engines live in the coordinator and only travel out per
+    /// state (groups live in the coordinator and only travel out per
     /// micro-batch), so the partition re-derives itself on the next
     /// batch.
     pub fn resize_workers(&mut self, n_workers: usize) {
@@ -409,7 +434,73 @@ impl ParallelMultiEngine {
         );
     }
 
-    /// Registers a query (see [`MultiQueryEngine::register`]).
+    /// Allocates a group for `query` (free-listed id, routing bits,
+    /// fresh engine). The caller decides whether to signature-index it.
+    fn alloc_group(
+        &mut self,
+        query: CompiledQuery,
+        semantics: PathSemantics,
+        complete: bool,
+    ) -> u32 {
+        let signature = query.signature();
+        let g = match self.free_groups.pop() {
+            Some(g) => g,
+            None => {
+                self.groups.push(None);
+                (self.groups.len() - 1) as u32
+            }
+        };
+        for &label in query.dfa().alphabet() {
+            self.routing.entry(label).or_default().insert(g);
+        }
+        self.groups[g as usize] = Some(ParGroup {
+            engine: Engine::new(query, self.config, semantics),
+            subscribers: Vec::new(),
+            complete,
+            signature,
+        });
+        g
+    }
+
+    /// Frees group `g`: unthreads its routing bits, drops its signature
+    /// index entry if it owns one, and recycles the id (mirrors
+    /// `MultiQueryEngine`).
+    fn free_group(&mut self, g: u32) {
+        let grp = self.groups[g as usize]
+            .take()
+            .expect("freeing a live group");
+        for &label in grp.engine.query().dfa().alphabet() {
+            if let Some(set) = self.routing.get_mut(&label) {
+                set.remove(g);
+                if set.is_empty() {
+                    self.routing.remove(&label);
+                }
+            }
+        }
+        let key = (grp.signature, semantics_tag(grp.engine.semantics()));
+        if self.sig_index.get(&key) == Some(&g) {
+            self.sig_index.remove(&key);
+        }
+        self.free_groups.push(g);
+    }
+
+    /// Appends a slot subscribed to group `g` under `name`.
+    fn attach(&mut self, name: String, g: u32) -> QueryId {
+        let id = QueryId(self.slots.len() as u32);
+        self.by_name.insert(name.clone(), id.0);
+        self.slots.push(Some(Slot { name, group: g }));
+        self.groups[g as usize]
+            .as_mut()
+            .expect("attaching to a live group")
+            .subscribers
+            .push(id.0);
+        id
+    }
+
+    /// Registers a query (see [`MultiQueryEngine::register`]): at
+    /// stream start under [`EngineConfig::shared_groups`], a
+    /// language-equivalent registration joins the existing shared
+    /// group; mid-stream plain registrations found private groups.
     pub fn register(
         &mut self,
         name: impl Into<String>,
@@ -418,25 +509,33 @@ impl ParallelMultiEngine {
     ) -> Result<QueryId, QueryError> {
         self.assert_usable();
         let name = name.into();
-        if self.query_id(&name).is_some() {
+        if self.by_name.contains_key(&name) {
             return Err(QueryError::DuplicateName(name));
         }
-        let id = QueryId(self.slots.len() as u32);
-        for &label in query.dfa().alphabet() {
-            self.routing.entry(label).or_default().push(id.0);
-        }
-        self.slots.push(Some(ParSlot {
-            name,
-            engine: Engine::new(query, self.config, semantics),
-        }));
-        Ok(id)
+        let at_start = self.now == Timestamp::NEG_INFINITY;
+        let g = if self.config.shared_groups && at_start {
+            let key = (query.signature(), semantics_tag(semantics));
+            match self.sig_index.get(&key) {
+                Some(&g) => g,
+                None => {
+                    let g = self.alloc_group(query, semantics, true);
+                    self.sig_index.insert(key, g);
+                    g
+                }
+            }
+        } else {
+            self.alloc_group(query, semantics, at_start)
+        };
+        Ok(self.attach(name, g))
     }
 
     /// Registers a query and backfills it from the live window content
     /// (see [`MultiQueryEngine::register_backfilled`], including its
-    /// coverage caveat). The replay is single-threaded — registration
-    /// is a control-plane operation — and produces the exact sequential
-    /// event stream.
+    /// coverage caveat). Joining an existing complete group replays
+    /// only the backfill *events* through a throwaway scratch engine —
+    /// the shared forest is untouched. The replay is single-threaded —
+    /// registration is a control-plane operation — and produces the
+    /// exact sequential event stream.
     pub fn register_backfilled<S: MultiSink>(
         &mut self,
         name: impl Into<String>,
@@ -444,47 +543,114 @@ impl ParallelMultiEngine {
         semantics: PathSemantics,
         sink: &mut S,
     ) -> Result<QueryId, QueryError> {
-        let id = self.register(name, query, semantics)?;
+        self.assert_usable();
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(QueryError::DuplicateName(name));
+        }
+        if self.now == Timestamp::NEG_INFINITY {
+            // Nothing to replay yet — identical to plain registration
+            // (and joinable under sharing).
+            return self.register(name, query, semantics);
+        }
         let wm = self.window.watermark(self.now);
-        let graph = Arc::get_mut(&mut self.graph).expect("workers idle between batches");
-        let mut replay = graph.edges(wm);
+        let mut replay = {
+            let graph = Arc::get_mut(&mut self.graph).expect("workers idle between batches");
+            graph.edges(wm)
+        };
         replay.sort_by_key(|&(.., ts)| ts);
-        let slot = self.slots[id.0 as usize].as_mut().expect("just registered");
+
+        if self.config.shared_groups {
+            let key = (query.signature(), semantics_tag(semantics));
+            if let Some(&g) = self.sig_index.get(&key) {
+                // Join: the shared forest already covers the window.
+                // Replay through a scratch engine for the backfill
+                // events only (graph mutations are idempotent
+                // re-inserts at identical timestamps).
+                let id = self.attach(name, g);
+                let mut scratch = Engine::new(query, self.config, semantics);
+                let mut tagged = TagSink { id, inner: sink };
+                let t0 = std::time::Instant::now();
+                {
+                    let graph =
+                        Arc::get_mut(&mut self.graph).expect("workers idle between batches");
+                    for (u, v, label, ts) in replay {
+                        scratch.process_with_graph(
+                            graph,
+                            StreamTuple::insert(ts, u, v, label),
+                            &mut tagged,
+                        );
+                    }
+                }
+                let elapsed = t0.elapsed().as_nanos() as u64;
+                self.groups[g as usize]
+                    .as_mut()
+                    .expect("joined group is live")
+                    .engine
+                    .stats_mut()
+                    .eval_ns += elapsed;
+                self.coord_ns.0 += elapsed;
+                return Ok(id);
+            }
+            let g = self.alloc_group(query, semantics, true);
+            self.sig_index.insert(key, g);
+            return Ok(self.replay_into(name, g, replay, sink));
+        }
+        let g = self.alloc_group(query, semantics, true);
+        Ok(self.replay_into(name, g, replay, sink))
+    }
+
+    /// Attaches `name` to freshly founded group `g` and replays the
+    /// window content into its engine.
+    fn replay_into<S: MultiSink>(
+        &mut self,
+        name: String,
+        g: u32,
+        replay: Vec<(
+            srpq_common::VertexId,
+            srpq_common::VertexId,
+            Label,
+            Timestamp,
+        )>,
+        sink: &mut S,
+    ) -> QueryId {
+        let id = self.attach(name, g);
+        let grp = self.groups[g as usize].as_mut().expect("just founded");
+        let graph = Arc::get_mut(&mut self.graph).expect("workers idle between batches");
         let mut tagged = TagSink { id, inner: sink };
-        let expiry0 = slot.engine.stats().expiry_nanos;
+        let expiry0 = grp.engine.stats().expiry_nanos;
         let t0 = std::time::Instant::now();
         for (u, v, label, ts) in replay {
-            slot.engine.process_with_graph(
-                graph,
-                StreamTuple::insert(ts, u, v, label),
-                &mut tagged,
-            );
+            grp.engine
+                .process_with_graph(graph, StreamTuple::insert(ts, u, v, label), &mut tagged);
         }
-        // Attribute the replay to the new query's evaluation time (as
-        // the sequential engine does) and to the coordinator's ledger.
+        // Attribute the replay to the group's evaluation time (as the
+        // sequential engine does) and to the coordinator's ledger.
         let elapsed = t0.elapsed().as_nanos() as u64;
-        let stats = slot.engine.stats_mut();
+        let stats = grp.engine.stats_mut();
         stats.eval_ns += elapsed;
         self.coord_ns.0 += elapsed;
         self.coord_ns.1 += stats.expiry_nanos - expiry0;
-        Ok(id)
+        id
     }
 
-    /// Deregisters query `id` (see [`MultiQueryEngine::deregister`]).
+    /// Deregisters query `id` (see [`MultiQueryEngine::deregister`]):
+    /// the group's engine is dropped only when the last subscriber
+    /// leaves.
     pub fn deregister(&mut self, id: QueryId) -> Result<(), QueryError> {
         self.assert_usable();
         let slot = self
             .slots
             .get_mut(id.0 as usize)
             .ok_or(QueryError::UnknownQuery(id))?;
-        let reg = slot.take().ok_or(QueryError::UnknownQuery(id))?;
-        for &label in reg.engine.query().dfa().alphabet() {
-            if let Some(targets) = self.routing.get_mut(&label) {
-                targets.retain(|&qi| qi != id.0);
-                if targets.is_empty() {
-                    self.routing.remove(&label);
-                }
-            }
+        let s = slot.take().ok_or(QueryError::UnknownQuery(id))?;
+        self.by_name.remove(&s.name);
+        let grp = self.groups[s.group as usize]
+            .as_mut()
+            .expect("slot points at a live group");
+        grp.subscribers.retain(|&qi| qi != id.0);
+        if grp.subscribers.is_empty() {
+            self.free_group(s.group);
         }
         Ok(())
     }
@@ -539,9 +705,10 @@ impl ParallelMultiEngine {
         }
     }
 
-    /// Forces an expiry pass for every live query (and a shared graph
+    /// Forces an expiry pass for every live group (and a shared graph
     /// purge) at the current eager watermark, in parallel. Event order
-    /// matches [`MultiQueryEngine::expire_now`] (slots ascending).
+    /// matches [`MultiQueryEngine::expire_now`] (subscriber slots
+    /// ascending).
     pub fn expire_now<S: MultiSink>(&mut self, sink: &mut S) {
         self.assert_usable();
         self.poisoned = true;
@@ -554,8 +721,8 @@ impl ParallelMultiEngine {
         let n = self.pool.len();
         let mut pending = Vec::new();
         for w in 0..n {
-            let slots = self.take_partition(w, n);
-            if slots.is_empty() {
+            let groups = self.take_partition(w, n);
+            if groups.is_empty() {
                 continue;
             }
             self.pool[w]
@@ -564,7 +731,7 @@ impl ParallelMultiEngine {
                 .expect("pool is live")
                 .send(Job::Expire {
                     graph: self.graph.clone(),
-                    slots,
+                    groups,
                 })
                 .expect("worker thread alive");
             pending.push(w);
@@ -584,9 +751,9 @@ impl ParallelMultiEngine {
     /// refreshes of existing edges (phase 1 applying them up front
     /// would retroactively change what earlier positions observe).
     /// Those run alone through the two-stage [`Self::run_singleton`]
-    /// path (`true` in the return), which additionally sequences the
-    /// first routing target's slide-expiry *before* the mutation, as
-    /// the sequential engine does.
+    /// path (`true` in the return), which sequences every routed
+    /// group's slide-expiry *before* the mutation, as the sequential
+    /// engine does.
     fn plan_group(&mut self, rest: &[StreamTuple]) -> (usize, bool) {
         let t0 = &rest[0];
         if self.routing.contains_key(&t0.label) {
@@ -632,12 +799,13 @@ impl ParallelMultiEngine {
 
     /// Runs one mutating singleton (explicit deletion or ts-changing
     /// refresh) in two stages, reproducing the sequential interleaving
-    /// exactly: (A) the tuple's *first* routing target advances its
-    /// clock and runs any due slide-expiry against the **pre-mutation**
-    /// graph, inline on the coordinator; the mutation is then applied;
-    /// (B) the tuple fans out normally — the first target's expiry
-    /// already ran (its clock moved), later targets expire against the
-    /// post-mutation graph, and everyone dispatches the tuple.
+    /// exactly: (A) **every** routed group advances its clock and runs
+    /// any due slide-expiry against the **pre-mutation** graph, inline
+    /// on the coordinator; the mutation is then applied; (B) the tuple
+    /// fans out normally — the routed groups' expiry already ran (their
+    /// clocks moved), so the workers' advance is a no-op and they only
+    /// dispatch the tuple against the post-mutation graph, which is
+    /// unstamped and therefore visible at every horizon.
     fn run_singleton<S: MultiSink>(&mut self, t: StreamTuple, sink: &mut S) {
         let entry_now = t.ts.max(self.now);
         let crossing =
@@ -648,28 +816,35 @@ impl ParallelMultiEngine {
                 .purge_expired(self.window.lazy_watermark(entry_now));
         }
         self.tuples_seen += 1;
-        let targets = self.routing.get(&t.label).expect("planned as routed");
-        self.tuples_routed += targets.len() as u64;
-        let first = targets[0];
+        let mut targets = std::mem::take(&mut self.route_scratch);
+        targets.clear();
+        if let Some(set) = self.routing.get(&t.label) {
+            targets.extend(set.iter_ones());
+        }
+        debug_assert!(!targets.is_empty(), "planned as routed");
 
-        // Stage A — pre-mutation slide for the first target, inline.
+        // Stage A — pre-mutation advance for every routed group,
+        // inline (ascending group order; events carry pos 0, and the
+        // stable merge keeps them ahead of the same group's stage-B
+        // events).
         let mut events = std::mem::take(&mut self.events_scratch);
         events.clear();
-        {
-            let slot = self.slots[first as usize]
+        for &g in &targets {
+            let grp = self.groups[g as usize]
                 .as_mut()
                 .expect("routing targets are live");
+            self.tuples_routed += grp.subscribers.len() as u64;
             let mut ev = EvSink {
                 events: &mut events,
                 pos: 0,
-                query: first,
+                group: g,
             };
-            let expiry0 = slot.engine.stats().expiry_nanos;
+            let expiry0 = grp.engine.stats().expiry_nanos;
             let t0 = std::time::Instant::now();
-            slot.engine
+            grp.engine
                 .advance_with_graph(&self.graph, Visibility::ALL, t.ts, &mut ev);
             let elapsed = t0.elapsed().as_nanos() as u64;
-            let stats = slot.engine.stats_mut();
+            let stats = grp.engine.stats_mut();
             stats.eval_ns += elapsed;
             self.coord_ns.0 += elapsed;
             self.coord_ns.1 += stats.expiry_nanos - expiry0;
@@ -690,11 +865,12 @@ impl ParallelMultiEngine {
         if t.ts > self.now {
             self.now = t.ts;
         }
+        self.route_scratch = targets;
 
         // Stage B — normal fan-out of the singleton (the mutation is
-        // unstamped, so every visibility admits it; the first target's
-        // clock already advanced, so its expiry does not re-run).
-        let pending = self.fan_out(&[t], &[first]);
+        // unstamped, so every visibility admits it; the routed groups'
+        // clocks already advanced, so their expiry does not re-run).
+        let pending = self.fan_out(&[t]);
         self.collect_and_emit(pending, events, sink);
     }
 
@@ -706,7 +882,6 @@ impl ParallelMultiEngine {
         let entry_now = group[0].ts.max(self.now);
         let crossing =
             self.now != Timestamp::NEG_INFINITY && self.window.crosses_slide(self.now, entry_now);
-        let mut first_targets: Vec<u32> = Vec::with_capacity(group.len());
         {
             let graph = Arc::get_mut(&mut self.graph).expect("workers idle between batches");
             if crossing {
@@ -717,12 +892,16 @@ impl ParallelMultiEngine {
                 if t.ts > self.now {
                     self.now = t.ts;
                 }
-                let Some(targets) = self.routing.get(&t.label) else {
-                    first_targets.push(u32::MAX);
+                let Some(set) = self.routing.get(&t.label) else {
                     continue;
                 };
-                first_targets.push(targets[0]);
-                self.tuples_routed += targets.len() as u64;
+                for g in set.iter_ones() {
+                    self.tuples_routed += self.groups[g as usize]
+                        .as_ref()
+                        .expect("routed groups are live")
+                        .subscribers
+                        .len() as u64;
+                }
                 debug_assert_eq!(t.op, Op::Insert, "mutating tuples run as singletons");
                 graph.insert_visible_from(t.edge.src, t.edge.dst, t.label, t.ts, pos);
             }
@@ -730,21 +909,20 @@ impl ParallelMultiEngine {
 
         // Phases 2 + 3 — fan out to the long-lived workers; collect,
         // merge deterministically, deliver.
-        let pending = self.fan_out(group, &first_targets);
+        let pending = self.fan_out(group);
         let events = std::mem::take(&mut self.events_scratch);
         self.collect_and_emit(pending, events, sink);
     }
 
-    /// Ships `group` plus each worker's query partition to the pool;
+    /// Ships `group` plus each worker's group partition to the pool;
     /// returns the workers owed a reply.
-    fn fan_out(&mut self, group: &[StreamTuple], first_targets: &[u32]) -> Vec<usize> {
+    fn fan_out(&mut self, group: &[StreamTuple]) -> Vec<usize> {
         let n = self.pool.len();
         let tuples = Arc::new(group.to_vec());
-        let first_targets = Arc::new(first_targets.to_vec());
         let mut pending = Vec::new();
         for w in 0..n {
-            let slots = self.take_partition(w, n);
-            if slots.is_empty() {
+            let groups = self.take_partition(w, n);
+            if groups.is_empty() {
                 continue;
             }
             self.pool[w]
@@ -754,8 +932,7 @@ impl ParallelMultiEngine {
                 .send(Job::Batch {
                     graph: self.graph.clone(),
                     tuples: tuples.clone(),
-                    first_targets: first_targets.clone(),
-                    slots,
+                    groups,
                 })
                 .expect("worker thread alive");
             pending.push(w);
@@ -763,26 +940,28 @@ impl ParallelMultiEngine {
         pending
     }
 
-    /// Takes worker `w`'s partition (`slot id % n == w`, ascending) out
-    /// of the registry for shipment.
-    fn take_partition(&mut self, w: usize, n: usize) -> Vec<(u32, ParSlot)> {
+    /// Takes worker `w`'s partition (`group id % n == w`, ascending)
+    /// out of the registry for shipment — a shared Δ forest is owned by
+    /// exactly one worker per batch.
+    fn take_partition(&mut self, w: usize, n: usize) -> Vec<(u32, ParGroup)> {
         let mut out = Vec::new();
-        let mut qi = w;
-        while qi < self.slots.len() {
-            if let Some(slot) = self.slots[qi].take() {
-                out.push((qi as u32, slot));
+        let mut g = w;
+        while g < self.groups.len() {
+            if let Some(grp) = self.groups[g].take() {
+                out.push((g as u32, grp));
             }
-            qi += n;
+            g += n;
         }
         out
     }
 
-    /// Receives every pending worker's reply, restores the engines,
-    /// merges the outboxes in `(arrival, QueryId)` order (appending to
-    /// `events`, which may carry a singleton's stage-A expiry events —
-    /// the stable sort keeps them ahead of the same query's stage-B
-    /// events), clears the batch's visibility stamps, and delivers to
-    /// `sink`.
+    /// Receives every pending worker's reply, restores the groups,
+    /// merges the outboxes in `(arrival, group)` order (appending to
+    /// `events`, which may carry a singleton's stage-A events — the
+    /// stable sort keeps them ahead of the same group's stage-B
+    /// events), clears the batch's visibility stamps, and fans each
+    /// group's event run out to its subscribers in ascending slot
+    /// order — the sequential engine's fan-out order.
     fn collect_and_emit<S: MultiSink>(
         &mut self,
         pending: Vec<usize>,
@@ -792,40 +971,82 @@ impl ParallelMultiEngine {
         for w in pending {
             let t_wait = std::time::Instant::now();
             let Ok(out) = self.pool[w].results.recv() else {
-                // The worker unwound mid-batch; its queries are gone and
+                // The worker unwound mid-batch; its groups are gone and
                 // `poisoned` stays set — surface it loudly.
                 panic!("ParallelMultiEngine worker {w} panicked; engine is poisoned");
             };
             self.wait_scratch_ns += t_wait.elapsed().as_nanos() as u64;
             self.worker_ns[w].0 += out.eval_ns;
             self.worker_ns[w].1 += out.expiry_ns;
-            for (qi, slot) in out.slots {
-                self.slots[qi as usize] = Some(slot);
+            for (g, grp) in out.groups {
+                self.groups[g as usize] = Some(grp);
             }
             events.extend(out.events);
         }
-        // Each worker's outbox is already (pos asc, own queries asc);
+        // Each worker's outbox is already (pos asc, own groups asc);
         // the stable sort is a k-way merge that preserves per-(pos,
-        // query) generation order.
-        events.sort_by_key(|e| (e.pos, e.query));
+        // group) generation order.
+        events.sort_by_key(|e| (e.pos, e.group));
         Arc::get_mut(&mut self.graph)
             .expect("workers idle after collection")
             .clear_stamps();
-        for e in &events {
-            if e.invalidated {
-                sink.invalidate(QueryId(e.query), e.pair, e.ts);
-            } else {
-                sink.emit(QueryId(e.query), e.pair, e.ts);
+        // Fan-out: within each position, the sequential engine emits
+        // group buffers per subscriber in ascending *slot* order (a
+        // group with several subscribers appears once per subscriber,
+        // interleaved by slot) — reproduce that by scheduling each
+        // group's contiguous event run under each of its subscribers.
+        let mut fan = std::mem::take(&mut self.fan_scratch);
+        let mut i = 0;
+        while i < events.len() {
+            let pos = events[i].pos;
+            let mut seg_end = i;
+            while seg_end < events.len() && events[seg_end].pos == pos {
+                seg_end += 1;
             }
+            fan.clear();
+            let mut j = i;
+            while j < seg_end {
+                let g = events[j].group;
+                let mut run_end = j + 1;
+                while run_end < seg_end && events[run_end].group == g {
+                    run_end += 1;
+                }
+                let subs = &self.groups[g as usize]
+                    .as_ref()
+                    .expect("groups restored before emit")
+                    .subscribers;
+                fan.extend(subs.iter().map(|&slot| (slot, j, run_end)));
+                j = run_end;
+            }
+            fan.sort_unstable_by_key(|&(slot, ..)| slot);
+            for &(slot, s, e) in &fan {
+                for ev in &events[s..e] {
+                    if ev.invalidated {
+                        sink.invalidate(QueryId(slot), ev.pair, ev.ts);
+                    } else {
+                        sink.emit(QueryId(slot), ev.pair, ev.ts);
+                    }
+                }
+            }
+            i = seg_end;
         }
         events.clear();
         self.events_scratch = events;
+        self.fan_scratch = fan;
     }
 
     // ---- registry accessors (mirror `MultiQueryEngine`) -------------
 
-    fn registered(&self, id: QueryId) -> Option<&ParSlot> {
+    fn slot(&self, id: QueryId) -> Option<&Slot> {
         self.slots.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    fn group(&self, g: u32) -> Option<&ParGroup> {
+        self.groups.get(g as usize).and_then(Option::as_ref)
+    }
+
+    fn group_for(&self, id: QueryId) -> Option<&ParGroup> {
+        self.slot(id).and_then(|s| self.group(s.group))
     }
 
     /// Number of live (registered, not deregistered) queries.
@@ -839,10 +1060,65 @@ impl ParallelMultiEngine {
         self.slots.len()
     }
 
+    /// Number of live evaluation groups — at most [`Self::n_queries`];
+    /// the gap is the sharing win.
+    pub fn groups_live(&self) -> usize {
+        self.groups.iter().filter(|g| g.is_some()).count()
+    }
+
+    /// Number of group table entries, freed ones included (persistence
+    /// support).
+    pub fn n_group_slots(&self) -> usize {
+        self.groups.len()
+    }
+
     /// Appends a vacant slot, burning one query id (persistence
     /// support; see [`MultiQueryEngine::push_vacant_slot`]).
     pub fn push_vacant_slot(&mut self) {
         self.slots.push(None);
+    }
+
+    /// Appends a vacant (freed) group entry and free-lists its id
+    /// (persistence support).
+    pub fn push_vacant_group(&mut self) {
+        let g = self.groups.len() as u32;
+        self.groups.push(None);
+        self.free_groups.push(g);
+    }
+
+    /// Appends group `n_group_slots` holding a fresh engine for
+    /// `query`, re-wiring routing and (for complete groups under
+    /// sharing) the signature index; returns its id (persistence
+    /// support; see [`MultiQueryEngine::restore_push_group`]).
+    pub fn restore_push_group(
+        &mut self,
+        query: CompiledQuery,
+        semantics: PathSemantics,
+        complete: bool,
+    ) -> u32 {
+        let signature = query.signature();
+        let g = self.groups.len() as u32;
+        for &label in query.dfa().alphabet() {
+            self.routing.entry(label).or_default().insert(g);
+        }
+        if complete && self.config.shared_groups {
+            self.sig_index
+                .entry((signature.clone(), semantics_tag(semantics)))
+                .or_insert(g);
+        }
+        self.groups.push(Some(ParGroup {
+            engine: Engine::new(query, self.config, semantics),
+            subscribers: Vec::new(),
+            complete,
+            signature,
+        }));
+        g
+    }
+
+    /// Appends a slot subscribed to (already restored) group `group`
+    /// under `name` (persistence support).
+    pub fn restore_subscriber(&mut self, name: impl Into<String>, group: u32) -> QueryId {
+        self.attach(name.into(), group)
     }
 
     /// Ids of all live queries, ascending.
@@ -854,35 +1130,62 @@ impl ParallelMultiEngine {
             .collect()
     }
 
-    /// The id of the live query registered under `name`.
+    /// Ids of all live groups, ascending.
+    pub fn group_ids(&self) -> Vec<u32> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter_map(|(g, s)| s.as_ref().map(|_| g as u32))
+            .collect()
+    }
+
+    /// The id of the live query registered under `name` (O(1)).
     pub fn query_id(&self, name: &str) -> Option<QueryId> {
-        self.slots.iter().enumerate().find_map(|(i, q)| {
-            q.as_ref()
-                .filter(|r| r.name == name)
-                .map(|_| QueryId(i as u32))
-        })
+        self.by_name.get(name).map(|&slot| QueryId(slot))
     }
 
     /// The name a query was registered under.
     pub fn name(&self, id: QueryId) -> Option<&str> {
-        self.registered(id).map(|r| r.name.as_str())
+        self.slot(id).map(|s| s.name.as_str())
     }
 
-    /// Per-query engine statistics.
+    /// The evaluation group query `id` rides.
+    pub fn group_of(&self, id: QueryId) -> Option<u32> {
+        self.slot(id).map(|s| s.group)
+    }
+
+    /// Live subscriber slots of group `g`, ascending.
+    pub fn group_subscribers(&self, g: u32) -> Option<&[u32]> {
+        self.group(g).map(|grp| grp.subscribers.as_slice())
+    }
+
+    /// The canonical automaton signature of group `g`.
+    pub fn group_signature(&self, g: u32) -> Option<&DfaSignature> {
+        self.group(g).map(|grp| &grp.signature)
+    }
+
+    /// Whether group `g`'s Δ forest covers the whole window (joinable
+    /// by backfilled registrations).
+    pub fn group_is_complete(&self, g: u32) -> Option<bool> {
+        self.group(g).map(|grp| grp.complete)
+    }
+
+    /// Per-query engine statistics (shared with any co-subscribers —
+    /// aggregate over [`Self::group_ids`] to avoid double counting).
     pub fn stats(&self, id: QueryId) -> Option<&EngineStats> {
-        self.registered(id).map(|r| r.engine.stats())
+        self.group_for(id).map(|grp| grp.engine.stats())
     }
 
-    /// Per-query Δ index size.
+    /// Per-query Δ index size (shared with any co-subscribers).
     pub fn index_size(&self, id: QueryId) -> Option<IndexSize> {
-        self.registered(id).map(|r| r.engine.index_size())
+        self.group_for(id).map(|grp| grp.engine.index_size())
     }
 
-    /// Aggregate Δ index size over all live queries.
+    /// Aggregate Δ index size over all live groups.
     pub fn total_index_size(&self) -> IndexSize {
         let mut total = IndexSize::default();
-        for reg in self.slots.iter().flatten() {
-            let s = reg.engine.index_size();
+        for grp in self.groups.iter().flatten() {
+            let s = grp.engine.index_size();
             total.trees += s.trees;
             total.nodes += s.nodes;
             total.arena_bytes += s.arena_bytes;
@@ -894,14 +1197,14 @@ impl ParallelMultiEngine {
     pub fn routing_table_size(&self) -> (usize, usize) {
         (
             self.routing.len(),
-            self.routing.values().map(Vec::len).sum(),
+            self.routing.values().map(DenseBitSet::count).sum(),
         )
     }
 
     /// Whether query `id` currently reports `pair`.
     pub fn has_result(&self, id: QueryId, pair: ResultPair) -> bool {
-        self.registered(id)
-            .map(|r| r.engine.has_result(pair))
+        self.group_for(id)
+            .map(|grp| grp.engine.has_result(pair))
             .unwrap_or(false)
     }
 
@@ -930,18 +1233,30 @@ impl ParallelMultiEngine {
         self.now
     }
 
-    /// The registered engine behind `id`.
+    /// The group engine behind query `id` (shared with any
+    /// co-subscribers).
     pub fn engine(&self, id: QueryId) -> Option<&Engine> {
-        self.registered(id).map(|r| &r.engine)
+        self.group_for(id).map(|grp| &grp.engine)
     }
 
-    /// Mutable access to the registered engine behind `id`
+    /// Mutable access to the group engine behind query `id`
     /// (persistence support).
     pub fn engine_mut(&mut self, id: QueryId) -> Option<&mut Engine> {
-        self.slots
-            .get_mut(id.0 as usize)
+        let g = self.group_of(id)?;
+        self.group_engine_mut(g)
+    }
+
+    /// The engine of group `g`.
+    pub fn group_engine(&self, g: u32) -> Option<&Engine> {
+        self.group(g).map(|grp| &grp.engine)
+    }
+
+    /// Mutable engine of group `g` (persistence support).
+    pub fn group_engine_mut(&mut self, g: u32) -> Option<&mut Engine> {
+        self.groups
+            .get_mut(g as usize)
             .and_then(Option::as_mut)
-            .map(|r| &mut r.engine)
+            .map(|grp| &mut grp.engine)
     }
 
     /// Overwrites the shared clock and routing counters with
@@ -952,7 +1267,7 @@ impl ParallelMultiEngine {
         self.tuples_routed = tuples_routed;
     }
 
-    /// Tuples seen and per-query dispatches performed.
+    /// Tuples seen and logical per-subscriber dispatches performed.
     pub fn routing_stats(&self) -> (u64, u64) {
         (self.tuples_seen, self.tuples_routed)
     }
@@ -1098,6 +1413,59 @@ mod tests {
     }
 
     #[test]
+    fn shared_groups_fan_out_across_workers() {
+        // Language-equivalent registrations share one group; the
+        // parallel fan-out must still deliver per-subscriber streams
+        // identical to the sequential engine's, at any worker count.
+        let mut labels = LabelInterner::new();
+        let window = WindowPolicy::new(20, 4);
+        let exprs = ["(a | b)+", "(b | a)+", "(a | b) (a | b)*", "a b"];
+        let a = labels.intern("a");
+        let b = labels.intern("b");
+        let v = VertexId;
+        let stream: Vec<StreamTuple> = (0..80)
+            .map(|i| {
+                let label = if i % 2 == 0 { a } else { b };
+                StreamTuple::insert(Timestamp(i as i64 / 2), v(i % 5), v((i * 3 + 1) % 5), label)
+            })
+            .collect();
+
+        let mut seq = MultiQueryEngine::new(window);
+        for (i, e) in exprs.iter().enumerate() {
+            let q = CompiledQuery::compile(e, &mut labels).unwrap();
+            seq.register(format!("q{i}"), q, PathSemantics::Arbitrary)
+                .unwrap();
+        }
+        assert_eq!(seq.groups_live(), 2); // three rewrites + one distinct
+        let mut seq_sink = MultiCollectSink::default();
+        for chunk in stream.chunks(16) {
+            seq.process_batch(chunk, &mut seq_sink);
+        }
+        seq.expire_now(&mut seq_sink);
+
+        for n_workers in [1, 2, 4] {
+            let mut par = ParallelMultiEngine::new(window, n_workers);
+            for (i, e) in exprs.iter().enumerate() {
+                let q = CompiledQuery::compile(e, &mut labels).unwrap();
+                par.register(format!("q{i}"), q, PathSemantics::Arbitrary)
+                    .unwrap();
+            }
+            assert_eq!(par.groups_live(), 2);
+            assert_eq!(par.n_queries(), 4);
+            let mut par_sink = MultiCollectSink::default();
+            for chunk in stream.chunks(16) {
+                par.process_batch(chunk, &mut par_sink);
+            }
+            par.expire_now(&mut par_sink);
+            assert_eq!(
+                seq_sink.emitted, par_sink.emitted,
+                "{n_workers} workers: shared-group stream diverged"
+            );
+            assert_eq!(seq_sink.invalidated, par_sink.invalidated);
+        }
+    }
+
+    #[test]
     fn deletions_and_refresh_cut_batches() {
         let (mut multi, labels, id1, id2) = setup(2);
         let a = labels.get("a").unwrap();
@@ -1192,9 +1560,9 @@ mod tests {
 
     #[test]
     fn eval_time_ledger_is_conserved_across_workers() {
-        // Per-query `eval_ns` must sum to exactly what the per-worker
+        // Per-group `eval_ns` must sum to exactly what the per-worker
         // and coordinator ledgers recorded: every increment applied to
-        // a query's stats is mirrored into whichever thread spent it
+        // a group's stats is mirrored into whichever thread spent it
         // (worker batch/expire jobs, coordinator singleton stage A and
         // backfill replay).
         for n_workers in [1, 2, 3] {
@@ -1231,29 +1599,29 @@ mod tests {
                 .register_backfilled("qc", qc, PathSemantics::Arbitrary, &mut sink)
                 .unwrap();
 
-            let per_query_eval: u64 = multi
-                .query_ids()
+            let per_group_eval: u64 = multi
+                .group_ids()
                 .iter()
-                .map(|&id| multi.stats(id).unwrap().eval_ns)
+                .map(|&g| multi.group_engine(g).unwrap().stats().eval_ns)
                 .sum();
-            let per_query_expiry: u64 = multi
-                .query_ids()
+            let per_group_expiry: u64 = multi
+                .group_ids()
                 .iter()
-                .map(|&id| multi.stats(id).unwrap().expiry_nanos)
+                .map(|&g| multi.group_engine(g).unwrap().stats().expiry_nanos)
                 .sum();
             let ledger_eval: u64 =
                 multi.coord_totals().0 + multi.worker_totals().iter().map(|w| w.0).sum::<u64>();
             let ledger_expiry: u64 =
                 multi.coord_totals().1 + multi.worker_totals().iter().map(|w| w.1).sum::<u64>();
             assert_eq!(
-                per_query_eval, ledger_eval,
+                per_group_eval, ledger_eval,
                 "{n_workers} workers: eval ledger diverged"
             );
             assert_eq!(
-                per_query_expiry, ledger_expiry,
+                per_group_expiry, ledger_expiry,
                 "{n_workers} workers: expiry ledger diverged"
             );
-            assert!(per_query_eval > 0, "work happened, so time was spent");
+            assert!(per_group_eval > 0, "work happened, so time was spent");
             let stage = multi.stage_totals();
             assert_eq!(stage.eval_ns, ledger_eval);
             assert_eq!(stage.expiry_ns, ledger_expiry);

@@ -45,7 +45,10 @@ const CKPT_MAGIC: &[u8; 8] = b"SRPQCKP1";
 // checkpoints must be refused rather than misdecoded.
 // v3: `EngineStats` gained the Δ occupancy gauges
 // (`delta_nodes_live`/`delta_capacity`) and `compactions`.
-const CKPT_VERSION: u32 = 3;
+// v4: `EngineConfig` gained `shared_groups`, and the multi-engine
+// payload (KIND=2) switched from per-slot engines to shared evaluation
+// groups plus subscriber tags.
+const CKPT_VERSION: u32 = 4;
 
 /// What a checkpoint stores beyond the engine cursor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -246,6 +249,7 @@ pub(crate) fn encode_config(w: &mut ByteWriter, c: &EngineConfig) {
             w.u64(b);
         }
     }
+    w.u8(c.shared_groups as u8);
 }
 
 /// Decodes an [`EngineConfig`].
@@ -268,12 +272,14 @@ pub(crate) fn decode_config(r: &mut ByteReader) -> Result<EngineConfig> {
         1 => Some(r.u64()?),
         other => return Err(corrupt(format!("bad budget tag {other}"))),
     };
+    let shared_groups = r.u8()? != 0;
     Ok(EngineConfig {
         window: WindowPolicy::new(window_size, slide),
         dedup_results,
         report_invalidations,
         refresh,
         rspq_extend_budget,
+        shared_groups,
     })
 }
 

@@ -714,18 +714,35 @@ macro_rules! impl_multi_persist {
                 // Registration slots, vacated ones included: query ids are slot
                 // indexes and subscribers hold them across restarts, so a
                 // deregistered slot is checkpointed as an explicit tombstone
-                // rather than compacted away.
+                // rather than compacted away. A slot stores only its name and
+                // its group id — evaluation state lives in the group table.
                 w.u32(self.n_slots() as u32);
                 for qi in 0..self.n_slots() as u32 {
                     let id = QueryId(qi);
-                    let Some(engine) = self.engine(id) else {
+                    let Some(g) = self.group_of(id) else {
                         w.u8(0); // vacant slot
                         continue;
                     };
                     w.u8(1);
                     w.str(self.name(id).unwrap_or(""));
+                    w.u32(g);
+                }
+                // Evaluation groups, freed ones included (group ids in the
+                // slot entries above are positional). Shared state — the Δ
+                // forest, emitted-pair set, statistics — is checkpointed once
+                // per group, not once per subscriber; recovery re-attaches
+                // subscribers from the encoded membership, never by signature
+                // re-matching.
+                w.u32(self.n_group_slots() as u32);
+                for g in 0..self.n_group_slots() as u32 {
+                    let Some(engine) = self.group_engine(g) else {
+                        w.u8(0); // freed group
+                        continue;
+                    };
+                    w.u8(1);
                     encode_semantics(w, engine.semantics());
                     w.str(&engine.query().regex().to_string());
+                    w.u8(self.group_is_complete(g).unwrap_or(false) as u8);
                     w.i64(engine.now().0);
                     checkpoint::encode_pairs(w, &engine.emitted_pairs());
                     checkpoint::encode_stats(w, engine.stats());
@@ -748,52 +765,83 @@ macro_rules! impl_multi_persist {
                 let seen = r.u64()?;
                 let routed = r.u64()?;
                 let edges = checkpoint::decode_graph(r)?;
-                let n_slots = r.count(1)?;
 
-                struct QueryState {
-                    id: QueryId,
+                // Slot table first (membership), then the group table
+                // (evaluation state), then attach subscribers in slot order
+                // so ids keep their meaning.
+                let n_slots = r.count(1)?;
+                let mut slot_meta: Vec<Option<(String, u32)>> = Vec::with_capacity(n_slots);
+                for _ in 0..n_slots {
+                    if r.u8()? == 0 {
+                        slot_meta.push(None);
+                        continue;
+                    }
+                    let name = r.str()?;
+                    let group = r.u32()?;
+                    slot_meta.push(Some((name, group)));
+                }
+
+                struct GroupState {
+                    g: u32,
                     now: Timestamp,
                     emitted: Vec<srpq_common::ResultPair>,
                     stats: EngineStats,
                 }
                 #[allow(clippy::redundant_closure_call)]
                 let mut multi: $ty = ($new)(config);
-                let mut cursors = Vec::with_capacity(n_slots);
-                for slot in 0..n_slots as u32 {
+                let n_groups = r.count(1)?;
+                let mut cursors = Vec::with_capacity(n_groups);
+                for slot in 0..n_groups as u32 {
                     if r.u8()? == 0 {
-                        // Tombstone of a deregistered query: burn the slot so
-                        // later ids keep their meaning.
-                        multi.push_vacant_slot();
+                        // Tombstone of a freed group: burn the id so the slot
+                        // entries above keep their meaning.
+                        multi.push_vacant_group();
                         continue;
                     }
-                    let name = r.str()?;
                     let semantics = decode_semantics(r)?;
                     let regex = r.str()?;
-                    let qnow = Timestamp(r.i64()?);
+                    let complete = r.u8()? != 0;
+                    let gnow = Timestamp(r.i64()?);
                     let emitted = checkpoint::decode_pairs(r)?;
                     let stats = checkpoint::decode_stats(r)?;
                     let query = compile(&regex, labels)?;
-                    let id = multi.register(name, query, semantics).map_err(|e| {
-                        PersistError::Incompatible(format!("checkpointed query: {e}"))
-                    })?;
-                    if id.0 != slot {
+                    let g = multi.restore_push_group(query, semantics, complete);
+                    if g != slot {
                         return Err(corrupt(format!(
-                            "checkpoint slot {slot} restored as query id {id}"
+                            "checkpoint group {slot} restored as group id {g}"
                         )));
                     }
                     if strategy == CheckpointStrategy::Full {
-                        let engine = multi.engine_mut(id).expect("just registered");
+                        let engine = multi.group_engine_mut(g).expect("just restored");
                         match engine {
                             Engine::Arbitrary(e) => e.set_delta(checkpoint::decode_forest(r)?),
                             Engine::Simple(e) => e.set_delta(checkpoint::decode_forest(r)?),
                         }
                     }
-                    cursors.push(QueryState {
-                        id,
-                        now: qnow,
+                    cursors.push(GroupState {
+                        g,
+                        now: gnow,
                         emitted,
                         stats,
                     });
+                }
+                for (slot, meta) in slot_meta.into_iter().enumerate() {
+                    match meta {
+                        None => multi.push_vacant_slot(),
+                        Some((name, group)) => {
+                            if multi.group_engine(group).is_none() {
+                                return Err(corrupt(format!(
+                                    "checkpoint slot {slot} rides missing group {group}"
+                                )));
+                            }
+                            let id = multi.restore_subscriber(name, group);
+                            if id.0 as usize != slot {
+                                return Err(corrupt(format!(
+                                    "checkpoint slot {slot} restored as query id {id}"
+                                )));
+                            }
+                        }
+                    }
                 }
                 match strategy {
                     CheckpointStrategy::Logical => {
@@ -807,7 +855,7 @@ macro_rules! impl_multi_persist {
                     }
                 }
                 for cur in cursors {
-                    let engine = multi.engine_mut(cur.id).expect("restored above");
+                    let engine = multi.group_engine_mut(cur.g).expect("restored above");
                     engine.restore_cursor(cur.now, cur.emitted, cur.stats);
                 }
                 multi.restore_cursor(now, seen, routed);

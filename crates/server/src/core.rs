@@ -46,6 +46,21 @@ pub(crate) trait MultiRegistry {
     fn name(&self, id: QueryId) -> Option<&str>;
     fn engine(&self, id: QueryId) -> Option<&Engine>;
     fn stats(&self, id: QueryId) -> Option<&EngineStats>;
+    /// Live shared-evaluation groups (each owns one Δ forest).
+    fn groups_live(&self) -> usize;
+    /// Ids of the live groups, ascending.
+    fn group_ids(&self) -> Vec<u32>;
+    /// The group a live query subscribes to.
+    fn group_of(&self, id: QueryId) -> Option<u32>;
+    /// Slot ids subscribed to a group, ascending.
+    fn group_subscribers(&self, g: u32) -> Option<&[u32]>;
+    /// Hash of the group's canonical DFA signature.
+    fn group_signature_hash(&self, g: u32) -> Option<u64>;
+    /// The group's shared evaluation engine. Aggregations over
+    /// engine state (Δ sizes, eval time) must run over groups, not
+    /// query ids — per-id stats alias the group's and would count a
+    /// shared forest once per subscriber.
+    fn group_engine(&self, g: u32) -> Option<&Engine>;
     /// Evaluation threads (1 = the sequential engine).
     fn workers(&self) -> usize;
     /// Cumulative batch-path stage counters (route / eval / expiry).
@@ -113,6 +128,24 @@ macro_rules! impl_multi_registry {
             }
             fn stats(&self, id: QueryId) -> Option<&EngineStats> {
                 <$ty>::stats(self, id)
+            }
+            fn groups_live(&self) -> usize {
+                <$ty>::groups_live(self)
+            }
+            fn group_ids(&self) -> Vec<u32> {
+                <$ty>::group_ids(self)
+            }
+            fn group_of(&self, id: QueryId) -> Option<u32> {
+                <$ty>::group_of(self, id)
+            }
+            fn group_subscribers(&self, g: u32) -> Option<&[u32]> {
+                <$ty>::group_subscribers(self, g)
+            }
+            fn group_signature_hash(&self, g: u32) -> Option<u64> {
+                <$ty>::group_signature(self, g).map(|s| s.hash64())
+            }
+            fn group_engine(&self, g: u32) -> Option<&Engine> {
+                <$ty>::group_engine(self, g)
             }
             fn workers(&self) -> usize {
                 #[allow(clippy::redundant_closure_call)]
@@ -313,6 +346,7 @@ struct CoreMetrics {
     results_dropped: Counter,
     gauge_subscribers: Gauge,
     gauge_live_queries: Gauge,
+    gauge_live_groups: Gauge,
 }
 
 impl CoreMetrics {
@@ -329,6 +363,7 @@ impl CoreMetrics {
             results_dropped: r.counter("srpq_results_dropped_total", &[]),
             gauge_subscribers: r.gauge("srpq_subscribers", &[]),
             gauge_live_queries: r.gauge("srpq_live_queries", &[]),
+            gauge_live_groups: r.gauge("srpq_live_groups", &[]),
         }
     }
 }
@@ -435,13 +470,16 @@ impl EngineCore {
         core
     }
 
+    /// Expiry passes summed over evaluation *groups*: per-query stats
+    /// alias the owning group's, so a per-id sum would count a shared
+    /// forest once per subscriber.
     fn sum_expiry_runs(&self) -> u64 {
         let engine = self.host.registry();
         engine
-            .query_ids()
+            .group_ids()
             .iter()
-            .filter_map(|&id| engine.stats(id))
-            .map(|s| s.expiry_runs)
+            .filter_map(|&g| engine.group_engine(g))
+            .map(|e| e.stats().expiry_runs)
             .sum()
     }
 
@@ -490,6 +528,9 @@ impl EngineCore {
         self.metrics
             .gauge_live_queries
             .set(engine.n_queries() as u64);
+        self.metrics
+            .gauge_live_groups
+            .set(engine.groups_live() as u64);
         self.metrics
             .gauge_subscribers
             .set(self.subscribers.len() as u64);
@@ -612,6 +653,7 @@ impl EngineCore {
                             tuples_routed: stats.tuples_routed,
                             results_emitted: stats.results_emitted,
                             eval_ns: stats.eval_ns,
+                            group: engine.group_of(id).expect("live id"),
                         }
                     })
                     .collect();
@@ -669,8 +711,10 @@ impl EngineCore {
                 let engine = self.host.registry();
                 let (mut eval_ns, mut delta_nodes_live, mut delta_capacity, mut compactions) =
                     (0u64, 0u64, 0u64, 0u64);
-                for id in engine.query_ids() {
-                    if let Some(s) = engine.stats(id) {
+                // Sum over groups, not query ids: a shared Δ forest
+                // counts once however many subscribers ride it.
+                for g in engine.group_ids() {
+                    if let Some(s) = engine.group_engine(g).map(|e| e.stats()) {
                         eval_ns += s.eval_ns;
                         delta_nodes_live += s.delta_nodes_live;
                         delta_capacity += s.delta_capacity;
@@ -691,6 +735,7 @@ impl EngineCore {
                     delta_capacity,
                     compactions,
                     worker_ns: engine.worker_ns(),
+                    groups_live: engine.groups_live() as u32,
                 }));
             }
             Cmd::Metrics { reply } => {
@@ -747,25 +792,32 @@ impl EngineCore {
         }
         let dropped_before = self.results_dropped;
         // Pre-batch snapshot for sampled batches: stage totals and
-        // per-query counters, diffed after the batch to attribute its
-        // evaluation time to causal-trace spans.
+        // per-group counters, diffed after the batch to attribute its
+        // evaluation time to causal-trace spans. Groups, not query
+        // ids — a shared forest evaluates once per tuple, so its span
+        // must appear once, labeled by its first subscriber (plus a
+        // `+N` tally when others ride the same forest).
         let trace = stamp.and_then(|s| s.trace);
         let pre = trace.map(|_| {
             let engine = self.host.registry();
-            let queries: Vec<(String, u64, u64, u64)> = engine
-                .query_ids()
+            let groups: Vec<(u32, String, u64, u64, u64)> = engine
+                .group_ids()
                 .into_iter()
-                .filter_map(|id| {
-                    let s = engine.stats(id)?;
-                    Some((
-                        engine.name(id)?.to_string(),
-                        s.tuples_routed,
-                        s.eval_ns,
-                        s.expiry_nanos,
-                    ))
+                .filter_map(|g| {
+                    let s = engine.group_engine(g)?.stats();
+                    let subs = engine.group_subscribers(g)?;
+                    let mut label = subs
+                        .first()
+                        .and_then(|&slot| engine.name(QueryId(slot)))
+                        .unwrap_or("?")
+                        .to_string();
+                    if subs.len() > 1 {
+                        label.push_str(&format!("+{}", subs.len() - 1));
+                    }
+                    Some((g, label, s.tuples_routed, s.eval_ns, s.expiry_nanos))
                 })
                 .collect();
-            (engine.stage_totals(), queries)
+            (engine.stage_totals(), groups)
         });
         if self.host.is_durable() {
             // The WAL append runs on this thread before the engine's
@@ -802,13 +854,13 @@ impl EngineCore {
         self.beacon.set(stage::IDLE);
         self.beacon.advance();
         let emit_ns = t_emit.elapsed().as_nanos() as u64;
-        if let (Some((trace_id, root)), Some((stage_pre, queries_pre))) = (trace, pre) {
+        if let (Some((trace_id, root)), Some((stage_pre, groups_pre))) = (trace, pre) {
             self.record_batch_spans(
                 trace_id,
                 root,
                 (t_b0, t_b1, t_emit, emit_ns),
                 stage_pre,
-                &queries_pre,
+                &groups_pre,
             );
         }
         self.seq += tuples.len() as u64;
@@ -959,7 +1011,8 @@ impl EngineCore {
     /// Synthesizes the engine-side child spans of a sampled batch from
     /// the same monotone counters the stage histograms diff: WAL (batch
     /// wall time not accounted to routing or evaluation; durable hosts
-    /// only), routing, one `extend:<query>` span per routed query, the
+    /// only), routing, one `extend:<group>` span per routed evaluation
+    /// group (labeled by its first subscriber, `+N` when shared), the
     /// pooled expiry slice, and the emit hand-off. Stage slices are
     /// laid out sequentially from the batch start — exact for the
     /// sequential host; for the worker pool they are CPU-time
@@ -970,7 +1023,7 @@ impl EngineCore {
         root: u64,
         timing: (Instant, Instant, Instant, u64),
         stage_pre: StageTotals,
-        queries_pre: &[(String, u64, u64, u64)],
+        groups_pre: &[(u32, String, u64, u64, u64)],
     ) {
         const THREAD: &str = "srpq-engine";
         let (t_b0, t_b1, t_emit, emit_ns) = timing;
@@ -991,22 +1044,22 @@ impl EngineCore {
         tb.record(trace_id, root, "route", cur, end, THREAD, "");
         cur = end;
         let mut expiry_total = 0u64;
-        for (name, routed0, eval0, expiry0) in queries_pre {
-            let Some(s) = engine.query_id(name).and_then(|id| engine.stats(id)) else {
+        for (g, label, routed0, eval0, expiry0) in groups_pre {
+            let Some(s) = engine.group_engine(*g).map(|e| e.stats()) else {
                 continue;
             };
-            let expiry_q = s.expiry_nanos.saturating_sub(*expiry0);
-            expiry_total += expiry_q;
+            let expiry_g = s.expiry_nanos.saturating_sub(*expiry0);
+            expiry_total += expiry_g;
             let routed = s.tuples_routed.saturating_sub(*routed0);
             if routed == 0 {
                 continue;
             }
-            let extend_ns = s.eval_ns.saturating_sub(*eval0).saturating_sub(expiry_q);
+            let extend_ns = s.eval_ns.saturating_sub(*eval0).saturating_sub(expiry_g);
             let end = cur + Duration::from_nanos(extend_ns);
             tb.record(
                 trace_id,
                 root,
-                format!("extend:{name}"),
+                format!("extend:{label}"),
                 cur,
                 end,
                 THREAD,
@@ -1026,8 +1079,10 @@ impl EngineCore {
     }
 
     /// The `ctl explain` report: minimized-DFA shape, Δ-forest profile
-    /// (an O(|Δ|) walk — never on the tuple path), routing fan-in, and
-    /// this query's share of evaluation time.
+    /// (an O(|Δ|) walk — never on the tuple path), routing fan-in,
+    /// this query's shared-evaluation group (signature hash and
+    /// co-subscribers riding the same Δ forest), and the group's share
+    /// of evaluation time.
     fn explain(&self, name: &str) -> Msg {
         let engine = self.host.registry();
         let Some(id) = engine.query_id(name) else {
@@ -1039,16 +1094,18 @@ impl EngineCore {
         let stats = *e.stats();
         let dfa = e.query().dfa();
         let profile = e.delta_profile();
-        let ids = engine.query_ids();
+        let gids = engine.group_ids();
         let labels = dfa
             .alphabet()
             .iter()
             .map(|&label| {
-                let sharing = ids
+                // Fan-in counts evaluation *groups*: that is how many
+                // shared forests a matching tuple is handed to.
+                let sharing = gids
                     .iter()
-                    .filter(|&&other| {
+                    .filter(|&&og| {
                         engine
-                            .engine(other)
+                            .group_engine(og)
                             .is_some_and(|oe| oe.query().dfa().knows_label(label))
                     })
                     .count() as u32;
@@ -1059,11 +1116,19 @@ impl EngineCore {
                 }
             })
             .collect();
-        let total_eval_ns = ids
+        let total_eval_ns = gids
             .iter()
-            .filter_map(|&q| engine.stats(q))
-            .map(|s| s.eval_ns)
+            .filter_map(|&g| engine.group_engine(g))
+            .map(|oe| oe.stats().eval_ns)
             .sum();
+        let group = engine.group_of(id).expect("live id");
+        let co_subscribers = engine
+            .group_subscribers(group)
+            .unwrap_or(&[])
+            .iter()
+            .filter(|&&slot| slot != id.0)
+            .filter_map(|&slot| engine.name(QueryId(slot)).map(str::to_string))
+            .collect();
         Msg::ExplainReport(ExplainWire {
             id: id.0,
             name: name.to_string(),
@@ -1085,6 +1150,9 @@ impl EngineCore {
             expiry_ns: stats.expiry_nanos,
             total_eval_ns,
             results_emitted: stats.results_emitted,
+            group,
+            signature_hash: engine.group_signature_hash(group).unwrap_or(0),
+            co_subscribers,
         })
     }
 

@@ -23,7 +23,7 @@ use std::io::{self, Read, Write};
 /// Protocol revision spoken by this build. [`Msg::Hello`] carries the
 /// client's revision; the server refuses mismatches outright (no
 /// negotiation — both binaries come from this repository).
-pub const PROTO_VERSION: u16 = 5;
+pub const PROTO_VERSION: u16 = 6;
 
 /// What a subscriber wants done when its queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -101,6 +101,10 @@ pub struct QueryInfo {
     /// hot-query indicator (`srpq query list`). Comparable within one
     /// server lifetime only.
     pub eval_ns: u64,
+    /// The shared-evaluation group this query subscribes to. Queries
+    /// with the same group id share one Δ forest; their routed/eval
+    /// counters are the group's, not per-subscriber slices.
+    pub group: u32,
 }
 
 /// One structured event from the server's bounded journal
@@ -153,9 +157,9 @@ pub struct LabelRoute {
     pub name: String,
     /// DFA transitions consuming this label.
     pub transitions: u32,
-    /// Live queries (this one included) whose alphabet contains the
-    /// label — the routing fan-in: a matching tuple is handed to this
-    /// many engines.
+    /// Live evaluation groups (this query's included) whose alphabet
+    /// contains the label — the routing fan-in: a matching tuple is
+    /// handed to this many shared Δ forests.
     pub sharing_queries: u32,
 }
 
@@ -205,11 +209,22 @@ pub struct ExplainWire {
     pub eval_ns: u64,
     /// The expiry (window-management) slice of `eval_ns`.
     pub expiry_ns: u64,
-    /// Evaluation nanoseconds summed over all live queries — the
-    /// denominator of this query's time share.
+    /// Evaluation nanoseconds summed over all evaluation groups — the
+    /// denominator of this query's time share. Groups, not queries:
+    /// a shared forest's time counts once however many subscribers
+    /// ride it.
     pub total_eval_ns: u64,
     /// Results emitted (post-dedup).
     pub results_emitted: u64,
+    /// The shared-evaluation group this query subscribes to.
+    pub group: u32,
+    /// Hash of the canonical (minimized, BFS-renumbered) DFA form —
+    /// the key equal-language registrations collapse under.
+    pub signature_hash: u64,
+    /// Names of the *other* queries subscribed to the same group —
+    /// empty means this query's Δ forest is private; non-empty means
+    /// the Δ counts above are shared with these co-subscribers.
+    pub co_subscribers: Vec<String>,
 }
 
 /// A snapshot of server-wide counters ([`Msg::ServerStats`]).
@@ -248,6 +263,10 @@ pub struct StatsSnapshot {
     /// synthetic entry, so the entries sum to the per-query `eval_ns`
     /// total (while no query has been deregistered).
     pub worker_ns: Vec<(u64, u64)>,
+    /// Live shared-evaluation groups (Δ forests). The gap to
+    /// `live_queries` is the consolidation win: queries minus groups
+    /// forests never built.
+    pub groups_live: u32,
 }
 
 /// A protocol message (client requests < 0x80 ≤ server responses).
@@ -590,6 +609,7 @@ impl Msg {
                     w.u64(q.tuples_routed);
                     w.u64(q.results_emitted);
                     w.u64(q.eval_ns);
+                    w.u32(q.group);
                 }
                 K_QUERY_LIST
             }
@@ -639,6 +659,7 @@ impl Msg {
                     w.u64(eval);
                     w.u64(expiry);
                 }
+                w.u32(s.groups_live);
                 K_SERVER_STATS
             }
             Msg::Error { msg } => {
@@ -710,6 +731,9 @@ impl Msg {
                 w.u64(x.expiry_ns);
                 w.u64(x.total_eval_ns);
                 w.u64(x.results_emitted);
+                w.u32(x.group);
+                w.u64(x.signature_hash);
+                strings(&mut w, &x.co_subscribers);
                 K_EXPLAIN_REPORT
             }
         };
@@ -795,6 +819,7 @@ impl Msg {
                         tuples_routed: r.u64().map_err(e)?,
                         results_emitted: r.u64().map_err(e)?,
                         eval_ns: r.u64().map_err(e)?,
+                        group: r.u32().map_err(e)?,
                     });
                 }
                 Msg::QueryList { queries }
@@ -841,12 +866,14 @@ impl Msg {
                     delta_capacity: r.u64().map_err(e)?,
                     compactions: r.u64().map_err(e)?,
                     worker_ns: Vec::new(),
+                    groups_live: 0,
                 };
                 let n = r.count(16).map_err(e)?;
                 s.worker_ns.reserve(n);
                 for _ in 0..n {
                     s.worker_ns.push((r.u64().map_err(e)?, r.u64().map_err(e)?));
                 }
+                s.groups_live = r.u32().map_err(e)?;
                 Msg::ServerStats(s)
             }
             K_ERROR => Msg::Error {
@@ -931,6 +958,9 @@ impl Msg {
                 x.expiry_ns = r.u64().map_err(e)?;
                 x.total_eval_ns = r.u64().map_err(e)?;
                 x.results_emitted = r.u64().map_err(e)?;
+                x.group = r.u32().map_err(e)?;
+                x.signature_hash = r.u64().map_err(e)?;
+                x.co_subscribers = read_strings(&mut r)?;
                 Msg::ExplainReport(x)
             }
             other => return Err(format!("unknown message kind 0x{other:02x}")),
@@ -1034,6 +1064,7 @@ mod tests {
                     tuples_routed: 41,
                     results_emitted: 6,
                     eval_ns: 12_345,
+                    group: 0,
                 }],
             },
             Msg::SubAck { matched: 1 },
@@ -1064,6 +1095,7 @@ mod tests {
                 delta_capacity: 12,
                 compactions: 1,
                 worker_ns: vec![(100, 10), (200, 20), (7, 0)],
+                groups_live: 2,
             }),
             Msg::Error { msg: "nope".into() },
             Msg::MetricsText {
@@ -1143,6 +1175,9 @@ mod tests {
                 expiry_ns: 234,
                 total_eval_ns: 5_000,
                 results_emitted: 6,
+                group: 1,
+                signature_hash: 0xDEAD_BEEF_F00D_CAFE,
+                co_subscribers: vec!["q_twin".into()],
             }),
         ]
     }
